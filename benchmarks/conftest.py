@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each figure module computes its result rows once (session-scoped) and
+both the pytest-benchmark timings and the shape assertions reuse them.
+The tables printed here are the reproduction's counterpart of the
+paper's figures; EXPERIMENTS.md records a captured copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.place.device import xczu3eg
+from repro.tdl.ultrascale import ultrascale_target
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-sizes",
+        action="store_true",
+        default=True,
+        help="run the full size sweeps from the paper (default)",
+    )
+
+
+@pytest.fixture(scope="session")
+def device():
+    return xczu3eg()
+
+
+@pytest.fixture(scope="session")
+def target():
+    return ultrascale_target()
+
+
+def print_figure(title: str, table: str) -> None:
+    print(f"\n=== {title} ===")
+    print(table)

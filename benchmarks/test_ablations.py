@@ -1,0 +1,191 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* shrink passes (paper Section 5.3): effect on used area and on
+  placement time;
+* cascading (Section 5.2): effect on critical path;
+* the DSP cost weight (the ``@??`` resource policy): effect on
+  utilization;
+* vendor LUT packing: effect on control-logic area and depth.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.frontend.fsm import fsm
+from repro.frontend.tensor import tensordot, tensoradd_vector
+from repro.ir.parser import parse_func
+from repro.isel.select import Selector
+from repro.netlist.stats import resource_counts
+from repro.prims import Prim
+from repro.timing.sta import analyze_netlist
+from repro.vendor.packing import pack_luts
+from repro.vendor.synth import VendorOptions, VendorSynthesizer
+
+
+class TestShrinkAblation:
+    def _used_area(self, placed):
+        rows = {}
+        for instr in placed.asm_instrs():
+            col, row = instr.loc.position()
+            prim = instr.loc.prim
+            current = rows.get(prim, (0, 0))
+            rows[prim] = (max(current[0], col), max(current[1], row))
+        return rows
+
+    def test_shrink_reduces_or_keeps_extent(self, device):
+        func = tensordot(arrays=3, size=4)
+        shrunk = ReticleCompiler(device=device, shrink=True).compile(func)
+        loose = ReticleCompiler(device=device, shrink=False).compile(func)
+        shrunk_area = self._used_area(shrunk.placed)
+        loose_area = self._used_area(loose.placed)
+        for prim, (col, row) in shrunk_area.items():
+            l_col, l_row = loose_area[prim]
+            assert col <= l_col
+            assert row <= l_row
+
+    @pytest.mark.parametrize("shrink", [False, True])
+    def test_placement_time(self, benchmark, device, shrink):
+        compiler = ReticleCompiler(device=device, shrink=shrink)
+        func = tensordot(arrays=5, size=9)
+        benchmark.pedantic(lambda: compiler.compile(func), rounds=1, iterations=1)
+
+
+class TestCascadeAblation:
+    def test_cascading_improves_critical_path(self, device):
+        func = tensordot(arrays=1, size=6)
+        with_cascade = ReticleCompiler(device=device, cascade=True).compile(func)
+        without = ReticleCompiler(device=device, cascade=False).compile(func)
+        fast = analyze_netlist(with_cascade.netlist).critical_ps
+        slow = analyze_netlist(without.netlist).critical_ps
+        assert fast < slow
+
+    @pytest.mark.parametrize("cascade", [False, True])
+    def test_compile_time(self, benchmark, device, cascade):
+        compiler = ReticleCompiler(device=device, cascade=cascade)
+        func = tensordot(arrays=5, size=9)
+        benchmark.pedantic(lambda: compiler.compile(func), rounds=1, iterations=1)
+
+
+class TestDspWeightAblation:
+    @pytest.mark.parametrize(
+        "weight,expected_prim",
+        [(1.0, Prim.DSP), (16.0, Prim.LUT), (64.0, Prim.LUT)],
+    )
+    def test_scalar_add_policy(self, target, weight, expected_prim):
+        selector = Selector(target, dsp_weight=weight)
+        asm = selector.select(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }")
+        )
+        instr = next(asm.asm_instrs())
+        assert instr.loc.prim is expected_prim
+
+    def test_vector_add_robust_to_weight(self, target):
+        # SIMD stays on DSPs across a wide weight band.
+        func = parse_func(
+            "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) { y: i8<4> = add(a, b); }"
+        )
+        for weight in (4.0, 16.0, 31.0):
+            asm = Selector(target, dsp_weight=weight).select(func)
+            assert next(asm.asm_instrs()).loc.prim is Prim.DSP
+
+
+class TestPackingAblation:
+    @pytest.mark.parametrize("states", [5, 9])
+    def test_packing_saves_area_and_depth(self, device, states):
+        func = fsm(states)
+        options = VendorOptions(use_dsp_hints=False)
+        unpacked, _ = VendorSynthesizer(device, options).synthesize(func)
+        packed, _ = VendorSynthesizer(device, options).synthesize(func)
+        pack_luts(packed, passes=3)
+        assert (
+            resource_counts(packed).luts < resource_counts(unpacked).luts
+        )
+
+    def test_packing_time(self, benchmark, device):
+        func = fsm(9)
+        options = VendorOptions(use_dsp_hints=False)
+
+        def run():
+            netlist, _ = VendorSynthesizer(device, options).synthesize(func)
+            pack_luts(netlist, passes=3)
+
+        benchmark(run)
+
+
+class TestSchedulingAblation:
+    """Section 8.1: scheduling trades latency for clock frequency."""
+
+    DEEP = """
+    def f(a: i8, b: i8) -> (y: i8) {
+        t0: i8 = mul(a, b) @lut;
+        t1: i8 = mul(t0, a) @lut;
+        t2: i8 = mul(t1, b) @lut;
+        y: i8 = mul(t2, a) @lut;
+    }
+    """
+
+    def test_fmax_improves_with_stages(self, device):
+        from repro.ir.parser import parse_func
+        from repro.ir.pipeline import pipeline_func
+
+        compiler = ReticleCompiler(device=device)
+        func = parse_func(self.DEEP)
+        critical = {}
+        for stages in (1, 2, 4):
+            piped = pipeline_func(func, stages=stages).func
+            critical[stages] = analyze_netlist(
+                compiler.compile(piped).netlist
+            ).critical_ps
+        assert critical[4] < critical[2] < critical[1]
+
+    @pytest.mark.parametrize("stages", [1, 4])
+    def test_pipelined_compile_time(self, benchmark, device, stages):
+        from repro.ir.parser import parse_func
+        from repro.ir.pipeline import pipeline_func
+
+        compiler = ReticleCompiler(device=device)
+        func = pipeline_func(parse_func(self.DEEP), stages=stages).func
+        benchmark.pedantic(
+            lambda: compiler.compile(func), rounds=1, iterations=1
+        )
+
+
+class TestFuzzDifferential:
+    """The fuzzer as a benchmark: throughput of full differential
+    checks (interpreter vs netlist vs text round-trip vs vendor)."""
+
+    def test_fuzz_session_clean(self, benchmark):
+        from repro.fuzz.runner import run_fuzz
+
+        report = benchmark.pedantic(
+            lambda: run_fuzz(iterations=20, seed=2021),
+            rounds=1,
+            iterations=1,
+        )
+        assert report.ok, report.summary()
+
+
+class TestVectorizationAblation:
+    """The Section 8.2 optimization: scalar vs vector programs."""
+
+    def test_vector_program_quarters_dsp_usage(self, device):
+        from repro.ir.scalarize import scalarize_func
+        from repro.ir.ast import CompInstr, Res
+        from dataclasses import replace
+
+        vector = tensoradd_vector(32)
+        result_vec = ReticleCompiler(device=device).compile(vector)
+        # The scalarized program with @dsp constraints: one DSP each.
+        scalar = scalarize_func(vector)
+        scalar = scalar.with_instrs(
+            tuple(
+                replace(i, res=Res.DSP)
+                if isinstance(i, CompInstr) and i.op.value == "add"
+                else i
+                for i in scalar.instrs
+            )
+        )
+        result_scalar = ReticleCompiler(device=device).compile(scalar)
+        vec_dsps = resource_counts(result_vec.netlist).dsps
+        scalar_dsps = resource_counts(result_scalar.netlist).dsps
+        assert vec_dsps * 4 == scalar_dsps

@@ -1,0 +1,87 @@
+"""Figure 13c: the fsm benchmark (control on LUTs).
+
+A coroutine state machine over {3, 5, 7, 9} states.  Paper shapes:
+
+* no DSPs anywhere — conditional branching is LUT-only;
+* Reticle's run-time is *worse* than the vendor's (speedup < 1):
+  traditional toolchains apply heavy logic synthesis that Reticle
+  deliberately skips;
+* compile speedup is "somewhat average" because the LUT counts are
+  small.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.frontend.fsm import fsm
+from repro.harness.experiments import fig13_rows, format_table
+from repro.vendor.toolchain import VendorOptions, VendorToolchain
+
+from benchmarks.conftest import print_figure
+
+SIZES = (3, 5, 7, 9)
+
+
+@pytest.fixture(scope="module")
+def rows(device):
+    return fig13_rows("fsm", sizes=SIZES, device=device)
+
+
+@pytest.fixture(scope="module")
+def by_key(rows):
+    return {(row["size"], row["lang"]): row for row in rows}
+
+
+class TestFigure13cShapes:
+    def test_print_table(self, rows):
+        print_figure("Figure 13c: fsm", format_table(rows))
+
+    def test_no_dsps_anywhere(self, by_key):
+        for size in SIZES:
+            for lang in ("base", "hint", "reticle"):
+                assert by_key[(size, lang)]["dsps"] == 0
+
+    def test_vendor_faster_at_runtime(self, by_key):
+        # Speedup below 1: the pathological case for Reticle.
+        for size in SIZES:
+            speedup = by_key[(size, "base")]["runtime_speedup"]
+            assert speedup < 1.0, (size, speedup)
+            assert speedup > 0.25, (size, speedup)  # not catastrophic
+
+    def test_vendor_packs_fewer_luts(self, by_key):
+        for size in SIZES:
+            assert (
+                by_key[(size, "base")]["luts"]
+                < by_key[(size, "reticle")]["luts"]
+            )
+
+    def test_lut_counts_grow_with_states(self, by_key):
+        reticle = [by_key[(size, "reticle")]["luts"] for size in SIZES]
+        assert reticle == sorted(reticle)
+        assert reticle[0] > 0
+
+    def test_compile_speedup_still_positive(self, by_key):
+        for size in SIZES:
+            assert by_key[(size, "base")]["compile_speedup"] > 3
+
+    def test_hint_equals_base_without_arithmetic(self, by_key):
+        # Hints change nothing when there is nothing to map to DSPs.
+        for size in SIZES:
+            assert (
+                by_key[(size, "hint")]["luts"]
+                == by_key[(size, "base")]["luts"]
+            )
+
+
+class TestFigure13cCompileTimes:
+    @pytest.mark.parametrize("size", [3, 9])
+    def test_reticle_compile(self, benchmark, device, size):
+        compiler = ReticleCompiler(device=device)
+        func = fsm(size)
+        benchmark.pedantic(lambda: compiler.compile(func), rounds=1, iterations=1)
+
+    @pytest.mark.parametrize("size", [3, 9])
+    def test_vendor_compile(self, benchmark, device, size):
+        toolchain = VendorToolchain(device, VendorOptions(use_dsp_hints=False))
+        func = fsm(size)
+        benchmark.pedantic(lambda: toolchain.compile(func), rounds=1, iterations=1)

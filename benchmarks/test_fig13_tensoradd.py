@@ -1,0 +1,108 @@
+"""Figure 13a: the tensoradd benchmark (vectorization).
+
+Paper shapes at sizes {64, 128, 256, 512}:
+
+* compile-time speedup of Reticle over Vivado between 10x and 100x;
+* run-time: Reticle beats plain Verilog at every size (~3x at 512);
+  hint-laden Verilog is *slightly faster* than Reticle at small sizes
+  (scalar DSP ops beat SIMD ones) until the DSP budget dies at 512,
+  where the silent LUT fallback makes Reticle ~3x faster;
+* utilization: Reticle deterministically uses N/4 SIMD DSPs and zero
+  LUTs; base uses LUT adders only; hint saturates 360 DSPs then spills.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector
+from repro.harness.experiments import fig13_rows, format_table
+from repro.vendor.toolchain import VendorOptions, VendorToolchain
+
+from benchmarks.conftest import print_figure
+
+SIZES = (64, 128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def rows(device):
+    return fig13_rows("tensoradd", sizes=SIZES, device=device)
+
+
+@pytest.fixture(scope="module")
+def by_key(rows):
+    return {(row["size"], row["lang"]): row for row in rows}
+
+
+class TestFigure13aShapes:
+    def test_print_table(self, rows):
+        print_figure("Figure 13a: tensoradd", format_table(rows))
+
+    def test_compile_speedup_in_paper_band(self, by_key):
+        for size in SIZES:
+            for lang in ("base", "hint"):
+                speedup = by_key[(size, lang)]["compile_speedup"]
+                assert speedup > 5, (size, lang, speedup)
+
+    def test_compile_speedup_decreases_with_size(self, by_key):
+        # More DSPs to place -> the constraint-solving layout stage
+        # eats the advantage (paper Section 7.2).  Wall-clock noise
+        # makes per-size ratios jittery, so compare the small-size
+        # half against the large-size half.
+        small = [
+            by_key[(size, "hint")]["compile_speedup"] for size in (64, 128)
+        ]
+        large = [
+            by_key[(size, "hint")]["compile_speedup"] for size in (256, 512)
+        ]
+        assert sum(large) / 2 < sum(small) / 2
+
+    def test_reticle_beats_base_runtime_everywhere(self, by_key):
+        for size in SIZES:
+            assert by_key[(size, "base")]["runtime_speedup"] > 1.0
+
+    def test_hint_slightly_faster_at_small_sizes(self, by_key):
+        # Scalar DSP configurations are slightly faster than SIMD ones
+        # while DSPs last (paper Section 7.2).
+        for size in (64, 128, 256):
+            speedup = by_key[(size, "hint")]["runtime_speedup"]
+            assert 0.7 < speedup < 1.0, (size, speedup)
+
+    def test_dsp_cliff_at_512(self, by_key):
+        # The scalar configuration exhausts the 360 DSPs; the silent
+        # LUT fallback costs ~3x (paper: "nearly 3x faster").
+        speedup = by_key[(512, "hint")]["runtime_speedup"]
+        assert speedup > 1.8, speedup
+        assert by_key[(512, "hint")]["dsps"] == 360
+        assert by_key[(512, "hint")]["luts"] > 0
+
+    def test_reticle_utilization_deterministic(self, by_key):
+        for size in SIZES:
+            row = by_key[(size, "reticle")]
+            assert row["dsps"] == size // 4
+            assert row["luts"] == 0
+
+    def test_base_never_gets_dsps(self, by_key):
+        for size in SIZES:
+            assert by_key[(size, "base")]["dsps"] == 0
+
+
+class TestFigure13aCompileTimes:
+    """The raw compile times behind the speedup panel."""
+
+    @pytest.mark.parametrize("size", [64, 512])
+    def test_reticle_compile(self, benchmark, device, size):
+        compiler = ReticleCompiler(device=device)
+        func = tensoradd_vector(size)
+        benchmark.pedantic(lambda: compiler.compile(func), rounds=1, iterations=1)
+
+    @pytest.mark.parametrize("size", [64, 512])
+    def test_vendor_base_compile(self, benchmark, device, size):
+        toolchain = VendorToolchain(device, VendorOptions(use_dsp_hints=False))
+        func = tensoradd_scalar(size)
+        benchmark.pedantic(lambda: toolchain.compile(func), rounds=1, iterations=1)
+
+    @pytest.mark.parametrize("size", [64, 512])
+    def test_vendor_hint_compile(self, benchmark, device, size):
+        toolchain = VendorToolchain(device, VendorOptions(use_dsp_hints=True))
+        func = tensoradd_scalar(size, dsp_hint=True)
+        benchmark.pedantic(lambda: toolchain.compile(func), rounds=1, iterations=1)

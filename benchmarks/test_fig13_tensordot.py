@@ -1,0 +1,83 @@
+"""Figure 13b: the tensordot benchmark (fusion and cascading).
+
+Five systolic arrays of multiply-add chains over tensors of sizes
+{3, 9, 18, 36}.  Paper shapes:
+
+* run-time parity between Reticle and hint-laden Verilog — Vivado
+  2020.1 discovers the same cascade with directives — and both beat
+  plain Verilog;
+* large compile-time speedups, decreasing as the tensors (and thus the
+  constraint systems) grow;
+* identical DSP counts across languages that fuse (one per stage).
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.frontend.tensor import tensordot
+from repro.harness.experiments import fig13_rows, format_table
+from repro.vendor.toolchain import VendorOptions, VendorToolchain
+
+from benchmarks.conftest import print_figure
+
+SIZES = (3, 9, 18, 36)
+
+
+@pytest.fixture(scope="module")
+def rows(device):
+    return fig13_rows("tensordot", sizes=SIZES, device=device)
+
+
+@pytest.fixture(scope="module")
+def by_key(rows):
+    return {(row["size"], row["lang"]): row for row in rows}
+
+
+class TestFigure13bShapes:
+    def test_print_table(self, rows):
+        print_figure("Figure 13b: tensordot (5 arrays)", format_table(rows))
+
+    def test_reticle_hint_runtime_parity(self, by_key):
+        # Both cascade: "the performance is the same for Reticle and
+        # Verilog with hints" (Section 7.2).
+        for size in SIZES:
+            speedup = by_key[(size, "hint")]["runtime_speedup"]
+            assert speedup == pytest.approx(1.0, rel=0.15), (size, speedup)
+
+    def test_both_beat_plain_verilog(self, by_key):
+        for size in SIZES:
+            assert by_key[(size, "base")]["runtime_speedup"] > 1.5
+
+    def test_compile_speedup_positive_and_decreasing(self, by_key):
+        speedups = [by_key[(size, "hint")]["compile_speedup"] for size in SIZES]
+        assert all(s > 1.5 for s in speedups), speedups
+        # Noise-robust trend: the two largest sizes average below the
+        # two smallest.
+        assert sum(speedups[2:]) / 2 < sum(speedups[:2]) / 2
+
+    def test_dsp_counts_one_per_stage(self, by_key):
+        for size in SIZES:
+            expected = 5 * size
+            assert by_key[(size, "reticle")]["dsps"] == expected
+            assert by_key[(size, "hint")]["dsps"] == expected
+            # Base maps the multiplies to DSPs but adds to LUTs.
+            assert by_key[(size, "base")]["dsps"] == expected
+
+    def test_base_burns_luts_on_unfused_adds(self, by_key):
+        for size in SIZES:
+            assert by_key[(size, "base")]["luts"] >= 8 * 5 * size
+            assert by_key[(size, "reticle")]["luts"] == 0
+
+
+class TestFigure13bCompileTimes:
+    @pytest.mark.parametrize("size", [3, 36])
+    def test_reticle_compile(self, benchmark, device, size):
+        compiler = ReticleCompiler(device=device)
+        func = tensordot(arrays=5, size=size)
+        benchmark.pedantic(lambda: compiler.compile(func), rounds=1, iterations=1)
+
+    @pytest.mark.parametrize("size", [3, 36])
+    def test_vendor_hint_compile(self, benchmark, device, size):
+        toolchain = VendorToolchain(device, VendorOptions(use_dsp_hints=True))
+        func = tensordot(arrays=5, size=size)
+        benchmark.pedantic(lambda: toolchain.compile(func), rounds=1, iterations=1)

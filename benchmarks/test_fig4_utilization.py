@@ -1,0 +1,79 @@
+"""Figure 4: resource utilization, behavioral vs structural tensoradd.
+
+The paper synthesizes the Figure 3 behavioral program (scalar adds
+with DSP hints) for N in {8..1024} on a 360-DSP device and compares it
+against a hand-optimized structural (vectorized) implementation:
+
+* Fig 4a — the behavioral program's DSP usage is one per element and
+  saturates the device by N=512, while the structural version uses
+  N/4 (SIMD) and never runs out;
+* Fig 4b — past the saturation point the behavioral program silently
+  spills additions onto LUTs.
+"""
+
+import pytest
+
+from repro.harness.experiments import FIG4_SIZES, fig4_rows, format_table
+from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector
+from repro.harness.flows import run_reticle, run_vendor
+
+from benchmarks.conftest import print_figure
+
+
+@pytest.fixture(scope="module")
+def rows(device):
+    return fig4_rows(sizes=FIG4_SIZES, device=device)
+
+
+@pytest.fixture(scope="module")
+def by_key(rows):
+    return {(row["size"], row["style"]): row for row in rows}
+
+
+class TestFigure4Shapes:
+    def test_print_table(self, rows):
+        print_figure("Figure 4: tensoradd utilization sweep", format_table(rows))
+
+    def test_behavioral_dsps_saturate_at_360(self, by_key):
+        # Fig 4a: one DSP per scalar element until the device runs out.
+        for size in (8, 64, 256):
+            assert by_key[(size, "behavioral")]["dsps"] == size
+        assert by_key[(512, "behavioral")]["dsps"] == 360
+        assert by_key[(1024, "behavioral")]["dsps"] == 360
+
+    def test_structural_dsps_stay_within_budget(self, by_key):
+        # Fig 4a: vectorization gives N/4, well under 360 even at 1024.
+        for size in FIG4_SIZES:
+            assert by_key[(size, "structural")]["dsps"] == size // 4
+        assert by_key[(1024, "structural")]["dsps"] == 256 <= 360
+
+    def test_behavioral_luts_explode_past_saturation(self, by_key):
+        # Fig 4b: below saturation the hinted program uses no compute
+        # LUTs; at 512 the silent fallback appears and grows.
+        assert by_key[(256, "behavioral")]["luts"] == 0
+        spill_512 = by_key[(512, "behavioral")]["luts"]
+        spill_1024 = by_key[(1024, "behavioral")]["luts"]
+        assert spill_512 > 1000
+        assert spill_1024 > 2 * spill_512 * 0.9
+
+    def test_structural_uses_zero_compute_luts(self, by_key):
+        for size in FIG4_SIZES:
+            assert by_key[(size, "structural")]["luts"] == 0
+
+
+class TestFigure4Benchmarks:
+    @pytest.mark.parametrize("size", [64, 512])
+    def test_behavioral_synthesis_time(self, benchmark, device, size):
+        func = tensoradd_scalar(size, dsp_hint=True)
+        benchmark.pedantic(
+            lambda: run_vendor(func, hints=True, device=device, place=False),
+            rounds=1,
+            iterations=1,
+        )
+
+    @pytest.mark.parametrize("size", [64, 512])
+    def test_structural_compile_time(self, benchmark, device, size):
+        func = tensoradd_vector(size)
+        benchmark.pedantic(
+            lambda: run_reticle(func, device=device), rounds=1, iterations=1
+        )

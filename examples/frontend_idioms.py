@@ -1,0 +1,129 @@
+"""Front-end responsibilities and optimizations (paper Section 8).
+
+Walks the paper's Figures 14-17: scheduling choices, resource-sharing
+trade-offs, vectorization, and resource binding — the decisions a
+higher-level language makes *before* emitting Reticle IR, and how each
+shows up in compiled area and timing.
+
+Run with::
+
+    python examples/frontend_idioms.py
+"""
+
+from repro.compiler import ReticleCompiler
+from repro.ir.parser import parse_func
+from repro.ir.vectorize import vectorize_func
+from repro.netlist.stats import resource_counts
+from repro.timing.sta import analyze_netlist
+
+COMPILER = ReticleCompiler()
+
+
+def report(title, source_or_func):
+    func = (
+        parse_func(source_or_func)
+        if isinstance(source_or_func, str)
+        else source_or_func
+    )
+    result = COMPILER.compile(func)
+    counts = resource_counts(result.netlist)
+    timing = analyze_netlist(result.netlist)
+    print(
+        f"{title:34} luts={counts.luts:4} dsps={counts.dsps:2} "
+        f"critical={timing.critical_ps / 1000:.2f}ns"
+    )
+    return result
+
+
+def main() -> None:
+    print("== Figure 14: scheduling ==")
+    # One cycle: mul+add+reg fuse into a single registered DSP.
+    report(
+        "a*b+c in one cycle",
+        """
+        def one(a: i8, b: i8, c: i8, en: bool) -> (y: i8) {
+            t0: i8 = mul(a, b);
+            t1: i8 = add(t0, c);
+            y: i8 = reg[0](t1, en);
+        }
+        """,
+    )
+    # Three cycles: fully pipelined, hitting the DSP's rated speed.
+    report(
+        "a*b+c pipelined (3 cycles)",
+        """
+        def three(a: i8, b: i8, c: i8, en: bool) -> (y: i8) {
+            t0: i8 = reg[0](a, en);
+            t1: i8 = reg[0](b, en);
+            t2: i8 = mul(t0, t1);
+            t3: i8 = add(t2, c);
+            y: i8 = reg[0](t3, en);
+        }
+        """,
+    )
+
+    print("\n== Figure 15: resource sharing (space for time) ==")
+    report(
+        "four adds in parallel",
+        """
+        def par(a: i8, b: i8, c: i8, d: i8, e: i8, f: i8, g: i8, h: i8)
+            -> (y0: i8, y1: i8, y2: i8, y3: i8) {
+            y0: i8 = add(a, b);
+            y1: i8 = add(c, d);
+            y2: i8 = add(e, f);
+            y3: i8 = add(g, h);
+        }
+        """,
+    )
+    report(
+        "one shared adder (time-multiplexed)",
+        """
+        def seq(s: i8, a: i8, b: i8, c: i8, d: i8,
+                e: i8, f: i8, g: i8, h: i8,
+                sel0: bool, sel1: bool) -> (y: i8) {
+            l0: i8 = mux(sel0, a, c);
+            l1: i8 = mux(sel0, e, g);
+            l: i8 = mux(sel1, l0, l1);
+            r0: i8 = mux(sel0, b, d);
+            r1: i8 = mux(sel0, f, h);
+            r: i8 = mux(sel1, r0, r1);
+            y: i8 = add(l, r);
+        }
+        """,
+    )
+
+    print("\n== Figure 16: vectorization ==")
+    scalar = parse_func(
+        """
+        def scl(a0: i8, b0: i8, a1: i8, b1: i8,
+                a2: i8, b2: i8, a3: i8, b3: i8)
+            -> (y0: i8, y1: i8, y2: i8, y3: i8) {
+            y0: i8 = add(a0, b0) @dsp;
+            y1: i8 = add(a1, b1) @dsp;
+            y2: i8 = add(a2, b2) @dsp;
+            y3: i8 = add(a3, b3) @dsp;
+        }
+        """
+    )
+    report("four scalar DSP adds", scalar)
+    auto = vectorize_func(scalar)
+    print(f"  auto-vectorizer grouped: {auto.groups}")
+    report("auto-vectorized (one SIMD DSP)", auto.func)
+
+    print("\n== Figure 17: resource binding ==")
+    report(
+        "add bound @lut",
+        "def bl(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }",
+    )
+    report(
+        "add bound @dsp",
+        "def bd(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @dsp; }",
+    )
+    print(
+        "\nAnnotations are constraints: the compiler honours each "
+        "binding exactly, or rejects the program."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Systolic dot products with DSP cascading (paper Figure 11).
+
+Builds a multiply-accumulate chain, shows how instruction selection
+fuses each stage into a pipelined ``muladd`` DSP, how the layout
+optimizer rewrites the chain to cascade variants with relative
+placement constraints, and how placement solves those constraints to
+vertically adjacent slices in one DSP column.  Finishes by simulating
+the generated netlist against the reference interpreter.
+
+Run with::
+
+    python examples/systolic_dot.py [stages]
+"""
+
+import random
+import sys
+
+from repro.asm.printer import print_asm_func
+from repro.compiler import ReticleCompiler
+from repro.frontend.tensor import tensordot
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.netlist.sim import NetlistSimulator
+from repro.timing.sta import analyze_netlist
+
+
+def main(stages: int = 4) -> None:
+    func = tensordot(arrays=1, size=stages)
+    result = ReticleCompiler().compile(func)
+
+    print("--- after instruction selection (fused muladds) ---")
+    print(print_asm_func(result.selected))
+    print("\n--- after cascading (relative placement constraints) ---")
+    print(print_asm_func(result.cascaded))
+    print("\n--- after placement (same column, adjacent rows) ---")
+    print(print_asm_func(result.placed))
+
+    print(f"\ntiming: {analyze_netlist(result.netlist)}")
+
+    # Differential check: the structural netlist behaves exactly like
+    # the portable IR on a random trace.
+    rng = random.Random(7)
+    steps = stages + 4
+    trace = {"en": [1] * steps}
+    a = [rng.randint(-10, 10) for _ in range(stages)]
+    b = [rng.randint(-10, 10) for _ in range(stages)]
+    for stage in range(stages):
+        trace[f"a0_{stage}"] = [a[stage]] * steps
+        trace[f"b0_{stage}"] = [b[stage]] * steps
+    trace = Trace(trace)
+
+    expected = Interpreter(func).run(trace)
+    types = {p.name: p.ty for p in func.inputs + func.outputs}
+    actual = NetlistSimulator(result.netlist, types).run(trace)
+    assert expected == actual
+    dot = sum(x * y for x, y in zip(a, b))
+    print(f"\ndot{tuple(a)}.{tuple(b)} = {dot}")
+    print(f"netlist output after pipeline fill: {actual['y0'][-1]}")
+    assert actual["y0"][-1] == dot % 256 - (256 if dot % 256 > 127 else 0)
+    print("netlist simulation matches the reference interpreter")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,90 @@
+"""Reticle: a virtual machine for programming modern FPGAs.
+
+A from-scratch Python reproduction of the PLDI 2021 paper (Vega,
+McMahan, Sampson, Grossman, Ceze), including every substrate the
+evaluation depends on: the two-level language (portable IR +
+located assembly), the target description language and an
+UltraScale-like target library, tree-covering instruction selection,
+cascade layout optimization, CSP-based placement with area shrinking,
+structural-Verilog code generation, a bit-accurate netlist simulator,
+static timing analysis, and a vendor-toolchain simulator for the
+baselines.
+
+Quickstart::
+
+    from repro import parse_func, compile_func
+
+    func = parse_func('''
+    def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+        t0: i8 = mul(a, b);
+        y: i8 = add(t0, c) @dsp;
+    }
+    ''')
+    result = compile_func(func)
+    print(result.verilog())
+"""
+
+from repro.compiler import ReticleCompiler, ReticleResult, compile_func
+from repro.errors import (
+    CodegenError,
+    InterpError,
+    LayoutError,
+    ParseError,
+    PlacementError,
+    ReticleError,
+    SelectionError,
+    SimulationError,
+    TargetError,
+    TypeCheckError,
+    VendorError,
+    WellFormednessError,
+)
+from repro.ir import (
+    Bool,
+    FuncBuilder,
+    Int,
+    Interpreter,
+    Prog,
+    Trace,
+    Vec,
+    interpret,
+    parse_func,
+    parse_prog,
+    print_func,
+    print_prog,
+)
+from repro.prims import Prim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReticleCompiler",
+    "ReticleResult",
+    "compile_func",
+    "ReticleError",
+    "ParseError",
+    "TypeCheckError",
+    "WellFormednessError",
+    "InterpError",
+    "TargetError",
+    "SelectionError",
+    "LayoutError",
+    "PlacementError",
+    "CodegenError",
+    "SimulationError",
+    "VendorError",
+    "Bool",
+    "Int",
+    "Vec",
+    "FuncBuilder",
+    "Interpreter",
+    "Trace",
+    "Prog",
+    "interpret",
+    "parse_func",
+    "parse_prog",
+    "print_func",
+    "print_prog",
+    "Prim",
+    "__version__",
+]

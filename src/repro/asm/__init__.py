@@ -1,0 +1,40 @@
+"""The Reticle assembly language (paper Figure 5b).
+
+Family-specific instructions with *location* semantics: each assembly
+instruction carries ``@prim(x, y)`` where ``prim`` is ``lut`` or
+``dsp`` and the coordinates are integers, wildcards (``??``), or
+symbolic expressions such as ``y+1`` that encode relative-placement
+constraints between instructions (Section 5.2).
+"""
+
+from repro.asm.coords import (
+    Coord,
+    CoordLit,
+    CoordVar,
+    CoordWildcard,
+    WILDCARD,
+    Loc,
+    Prim,
+)
+from repro.asm.ast import AsmInstr, AsmFunc
+from repro.asm.parser import parse_asm_func, parse_asm_instr
+from repro.asm.printer import print_asm_func, print_asm_instr
+from repro.asm.interp import AsmInterpreter, asm_to_ir
+
+__all__ = [
+    "Coord",
+    "CoordLit",
+    "CoordVar",
+    "CoordWildcard",
+    "WILDCARD",
+    "Loc",
+    "Prim",
+    "AsmInstr",
+    "AsmFunc",
+    "parse_asm_func",
+    "parse_asm_instr",
+    "print_asm_func",
+    "print_asm_instr",
+    "AsmInterpreter",
+    "asm_to_ir",
+]

@@ -1,0 +1,92 @@
+"""Abstract syntax for the assembly language (paper Figure 5b).
+
+Assembly functions share wire instructions with the intermediate
+language; compute instructions are replaced by :class:`AsmInstr`,
+whose operation is an *open* name resolved against a target
+description, and which carries a :class:`~repro.asm.coords.Loc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.asm.coords import Loc
+from repro.errors import TypeCheckError
+from repro.ir.ast import Port, WireInstr
+from repro.ir.types import Ty
+
+
+@dataclass(frozen=True)
+class AsmInstr:
+    """A target-specific instruction at a (possibly unresolved) location."""
+
+    dst: str
+    ty: Ty
+    op: str
+    attrs: Tuple[int, ...]
+    args: Tuple[str, ...]
+    loc: Loc
+
+    @property
+    def op_name(self) -> str:
+        return self.op
+
+    @property
+    def is_stateful(self) -> bool:
+        # Statefulness of an ASM instruction is a property of its target
+        # definition; this syntactic predicate is refined by the target.
+        return False
+
+    def with_loc(self, loc: Loc) -> "AsmInstr":
+        return replace(self, loc=loc)
+
+    def with_op(self, op: str) -> "AsmInstr":
+        return replace(self, op=op)
+
+
+AsmOrWire = Union[AsmInstr, WireInstr]
+
+
+@dataclass(frozen=True)
+class AsmFunc:
+    """An assembly function: ports plus wire/assembly instructions."""
+
+    name: str
+    inputs: Tuple[Port, ...]
+    outputs: Tuple[Port, ...]
+    instrs: Tuple[AsmOrWire, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise TypeCheckError(f"function {self.name!r} must have outputs")
+
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(port.name for port in self.inputs)
+
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(port.name for port in self.outputs)
+
+    def defs(self) -> Dict[str, Ty]:
+        table: Dict[str, Ty] = {port.name: port.ty for port in self.inputs}
+        for instr in self.instrs:
+            table[instr.dst] = instr.ty
+        return table
+
+    def asm_instrs(self) -> Iterator[AsmInstr]:
+        for instr in self.instrs:
+            if isinstance(instr, AsmInstr):
+                yield instr
+
+    def wire_instrs(self) -> Iterator[WireInstr]:
+        for instr in self.instrs:
+            if isinstance(instr, WireInstr):
+                yield instr
+
+    def with_instrs(self, instrs: Tuple[AsmOrWire, ...]) -> "AsmFunc":
+        return replace(self, instrs=instrs)
+
+    @property
+    def is_placed(self) -> bool:
+        """True when every assembly instruction has a resolved location."""
+        return all(instr.loc.is_resolved for instr in self.asm_instrs())

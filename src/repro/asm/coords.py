@@ -1,0 +1,122 @@
+"""Coordinate expressions and locations (``loc`` in paper Figure 5b).
+
+A location names a primitive kind and an ``(x, y)`` position on the
+device: ``x`` is a column index, ``y`` a row within the column (see
+DESIGN.md for the convention).  Coordinates come in three forms:
+
+* a literal integer — a fixed position;
+* the wildcard ``??`` — the placer chooses freely;
+* a symbolic expression ``v`` or ``v + i`` — positions that share the
+  variable ``v`` are constrained relative to one another, which is how
+  cascade adjacency (same column, next row) is expressed (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import LayoutError
+from repro.prims import Prim
+
+__all__ = [
+    "Prim",
+    "Coord",
+    "CoordWildcard",
+    "CoordLit",
+    "CoordVar",
+    "WILDCARD",
+    "Loc",
+]
+
+
+class Coord:
+    """Base class of coordinate expressions."""
+
+    def offset_by(self, delta: int) -> "Coord":
+        raise NotImplementedError
+
+    def canonical(self) -> Tuple[Optional[str], Optional[int]]:
+        """Normalize to ``(var, offset)``.
+
+        Returns ``(None, None)`` for a wildcard, ``(None, i)`` for a
+        literal, and ``(v, i)`` for ``v + i``.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CoordWildcard(Coord):
+    """``??`` — the placer picks the position."""
+
+    def offset_by(self, delta: int) -> Coord:
+        raise LayoutError("cannot offset a wildcard coordinate")
+
+    def canonical(self) -> Tuple[Optional[str], Optional[int]]:
+        return (None, None)
+
+    def __str__(self) -> str:
+        return "??"
+
+
+@dataclass(frozen=True)
+class CoordLit(Coord):
+    """A fixed integer position."""
+
+    value: int
+
+    def offset_by(self, delta: int) -> Coord:
+        return CoordLit(self.value + delta)
+
+    def canonical(self) -> Tuple[Optional[str], Optional[int]]:
+        return (None, self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class CoordVar(Coord):
+    """A symbolic position ``var + offset`` (offset may be zero)."""
+
+    var: str
+    offset: int = 0
+
+    def offset_by(self, delta: int) -> Coord:
+        return CoordVar(self.var, self.offset + delta)
+
+    def canonical(self) -> Tuple[Optional[str], Optional[int]]:
+        return (self.var, self.offset)
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return self.var
+        # A negative offset prints as e.g. ``v+-1``, which round-trips.
+        return f"{self.var}+{self.offset}"
+
+
+WILDCARD = CoordWildcard()
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A primitive kind plus an ``(x, y)`` coordinate pair."""
+
+    prim: Prim
+    x: Coord = WILDCARD
+    y: Coord = WILDCARD
+
+    @property
+    def is_resolved(self) -> bool:
+        """True when both coordinates are concrete integers."""
+        return isinstance(self.x, CoordLit) and isinstance(self.y, CoordLit)
+
+    def position(self) -> Tuple[int, int]:
+        """The concrete ``(x, y)``; raises if unresolved."""
+        if not self.is_resolved:
+            raise LayoutError(f"location {self} is not resolved")
+        assert isinstance(self.x, CoordLit) and isinstance(self.y, CoordLit)
+        return (self.x.value, self.y.value)
+
+    def __str__(self) -> str:
+        return f"{self.prim.value}({self.x}, {self.y})"

@@ -1,0 +1,117 @@
+"""Semantics of assembly programs: expansion back into the IR.
+
+Each assembly operation is defined by a target description as a
+sequence of intermediate-language operations, "automatically composed
+in the compilation process" (Section 4.2).  Expanding every assembly
+instruction through its definition therefore yields an IR function
+with identical behaviour, which the reference interpreter can run —
+this is both how assembly programs get their meaning and how the
+compiler's output is differentially tested against its input.
+
+Attribute convention: an :class:`AsmInstr`'s attrs parameterize its
+body's instructions in body order (e.g. the ``reg`` definition's
+initial value).  An empty attr tuple means "use the definition's
+literal attributes".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.asm.ast import AsmFunc, AsmInstr
+from repro.errors import TargetError
+from repro.ir.ast import CompInstr, Func, Instr, Res
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.tdl.ast import AsmDef, Target
+from repro.utils.names import NameGenerator
+
+
+def _res_of(asm_def: AsmDef) -> Res:
+    return Res(asm_def.prim.value)
+
+
+def expand_asm_instr(
+    instr: AsmInstr, asm_def: AsmDef, names: NameGenerator
+) -> List[Instr]:
+    """Inline one assembly instruction through its definition."""
+    if len(instr.args) != len(asm_def.inputs):
+        raise TargetError(
+            f"{instr.op!r} takes {len(asm_def.inputs)} arguments, "
+            f"found {len(instr.args)}"
+        )
+
+    total_attrs = sum(body.op.num_attrs for body in asm_def.body
+                      if isinstance(body, CompInstr))
+    if instr.attrs and len(instr.attrs) != total_attrs:
+        raise TargetError(
+            f"{instr.op!r} takes 0 or {total_attrs} attributes, "
+            f"found {len(instr.attrs)}"
+        )
+
+    rename: Dict[str, str] = {}
+    for port, arg in zip(asm_def.inputs, instr.args):
+        rename[port.name] = arg
+    for body in asm_def.body:
+        if body.dst == asm_def.output.name:
+            rename[body.dst] = instr.dst
+        else:
+            rename[body.dst] = names.fresh(f"{instr.dst}_{body.dst}")
+
+    expanded: List[Instr] = []
+    attr_stream = list(instr.attrs)
+    for body in asm_def.body:
+        assert isinstance(body, CompInstr)
+        needed = body.op.num_attrs
+        if attr_stream and needed:
+            attrs = tuple(attr_stream[:needed])
+            attr_stream = attr_stream[needed:]
+        else:
+            attrs = body.attrs
+        expanded.append(
+            CompInstr(
+                dst=rename[body.dst],
+                ty=body.ty,
+                attrs=attrs,
+                args=tuple(rename[arg] for arg in body.args),
+                op=body.op,
+                res=_res_of(asm_def),
+            )
+        )
+    return expanded
+
+
+def asm_to_ir(func: AsmFunc, target: Target) -> Func:
+    """Expand a whole assembly function into an equivalent IR function."""
+    names = NameGenerator(func.defs())
+    instrs: List[Instr] = []
+    for instr in func.instrs:
+        if isinstance(instr, AsmInstr):
+            asm_def = target.get(instr.op)
+            if asm_def is None:
+                raise TargetError(
+                    f"target {target.name!r} has no definition for "
+                    f"{instr.op!r}"
+                )
+            instrs.extend(expand_asm_instr(instr, asm_def, names))
+        else:
+            instrs.append(instr)
+    return Func(
+        name=func.name,
+        inputs=func.inputs,
+        outputs=func.outputs,
+        instrs=tuple(instrs),
+    )
+
+
+class AsmInterpreter:
+    """Interpret assembly programs by expansion through a target."""
+
+    def __init__(self, func: AsmFunc, target: Target) -> None:
+        self.func = func
+        self.target = target
+        self.ir_func = asm_to_ir(func, target)
+        self._interp = Interpreter(self.ir_func)
+
+    def run(self, trace: Trace) -> Trace:
+        return self._interp.run(trace)

@@ -1,0 +1,148 @@
+"""Parser for the textual assembly language.
+
+The grammar extends the IR's instruction form with locations:
+
+.. code-block:: text
+
+    asm    ::= IDENT ':' type '=' IDENT attrs? args? '@' loc ';'
+    loc    ::= ('lut' | 'dsp') '(' coord ',' coord ')'
+    coord  ::= '??' | INT | IDENT ('+' INT)?
+
+Wire instructions are shared with the IR parser.  An instruction name
+that is not a wire operation is an assembly operation; its validity is
+checked later against a target description, not at parse time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
+from repro.asm.coords import (
+    Coord,
+    CoordLit,
+    CoordVar,
+    Loc,
+    Prim,
+    WILDCARD,
+)
+from repro.errors import ParseError
+from repro.ir.ast import Port, WireInstr
+from repro.ir.ops import lookup_wire_op
+from repro.ir.parser import (
+    parse_args_at,
+    parse_attrs_at,
+    parse_port_at,
+    parse_type_at,
+)
+from repro.lang.cursor import TokenCursor
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def parse_coord_at(cursor: TokenCursor) -> Coord:
+    if cursor.accept(TokenKind.WILDCARD):
+        return WILDCARD
+    if cursor.at(TokenKind.INT):
+        return CoordLit(cursor.expect_int())
+    name_token = cursor.expect(TokenKind.IDENT)
+    offset = 0
+    if cursor.accept(TokenKind.PLUS):
+        offset = cursor.expect_int()
+    return CoordVar(name_token.text, offset)
+
+
+def parse_loc_at(cursor: TokenCursor) -> Loc:
+    prim_token = cursor.expect(TokenKind.IDENT)
+    try:
+        prim = Prim(prim_token.text)
+    except ValueError:
+        raise ParseError(
+            f"unknown primitive: {prim_token.text!r}",
+            prim_token.line,
+            prim_token.col,
+        ) from None
+    cursor.expect(TokenKind.LPAREN)
+    x = parse_coord_at(cursor)
+    cursor.expect(TokenKind.COMMA)
+    y = parse_coord_at(cursor)
+    cursor.expect(TokenKind.RPAREN)
+    return Loc(prim, x, y)
+
+
+def parse_asm_instr_at(cursor: TokenCursor) -> AsmOrWire:
+    dst = cursor.expect(TokenKind.IDENT)
+    cursor.expect(TokenKind.COLON)
+    ty = parse_type_at(cursor)
+    cursor.expect(TokenKind.EQUALS)
+    op_token = cursor.expect(TokenKind.IDENT)
+    attrs = parse_attrs_at(cursor)
+    args = parse_args_at(cursor)
+
+    wire_op = lookup_wire_op(op_token.text)
+    if wire_op is not None:
+        if cursor.at(TokenKind.AT):
+            raise ParseError(
+                f"wire instruction {op_token.text!r} cannot take a location",
+                op_token.line,
+                op_token.col,
+            )
+        cursor.expect(TokenKind.SEMI)
+        return WireInstr(dst=dst.text, ty=ty, attrs=attrs, args=args, op=wire_op)
+
+    cursor.expect(TokenKind.AT)
+    loc = parse_loc_at(cursor)
+    cursor.expect(TokenKind.SEMI)
+    return AsmInstr(
+        dst=dst.text, ty=ty, op=op_token.text, attrs=attrs, args=args, loc=loc
+    )
+
+
+def parse_asm_func_at(cursor: TokenCursor) -> AsmFunc:
+    cursor.expect_ident("def")
+    name = cursor.expect(TokenKind.IDENT).text
+
+    cursor.expect(TokenKind.LPAREN)
+    inputs: List[Port] = []
+    if not cursor.at(TokenKind.RPAREN):
+        inputs.append(parse_port_at(cursor))
+        while cursor.accept(TokenKind.COMMA):
+            inputs.append(parse_port_at(cursor))
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.ARROW)
+    cursor.expect(TokenKind.LPAREN)
+    outputs: List[Port] = [parse_port_at(cursor)]
+    while cursor.accept(TokenKind.COMMA):
+        outputs.append(parse_port_at(cursor))
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.LBRACE)
+    instrs: List[AsmOrWire] = []
+    while not cursor.at(TokenKind.RBRACE):
+        instrs.append(parse_asm_instr_at(cursor))
+    cursor.expect(TokenKind.RBRACE)
+
+    return AsmFunc(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        instrs=tuple(instrs),
+    )
+
+
+def parse_asm_instr(source: str) -> AsmOrWire:
+    """Parse a single assembly (or wire) instruction from text."""
+    cursor = TokenCursor(tokenize(source))
+    instr = parse_asm_instr_at(cursor)
+    if not cursor.at_end():
+        raise cursor.error("trailing input after instruction")
+    return instr
+
+
+def parse_asm_func(source: str) -> AsmFunc:
+    """Parse a single assembly function from text."""
+    cursor = TokenCursor(tokenize(source))
+    func = parse_asm_func_at(cursor)
+    if not cursor.at_end():
+        raise cursor.error("trailing input after function")
+    return func

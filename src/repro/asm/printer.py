@@ -1,0 +1,30 @@
+"""Pretty-printer for the assembly language."""
+
+from __future__ import annotations
+
+from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
+from repro.ir.printer import INDENT, print_instr
+
+
+def print_asm_instr(instr: AsmOrWire) -> str:
+    """Render one assembly or wire instruction."""
+    if not isinstance(instr, AsmInstr):
+        return print_instr(instr)
+    parts = [f"{instr.dst}:{instr.ty} = {instr.op}"]
+    if instr.attrs:
+        parts.append("[" + ", ".join(str(attr) for attr in instr.attrs) + "]")
+    if instr.args:
+        parts.append("(" + ", ".join(instr.args) + ")")
+    parts.append(f" @{instr.loc};")
+    return "".join(parts)
+
+
+def print_asm_func(func: AsmFunc) -> str:
+    """Render a whole assembly function."""
+    inputs = ", ".join(f"{port.name}: {port.ty}" for port in func.inputs)
+    outputs = ", ".join(f"{port.name}: {port.ty}" for port in func.outputs)
+    lines = [f"def {func.name}({inputs}) -> ({outputs}) {{"]
+    for instr in func.instrs:
+        lines.append(INDENT + print_asm_instr(instr))
+    lines.append("}")
+    return "\n".join(lines)

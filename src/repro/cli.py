@@ -1,0 +1,305 @@
+"""The ``reticle`` command-line interface.
+
+Subcommands mirror the toolchain stages::
+
+    reticle check    prog.ret          # typecheck + well-formedness
+    reticle interp   prog.ret --trace trace.json
+    reticle select   prog.ret          # IR -> assembly (unplaced)
+    reticle place    prog.ret          # IR -> placed assembly
+    reticle compile  prog.ret -o out.v # IR -> structural Verilog
+    reticle behav    prog.ret          # IR -> behavioral Verilog
+    reticle tdl                        # dump the UltraScale target
+    reticle bench fig13 tensoradd      # regenerate a figure's rows
+
+Programs are read in the textual IR format (see README); traces are
+JSON objects mapping input names to per-cycle value lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.asm.printer import print_asm_func
+from repro.compiler import ReticleCompiler
+from repro.errors import ReticleError
+from repro.frontend.behavioral import emit_behavioral_verilog
+from repro.harness.experiments import fig4_rows, fig13_rows, format_table
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_prog
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from repro.isel.select import select
+from repro.layout.cascade import apply_cascading
+from repro.tdl.ecp5 import ecp5_target
+from repro.tdl.ultrascale import ultrascale_target, ultrascale_tdl_text
+
+
+def _read_prog(path: str):
+    with open(path) as handle:
+        return parse_prog(handle.read())
+
+
+def _read_func(path: str, name: Optional[str] = None):
+    """Read one function: by --func name, or the file's only one."""
+    prog = _read_prog(path)
+    if name is not None:
+        func = prog.get(name)
+        if func is None:
+            raise ReticleError(f"no function named {name!r} in {path}")
+        return func
+    if len(prog) != 1:
+        names = ", ".join(func.name for func in prog)
+        raise ReticleError(
+            f"{path} defines several functions ({names}); pass --func"
+        )
+    return prog.funcs[0]
+
+
+def _resolve_target(name: str):
+    from repro.place.device import lfe5u85, xczu3eg
+
+    if name == "ecp5":
+        return ecp5_target(), lfe5u85()
+    return ultrascale_target(), xczu3eg()
+
+
+def _write_output(text: str, path: Optional[str]) -> None:
+    if path is None:
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    prog = _read_prog(args.program)
+    for func in prog:
+        typecheck_func(func)
+        info = check_well_formed(func)
+        print(
+            f"{func.name}: ok ({len(info.pure_order)} pure instructions, "
+            f"{len(info.regs)} registers)"
+        )
+    return 0
+
+
+def _cmd_interp(args: argparse.Namespace) -> int:
+    func = _read_func(args.program, getattr(args, 'func', None))
+    with open(args.trace) as handle:
+        raw = json.load(handle)
+    trace = Trace(
+        {
+            name: [tuple(v) if isinstance(v, list) else v for v in steps]
+            for name, steps in raw.items()
+        }
+    )
+    result = Interpreter(func).run(trace)
+    if args.vcd:
+        from repro.ir.vcd import dump_vcd, merge_traces
+
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        dump_vcd(args.vcd, merge_traces(trace, result), types, module=func.name)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    func = _read_func(args.program, getattr(args, 'func', None))
+    target, _ = _resolve_target(args.target)
+    asm = select(func, target)
+    if args.cascade:
+        asm = apply_cascading(asm, target)
+    _write_output(print_asm_func(asm), args.output)
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    func = _read_func(args.program, getattr(args, 'func', None))
+    target, device = _resolve_target(args.target)
+    compiler = ReticleCompiler(
+        target=target, device=device, shrink=not args.no_shrink
+    )
+    result = compiler.compile(func)
+    _write_output(print_asm_func(result.placed), args.output)
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    prog = _read_prog(args.program)
+    target, device = _resolve_target(args.target)
+    compiler = ReticleCompiler(
+        target=target,
+        device=device,
+        shrink=not args.no_shrink,
+        optimize=args.opt,
+        auto_vectorize=args.vectorize,
+    )
+    if args.pipeline:
+        from repro.ir.ast import Prog
+        from repro.ir.pipeline import pipeline_func
+
+        prog = Prog(
+            tuple(
+                pipeline_func(func, stages=args.pipeline).func
+                for func in prog
+            )
+        )
+    results = compiler.compile_prog(prog)
+    _write_output(
+        "\n\n".join(result.verilog() for result in results.values()),
+        args.output,
+    )
+    if args.xdc:
+        from repro.codegen.xdc import generate_xdc
+
+        with open(args.xdc, "w") as handle:
+            for result in results.values():
+                handle.write(generate_xdc(result.netlist))
+    for name, result in results.items():
+        print(
+            f"// compiled {name} in {result.seconds:.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_behav(args: argparse.Namespace) -> int:
+    func = _read_func(args.program, getattr(args, 'func', None))
+    _write_output(
+        emit_behavioral_verilog(func, use_dsp_attr=args.use_dsp), args.output
+    )
+    return 0
+
+
+def _cmd_tdl(args: argparse.Namespace) -> int:
+    _write_output(ultrascale_tdl_text().rstrip(), args.output)
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.runner import run_fuzz
+
+    report = run_fuzz(
+        iterations=args.iterations,
+        seed=args.seed,
+        max_instrs=args.max_instrs,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "fig4":
+        rows = fig4_rows()
+    else:
+        if not args.benchmark:
+            raise ReticleError("fig13 needs a benchmark name")
+        rows = fig13_rows(args.benchmark)
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reticle",
+        description="Reticle FPGA compiler (PLDI 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, handler, help_text: str) -> argparse.ArgumentParser:
+        command = sub.add_parser(name, help=help_text)
+        command.set_defaults(handler=handler)
+        return command
+
+    check = add("check", _cmd_check, "typecheck and well-formedness check")
+    check.add_argument("program")
+
+    interp = add("interp", _cmd_interp, "interpret a program over a trace")
+    interp.add_argument("program")
+    interp.add_argument("--trace", required=True, help="JSON input trace")
+    interp.add_argument("--vcd", help="also dump a VCD waveform here")
+    interp.add_argument("--func", help="function name in multi-def files")
+
+    selectc = add("select", _cmd_select, "lower IR to assembly")
+    selectc.add_argument("program")
+    selectc.add_argument("-o", "--output")
+    selectc.add_argument(
+        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+    )
+    selectc.add_argument(
+        "--cascade", action="store_true", help="apply cascade optimization"
+    )
+    selectc.add_argument("--func", help="function name in multi-def files")
+
+    placec = add("place", _cmd_place, "lower, cascade, and place")
+    placec.add_argument("program")
+    placec.add_argument("-o", "--output")
+    placec.add_argument("--no-shrink", action="store_true")
+    placec.add_argument(
+        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+    )
+    placec.add_argument("--func", help="function name in multi-def files")
+
+    compilec = add("compile", _cmd_compile, "full pipeline to Verilog")
+    compilec.add_argument("program")
+    compilec.add_argument("-o", "--output")
+    compilec.add_argument("--no-shrink", action="store_true")
+    compilec.add_argument(
+        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+    )
+    compilec.add_argument("--xdc", help="also write XDC constraints here")
+    compilec.add_argument(
+        "--opt",
+        action="store_true",
+        help="run copy-prop/const-fold/DCE before selection",
+    )
+    compilec.add_argument(
+        "--vectorize",
+        action="store_true",
+        help="auto-combine independent scalar ops into vectors (§8.2)",
+    )
+    compilec.add_argument(
+        "--pipeline",
+        type=int,
+        default=0,
+        metavar="STAGES",
+        help="auto-pipeline combinational programs into STAGES cuts (§8.1)",
+    )
+
+    behav = add("behav", _cmd_behav, "emit behavioral Verilog (baseline)")
+    behav.add_argument("program")
+    behav.add_argument("-o", "--output")
+    behav.add_argument("--use-dsp", action="store_true")
+    behav.add_argument("--func", help="function name in multi-def files")
+
+    tdl = add("tdl", _cmd_tdl, "dump the UltraScale target description")
+    tdl.add_argument("-o", "--output")
+
+    fuzz = add("fuzz", _cmd_fuzz, "differentially fuzz every flow")
+    fuzz.add_argument("--iterations", type=int, default=25)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--max-instrs", type=int, default=12)
+
+    bench = add("bench", _cmd_bench, "regenerate a figure's data rows")
+    bench.add_argument("figure", choices=["fig4", "fig13"])
+    bench.add_argument("benchmark", nargs="?")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReticleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

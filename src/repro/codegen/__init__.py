@@ -1,0 +1,20 @@
+"""Code generation: placed assembly -> structural netlist -> Verilog.
+
+"Because of the work of our prior compiler passes, this step is purely
+one of generation" (Section 5.4).  Instructions have been selected,
+optimized, and placed; here each one expands to configured primitives:
+LUT-based instructions become one LUT per bit of computation (plus
+carry chains and flip-flops), and DSP-based instructions become a DSP
+slice configured for the operation, with every primitive annotated
+with its placement coordinate.
+"""
+
+from repro.codegen.generate import CodeGenerator, generate_netlist
+from repro.codegen.verilog_emit import netlist_to_verilog, generate_verilog
+
+__all__ = [
+    "CodeGenerator",
+    "generate_netlist",
+    "netlist_to_verilog",
+    "generate_verilog",
+]

@@ -1,0 +1,80 @@
+"""Configuring block-RAM primitives for assembly instructions.
+
+The memory-primitive extension (the paper's stated future work): each
+BRAM-bound assembly instruction becomes one ``RAMB18E2``-style cell —
+a synchronous single-port, read-first RAM with a registered read port.
+The model keeps the behaviourally relevant subset of the real
+primitive: ``ADDR_WIDTH``/``WIDTH`` geometry, an address/data/write-
+enable/clock-enable pin set, and the one-cycle read latency the IR's
+``ram`` instruction specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.asm.ast import AsmInstr
+from repro.errors import CodegenError
+from repro.ir.ast import CompInstr
+from repro.ir.ops import CompOp
+from repro.netlist.core import Cell, Netlist
+from repro.prims import Prim
+from repro.tdl.ast import AsmDef
+
+BRAM_KIND = "RAMB18E2"
+BRAM_CAPACITY_BITS = 18 * 1024
+
+
+def configure_bram(instr: AsmInstr, asm_def: AsmDef) -> Dict[str, object]:
+    """Derive the cell parameters for one BRAM instruction."""
+    body = [b for b in asm_def.body if isinstance(b, CompInstr)]
+    if len(body) != 1 or body[0].op is not CompOp.RAM:
+        raise CodegenError(
+            f"definition {asm_def.name!r} has no BRAM mapping"
+        )
+    addr_bits = instr.attrs[0] if instr.attrs else body[0].attrs[0]
+    width = instr.ty.width
+    if (1 << addr_bits) * width > BRAM_CAPACITY_BITS:
+        raise CodegenError(
+            f"{instr.dst!r}: {1 << addr_bits} x {width} bits exceeds one "
+            "18Kb block RAM"
+        )
+    return {"ADDR_WIDTH": addr_bits, "WIDTH": width}
+
+
+class BramSynthesizer:
+    """Builds BRAM cells for one netlist."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+
+    def synth(
+        self,
+        instr: AsmInstr,
+        asm_def: AsmDef,
+        arg_bits: Dict[str, List[int]],
+        q_bits: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Create the BRAM cell for ``instr``; returns the read bits."""
+        params = configure_bram(instr, asm_def)
+        col, row = instr.loc.position()
+        addr, wdata, wen, enable = (arg_bits[arg] for arg in instr.args)
+        if q_bits is None:
+            q_bits = self.netlist.new_bits(instr.ty.width)
+        self.netlist.add_cell(
+            Cell(
+                kind=BRAM_KIND,
+                name=f"bram_{instr.dst}",
+                params=params,
+                inputs={
+                    "ADDR": addr,
+                    "DI": wdata,
+                    "WE": [wen[0]],
+                    "CE": [enable[0]],
+                },
+                outputs={"DO": q_bits},
+                loc=(Prim.BRAM, col, row),
+                bel="BRAM",
+            )
+        )
+        return q_bits

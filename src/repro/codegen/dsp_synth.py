@@ -1,0 +1,276 @@
+"""Configuring DSP slices for assembly instructions.
+
+Every DSP-bound assembly instruction becomes one ``DSP48E2`` cell.
+The configuration is derived from the instruction's target definition:
+the body's operations pick the ALU/multiplier mode, a trailing
+register enables ``PREG``, the result type's lanes pick the SIMD mode
+(``ONE48``/``TWO24``/``FOUR12``), and a ``_ci``/``_co``/``_cico`` name
+suffix wires the partial-sum input or result over the dedicated
+``PCIN``/``PCOUT`` cascade ports (Section 5.2).
+
+Operands are sign-extended into the DSP's lane fields by bit aliasing
+— replicating the lane's sign bit costs no logic, mirroring how real
+designs feed narrow operands to the 48-bit datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.ast import AsmInstr
+from repro.errors import CodegenError
+from repro.ir.ops import CompOp
+from repro.ir.semantics import reg_init_pattern
+from repro.ir.types import Ty
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.primitives import SIMD_LANES
+from repro.prims import Prim
+from repro.tdl.ast import AsmDef
+from repro.utils.bits import pack_lanes, to_unsigned
+
+DSP_WIDTH = 48
+
+
+@dataclass(frozen=True)
+class DspConfig:
+    """The distilled configuration of one DSP instruction."""
+
+    op: str                  # ADD | SUB | MUL | MULADD
+    use_simd: str            # ONE48 | TWO24 | FOUR12
+    preg: int                # 0 | 1
+    areg: int = 0            # input pipeline registers
+    breg: int = 0
+    creg: int = 0
+    cascade_in: bool = False
+    cascade_out: bool = False
+    init: int = 0            # P register initial value (PREG=1)
+
+
+def simd_mode(ty: Ty) -> str:
+    if ty.lanes == 1:
+        return "ONE48"
+    if ty.lanes == 2:
+        return "TWO24"
+    if ty.lanes == 4:
+        return "FOUR12"
+    raise CodegenError(f"no SIMD mode for {ty.lanes} lanes")
+
+
+def _body_ops(asm_def: AsmDef) -> List[CompOp]:
+    return [instr.op for instr in asm_def.body]  # type: ignore[union-attr]
+
+
+def configure(instr: AsmInstr, asm_def: AsmDef) -> DspConfig:
+    """Derive the DSP configuration for one instruction.
+
+    Body registers map onto the slice's pipeline registers: a register
+    whose operand is the ``a``/``b``/``c`` input becomes ``AREG``/
+    ``BREG``/``CREG``, and a register defining the output becomes
+    ``PREG``.  The remaining pure operations pick the ALU/multiplier
+    mode.
+    """
+    input_names = {port.name for port in asm_def.inputs}
+    input_regs = {"a": 0, "b": 0, "c": 0}
+    preg = 0
+    pure_ops: List[CompOp] = []
+    for body in asm_def.body:
+        if body.op is CompOp.REG:  # type: ignore[union-attr]
+            if body.dst == asm_def.output.name:
+                preg = 1
+            elif body.args[0] in input_names and body.args[0] in input_regs:
+                input_regs[body.args[0]] = 1
+            else:
+                raise CodegenError(
+                    f"definition {asm_def.name!r}: register {body.dst!r} "
+                    "maps to no DSP pipeline register"
+                )
+        else:
+            pure_ops.append(body.op)  # type: ignore[union-attr]
+    if any(input_regs.values()) and not preg:
+        raise CodegenError(
+            f"definition {asm_def.name!r}: DSP input registers require an "
+            "output register"
+        )
+
+    if pure_ops == [CompOp.MUL, CompOp.ADD]:
+        dsp_op = "MULADD"
+    elif pure_ops == [CompOp.MUL]:
+        dsp_op = "MUL"
+    elif pure_ops == [CompOp.ADD]:
+        dsp_op = "ADD"
+    elif pure_ops == [CompOp.SUB]:
+        dsp_op = "SUB"
+    else:
+        raise CodegenError(
+            f"definition {asm_def.name!r} has no DSP mapping "
+            f"(body ops: {[op.value for op in pure_ops]})"
+        )
+
+    mode = simd_mode(instr.ty)
+    if dsp_op in ("MUL", "MULADD") and mode != "ONE48":
+        raise CodegenError(f"{dsp_op} requires a scalar type, got {instr.ty}")
+
+    init = 0
+    if preg:
+        # The captured reg init, re-packed into the SIMD lane fields.
+        lane_values = _init_lane_values(instr, asm_def)
+        field_width = SIMD_LANES[mode][0]
+        init = pack_lanes(
+            [to_unsigned(v, field_width) for v in lane_values], field_width
+        )
+
+    return DspConfig(
+        op=dsp_op,
+        use_simd=mode,
+        preg=preg,
+        areg=input_regs["a"],
+        breg=input_regs["b"],
+        creg=input_regs["c"],
+        cascade_in=instr.op.endswith("_ci") or instr.op.endswith("_cico"),
+        cascade_out=instr.op.endswith("_co") or instr.op.endswith("_cico"),
+        init=init,
+    )
+
+
+def _init_lane_values(instr: AsmInstr, asm_def: AsmDef) -> List[int]:
+    """Signed per-lane initial values of the output (P) register.
+
+    The instruction's attrs parameterize the body in body order (see
+    :mod:`repro.asm.interp`); this picks out the attrs belonging to the
+    body instruction that defines the output.
+    """
+    width = instr.ty.lane_type().width
+    attr_stream = list(instr.attrs)
+    attrs: Tuple[int, ...] = ()
+    for body in asm_def.body:
+        needed = body.op.num_attrs  # type: ignore[union-attr]
+        if attr_stream and needed:
+            taken = tuple(attr_stream[:needed])
+            attr_stream = attr_stream[needed:]
+        else:
+            taken = body.attrs
+        if body.dst == asm_def.output.name:
+            attrs = taken
+    pattern = reg_init_pattern(attrs, instr.ty)
+    from repro.utils.bits import to_signed, unpack_lanes
+
+    return [
+        to_signed(lane, width)
+        for lane in unpack_lanes(pattern, width, instr.ty.lanes)
+    ]
+
+
+class DspSynthesizer:
+    """Builds DSP cells, handling lane packing and cascade wiring."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        # dst variable -> PCOUT bits of the producing DSP, for PCIN hookup.
+        self.pcout_of: Dict[str, List[int]] = {}
+
+    def _extend_into_fields(self, bits: List[int], ty: Ty, mode: str) -> List[int]:
+        """Sign-extend each lane into its SIMD field by aliasing."""
+        field_width = SIMD_LANES[mode][0]
+        lane_width = ty.lane_type().width
+        fields: List[int] = []
+        for lane in range(ty.lanes):
+            lane_bits = bits[lane * lane_width : (lane + 1) * lane_width]
+            sign = lane_bits[-1]
+            fields.extend(lane_bits)
+            fields.extend([sign] * (field_width - lane_width))
+        # Scalars narrower than 48 bits leave the remaining field bits
+        # at the final sign (ONE48 has one 48-bit field).
+        total = sum(SIMD_LANES[mode])
+        if len(fields) < total:
+            fields.extend([fields[-1]] * (total - len(fields)))
+        return fields
+
+    def _extract_result(self, p_bits: List[int], ty: Ty, mode: str) -> List[int]:
+        field_width = SIMD_LANES[mode][0]
+        lane_width = ty.lane_type().width
+        out: List[int] = []
+        for lane in range(ty.lanes):
+            base = lane * field_width
+            out.extend(p_bits[base : base + lane_width])
+        return out
+
+    def synth(
+        self,
+        instr: AsmInstr,
+        asm_def: AsmDef,
+        arg_bits: Dict[str, List[int]],
+        arg_types: Dict[str, Ty],
+        p_bits: Optional[List[int]] = None,
+        pcout_bits: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Create the DSP cell for ``instr``; returns the dst bits.
+
+        ``p_bits``/``pcout_bits`` are pre-allocated output buses for
+        registered (stateful) instructions.
+        """
+        config = configure(instr, asm_def)
+        col, row = instr.loc.position()
+
+        inputs: Dict[str, List[int]] = {}
+        port_map = {"a": "A", "b": "B", "c": "C"}
+        enable_bits: Optional[List[int]] = None
+        for port, arg in zip(asm_def.inputs, instr.args):
+            if port.name == "en":
+                enable_bits = arg_bits[arg]
+                continue
+            pin = port_map.get(port.name)
+            if pin is None:
+                raise CodegenError(
+                    f"definition {asm_def.name!r}: unknown DSP input "
+                    f"{port.name!r}"
+                )
+            if pin == "C" and config.cascade_in:
+                pcout = self.pcout_of.get(arg)
+                if pcout is None:
+                    raise CodegenError(
+                        f"{instr.dst!r}: cascade input {arg!r} is not "
+                        "produced by a cascade-out DSP"
+                    )
+                inputs["PCIN"] = pcout
+                continue
+            inputs[pin] = self._extend_into_fields(
+                arg_bits[arg], arg_types[arg], config.use_simd
+            )
+        if config.preg:
+            if enable_bits is None:
+                raise CodegenError(
+                    f"definition {asm_def.name!r}: registered DSP without "
+                    "an enable input"
+                )
+            inputs["CE"] = [enable_bits[0]]
+
+        if p_bits is None:
+            p_bits = self.netlist.new_bits(DSP_WIDTH)
+        if pcout_bits is None:
+            pcout_bits = self.netlist.new_bits(DSP_WIDTH)
+
+        params = {
+            "OP": config.op,
+            "USE_SIMD": config.use_simd,
+            "PREG": config.preg,
+            "AREG": config.areg,
+            "BREG": config.breg,
+            "CREG": config.creg,
+            "CASCADE_IN": "PCIN" if config.cascade_in else "NONE",
+            "INIT": config.init,
+        }
+        self.netlist.add_cell(
+            Cell(
+                kind="DSP48E2",
+                name=f"dsp_{instr.dst}",
+                params=params,
+                inputs=inputs,
+                outputs={"P": p_bits, "PCOUT": pcout_bits},
+                loc=(Prim.DSP, col, row),
+                bel="DSP",
+            )
+        )
+        if config.cascade_out:
+            self.pcout_of[instr.dst] = pcout_bits
+        return self._extract_result(p_bits, instr.ty, config.use_simd)

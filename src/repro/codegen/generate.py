@@ -1,0 +1,252 @@
+"""The code-generation driver: placed assembly function -> netlist.
+
+Wire instructions become pure bit aliasing (no cells); LUT-bound
+assembly instructions expand through their definition bodies into
+LUT/CARRY8/FDRE cells at their placed slice; DSP-bound instructions
+become configured DSP48E2 cells at their placed slice.  Stateful
+instructions (whose defining body operation is a register) have their
+outputs pre-allocated so feedback cycles resolve, mirroring the
+interpreter's schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
+from repro.asm.interp import expand_asm_instr
+from repro.codegen.bram_synth import BramSynthesizer
+from repro.codegen.dsp_synth import DSP_WIDTH, DspSynthesizer, simd_mode
+from repro.codegen.lut_synth import LutSynthesizer, SliceAllocator
+from repro.errors import CodegenError
+from repro.ir.ast import WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.semantics import eval_wire
+from repro.ir.types import Ty
+from repro.netlist.core import GND, Netlist, VCC
+from repro.netlist.primitives import SIMD_LANES
+from repro.prims import Prim
+from repro.tdl.ast import AsmDef, Target
+from repro.utils.names import NameGenerator
+
+
+def _breaks_cycle(asm_def: AsmDef) -> bool:
+    """True when the instruction's value is a register (or RAM read
+    port) output."""
+    return asm_def.root().op in (CompOp.REG, CompOp.RAM)
+
+
+def wire_bits(
+    instr: WireInstr,
+    arg_bits: List[List[int]],
+    arg_types: List[Ty],
+) -> List[int]:
+    """Bit aliasing for one wire instruction (no cells)."""
+    op = instr.op
+    ty = instr.ty
+    if op in (WireOp.SLL, WireOp.SRL, WireOp.SRA):
+        amount = instr.attrs[0]
+        width = ty.lane_type().width
+        bits = arg_bits[0]
+        out: List[int] = []
+        for lane in range(ty.lanes):
+            lane_bits = bits[lane * width : (lane + 1) * width]
+            if op is WireOp.SLL:
+                out.extend([GND] * amount + lane_bits[: width - amount])
+            elif op is WireOp.SRL:
+                out.extend(lane_bits[amount:] + [GND] * amount)
+            else:
+                out.extend(lane_bits[amount:] + [lane_bits[-1]] * amount)
+        return out
+    if op is WireOp.SLICE:
+        arg_ty = arg_types[0]
+        if arg_ty.is_vector:
+            lane = instr.attrs[0]
+            width = arg_ty.lane_type().width
+            return arg_bits[0][lane * width : (lane + 1) * width]
+        hi, lo = instr.attrs
+        return arg_bits[0][lo : hi + 1]
+    if op is WireOp.CAT:
+        out = []
+        for bits in arg_bits:
+            out.extend(bits)
+        return out
+    if op is WireOp.ID:
+        return list(arg_bits[0])
+    if op is WireOp.CONST:
+        pattern = eval_wire(op, ty, instr.attrs, [], [])
+        return [VCC if (pattern >> i) & 1 else GND for i in range(ty.width)]
+    raise CodegenError(f"unhandled wire op: {op}")  # pragma: no cover
+
+
+class CodeGenerator:
+    """Generates netlists for placed assembly functions of one target."""
+
+    def __init__(self, target: Target) -> None:
+        self.target = target
+
+    def _def_of(self, instr: AsmInstr) -> AsmDef:
+        asm_def = self.target.get(instr.op)
+        if asm_def is None:
+            raise CodegenError(
+                f"target {self.target.name!r} has no definition {instr.op!r}"
+            )
+        return asm_def
+
+    def _topo_order(self, func: AsmFunc) -> List[AsmOrWire]:
+        """Dependency order; register-output values break cycles."""
+        instrs = list(func.instrs)
+        producer: Dict[str, int] = {}
+        for index, instr in enumerate(instrs):
+            stateful = isinstance(instr, AsmInstr) and _breaks_cycle(
+                self._def_of(instr)
+            )
+            if not stateful:
+                producer[instr.dst] = index
+        dependents: List[List[int]] = [[] for _ in instrs]
+        in_degree = [0] * len(instrs)
+        for index, instr in enumerate(instrs):
+            for arg in instr.args:
+                source = producer.get(arg)
+                if source is not None:
+                    dependents[source].append(index)
+                    in_degree[index] += 1
+        ready = deque(i for i, d in enumerate(in_degree) if d == 0)
+        order: List[AsmOrWire] = []
+        while ready:
+            node = ready.popleft()
+            order.append(instrs[node])
+            for succ in dependents[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(instrs):
+            raise CodegenError("combinational cycle in assembly function")
+        return order
+
+    def generate(self, func: AsmFunc) -> Netlist:
+        """Generate the structural netlist for ``func``."""
+        if not func.is_placed:
+            raise CodegenError(
+                f"function {func.name!r} has unresolved locations; "
+                "run placement first"
+            )
+        netlist = Netlist(name=func.name)
+        types = func.defs()
+        env: Dict[str, List[int]] = {}
+        for port in func.inputs:
+            env[port.name] = netlist.add_input(port.name, port.ty.width)
+
+        lut_synth = LutSynthesizer(netlist, prefix=func.name)
+        dsp_synth = DspSynthesizer(netlist)
+        bram_synth = BramSynthesizer(netlist)
+
+        # Pre-allocate register outputs so feedback cycles resolve.
+        dsp_buses: Dict[str, List[int]] = {}
+        for instr in func.asm_instrs():
+            asm_def = self._def_of(instr)
+            if not _breaks_cycle(asm_def):
+                continue
+            if asm_def.prim is Prim.DSP:
+                p_bits = netlist.new_bits(DSP_WIDTH)
+                pcout_bits = netlist.new_bits(DSP_WIDTH)
+                dsp_buses[instr.dst] = p_bits
+                dsp_buses[instr.dst + "/PCOUT"] = pcout_bits
+                dsp_synth.pcout_of[instr.dst] = pcout_bits
+                mode = simd_mode(instr.ty)
+                field = SIMD_LANES[mode][0]
+                lane_width = instr.ty.lane_type().width
+                out: List[int] = []
+                for lane in range(instr.ty.lanes):
+                    base = lane * field
+                    out.extend(p_bits[base : base + lane_width])
+                env[instr.dst] = out
+            else:  # LUT register or BRAM read port
+                env[instr.dst] = netlist.new_bits(instr.ty.width)
+
+        for instr in self._topo_order(func):
+            if isinstance(instr, WireInstr):
+                arg_bits = [env[arg] for arg in instr.args]
+                arg_types = [types[arg] for arg in instr.args]
+                env[instr.dst] = wire_bits(instr, arg_bits, arg_types)
+                continue
+            asm_def = self._def_of(instr)
+            if asm_def.prim is Prim.DSP:
+                result = dsp_synth.synth(
+                    instr,
+                    asm_def,
+                    arg_bits={arg: env[arg] for arg in instr.args},
+                    arg_types={arg: types[arg] for arg in instr.args},
+                    p_bits=dsp_buses.get(instr.dst),
+                    pcout_bits=dsp_buses.get(instr.dst + "/PCOUT"),
+                )
+                if instr.dst not in env:
+                    env[instr.dst] = result
+            elif asm_def.prim is Prim.BRAM:
+                bram_synth.synth(
+                    instr,
+                    asm_def,
+                    arg_bits={arg: env[arg] for arg in instr.args},
+                    q_bits=env.get(instr.dst),
+                )
+            else:
+                self._synth_lut_instr(instr, asm_def, env, types, lut_synth)
+
+        for port in func.outputs:
+            netlist.add_output(port.name, env[port.name])
+        return netlist
+
+    def _synth_lut_instr(
+        self,
+        instr: AsmInstr,
+        asm_def: AsmDef,
+        env: Dict[str, List[int]],
+        types: Dict[str, Ty],
+        lut_synth: LutSynthesizer,
+    ) -> None:
+        col, row = instr.loc.position()
+        alloc = SliceAllocator(col, row)
+        names = NameGenerator(env, prefix=f"_{instr.dst}_g")
+        body = expand_asm_instr(instr, asm_def, names)
+        local: Dict[str, List[int]] = {}
+        local_types: Dict[str, Ty] = {}
+
+        def bits_of(name: str) -> List[int]:
+            if name in local:
+                return local[name]
+            return env[name]
+
+        def type_of(name: str) -> Ty:
+            if name in local_types:
+                return local_types[name]
+            return types[name]
+
+        preallocated = env.get(instr.dst)
+        for body_instr in body:
+            arg_bits = [bits_of(arg) for arg in body_instr.args]
+            out_bits: Optional[List[int]] = None
+            if body_instr.dst == instr.dst and preallocated is not None:
+                if body_instr.op is not CompOp.REG:
+                    raise CodegenError(
+                        f"{instr.dst!r}: pre-allocated output is not a "
+                        "register"
+                    )
+                out_bits = preallocated
+            result = lut_synth.synth_comp(
+                body_instr.op,
+                body_instr.ty,
+                body_instr.attrs,
+                arg_bits,
+                alloc,
+                out_bits=out_bits,
+            )
+            local[body_instr.dst] = result
+            local_types[body_instr.dst] = body_instr.ty
+        if preallocated is None:
+            env[instr.dst] = local[instr.dst]
+
+
+def generate_netlist(func: AsmFunc, target: Target) -> Netlist:
+    """One-shot netlist generation."""
+    return CodeGenerator(target).generate(func)

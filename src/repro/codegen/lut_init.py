@@ -1,0 +1,44 @@
+"""Computing LUT ``INIT`` truth-table masks.
+
+A k-input LUT's INIT parameter is a 2^k-bit constant; output bit
+``INIT[i]`` is the LUT's value when its inputs spell the index ``i``
+(``I0`` is the least significant index bit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def lut_init(num_inputs: int, fn: Callable[..., int]) -> int:
+    """Build an INIT mask for ``fn`` over ``num_inputs`` bits."""
+    init = 0
+    for index in range(1 << num_inputs):
+        bits = [(index >> position) & 1 for position in range(num_inputs)]
+        if fn(*bits) & 1:
+            init |= 1 << index
+    return init
+
+
+# Common two-input masks (I0, I1).
+INIT_AND2 = lut_init(2, lambda a, b: a & b)
+INIT_OR2 = lut_init(2, lambda a, b: a | b)
+INIT_XOR2 = lut_init(2, lambda a, b: a ^ b)
+INIT_XNOR2 = lut_init(2, lambda a, b: (a ^ b) ^ 1)
+INIT_NOT1 = lut_init(1, lambda a: a ^ 1)
+INIT_BUF1 = lut_init(1, lambda a: a)
+# Three-input mux: I0 = select, I1 = taken when select=1, I2 otherwise.
+INIT_MUX3 = lut_init(3, lambda sel, a, b: a if sel else b)
+# Signed-less-than combiner over (O_msb, CO_msb, CO_msb-1): N ^ V.
+INIT_LT3 = lut_init(3, lambda n, c_out, c_in: n ^ c_out ^ c_in)
+INIT_GE3 = lut_init(3, lambda n, c_out, c_in: (n ^ c_out ^ c_in) ^ 1)
+
+
+def and_reduce_init(num_inputs: int) -> int:
+    """INIT for an AND of ``num_inputs`` inputs."""
+    return lut_init(num_inputs, lambda *bits: int(all(bits)))
+
+
+def and_reduce_not_init(num_inputs: int) -> int:
+    """INIT for a NAND of ``num_inputs`` inputs."""
+    return lut_init(num_inputs, lambda *bits: int(not all(bits)))

@@ -1,0 +1,376 @@
+"""Bit-level synthesis of compute operations onto the LUT fabric.
+
+Each IR compute operation expands to primitives: one LUT per bit for
+bitwise logic and muxes, LUT-propagate + CARRY8 chains for arithmetic
+and ordered comparisons, XNOR trees for equality, FDREs for registers,
+and a shift-add array for multiplication.  Every cell is stamped with
+the owning instruction's placed slice coordinate; a slice allocator
+assigns BELs (``A6LUT``..``H6LUT``, ``AFF``..``HFF``) and advances to
+the next row when a slice fills up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codegen.lut_init import (
+    INIT_AND2,
+    INIT_LT3,
+    INIT_GE3,
+    INIT_MUX3,
+    INIT_NOT1,
+    INIT_OR2,
+    INIT_XNOR2,
+    INIT_XOR2,
+    and_reduce_init,
+    and_reduce_not_init,
+)
+from repro.errors import CodegenError
+from repro.ir.ops import CompOp
+from repro.ir.semantics import reg_init_pattern
+from repro.ir.types import Ty
+from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.prims import Prim
+
+_BEL_LETTERS = "ABCDEFGH"
+
+
+class SliceAllocator:
+    """Assigns BELs within the slices an instruction occupies.
+
+    The slice at ``(column, row)`` hosts eight LUTs, eight FFs, and one
+    CARRY8; when a resource class runs out the allocator moves up one
+    row (placement sized the span from the instruction's TDL area, so
+    overflow rows stay within or adjacent to the reserved footprint).
+    """
+
+    def __init__(self, column: int, row: int) -> None:
+        self.column = column
+        self.row = row
+        self._luts = 0
+        self._ffs = 0
+        self._carries = 0
+
+    def next_lut(self) -> Tuple[Tuple[Prim, int, int], str]:
+        row = self.row + self._luts // 8
+        bel = _BEL_LETTERS[self._luts % 8] + "6LUT"
+        self._luts += 1
+        return ((Prim.LUT, self.column, row), bel)
+
+    def next_ff(self) -> Tuple[Tuple[Prim, int, int], str]:
+        row = self.row + self._ffs // 8
+        bel = _BEL_LETTERS[self._ffs % 8] + "FF"
+        self._ffs += 1
+        return ((Prim.LUT, self.column, row), bel)
+
+    def next_carry(self) -> Tuple[Tuple[Prim, int, int], str]:
+        row = self.row + self._carries
+        self._carries += 1
+        return ((Prim.LUT, self.column, row), "CARRY8")
+
+
+class UnplacedAllocator(SliceAllocator):
+    """An allocator that leaves cells unplaced.
+
+    Used by the vendor-toolchain simulator, whose synthesis runs before
+    placement: cells get their coordinates later, from the annealer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(0, 0)
+
+    def next_lut(self) -> Tuple[None, None]:  # type: ignore[override]
+        return (None, None)
+
+    def next_ff(self) -> Tuple[None, None]:  # type: ignore[override]
+        return (None, None)
+
+    def next_carry(self) -> Tuple[None, None]:  # type: ignore[override]
+        return (None, None)
+
+
+class LutSynthesizer:
+    """Synthesizes compute operations into one netlist."""
+
+    def __init__(self, netlist: Netlist, prefix: str) -> None:
+        self.netlist = netlist
+        self.prefix = prefix
+        self._counter = 0
+
+    def _name(self, kind: str) -> str:
+        self._counter += 1
+        return f"{self.prefix}_{kind}{self._counter}"
+
+    def _lut(
+        self,
+        init: int,
+        inputs: Sequence[int],
+        alloc: SliceAllocator,
+        out_bit: Optional[int] = None,
+    ) -> int:
+        if out_bit is None:
+            out_bit = self.netlist.new_bits(1)[0]
+        loc, bel = alloc.next_lut()
+        self.netlist.add_cell(
+            Cell(
+                kind=f"LUT{len(inputs)}",
+                name=self._name("lut"),
+                params={"INIT": init},
+                inputs={f"I{i}": [bit] for i, bit in enumerate(inputs)},
+                outputs={"O": [out_bit]},
+                loc=loc,
+                bel=bel,
+            )
+        )
+        return out_bit
+
+    def _fdre(
+        self,
+        d_bit: int,
+        ce_bit: int,
+        init: int,
+        alloc: SliceAllocator,
+        out_bit: Optional[int] = None,
+    ) -> int:
+        if out_bit is None:
+            out_bit = self.netlist.new_bits(1)[0]
+        loc, bel = alloc.next_ff()
+        self.netlist.add_cell(
+            Cell(
+                kind="FDRE",
+                name=self._name("ff"),
+                params={"INIT": init},
+                inputs={"D": [d_bit], "CE": [ce_bit]},
+                outputs={"Q": [out_bit]},
+                loc=loc,
+                bel=bel,
+            )
+        )
+        return out_bit
+
+    def _carry_chains(
+        self,
+        s_bits: List[int],
+        di_bits: List[int],
+        carry_in: int,
+        alloc: SliceAllocator,
+    ) -> Tuple[List[int], List[int]]:
+        """Chain CARRY8 blocks over the given propagate/generate bits.
+
+        Returns (sum bits, carry bits), both one per input bit.
+        """
+        width = len(s_bits)
+        o_bits: List[int] = []
+        co_bits: List[int] = []
+        ci = carry_in
+        for base in range(0, width, 8):
+            chunk_s = s_bits[base : base + 8]
+            chunk_di = di_bits[base : base + 8]
+            pad = 8 - len(chunk_s)
+            chunk_s = chunk_s + [GND] * pad
+            chunk_di = chunk_di + [GND] * pad
+            o_chunk = self.netlist.new_bits(8)
+            co_chunk = self.netlist.new_bits(8)
+            loc, bel = alloc.next_carry()
+            self.netlist.add_cell(
+                Cell(
+                    kind="CARRY8",
+                    name=self._name("carry"),
+                    inputs={"S": chunk_s, "DI": chunk_di, "CI": [ci]},
+                    outputs={"O": o_chunk, "CO": co_chunk},
+                    loc=loc,
+                    bel=bel,
+                )
+            )
+            take = min(8, width - base)
+            o_bits.extend(o_chunk[:take])
+            co_bits.extend(co_chunk[:take])
+            ci = co_chunk[7]
+        return o_bits, co_bits
+
+    # -- per-operation synthesis ----------------------------------------
+
+    def _bitwise(
+        self, init: int, a_bits: List[int], b_bits: List[int], alloc: SliceAllocator
+    ) -> List[int]:
+        return [
+            self._lut(init, [a, b], alloc) for a, b in zip(a_bits, b_bits)
+        ]
+
+    def _addsub_lane(
+        self,
+        op: CompOp,
+        a_bits: List[int],
+        b_bits: List[int],
+        alloc: SliceAllocator,
+    ) -> Tuple[List[int], List[int]]:
+        """One lane of add/sub: (sum bits, carry bits)."""
+        if op is CompOp.ADD:
+            s_init, carry_in = INIT_XOR2, GND
+        else:
+            s_init, carry_in = INIT_XNOR2, VCC
+        s_bits = self._bitwise(s_init, a_bits, b_bits, alloc)
+        return self._carry_chains(s_bits, a_bits, carry_in, alloc)
+
+    def _addsub(
+        self,
+        op: CompOp,
+        ty: Ty,
+        a_bits: List[int],
+        b_bits: List[int],
+        alloc: SliceAllocator,
+    ) -> List[int]:
+        lane_width = ty.lane_type().width
+        out: List[int] = []
+        for lane in range(ty.lanes):
+            lo = lane * lane_width
+            hi = lo + lane_width
+            sums, _ = self._addsub_lane(
+                op, a_bits[lo:hi], b_bits[lo:hi], alloc
+            )
+            out.extend(sums)
+        return out
+
+    def _and_reduce(self, bits: List[int], alloc: SliceAllocator, invert: bool) -> int:
+        """AND (or NAND at the final level) reduce a list of bits."""
+        current = list(bits)
+        while True:
+            if len(current) == 1 and not invert:
+                return current[0]
+            next_level: List[int] = []
+            for base in range(0, len(current), 6):
+                group = current[base : base + 6]
+                last_group = len(current) <= 6
+                if last_group and invert:
+                    init = and_reduce_not_init(len(group))
+                else:
+                    init = and_reduce_init(len(group))
+                if len(group) == 1 and not (last_group and invert):
+                    next_level.append(group[0])
+                else:
+                    next_level.append(self._lut(init, group, alloc))
+            if len(current) <= 6:
+                return next_level[0]
+            current = next_level
+
+    def _equality(
+        self,
+        op: CompOp,
+        a_bits: List[int],
+        b_bits: List[int],
+        alloc: SliceAllocator,
+    ) -> List[int]:
+        same = self._bitwise(INIT_XNOR2, a_bits, b_bits, alloc)
+        return [self._and_reduce(same, alloc, invert=(op is CompOp.NEQ))]
+
+    def _less_than(
+        self,
+        a_bits: List[int],
+        b_bits: List[int],
+        alloc: SliceAllocator,
+        invert: bool,
+    ) -> int:
+        """Signed a < b via a subtract chain: result = N ^ V."""
+        width = len(a_bits)
+        if width < 2:
+            raise CodegenError("ordered comparison needs width >= 2")
+        sums, carries = self._addsub_lane(CompOp.SUB, a_bits, b_bits, alloc)
+        init = INIT_GE3 if invert else INIT_LT3
+        return self._lut(
+            init, [sums[width - 1], carries[width - 1], carries[width - 2]], alloc
+        )
+
+    def _compare(
+        self,
+        op: CompOp,
+        a_bits: List[int],
+        b_bits: List[int],
+        alloc: SliceAllocator,
+    ) -> List[int]:
+        if op in (CompOp.EQ, CompOp.NEQ):
+            return self._equality(op, a_bits, b_bits, alloc)
+        if op is CompOp.LT:
+            return [self._less_than(a_bits, b_bits, alloc, invert=False)]
+        if op is CompOp.GT:
+            return [self._less_than(b_bits, a_bits, alloc, invert=False)]
+        if op is CompOp.GE:
+            return [self._less_than(a_bits, b_bits, alloc, invert=True)]
+        if op is CompOp.LE:
+            return [self._less_than(b_bits, a_bits, alloc, invert=True)]
+        raise CodegenError(f"not a comparison: {op}")  # pragma: no cover
+
+    def _multiply(
+        self, a_bits: List[int], b_bits: List[int], alloc: SliceAllocator
+    ) -> List[int]:
+        """Schoolbook multiply, truncated to the operand width."""
+        width = len(a_bits)
+        # Partial product 0: a & b0.
+        acc = [
+            self._lut(INIT_AND2, [a_bits[i], b_bits[0]], alloc)
+            for i in range(width)
+        ]
+        for j in range(1, width):
+            # acc[j:] += a[:width-j] & b[j]
+            pp = [
+                self._lut(INIT_AND2, [a_bits[i], b_bits[j]], alloc)
+                for i in range(width - j)
+            ]
+            high, _ = self._addsub_lane(CompOp.ADD, acc[j:], pp, alloc)
+            acc = acc[:j] + high
+        return acc
+
+    def synth_comp(
+        self,
+        op: CompOp,
+        ty: Ty,
+        attrs: Sequence[int],
+        arg_bits: List[List[int]],
+        alloc: SliceAllocator,
+        out_bits: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Synthesize one compute operation; returns the result bits.
+
+        ``out_bits``, when given, receive the result (used for
+        pre-allocated register outputs).
+        """
+        if op is CompOp.REG:
+            init = reg_init_pattern(attrs, ty)
+            data, enable = arg_bits
+            if out_bits is None:
+                out_bits = self.netlist.new_bits(ty.width)
+            for index, (d_bit, q_bit) in enumerate(zip(data, out_bits)):
+                self._fdre(
+                    d_bit, enable[0], (init >> index) & 1, alloc, out_bit=q_bit
+                )
+            return out_bits
+
+        if op in (CompOp.ADD, CompOp.SUB):
+            result = self._addsub(op, ty, arg_bits[0], arg_bits[1], alloc)
+        elif op is CompOp.MUL:
+            if ty.is_vector:
+                raise CodegenError("vector multiply is not supported on LUTs")
+            result = self._multiply(arg_bits[0], arg_bits[1], alloc)
+        elif op is CompOp.NOT:
+            result = [self._lut(INIT_NOT1, [bit], alloc) for bit in arg_bits[0]]
+        elif op is CompOp.AND:
+            result = self._bitwise(INIT_AND2, arg_bits[0], arg_bits[1], alloc)
+        elif op is CompOp.OR:
+            result = self._bitwise(INIT_OR2, arg_bits[0], arg_bits[1], alloc)
+        elif op is CompOp.XOR:
+            result = self._bitwise(INIT_XOR2, arg_bits[0], arg_bits[1], alloc)
+        elif op.is_comparison:
+            result = self._compare(op, arg_bits[0], arg_bits[1], alloc)
+        elif op is CompOp.MUX:
+            cond = arg_bits[0][0]
+            result = [
+                self._lut(INIT_MUX3, [cond, a, b], alloc)
+                for a, b in zip(arg_bits[1], arg_bits[2])
+            ]
+        else:  # pragma: no cover - exhaustive
+            raise CodegenError(f"unhandled compute op: {op}")
+
+        if out_bits is not None:
+            raise CodegenError(
+                "pre-allocated outputs are only supported for registers"
+            )
+        return result

@@ -1,0 +1,131 @@
+"""Emission of structural Verilog (with layout attributes) from netlists.
+
+Produces the paper's Figure 2c form: primitive instantiations carrying
+``(* LOC = "...", BEL = "..." *)`` placement attributes, ready to hand
+to a routing/bitgen back end.  Each cell output pin becomes a named
+wire; wire-operation aliasing shows up as plain bit selects and
+concatenations, consuming no logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import CodegenError
+from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.prims import Prim
+from repro.verilog.ast import (
+    Assign,
+    Attribute,
+    Concat,
+    Expr,
+    Index,
+    Instance,
+    IntLit,
+    Item,
+    Module,
+    Port,
+    Ref,
+    WireDecl,
+)
+from repro.verilog.printer import print_module
+
+CLOCK = "clock"
+
+
+def _loc_attr(cell: Cell) -> List[Attribute]:
+    if cell.loc is None:
+        return []
+    prim, col, row = cell.loc
+    if prim is Prim.DSP:
+        loc = f"DSP48E2_X{col}Y{row}"
+    elif prim is Prim.BRAM:
+        loc = f"RAMB18_X{col}Y{row}"
+    else:
+        loc = f"SLICE_X{col}Y{row}"
+    attrs = [Attribute("LOC", loc)]
+    if cell.bel and cell.bel not in ("DSP", "BRAM"):
+        attrs.append(Attribute("BEL", cell.bel))
+    return attrs
+
+
+def _sanitize(name: str) -> str:
+    return name.replace("/", "_").replace(".", "_")
+
+
+def netlist_to_verilog(netlist: Netlist) -> Module:
+    """Convert a netlist into a structural Verilog module."""
+    bit_expr: Dict[int, Expr] = {
+        GND: IntLit(0, 1),
+        VCC: IntLit(1, 1),
+    }
+    for name, bits in netlist.inputs:
+        for index, bit in enumerate(bits):
+            bit_expr[bit] = (
+                Index(Ref(name), index) if len(bits) > 1 else Ref(name)
+            )
+
+    items: List[Item] = []
+    for cell in netlist.cells:
+        for pin, bits in cell.outputs.items():
+            wire_name = _sanitize(f"{cell.name}_{pin}")
+            items.append(WireDecl(wire_name, len(bits)))
+            for index, bit in enumerate(bits):
+                if bit in bit_expr:
+                    raise CodegenError(f"bit {bit} has two drivers")
+                bit_expr[bit] = (
+                    Index(Ref(wire_name), index)
+                    if len(bits) > 1
+                    else Ref(wire_name)
+                )
+
+    def bus_expr(bits: List[int]) -> Expr:
+        exprs = [bit_expr[bit] for bit in bits]
+        if len(exprs) == 1:
+            return exprs[0]
+        return Concat(tuple(reversed(exprs)))  # Verilog is MSB-first
+
+    for cell in netlist.cells:
+        connections: List[Tuple[str, Expr]] = []
+        for pin, bits in cell.inputs.items():
+            connections.append((pin, bus_expr(bits)))
+        for pin, bits in cell.outputs.items():
+            connections.append((pin, Ref(_sanitize(f"{cell.name}_{pin}"))))
+        if cell.kind == "FDRE":
+            connections.append(("C", Ref(CLOCK)))
+        elif cell.kind in ("DSP48E2", "RAMB18E2"):
+            connections.append(("CLK", Ref(CLOCK)))
+        params: List[Tuple[str, object]] = []
+        for name, value in cell.params.items():
+            if name == "INIT" and cell.kind.startswith("LUT"):
+                width = 1 << len(cell.inputs)
+                params.append((name, IntLit(int(value), width)))
+            else:
+                params.append((name, value))
+        items.append(
+            Instance(
+                module=cell.kind,
+                name=_sanitize(cell.name),
+                params=tuple(params),  # type: ignore[arg-type]
+                connections=tuple(connections),
+                attributes=tuple(_loc_attr(cell)),
+            )
+        )
+
+    ports: List[Port] = [Port("input", CLOCK, 1)]
+    for name, bits in netlist.inputs:
+        ports.append(Port("input", name, len(bits)))
+    for name, bits in netlist.outputs:
+        ports.append(Port("output", name, len(bits)))
+        items.append(Assign(Ref(name), bus_expr(bits)))
+
+    return Module(
+        name=netlist.name,
+        ports=tuple(ports),
+        items=tuple(items),
+    )
+
+
+def generate_verilog(netlist: Netlist) -> str:
+    """Render a netlist as structural Verilog text."""
+    return print_module(netlist_to_verilog(netlist))

@@ -1,0 +1,110 @@
+"""The end-to-end Reticle compiler (paper Figure 7).
+
+Chains the pipeline stages — instruction selection, layout
+optimization (cascading), instruction placement, and code generation —
+and reports wall-clock compile time, so the benchmark harness can
+score it against the vendor-toolchain simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.ast import Prog
+
+from repro.asm.ast import AsmFunc
+from repro.codegen.generate import generate_netlist
+from repro.codegen.verilog_emit import generate_verilog
+from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
+from repro.ir.ast import Func
+from repro.layout.cascade import apply_cascading
+from repro.netlist.core import Netlist
+from repro.place.device import Device, xczu3eg
+from repro.place.placer import Placer
+from repro.tdl.ast import Target
+from repro.tdl.ultrascale import ultrascale_target
+
+
+@dataclass
+class ReticleResult:
+    """The output of one compile: every intermediate plus timing."""
+
+    source: Func
+    selected: AsmFunc
+    cascaded: AsmFunc
+    placed: AsmFunc
+    netlist: Netlist
+    seconds: float
+
+    def verilog(self) -> str:
+        """The final structural Verilog with layout annotations."""
+        return generate_verilog(self.netlist)
+
+
+class ReticleCompiler:
+    """Reusable compiler for one target/device pair."""
+
+    def __init__(
+        self,
+        target: Optional[Target] = None,
+        device: Optional[Device] = None,
+        dsp_weight: float = DEFAULT_DSP_WEIGHT,
+        shrink: bool = True,
+        cascade: bool = True,
+        optimize: bool = False,
+        auto_vectorize: bool = False,
+    ) -> None:
+        self.target = target if target is not None else ultrascale_target()
+        self.device = device if device is not None else xczu3eg()
+        self.selector = Selector(target=self.target, dsp_weight=dsp_weight)
+        self.placer = Placer(
+            target=self.target, device=self.device, shrink=shrink
+        )
+        self.cascade = cascade
+        self.optimize = optimize
+        self.auto_vectorize = auto_vectorize
+
+    def compile(self, func: Func) -> ReticleResult:
+        """Run the full pipeline on one IR function."""
+        start = time.perf_counter()
+        if self.optimize:
+            from repro.ir.optimize import optimize_func
+
+            func = optimize_func(func)
+        if self.auto_vectorize:
+            from repro.ir.vectorize import vectorize_func
+
+            func = vectorize_func(func).func
+        selected = self.selector.select(func)
+        cascaded = (
+            apply_cascading(selected, self.target) if self.cascade else selected
+        )
+        placed = self.placer.place(cascaded)
+        netlist = generate_netlist(placed, self.target)
+        seconds = time.perf_counter() - start
+        return ReticleResult(
+            source=func,
+            selected=selected,
+            cascaded=cascaded,
+            placed=placed,
+            netlist=netlist,
+            seconds=seconds,
+        )
+
+
+    def compile_prog(self, prog: "Prog") -> Dict[str, ReticleResult]:
+        """Compile every function of a program; keyed by name."""
+        return {func.name: self.compile(func) for func in prog}
+
+
+def compile_func(func: Func, **kwargs) -> ReticleResult:
+    """One-shot compilation with default target and device."""
+    return ReticleCompiler(**kwargs).compile(func)
+
+
+def compile_prog(prog: "Prog", **kwargs) -> Dict[str, ReticleResult]:
+    """One-shot compilation of a whole program."""
+    return ReticleCompiler(**kwargs).compile_prog(prog)

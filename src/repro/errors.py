@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Reticle reproduction.
+
+Every failure mode in the toolchain raises a dedicated subclass of
+:class:`ReticleError`, so callers can distinguish (and tests can pin)
+parse errors from type errors from placement failures, mirroring the
+paper's emphasis on *rejecting* bad programs instead of silently
+ignoring them (Sections 3 and 6.1).
+"""
+
+from __future__ import annotations
+
+
+class ReticleError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceError(ReticleError):
+    """An error attached to a position in a source text."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        if line:
+            super().__init__(f"{message} (line {line}, col {col})")
+        else:
+            super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised by the lexer on an unrecognised character."""
+
+
+class ParseError(SourceError):
+    """Raised by any of the parsers (IR, ASM, TDL) on malformed syntax."""
+
+
+class TypeCheckError(ReticleError):
+    """Raised when a program violates the typing rules."""
+
+
+class WellFormednessError(ReticleError):
+    """Raised for ill-formed programs, e.g. combinational cycles (§6.1)."""
+
+
+class InterpError(ReticleError):
+    """Raised by the reference interpreter on bad traces or values."""
+
+
+class TargetError(ReticleError):
+    """Raised for malformed or inconsistent target descriptions."""
+
+
+class SelectionError(ReticleError):
+    """Raised when instruction selection cannot cover a program."""
+
+
+class LayoutError(ReticleError):
+    """Raised by layout optimization passes."""
+
+
+class PlacementError(ReticleError):
+    """Raised when no valid placement exists for a program on a device."""
+
+
+class CodegenError(ReticleError):
+    """Raised during structural Verilog generation."""
+
+
+class SimulationError(ReticleError):
+    """Raised by the structural netlist simulator."""
+
+
+class VendorError(ReticleError):
+    """Raised by the vendor-toolchain simulator."""

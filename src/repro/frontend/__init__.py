@@ -1,0 +1,25 @@
+"""Benchmark program generators and behavioral-baseline emitters.
+
+These are the "front-end tools" of the paper's Section 8: they build
+Reticle IR programs for the evaluation's three benchmarks —
+``tensoradd`` (vectorization), ``tensordot`` (fused operations and
+cascading), and ``fsm`` (control) — plus the scalar baseline variants
+the vendor toolchain consumes, and a behavioral-Verilog emitter for
+inspecting what those baselines look like as HDL text.
+"""
+
+from repro.frontend.tensor import (
+    tensoradd_vector,
+    tensoradd_scalar,
+    tensordot,
+)
+from repro.frontend.fsm import fsm
+from repro.frontend.behavioral import emit_behavioral_verilog
+
+__all__ = [
+    "tensoradd_vector",
+    "tensoradd_scalar",
+    "tensordot",
+    "fsm",
+    "emit_behavioral_verilog",
+]

@@ -1,0 +1,171 @@
+"""Behavioral-Verilog emission for the baseline programs.
+
+The paper generates its Vivado baselines "by transforming Reticle
+programs using translation backends that emit code resembling
+standard behavioral Verilog" (Section 7).  This backend renders an IR
+function as behavioral Verilog text — continuous assignments for pure
+operations, a clocked block for registers, and the ``use_dsp``
+module attribute in hint mode — so the baselines are inspectable as
+the HDL a vendor tool would consume.  (The vendor-toolchain simulator
+itself consumes the IR directly; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CodegenError
+from repro.ir.ast import CompInstr, Func, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.scalarize import scalarize_func
+from repro.ir.semantics import eval_wire, reg_init_pattern
+from repro.ir.types import Ty
+from repro.verilog.ast import (
+    AlwaysFF,
+    Assign,
+    Attribute,
+    Binary,
+    Concat,
+    Expr,
+    IntLit,
+    Item,
+    Module,
+    NonBlocking,
+    Port,
+    Ref,
+    RegDecl,
+    Slice,
+    Ternary,
+    Unary,
+    WireDecl,
+)
+from repro.verilog.printer import print_module
+
+_BIN_OPS = {
+    CompOp.ADD: "+",
+    CompOp.SUB: "-",
+    CompOp.MUL: "*",
+    CompOp.AND: "&",
+    CompOp.OR: "|",
+    CompOp.XOR: "^",
+}
+_CMP_OPS = {
+    CompOp.EQ: "==",
+    CompOp.NEQ: "!=",
+    CompOp.LT: "<",
+    CompOp.GT: ">",
+    CompOp.LE: "<=",
+    CompOp.GE: ">=",
+}
+
+
+def _signed(expr: Expr) -> Expr:
+    return Unary("$signed", expr)
+
+
+def _comp_expr(instr: CompInstr, types: Dict[str, Ty]) -> Expr:
+    op = instr.op
+    if op in _BIN_OPS:
+        # Arithmetic wraps modulo the bus width, so signedness is
+        # immaterial for +, -, *, and the bitwise operators.
+        return Binary(_BIN_OPS[op], Ref(instr.args[0]), Ref(instr.args[1]))
+    if op in _CMP_OPS:
+        left, right = (Ref(arg) for arg in instr.args)
+        if types[instr.args[0]].is_signed:
+            left, right = _signed(left), _signed(right)
+        return Binary(_CMP_OPS[op], left, right)
+    if op is CompOp.NOT:
+        return Unary("~", Ref(instr.args[0]))
+    if op is CompOp.MUX:
+        return Ternary(
+            Ref(instr.args[0]), Ref(instr.args[1]), Ref(instr.args[2])
+        )
+    raise CodegenError(f"cannot emit {op} behaviorally")  # pragma: no cover
+
+
+def _wire_expr(instr: WireInstr, types: Dict[str, Ty]) -> Expr:
+    op = instr.op
+    width = instr.ty.width
+    if op is WireOp.CONST:
+        pattern = eval_wire(op, instr.ty, instr.attrs, [], [])
+        return IntLit(pattern, width)
+    if op is WireOp.ID:
+        return Ref(instr.args[0])
+    if op is WireOp.SLL:
+        return Binary("<<", Ref(instr.args[0]), IntLit(instr.attrs[0]))
+    if op is WireOp.SRL:
+        return Binary(">>", Ref(instr.args[0]), IntLit(instr.attrs[0]))
+    if op is WireOp.SRA:
+        return Binary(">>>", _signed(Ref(instr.args[0])), IntLit(instr.attrs[0]))
+    if op is WireOp.SLICE:
+        arg_ty = types[instr.args[0]]
+        if arg_ty.is_vector:
+            lane = instr.attrs[0]
+            lane_width = arg_ty.lane_type().width
+            return Slice(
+                Ref(instr.args[0]),
+                (lane + 1) * lane_width - 1,
+                lane * lane_width,
+            )
+        hi, lo = instr.attrs
+        return Slice(Ref(instr.args[0]), hi, lo)
+    if op is WireOp.CAT:
+        return Concat(tuple(Ref(arg) for arg in reversed(instr.args)))
+    raise CodegenError(f"cannot emit {op} behaviorally")  # pragma: no cover
+
+
+def behavioral_module(func: Func, use_dsp_attr: bool = False) -> Module:
+    """Render an IR function as a behavioral Verilog module."""
+    func = scalarize_func(func)
+    types = func.defs()
+    output_names = set(func.output_names())
+
+    reg_outputs = set()
+    items: List[Item] = []
+    clocked: List[NonBlocking] = []
+    for instr in func.instrs:
+        is_output = instr.dst in output_names
+        if isinstance(instr, CompInstr) and instr.op is CompOp.REG:
+            init = reg_init_pattern(instr.attrs, instr.ty)
+            if is_output:
+                reg_outputs.add(instr.dst)  # declared as `output reg`
+            else:
+                items.append(RegDecl(instr.dst, instr.ty.width, init=init))
+            clocked.append(
+                NonBlocking(
+                    lhs=Ref(instr.dst),
+                    rhs=Ref(instr.args[0]),
+                    cond=Ref(instr.args[1]),
+                )
+            )
+            continue
+        if not is_output:
+            items.append(WireDecl(instr.dst, instr.ty.width))
+        if isinstance(instr, CompInstr):
+            expr = _comp_expr(instr, types)
+        else:
+            expr = _wire_expr(instr, types)
+        items.append(Assign(Ref(instr.dst), expr))
+    if clocked:
+        items.append(AlwaysFF(clock="clock", body=tuple(clocked)))
+
+    ports: List[Port] = [Port("input", "clock", 1)]
+    for port in func.inputs:
+        ports.append(Port("input", port.name, port.ty.width))
+    for port in func.outputs:
+        ports.append(
+            Port("output", port.name, port.ty.width, reg=port.name in reg_outputs)
+        )
+
+    attributes = (
+        (Attribute("use_dsp", "yes"),) if use_dsp_attr else ()
+    )
+    return Module(
+        name=func.name, ports=tuple(ports), items=tuple(items),
+        attributes=attributes,
+    )
+
+
+def emit_behavioral_verilog(func: Func, use_dsp_attr: bool = False) -> str:
+    """Behavioral Verilog text for an IR function."""
+    return print_module(behavioral_module(func, use_dsp_attr))

@@ -1,0 +1,50 @@
+"""The coroutine finite-state-machine benchmark (paper Section 7.1).
+
+A hardware coroutine that ranges over ``states`` states based on input
+values: in state ``s`` it advances (wrapping) when the input equals
+``s``, otherwise it holds.  Conditional branching needs multiplexing
+(``mux``), which only LUT logic implements — the benchmark
+demonstrates that control-oriented programs map (only) to LUTs, and
+that vendor logic optimization beats Reticle's direct mapping there
+(Section 7.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReticleError
+from repro.ir.ast import Func
+from repro.ir.builder import FuncBuilder
+
+STATE_WIDTH = 4  # up to 16 states
+
+
+def fsm(states: int, name: str = "fsm") -> Func:
+    """Build the coroutine FSM over ``states`` states.
+
+    Ports: ``inp`` (the coroutine's resume argument), ``en`` (clock
+    enable); outputs the current state and a ``done`` flag raised in
+    the final state.
+    """
+    if not 2 <= states <= (1 << STATE_WIDTH):
+        raise ReticleError(f"states must be in [2, 16], got {states}")
+    ty = f"i{STATE_WIDTH}"
+    fb = FuncBuilder(name, inputs=[("inp", ty), ("en", "bool")])
+    state = fb.declare("state", ty)
+
+    # One decode rung per state: in state s with inp == s, advance to
+    # (s + 1) mod states; the rungs chain through muxes.
+    consts = [fb.const(s, ty) for s in range(states)]
+    next_state = state
+    for s in range(states):
+        here = fb.eq(state, consts[s])
+        hit = fb.eq("inp", consts[s])
+        go = fb.and_(here, hit)
+        target = consts[(s + 1) % states]
+        step = fb.mux(go, target, next_state)
+        next_state = step
+
+    fb.reg(next_state, "en", init=0, dst="state")
+    fb.id_(state, dst="out")
+    done = fb.eq(state, consts[states - 1])
+    fb.id_(done, dst="done")
+    return fb.build(outputs=[("out", ty), ("done", "bool")])

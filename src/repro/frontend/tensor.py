@@ -1,0 +1,99 @@
+"""Linear-algebra benchmark generators (paper Section 7.1).
+
+``tensoradd`` is an element-wise sum over one-dimensional tensors,
+"pipelined with register instructions to get the best possible
+performance available in DSP primitives"; the Reticle version uses
+vector types so selection picks SIMD DSP configurations, while the
+scalar variant is what the behavioral baselines see (a loop of scalar
+adds, Figure 3).  ``tensordot`` is systolic arrays of multiply-add
+chains whose accumulation spine the layout optimizer cascades.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReticleError
+from repro.ir.ast import Func, Res
+from repro.ir.builder import FuncBuilder
+from repro.ir.ops import CompOp
+
+
+def tensoradd_vector(
+    size: int, lanes: int = 4, width: int = 8, name: str = "tensoradd"
+) -> Func:
+    """The Reticle tensoradd: pipelined, vectorized element-wise add.
+
+    ``size`` scalar elements are carried as ``size/lanes`` vector
+    values; each column is input-registered, added, and output-
+    registered, which the selector fuses into one fully pipelined SIMD
+    DSP per column.
+    """
+    if size % lanes:
+        raise ReticleError(f"size {size} is not a multiple of {lanes} lanes")
+    columns = size // lanes
+    ty = f"i{width}<{lanes}>"
+    fb = FuncBuilder(name, inputs=[("en", "bool")])
+    outputs = []
+    for index in range(columns):
+        fb.add_input(f"a{index}", ty)
+        fb.add_input(f"b{index}", ty)
+        left = fb.reg(f"a{index}", "en")
+        right = fb.reg(f"b{index}", "en")
+        total = fb.add(left, right)
+        fb.reg(total, "en", dst=f"y{index}")
+        outputs.append((f"y{index}", ty))
+    return fb.build(outputs=outputs)
+
+
+def tensoradd_scalar(
+    size: int, width: int = 8, dsp_hint: bool = False, name: str = "tensoradd"
+) -> Func:
+    """The behavioral baseline: a loop of scalar adds (Figure 3).
+
+    With ``dsp_hint`` the adds carry ``@dsp`` annotations, modelling
+    the ``(* use_dsp = "yes" *)`` directive — which the vendor
+    toolchain treats as a soft preference, not a constraint.
+    """
+    ty = f"i{width}"
+    res = Res.DSP if dsp_hint else Res.ANY
+    fb = FuncBuilder(name, inputs=[("en", "bool")])
+    outputs = []
+    for index in range(size):
+        fb.add_input(f"a{index}", ty)
+        fb.add_input(f"b{index}", ty)
+        left = fb.reg(f"a{index}", "en")
+        right = fb.reg(f"b{index}", "en")
+        total = fb.comp(CompOp.ADD, [left, right], res=res)
+        fb.reg(total, "en", dst=f"y{index}")
+        outputs.append((f"y{index}", ty))
+    return fb.build(outputs=outputs)
+
+
+def tensordot(
+    arrays: int = 5, size: int = 3, width: int = 8, name: str = "tensordot"
+) -> Func:
+    """Systolic dot products: ``arrays`` independent multiply-add
+    chains over ``size``-element tensor pairs (paper Section 7.1).
+
+    Each stage registers its operands, multiplies, adds the partial
+    sum flowing down the chain, and registers the result — the shape
+    the selector fuses into pipelined ``muladd`` DSPs and the layout
+    optimizer cascades down a DSP column.  The same program serves all
+    three flows: the vendor's hint mode discovers the same fusion
+    heuristically, its base mode maps the multiplies to isolated DSPs.
+    """
+    ty = f"i{width}"
+    fb = FuncBuilder(name, inputs=[("en", "bool")])
+    outputs = []
+    for array in range(arrays):
+        acc = fb.const(0, ty)
+        for stage in range(size):
+            fb.add_input(f"a{array}_{stage}", ty)
+            fb.add_input(f"b{array}_{stage}", ty)
+            left = fb.reg(f"a{array}_{stage}", "en")
+            right = fb.reg(f"b{array}_{stage}", "en")
+            product = fb.mul(left, right)
+            total = fb.add(product, acc)
+            acc = fb.reg(total, "en")
+        fb.id_(acc, dst=f"y{array}")
+        outputs.append((f"y{array}", ty))
+    return fb.build(outputs=outputs)

@@ -1,0 +1,26 @@
+"""Differential fuzzing of the toolchain.
+
+The paper's related work highlights fuzzing as the way bugs are found
+in FPGA toolchains (Herklotz & Wickerson, FPGA'20, cited as [20]);
+this package ships that capability for the reproduction itself: a
+seeded random generator of well-typed Reticle programs and a runner
+that compiles each through every flow — the Reticle pipeline and the
+vendor simulator, with and without hints — and differentially checks
+all results against the reference interpreter.
+
+Usable as a library or from the CLI::
+
+    python -m repro fuzz --iterations 50 --seed 7
+"""
+
+from repro.fuzz.generator import ProgramGenerator, random_func, random_trace
+from repro.fuzz.runner import FuzzOutcome, FuzzReport, run_fuzz
+
+__all__ = [
+    "ProgramGenerator",
+    "random_func",
+    "random_trace",
+    "FuzzOutcome",
+    "FuzzReport",
+    "run_fuzz",
+]

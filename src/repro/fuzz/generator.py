@@ -1,0 +1,300 @@
+"""Seeded random generation of well-typed Reticle programs.
+
+Independent of hypothesis (so it works in production tooling and the
+CLI): a plain ``random.Random`` drives construction of acyclic
+A-normal-form functions over the types and operations the UltraScale
+target library covers, plus matching random input traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ast import CompInstr, Func, Instr, Port, Res, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.trace import Trace, Value
+from repro.ir.types import Bool, Int, Ty, Vec
+
+SCALAR_WIDTHS = (4, 8, 12, 16)
+VEC_SHAPES = ((8, 4), (12, 4), (8, 2), (16, 2))
+
+ALL_TYPES: Tuple[Ty, ...] = (
+    (Bool(),)
+    + tuple(Int(width) for width in SCALAR_WIDTHS)
+    + tuple(Vec(Int(elem), lanes) for elem, lanes in VEC_SHAPES)
+)
+
+_CHOICES = (
+    "arith",
+    "logic",
+    "cmp",
+    "mux",
+    "reg",
+    "shift",
+    "const",
+    "not",
+    "slice",
+    "cat",
+    "ram",
+)
+
+
+@dataclass
+class ProgramGenerator:
+    """Reproducible random program/trace factory."""
+
+    seed: int = 0
+    max_instrs: int = 12
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _value(self, ty: Ty) -> Value:
+        width = ty.lane_type().width
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        if isinstance(ty, Bool):
+            return self._rng.randint(0, 1)
+        if ty.is_vector:
+            return tuple(
+                self._rng.randint(lo, hi) for _ in range(ty.lanes)
+            )
+        return self._rng.randint(lo, hi)
+
+    def _const_value(self, ty: Ty) -> int:
+        width = ty.lane_type().width
+        if isinstance(ty, Bool):
+            return self._rng.randint(0, 1)
+        return self._rng.randint(-(1 << (width - 1)), (1 << width) - 1)
+
+    # -- program construction --------------------------------------------
+
+    def func(self, name: str = "fuzz") -> Func:
+        """Generate one well-typed, acyclic function."""
+        rng = self._rng
+        pool: Dict[str, Ty] = {"en": Bool()}
+        inputs: List[Port] = [Port("en", Bool())]
+        counter = [0]
+
+        def fresh() -> str:
+            counter[0] += 1
+            return f"v{counter[0]}"
+
+        for _ in range(rng.randint(1, 4)):
+            ty = rng.choice(ALL_TYPES)
+            port = Port(fresh(), ty)
+            inputs.append(port)
+            pool[port.name] = ty
+
+        def vars_of(ty: Ty) -> List[str]:
+            return [var for var, t in pool.items() if t == ty]
+
+        def pick_type(predicate) -> Optional[Ty]:
+            present = sorted(
+                {t for t in pool.values() if predicate(t)}, key=str
+            )
+            return rng.choice(present) if present else None
+
+        instrs: List[Instr] = []
+        for _ in range(rng.randint(1, self.max_instrs)):
+            made = self._make_instr(rng, fresh, pool, vars_of, pick_type)
+            if made is not None:
+                instrs.append(made)
+                pool[made.dst] = made.ty
+
+        if not instrs:
+            instrs.append(
+                WireInstr(
+                    dst="c0", ty=Int(8), attrs=(1,), args=(), op=WireOp.CONST
+                )
+            )
+            pool["c0"] = Int(8)
+
+        defined = [instr.dst for instr in instrs]
+        picks = {defined[-1]}
+        for _ in range(rng.randint(0, 2)):
+            picks.add(rng.choice(defined))
+        outputs = tuple(Port(name, pool[name]) for name in sorted(picks))
+        return Func(
+            name=name,
+            inputs=tuple(inputs),
+            outputs=outputs,
+            instrs=tuple(instrs),
+        )
+
+    def _make_instr(self, rng, fresh, pool, vars_of, pick_type):
+        choice = rng.choice(_CHOICES)
+        dst = fresh()
+        if choice == "const":
+            ty = rng.choice(ALL_TYPES)
+            return WireInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(self._const_value(ty),),
+                args=(),
+                op=WireOp.CONST,
+            )
+        if choice == "arith":
+            ty = pick_type(lambda t: not isinstance(t, Bool))
+            if ty is None:
+                return None
+            ops = [CompOp.ADD, CompOp.SUB]
+            if isinstance(ty, Int) and ty.width <= 8:
+                ops.append(CompOp.MUL)
+            return CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(),
+                args=(rng.choice(vars_of(ty)), rng.choice(vars_of(ty))),
+                op=rng.choice(ops),
+                res=Res.ANY,
+            )
+        if choice == "logic":
+            ty = pick_type(lambda t: True)
+            op = rng.choice([CompOp.AND, CompOp.OR, CompOp.XOR])
+            return CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(),
+                args=(rng.choice(vars_of(ty)), rng.choice(vars_of(ty))),
+                op=op,
+                res=Res.ANY,
+            )
+        if choice == "not":
+            ty = pick_type(lambda t: True)
+            return CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(),
+                args=(rng.choice(vars_of(ty)),),
+                op=CompOp.NOT,
+                res=Res.ANY,
+            )
+        if choice == "cmp":
+            ty = pick_type(lambda t: isinstance(t, Int))
+            if ty is None:
+                return None
+            op = rng.choice(
+                [CompOp.EQ, CompOp.NEQ, CompOp.LT, CompOp.GT, CompOp.LE,
+                 CompOp.GE]
+            )
+            return CompInstr(
+                dst=dst,
+                ty=Bool(),
+                attrs=(),
+                args=(rng.choice(vars_of(ty)), rng.choice(vars_of(ty))),
+                op=op,
+                res=Res.ANY,
+            )
+        if choice == "mux":
+            ty = pick_type(lambda t: True)
+            conds = vars_of(Bool())
+            if not conds:
+                return None
+            return CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(),
+                args=(
+                    rng.choice(conds),
+                    rng.choice(vars_of(ty)),
+                    rng.choice(vars_of(ty)),
+                ),
+                op=CompOp.MUX,
+                res=Res.ANY,
+            )
+        if choice == "reg":
+            ty = pick_type(lambda t: True)
+            return CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(self._const_value(ty),),
+                args=(rng.choice(vars_of(ty)), "en"),
+                op=CompOp.REG,
+                res=Res.ANY,
+            )
+        if choice == "shift":
+            ty = pick_type(lambda t: isinstance(t, Int))
+            if ty is None:
+                return None
+            op = rng.choice([WireOp.SLL, WireOp.SRL, WireOp.SRA])
+            return WireInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(rng.randint(0, ty.width),),
+                args=(rng.choice(vars_of(ty)),),
+                op=op,
+            )
+        if choice == "slice":
+            ty = pick_type(lambda t: isinstance(t, Vec))
+            if ty is None:
+                return None
+            lane = rng.randrange(ty.lanes)
+            return WireInstr(
+                dst=dst,
+                ty=ty.lane_type(),
+                attrs=(lane,),
+                args=(rng.choice(vars_of(ty)),),
+                op=WireOp.SLICE,
+            )
+        if choice == "ram":
+            # Needs an i4 address and a scalar i8/i16 data value.
+            addr_candidates = vars_of(Int(4))
+            data_ty = rng.choice([Int(8), Int(16)])
+            data_candidates = vars_of(data_ty)
+            bools = vars_of(Bool())
+            if not (addr_candidates and data_candidates and bools):
+                return None
+            return CompInstr(
+                dst=dst,
+                ty=data_ty,
+                attrs=(4,),
+                args=(
+                    rng.choice(addr_candidates),
+                    rng.choice(data_candidates),
+                    rng.choice(bools),
+                    rng.choice(bools),
+                ),
+                op=CompOp.RAM,
+                res=Res.ANY,
+            )
+        if choice == "cat":
+            # Pack scalars into a supported vector shape.
+            for elem, lanes in VEC_SHAPES:
+                candidates = vars_of(Int(elem))
+                if candidates:
+                    return WireInstr(
+                        dst=dst,
+                        ty=Vec(Int(elem), lanes),
+                        attrs=(),
+                        args=tuple(
+                            rng.choice(candidates) for _ in range(lanes)
+                        ),
+                        op=WireOp.CAT,
+                    )
+            return None
+        return None  # pragma: no cover
+
+    def trace(self, func: Func, steps: Optional[int] = None) -> Trace:
+        """Generate a random input trace for ``func``."""
+        count = steps if steps is not None else self._rng.randint(1, 8)
+        return Trace(
+            {
+                port.name: [self._value(port.ty) for _ in range(count)]
+                for port in func.inputs
+            }
+        )
+
+
+def random_func(seed: int, max_instrs: int = 12) -> Func:
+    """One-shot random function generation."""
+    return ProgramGenerator(seed=seed, max_instrs=max_instrs).func()
+
+
+def random_trace(func: Func, seed: int, steps: int = 6) -> Trace:
+    """One-shot random trace generation."""
+    return ProgramGenerator(seed=seed).trace(func, steps=steps)

@@ -1,0 +1,165 @@
+"""The differential fuzz runner.
+
+For each seed: generate a program and trace, compute the reference
+output with the interpreter, then push the program through each flow
+under test and compare.  Flows:
+
+* ``reticle`` — the full pipeline (selection, cascading, placement,
+  code generation), simulating the generated netlist;
+* ``reticle-text`` — additionally round-trips the emitted structural
+  Verilog through the parser and netlist reconstruction;
+* ``vendor-base`` / ``vendor-hint`` — the vendor simulator's synthesis
+  (plus LUT packing) without placement.
+
+Any mismatch or unexpected exception is reported with its seed so it
+can be replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.codegen.verilog_emit import generate_verilog
+from repro.compiler import ReticleCompiler
+from repro.errors import ReticleError
+from repro.fuzz.generator import ProgramGenerator
+from repro.ir.ast import Func
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.netlist.from_verilog import netlist_from_verilog
+from repro.netlist.sim import NetlistSimulator
+from repro.vendor.packing import pack_luts
+from repro.vendor.synth import VendorOptions, VendorSynthesizer
+
+DEFAULT_FLOWS = ("reticle", "reticle-text", "vendor-base", "vendor-hint")
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """One (seed, flow) result."""
+
+    seed: int
+    flow: str
+    status: str            # "ok" | "mismatch" | "error"
+    detail: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over a fuzzing session."""
+
+    iterations: int = 0
+    outcomes: List[FuzzOutcome] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def failures(self) -> List[FuzzOutcome]:
+        return [o for o in self.outcomes if o.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        checked = len(self.outcomes)
+        failed = len(self.failures)
+        text = (
+            f"fuzzed {self.iterations} programs, {checked} flow checks, "
+            f"{failed} failures in {self.seconds:.1f}s"
+        )
+        for outcome in self.failures[:10]:
+            text += (
+                f"\n  seed {outcome.seed} [{outcome.flow}] "
+                f"{outcome.status}: {outcome.detail[:120]}"
+            )
+        return text
+
+
+class _Flows:
+    def __init__(self) -> None:
+        self.compiler = ReticleCompiler()
+        self.device = self.compiler.device
+
+    def _types(self, func: Func) -> Dict[str, object]:
+        return {p.name: p.ty for p in func.inputs + func.outputs}
+
+    def reticle(self, func: Func, trace: Trace) -> Trace:
+        result = self.compiler.compile(func)
+        return NetlistSimulator(result.netlist, self._types(func)).run(trace)
+
+    def reticle_text(self, func: Func, trace: Trace) -> Trace:
+        result = self.compiler.compile(func)
+        rebuilt = netlist_from_verilog(generate_verilog(result.netlist))
+        return NetlistSimulator(rebuilt, self._types(func)).run(trace)
+
+    def vendor(self, func: Func, trace: Trace, hints: bool) -> Trace:
+        netlist, _ = VendorSynthesizer(
+            self.device, VendorOptions(use_dsp_hints=hints)
+        ).synthesize(func)
+        pack_luts(netlist, passes=2)
+        return NetlistSimulator(netlist, self._types(func)).run(trace)
+
+    def run(self, flow: str, func: Func, trace: Trace) -> Trace:
+        if flow == "reticle":
+            return self.reticle(func, trace)
+        if flow == "reticle-text":
+            return self.reticle_text(func, trace)
+        if flow == "vendor-base":
+            return self.vendor(func, trace, hints=False)
+        if flow == "vendor-hint":
+            return self.vendor(func, trace, hints=True)
+        raise ReticleError(f"unknown fuzz flow {flow!r}")
+
+
+def run_fuzz(
+    iterations: int = 25,
+    seed: int = 0,
+    flows: tuple = DEFAULT_FLOWS,
+    max_instrs: int = 12,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Fuzz ``iterations`` programs across ``flows``."""
+    report = FuzzReport(iterations=iterations)
+    runner = _Flows()
+    start = time.perf_counter()
+    for index in range(iterations):
+        program_seed = seed + index
+        generator = ProgramGenerator(seed=program_seed, max_instrs=max_instrs)
+        func = generator.func(name=f"fuzz{program_seed}")
+        trace = generator.trace(func)
+        expected = Interpreter(func).run(trace)
+        for flow in flows:
+            try:
+                actual = runner.run(flow, func, trace)
+            except Exception as error:  # noqa: BLE001 - reported, not hidden
+                report.outcomes.append(
+                    FuzzOutcome(
+                        seed=program_seed,
+                        flow=flow,
+                        status="error",
+                        detail=f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            if actual == expected:
+                report.outcomes.append(
+                    FuzzOutcome(seed=program_seed, flow=flow, status="ok")
+                )
+            else:
+                report.outcomes.append(
+                    FuzzOutcome(
+                        seed=program_seed,
+                        flow=flow,
+                        status="mismatch",
+                        detail=(
+                            f"expected {expected.to_dict()} "
+                            f"got {actual.to_dict()}"
+                        ),
+                    )
+                )
+        if progress is not None:
+            progress(f"seed {program_seed} done")
+    report.seconds = time.perf_counter() - start
+    return report

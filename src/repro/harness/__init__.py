@@ -1,0 +1,26 @@
+"""The experiment harness: regenerates every table and figure.
+
+``repro.harness.flows`` runs one program through the Reticle pipeline
+or the vendor simulator and scores it (compile seconds, critical path,
+utilization); ``repro.harness.experiments`` sweeps the paper's
+benchmark/size grid and produces the rows behind Figure 4 and
+Figure 13.
+"""
+
+from repro.harness.flows import FlowScore, run_reticle, run_vendor
+from repro.harness.experiments import (
+    fig4_rows,
+    fig13_rows,
+    format_table,
+    FIG13_BENCHMARKS,
+)
+
+__all__ = [
+    "FlowScore",
+    "run_reticle",
+    "run_vendor",
+    "fig4_rows",
+    "fig13_rows",
+    "format_table",
+    "FIG13_BENCHMARKS",
+]

@@ -1,0 +1,158 @@
+"""Sweeps reproducing the paper's figures (Section 7).
+
+Figure 4: DSP/LUT utilization of the behavioral (hinted, scalar)
+program versus the structural vectorized program, over loop bounds
+N in {8..1024}, on a device with 360 DSPs.
+
+Figure 13: compile-time speedup, run-time speedup, and utilization for
+the three benchmarks (tensoradd, tensordot, fsm) at four sizes each,
+across the three languages (base, hint, reticle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.frontend.fsm import fsm
+from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector, tensordot
+from repro.harness.flows import FlowScore, run_reticle, run_vendor
+from repro.ir.ast import Func
+from repro.place.device import Device, xczu3eg
+
+FIG4_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+FIG13_SIZES: Dict[str, Sequence] = {
+    "tensoradd": (64, 128, 256, 512),
+    "tensordot": (3, 9, 18, 36),
+    "fsm": (3, 5, 7, 9),
+}
+FIG13_BENCHMARKS = tuple(FIG13_SIZES)
+
+
+def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
+    """The per-language programs for one benchmark instance.
+
+    ``tensoradd`` follows the paper exactly: the Reticle program is
+    vectorized, the baselines are scalar (with and without hints).
+    ``tensordot`` and ``fsm`` use one program for all three flows (the
+    hint/base difference is the vendor's option, matching directives).
+    """
+    if bench == "tensoradd":
+        return {
+            "reticle": tensoradd_vector(size),
+            "base": tensoradd_scalar(size, dsp_hint=False),
+            "hint": tensoradd_scalar(size, dsp_hint=True),
+        }
+    if bench == "tensordot":
+        func = tensordot(arrays=5, size=size)
+        return {"reticle": func, "base": func, "hint": func}
+    if bench == "fsm":
+        func = fsm(size)
+        return {"reticle": func, "base": func, "hint": func}
+    raise ValueError(f"unknown benchmark: {bench!r}")
+
+
+def fig13_rows(
+    bench: str,
+    sizes: Optional[Iterable] = None,
+    device: Optional[Device] = None,
+    moves_per_cell: int = 24,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[dict]:
+    """One row per (size, lang): the data behind one Figure 13 panel."""
+    device = device if device is not None else xczu3eg()
+    rows: List[dict] = []
+    for size in sizes if sizes is not None else FIG13_SIZES[bench]:
+        funcs = _benchmark_funcs(bench, size)
+        scores: Dict[str, FlowScore] = {}
+        scores["reticle"] = run_reticle(funcs["reticle"], device=device)
+        for lang in ("base", "hint"):
+            scores[lang] = run_vendor(
+                funcs[lang],
+                hints=(lang == "hint"),
+                device=device,
+                moves_per_cell=moves_per_cell,
+            )
+        reticle = scores["reticle"]
+        for lang in ("base", "hint", "reticle"):
+            score = scores[lang]
+            rows.append(
+                {
+                    "bench": bench,
+                    "size": size,
+                    "lang": lang,
+                    "compile_s": round(score.compile_seconds, 4),
+                    "critical_ns": round(score.runtime_ns, 3),
+                    "fmax_mhz": round(score.fmax_mhz, 1),
+                    "luts": score.luts,
+                    "dsps": score.dsps,
+                    # Reticle's advantage over this language (paper's
+                    # speedup panels; 1.0 on the reticle rows).
+                    "compile_speedup": round(
+                        score.compile_seconds
+                        / max(reticle.compile_seconds, 1e-9),
+                        2,
+                    ),
+                    "runtime_speedup": round(
+                        score.critical_ps / reticle.critical_ps, 3
+                    ),
+                }
+            )
+        if progress is not None:
+            progress(f"{bench} size {size} done")
+    return rows
+
+
+def fig4_rows(
+    sizes: Iterable[int] = FIG4_SIZES,
+    device: Optional[Device] = None,
+) -> List[dict]:
+    """One row per (size, style): the data behind Figure 4.
+
+    ``behavioral`` is the hinted scalar program through vendor
+    synthesis (Figure 3's program); ``structural`` is the
+    hand-optimized equivalent — the vectorized program through the
+    Reticle pipeline.  Only utilization is reported, so neither flow
+    runs placement here.
+    """
+    device = device if device is not None else xczu3eg()
+    rows: List[dict] = []
+    for size in sizes:
+        behavioral = run_vendor(
+            tensoradd_scalar(size, dsp_hint=True),
+            hints=True,
+            device=device,
+            place=False,
+        )
+        structural = run_reticle(tensoradd_vector(size), device=device)
+        for style, score in (
+            ("behavioral", behavioral),
+            ("structural", structural),
+        ):
+            rows.append(
+                {
+                    "size": size,
+                    "style": style,
+                    "dsps": score.dsps,
+                    "luts": score.luts,
+                }
+            )
+    return rows
+
+
+def format_table(rows: Sequence[dict]) -> str:
+    """Render result rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    divider = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, divider]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[column]).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Running and scoring one program through either flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler import ReticleCompiler
+from repro.ir.ast import Func
+from repro.netlist.core import Netlist
+from repro.netlist.stats import resource_counts
+from repro.place.device import Device, xczu3eg
+from repro.timing.sta import analyze_netlist
+from repro.vendor.toolchain import VendorOptions, VendorToolchain
+
+
+@dataclass(frozen=True)
+class FlowScore:
+    """What the paper's Figure 13 reports, for one compile."""
+
+    lang: str           # "base" | "hint" | "reticle"
+    compile_seconds: float
+    critical_ps: int
+    fmax_mhz: float
+    luts: int
+    dsps: int
+    ffs: int
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.critical_ps / 1000.0
+
+
+def _score(lang: str, netlist: Netlist, seconds: float) -> FlowScore:
+    counts = resource_counts(netlist)
+    report = analyze_netlist(netlist)
+    return FlowScore(
+        lang=lang,
+        compile_seconds=seconds,
+        critical_ps=report.critical_ps,
+        fmax_mhz=report.fmax_mhz,
+        luts=counts.luts,
+        dsps=counts.dsps,
+        ffs=counts.ffs,
+    )
+
+
+def run_reticle(
+    func: Func,
+    device: Optional[Device] = None,
+    compiler: Optional[ReticleCompiler] = None,
+) -> FlowScore:
+    """Compile with the Reticle pipeline and score the result."""
+    if compiler is None:
+        compiler = ReticleCompiler(device=device if device else xczu3eg())
+    result = compiler.compile(func)
+    return _score("reticle", result.netlist, result.seconds)
+
+
+def run_vendor(
+    func: Func,
+    hints: bool,
+    device: Optional[Device] = None,
+    moves_per_cell: int = 24,
+    effort: int = 2,
+    place: bool = True,
+) -> FlowScore:
+    """Compile with the vendor-toolchain simulator and score it."""
+    toolchain = VendorToolchain(
+        device if device else xczu3eg(),
+        VendorOptions(
+            use_dsp_hints=hints, effort=effort, moves_per_cell=moves_per_cell
+        ),
+    )
+    result = toolchain.compile(func) if place else toolchain.synthesize(func)
+    return _score("hint" if hints else "base", result.netlist, result.seconds)

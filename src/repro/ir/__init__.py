@@ -1,0 +1,56 @@
+"""The Reticle intermediate language (paper Figure 5a).
+
+A portable, instruction-based IR in A-normal form with dataflow and
+synchronous semantics.  Public surface:
+
+* :mod:`repro.ir.types` — ``bool``, ``iN``, and vector ``iN<L>`` types.
+* :mod:`repro.ir.ops` — the wire/compute instruction sets (Table 1).
+* :mod:`repro.ir.ast` — functions, ports, and instructions.
+* :mod:`repro.ir.parser` / :mod:`repro.ir.printer` — textual format.
+* :mod:`repro.ir.builder` — a programmatic construction API.
+* :mod:`repro.ir.typecheck` — typing rules.
+* :mod:`repro.ir.wellformed` — combinational-cycle rejection (§6.1).
+* :mod:`repro.ir.interp` — the reference interpreter (Algorithm 1).
+"""
+
+from repro.ir.types import Ty, Bool, Int, Vec, parse_type
+from repro.ir.ops import WireOp, CompOp, OpKind
+from repro.ir.ast import Res, Port, Instr, WireInstr, CompInstr, Func, Prog
+from repro.ir.parser import parse_func, parse_prog, parse_instr
+from repro.ir.printer import print_func, print_prog, print_instr
+from repro.ir.builder import FuncBuilder
+from repro.ir.typecheck import typecheck_func, typecheck_prog
+from repro.ir.wellformed import check_well_formed
+from repro.ir.interp import Interpreter, interpret
+from repro.ir.trace import Trace
+
+__all__ = [
+    "Ty",
+    "Bool",
+    "Int",
+    "Vec",
+    "parse_type",
+    "WireOp",
+    "CompOp",
+    "OpKind",
+    "Res",
+    "Port",
+    "Instr",
+    "WireInstr",
+    "CompInstr",
+    "Func",
+    "Prog",
+    "parse_func",
+    "parse_prog",
+    "parse_instr",
+    "print_func",
+    "print_prog",
+    "print_instr",
+    "FuncBuilder",
+    "typecheck_func",
+    "typecheck_prog",
+    "check_well_formed",
+    "Interpreter",
+    "interpret",
+    "Trace",
+]

@@ -1,0 +1,176 @@
+"""Abstract syntax for the intermediate language (paper Figure 5a).
+
+A program is a set of functions; a function has typed input and output
+ports and a flat, A-normal-form list of instructions whose arguments
+are always variables.  Wire instructions carry no resource annotation;
+compute instructions carry an ``@res`` annotation that is either a
+concrete primitive (``@lut`` / ``@dsp``) or the wildcard ``@??``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import TypeCheckError
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.types import Ty
+
+
+class Res(enum.Enum):
+    """Resource annotation on compute instructions (``res`` in Fig. 5a).
+
+    ``ANY`` is the wildcard ``??``: the compiler is free to choose.
+    Unlike HDL hints, a concrete annotation is a *constraint* — the
+    compiler rejects programs it cannot honour (Section 3).
+    """
+
+    ANY = "??"
+    LUT = "lut"
+    DSP = "dsp"
+    BRAM = "bram"  # memory-primitive extension (paper future work)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Port:
+    """A typed input or output of a function."""
+
+    name: str
+    ty: Ty
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.ty}"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """Common shape of wire and compute instructions.
+
+    ``dst``/``ty`` name and type the single output value; ``attrs`` are
+    the static integer attributes ``[i*]``; ``args`` are argument
+    variable names.
+    """
+
+    dst: str
+    ty: Ty
+    attrs: Tuple[int, ...]
+    args: Tuple[str, ...]
+
+    @property
+    def op_name(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_stateful(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class WireInstr(Instr):
+    """An area-free wire instruction (shift, slice, cat, id, const)."""
+
+    op: WireOp = WireOp.ID
+
+    @property
+    def op_name(self) -> str:
+        return self.op.value
+
+
+@dataclass(frozen=True)
+class CompInstr(Instr):
+    """A compute instruction occupying a LUT or DSP, with an ``@res``."""
+
+    op: CompOp = CompOp.ADD
+    res: Res = Res.ANY
+
+    @property
+    def op_name(self) -> str:
+        return self.op.value
+
+    @property
+    def is_stateful(self) -> bool:
+        return self.op.is_stateful
+
+    def with_res(self, res: Res) -> "CompInstr":
+        return replace(self, res=res)
+
+
+@dataclass(frozen=True)
+class Func:
+    """A function: the unit of compilation (``fun`` in Figure 5a)."""
+
+    name: str
+    inputs: Tuple[Port, ...]
+    outputs: Tuple[Port, ...]
+    instrs: Tuple[Instr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise TypeCheckError(f"function {self.name!r} must have outputs")
+        if not self.instrs:
+            raise TypeCheckError(f"function {self.name!r} must have instructions")
+
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(port.name for port in self.inputs)
+
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(port.name for port in self.outputs)
+
+    def defs(self) -> Dict[str, Ty]:
+        """Map every defined variable (inputs + instruction dsts) to its type."""
+        table: Dict[str, Ty] = {port.name: port.ty for port in self.inputs}
+        for instr in self.instrs:
+            table[instr.dst] = instr.ty
+        return table
+
+    def instr_by_dst(self) -> Dict[str, Instr]:
+        return {instr.dst: instr for instr in self.instrs}
+
+    def compute_instrs(self) -> Iterator[CompInstr]:
+        for instr in self.instrs:
+            if isinstance(instr, CompInstr):
+                yield instr
+
+    def wire_instrs(self) -> Iterator[WireInstr]:
+        for instr in self.instrs:
+            if isinstance(instr, WireInstr):
+                yield instr
+
+    def with_instrs(self, instrs: Tuple[Instr, ...]) -> "Func":
+        return replace(self, instrs=instrs)
+
+
+@dataclass(frozen=True)
+class Prog:
+    """A compilation unit holding one or more functions."""
+
+    funcs: Tuple[Func, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for func in self.funcs:
+            if func.name in seen:
+                raise TypeCheckError(f"duplicate function name: {func.name!r}")
+            seen.add(func.name)
+
+    def get(self, name: str) -> Optional[Func]:
+        for func in self.funcs:
+            if func.name == name:
+                return func
+        return None
+
+    def __getitem__(self, name: str) -> Func:
+        func = self.get(name)
+        if func is None:
+            raise KeyError(name)
+        return func
+
+    def __iter__(self) -> Iterator[Func]:
+        return iter(self.funcs)
+
+    def __len__(self) -> int:
+        return len(self.funcs)

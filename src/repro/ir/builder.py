@@ -1,0 +1,244 @@
+"""Programmatic construction of IR functions.
+
+Front ends (Section 8) build Reticle programs instruction by
+instruction; :class:`FuncBuilder` is the Python-level API for that,
+used by the benchmark generators in :mod:`repro.frontend` and by the
+examples.  Every helper returns the destination variable name so calls
+compose naturally::
+
+    fb = FuncBuilder("muladd", inputs=[("a", "i8"), ("b", "i8"), ("c", "i8")])
+    t = fb.mul("a", "b")
+    y = fb.add(t, "c", dst="y")
+    func = fb.build(outputs=[("y", "i8")])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TypeCheckError
+from repro.ir.ast import CompInstr, Func, Instr, Port, Res, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.types import Ty, as_type, TypeLike
+from repro.utils.names import NameGenerator
+
+PortLike = Union[Port, Tuple[str, TypeLike]]
+
+
+def _as_port(value: PortLike) -> Port:
+    if isinstance(value, Port):
+        return value
+    name, ty = value
+    return Port(name, as_type(ty))
+
+
+class FuncBuilder:
+    """Accumulates instructions and produces an immutable :class:`Func`."""
+
+    def __init__(self, name: str, inputs: Iterable[PortLike] = ()) -> None:
+        self.name = name
+        self._inputs: List[Port] = [_as_port(port) for port in inputs]
+        self._instrs: List[Instr] = []
+        self._types = {port.name: port.ty for port in self._inputs}
+        self._names = NameGenerator(self._types)
+        self._declared: set = set()
+
+    def add_input(self, name: str, ty: TypeLike) -> str:
+        port = Port(name, as_type(ty))
+        self._inputs.append(port)
+        self._types[name] = port.ty
+        self._names.reserve(name)
+        return name
+
+    def type_of(self, var: str) -> Ty:
+        """Type of an already-defined variable."""
+        try:
+            return self._types[var]
+        except KeyError:
+            raise TypeCheckError(f"undefined variable: {var!r}") from None
+
+    def declare(self, name: str, ty: TypeLike) -> str:
+        """Pre-declare a variable so later instructions can refer to it
+        before its defining instruction is appended (needed for the
+        feedback cycles through ``reg`` that Figure 12b shows)."""
+        if name in self._types:
+            raise TypeCheckError(f"redeclaration of {name!r}")
+        self._types[name] = as_type(ty)
+        self._names.reserve(name)
+        self._declared.add(name)
+        return name
+
+    def _define(self, dst: Optional[str], ty: Ty, hint: str) -> str:
+        if dst is None:
+            dst = self._names.fresh(hint)
+        elif dst in self._declared:
+            if self._types[dst] != ty:
+                raise TypeCheckError(
+                    f"definition of {dst!r} does not match declared type"
+                )
+            self._declared.discard(dst)
+            return dst
+        else:
+            if dst in self._types:
+                raise TypeCheckError(f"redefinition of {dst!r}")
+            self._names.reserve(dst)
+        self._types[dst] = ty
+        return dst
+
+    # -- compute instructions ------------------------------------------
+
+    def comp(
+        self,
+        op: CompOp,
+        args: Sequence[str],
+        ty: Optional[TypeLike] = None,
+        attrs: Sequence[int] = (),
+        res: Res = Res.ANY,
+        dst: Optional[str] = None,
+    ) -> str:
+        """Append a compute instruction; infer the type from args if omitted."""
+        if ty is None:
+            source = args[1] if op is CompOp.MUX else args[0]
+            inferred: Ty = self.type_of(source)
+            if op.is_comparison:
+                from repro.ir.types import Bool
+
+                inferred = Bool()
+            result_ty = inferred
+        else:
+            result_ty = as_type(ty)
+        dst = self._define(dst, result_ty, hint=op.value)
+        self._instrs.append(
+            CompInstr(
+                dst=dst,
+                ty=result_ty,
+                attrs=tuple(attrs),
+                args=tuple(args),
+                op=op,
+                res=res,
+            )
+        )
+        return dst
+
+    def add(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.ADD, [a, b], res=res, dst=dst)
+
+    def sub(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.SUB, [a, b], res=res, dst=dst)
+
+    def mul(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.MUL, [a, b], res=res, dst=dst)
+
+    def not_(self, a: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.NOT, [a], res=res, dst=dst)
+
+    def and_(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.AND, [a, b], res=res, dst=dst)
+
+    def or_(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.OR, [a, b], res=res, dst=dst)
+
+    def xor(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.XOR, [a, b], res=res, dst=dst)
+
+    def eq(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.EQ, [a, b], res=res, dst=dst)
+
+    def neq(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.NEQ, [a, b], res=res, dst=dst)
+
+    def lt(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.LT, [a, b], res=res, dst=dst)
+
+    def gt(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.GT, [a, b], res=res, dst=dst)
+
+    def le(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.LE, [a, b], res=res, dst=dst)
+
+    def ge(self, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None) -> str:
+        return self.comp(CompOp.GE, [a, b], res=res, dst=dst)
+
+    def mux(
+        self, cond: str, a: str, b: str, res: Res = Res.ANY, dst: Optional[str] = None
+    ) -> str:
+        return self.comp(CompOp.MUX, [cond, a, b], res=res, dst=dst)
+
+    def reg(
+        self,
+        data: str,
+        en: str,
+        init: int = 0,
+        res: Res = Res.ANY,
+        dst: Optional[str] = None,
+    ) -> str:
+        return self.comp(CompOp.REG, [data, en], attrs=[init], res=res, dst=dst)
+
+    # -- wire instructions ---------------------------------------------
+
+    def wire(
+        self,
+        op: WireOp,
+        args: Sequence[str],
+        ty: TypeLike,
+        attrs: Sequence[int] = (),
+        dst: Optional[str] = None,
+    ) -> str:
+        result_ty = as_type(ty)
+        dst = self._define(dst, result_ty, hint=op.value)
+        self._instrs.append(
+            WireInstr(
+                dst=dst,
+                ty=result_ty,
+                attrs=tuple(attrs),
+                args=tuple(args),
+                op=op,
+            )
+        )
+        return dst
+
+    def const(self, value: Union[int, Sequence[int]], ty: TypeLike, dst: Optional[str] = None) -> str:
+        attrs = [value] if isinstance(value, int) else list(value)
+        return self.wire(WireOp.CONST, [], ty, attrs=attrs, dst=dst)
+
+    def sll(self, a: str, amount: int, dst: Optional[str] = None) -> str:
+        return self.wire(WireOp.SLL, [a], self.type_of(a), attrs=[amount], dst=dst)
+
+    def srl(self, a: str, amount: int, dst: Optional[str] = None) -> str:
+        return self.wire(WireOp.SRL, [a], self.type_of(a), attrs=[amount], dst=dst)
+
+    def sra(self, a: str, amount: int, dst: Optional[str] = None) -> str:
+        return self.wire(WireOp.SRA, [a], self.type_of(a), attrs=[amount], dst=dst)
+
+    def slice_bits(self, a: str, hi: int, lo: int, dst: Optional[str] = None) -> str:
+        from repro.ir.types import Int
+
+        return self.wire(
+            WireOp.SLICE, [a], Int(hi - lo + 1), attrs=[hi, lo], dst=dst
+        )
+
+    def slice_lane(self, a: str, lane: int, dst: Optional[str] = None) -> str:
+        return self.wire(
+            WireOp.SLICE, [a], self.type_of(a).lane_type(), attrs=[lane], dst=dst
+        )
+
+    def cat(self, args: Sequence[str], ty: TypeLike, dst: Optional[str] = None) -> str:
+        return self.wire(WireOp.CAT, args, ty, dst=dst)
+
+    def id_(self, a: str, dst: Optional[str] = None) -> str:
+        return self.wire(WireOp.ID, [a], self.type_of(a), dst=dst)
+
+    # -- finalization ----------------------------------------------------
+
+    def build(self, outputs: Iterable[PortLike]) -> Func:
+        """Finish the function with the given output ports."""
+        if self._declared:
+            dangling = ", ".join(sorted(self._declared))
+            raise TypeCheckError(f"declared but never defined: {dangling}")
+        out_ports = tuple(_as_port(port) for port in outputs)
+        return Func(
+            name=self.name,
+            inputs=tuple(self._inputs),
+            outputs=out_ports,
+            instrs=tuple(self._instrs),
+        )

@@ -1,0 +1,56 @@
+"""Dataflow graph over a function's instructions.
+
+Nodes are input ports and instructions (identified by the variable
+they define); edges are definition–use relationships.  Instruction
+selection partitions this graph into trees (Section 5.1); the vendor
+synthesis simulator and the timing analyzer traverse it as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ast import Func, Instr
+
+
+@dataclass
+class DataflowGraph:
+    """Use/def indexes over one function."""
+
+    func: Func
+    producers: Dict[str, Instr] = field(default_factory=dict)
+    consumers: Dict[str, List[Tuple[Instr, int]]] = field(default_factory=dict)
+    output_uses: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, func: Func) -> "DataflowGraph":
+        graph = cls(func=func)
+        for instr in func.instrs:
+            graph.producers[instr.dst] = instr
+        for name in graph.all_names():
+            graph.consumers.setdefault(name, [])
+        for instr in func.instrs:
+            for position, arg in enumerate(instr.args):
+                graph.consumers.setdefault(arg, []).append((instr, position))
+        for port in func.outputs:
+            graph.output_uses[port.name] = (
+                graph.output_uses.get(port.name, 0) + 1
+            )
+        return graph
+
+    def all_names(self) -> List[str]:
+        names = [port.name for port in self.func.inputs]
+        names.extend(instr.dst for instr in self.func.instrs)
+        return names
+
+    def producer_of(self, name: str) -> Optional[Instr]:
+        """The instruction defining ``name`` (None for input ports)."""
+        return self.producers.get(name)
+
+    def use_count(self, name: str) -> int:
+        """Total uses of ``name``: argument positions plus output ports."""
+        return len(self.consumers.get(name, ())) + self.output_uses.get(name, 0)
+
+    def is_output(self, name: str) -> bool:
+        return name in self.output_uses

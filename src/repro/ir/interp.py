@@ -1,0 +1,122 @@
+"""The reference interpreter (paper Section 6.2, Algorithm 1).
+
+Evaluates a function over an input trace, producing an output trace.
+Per cycle: update inputs, evaluate the pure instructions in dependence
+order, emit outputs, then evaluate registers — buffering every
+register's next value before committing so that register-to-register
+paths see the *previous* cycle's values (synchronous semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.errors import InterpError
+from repro.ir.ast import CompInstr, Func, Instr, WireInstr
+from repro.ir.ops import CompOp
+from repro.ir.semantics import eval_pure_comp, eval_wire, reg_init_pattern
+from repro.ir.trace import Trace, Value, decode_value, encode_value
+from repro.ir.typecheck import typecheck_func
+from repro.ir.types import Ty
+from repro.ir.wellformed import WellFormedInfo, check_well_formed
+
+
+class Interpreter:
+    """A reusable interpreter for one function.
+
+    The well-formedness check and type check run once at construction;
+    :meth:`run` then replays any number of traces.
+    """
+
+    def __init__(self, func: Func) -> None:
+        typecheck_func(func)
+        self.func = func
+        self.info: WellFormedInfo = check_well_formed(func)
+        self.types: Dict[str, Ty] = func.defs()
+
+    def _initial_env(self) -> Dict[str, int]:
+        env: Dict[str, int] = {}
+        for reg in self.info.regs:
+            if reg.op is CompOp.RAM:
+                env[reg.dst] = 0  # the read register resets to zero
+            else:
+                env[reg.dst] = reg_init_pattern(reg.attrs, reg.ty)
+        return env
+
+    def _initial_memories(self) -> Dict[str, list]:
+        return {
+            reg.dst: [0] * (1 << reg.attrs[0])
+            for reg in self.info.regs
+            if reg.op is CompOp.RAM
+        }
+
+    def _eval_pure(self, instr: Instr, env: Dict[str, int]) -> int:
+        args = [env[arg] for arg in instr.args]
+        arg_types = [self.types[arg] for arg in instr.args]
+        if isinstance(instr, WireInstr):
+            return eval_wire(instr.op, instr.ty, instr.attrs, args, arg_types)
+        assert isinstance(instr, CompInstr)
+        return eval_pure_comp(instr.op, instr.ty, args, arg_types)
+
+    def run(self, trace: Trace) -> Trace:
+        """Interpret the function over ``trace`` (Algorithm 1)."""
+        inputs = self.func.input_names()
+        outputs = self.func.output_names()
+        missing = [name for name in inputs if name not in trace]
+        if missing:
+            raise InterpError(f"input trace missing variables: {missing}")
+
+        env = self._initial_env()
+        memories = self._initial_memories()
+        result = Trace()
+        for step_in in trace.steps():
+            for name in inputs:
+                env[name] = encode_value(step_in[name], self.types[name])
+            for instr in self.info.pure_order:
+                env[instr.dst] = self._eval_pure(instr, env)
+            step_out = {
+                name: decode_value(env[name], self.types[name])
+                for name in outputs
+            }
+            result.push(step_out)
+            # Registers: compute all next values, then commit, so a
+            # register chain shifts by one per cycle.
+            next_values = {}
+            for reg in self.info.regs:
+                if reg.op is CompOp.RAM:
+                    addr, wdata, wen, enable = (env[a] for a in reg.args)
+                    if enable:
+                        memory = memories[reg.dst]
+                        # Read-first: the old word is registered, the
+                        # write (if any) lands afterwards.
+                        next_values[reg.dst] = memory[addr]
+                        if wen:
+                            memory[addr] = wdata
+                    continue
+                data, enable = (env[arg] for arg in reg.args)
+                next_values[reg.dst] = data if enable else env[reg.dst]
+            env.update(next_values)
+        return result
+
+    def run_steps(
+        self, steps: Iterable[Mapping[str, Value]], length: Optional[int] = None
+    ) -> Trace:
+        """Convenience wrapper taking an iterable of per-cycle dicts."""
+        names = self.func.input_names()
+        collected: Dict[str, list] = {name: [] for name in names}
+        for step in steps:
+            for name in names:
+                if name not in step:
+                    raise InterpError(f"step missing input {name!r}")
+                collected[name].append(step[name])
+        trace = Trace(collected)
+        if length is not None and len(trace) != length:
+            raise InterpError(
+                f"expected {length} steps, got {len(trace)}"
+            )
+        return self.run(trace)
+
+
+def interpret(func: Func, trace: Trace) -> Trace:
+    """One-shot interpretation of ``func`` over ``trace``."""
+    return Interpreter(func).run(trace)

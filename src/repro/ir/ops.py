@@ -1,0 +1,155 @@
+"""The intermediate instruction set (paper Table 1).
+
+Compute operations consume device resources (LUTs or DSPs); wire
+operations are area-free — they only involve wiring, constants tied to
+power/ground rails, and static bit rearrangement (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """Table 1 groups operations into these categories."""
+
+    ARITHMETIC = "arithmetic"
+    BITWISE = "bitwise"
+    COMPARISON = "comparison"
+    CONTROL = "control"
+    MEMORY = "memory"
+    SHIFT = "shift"
+    MISC = "misc"
+
+
+class CompOp(enum.Enum):
+    """Compute operations: consume LUT or DSP area."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    EQ = "eq"
+    NEQ = "neq"
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    GE = "ge"
+    MUX = "mux"
+    REG = "reg"
+    # Extension beyond the paper's Table 1: a synchronous single-port
+    # RAM (the paper's stated BRAM future work).  Read-first:
+    # ``q = ram[addr_bits](addr, wdata, wen, en)`` registers the value
+    # at ``addr`` each enabled cycle, writing ``wdata`` when ``wen``.
+    RAM = "ram"
+
+    @property
+    def kind(self) -> OpKind:
+        return _COMP_KIND[self]
+
+    @property
+    def arity(self) -> int:
+        """Number of argument variables the operation takes."""
+        if self is CompOp.NOT:
+            return 1
+        if self is CompOp.MUX:
+            return 3
+        if self is CompOp.RAM:
+            return 4
+        return 2
+
+    @property
+    def num_attrs(self) -> int:
+        """Static integer attributes: reg takes the initial value, ram
+        the address width."""
+        return 1 if self in (CompOp.REG, CompOp.RAM) else 0
+
+    @property
+    def is_stateful(self) -> bool:
+        """``reg`` and ``ram`` are stateful; everything else is pure
+        (§4.1; ram is the BRAM extension)."""
+        return self in (CompOp.REG, CompOp.RAM)
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.kind is OpKind.COMPARISON
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in (
+            CompOp.ADD,
+            CompOp.MUL,
+            CompOp.AND,
+            CompOp.OR,
+            CompOp.XOR,
+            CompOp.EQ,
+            CompOp.NEQ,
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class WireOp(enum.Enum):
+    """Wire operations: area-free rewiring, shifts by constants, constants."""
+
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLICE = "slice"
+    CAT = "cat"
+    ID = "id"
+    CONST = "const"
+
+    @property
+    def kind(self) -> OpKind:
+        if self in (WireOp.SLL, WireOp.SRL, WireOp.SRA):
+            return OpKind.SHIFT
+        return OpKind.MISC
+
+    @property
+    def arity(self) -> Optional[int]:
+        """Fixed arity, or ``None`` for variadic (``cat``)."""
+        if self is WireOp.CONST:
+            return 0
+        if self is WireOp.CAT:
+            return None
+        return 1
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_COMP_KIND = {
+    CompOp.ADD: OpKind.ARITHMETIC,
+    CompOp.SUB: OpKind.ARITHMETIC,
+    CompOp.MUL: OpKind.ARITHMETIC,
+    CompOp.NOT: OpKind.BITWISE,
+    CompOp.AND: OpKind.BITWISE,
+    CompOp.OR: OpKind.BITWISE,
+    CompOp.XOR: OpKind.BITWISE,
+    CompOp.EQ: OpKind.COMPARISON,
+    CompOp.NEQ: OpKind.COMPARISON,
+    CompOp.LT: OpKind.COMPARISON,
+    CompOp.GT: OpKind.COMPARISON,
+    CompOp.LE: OpKind.COMPARISON,
+    CompOp.GE: OpKind.COMPARISON,
+    CompOp.MUX: OpKind.CONTROL,
+    CompOp.REG: OpKind.MEMORY,
+    CompOp.RAM: OpKind.MEMORY,
+}
+
+COMP_OP_NAMES = {op.value: op for op in CompOp}
+WIRE_OP_NAMES = {op.value: op for op in WireOp}
+
+
+def lookup_comp_op(name: str) -> Optional[CompOp]:
+    return COMP_OP_NAMES.get(name)
+
+
+def lookup_wire_op(name: str) -> Optional[WireOp]:
+    return WIRE_OP_NAMES.get(name)

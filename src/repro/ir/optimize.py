@@ -1,0 +1,168 @@
+"""Target-independent IR optimizations.
+
+The paper positions Reticle as a compilation target for higher-level
+front ends (Section 8); these are the clean-up passes such front ends
+rely on so sloppy generated code doesn't waste area:
+
+* **copy propagation** — forwards ``id`` results to their uses;
+* **constant folding** — evaluates pure instructions whose operands
+  are all constants (using the same bit-accurate semantics as the
+  interpreter) into ``const`` wire instructions;
+* **dead-code elimination** — drops instructions unreachable from the
+  outputs, including dead register feedback cycles.
+
+``optimize_func`` runs them to a fixpoint.  Every pass is behaviour-
+preserving on the observable output traces, which the property tests
+check against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.ast import CompInstr, Func, Instr, WireInstr
+from repro.ir.ops import WireOp
+from repro.ir.semantics import eval_pure_comp, eval_wire
+from repro.ir.types import Ty
+from repro.utils.bits import to_signed, unpack_lanes
+
+
+def copy_propagate(func: Func) -> Func:
+    """Forward ``id`` values to their consumers.
+
+    ``id`` instructions that define output ports are kept (outputs
+    must be defined by an instruction); the rest become dead and fall
+    to DCE.
+    """
+    forwards: Dict[str, str] = {}
+    for instr in func.instrs:
+        if isinstance(instr, WireInstr) and instr.op is WireOp.ID:
+            source = instr.args[0]
+            forwards[instr.dst] = forwards.get(source, source)
+
+    def resolve(name: str) -> str:
+        return forwards.get(name, name)
+
+    changed = False
+    new_instrs: List[Instr] = []
+    for instr in func.instrs:
+        new_args = tuple(resolve(arg) for arg in instr.args)
+        if new_args != instr.args:
+            changed = True
+            if isinstance(instr, WireInstr):
+                instr = WireInstr(
+                    dst=instr.dst,
+                    ty=instr.ty,
+                    attrs=instr.attrs,
+                    args=new_args,
+                    op=instr.op,
+                )
+            else:
+                assert isinstance(instr, CompInstr)
+                instr = CompInstr(
+                    dst=instr.dst,
+                    ty=instr.ty,
+                    attrs=instr.attrs,
+                    args=new_args,
+                    op=instr.op,
+                    res=instr.res,
+                )
+        new_instrs.append(instr)
+    if not changed:
+        return func
+    return func.with_instrs(tuple(new_instrs))
+
+
+def _const_attrs(pattern: int, ty: Ty) -> Tuple[int, ...]:
+    """Encode a known bit pattern as ``const`` attributes."""
+    width = ty.lane_type().width
+    lanes = unpack_lanes(pattern, width, ty.lanes)
+    if ty.is_signed:
+        values = tuple(to_signed(lane, width) for lane in lanes)
+    else:
+        values = tuple(lanes)
+    if len(set(values)) == 1:
+        return (values[0],)
+    return values
+
+
+def constant_fold(func: Func) -> Func:
+    """Evaluate pure instructions with all-constant operands."""
+    types = func.defs()
+    known: Dict[str, int] = {}
+    changed = False
+    new_instrs: List[Instr] = []
+
+    for instr in func.instrs:
+        value: Optional[int] = None
+        if isinstance(instr, WireInstr):
+            if instr.op is WireOp.CONST:
+                value = eval_wire(instr.op, instr.ty, instr.attrs, [], [])
+                known[instr.dst] = value
+                new_instrs.append(instr)
+                continue
+            if all(arg in known for arg in instr.args):
+                value = eval_wire(
+                    instr.op,
+                    instr.ty,
+                    instr.attrs,
+                    [known[arg] for arg in instr.args],
+                    [types[arg] for arg in instr.args],
+                )
+        elif isinstance(instr, CompInstr) and not instr.is_stateful:
+            if all(arg in known for arg in instr.args):
+                value = eval_pure_comp(
+                    instr.op,
+                    instr.ty,
+                    [known[arg] for arg in instr.args],
+                    [types[arg] for arg in instr.args],
+                )
+        if value is None:
+            new_instrs.append(instr)
+            continue
+        known[instr.dst] = value
+        changed = True
+        new_instrs.append(
+            WireInstr(
+                dst=instr.dst,
+                ty=instr.ty,
+                attrs=_const_attrs(value, instr.ty),
+                args=(),
+                op=WireOp.CONST,
+            )
+        )
+    if not changed:
+        return func
+    return func.with_instrs(tuple(new_instrs))
+
+
+def eliminate_dead_code(func: Func) -> Func:
+    """Drop instructions unreachable from the output ports."""
+    producers = func.instr_by_dst()
+    live: Set[str] = set()
+    stack = [port.name for port in func.outputs]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        instr = producers.get(name)
+        if instr is not None:
+            stack.extend(instr.args)
+
+    kept = tuple(instr for instr in func.instrs if instr.dst in live)
+    if len(kept) == len(func.instrs):
+        return func
+    return func.with_instrs(kept)
+
+
+def optimize_func(func: Func, max_iterations: int = 4) -> Func:
+    """Run copy-prop, const-fold, and DCE to a fixpoint."""
+    for _ in range(max_iterations):
+        before = func
+        func = copy_propagate(func)
+        func = constant_fold(func)
+        func = eliminate_dead_code(func)
+        if func == before:
+            break
+    return func

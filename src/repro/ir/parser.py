@@ -1,0 +1,186 @@
+"""Parser for the textual intermediate language.
+
+Grammar (paper Figure 5a, concrete syntax as in Figures 6, 12, 14):
+
+.. code-block:: text
+
+    prog  ::= func+
+    func  ::= 'def' IDENT '(' ports? ')' '->' '(' ports ')' '{' instr+ '}'
+    ports ::= port (',' port)*
+    port  ::= IDENT ':' type
+    type  ::= 'bool' | 'i' INT | 'i' INT '<' INT '>'
+    instr ::= IDENT ':' type '=' IDENT attrs? args? res? ';'
+    attrs ::= '[' INT (',' INT)* ']'
+    args  ::= '(' IDENT (',' IDENT)* ')'
+    res   ::= '@' ('??' | 'lut' | 'dsp')
+
+The ``@res`` annotation is only legal on compute instructions and
+defaults to the wildcard when omitted (as in the paper's Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ParseError
+from repro.ir.ast import CompInstr, Func, Instr, Port, Prog, Res, WireInstr
+from repro.ir.ops import lookup_comp_op, lookup_wire_op
+from repro.ir.types import Bool, Int, Ty, Vec
+from repro.lang.cursor import TokenCursor
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def parse_type_at(cursor: TokenCursor) -> Ty:
+    """Parse a type at the cursor (shared with the ASM/TDL parsers)."""
+    token = cursor.expect(TokenKind.IDENT)
+    if token.text == "bool":
+        return Bool()
+    if token.text.startswith("i") and token.text[1:].isdigit():
+        elem = Int(int(token.text[1:]))
+        if cursor.accept(TokenKind.LANGLE):
+            length = cursor.expect_int()
+            cursor.expect(TokenKind.RANGLE)
+            return Vec(elem, length)
+        return elem
+    raise ParseError(f"unknown type: {token.text!r}", token.line, token.col)
+
+
+def parse_port_at(cursor: TokenCursor) -> Port:
+    name = cursor.expect(TokenKind.IDENT).text
+    cursor.expect(TokenKind.COLON)
+    return Port(name, parse_type_at(cursor))
+
+
+def parse_attrs_at(cursor: TokenCursor) -> Tuple[int, ...]:
+    if not cursor.accept(TokenKind.LBRACKET):
+        return ()
+    attrs = [cursor.expect_int()]
+    while cursor.accept(TokenKind.COMMA):
+        attrs.append(cursor.expect_int())
+    cursor.expect(TokenKind.RBRACKET)
+    return tuple(attrs)
+
+
+def parse_args_at(cursor: TokenCursor) -> Tuple[str, ...]:
+    if not cursor.accept(TokenKind.LPAREN):
+        return ()
+    if cursor.accept(TokenKind.RPAREN):
+        return ()
+    args = [cursor.expect(TokenKind.IDENT).text]
+    while cursor.accept(TokenKind.COMMA):
+        args.append(cursor.expect(TokenKind.IDENT).text)
+    cursor.expect(TokenKind.RPAREN)
+    return tuple(args)
+
+
+def parse_instr_at(cursor: TokenCursor) -> Instr:
+    dst = cursor.expect(TokenKind.IDENT)
+    cursor.expect(TokenKind.COLON)
+    ty = parse_type_at(cursor)
+    cursor.expect(TokenKind.EQUALS)
+    op_token = cursor.expect(TokenKind.IDENT)
+    attrs = parse_attrs_at(cursor)
+    args = parse_args_at(cursor)
+
+    res = None
+    if cursor.accept(TokenKind.AT):
+        if cursor.accept(TokenKind.WILDCARD):
+            res = Res.ANY
+        else:
+            res_token = cursor.expect(TokenKind.IDENT)
+            try:
+                res = Res(res_token.text)
+            except ValueError:
+                raise ParseError(
+                    f"unknown resource: {res_token.text!r}",
+                    res_token.line,
+                    res_token.col,
+                ) from None
+    cursor.expect(TokenKind.SEMI)
+
+    wire_op = lookup_wire_op(op_token.text)
+    if wire_op is not None:
+        if res is not None:
+            raise ParseError(
+                f"wire instruction {op_token.text!r} cannot take @res",
+                op_token.line,
+                op_token.col,
+            )
+        return WireInstr(dst=dst.text, ty=ty, attrs=attrs, args=args, op=wire_op)
+
+    comp_op = lookup_comp_op(op_token.text)
+    if comp_op is not None:
+        return CompInstr(
+            dst=dst.text,
+            ty=ty,
+            attrs=attrs,
+            args=args,
+            op=comp_op,
+            res=res if res is not None else Res.ANY,
+        )
+
+    raise ParseError(
+        f"unknown operation: {op_token.text!r}", op_token.line, op_token.col
+    )
+
+
+def parse_func_at(cursor: TokenCursor) -> Func:
+    cursor.expect_ident("def")
+    name = cursor.expect(TokenKind.IDENT).text
+
+    cursor.expect(TokenKind.LPAREN)
+    inputs: List[Port] = []
+    if not cursor.at(TokenKind.RPAREN):
+        inputs.append(parse_port_at(cursor))
+        while cursor.accept(TokenKind.COMMA):
+            inputs.append(parse_port_at(cursor))
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.ARROW)
+    cursor.expect(TokenKind.LPAREN)
+    outputs: List[Port] = [parse_port_at(cursor)]
+    while cursor.accept(TokenKind.COMMA):
+        outputs.append(parse_port_at(cursor))
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.LBRACE)
+    instrs: List[Instr] = []
+    while not cursor.at(TokenKind.RBRACE):
+        instrs.append(parse_instr_at(cursor))
+    cursor.expect(TokenKind.RBRACE)
+
+    return Func(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        instrs=tuple(instrs),
+    )
+
+
+def parse_instr(source: str) -> Instr:
+    """Parse a single instruction from text."""
+    cursor = TokenCursor(tokenize(source))
+    instr = parse_instr_at(cursor)
+    if not cursor.at_end():
+        raise cursor.error("trailing input after instruction")
+    return instr
+
+
+def parse_func(source: str) -> Func:
+    """Parse a single function from text."""
+    cursor = TokenCursor(tokenize(source))
+    func = parse_func_at(cursor)
+    if not cursor.at_end():
+        raise cursor.error("trailing input after function")
+    return func
+
+
+def parse_prog(source: str) -> Prog:
+    """Parse a whole program (one or more functions)."""
+    cursor = TokenCursor(tokenize(source))
+    funcs: List[Func] = []
+    while not cursor.at_end():
+        funcs.append(parse_func_at(cursor))
+    if not funcs:
+        raise cursor.error("empty program")
+    return Prog(tuple(funcs))

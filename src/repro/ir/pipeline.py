@@ -1,0 +1,201 @@
+"""Automatic pipelining (the paper's Section 8.1 *scheduling* step).
+
+"Scheduling ... consists of choosing when abstract operations run by
+mapping them onto clock cycles and inserting registers" (Figure 14).
+This pass performs that mapping automatically: given a combinational
+function and a stage count, it assigns every compute instruction to a
+pipeline stage by dependence level and inserts *balanced* register
+chains on every value that crosses a stage boundary — so every
+input-to-output path passes through exactly ``stages`` registers and
+the output trace is the combinational trace delayed by ``stages``
+cycles (while enabled).
+
+Deeper pipelines trade latency for clock frequency: each stage's
+combinational depth shrinks, which the timing analyses confirm (see
+the scheduling ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReticleError
+from repro.ir.ast import CompInstr, Func, Instr, Port, Res, WireInstr
+from repro.ir.ops import CompOp
+from repro.ir.types import Bool
+from repro.ir.wellformed import check_well_formed
+from repro.utils.names import NameGenerator
+
+
+@dataclass
+class PipelineResult:
+    """The pipelined function plus bookkeeping."""
+
+    func: Func
+    stages: int
+    registers_added: int
+    stage_of: Dict[str, int] = field(default_factory=dict)
+
+
+def _levels(ordered: List[Instr], func: Func) -> Tuple[Dict[str, int], int]:
+    """Dependence level per value: inputs 0, wire values free, each
+    compute instruction one deeper than its deepest operand."""
+    levels: Dict[str, int] = {port.name: 0 for port in func.inputs}
+    depth = 0
+    for instr in ordered:
+        operand = max((levels[arg] for arg in instr.args), default=0)
+        if isinstance(instr, CompInstr):
+            levels[instr.dst] = operand + 1
+        else:
+            levels[instr.dst] = operand
+        depth = max(depth, levels[instr.dst])
+    return levels, depth
+
+
+def pipeline_func(
+    func: Func, stages: int, enable: str = "en"
+) -> PipelineResult:
+    """Insert ``stages`` balanced pipeline cuts into ``func``.
+
+    ``func`` must be purely combinational (no registers).  ``enable``
+    names the clock-enable input; it is added as a new ``bool`` port
+    if absent.  Every output is delayed by exactly ``stages`` cycles.
+    """
+    if stages < 1:
+        raise ReticleError(f"stage count must be positive: {stages}")
+    info = check_well_formed(func)
+    if info.regs:
+        raise ReticleError(
+            "pipeline_func needs a combinational function; "
+            f"{info.regs[0].dst!r} is a register"
+        )
+    ordered = list(info.pure_order)
+
+    inputs = list(func.inputs)
+    types = func.defs()
+    if enable in types:
+        if types[enable] != Bool():
+            raise ReticleError(f"enable {enable!r} exists with non-bool type")
+    else:
+        inputs.append(Port(enable, Bool()))
+        types[enable] = Bool()
+
+    levels, depth = _levels(ordered, func)
+
+    def stage_of_level(level: int) -> int:
+        if level <= 0 or depth == 0:
+            return 0
+        # Levels 1..depth spread evenly over stages 0..stages-1.
+        return min(stages - 1, ((level - 1) * stages) // depth)
+
+    names = NameGenerator(types, prefix="_pl")
+    new_instrs: List[Instr] = []
+
+    # Per source value: the name of its copy at each stage (stage ->
+    # name), starting from the stage where it is produced.
+    staged: Dict[str, Dict[int, str]] = {}
+    value_stage: Dict[str, int] = {port.name: 0 for port in inputs}
+    output_names = set(func.output_names())
+    renamed: Dict[str, str] = {}
+
+    def at_stage(value: str, stage: int) -> str:
+        """The value delayed to ``stage``, inserting shared registers."""
+        base = value_stage[value]
+        assert stage >= base, "value needed before it exists"
+        chain = staged.setdefault(
+            value, {base: renamed.get(value, value)}
+        )
+        current_stage = max(s for s in chain if s <= stage)
+        current = chain[current_stage]
+        while current_stage < stage:
+            current_stage += 1
+            reg_dst = names.fresh(f"{value}_s")
+            new_instrs.append(
+                CompInstr(
+                    dst=reg_dst,
+                    ty=types[value],
+                    attrs=(0,),
+                    args=(current, enable),
+                    op=CompOp.REG,
+                    res=Res.ANY,
+                )
+            )
+            chain[current_stage] = reg_dst
+            current = reg_dst
+        return current
+
+    for instr in ordered:
+        if isinstance(instr, CompInstr):
+            stage = stage_of_level(levels[instr.dst])
+        else:
+            stage = max(
+                (value_stage[arg] for arg in instr.args), default=0
+            )
+        args = tuple(at_stage(arg, stage) for arg in instr.args)
+        dst = instr.dst
+        if dst in output_names:
+            # Outputs keep their names on the *final* registers; the
+            # producing instruction is renamed.
+            dst = names.fresh(f"{instr.dst}_raw")
+            renamed[instr.dst] = dst
+        if isinstance(instr, CompInstr):
+            new_instrs.append(
+                CompInstr(
+                    dst=dst,
+                    ty=instr.ty,
+                    attrs=instr.attrs,
+                    args=args,
+                    op=instr.op,
+                    res=instr.res,
+                )
+            )
+        else:
+            assert isinstance(instr, WireInstr)
+            new_instrs.append(
+                WireInstr(
+                    dst=dst,
+                    ty=instr.ty,
+                    attrs=instr.attrs,
+                    args=args,
+                    op=instr.op,
+                )
+            )
+        value_stage[instr.dst] = stage
+
+    # Delay every output to the final boundary: `stages` registers on
+    # every path.
+    for port in func.outputs:
+        current = renamed.get(port.name, port.name)
+        chain_stage = value_stage[port.name]
+        while chain_stage < stages:
+            chain_stage += 1
+            dst = (
+                port.name
+                if chain_stage == stages
+                else names.fresh(f"{port.name}_s")
+            )
+            new_instrs.append(
+                CompInstr(
+                    dst=dst,
+                    ty=port.ty,
+                    attrs=(0,),
+                    args=(current, enable),
+                    op=CompOp.REG,
+                    res=Res.ANY,
+                )
+            )
+            current = dst
+
+    result = Func(
+        name=func.name,
+        inputs=tuple(inputs),
+        outputs=func.outputs,
+        instrs=tuple(new_instrs),
+    )
+    return PipelineResult(
+        func=result,
+        stages=stages,
+        registers_added=sum(1 for i in new_instrs if i.is_stateful),
+        stage_of={instr.dst: value_stage[instr.dst] for instr in ordered},
+    )

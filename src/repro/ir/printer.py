@@ -1,0 +1,49 @@
+"""Pretty-printer for the intermediate language.
+
+``parse(print(x)) == x`` for every well-formed AST; the printers and
+parsers are round-trip tested against each other with hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import CompInstr, Func, Instr, Prog, Res
+
+INDENT = "    "
+
+
+def print_instr(instr: Instr) -> str:
+    """Render one instruction, without a trailing newline."""
+    parts = [f"{instr.dst}:{instr.ty} = {instr.op_name}"]
+    if instr.attrs:
+        parts.append("[" + ", ".join(str(attr) for attr in instr.attrs) + "]")
+    if instr.args:
+        parts.append("(" + ", ".join(instr.args) + ")")
+    if isinstance(instr, CompInstr) and instr.res is not Res.ANY:
+        parts.append(f" @{instr.res.value}")
+    parts.append(";")
+    return "".join(parts)
+
+
+def print_instr_explicit(instr: Instr) -> str:
+    """Render one instruction, always spelling the @res on compute ops."""
+    text = print_instr(instr)
+    if isinstance(instr, CompInstr) and instr.res is Res.ANY:
+        return text[:-1] + " @??;"
+    return text
+
+
+def print_func(func: Func, explicit_res: bool = False) -> str:
+    """Render a whole function."""
+    render = print_instr_explicit if explicit_res else print_instr
+    inputs = ", ".join(f"{port.name}: {port.ty}" for port in func.inputs)
+    outputs = ", ".join(f"{port.name}: {port.ty}" for port in func.outputs)
+    lines = [f"def {func.name}({inputs}) -> ({outputs}) {{"]
+    for instr in func.instrs:
+        lines.append(INDENT + render(instr))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_prog(prog: Prog, explicit_res: bool = False) -> str:
+    """Render a whole program."""
+    return "\n\n".join(print_func(func, explicit_res) for func in prog)

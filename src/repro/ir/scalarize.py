@@ -1,0 +1,102 @@
+"""Scalarization: rewriting vector compute operations lane-wise.
+
+Behavioral HDLs have no lane semantics — a vector value is just a wide
+bus — so the vendor-toolchain simulator scalarizes before mapping
+(this is precisely why "Vivado fails to exploit vectorization even for
+this simple, dependency-free parallel workload", Section 7.2).  The
+baseline emitters also use this pass to produce the paper's
+``base``/``hint`` programs from vectorized Reticle programs.
+
+The transform is behaviour-preserving: each vector compute instruction
+becomes per-lane scalar instructions bracketed by free ``slice``/
+``cat`` wire operations, so the original variable names (and the
+function signature) are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.ast import CompInstr, Func, Instr, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.semantics import reg_init_pattern
+from repro.ir.types import Vec
+from repro.utils.bits import to_signed, unpack_lanes
+from repro.utils.names import NameGenerator
+
+
+def _lane_inits(instr: CompInstr) -> List[int]:
+    ty = instr.ty
+    width = ty.lane_type().width
+    pattern = reg_init_pattern(instr.attrs, ty)
+    return [
+        to_signed(lane, width)
+        for lane in unpack_lanes(pattern, width, ty.lanes)
+    ]
+
+
+def scalarize_func(func: Func) -> Func:
+    """Rewrite every vector compute instruction lane-wise."""
+    names = NameGenerator(func.defs(), prefix="_s")
+    types = func.defs()
+    out: List[Instr] = []
+
+    for instr in func.instrs:
+        if not isinstance(instr, CompInstr) or not isinstance(instr.ty, Vec):
+            out.append(instr)
+            continue
+
+        ty = instr.ty
+        elem = ty.elem
+        lanes = ty.lanes
+        inits = _lane_inits(instr) if instr.op is CompOp.REG else None
+
+        # Slice each vector argument into lane variables (scalar
+        # arguments — mux conditions, register enables — pass through).
+        lane_args: List[List[str]] = []
+        for arg in instr.args:
+            if isinstance(types[arg], Vec):
+                lane_names = []
+                for lane in range(lanes):
+                    lane_name = names.fresh(f"{arg}_l")
+                    out.append(
+                        WireInstr(
+                            dst=lane_name,
+                            ty=elem,
+                            attrs=(lane,),
+                            args=(arg,),
+                            op=WireOp.SLICE,
+                        )
+                    )
+                    lane_names.append(lane_name)
+                lane_args.append(lane_names)
+            else:
+                lane_args.append([arg] * lanes)
+
+        lane_dsts = []
+        for lane in range(lanes):
+            lane_dst = names.fresh(f"{instr.dst}_l")
+            attrs = (inits[lane],) if inits is not None else instr.attrs
+            out.append(
+                CompInstr(
+                    dst=lane_dst,
+                    ty=elem,
+                    attrs=attrs,
+                    args=tuple(arg[lane] for arg in lane_args),
+                    op=instr.op,
+                    res=instr.res,
+                )
+            )
+            lane_dsts.append(lane_dst)
+
+        out.append(
+            WireInstr(
+                dst=instr.dst,
+                ty=ty,
+                attrs=(),
+                args=tuple(lane_dsts),
+                op=WireOp.CAT,
+            )
+        )
+
+    return func.with_instrs(tuple(out))

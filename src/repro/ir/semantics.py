@@ -1,0 +1,147 @@
+"""Bit-accurate evaluation of individual IR operations.
+
+Values are carried as unsigned bit patterns; integer operations wrap
+two's-complement at the type's lane width, and vector operations apply
+lane-wise (the dataflow semantics of Section 4.1).  This module is the
+single source of operational truth — the IR interpreter, the ASM
+interpreter, and the differential netlist tests all evaluate through
+these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import InterpError
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.types import Int, Ty, Vec
+from repro.utils.bits import (
+    bit_concat,
+    bit_select,
+    pack_lanes,
+    to_signed,
+    to_unsigned,
+    truncate,
+    unpack_lanes,
+)
+
+
+def _lanes_of(pattern: int, ty: Ty) -> Tuple[int, ...]:
+    width = ty.lane_type().width
+    return tuple(unpack_lanes(pattern, width, ty.lanes))
+
+
+def _lane_arith(op: CompOp, a: int, b: int, width: int) -> int:
+    if op is CompOp.ADD:
+        return truncate(a + b, width)
+    if op is CompOp.SUB:
+        return truncate(a - b, width)
+    if op is CompOp.MUL:
+        return truncate(a * b, width)
+    raise InterpError(f"not an arithmetic op: {op}")  # pragma: no cover
+
+
+def _compare(op: CompOp, a: int, b: int, ty: Ty) -> int:
+    if isinstance(ty, Int):
+        a_val = to_signed(a, ty.width)
+        b_val = to_signed(b, ty.width)
+    else:
+        a_val, b_val = a, b
+    if op is CompOp.EQ:
+        return int(a_val == b_val)
+    if op is CompOp.NEQ:
+        return int(a_val != b_val)
+    if op is CompOp.LT:
+        return int(a_val < b_val)
+    if op is CompOp.GT:
+        return int(a_val > b_val)
+    if op is CompOp.LE:
+        return int(a_val <= b_val)
+    if op is CompOp.GE:
+        return int(a_val >= b_val)
+    raise InterpError(f"not a comparison op: {op}")  # pragma: no cover
+
+
+def eval_pure_comp(
+    op: CompOp,
+    ty: Ty,
+    args: Sequence[int],
+    arg_types: Sequence[Ty],
+) -> int:
+    """Evaluate a pure (non-``reg``) compute operation to a bit pattern."""
+    if op in (CompOp.ADD, CompOp.SUB, CompOp.MUL):
+        width = ty.lane_type().width
+        lanes_a = _lanes_of(args[0], ty)
+        lanes_b = _lanes_of(args[1], ty)
+        result = [
+            _lane_arith(op, a, b, width) for a, b in zip(lanes_a, lanes_b)
+        ]
+        return pack_lanes(result, width)
+    if op is CompOp.NOT:
+        return truncate(~args[0], ty.width)
+    if op is CompOp.AND:
+        return args[0] & args[1]
+    if op is CompOp.OR:
+        return args[0] | args[1]
+    if op is CompOp.XOR:
+        return args[0] ^ args[1]
+    if op.is_comparison:
+        return _compare(op, args[0], args[1], arg_types[0])
+    if op is CompOp.MUX:
+        return args[1] if args[0] else args[2]
+    raise InterpError(f"cannot evaluate {op} as a pure operation")
+
+
+def eval_wire(
+    op: WireOp,
+    ty: Ty,
+    attrs: Sequence[int],
+    args: Sequence[int],
+    arg_types: Sequence[Ty],
+) -> int:
+    """Evaluate a wire operation to a bit pattern."""
+    if op in (WireOp.SLL, WireOp.SRL, WireOp.SRA):
+        amount = attrs[0]
+        width = ty.lane_type().width
+        lanes = _lanes_of(args[0], ty)
+        shifted = []
+        for lane in lanes:
+            if op is WireOp.SLL:
+                shifted.append(truncate(lane << amount, width))
+            elif op is WireOp.SRL:
+                shifted.append(lane >> amount)
+            else:  # arithmetic: replicate the sign bit
+                shifted.append(
+                    to_unsigned(to_signed(lane, width) >> amount, width)
+                )
+        return pack_lanes(shifted, width)
+    if op is WireOp.SLICE:
+        arg_ty = arg_types[0]
+        if isinstance(arg_ty, Vec):
+            lane = attrs[0]
+            width = arg_ty.elem.width
+            return bit_select(args[0], (lane + 1) * width - 1, lane * width)
+        hi, lo = attrs
+        return bit_select(args[0], hi, lo)
+    if op is WireOp.CAT:
+        widths = [arg_ty.width for arg_ty in arg_types]
+        return bit_concat(list(args), widths)
+    if op is WireOp.ID:
+        return args[0]
+    if op is WireOp.CONST:
+        width = ty.lane_type().width
+        if len(attrs) == 1:
+            values = [attrs[0]] * ty.lanes
+        else:
+            values = list(attrs)
+        return pack_lanes([to_unsigned(v, width) for v in values], width)
+    raise InterpError(f"unhandled wire op: {op}")  # pragma: no cover
+
+
+def reg_init_pattern(attrs: Sequence[int], ty: Ty) -> int:
+    """The reset pattern of a ``reg[init]`` instruction."""
+    width = ty.lane_type().width
+    init = attrs[0] if attrs else 0
+    if len(attrs) > 1:
+        return pack_lanes([to_unsigned(v, width) for v in attrs], width)
+    return pack_lanes([to_unsigned(init, width)] * ty.lanes, width)

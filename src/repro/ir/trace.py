@@ -1,0 +1,115 @@
+"""Value traces for the reference interpreter (paper Section 6.2).
+
+A *trace* maps each circuit variable to its value on every clock
+cycle: an input trace completely specifies a circuit's inputs, an
+output trace its outputs.  User-facing values are signed Python ints
+for scalars and tuples of ints for vector lanes; the conversion to and
+from bit patterns happens at the trace boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import InterpError
+from repro.ir.types import Bool, Ty, Vec
+from repro.utils.bits import pack_lanes, to_signed, to_unsigned, unpack_lanes
+
+Value = Union[int, Tuple[int, ...]]
+
+
+def encode_value(value: Value, ty: Ty) -> int:
+    """Convert a user-facing value into an unsigned bit pattern."""
+    width = ty.lane_type().width
+    if isinstance(ty, Vec):
+        if isinstance(value, int):
+            lanes: Sequence[int] = [value] * ty.lanes
+        else:
+            lanes = value
+        if len(lanes) != ty.lanes:
+            raise InterpError(
+                f"value for {ty} needs {ty.lanes} lanes, got {len(lanes)}"
+            )
+        return pack_lanes([to_unsigned(v, width) for v in lanes], width)
+    if not isinstance(value, int):
+        raise InterpError(f"scalar value expected for {ty}, got {value!r}")
+    if isinstance(ty, Bool) and value not in (0, 1, -1):
+        raise InterpError(f"bool value must be 0 or 1, got {value}")
+    return to_unsigned(value, width)
+
+
+def decode_value(pattern: int, ty: Ty) -> Value:
+    """Convert a bit pattern into a user-facing value."""
+    width = ty.lane_type().width
+    if isinstance(ty, Vec):
+        lanes = unpack_lanes(pattern, width, ty.lanes)
+        return tuple(to_signed(lane, width) for lane in lanes)
+    if isinstance(ty, Bool):
+        return pattern & 1
+    return to_signed(pattern, width)
+
+
+class Trace:
+    """A map of per-cycle values for named circuit variables.
+
+    All variables in a trace must have the same number of steps.
+    """
+
+    def __init__(self, values: Mapping[str, Iterable[Value]] = ()) -> None:
+        self._values: Dict[str, List[Value]] = {
+            name: list(steps) for name, steps in dict(values).items()
+        }
+        self._check_rectangular()
+
+    def _check_rectangular(self) -> None:
+        lengths = {len(steps) for steps in self._values.values()}
+        if len(lengths) > 1:
+            raise InterpError(
+                f"trace variables have differing lengths: {sorted(lengths)}"
+            )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        """Number of clock cycles covered by the trace."""
+        for steps in self._values.values():
+            return len(steps)
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> List[Value]:
+        return self._values[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._values == other._values
+
+    def step(self, index: int) -> Dict[str, Value]:
+        """The values of every variable at cycle ``index``."""
+        return {name: steps[index] for name, steps in self._values.items()}
+
+    def push(self, values: Mapping[str, Value]) -> None:
+        """Append one cycle of values (Algorithm 1, line 9)."""
+        if not self._values:
+            self._values = {name: [value] for name, value in values.items()}
+            return
+        if set(values) != set(self._values):
+            raise InterpError("pushed step names do not match the trace")
+        for name, value in values.items():
+            self._values[name].append(value)
+
+    def steps(self) -> Iterable[Dict[str, Value]]:
+        """Iterate over cycles in order."""
+        for index in range(len(self)):
+            yield self.step(index)
+
+    def to_dict(self) -> Dict[str, List[Value]]:
+        return {name: list(steps) for name, steps in self._values.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self._values!r})"

@@ -1,0 +1,254 @@
+"""Typing rules for the intermediate language.
+
+The checker validates, per instruction: arity, attribute counts and
+ranges, operand/result type agreement, and — for the whole function —
+that every argument refers to a defined variable and every output port
+is produced by an instruction of the right type.
+
+Typing summary (T ranges over all types, I over integer/vector types):
+
+=========  ===========================================  =============
+op         arguments                                    result
+=========  ===========================================  =============
+add/sub/   (I, I), both equal to the result             I
+mul
+not        (T,) equal to result                         T
+and/or/    (T, T), both equal to the result             T
+xor
+eq/neq     (S, S), equal scalar types                   bool
+lt/gt/     (iN, iN), equal scalar integers              bool
+le/ge
+mux        (bool, T, T)                                 T
+reg[v]     (T, bool); v is the initial value            T
+sll/srl/   (I,) equal to result; attr shift in          I
+sra[k]     ``[0, lane width]``
+slice      scalar: [hi, lo] over arg bits;              iW / lane type
+           vector: [lane]
+cat        scalar results: widths sum; vector results:  iW / iN<L>
+           one equal-typed arg per lane
+id         (T,) equal to result                         T
+const[..]  scalar: one attr; vector: one per lane or    T
+           a single splatted attr
+=========  ===========================================  =============
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TypeCheckError
+from repro.ir.ast import CompInstr, Func, Instr, Prog, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.types import Bool, Int, Ty, Vec
+
+
+def _fail(instr: Instr, message: str) -> TypeCheckError:
+    return TypeCheckError(f"in {instr.dst!r} ({instr.op_name}): {message}")
+
+
+def _check_const_value(instr: Instr, value: int, ty: Ty) -> None:
+    width = ty.lane_type().width
+    lo = -(1 << (width - 1)) if ty.is_signed else 0
+    hi = 1 << width
+    if not lo <= value < hi:
+        raise _fail(instr, f"constant {value} does not fit in {ty.lane_type()}")
+
+
+def _check_attr_count(instr: Instr, count: int) -> None:
+    if len(instr.attrs) != count:
+        raise _fail(
+            instr, f"expected {count} attribute(s), found {len(instr.attrs)}"
+        )
+
+
+def _check_arity(instr: Instr, count: int) -> None:
+    if len(instr.args) != count:
+        raise _fail(
+            instr, f"expected {count} argument(s), found {len(instr.args)}"
+        )
+
+
+def _arg_types(instr: Instr, env: Dict[str, Ty]) -> list:
+    types = []
+    for arg in instr.args:
+        if arg not in env:
+            raise _fail(instr, f"undefined variable {arg!r}")
+        types.append(env[arg])
+    return types
+
+
+def check_comp_instr(instr: CompInstr, env: Dict[str, Ty]) -> None:
+    """Check one compute instruction against the definition table."""
+    op = instr.op
+    _check_arity(instr, op.arity)
+    _check_attr_count(instr, op.num_attrs)
+    args = _arg_types(instr, env)
+
+    if op in (CompOp.ADD, CompOp.SUB, CompOp.MUL):
+        if isinstance(instr.ty, Bool):
+            raise _fail(instr, "arithmetic on bool is not allowed")
+        if args[0] != instr.ty or args[1] != instr.ty:
+            raise _fail(instr, "operands must match the result type")
+    elif op is CompOp.NOT:
+        if args[0] != instr.ty:
+            raise _fail(instr, "operand must match the result type")
+    elif op in (CompOp.AND, CompOp.OR, CompOp.XOR):
+        if args[0] != instr.ty or args[1] != instr.ty:
+            raise _fail(instr, "operands must match the result type")
+    elif op.is_comparison:
+        if not isinstance(instr.ty, Bool):
+            raise _fail(instr, "comparison result must be bool")
+        if args[0] != args[1]:
+            raise _fail(instr, "comparison operands must have equal types")
+        if isinstance(args[0], Vec):
+            raise _fail(instr, "comparison of vectors is not supported")
+        if op in (CompOp.LT, CompOp.GT, CompOp.LE, CompOp.GE) and not isinstance(
+            args[0], Int
+        ):
+            raise _fail(instr, "ordered comparison requires integer operands")
+    elif op is CompOp.MUX:
+        if not isinstance(args[0], Bool):
+            raise _fail(instr, "mux condition must be bool")
+        if args[1] != instr.ty or args[2] != instr.ty:
+            raise _fail(instr, "mux branches must match the result type")
+    elif op is CompOp.REG:
+        if args[0] != instr.ty:
+            raise _fail(instr, "register data must match the result type")
+        if not isinstance(args[1], Bool):
+            raise _fail(instr, "register enable must be bool")
+        _check_const_value(instr, instr.attrs[0], instr.ty)
+    elif op is CompOp.RAM:
+        if not isinstance(instr.ty, Int):
+            raise _fail(instr, "ram data must be a scalar integer")
+        addr_bits = instr.attrs[0]
+        if not 1 <= addr_bits <= 16:
+            raise _fail(instr, f"ram address width {addr_bits} out of range")
+        if args[0] != Int(addr_bits):
+            raise _fail(
+                instr, f"ram address must be i{addr_bits} to match the depth"
+            )
+        if args[1] != instr.ty:
+            raise _fail(instr, "ram write data must match the result type")
+        if not isinstance(args[2], Bool) or not isinstance(args[3], Bool):
+            raise _fail(instr, "ram write-enable and enable must be bool")
+    else:  # pragma: no cover - exhaustive over CompOp
+        raise _fail(instr, "unhandled compute operation")
+
+
+def check_wire_instr(instr: WireInstr, env: Dict[str, Ty]) -> None:
+    """Check one wire instruction against the definition table."""
+    op = instr.op
+    if op.arity is not None:
+        _check_arity(instr, op.arity)
+    args = _arg_types(instr, env)
+
+    if op in (WireOp.SLL, WireOp.SRL, WireOp.SRA):
+        _check_attr_count(instr, 1)
+        if isinstance(instr.ty, Bool):
+            raise _fail(instr, "shift of bool is not allowed")
+        if args[0] != instr.ty:
+            raise _fail(instr, "operand must match the result type")
+        amount = instr.attrs[0]
+        if not 0 <= amount <= instr.ty.lane_type().width:
+            raise _fail(instr, f"shift amount {amount} out of range")
+    elif op is WireOp.SLICE:
+        arg = args[0]
+        if isinstance(arg, Vec):
+            _check_attr_count(instr, 1)
+            lane = instr.attrs[0]
+            if not 0 <= lane < arg.lanes:
+                raise _fail(instr, f"lane {lane} out of range for {arg}")
+            if instr.ty != arg.elem:
+                raise _fail(instr, "lane slice result must be the element type")
+        elif isinstance(arg, Int):
+            _check_attr_count(instr, 2)
+            hi, lo = instr.attrs
+            if not (0 <= lo <= hi < arg.width):
+                raise _fail(instr, f"slice [{hi}, {lo}] out of range for {arg}")
+            if instr.ty != Int(hi - lo + 1):
+                raise _fail(instr, f"slice [{hi}, {lo}] must produce i{hi - lo + 1}")
+        else:
+            raise _fail(instr, "slice of bool is not allowed")
+    elif op is WireOp.CAT:
+        _check_attr_count(instr, 0)
+        if len(instr.args) < 2:
+            raise _fail(instr, "cat requires at least two arguments")
+        if isinstance(instr.ty, Vec):
+            if len(args) != instr.ty.lanes:
+                raise _fail(
+                    instr,
+                    f"vector cat needs {instr.ty.lanes} arguments, "
+                    f"found {len(args)}",
+                )
+            for arg in args:
+                if arg != instr.ty.elem:
+                    raise _fail(instr, "vector cat arguments must be lane-typed")
+        elif isinstance(instr.ty, Int):
+            total = 0
+            for arg in args:
+                if isinstance(arg, Vec):
+                    raise _fail(instr, "bit cat of vectors is not allowed")
+                total += arg.width
+            if total != instr.ty.width:
+                raise _fail(
+                    instr,
+                    f"cat widths sum to {total}, result is {instr.ty.width} bits",
+                )
+        else:
+            raise _fail(instr, "cat cannot produce bool")
+    elif op is WireOp.ID:
+        _check_attr_count(instr, 0)
+        if args[0] != instr.ty:
+            raise _fail(instr, "operand must match the result type")
+    elif op is WireOp.CONST:
+        lanes = instr.ty.lanes
+        if len(instr.attrs) not in (1, lanes):
+            raise _fail(
+                instr,
+                f"const on {instr.ty} takes 1 or {lanes} attributes, "
+                f"found {len(instr.attrs)}",
+            )
+        for value in instr.attrs:
+            _check_const_value(instr, value, instr.ty)
+    else:  # pragma: no cover - exhaustive over WireOp
+        raise _fail(instr, "unhandled wire operation")
+
+
+def typecheck_func(func: Func) -> None:
+    """Check a whole function; raises :class:`TypeCheckError` on failure."""
+    env: Dict[str, Ty] = {}
+    for port in func.inputs:
+        if port.name in env:
+            raise TypeCheckError(f"duplicate input port {port.name!r}")
+        env[port.name] = port.ty
+
+    for instr in func.instrs:
+        if instr.dst in env:
+            raise TypeCheckError(f"redefinition of {instr.dst!r}")
+        env[instr.dst] = instr.ty
+
+    by_dst = func.instr_by_dst()
+    for port in func.outputs:
+        if port.name not in by_dst:
+            raise TypeCheckError(
+                f"output {port.name!r} is not defined by any instruction"
+            )
+        if env[port.name] != port.ty:
+            raise TypeCheckError(
+                f"output {port.name!r} has type {env[port.name]}, "
+                f"declared {port.ty}"
+            )
+
+    for instr in func.instrs:
+        if isinstance(instr, CompInstr):
+            check_comp_instr(instr, env)
+        elif isinstance(instr, WireInstr):
+            check_wire_instr(instr, env)
+        else:  # pragma: no cover - no other instruction classes
+            raise TypeCheckError(f"unknown instruction class: {type(instr)}")
+
+
+def typecheck_prog(prog: Prog) -> None:
+    """Check every function in a program."""
+    for func in prog:
+        typecheck_func(func)

@@ -1,0 +1,145 @@
+"""Types of the Reticle languages: ``bool``, ``iN``, and vectors ``iN<L>``.
+
+The paper's type grammar (Figure 5) is ``τ ∈ bool, int, i̅n̅t̅`` — booleans,
+sized integers, and integer vectors.  Integers are two's-complement and
+signed; a vector type gives SIMD lanes of a scalar integer type, which
+is how programs promote DSP vectorization (Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ParseError, TypeCheckError
+
+
+class Ty:
+    """Base class for all Reticle types."""
+
+    @property
+    def width(self) -> int:
+        """Total bit width of a value of this type."""
+        raise NotImplementedError
+
+    @property
+    def lanes(self) -> int:
+        """Number of SIMD lanes (1 for scalars)."""
+        return 1
+
+    @property
+    def is_vector(self) -> bool:
+        return self.lanes > 1
+
+    @property
+    def is_signed(self) -> bool:
+        return False
+
+    def lane_type(self) -> "Ty":
+        """The per-lane scalar type (self for scalars)."""
+        return self
+
+
+@dataclass(frozen=True)
+class Bool(Ty):
+    """A single bit, used for conditions and register enables."""
+
+    @property
+    def width(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class Int(Ty):
+    """A signed two's-complement integer of ``bits`` bits (``i8`` etc.)."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise TypeCheckError(f"integer width must be positive: i{self.bits}")
+
+    @property
+    def width(self) -> int:
+        return self.bits
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class Vec(Ty):
+    """A vector of ``length`` lanes of ``elem`` (``i8<4>``)."""
+
+    elem: Int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.elem, Int):
+            raise TypeCheckError("vector element must be an integer type")
+        if self.length < 2:
+            raise TypeCheckError(
+                f"vector length must be at least 2: {self.elem}<{self.length}>"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.elem.bits * self.length
+
+    @property
+    def lanes(self) -> int:
+        return self.length
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    def lane_type(self) -> Ty:
+        return self.elem
+
+    def __str__(self) -> str:
+        return f"{self.elem}<{self.length}>"
+
+
+BOOL = Bool()
+
+
+def parse_type(text: str) -> Ty:
+    """Parse a type from its textual form (``bool``, ``i8``, ``i8<4>``)."""
+    text = text.strip()
+    if text == "bool":
+        return BOOL
+    base = text
+    length = None
+    if text.endswith(">"):
+        open_idx = text.find("<")
+        if open_idx < 0:
+            raise ParseError(f"malformed type: {text!r}")
+        base = text[:open_idx]
+        lanes_text = text[open_idx + 1 : -1]
+        if not lanes_text.isdigit():
+            raise ParseError(f"malformed vector length in type: {text!r}")
+        length = int(lanes_text)
+    if not base.startswith("i") or not base[1:].isdigit():
+        raise ParseError(f"unknown type: {text!r}")
+    elem = Int(int(base[1:]))
+    if length is None:
+        return elem
+    return Vec(elem, length)
+
+
+TypeLike = Union[Ty, str]
+
+
+def as_type(value: TypeLike) -> Ty:
+    """Coerce a ``Ty`` or type string to a ``Ty``."""
+    if isinstance(value, Ty):
+        return value
+    return parse_type(value)

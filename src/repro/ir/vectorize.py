@@ -1,0 +1,212 @@
+"""Automatic vectorization (paper Section 8.2).
+
+"Front-end tools can promote the use of vector instructions in Reticle
+by using vector types; alternatively, more complex optimizations can
+attempt to automatically combine scalar operations into vector
+expressions."  This pass is that optimization: it finds groups of
+independent, same-shaped scalar operations and rewrites each group as
+one vector operation bracketed by free ``cat``/``slice`` wiring, so
+instruction selection can bind the group to a single SIMD DSP.
+
+Grouping is by dependence level — two instructions at the same ASAP
+level cannot feed one another combinationally — and is restricted to
+operations with SIMD implementations (``add``/``sub``) plus registers,
+and to the lane shapes the target family supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.ir.ast import CompInstr, Func, Instr, Res, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.semantics import reg_init_pattern
+from repro.ir.types import Int, Vec
+from repro.utils.bits import to_signed
+from repro.utils.names import NameGenerator
+
+# (element width, lanes) shapes the UltraScale-like DSP supports.
+DEFAULT_SHAPES: FrozenSet[Tuple[int, int]] = frozenset(
+    {(8, 4), (12, 4), (8, 2), (12, 2), (16, 2), (24, 2)}
+)
+
+VECTORIZABLE_OPS = (CompOp.ADD, CompOp.SUB, CompOp.REG)
+
+
+def _levels(func: Func) -> Dict[str, int]:
+    """ASAP dependence level per instruction (registers start paths)."""
+    producer = {
+        instr.dst: instr for instr in func.instrs if not instr.is_stateful
+    }
+    levels: Dict[str, int] = {}
+
+    def level_of(instr: Instr) -> int:
+        cached = levels.get(instr.dst)
+        if cached is not None:
+            return cached
+        levels[instr.dst] = 0  # cycle guard (well-formedness holds)
+        depth = 0
+        for arg in instr.args:
+            source = producer.get(arg)
+            if source is not None:
+                depth = max(depth, level_of(source) + 1)
+        levels[instr.dst] = depth
+        return depth
+
+    for instr in func.instrs:
+        level_of(instr)
+    return levels
+
+
+def _lanes_for(width: int, shapes: FrozenSet[Tuple[int, int]]) -> List[int]:
+    """Usable lane counts for an element width, widest groups first."""
+    return sorted(
+        (lanes for elem, lanes in shapes if elem == width), reverse=True
+    )
+
+
+@dataclass
+class VectorizeResult:
+    """The rewritten function plus what the pass did."""
+
+    func: Func
+    groups: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def vectorized(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+
+def vectorize_func(
+    func: Func,
+    shapes: FrozenSet[Tuple[int, int]] = DEFAULT_SHAPES,
+    ops: Sequence[CompOp] = VECTORIZABLE_OPS,
+) -> VectorizeResult:
+    """Combine independent scalar operations into vector operations.
+
+    Behaviour-preserving: every original destination keeps its name
+    (redefined as a free lane ``slice`` of the new vector value), so
+    consumers and outputs are untouched.
+    """
+    levels = _levels(func)
+    allowed = set(ops)
+
+    # Bucket candidates.  Registers group by (type, enable) — any two
+    # registers with the same enable commute; pure ops group by
+    # (op, type, level) so group members are mutually independent.
+    buckets: Dict[tuple, List[CompInstr]] = {}
+    for instr in func.instrs:
+        if not isinstance(instr, CompInstr) or instr.op not in allowed:
+            continue
+        if not isinstance(instr.ty, Int):
+            continue
+        if instr.op is CompOp.REG:
+            # Registers must also share the initial value: the vector
+            # register carries a single splatted init so the assembly
+            # attribute protocol (one attr per reg) stays uniform.
+            init = to_signed(
+                reg_init_pattern(instr.attrs, instr.ty), instr.ty.width
+            )
+            key = ("reg", instr.ty, instr.args[1], init)
+        else:
+            key = (instr.op, instr.ty, instr.res, levels[instr.dst])
+        buckets.setdefault(key, []).append(instr)
+
+    # Carve buckets into lane-shaped groups (widest first, remainder
+    # stays scalar).
+    group_of: Dict[str, Tuple[CompInstr, ...]] = {}
+    groups: List[Tuple[CompInstr, ...]] = []
+    for key, members in buckets.items():
+        width = members[0].ty.width
+        remaining = list(members)
+        for lanes in _lanes_for(width, shapes):
+            while len(remaining) >= lanes:
+                group = tuple(remaining[:lanes])
+                remaining = remaining[lanes:]
+                groups.append(group)
+                for member in group:
+                    group_of[member.dst] = group
+
+    if not groups:
+        return VectorizeResult(func=func)
+
+    names = NameGenerator(func.defs(), prefix="_v")
+    emitted_group: Dict[int, List[Instr]] = {}
+
+    def emit_group(group: Tuple[CompInstr, ...]) -> List[Instr]:
+        cached = emitted_group.get(id(group))
+        if cached is not None:
+            return []
+        first = group[0]
+        lanes = len(group)
+        vec_ty = Vec(first.ty, lanes)
+        out: List[Instr] = []
+
+        def cat_of(position: int) -> str:
+            cat_dst = names.fresh(f"{first.dst}_vc")
+            out.append(
+                WireInstr(
+                    dst=cat_dst,
+                    ty=vec_ty,
+                    attrs=(),
+                    args=tuple(member.args[position] for member in group),
+                    op=WireOp.CAT,
+                )
+            )
+            return cat_dst
+
+        vec_dst = names.fresh(f"{first.dst}_vv")
+        if first.op is CompOp.REG:
+            data = cat_of(0)
+            init = to_signed(
+                reg_init_pattern(first.attrs, first.ty), first.ty.width
+            )
+            out.append(
+                CompInstr(
+                    dst=vec_dst,
+                    ty=vec_ty,
+                    attrs=(init,),
+                    args=(data, first.args[1]),
+                    op=CompOp.REG,
+                    res=first.res,
+                )
+            )
+        else:
+            left = cat_of(0)
+            right = cat_of(1)
+            out.append(
+                CompInstr(
+                    dst=vec_dst,
+                    ty=vec_ty,
+                    attrs=(),
+                    args=(left, right),
+                    op=first.op,
+                    res=first.res,
+                )
+            )
+        for lane, member in enumerate(group):
+            out.append(
+                WireInstr(
+                    dst=member.dst,
+                    ty=member.ty,
+                    attrs=(lane,),
+                    args=(vec_dst,),
+                    op=WireOp.SLICE,
+                )
+            )
+        emitted_group[id(group)] = out
+        return out
+
+    new_instrs: List[Instr] = []
+    for instr in func.instrs:
+        group = group_of.get(instr.dst)
+        if group is None:
+            new_instrs.append(instr)
+        else:
+            new_instrs.extend(emit_group(group))
+
+    return VectorizeResult(
+        func=func.with_instrs(tuple(new_instrs)),
+        groups=[tuple(m.dst for m in group) for group in groups],
+    )

@@ -1,0 +1,122 @@
+"""Well-formedness: rejecting combinational cycles (paper Section 6.1).
+
+A program's dependence graph — vertices are instructions, edges are
+definition–use relationships — must be acyclic once ``reg``
+instructions are excluded.  Cycles are only legal through registers,
+which "break up" combinational loops by sampling at the clock edge
+(Figure 12).  Unlike HDL simulators, which silently produce x-values
+on combinational loops, Reticle rejects these programs ahead of time.
+
+The check also establishes the schedule the interpreter needs: the
+topological order of pure instructions ``P`` and the register queue
+``R`` (Algorithm 1, line 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import WellFormednessError
+from repro.ir.ast import CompInstr, Func, Instr
+
+
+@dataclass(frozen=True)
+class WellFormedInfo:
+    """The result of a successful well-formedness check.
+
+    ``pure_order`` lists every non-register instruction in dependence
+    order; ``regs`` lists the register instructions; ``reg_inits`` maps
+    each register destination to its initial-value attribute.
+    """
+
+    pure_order: Tuple[Instr, ...]
+    regs: Tuple[CompInstr, ...]
+    reg_inits: Dict[str, int]
+
+
+def _check_definitions(func: Func) -> None:
+    defined: Set[str] = set()
+    for port in func.inputs:
+        if port.name in defined:
+            raise WellFormednessError(f"duplicate input port {port.name!r}")
+        defined.add(port.name)
+    for instr in func.instrs:
+        if instr.dst in defined:
+            raise WellFormednessError(f"redefinition of {instr.dst!r}")
+        defined.add(instr.dst)
+    for instr in func.instrs:
+        for arg in instr.args:
+            if arg not in defined:
+                raise WellFormednessError(
+                    f"instruction {instr.dst!r} uses undefined variable {arg!r}"
+                )
+    for port in func.outputs:
+        if port.name not in defined:
+            raise WellFormednessError(f"output {port.name!r} is never defined")
+
+
+def check_well_formed(func: Func) -> WellFormedInfo:
+    """Check ``func``; return the interpreter schedule or raise.
+
+    Raises :class:`WellFormednessError` on duplicate/undefined names or
+    on a combinational (register-free) cycle.
+    """
+    _check_definitions(func)
+
+    regs: List[CompInstr] = []
+    pure: List[Instr] = []
+    for instr in func.instrs:
+        if instr.is_stateful:
+            assert isinstance(instr, CompInstr)
+            regs.append(instr)
+        else:
+            pure.append(instr)
+
+    # Dependence edges among *pure* instructions only: values produced
+    # by inputs or registers are available at the start of the cycle.
+    producer: Dict[str, int] = {
+        instr.dst: index for index, instr in enumerate(pure)
+    }
+    dependents: List[List[int]] = [[] for _ in pure]
+    in_degree = [0] * len(pure)
+    for index, instr in enumerate(pure):
+        for arg in instr.args:
+            source = producer.get(arg)
+            if source is not None:
+                dependents[source].append(index)
+                in_degree[index] += 1
+
+    # Kahn's algorithm, kept deterministic by visiting in program order.
+    ready = deque(i for i, degree in enumerate(in_degree) if degree == 0)
+    order: List[Instr] = []
+    while ready:
+        node = ready.popleft()
+        order.append(pure[node])
+        for succ in dependents[node]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+
+    if len(order) != len(pure):
+        stuck = sorted(
+            pure[i].dst for i, degree in enumerate(in_degree) if degree > 0
+        )
+        raise WellFormednessError(
+            "combinational cycle through: " + ", ".join(stuck)
+        )
+
+    reg_inits = {reg.dst: reg.attrs[0] if reg.attrs else 0 for reg in regs}
+    return WellFormedInfo(
+        pure_order=tuple(order), regs=tuple(regs), reg_inits=reg_inits
+    )
+
+
+def is_well_formed(func: Func) -> bool:
+    """Predicate form of :func:`check_well_formed`."""
+    try:
+        check_well_formed(func)
+    except WellFormednessError:
+        return False
+    return True

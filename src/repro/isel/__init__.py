@@ -1,0 +1,24 @@
+"""Instruction selection: lowering IR to assembly (paper Section 5.1).
+
+The pipeline is the classic software-compiler one, applied to the
+hardware domain: build the dataflow graph, partition it into trees
+(cutting at registers and at values with multiple uses), then cover
+each tree with target instructions using linear-time dynamic
+programming over the target's pattern library — a sharp departure
+from the randomized metaheuristics of traditional FPGA toolchains.
+"""
+
+from repro.isel.partition import SubjectNode, SubjectTree, partition
+from repro.isel.cover import Match, CoverResult, cover_tree
+from repro.isel.select import Selector, select
+
+__all__ = [
+    "SubjectNode",
+    "SubjectTree",
+    "partition",
+    "Match",
+    "CoverResult",
+    "cover_tree",
+    "Selector",
+    "select",
+]

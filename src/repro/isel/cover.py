@@ -1,0 +1,218 @@
+"""Optimal tree covering by dynamic programming (paper Section 5.1).
+
+The selector is the linear-time tree-covering algorithm of Aho and
+Ganapathi as used for code generation in software compilers: walk the
+subject tree in postorder; at every node, try each target pattern
+whose root matches; a pattern's cost is its own (weighted) area plus
+the best cost of every subject subtree bound to one of its leaves.
+Keeping the best match per node yields a minimum-cost cover of the
+whole tree.
+
+Resource annotations are *constraints*, not hints: a pattern only
+matches if every subject instruction it covers is annotated ``@??`` or
+with the pattern's own primitive, so an unsatisfiable annotation makes
+the node uncoverable and selection fails loudly (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SelectionError
+from repro.ir.ast import CompInstr, Res
+from repro.isel.partition import SubjectNode, SubjectTree
+from repro.prims import Prim
+from repro.tdl.pattern import Pattern, PatternNode
+
+
+@dataclass(frozen=True)
+class Match:
+    """A successful match of one pattern at one subject node.
+
+    ``bindings`` maps definition input names to subject variable
+    names; ``captured`` lists the subject instructions matched to the
+    pattern body, in body order (their attrs parameterize the emitted
+    assembly instruction); ``subtrees`` are the subject nodes bound to
+    pattern leaves, which must be covered by their own matches.
+    """
+
+    pattern: Pattern
+    node: SubjectNode
+    bindings: Dict[str, str]
+    captured: Tuple[CompInstr, ...]
+    subtrees: Tuple[SubjectNode, ...]
+
+    @property
+    def def_name(self) -> str:
+        return self.pattern.name
+
+    def arg_names(self) -> Tuple[str, ...]:
+        """Arguments of the emitted instruction, in definition order."""
+        return tuple(
+            self.bindings[port.name] for port in self.pattern.asm_def.inputs
+        )
+
+    def captured_attrs(self) -> Tuple[int, ...]:
+        attrs: List[int] = []
+        for instr in self.captured:
+            attrs.extend(instr.attrs)
+        return tuple(attrs)
+
+
+def _res_allows(res: Res, prim: Prim) -> bool:
+    return res is Res.ANY or res.value == prim.value
+
+
+def match_at(
+    pattern: Pattern,
+    node: SubjectNode,
+    types: Optional[Dict[str, object]] = None,
+) -> Optional[Match]:
+    """Try to match ``pattern`` rooted at ``node``.
+
+    ``types`` maps subject variable names to their types so that
+    pattern leaves (definition inputs) only bind type-correct
+    operands; without it only internal node types are checked.
+    """
+    prim = pattern.asm_def.prim
+    input_types = {port.name: port.ty for port in pattern.asm_def.inputs}
+    bindings: Dict[str, str] = {}
+    matched_by_dst: Dict[str, CompInstr] = {}
+    subtrees: List[SubjectNode] = []
+
+    def walk(pat: PatternNode, subj: SubjectNode) -> bool:
+        instr = subj.instr
+        if pat.instr.op is not instr.op:
+            return False
+        if pat.instr.ty != instr.ty:
+            return False
+        if not _res_allows(instr.res, prim):
+            return False
+        if len(pat.children) != len(subj.children):
+            return False
+        matched_by_dst[pat.instr.dst] = instr
+        for pat_child, subj_child in zip(pat.children, subj.children):
+            if isinstance(pat_child, PatternNode):
+                if not isinstance(subj_child, SubjectNode):
+                    return False
+                if not walk(pat_child, subj_child):
+                    return False
+            else:
+                # Pattern leaf: bind the definition input to the
+                # subject variable (non-linear patterns must bind the
+                # same variable each time).
+                subj_name = (
+                    subj_child.dst
+                    if isinstance(subj_child, SubjectNode)
+                    else subj_child
+                )
+                expected = input_types[pat_child]
+                if isinstance(subj_child, SubjectNode):
+                    if subj_child.instr.ty != expected:
+                        return False
+                elif types is not None and types.get(subj_name) != expected:
+                    return False
+                bound = bindings.get(pat_child)
+                if bound is None:
+                    bindings[pat_child] = subj_name
+                    if isinstance(subj_child, SubjectNode):
+                        subtrees.append(subj_child)
+                elif bound != subj_name:
+                    return False
+        return True
+
+    if not walk(pattern.root, node):
+        return None
+
+    captured = tuple(
+        matched_by_dst[body.dst] for body in pattern.body_order_nodes()
+    )
+    return Match(
+        pattern=pattern,
+        node=node,
+        bindings=bindings,
+        captured=captured,
+        subtrees=tuple(subtrees),
+    )
+
+
+@dataclass
+class CoverResult:
+    """The minimum-cost cover of one subject tree.
+
+    ``matches`` lists the chosen matches in emission (dependency)
+    order; ``cost`` is the total weighted area.
+    """
+
+    tree: SubjectTree
+    matches: List[Match]
+    cost: float
+
+
+def cover_tree(
+    tree: SubjectTree,
+    patterns_by_root: Dict[Tuple[object, object], List[Pattern]],
+    prim_weight: Dict[Prim, float],
+    types: Optional[Dict[str, object]] = None,
+) -> CoverResult:
+    """Cover ``tree`` with minimum total weighted area.
+
+    ``patterns_by_root`` indexes patterns by their root ``(op, ty)``;
+    ``prim_weight`` scales each primitive's area into a common cost
+    unit (see ``Selector.dsp_weight``).
+    """
+    best: Dict[int, Tuple[float, Match]] = {}
+
+    def cost_of(node: SubjectNode) -> float:
+        key = id(node)
+        cached = best.get(key)
+        if cached is not None:
+            return cached[0]
+        node_best: Optional[Tuple[float, Match]] = None
+        candidates = patterns_by_root.get(
+            (node.instr.op, node.instr.ty), []
+        )
+        for pattern in candidates:
+            match = match_at(pattern, node, types)
+            if match is None:
+                continue
+            cost = pattern.asm_def.area * prim_weight[pattern.asm_def.prim]
+            feasible = True
+            for subtree in match.subtrees:
+                sub_cost = cost_of(subtree)
+                if sub_cost == float("inf"):
+                    feasible = False
+                    break
+                cost += sub_cost
+            if not feasible:
+                continue
+            if node_best is None or cost < node_best[0]:
+                node_best = (cost, match)
+        if node_best is None:
+            best[key] = (float("inf"), None)  # type: ignore[assignment]
+            return float("inf")
+        best[key] = node_best
+        return node_best[0]
+
+    total = cost_of(tree.root)
+    if total == float("inf"):
+        instr = tree.root.instr
+        raise SelectionError(
+            f"no target instruction covers {instr.dst!r} "
+            f"({instr.op_name} : {instr.ty} @{instr.res})"
+        )
+
+    # Recover the chosen matches, children before parents so emitted
+    # instructions are in dependency order.
+    ordered: List[Match] = []
+
+    def emit(node: SubjectNode) -> None:
+        match = best[id(node)][1]
+        assert match is not None
+        for subtree in match.subtrees:
+            emit(subtree)
+        ordered.append(match)
+
+    emit(tree.root)
+    return CoverResult(tree=tree, matches=ordered, cost=total)

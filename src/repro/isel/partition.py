@@ -1,0 +1,123 @@
+"""Tree partitioning of the dataflow graph (paper Section 5.1).
+
+Tree-covering algorithms need trees, but a program's dataflow graph is
+a DAG (shared values) and may contain cycles (feedback through
+registers).  Partitioning cuts the graph at *root* nodes — compute
+instructions whose value is used more than once, or not at all inside
+the function body (outputs) — so every fragment between cuts is a pure
+tree.  Because well-formed programs have no combinational cycles
+(Section 6.1), every cycle passes through a register and is broken by
+a cut at a multiply-used value; a visited-set guard keeps the
+traversal safe even for degenerate dead-code cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.ir.ast import CompInstr, Func
+from repro.ir.dfg import DataflowGraph
+
+# A child of a subject node is either a nested node or the name of a
+# variable that acts as a leaf (input, wire value, or another tree's
+# root).
+SubjectChild = Union["SubjectNode", str]
+
+
+@dataclass(frozen=True)
+class SubjectNode:
+    """One compute instruction inside a subject tree."""
+
+    instr: CompInstr
+    children: Tuple[SubjectChild, ...]
+
+    @property
+    def dst(self) -> str:
+        return self.instr.dst
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(
+            child.size for child in self.children if isinstance(child, SubjectNode)
+        )
+
+    def nodes(self) -> List["SubjectNode"]:
+        """All nodes in this subtree, root first."""
+        found = [self]
+        for child in self.children:
+            if isinstance(child, SubjectNode):
+                found.extend(child.nodes())
+        return found
+
+
+@dataclass(frozen=True)
+class SubjectTree:
+    """A maximal tree of compute instructions rooted at a cut point."""
+
+    root: SubjectNode
+
+    @property
+    def dst(self) -> str:
+        return self.root.dst
+
+    @property
+    def size(self) -> int:
+        return self.root.size
+
+
+def partition(func: Func) -> List[SubjectTree]:
+    """Partition ``func``'s compute instructions into subject trees.
+
+    Every compute instruction appears in exactly one tree; wire
+    instructions are never part of trees (they are area-free and pass
+    through selection unchanged).
+    """
+    dfg = DataflowGraph.build(func)
+    comp_instrs = [
+        instr for instr in func.instrs if isinstance(instr, CompInstr)
+    ]
+    comp_by_dst: Dict[str, CompInstr] = {
+        instr.dst: instr for instr in comp_instrs
+    }
+
+    claimed: Set[str] = set()
+
+    def is_root(instr: CompInstr) -> bool:
+        # A compute value stays inside a tree only when it is consumed
+        # exactly once, by another compute instruction; anything else —
+        # multiple uses, an output port, or a wire-instruction consumer
+        # — cuts the tree here.
+        if dfg.use_count(instr.dst) != 1 or dfg.is_output(instr.dst):
+            return True
+        consumer, _ = dfg.consumers[instr.dst][0]
+        return not isinstance(consumer, CompInstr)
+
+    def grow(instr: CompInstr, on_path: Set[str]) -> SubjectNode:
+        claimed.add(instr.dst)
+        children: List[SubjectChild] = []
+        for arg in instr.args:
+            child = comp_by_dst.get(arg)
+            if (
+                child is not None
+                and not is_root(child)
+                and child.dst not in claimed
+                and child.dst not in on_path
+            ):
+                children.append(grow(child, on_path | {instr.dst}))
+            else:
+                children.append(arg)
+        return SubjectNode(instr=instr, children=tuple(children))
+
+    trees: List[SubjectTree] = []
+    for instr in comp_instrs:
+        if is_root(instr) and instr.dst not in claimed:
+            trees.append(SubjectTree(root=grow(instr, set())))
+
+    # Sweep for anything unclaimed (dead combinational islands feeding
+    # only each other through a register): force each to be a root.
+    for instr in comp_instrs:
+        if instr.dst not in claimed:
+            trees.append(SubjectTree(root=grow(instr, set())))
+
+    return trees

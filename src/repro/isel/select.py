@@ -1,0 +1,111 @@
+"""Top-level instruction selection: IR function -> assembly function.
+
+:class:`Selector` prepares a target's pattern index once and lowers
+any number of functions against it.  The emitted assembly program has
+unknown locations (coordinate wildcards) which the layout optimizer
+and the placer resolve later (Figure 7, stages c-e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
+from repro.asm.coords import Loc, WILDCARD
+from repro.ir.ast import Func, WireInstr
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from repro.isel.cover import CoverResult, cover_tree
+from repro.isel.partition import partition
+from repro.prims import Prim
+from repro.tdl.ast import Target
+from repro.tdl.pattern import Pattern, build_pattern
+
+# With area measured in primitive units (LUTs for lut defs, slices for
+# dsp defs), this weight makes one DSP slice cost as much as 16 LUTs.
+# The resulting policy matches vendor cost models (Section 2): small
+# scalar adds stay on abundant LUTs, while multiplies, fused
+# multiply-adds, and SIMD vector ops win on DSPs.
+DEFAULT_DSP_WEIGHT = 16.0
+
+
+@dataclass
+class Selector:
+    """Reusable instruction selector for one target."""
+
+    target: Target
+    dsp_weight: float = DEFAULT_DSP_WEIGHT
+    _index: Dict[Tuple[object, object], List[Pattern]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for asm_def in self.target:
+            pattern = build_pattern(asm_def)
+            root = asm_def.root()
+            key = (root.op, root.ty)
+            self._index.setdefault(key, []).append(pattern)
+        # Prefer larger patterns on cost ties so fused instructions win
+        # deterministically.
+        for patterns in self._index.values():
+            patterns.sort(key=lambda p: -p.size)
+
+    @property
+    def prim_weight(self) -> Dict[Prim, float]:
+        # BRAMs have no LUT-mapped alternative in the library, so
+        # their weight only scales reported costs.
+        return {
+            Prim.LUT: 1.0,
+            Prim.DSP: self.dsp_weight,
+            Prim.BRAM: 4 * self.dsp_weight,
+        }
+
+    def cover(self, func: Func) -> List[CoverResult]:
+        """Partition and cover ``func``; exposed for tests/diagnostics."""
+        trees = partition(func)
+        weight = self.prim_weight
+        types = func.defs()
+        return [
+            cover_tree(tree, self._index, weight, types) for tree in trees
+        ]
+
+    def select(self, func: Func) -> AsmFunc:
+        """Lower one IR function to assembly with unknown locations."""
+        typecheck_func(func)
+        check_well_formed(func)
+
+        covers = self.cover(func)
+        instrs: List[AsmOrWire] = [
+            instr for instr in func.instrs if isinstance(instr, WireInstr)
+        ]
+        for cover in covers:
+            for match in cover.matches:
+                asm_def = match.pattern.asm_def
+                instrs.append(
+                    AsmInstr(
+                        dst=match.node.dst,
+                        ty=match.node.instr.ty,
+                        op=match.def_name,
+                        attrs=match.captured_attrs(),
+                        args=match.arg_names(),
+                        loc=Loc(asm_def.prim, WILDCARD, WILDCARD),
+                    )
+                )
+        return AsmFunc(
+            name=func.name,
+            inputs=func.inputs,
+            outputs=func.outputs,
+            instrs=tuple(instrs),
+        )
+
+    def total_cost(self, func: Func) -> float:
+        """The weighted-area cost of the chosen cover (for tests)."""
+        return sum(cover.cost for cover in self.cover(func))
+
+
+def select(
+    func: Func, target: Target, dsp_weight: float = DEFAULT_DSP_WEIGHT
+) -> AsmFunc:
+    """One-shot selection of ``func`` against ``target``."""
+    return Selector(target=target, dsp_weight=dsp_weight).select(func)

@@ -1,0 +1,8 @@
+"""Shared lexical and parsing infrastructure for the three Reticle
+textual languages: the intermediate language (IR), the assembly
+language (ASM), and the target description language (TDL)."""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.cursor import TokenCursor
+
+__all__ = ["Token", "TokenKind", "tokenize", "TokenCursor"]

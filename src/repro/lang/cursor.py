@@ -1,0 +1,64 @@
+"""A token cursor with the lookahead/expect operations the recursive
+descent parsers share."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, TokenKind
+
+
+class TokenCursor:
+    """Sequential reader over a token list with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def at(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self.peek
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def accept(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        """Consume and return the next token if it matches, else None."""
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        """Consume the next token, raising ParseError on mismatch."""
+        token = self.peek
+        if not self.at(kind, text):
+            wanted = text if text is not None else kind.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or token.kind.value!r}",
+                token.line,
+                token.col,
+            )
+        return self.advance()
+
+    def expect_ident(self, text: Optional[str] = None) -> Token:
+        return self.expect(TokenKind.IDENT, text)
+
+    def expect_int(self) -> int:
+        return self.expect(TokenKind.INT).int_value
+
+    def at_end(self) -> bool:
+        return self.peek.kind is TokenKind.EOF
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek
+        return ParseError(message, token.line, token.col)

@@ -1,0 +1,161 @@
+"""Tokenizer shared by the IR, ASM, and TDL parsers.
+
+The three surface languages of the paper (Figures 5a, 5b, and 9) share
+one lexical grammar: identifiers, integers, and a small set of
+punctuation including the wildcard ``??`` and the arrow ``->``.
+Comments are ``//`` to end of line and ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    LANGLE = "<"
+    RANGLE = ">"
+    COMMA = ","
+    COLON = ":"
+    SEMI = ";"
+    EQUALS = "="
+    AT = "@"
+    ARROW = "->"
+    WILDCARD = "??"
+    PLUS = "+"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.col}"
+
+
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "<": TokenKind.LANGLE,
+    ">": TokenKind.RANGLE,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    "=": TokenKind.EQUALS,
+    "@": TokenKind.AT,
+    "+": TokenKind.PLUS,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, returning a list ending in an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for consumed in source[i : end + 2]:
+                if consumed == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        if source.startswith("->", i):
+            tokens.append(Token(TokenKind.ARROW, "->", line, col))
+            i += 2
+            col += 2
+            continue
+        if source.startswith("??", i):
+            tokens.append(Token(TokenKind.WILDCARD, "??", line, col))
+            i += 2
+            col += 2
+            continue
+        if ch == "-" or ch.isdigit():
+            start = i
+            start_col = col
+            if ch == "-":
+                i += 1
+                col += 1
+                if i >= n or not source[i].isdigit():
+                    raise error("expected digits after '-'")
+            while i < n and source[i].isdigit():
+                i += 1
+                col += 1
+            tokens.append(Token(TokenKind.INT, source[start:i], line, start_col))
+            continue
+        if _is_ident_start(ch):
+            start = i
+            start_col = col
+            while i < n and _is_ident_char(source[i]):
+                i += 1
+                col += 1
+            tokens.append(
+                Token(TokenKind.IDENT, source[start:i], line, start_col)
+            )
+            continue
+        kind = _SINGLE_CHAR.get(ch)
+        if kind is not None:
+            tokens.append(Token(kind, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

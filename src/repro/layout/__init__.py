@@ -1,0 +1,5 @@
+"""Layout optimizations on assembly programs (paper Section 5.2)."""
+
+from repro.layout.cascade import CascadeRewriter, apply_cascading, cascade_chains
+
+__all__ = ["CascadeRewriter", "apply_cascading", "cascade_chains"]

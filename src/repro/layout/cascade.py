@@ -1,0 +1,162 @@
+"""Instruction cascading (paper Section 5.2, Figure 11).
+
+DSP columns contain dedicated high-speed routes between vertically
+adjacent slices.  A chain of accumulating operations — e.g. the
+``muladd`` spine of a systolic dot product — can use those routes
+instead of general fabric routing if (1) each link's partial sum flows
+over the cascade ports and (2) the linked instructions are placed in
+the same column on adjacent rows.
+
+This pass finds such chains, rewrites their operations to the
+``_co``/``_cico``/``_ci`` cascade variants, and replaces their
+wildcard coordinates with shared symbolic expressions
+``(x, y) / (x, y+1) / ...`` — adjacency *constraints* that the placer
+later solves for a concrete device.
+
+Conventions: the cascaded value is the definition input named ``c``
+(the DSP's partial-sum port), and a chain link requires the producer's
+value to have no other consumer.  Instructions whose coordinates are
+not wildcards are left alone — user-written constraints win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.asm.ast import AsmFunc, AsmInstr
+from repro.asm.coords import CoordVar, CoordWildcard, Loc
+from repro.errors import LayoutError
+from repro.prims import Prim
+from repro.tdl.ast import AsmDef, Target
+from repro.utils.names import NameGenerator
+
+CASCADE_INPUT = "c"
+
+
+def _cascade_arg_position(asm_def: AsmDef) -> Optional[int]:
+    """Index of the cascade-capable input (named ``c``), if any."""
+    for position, port in enumerate(asm_def.inputs):
+        if port.name == CASCADE_INPUT:
+            return position
+    return None
+
+
+def _is_cascadable(op: str, target: Target) -> bool:
+    """An op can join a chain if all three cascade variants exist."""
+    return (
+        f"{op}_co" in target
+        and f"{op}_ci" in target
+        and f"{op}_cico" in target
+    )
+
+
+@dataclass
+class Chain:
+    """A maximal run of cascade-linked instructions, head first."""
+
+    instrs: List[AsmInstr] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+def cascade_chains(func: AsmFunc, target: Target) -> List[Chain]:
+    """Find all maximal cascade chains of length >= 2 in ``func``."""
+    use_count: Dict[str, int] = {}
+    for instr in func.instrs:
+        for arg in instr.args:
+            use_count[arg] = use_count.get(arg, 0) + 1
+    for port in func.outputs:
+        use_count[port.name] = use_count.get(port.name, 0) + 1
+
+    producers: Dict[str, AsmInstr] = {
+        instr.dst: instr for instr in func.asm_instrs()
+    }
+
+    def eligible(instr: AsmInstr) -> bool:
+        return (
+            instr.loc.prim is Prim.DSP
+            and isinstance(instr.loc.x, CoordWildcard)
+            and isinstance(instr.loc.y, CoordWildcard)
+            and instr.op in target
+            and _is_cascadable(instr.op, target)
+        )
+
+    # Successor link: A -> B when B's `c` input is A's value and A's
+    # value has no other consumer.
+    successor: Dict[str, AsmInstr] = {}
+    has_predecessor: Dict[str, bool] = {}
+    for instr in func.asm_instrs():
+        if not eligible(instr):
+            continue
+        position = _cascade_arg_position(target[instr.op])
+        if position is None:
+            continue
+        source = instr.args[position]
+        producer = producers.get(source)
+        if (
+            producer is not None
+            and eligible(producer)
+            and use_count.get(source, 0) == 1
+        ):
+            successor[producer.dst] = instr
+            has_predecessor[instr.dst] = True
+
+    chains: List[Chain] = []
+    for instr in func.asm_instrs():
+        if instr.dst in successor and not has_predecessor.get(instr.dst):
+            chain = Chain()
+            cursor: Optional[AsmInstr] = instr
+            while cursor is not None:
+                chain.instrs.append(cursor)
+                cursor = successor.get(cursor.dst)
+            chains.append(chain)
+    return chains
+
+
+@dataclass
+class CascadeRewriter:
+    """Applies cascading to assembly functions against one target."""
+
+    target: Target
+
+    def rewrite(self, func: AsmFunc) -> AsmFunc:
+        chains = cascade_chains(func, self.target)
+        if not chains:
+            return func
+
+        taken = set()
+        for instr in func.asm_instrs():
+            for coord in (instr.loc.x, instr.loc.y):
+                if isinstance(coord, CoordVar):
+                    taken.add(coord.var)
+        names = NameGenerator(taken)
+
+        replacement: Dict[str, AsmInstr] = {}
+        for chain in chains:
+            x_var = CoordVar(names.fresh("cx"))
+            y_base = names.fresh("cy")
+            last = len(chain) - 1
+            for row, instr in enumerate(chain.instrs):
+                if row == 0:
+                    suffix = "_co"
+                elif row == last:
+                    suffix = "_ci"
+                else:
+                    suffix = "_cico"
+                new_op = f"{instr.op}{suffix}"
+                if new_op not in self.target:  # pragma: no cover - guarded
+                    raise LayoutError(f"missing cascade variant {new_op!r}")
+                loc = Loc(Prim.DSP, x_var, CoordVar(y_base, row))
+                replacement[instr.dst] = instr.with_op(new_op).with_loc(loc)
+
+        instrs = tuple(
+            replacement.get(instr.dst, instr) for instr in func.instrs
+        )
+        return func.with_instrs(instrs)
+
+
+def apply_cascading(func: AsmFunc, target: Target) -> AsmFunc:
+    """One-shot cascading rewrite."""
+    return CascadeRewriter(target=target).rewrite(func)

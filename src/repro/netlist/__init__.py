@@ -1,0 +1,21 @@
+"""Structural netlists of FPGA primitives.
+
+The code generator lowers placed assembly programs to netlists of
+device primitives (LUT1-6, CARRY8, FDRE, DSP48E2); this package holds
+the netlist data model, executable models of each primitive, a
+synchronous simulator used for differential testing against the IR
+interpreter, and resource accounting.
+"""
+
+from repro.netlist.core import Cell, Netlist, GND, VCC
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+
+__all__ = [
+    "Cell",
+    "Netlist",
+    "GND",
+    "VCC",
+    "NetlistSimulator",
+    "resource_counts",
+]

@@ -1,0 +1,122 @@
+"""The netlist data model.
+
+A netlist is a set of single-bit nets and the primitive cells that
+read and drive them.  Wire operations of the source program never
+become cells: slicing, concatenation, constant shifts, and constants
+are pure *aliasing* of bits (plus the constant rails), exactly the
+"area-free, only involves wiring" semantics of Section 4.1.
+
+Bits are integers.  Bit 0 is the constant ground rail (GND) and bit 1
+the constant power rail (VCC); everything else is allocated with
+:meth:`Netlist.new_bits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.prims import Prim
+
+GND = 0
+VCC = 1
+
+# Output pins that are registered (sequential) per cell kind.  FDRE's Q
+# is always sequential; the DSP's outputs are sequential iff PREG=1.
+_SEQUENTIAL_KINDS = ("FDRE", "RAMB18E2")
+
+
+@dataclass
+class Cell:
+    """One primitive instance.
+
+    ``inputs``/``outputs`` map pin names to bit lists (LSB first).
+    ``loc`` is the placed position ``(prim, column, row)``; ``bel``
+    names the basic element within the slice (``A6LUT``...).
+    """
+
+    kind: str
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    inputs: Dict[str, List[int]] = field(default_factory=dict)
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+    loc: Optional[Tuple[Prim, int, int]] = None
+    bel: Optional[str] = None
+
+    @property
+    def is_sequential(self) -> bool:
+        if self.kind in _SEQUENTIAL_KINDS:
+            return True
+        if self.kind == "DSP48E2":
+            return bool(self.params.get("PREG", 0))
+        return False
+
+    def input_bits(self) -> List[int]:
+        bits: List[int] = []
+        for pins in self.inputs.values():
+            bits.extend(pins)
+        return bits
+
+    def output_bits(self) -> List[int]:
+        bits: List[int] = []
+        for pins in self.outputs.values():
+            bits.extend(pins)
+        return bits
+
+    def position(self) -> Optional[Tuple[int, int]]:
+        if self.loc is None:
+            return None
+        return (self.loc[1], self.loc[2])
+
+
+@dataclass
+class Netlist:
+    """A design: ports, cells, and the bits connecting them."""
+
+    name: str
+    num_bits: int = 2  # GND and VCC pre-allocated
+    inputs: List[Tuple[str, List[int]]] = field(default_factory=list)
+    outputs: List[Tuple[str, List[int]]] = field(default_factory=list)
+    cells: List[Cell] = field(default_factory=list)
+
+    def new_bits(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh bits."""
+        bits = list(range(self.num_bits, self.num_bits + count))
+        self.num_bits += count
+        return bits
+
+    def add_input(self, name: str, width: int) -> List[int]:
+        bits = self.new_bits(width)
+        self.inputs.append((name, bits))
+        return bits
+
+    def add_output(self, name: str, bits: List[int]) -> None:
+        self.outputs.append((name, list(bits)))
+
+    def add_cell(self, cell: Cell) -> Cell:
+        self.cells.append(cell)
+        return cell
+
+    def driver_map(self) -> Dict[int, Cell]:
+        """Map each cell-driven bit to its driving cell.
+
+        Bits driven by more than one cell are a construction bug and
+        raise; input-port and constant bits are absent from the map.
+        """
+        drivers: Dict[int, Cell] = {}
+        for cell in self.cells:
+            for bit in cell.output_bits():
+                if bit in drivers:
+                    raise SimulationError(
+                        f"bit {bit} driven by both {drivers[bit].name!r} "
+                        f"and {cell.name!r}"
+                    )
+                drivers[bit] = cell
+        return drivers
+
+    def input_bit_set(self) -> set:
+        bits = set()
+        for _, port_bits in self.inputs:
+            bits.update(port_bits)
+        return bits

@@ -1,0 +1,189 @@
+"""Rebuilding a netlist from emitted structural Verilog.
+
+The inverse of :mod:`repro.codegen.verilog_emit` for the subset the
+toolchain produces.  Used by the differential tests to prove the
+*textual* artifact — not just the in-memory netlist — is correct:
+``netlist -> Verilog text -> parse -> netlist`` must simulate
+identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import CodegenError
+from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.prims import Prim
+from repro.verilog.ast import (
+    Assign,
+    Concat,
+    Expr,
+    Index,
+    Instance,
+    IntLit,
+    Module,
+    Ref,
+    Slice,
+    WireDecl,
+)
+from repro.verilog.parser import parse_verilog_module
+
+# Output pins per primitive kind; everything else on the cell is an
+# input (clock pins are dropped entirely).
+_OUTPUT_PINS = {
+    "LUT1": ("O",),
+    "LUT2": ("O",),
+    "LUT3": ("O",),
+    "LUT4": ("O",),
+    "LUT5": ("O",),
+    "LUT6": ("O",),
+    "CARRY8": ("O", "CO"),
+    "FDRE": ("Q",),
+    "DSP48E2": ("P", "PCOUT"),
+    "RAMB18E2": ("DO",),
+}
+# Clock pins are dropped; note "C" is FDRE's clock but DSP data.
+_CLOCK_PINS = {
+    "FDRE": {"C"},
+    "DSP48E2": {"CLK"},
+    "RAMB18E2": {"CLK"},
+}
+
+_LOC_PATTERN = re.compile(r"^(SLICE|DSP48E2|RAMB18)_X(\d+)Y(\d+)$")
+
+
+def _parse_loc(value: str) -> Tuple[Prim, int, int]:
+    match = _LOC_PATTERN.match(value)
+    if match is None:
+        raise CodegenError(f"unparsable LOC attribute: {value!r}")
+    prims = {"DSP48E2": Prim.DSP, "RAMB18": Prim.BRAM, "SLICE": Prim.LUT}
+    prim = prims[match.group(1)]
+    return (prim, int(match.group(2)), int(match.group(3)))
+
+
+def _param_value(value: Union[int, str, IntLit]) -> object:
+    if isinstance(value, IntLit):
+        return value.value
+    return value
+
+
+class _Builder:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.netlist = Netlist(name=module.name)
+        self.env: Dict[str, List[int]] = {}
+
+    def _eval(self, expr: Expr) -> List[int]:
+        if isinstance(expr, Ref):
+            bits = self.env.get(expr.name)
+            if bits is None:
+                raise CodegenError(f"undeclared net {expr.name!r}")
+            return list(bits)
+        if isinstance(expr, Index):
+            assert isinstance(expr.target, Ref)
+            return [self._eval(expr.target)[expr.index]]
+        if isinstance(expr, Slice):
+            assert isinstance(expr.target, Ref)
+            return self._eval(expr.target)[expr.lo : expr.hi + 1]
+        if isinstance(expr, Concat):
+            # Verilog concatenation is MSB first; bits are LSB first.
+            bits: List[int] = []
+            for part in reversed(expr.parts):
+                bits.extend(self._eval(part))
+            return bits
+        if isinstance(expr, IntLit):
+            width = expr.width if expr.width is not None else 1
+            return [
+                VCC if (expr.value >> position) & 1 else GND
+                for position in range(width)
+            ]
+        raise CodegenError(f"unsupported expression: {type(expr).__name__}")
+
+    def build(self) -> Netlist:
+        for port in self.module.ports:
+            if port.direction != "input" or port.name == "clock":
+                continue
+            self.env[port.name] = self.netlist.add_input(port.name, port.width)
+
+        # Wires first: instance pins may reference wires declared later
+        # in other dialects, but the emitter declares them up front.
+        for item in self.module.items:
+            if isinstance(item, WireDecl):
+                self.env[item.name] = self.netlist.new_bits(item.width)
+
+        for item in self.module.items:
+            if isinstance(item, Instance):
+                self._add_instance(item)
+            elif isinstance(item, Assign):
+                self._add_assign(item)
+            elif not isinstance(item, WireDecl):
+                raise CodegenError(
+                    f"unsupported item: {type(item).__name__}"
+                )
+        return self.netlist
+
+    def _add_instance(self, item: Instance) -> None:
+        output_pins = _OUTPUT_PINS.get(item.module)
+        if output_pins is None:
+            raise CodegenError(f"unknown primitive {item.module!r}")
+        clock_pins = _CLOCK_PINS.get(item.module, set())
+        inputs: Dict[str, List[int]] = {}
+        outputs: Dict[str, List[int]] = {}
+        for pin, expr in item.connections:
+            if pin in clock_pins:
+                continue
+            if pin in output_pins:
+                if not isinstance(expr, Ref):
+                    raise CodegenError(
+                        f"{item.name!r}: output pin {pin} must connect "
+                        "to a whole wire"
+                    )
+                outputs[pin] = self._eval(expr)
+            else:
+                inputs[pin] = self._eval(expr)
+
+        loc = None
+        bel = None
+        for attribute in item.attributes:
+            if attribute.name == "LOC":
+                loc = _parse_loc(attribute.value)
+            elif attribute.name == "BEL":
+                bel = attribute.value
+        if loc is not None and bel is None and item.module == "DSP48E2":
+            bel = "DSP"
+        if loc is not None and bel is None and item.module == "RAMB18E2":
+            bel = "BRAM"
+
+        self.netlist.add_cell(
+            Cell(
+                kind=item.module,
+                name=item.name,
+                params={
+                    name: _param_value(value) for name, value in item.params
+                },
+                inputs=inputs,
+                outputs=outputs,
+                loc=loc,
+                bel=bel,
+            )
+        )
+
+    def _add_assign(self, item: Assign) -> None:
+        if not isinstance(item.lhs, Ref):
+            raise CodegenError("assign targets must be whole nets")
+        name = item.lhs.name
+        directions = {
+            port.name: port.direction for port in self.module.ports
+        }
+        if directions.get(name) != "output":
+            raise CodegenError(
+                f"assign to {name!r}: only output ports are assigned in "
+                "emitted structural Verilog"
+            )
+        self.netlist.add_output(name, self._eval(item.rhs))
+
+
+def netlist_from_verilog(source: str) -> Netlist:
+    """Parse structural Verilog text and rebuild the netlist."""
+    return _Builder(parse_verilog_module(source)).build()

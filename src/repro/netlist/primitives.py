@@ -1,0 +1,117 @@
+"""Executable models of the device primitives.
+
+Each function evaluates one cell kind over bit values.  The DSP model
+is a documented simplification of the 96-parameter DSP48E2 down to the
+behaviourally relevant subset (see DESIGN.md): a 27x18 signed
+multiplier, a 48-bit SIMD-capable ALU (``ONE48``/``TWO24``/``FOUR12``),
+an optional output register ``PREG`` with clock enable, and the
+``PCIN``/``PCOUT`` cascade path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.utils.bits import to_signed, to_unsigned, truncate
+
+SIMD_LANES: Dict[str, List[int]] = {
+    "ONE48": [48],
+    "TWO24": [24, 24],
+    "FOUR12": [12, 12, 12, 12],
+}
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack bit values (LSB first) into an integer."""
+    value = 0
+    for index, bit in enumerate(bits):
+        value |= (bit & 1) << index
+    return value
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Unpack an integer into bit values (LSB first)."""
+    return [(value >> index) & 1 for index in range(width)]
+
+
+def eval_lut(init: int, input_bits: Sequence[int]) -> int:
+    """A k-input LUT: index the INIT truth table by the input bits."""
+    index = bits_to_int(input_bits)
+    return (init >> index) & 1
+
+
+def eval_carry8(
+    s_bits: Sequence[int], di_bits: Sequence[int], ci: int
+) -> Dict[str, List[int]]:
+    """The CARRY8 carry chain.
+
+    ``S`` is the per-bit propagate signal, ``DI`` the generate signal,
+    ``CI`` the carry in.  ``O[i] = S[i] ^ c_i`` and the carry ripples
+    as ``c_{i+1} = S[i] ? c_i : DI[i]``.
+    """
+    carry = ci & 1
+    o_bits: List[int] = []
+    co_bits: List[int] = []
+    for s, di in zip(s_bits, di_bits):
+        o_bits.append((s ^ carry) & 1)
+        carry = carry if s else (di & 1)
+        co_bits.append(carry)
+    return {"O": o_bits, "CO": co_bits}
+
+
+def _alu(op: str, a: int, b: int, lanes: List[int]) -> int:
+    result = 0
+    offset = 0
+    for width in lanes:
+        mask = (1 << width) - 1
+        lane_a = (a >> offset) & mask
+        lane_b = (b >> offset) & mask
+        if op == "ADD":
+            lane = (lane_a + lane_b) & mask
+        elif op == "SUB":
+            lane = (lane_a - lane_b) & mask
+        else:  # pragma: no cover - guarded by caller
+            raise SimulationError(f"unknown ALU op: {op}")
+        result |= lane << offset
+        offset += width
+    return result
+
+
+REGISTERED_PIN_PARAMS = {"A": "AREG", "B": "BREG", "C": "CREG"}
+
+
+def dsp_registered_pins(params: Dict[str, object]) -> List[str]:
+    """Input pins latched by internal pipeline registers."""
+    return [
+        pin
+        for pin, param in REGISTERED_PIN_PARAMS.items()
+        if int(params.get(param, 0) or 0)
+    ]
+
+
+def eval_dsp_comb(params: Dict[str, object], pins: Dict[str, int]) -> int:
+    """The DSP's combinational function, producing the 48-bit result."""
+    op = str(params.get("OP", "ADD"))
+    simd = str(params.get("USE_SIMD", "ONE48"))
+    lanes = SIMD_LANES.get(simd)
+    if lanes is None:
+        raise SimulationError(f"unknown USE_SIMD mode: {simd}")
+
+    a = pins.get("A", 0)
+    b = pins.get("B", 0)
+    if op in ("ADD", "SUB"):
+        return _alu(op, a, b, lanes)
+
+    if simd != "ONE48":
+        raise SimulationError(f"{op} requires ONE48, found {simd}")
+    product = to_signed(truncate(a, 27), 27) * to_signed(truncate(b, 18), 18)
+    if op == "MUL":
+        return to_unsigned(product, 48)
+    if op == "MULADD":
+        if str(params.get("CASCADE_IN", "NONE")) == "PCIN":
+            addend = pins.get("PCIN", 0)
+        else:
+            addend = pins.get("C", 0)
+        return truncate(to_unsigned(product, 48) + addend, 48)
+    raise SimulationError(f"unknown DSP op: {op}")

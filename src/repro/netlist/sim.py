@@ -1,0 +1,237 @@
+"""Synchronous simulation of structural netlists.
+
+The simulator mirrors the reference interpreter's schedule (Algorithm
+1) at the primitive level: per cycle, drive the input ports, propagate
+combinational cells in dependency order, sample the outputs, then
+clock the sequential cells (FDRE, registered DSPs) with
+compute-all-then-commit semantics.  Differential tests run the same
+trace through the IR interpreter and this simulator and require
+identical output traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping
+
+from repro.errors import SimulationError
+from repro.ir.trace import Trace, decode_value, encode_value
+from repro.ir.types import Ty
+from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.netlist.primitives import (
+    bits_to_int,
+    dsp_registered_pins,
+    eval_carry8,
+    eval_dsp_comb,
+    eval_lut,
+    int_to_bits,
+)
+
+
+class NetlistSimulator:
+    """A reusable simulator for one netlist.
+
+    ``port_types`` gives the source-level type of every input and
+    output port so traces can use the same user-facing values as the
+    IR interpreter.
+    """
+
+    def __init__(self, netlist: Netlist, port_types: Mapping[str, Ty]) -> None:
+        self.netlist = netlist
+        self.port_types = dict(port_types)
+        for name, _ in netlist.inputs + netlist.outputs:
+            if name not in self.port_types:
+                raise SimulationError(f"missing type for port {name!r}")
+        self._drivers = netlist.driver_map()
+        self._comb_order = self._levelize()
+        # Block-RAM contents, keyed by cell identity.
+        self._bram_state: Dict[int, List[int]] = {}
+        for cell in netlist.cells:
+            if cell.kind == "RAMB18E2":
+                depth = 1 << int(cell.params.get("ADDR_WIDTH", 0))
+                self._bram_state[id(cell)] = [0] * depth
+        # Internal DSP pipeline registers (AREG/BREG/CREG), keyed by
+        # cell identity: pin -> registered value.
+        self._dsp_state: Dict[int, Dict[str, int]] = {}
+        for cell in netlist.cells:
+            if cell.kind == "DSP48E2":
+                registered = dsp_registered_pins(cell.params)
+                if registered and not cell.is_sequential:
+                    raise SimulationError(
+                        f"{cell.name!r}: input registers require PREG=1"
+                    )
+                self._dsp_state[id(cell)] = {pin: 0 for pin in registered}
+
+    def _levelize(self) -> List[Cell]:
+        comb = [cell for cell in self.netlist.cells if not cell.is_sequential]
+        index_of = {id(cell): i for i, cell in enumerate(comb)}
+        dependents: List[List[int]] = [[] for _ in comb]
+        in_degree = [0] * len(comb)
+        for i, cell in enumerate(comb):
+            for bit in cell.input_bits():
+                driver = self._drivers.get(bit)
+                if driver is None or driver.is_sequential:
+                    continue
+                j = index_of[id(driver)]
+                dependents[j].append(i)
+                in_degree[i] += 1
+        ready = deque(i for i, degree in enumerate(in_degree) if degree == 0)
+        order: List[Cell] = []
+        while ready:
+            node = ready.popleft()
+            order.append(comb[node])
+            for succ in dependents[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(comb):
+            raise SimulationError("combinational loop in netlist")
+        return order
+
+    def _initial_values(self) -> List[int]:
+        values = [0] * self.netlist.num_bits
+        values[VCC] = 1
+        for cell in self.netlist.cells:
+            if cell.kind == "FDRE":
+                values[cell.outputs["Q"][0]] = int(cell.params.get("INIT", 0))
+            elif cell.kind == "DSP48E2" and cell.is_sequential:
+                init = int(cell.params.get("INIT", 0))
+                p_bits = cell.outputs["P"]
+                for bit, value in zip(p_bits, int_to_bits(init, len(p_bits))):
+                    values[bit] = value
+                for bit, value in zip(
+                    cell.outputs.get("PCOUT", ()), int_to_bits(init, 48)
+                ):
+                    values[bit] = value
+            # BRAM read ports reset to zero (already the default).
+        return values
+
+    def _eval_cell(self, cell: Cell, values: List[int]) -> None:
+        if cell.kind.startswith("LUT"):
+            init = int(cell.params["INIT"])
+            input_bits = [
+                values[cell.inputs[f"I{i}"][0]] for i in range(len(cell.inputs))
+            ]
+            values[cell.outputs["O"][0]] = eval_lut(init, input_bits)
+            return
+        if cell.kind == "CARRY8":
+            result = eval_carry8(
+                [values[b] for b in cell.inputs["S"]],
+                [values[b] for b in cell.inputs["DI"]],
+                values[cell.inputs["CI"][0]],
+            )
+            for pin in ("O", "CO"):
+                for bit, value in zip(cell.outputs[pin], result[pin]):
+                    values[bit] = value
+            return
+        if cell.kind == "DSP48E2":
+            result = self._dsp_comb(cell, values)
+            for bit, value in zip(cell.outputs["P"], int_to_bits(result, 48)):
+                values[bit] = value
+            for bit, value in zip(
+                cell.outputs.get("PCOUT", ()), int_to_bits(result, 48)
+            ):
+                values[bit] = value
+            return
+        raise SimulationError(f"cannot evaluate cell kind {cell.kind!r}")
+
+    def _dsp_comb(self, cell: Cell, values: List[int]) -> int:
+        pins = {
+            pin: bits_to_int([values[b] for b in bits])
+            for pin, bits in cell.inputs.items()
+        }
+        # Registered input pins read the internal pipeline register.
+        state = self._dsp_state.get(id(cell), {})
+        pins.update(state)
+        return eval_dsp_comb(cell.params, pins)
+
+    def run(self, trace: Trace) -> Trace:
+        """Simulate the netlist over an input trace."""
+        for name, _ in self.netlist.inputs:
+            if name not in trace:
+                raise SimulationError(f"input trace missing port {name!r}")
+
+        values = self._initial_values()
+        for state in self._dsp_state.values():
+            for pin in state:
+                state[pin] = 0
+        for memory in self._bram_state.values():
+            for index in range(len(memory)):
+                memory[index] = 0
+        sequential = [
+            cell for cell in self.netlist.cells if cell.is_sequential
+        ]
+        result = Trace()
+        for step in trace.steps():
+            for name, bits in self.netlist.inputs:
+                pattern = encode_value(step[name], self.port_types[name])
+                for bit, value in zip(bits, int_to_bits(pattern, len(bits))):
+                    values[bit] = value
+            values[GND] = 0
+            values[VCC] = 1
+
+            for cell in self._comb_order:
+                self._eval_cell(cell, values)
+
+            step_out = {}
+            for name, bits in self.netlist.outputs:
+                pattern = bits_to_int([values[b] for b in bits])
+                step_out[name] = decode_value(pattern, self.port_types[name])
+            result.push(step_out)
+
+            # Clock edge: compute every register's next value, then commit.
+            updates: List[tuple] = []
+            state_updates: List[tuple] = []
+            for cell in sequential:
+                if cell.kind == "FDRE":
+                    if values[cell.inputs["CE"][0]]:
+                        updates.append(
+                            (cell.outputs["Q"], [values[cell.inputs["D"][0]]])
+                        )
+                elif cell.kind == "RAMB18E2":
+                    if values[cell.inputs["CE"][0]]:
+                        memory = self._bram_state[id(cell)]
+                        addr = bits_to_int(
+                            [values[b] for b in cell.inputs["ADDR"]]
+                        )
+                        # Read-first: register the old word, then write.
+                        word = memory[addr]
+                        updates.append(
+                            (
+                                cell.outputs["DO"],
+                                int_to_bits(word, len(cell.outputs["DO"])),
+                            )
+                        )
+                        if values[cell.inputs["WE"][0]]:
+                            memory[addr] = bits_to_int(
+                                [values[b] for b in cell.inputs["DI"]]
+                            )
+                else:  # registered DSP
+                    enable_bits = cell.inputs.get("CE")
+                    enabled = values[enable_bits[0]] if enable_bits else 1
+                    if enabled:
+                        # P latches the value computed from the *old*
+                        # input registers; the input registers latch the
+                        # live pins — all committed together below.
+                        next_value = self._dsp_comb(cell, values)
+                        bits48 = int_to_bits(next_value, 48)
+                        updates.append((cell.outputs["P"], bits48))
+                        if "PCOUT" in cell.outputs:
+                            updates.append((cell.outputs["PCOUT"], bits48))
+                        state = self._dsp_state.get(id(cell), {})
+                        for pin in state:
+                            state_updates.append(
+                                (
+                                    state,
+                                    pin,
+                                    bits_to_int(
+                                        [values[b] for b in cell.inputs[pin]]
+                                    ),
+                                )
+                            )
+            for bits, new_values in updates:
+                for bit, value in zip(bits, new_values):
+                    values[bit] = value
+            for state, pin, value in state_updates:
+                state[pin] = value
+        return result

@@ -1,0 +1,48 @@
+"""Resource accounting over netlists (the utilization numbers the
+paper's Figure 4 and Figure 13 report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.netlist.core import Netlist
+
+
+@dataclass(frozen=True)
+class ResourceCounts:
+    """Primitive counts for one netlist."""
+
+    luts: int
+    ffs: int
+    carries: int
+    dsps: int
+    brams: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "luts": self.luts,
+            "ffs": self.ffs,
+            "carries": self.carries,
+            "dsps": self.dsps,
+            "brams": self.brams,
+        }
+
+
+def resource_counts(netlist: Netlist) -> ResourceCounts:
+    """Count LUTs, FFs, carry blocks, DSPs, and BRAMs in a netlist."""
+    luts = ffs = carries = dsps = brams = 0
+    for cell in netlist.cells:
+        if cell.kind.startswith("LUT"):
+            luts += 1
+        elif cell.kind == "FDRE":
+            ffs += 1
+        elif cell.kind == "CARRY8":
+            carries += 1
+        elif cell.kind == "DSP48E2":
+            dsps += 1
+        elif cell.kind == "RAMB18E2":
+            brams += 1
+    return ResourceCounts(
+        luts=luts, ffs=ffs, carries=carries, dsps=dsps, brams=brams
+    )

@@ -1,0 +1,29 @@
+"""Instruction placement (paper Section 5.3).
+
+Converts family-specific assembly programs (unresolved locations) into
+device-specific programs (concrete coordinates) by solving the layout
+constraint system against a column-based device model, then optionally
+shrinking the used area by binary search.
+"""
+
+from repro.place.device import Column, Device, xczu3eg, tiny_device
+from repro.place.solver import (
+    PlacementItem,
+    PlacementProblem,
+    PlacementSolution,
+    solve_placement,
+)
+from repro.place.placer import Placer, place
+
+__all__ = [
+    "Column",
+    "Device",
+    "xczu3eg",
+    "tiny_device",
+    "PlacementItem",
+    "PlacementProblem",
+    "PlacementSolution",
+    "solve_placement",
+    "Placer",
+    "place",
+]

@@ -1,0 +1,176 @@
+"""Column-based device layouts.
+
+"All modern FPGAs are constructed as columns of resources; the layout
+engine takes as input the layout of the target FPGA — specifically,
+which columns are DSPs and LUTs, and how many entries or slices those
+columns have" (Section 5.3).
+
+Coordinate convention (see DESIGN.md): ``x`` indexes columns left to
+right, ``y`` indexes rows (slices) bottom to top within a column.  A
+LUT column's rows are LUT *slices* hosting :data:`LUTS_PER_SLICE`
+LUTs each (UltraScale+ slices host eight); a DSP column's rows are DSP
+slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.errors import PlacementError
+from repro.prims import Prim
+
+# UltraScale+ CLBs host eight 6-input LUTs per slice.
+LUTS_PER_SLICE = 8
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of identical resources."""
+
+    kind: Prim
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise PlacementError(f"column height must be positive: {self.height}")
+
+
+@dataclass(frozen=True)
+class Device:
+    """A specific FPGA device: an ordered list of resource columns."""
+
+    name: str
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise PlacementError(f"device {self.name!r} has no columns")
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, x: int) -> Column:
+        if not 0 <= x < len(self.columns):
+            raise PlacementError(
+                f"column {x} out of range for device {self.name!r}"
+            )
+        return self.columns[x]
+
+    def columns_of(self, kind: Prim) -> List[int]:
+        """Column indices hosting ``kind``, left to right."""
+        return [
+            x for x, column in enumerate(self.columns) if column.kind is kind
+        ]
+
+    def slice_capacity(self, kind: Prim) -> int:
+        """Total rows (slices) available for ``kind``."""
+        return sum(
+            column.height
+            for column in self.columns
+            if column.kind is kind
+        )
+
+    def lut_capacity(self) -> int:
+        """Total individual LUTs on the device."""
+        return self.slice_capacity(Prim.LUT) * LUTS_PER_SLICE
+
+    def dsp_capacity(self) -> int:
+        """Total DSP slices on the device."""
+        return self.slice_capacity(Prim.DSP)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "columns": self.num_columns,
+            "lut_slices": self.slice_capacity(Prim.LUT),
+            "luts": self.lut_capacity(),
+            "dsps": self.dsp_capacity(),
+            "brams": self.slice_capacity(Prim.BRAM),
+        }
+
+
+@lru_cache(maxsize=None)
+def xczu3eg() -> Device:
+    """A device modeled on the paper's Xilinx ``xczu3eg-sbva484-1``.
+
+    The evaluation platform has 360 DSPs and ~71K LUTs (Section 7).
+    We arrange 8,820 LUT slices (70,560 LUTs) as 63 columns of 140
+    slices, 360 DSPs as 3 columns of 120 slices, and 216 block RAMs
+    (the memory-primitive extension) as 3 columns of 72, with the
+    hardened columns interspersed through the fabric the way real
+    parts place them.
+    """
+    columns: List[Column] = []
+    lut_emitted = 0
+    dsp_positions = {16, 38, 60}
+    bram_positions = {8, 30, 52}
+    for x in range(69):
+        if x in dsp_positions:
+            columns.append(Column(Prim.DSP, 120))
+        elif x in bram_positions:
+            columns.append(Column(Prim.BRAM, 72))
+        else:
+            columns.append(Column(Prim.LUT, 140))
+            lut_emitted += 1
+    assert lut_emitted == 63
+    return Device(name="xczu3eg", columns=tuple(columns))
+
+
+@lru_cache(maxsize=None)
+def xczu7ev() -> Device:
+    """A larger device in the same family as :func:`xczu3eg`.
+
+    "Devices within a family can be programmed with the same set of
+    assembly instructions, and only differ on the number of
+    instructions that are capable to accommodate spatially" (§5.1).
+    This part models the ZU7EV: 1,728 DSPs and ~230K LUTs (28,800
+    slices), as 160 LUT columns of 180 slices and 12 DSP columns of
+    144 slices.
+    """
+    columns: List[Column] = []
+    dsp_positions = {x for x in range(12, 172, 14)}
+    bram_positions = {x for x in range(5, 172, 43)}
+    for x in range(172):
+        if x in dsp_positions:
+            columns.append(Column(Prim.DSP, 144))
+        elif x in bram_positions:
+            columns.append(Column(Prim.BRAM, 78))
+        else:
+            columns.append(Column(Prim.LUT, 180))
+    return Device(name="xczu7ev", columns=tuple(columns))
+
+
+@lru_cache(maxsize=None)
+def lfe5u85() -> Device:
+    """A device modeled on the Lattice LFE5U-85 (ECP5 family).
+
+    ~84K LUTs (10,512 slices in our 8-LUT slice model) and 156 18x18
+    multiplier blocks, arranged as 73 LUT columns of 144 slices and 4
+    multiplier columns of 39 slices.
+    """
+    columns: List[Column] = []
+    dsp_positions = {15, 34, 53, 72}
+    bram_positions = {25, 62}
+    for x in range(79):
+        if x in dsp_positions:
+            columns.append(Column(Prim.DSP, 39))
+        elif x in bram_positions:
+            columns.append(Column(Prim.BRAM, 104))
+        else:
+            columns.append(Column(Prim.LUT, 144))
+    return Device(name="lfe5u85", columns=tuple(columns))
+
+
+def tiny_device(
+    lut_columns: int = 2,
+    dsp_columns: int = 1,
+    height: int = 4,
+    bram_columns: int = 0,
+) -> Device:
+    """A small device for tests: LUT, then DSP, then BRAM columns."""
+    columns = [Column(Prim.LUT, height) for _ in range(lut_columns)]
+    columns.extend(Column(Prim.DSP, height) for _ in range(dsp_columns))
+    columns.extend(Column(Prim.BRAM, height) for _ in range(bram_columns))
+    return Device(name="tiny", columns=tuple(columns))

@@ -1,0 +1,200 @@
+"""The placement driver: assembly program -> placed assembly program.
+
+Converts each assembly instruction's location into a
+:class:`~repro.place.solver.PlacementItem` (wildcards become fresh
+variables, symbolic expressions keep their shared variables), solves
+the constraint system, then optionally runs the paper's shrinking
+optimization: binary search on the used area, per resource kind and
+dimension, re-running placement until the smallest feasible bounding
+region is found (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.ast import AsmFunc, AsmInstr
+from repro.asm.coords import Coord, CoordLit, Loc
+from repro.errors import PlacementError
+from repro.place.device import Device, LUTS_PER_SLICE
+from repro.place.solver import (
+    PlacementItem,
+    PlacementProblem,
+    PlacementSolution,
+    solve_placement,
+)
+from repro.prims import Prim
+from repro.tdl.ast import Target
+from repro.utils.names import NameGenerator
+
+
+def instr_span(instr: AsmInstr, target: Target) -> int:
+    """Rows occupied by one instruction in its column."""
+    asm_def = target[instr.op]
+    if asm_def.prim is not Prim.LUT:
+        return max(asm_def.area, 1)
+    return max(1, math.ceil(asm_def.area / LUTS_PER_SLICE))
+
+
+def _canonical(coord: Coord, fresh: NameGenerator, hint: str) -> Tuple[Optional[str], int]:
+    var, offset = coord.canonical()
+    if var is None and offset is None:
+        return (fresh.fresh(hint), 0)
+    if var is None:
+        assert offset is not None
+        return (None, offset)
+    assert offset is not None
+    return (var, offset)
+
+
+@dataclass
+class Placer:
+    """Places assembly functions onto one device."""
+
+    target: Target
+    device: Device
+    shrink: bool = True
+    node_budget: int = 500_000
+    # Shrink probes use a small budget: a probe that cannot be decided
+    # quickly is treated as infeasible and the looser bound is kept.
+    probe_budget: int = 20_000
+
+    def _items(self, func: AsmFunc) -> Tuple[List[PlacementItem], List[AsmInstr]]:
+        taken = set()
+        for instr in func.asm_instrs():
+            for coord in (instr.loc.x, instr.loc.y):
+                var, _ = coord.canonical()
+                if var is not None:
+                    taken.add(var)
+        fresh = NameGenerator(taken, prefix="_p")
+
+        items: List[PlacementItem] = []
+        ordered: List[AsmInstr] = []
+        for key, instr in enumerate(func.asm_instrs()):
+            x_var, x_off = _canonical(instr.loc.x, fresh, "_px")
+            y_var, y_off = _canonical(instr.loc.y, fresh, "_py")
+            items.append(
+                PlacementItem(
+                    key=key,
+                    prim=instr.loc.prim,
+                    x_var=x_var,
+                    x_off=x_off,
+                    y_var=y_var,
+                    y_off=y_off,
+                    span=instr_span(instr, self.target),
+                )
+            )
+            ordered.append(instr)
+        return items, ordered
+
+    def _solve(
+        self,
+        items: List[PlacementItem],
+        max_col: Dict[Prim, int],
+        max_row: Dict[Prim, int],
+        budget: Optional[int] = None,
+    ) -> PlacementSolution:
+        problem = PlacementProblem(
+            device=self.device,
+            items=items,
+            max_col=dict(max_col),
+            max_row=dict(max_row),
+        )
+        return solve_placement(
+            problem,
+            node_budget=budget if budget is not None else self.node_budget,
+        )
+
+    def _shrink(
+        self, items: List[PlacementItem], solution: PlacementSolution
+    ) -> PlacementSolution:
+        """Binary-search the smallest feasible area (paper Section 5.3).
+
+        For each resource kind and each dimension (rows, then columns)
+        take the currently used extent as the upper bound and binary
+        search downward, keeping the tightest bound that still places.
+        """
+        max_col: Dict[Prim, int] = {}
+        max_row: Dict[Prim, int] = {}
+        best = solution
+
+        def used_extents(sol: PlacementSolution) -> Dict[Prim, Tuple[int, int]]:
+            extents: Dict[Prim, Tuple[int, int]] = {}
+            for item in items:
+                col, row = sol.positions[item.key]
+                top = row + item.span - 1
+                current = extents.get(item.prim, (0, 0))
+                extents[item.prim] = (
+                    max(current[0], col),
+                    max(current[1], top),
+                )
+            return extents
+
+        # Columns shrink before rows: pulling the design into fewer
+        # columns first, then compacting within them, monotonically
+        # tightens the bounding region in both dimensions.
+        for prim in (Prim.DSP, Prim.BRAM, Prim.LUT):
+            if not any(item.prim is prim for item in items):
+                continue
+            for dimension in ("col", "row"):
+                extents = used_extents(best)
+                high = extents[prim][1] if dimension == "row" else extents[prim][0]
+                low = 0
+                while low < high:
+                    middle = (low + high) // 2
+                    bounds_col = dict(max_col)
+                    bounds_row = dict(max_row)
+                    if dimension == "row":
+                        bounds_row[prim] = middle
+                    else:
+                        bounds_col[prim] = middle
+                    try:
+                        candidate = self._solve(
+                            items,
+                            bounds_col,
+                            bounds_row,
+                            budget=self.probe_budget,
+                        )
+                    except PlacementError:
+                        low = middle + 1
+                        continue
+                    best = candidate
+                    high = middle
+                if dimension == "row":
+                    max_row[prim] = high
+                else:
+                    max_col[prim] = high
+        return best
+
+    def place(self, func: AsmFunc) -> AsmFunc:
+        """Resolve every location in ``func``; raises on failure."""
+        items, ordered = self._items(func)
+        if not items:
+            return func
+        solution = self._solve(items, {}, {})
+        if self.shrink:
+            solution = self._shrink(items, solution)
+
+        resolved: Dict[str, AsmInstr] = {}
+        for item, instr in zip(items, ordered):
+            col, row = solution.positions[item.key]
+            loc = Loc(instr.loc.prim, CoordLit(col), CoordLit(row))
+            resolved[instr.dst] = instr.with_loc(loc)
+
+        instrs = tuple(
+            resolved.get(instr.dst, instr) if isinstance(instr, AsmInstr) else instr
+            for instr in func.instrs
+        )
+        return func.with_instrs(instrs)
+
+
+def place(
+    func: AsmFunc,
+    target: Target,
+    device: Device,
+    shrink: bool = True,
+) -> AsmFunc:
+    """One-shot placement."""
+    return Placer(target=target, device=device, shrink=shrink).place(func)

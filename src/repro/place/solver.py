@@ -1,0 +1,384 @@
+"""A finite-domain constraint solver for instruction placement.
+
+The paper solves placement with Z3 (Section 5.3); the constraint
+system is a finite CSP, so this module substitutes a complete
+backtracking solver specialized to it (see DESIGN.md).  The modeled
+constraints are exactly the paper's:
+
+* a coordinate's column must host the instruction's resource kind;
+* coordinates must lie within the device (or within artificially
+  reduced bounds during shrink passes);
+* relative constraints — coordinates sharing a symbolic variable —
+  hold by construction, because the variable gets a single value;
+* no two instructions may occupy the same resource (instructions that
+  span several rows, e.g. wide LUT ops occupying multiple slices,
+  must not overlap).
+
+Search strategy: items are clustered by shared coordinate variables
+(a cascade chain is one cluster); clusters are placed in decreasing
+size order with chronological backtracking and a node budget, scanning
+candidate positions column-major so solutions pack toward the origin
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlacementError
+from repro.place.device import Device
+from repro.prims import Prim
+
+
+@dataclass(frozen=True)
+class PlacementItem:
+    """One instruction to place.
+
+    Coordinates are canonical ``(var, offset)`` pairs: ``var=None``
+    means the offset is a literal position.  ``span`` is how many
+    consecutive rows the item occupies in its column.
+    """
+
+    key: int
+    prim: Prim
+    x_var: Optional[str]
+    x_off: int
+    y_var: Optional[str]
+    y_off: int
+    span: int = 1
+
+    def coordinate_vars(self) -> List[str]:
+        found = []
+        if self.x_var is not None:
+            found.append(self.x_var)
+        if self.y_var is not None:
+            found.append(self.y_var)
+        return found
+
+
+@dataclass
+class PlacementProblem:
+    """A device plus items plus optional shrink bounds.
+
+    ``max_col``/``max_row`` bound the usable area per resource kind
+    (inclusive); ``None`` means the full device.
+    """
+
+    device: Device
+    items: Sequence[PlacementItem]
+    max_col: Dict[Prim, int] = field(default_factory=dict)
+    max_row: Dict[Prim, int] = field(default_factory=dict)
+
+    def allowed_columns(self, prim: Prim) -> List[int]:
+        columns = self.device.columns_of(prim)
+        bound = self.max_col.get(prim)
+        if bound is not None:
+            columns = [x for x in columns if x <= bound]
+        return columns
+
+    def row_limit(self, prim: Prim, column_height: int) -> int:
+        """One past the highest usable row in a column of ``prim``."""
+        bound = self.max_row.get(prim)
+        if bound is None:
+            return column_height
+        return min(column_height, bound + 1)
+
+
+@dataclass
+class PlacementSolution:
+    """Variable values and concrete per-item positions."""
+
+    var_values: Dict[str, int]
+    positions: Dict[int, Tuple[int, int]]
+
+
+class _Occupancy:
+    """Per-column interval bookkeeping with O(intervals) checks."""
+
+    def __init__(self) -> None:
+        self._columns: Dict[int, List[Tuple[int, int]]] = {}
+
+    def fits(self, col: int, row: int, span: int) -> bool:
+        end = row + span
+        for start, stop in self._columns.get(col, ()):
+            if row < stop and start < end:
+                return False
+        return True
+
+    def add(self, col: int, row: int, span: int) -> None:
+        self._columns.setdefault(col, []).append((row, row + span))
+
+    def remove(self, col: int, row: int, span: int) -> None:
+        self._columns[col].remove((row, row + span))
+
+
+class _Cluster:
+    """Items connected through shared coordinate variables."""
+
+    def __init__(self, items: List[PlacementItem]) -> None:
+        self.items = items
+        self.x_vars: List[str] = []
+        self.y_vars: List[str] = []
+        seen: Set[str] = set()
+        for item in items:
+            if item.x_var is not None and item.x_var not in seen:
+                seen.add(item.x_var)
+                self.x_vars.append(item.x_var)
+            if item.y_var is not None and item.y_var not in seen:
+                seen.add(item.y_var)
+                self.y_vars.append(item.y_var)
+
+    @property
+    def total_span(self) -> int:
+        return sum(item.span for item in self.items)
+
+
+def _build_clusters(items: Sequence[PlacementItem]) -> List[_Cluster]:
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for item in items:
+        for var in item.coordinate_vars():
+            parent.setdefault(var, var)
+        pair = item.coordinate_vars()
+        if len(pair) == 2:
+            union(pair[0], pair[1])
+
+    groups: Dict[Optional[str], List[PlacementItem]] = {}
+    fixed: List[PlacementItem] = []
+    for item in items:
+        pair = item.coordinate_vars()
+        if not pair:
+            fixed.append(item)
+        else:
+            groups.setdefault(find(pair[0]), []).append(item)
+
+    clusters = [_Cluster(group) for group in groups.values()]
+    if fixed:
+        clusters.append(_Cluster(fixed))
+    return clusters
+
+
+class _Solver:
+    """Backtracking search over clusters."""
+
+    def __init__(self, problem: PlacementProblem, node_budget: int) -> None:
+        self.problem = problem
+        self.device = problem.device
+        self.occupancy = _Occupancy()
+        self.values: Dict[str, int] = {}
+        self.node_budget = node_budget
+        self.nodes = 0
+        # Per-problem caches: allowed columns by prim, usable rows by
+        # column (domains are recomputed millions of times in search).
+        self._columns: Dict[Prim, List[int]] = {
+            prim: problem.allowed_columns(prim) for prim in Prim
+        }
+        self._row_limit: Dict[int, int] = {}
+        for prim in Prim:
+            for col in self._columns[prim]:
+                self._row_limit[col] = problem.row_limit(
+                    prim, self.device.column(col).height
+                )
+
+    def _check_capacity(self) -> None:
+        """Fail fast when the items cannot possibly fit the bounds.
+
+        This keeps the shrink pass's infeasible binary-search probes
+        from triggering an exhaustive search-space proof.
+        """
+        demand: Dict[Prim, int] = {}
+        tallest: Dict[Prim, int] = {}
+        for item in self.problem.items:
+            demand[item.prim] = demand.get(item.prim, 0) + item.span
+            tallest[item.prim] = max(tallest.get(item.prim, 0), item.span)
+        for prim, needed in demand.items():
+            available = sum(
+                self._row_limit[col] for col in self._columns[prim]
+            )
+            if needed > available:
+                raise PlacementError(
+                    f"insufficient {prim.value} capacity: need {needed} "
+                    f"rows, have {available}"
+                )
+            highest = max(
+                (self._row_limit[col] for col in self._columns[prim]),
+                default=0,
+            )
+            if tallest[prim] > highest:
+                raise PlacementError(
+                    f"an instruction spans {tallest[prim]} rows but the "
+                    f"tallest usable {prim.value} column has {highest}"
+                )
+
+    def _spend(self) -> None:
+        self.nodes += 1
+        if self.nodes > self.node_budget:
+            raise PlacementError(
+                f"placement search budget exceeded ({self.node_budget} nodes)"
+            )
+
+    def _resolve(self, item: PlacementItem) -> Optional[Tuple[int, int]]:
+        """Concrete position of an item, or None if a var is unbound."""
+        if item.x_var is None:
+            col = item.x_off
+        elif item.x_var in self.values:
+            col = self.values[item.x_var] + item.x_off
+        else:
+            return None
+        if item.y_var is None:
+            row = item.y_off
+        elif item.y_var in self.values:
+            row = self.values[item.y_var] + item.y_off
+        else:
+            return None
+        return (col, row)
+
+    def _valid_position(self, item: PlacementItem, col: int, row: int) -> bool:
+        limit = self._row_limit.get(col)
+        if limit is None:  # not an allowed column at all
+            return False
+        if (
+            not 0 <= col < self.device.num_columns
+            or self.device.columns[col].kind is not item.prim
+        ):
+            return False
+        if row < 0 or row + item.span > limit:
+            return False
+        return self.occupancy.fits(col, row, item.span)
+
+    def solve(self) -> PlacementSolution:
+        self._check_capacity()
+        clusters = _build_clusters(self.problem.items)
+        clusters.sort(
+            key=lambda c: (-c.total_span, min(i.key for i in c.items))
+        )
+        positions: Dict[int, Tuple[int, int]] = {}
+
+        def place_cluster(index: int) -> bool:
+            if index == len(clusters):
+                return True
+            cluster = clusters[index]
+            return assign_vars(cluster, 0, index)
+
+        def committed_items(cluster: _Cluster) -> List[PlacementItem]:
+            done = []
+            for item in cluster.items:
+                position = self._resolve(item)
+                if position is not None:
+                    done.append(item)
+            return done
+
+        def try_commit(cluster: _Cluster, cluster_index: int) -> bool:
+            """All vars of the cluster assigned: validate and recurse."""
+            placed: List[Tuple[PlacementItem, int, int]] = []
+            ok = True
+            for item in cluster.items:
+                position = self._resolve(item)
+                assert position is not None
+                col, row = position
+                if not self._valid_position(item, col, row):
+                    ok = False
+                    break
+                self.occupancy.add(col, row, item.span)
+                placed.append((item, col, row))
+            if ok:
+                for item, col, row in placed:
+                    positions[item.key] = (col, row)
+                if place_cluster(cluster_index + 1):
+                    return True
+                for item, _, _ in placed:
+                    del positions[item.key]
+            for item, col, row in reversed(placed):
+                self.occupancy.remove(col, row, item.span)
+            return False
+
+        def assign_vars(
+            cluster: _Cluster, var_index: int, cluster_index: int
+        ) -> bool:
+            ordered = cluster.x_vars + cluster.y_vars
+            if var_index == len(ordered):
+                self._spend()
+                return try_commit(cluster, cluster_index)
+            var = ordered[var_index]
+            for value in self._domain(cluster, var):
+                self._spend()
+                self.values[var] = value
+                if assign_vars(cluster, var_index + 1, cluster_index):
+                    return True
+                del self.values[var]
+            return False
+
+        if not place_cluster(0):
+            raise PlacementError("no valid placement exists")
+        return PlacementSolution(var_values=dict(self.values), positions=positions)
+
+    def _domain(self, cluster: _Cluster, var: str) -> Iterator[int]:
+        """Candidate values for one variable, ascending."""
+        if var in cluster.x_vars:
+            users = [i for i in cluster.items if i.x_var == var]
+            prims = {i.prim for i in users}
+            if len(prims) != 1:
+                return iter(())
+            prim = prims.pop()
+            offsets = {i.x_off for i in users}
+            columns = self._columns[prim]
+            column_set = set(columns)
+            candidates = sorted(
+                {
+                    col - off
+                    for col in columns
+                    for off in offsets
+                }
+            )
+            feasible = [
+                v
+                for v in candidates
+                if all((v + off) in column_set for off in offsets)
+            ]
+            return iter(feasible)
+
+        users = [i for i in cluster.items if i.y_var == var]
+        max_limit = 0
+        min_off = min(i.y_off for i in users)
+        for item in users:
+            for col in self._columns[item.prim]:
+                max_limit = max(max_limit, self._row_limit[col])
+        # v + y_off + span <= limit for every user, so the tightest
+        # user (largest y_off + span) bounds the domain.
+        top = max_limit - max(i.y_off + i.span for i in users) + 1
+        base = -min_off
+        return iter(range(max(0, base), max(base, top)))
+
+
+def solve_placement(
+    problem: PlacementProblem, node_budget: int = 500_000
+) -> PlacementSolution:
+    """Solve ``problem`` or raise :class:`PlacementError`.
+
+    The search recurses once per cluster (chronological backtracking),
+    so the recursion limit is raised proportionally; item counts are
+    bounded by device capacity, keeping the depth modest.
+    """
+    import sys
+
+    needed = 3_000 + 12 * len(problem.items)
+    previous = sys.getrecursionlimit()
+    if needed > previous:
+        sys.setrecursionlimit(needed)
+    try:
+        return _Solver(problem, node_budget).solve()
+    finally:
+        if needed > previous:
+            sys.setrecursionlimit(previous)

@@ -1,0 +1,27 @@
+"""Physical primitive kinds (``ρ`` in paper Figure 5).
+
+Lives at the package root because it is shared by the assembly
+language, the target description language, the device model, and the
+code generator.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Prim(enum.Enum):
+    """The programmable compute primitives of modern FPGAs.
+
+    ``LUT`` and ``DSP`` are the paper's two primitives; ``BRAM`` is
+    this reproduction's implementation of the paper's stated future
+    work ("it does not support memory primitives, such as BRAMs",
+    Section 1).
+    """
+
+    LUT = "lut"
+    DSP = "dsp"
+    BRAM = "bram"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,27 @@
+"""The Target Description Language (paper Figure 9).
+
+A target description is a list of assembly-instruction definitions.
+Each definition names the operation, the primitive it occupies
+(``lut`` or ``dsp``), integer area and latency costs, typed inputs and
+a single typed output, and a body giving its semantics as a DAG of
+intermediate-language instructions.  The instruction selector uses the
+body and costs to replace fragments of IR programs with equivalent
+assembly instructions (Section 5.1).
+"""
+
+from repro.tdl.ast import AsmDef, Target
+from repro.tdl.parser import parse_target, parse_asm_def
+from repro.tdl.printer import print_target, print_asm_def
+from repro.tdl.pattern import Pattern, PatternNode, build_pattern
+
+__all__ = [
+    "AsmDef",
+    "Target",
+    "parse_target",
+    "parse_asm_def",
+    "print_target",
+    "print_asm_def",
+    "Pattern",
+    "PatternNode",
+    "build_pattern",
+]

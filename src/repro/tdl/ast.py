@@ -1,0 +1,187 @@
+"""Abstract syntax and validation for target descriptions.
+
+In FPGA terms a *target* is a family of devices sharing the same
+primitives; devices within the family differ only in how many
+instructions they can accommodate spatially (Section 5.1).  A target
+is therefore a set of :class:`AsmDef` instruction definitions; the
+device geometry lives separately in :mod:`repro.place.device`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.prims import Prim
+from repro.errors import TargetError, TypeCheckError
+from repro.ir.ast import CompInstr, Instr, Port, WireInstr
+from repro.ir.ops import CompOp
+from repro.ir.typecheck import check_comp_instr
+from repro.ir.types import Ty
+
+
+@dataclass(frozen=True)
+class AsmDef:
+    """One assembly-instruction definition (``asm`` in Figure 9).
+
+    ``area`` counts primitive units consumed (LUTs for ``lut`` defs,
+    DSP slices for ``dsp`` defs); ``latency`` is the instruction's
+    combinational delay in the family's delay units, used by the
+    ASM-level timing estimate.
+    """
+
+    name: str
+    prim: Prim
+    area: int
+    latency: int
+    inputs: Tuple[Port, ...]
+    output: Port
+    body: Tuple[Instr, ...]
+
+    @property
+    def is_stateful(self) -> bool:
+        """True if the body contains a register."""
+        return any(instr.is_stateful for instr in self.body)
+
+    def root(self) -> CompInstr:
+        """The body instruction defining the output."""
+        for instr in self.body:
+            if instr.dst == self.output.name:
+                assert isinstance(instr, CompInstr)
+                return instr
+        raise TargetError(
+            f"definition {self.name!r}: output {self.output.name!r} "
+            "is not defined by the body"
+        )
+
+    def validate(self) -> None:
+        """Check the body is a compute-only, well-typed tree.
+
+        Tree-shape (each internal value used exactly once, the output
+        used only as the result) is what lets the selector treat each
+        definition as a pattern for tree covering (Section 5.1).
+        """
+        if not self.body:
+            raise TargetError(f"definition {self.name!r} has an empty body")
+        if self.area < 0 or self.latency < 0:
+            raise TargetError(
+                f"definition {self.name!r} has negative area or latency"
+            )
+
+        env: Dict[str, Ty] = {}
+        for port in self.inputs:
+            if port.name in env:
+                raise TargetError(
+                    f"definition {self.name!r}: duplicate input {port.name!r}"
+                )
+            env[port.name] = port.ty
+
+        internal: Dict[str, int] = {}
+        for instr in self.body:
+            if isinstance(instr, WireInstr):
+                raise TargetError(
+                    f"definition {self.name!r}: wire operation "
+                    f"{instr.op_name!r} in a body is not supported"
+                )
+            if instr.dst in env:
+                raise TargetError(
+                    f"definition {self.name!r}: redefinition of {instr.dst!r}"
+                )
+            env[instr.dst] = instr.ty
+            internal[instr.dst] = 0
+
+        for instr in self.body:
+            for arg in instr.args:
+                if arg not in env:
+                    raise TargetError(
+                        f"definition {self.name!r}: undefined variable {arg!r}"
+                    )
+                if arg in internal:
+                    internal[arg] += 1
+
+        if self.output.name not in internal:
+            raise TargetError(
+                f"definition {self.name!r}: output {self.output.name!r} "
+                "is not defined by the body"
+            )
+        if env[self.output.name] != self.output.ty:
+            raise TargetError(
+                f"definition {self.name!r}: output type mismatch"
+            )
+        for dst, uses in internal.items():
+            if dst == self.output.name:
+                if uses != 0:
+                    raise TargetError(
+                        f"definition {self.name!r}: output {dst!r} is used "
+                        "inside the body (bodies must be trees)"
+                    )
+            elif uses != 1:
+                raise TargetError(
+                    f"definition {self.name!r}: internal value {dst!r} used "
+                    f"{uses} times (bodies must be trees)"
+                )
+
+        used = set()
+        for instr in self.body:
+            used.update(instr.args)
+        for port in self.inputs:
+            if port.name not in used:
+                raise TargetError(
+                    f"definition {self.name!r}: input {port.name!r} is "
+                    "never used (selection could not bind it)"
+                )
+
+        for instr in self.body:
+            assert isinstance(instr, CompInstr)
+            try:
+                check_comp_instr(instr, env)
+            except TypeCheckError as error:
+                raise TargetError(
+                    f"definition {self.name!r}: {error}"
+                ) from error
+
+
+@dataclass(frozen=True)
+class Target:
+    """A named family of assembly definitions, indexed for selection."""
+
+    name: str
+    defs: Tuple[AsmDef, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for asm_def in self.defs:
+            if asm_def.name in seen:
+                raise TargetError(f"duplicate definition: {asm_def.name!r}")
+            seen.add(asm_def.name)
+            asm_def.validate()
+
+    def get(self, name: str) -> Optional[AsmDef]:
+        for asm_def in self.defs:
+            if asm_def.name == name:
+                return asm_def
+        return None
+
+    def __getitem__(self, name: str) -> AsmDef:
+        asm_def = self.get(name)
+        if asm_def is None:
+            raise TargetError(f"target {self.name!r} has no definition {name!r}")
+        return asm_def
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[AsmDef]:
+        return iter(self.defs)
+
+    def __len__(self) -> int:
+        return len(self.defs)
+
+    def defs_rooted_at(self, op: CompOp, ty: Ty) -> List[AsmDef]:
+        """Definitions whose body root has the given op and result type."""
+        found = []
+        for asm_def in self.defs:
+            root = asm_def.root()
+            if root.op is op and root.ty == ty:
+                found.append(asm_def)
+        return found

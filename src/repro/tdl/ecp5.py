@@ -1,0 +1,98 @@
+"""An ECP5-like low-end target family.
+
+The paper's portability story is that the *intermediate* language is
+device-independent while targets differ in their assembly instruction
+sets (Section 4.2).  This second family exercises that: a low-end
+fabric in the spirit of Lattice ECP5, whose DSP blocks are plain
+18x18 multipliers — no SIMD lanes, no fused multiply-add, no cascade
+routing.  The same IR programs compile against it; selection simply
+lands adds on LUT carry chains and vector ops on lane-wise LUT logic,
+and the cascading pass finds nothing to rewrite (no ``_co``/``_ci``
+variants exist).
+
+Modeling notes (documented approximations, see DESIGN.md): slices are
+modeled with the same 8-LUT geometry as the UltraScale family, and the
+multiplier block reuses the generic DSP primitive restricted to its
+``MUL`` configuration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.types import Bool, Int, Vec
+from repro.tdl.ast import Target
+from repro.tdl.parser import parse_target
+from repro.tdl.ultrascale import (
+    _CMP_OPS,
+    _LOGIC_OPS,
+    _TdlWriter,
+    _emit_binary,
+    _emit_binary_reg,
+    _emit_mux,
+    _emit_reg,
+    _emit_unary,
+)
+from repro.timing.constants import DEFAULT_DELAYS as D
+
+LUT_WIDTHS = (4, 8, 12, 16, 24, 32)
+# The 18x18 multiplier: scalar multiplies only.
+DSP_MUL_WIDTHS = (8, 12, 16)
+VEC_SHAPES = ((8, 4), (12, 4), (8, 2), (12, 2), (16, 2), (24, 2))
+
+
+@lru_cache(maxsize=None)
+def ecp5_tdl_text() -> str:
+    """The ECP5-like target description, as TDL text."""
+    w = _TdlWriter()
+    bool_ty = Bool()
+
+    for op in _LOGIC_OPS:
+        _emit_binary(w, op, bool_ty, "lut")
+    _emit_unary(w, "not", bool_ty, "lut")
+    for op in ("eq", "neq"):
+        _emit_binary(w, op, bool_ty, "lut", result=bool_ty)
+    _emit_mux(w, bool_ty, registered=False)
+    _emit_mux(w, bool_ty, registered=True)
+    _emit_reg(w, bool_ty)
+
+    for width in LUT_WIDTHS:
+        ty = Int(width)
+        for op in ("add", "sub", "mul"):
+            _emit_binary(w, op, ty, "lut")
+        for op in _LOGIC_OPS:
+            _emit_binary(w, op, ty, "lut")
+        _emit_unary(w, "not", ty, "lut")
+        for op in _CMP_OPS:
+            _emit_binary(w, op, ty, "lut", result=bool_ty)
+        _emit_mux(w, ty, registered=False)
+        _emit_mux(w, ty, registered=True)
+        _emit_reg(w, ty)
+        for op in ("add", "sub"):
+            _emit_binary_reg(w, op, ty, "lut")
+
+    for elem, lanes in VEC_SHAPES:
+        ty = Vec(Int(elem), lanes)
+        for op in ("add", "sub"):
+            _emit_binary(w, op, ty, "lut")
+            _emit_binary_reg(w, op, ty, "lut")
+        for op in _LOGIC_OPS:
+            _emit_binary(w, op, ty, "lut")
+        _emit_unary(w, "not", ty, "lut")
+        _emit_mux(w, ty, registered=False)
+        _emit_mux(w, ty, registered=True)
+        _emit_reg(w, ty)
+
+    # The multiplier blocks: scalar multiply, optionally registered.
+    for width in DSP_MUL_WIDTHS:
+        ty = Int(width)
+        _emit_binary(w, "mul", ty, "dsp", latency=D.dsp_mul + 250)
+        _emit_binary_reg(w, "mul", ty, "dsp")
+
+    return w.text()
+
+
+@lru_cache(maxsize=None)
+def ecp5_target() -> Target:
+    """The parsed and validated ECP5-like target."""
+    return parse_target(ecp5_tdl_text(), name="ecp5")

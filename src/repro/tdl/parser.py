@@ -1,0 +1,100 @@
+"""Parser for the target description language (paper Figures 9/10).
+
+.. code-block:: text
+
+    target ::= def+
+    def    ::= IDENT '[' prim ',' INT ',' INT ']'
+               '(' ports? ')' '->' '(' port ')' '{' instr+ '}'
+    prim   ::= 'lut' | 'dsp'
+    instr  ::= IDENT ':' type '=' IDENT attrs? args? ';'
+
+Bodies reuse the IR instruction syntax (without ``@res``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prims import Prim
+from repro.errors import ParseError
+from repro.ir.ast import Instr, Port
+from repro.ir.parser import parse_instr_at, parse_port_at
+from repro.ir.ast import CompInstr, Res
+from repro.lang.cursor import TokenCursor
+from repro.lang.lexer import TokenKind, tokenize
+from repro.tdl.ast import AsmDef, Target
+
+
+def parse_asm_def_at(cursor: TokenCursor) -> AsmDef:
+    name = cursor.expect(TokenKind.IDENT).text
+
+    cursor.expect(TokenKind.LBRACKET)
+    prim_token = cursor.expect(TokenKind.IDENT)
+    try:
+        prim = Prim(prim_token.text)
+    except ValueError:
+        raise ParseError(
+            f"unknown primitive: {prim_token.text!r}",
+            prim_token.line,
+            prim_token.col,
+        ) from None
+    cursor.expect(TokenKind.COMMA)
+    area = cursor.expect_int()
+    cursor.expect(TokenKind.COMMA)
+    latency = cursor.expect_int()
+    cursor.expect(TokenKind.RBRACKET)
+
+    cursor.expect(TokenKind.LPAREN)
+    inputs: List[Port] = []
+    if not cursor.at(TokenKind.RPAREN):
+        inputs.append(parse_port_at(cursor))
+        while cursor.accept(TokenKind.COMMA):
+            inputs.append(parse_port_at(cursor))
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.ARROW)
+    cursor.expect(TokenKind.LPAREN)
+    output = parse_port_at(cursor)
+    cursor.expect(TokenKind.RPAREN)
+
+    cursor.expect(TokenKind.LBRACE)
+    body: List[Instr] = []
+    while not cursor.at(TokenKind.RBRACE):
+        instr = parse_instr_at(cursor)
+        if isinstance(instr, CompInstr) and instr.res is not Res.ANY:
+            raise cursor.error(
+                "definition bodies cannot carry @res annotations"
+            )
+        body.append(instr)
+    cursor.expect(TokenKind.RBRACE)
+
+    return AsmDef(
+        name=name,
+        prim=prim,
+        area=area,
+        latency=latency,
+        inputs=tuple(inputs),
+        output=output,
+        body=tuple(body),
+    )
+
+
+def parse_asm_def(source: str) -> AsmDef:
+    """Parse and validate a single assembly definition from text."""
+    cursor = TokenCursor(tokenize(source))
+    asm_def = parse_asm_def_at(cursor)
+    if not cursor.at_end():
+        raise cursor.error("trailing input after definition")
+    asm_def.validate()
+    return asm_def
+
+
+def parse_target(source: str, name: str = "target") -> Target:
+    """Parse a whole target description (one or more definitions)."""
+    cursor = TokenCursor(tokenize(source))
+    defs: List[AsmDef] = []
+    while not cursor.at_end():
+        defs.append(parse_asm_def_at(cursor))
+    if not defs:
+        raise cursor.error("empty target description")
+    return Target(name=name, defs=tuple(defs))

@@ -1,0 +1,74 @@
+"""Pattern trees derived from assembly definitions.
+
+The instruction selector matches fragments of an IR program against
+each definition's body.  A validated body is a tree (each internal
+value used once), so it converts directly into a :class:`Pattern` —
+the tree-shaped view the tree-covering algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.ir.ast import CompInstr
+from repro.tdl.ast import AsmDef
+
+# A child is either a nested pattern node or the name of a definition
+# input (a leaf that binds to a subject variable).
+PatternChild = Union["PatternNode", str]
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """One compute instruction inside a pattern tree."""
+
+    instr: CompInstr
+    children: Tuple[PatternChild, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of instruction nodes in this subtree."""
+        return 1 + sum(
+            child.size for child in self.children if isinstance(child, PatternNode)
+        )
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A definition viewed as a matchable tree."""
+
+    asm_def: AsmDef
+    root: PatternNode
+
+    @property
+    def name(self) -> str:
+        return self.asm_def.name
+
+    @property
+    def size(self) -> int:
+        return self.root.size
+
+    def body_order_nodes(self) -> List[CompInstr]:
+        """Body instructions in definition order (for attr capture)."""
+        return [instr for instr in self.asm_def.body if isinstance(instr, CompInstr)]
+
+
+def build_pattern(asm_def: AsmDef) -> Pattern:
+    """Convert a validated definition into its pattern tree."""
+    producers: Dict[str, CompInstr] = {}
+    for instr in asm_def.body:
+        assert isinstance(instr, CompInstr)
+        producers[instr.dst] = instr
+
+    def node_for(instr: CompInstr) -> PatternNode:
+        children: List[PatternChild] = []
+        for arg in instr.args:
+            child = producers.get(arg)
+            if child is None:
+                children.append(arg)
+            else:
+                children.append(node_for(child))
+        return PatternNode(instr=instr, children=tuple(children))
+
+    return Pattern(asm_def=asm_def, root=node_for(asm_def.root()))

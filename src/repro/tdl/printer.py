@@ -1,0 +1,26 @@
+"""Pretty-printer for target descriptions."""
+
+from __future__ import annotations
+
+from repro.ir.printer import INDENT, print_instr
+from repro.tdl.ast import AsmDef, Target
+
+
+def print_asm_def(asm_def: AsmDef) -> str:
+    """Render one assembly definition."""
+    inputs = ", ".join(f"{port.name}: {port.ty}" for port in asm_def.inputs)
+    output = f"{asm_def.output.name}: {asm_def.output.ty}"
+    header = (
+        f"{asm_def.name}[{asm_def.prim.value}, {asm_def.area}, "
+        f"{asm_def.latency}]({inputs}) -> ({output}) {{"
+    )
+    lines = [header]
+    for instr in asm_def.body:
+        lines.append(INDENT + print_instr(instr))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_target(target: Target) -> str:
+    """Render a whole target description."""
+    return "\n\n".join(print_asm_def(asm_def) for asm_def in target)

@@ -1,0 +1,13 @@
+"""Static timing analysis over placed netlists.
+
+"Run-time" in the paper's evaluation is the critical path of the
+generated hardware circuit, which sets its maximum clock frequency
+(Section 7.2).  This package provides the delay model and the
+register-to-register longest-path analysis used to score both the
+Reticle flow and the vendor-simulator baseline.
+"""
+
+from repro.timing.constants import DelayModel, DEFAULT_DELAYS
+from repro.timing.sta import TimingReport, analyze_netlist
+
+__all__ = ["DelayModel", "DEFAULT_DELAYS", "TimingReport", "analyze_netlist"]

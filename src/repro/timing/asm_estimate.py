@@ -1,0 +1,222 @@
+"""Instruction-level timing estimation on placed assembly programs.
+
+The paper leaves timing-driven layout as future work ("incorporating
+timing information ... is beyond the scope of this work", §1); this
+estimator is the first step that direction: a critical-path estimate
+computed *before* code generation, directly on the placed assembly,
+using the target description's per-instruction latencies plus the
+shared routing model.  It lets layout decisions be compared without
+running the full back end; the authoritative numbers remain the
+netlist-level STA.
+
+An instruction whose definition registers an input consumes that
+operand at a pipeline register (the path ends there); an instruction
+whose definition output is a register launches a fresh path.  The
+``c`` operand of a ``_ci``/``_cico`` cascade variant arrives over the
+dedicated cascade route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.asm.ast import AsmFunc, AsmInstr
+from repro.errors import LayoutError
+from repro.ir.ast import CompInstr, WireInstr
+from repro.ir.ops import CompOp
+from repro.prims import Prim
+from repro.tdl.ast import AsmDef, Target
+from repro.timing.constants import DEFAULT_DELAYS, DelayModel
+from repro.timing.sta import COLUMN_PITCH
+
+
+@dataclass(frozen=True)
+class AsmTimingReport:
+    """Estimated critical path of a placed assembly function."""
+
+    critical_ps: int
+    fmax_mhz: float
+    endpoint: str
+
+    def __str__(self) -> str:
+        return (
+            f"estimated critical path {self.critical_ps} ps "
+            f"({self.fmax_mhz:.1f} MHz) ending at {self.endpoint}"
+        )
+
+
+def _registered_inputs(asm_def: AsmDef) -> Set[str]:
+    """Input ports whose value lands in a pipeline register.
+
+    Register *enables* count too: an input consumed only as the enable
+    of registers is a register control, ending its path at a register,
+    not crossing the instruction's combinational logic.
+    """
+    inputs = {port.name for port in asm_def.inputs}
+    registered = set()
+    enable_only = set()
+    data_use = set()
+    for body in asm_def.body:
+        if isinstance(body, CompInstr) and body.op is CompOp.REG:
+            if body.dst != asm_def.output.name and body.args[0] in inputs:
+                registered.add(body.args[0])
+            elif body.args[0] in inputs:
+                data_use.add(body.args[0])
+            if body.args[1] in inputs:
+                enable_only.add(body.args[1])
+        else:
+            data_use.update(arg for arg in body.args if arg in inputs)
+    registered.update(enable_only - data_use)
+    return registered
+
+
+def _launches_path(asm_def: AsmDef) -> bool:
+    return asm_def.root().op is CompOp.REG
+
+
+def estimate_asm_timing(
+    func: AsmFunc,
+    target: Target,
+    delays: DelayModel = DEFAULT_DELAYS,
+) -> AsmTimingReport:
+    """Estimate the critical path of a *placed* assembly function."""
+    if not func.is_placed:
+        raise LayoutError("timing estimation needs a placed function")
+
+    producers: Dict[str, AsmInstr] = {}
+    wire_sources: Dict[str, Tuple[str, ...]] = {}
+    for instr in func.instrs:
+        if isinstance(instr, AsmInstr):
+            producers[instr.dst] = instr
+        else:
+            assert isinstance(instr, WireInstr)
+            wire_sources[instr.dst] = instr.args
+
+    def_of = {instr.dst: target[instr.op] for instr in func.asm_instrs()}
+    arrivals: Dict[str, int] = {}
+
+    def trace_sources(name: str) -> Tuple[str, ...]:
+        """Resolve through (free) wire instructions to real sources."""
+        if name in wire_sources:
+            found: Tuple[str, ...] = ()
+            for source in wire_sources[name]:
+                found += trace_sources(source)
+            return found
+        return (name,)
+
+    def clk_to_q(prim: Prim) -> int:
+        return (
+            delays.dsp_clk_to_q if prim is Prim.DSP else delays.ff_clk_to_q
+        )
+
+    def setup(prim: Prim) -> int:
+        return delays.dsp_setup if prim is Prim.DSP else delays.ff_setup
+
+    def route(
+        producer: Optional[AsmInstr], consumer: AsmInstr, cascade: bool
+    ) -> int:
+        if producer is None:
+            return delays.io_net
+        if cascade:
+            return delays.cascade_net
+        (a_col, a_row) = producer.loc.position()
+        (b_col, b_row) = consumer.loc.position()
+        distance = COLUMN_PITCH * abs(a_col - b_col) + abs(a_row - b_row)
+        return delays.net_delay(distance)
+
+    def arrival_of(instr: AsmInstr) -> int:
+        """Arrival at the instruction's (combinational) output."""
+        cached = arrivals.get(instr.dst)
+        if cached is not None:
+            return cached
+        asm_def = def_of[instr.dst]
+        if _launches_path(asm_def):
+            value = clk_to_q(instr.loc.prim)
+        else:
+            value = _input_arrival(instr, asm_def) + asm_def.latency
+        arrivals[instr.dst] = value
+        return value
+
+    def _input_arrival(instr: AsmInstr, asm_def: AsmDef) -> int:
+        registered = _registered_inputs(asm_def)
+        is_cascade = instr.op.endswith("_ci") or instr.op.endswith("_cico")
+        worst = 0
+        for port, arg in zip(asm_def.inputs, instr.args):
+            if port.name in registered:
+                continue  # ends at the pipeline register, not here
+            cascade = is_cascade and port.name == "c"
+            for source in trace_sources(arg):
+                producer = producers.get(source)
+                if producer is None:
+                    worst = max(worst, delays.io_net)
+                    continue
+                hop = route(producer, instr, cascade)
+                if _launches_path(def_of[producer.dst]):
+                    worst = max(worst, clk_to_q(producer.loc.prim) + hop)
+                else:
+                    worst = max(worst, arrival_of(producer) + hop)
+        return worst
+
+    best = (1, "<none>")
+    for instr in func.asm_instrs():
+        asm_def = def_of[instr.dst]
+        registered = _registered_inputs(asm_def)
+        is_cascade = instr.op.endswith("_ci") or instr.op.endswith("_cico")
+
+        # Paths ending at this instruction's pipeline/output registers.
+        if _launches_path(asm_def):
+            # Unregistered operands cross the internal logic first.
+            in_arrival = _input_arrival(instr, asm_def)
+            internal = (
+                asm_def.latency if len(asm_def.body) > 1 else 0
+            )
+            total = in_arrival + internal + setup(instr.loc.prim)
+            best = max(best, (total, instr.dst))
+            # Registered operands end at the input registers.
+            for port, arg in zip(asm_def.inputs, instr.args):
+                if port.name not in registered:
+                    continue
+                cascade = is_cascade and port.name == "c"
+                for source in trace_sources(arg):
+                    producer = producers.get(source)
+                    if producer is None:
+                        arrived = delays.io_net
+                    else:
+                        hop = route(producer, instr, cascade)
+                        if _launches_path(def_of[producer.dst]):
+                            arrived = clk_to_q(producer.loc.prim) + hop
+                        else:
+                            arrived = arrival_of(producer) + hop
+                    best = max(
+                        best, (arrived + setup(instr.loc.prim), instr.dst)
+                    )
+            if registered:
+                # Internal register-to-register path.
+                best = max(
+                    best,
+                    (
+                        asm_def.latency + setup(instr.loc.prim),
+                        instr.dst,
+                    ),
+                )
+
+    # Paths ending at output ports.
+    for name in func.output_names():
+        for source in trace_sources(name):
+            producer = producers.get(source)
+            if producer is None:
+                best = max(best, (delays.io_net, f"<output {name}>"))
+                continue
+            if _launches_path(def_of[producer.dst]):
+                arrived = clk_to_q(producer.loc.prim) + delays.net_base
+            else:
+                arrived = arrival_of(producer) + delays.net_base
+            best = max(best, (arrived, f"<output {name}>"))
+
+    critical, endpoint = best
+    return AsmTimingReport(
+        critical_ps=critical,
+        fmax_mhz=1_000_000.0 / critical,
+        endpoint=endpoint,
+    )

@@ -1,0 +1,139 @@
+"""Utilization and routing-congestion reporting for placed netlists.
+
+Vendor tools report per-region utilization and routing congestion
+after placement; this analysis provides the reproduction's version:
+per-column occupancy (cells vs slice capacity) and an estimate of
+horizontal routing demand — every column a net crosses between its
+producer's and consumer's columns contributes one unit of demand to
+that column.  Dedicated routes (carry spines, DSP cascades) cross
+nothing and contribute nothing, which is exactly why the cascading
+optimization relieves fabric routing (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netlist.core import Cell, Netlist
+from repro.place.device import Device, LUTS_PER_SLICE
+from repro.prims import Prim
+
+
+@dataclass(frozen=True)
+class ColumnReport:
+    """Occupancy and routing demand for one device column."""
+
+    column: int
+    kind: Prim
+    cells: int
+    capacity: int
+    crossing_nets: int
+
+    @property
+    def occupancy(self) -> float:
+        return self.cells / self.capacity if self.capacity else 0.0
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """The whole-device analysis."""
+
+    columns: Tuple[ColumnReport, ...]
+    total_nets: int
+    total_crossings: int
+
+    @property
+    def average_net_span(self) -> float:
+        """Mean number of column crossings per net (0 = all local)."""
+        if self.total_nets == 0:
+            return 0.0
+        return self.total_crossings / self.total_nets
+
+    def hotspots(self, top: int = 5) -> List[ColumnReport]:
+        """Columns with the highest routing demand."""
+        ranked = sorted(
+            self.columns, key=lambda c: (-c.crossing_nets, c.column)
+        )
+        return [c for c in ranked[:top] if c.crossing_nets > 0]
+
+    def table(self) -> str:
+        """Aligned text rendering of the non-empty columns."""
+        lines = ["col  kind  cells  occupancy  crossing-nets"]
+        for report in self.columns:
+            if report.cells == 0 and report.crossing_nets == 0:
+                continue
+            lines.append(
+                f"{report.column:<4} {report.kind.value:<5} "
+                f"{report.cells:<6} {report.occupancy:>8.1%}  "
+                f"{report.crossing_nets}"
+            )
+        return "\n".join(lines)
+
+
+def _column_capacity(device: Device, column: int) -> int:
+    """Placeable cells per column (LUT columns host 8 LUTs + 8 FFs +
+    a carry per slice; DSP columns one DSP per slice)."""
+    spec = device.column(column)
+    if spec.kind is Prim.DSP:
+        return spec.height
+    return spec.height * (LUTS_PER_SLICE * 2 + 1)
+
+
+def _dedicated_route(producer: Cell, consumer: Cell, pin: str) -> bool:
+    if pin == "CI" and producer.kind == "CARRY8":
+        return True
+    if pin == "PCIN" and producer.kind == "DSP48E2":
+        return True
+    return False
+
+
+def analyze_congestion(netlist: Netlist, device: Device) -> CongestionReport:
+    """Compute occupancy and crossing demand for a placed netlist."""
+    cells_per_column: Dict[int, int] = {}
+    for cell in netlist.cells:
+        if cell.loc is None:
+            continue
+        cells_per_column[cell.loc[1]] = (
+            cells_per_column.get(cell.loc[1], 0) + 1
+        )
+
+    drivers = netlist.driver_map()
+    crossings: Dict[int, int] = {}
+    total_nets = 0
+    total_crossings = 0
+    seen_pairs = set()
+    for cell in netlist.cells:
+        for pin, bits in cell.inputs.items():
+            for bit in bits:
+                producer = drivers.get(bit)
+                if producer is None or producer.loc is None or cell.loc is None:
+                    continue
+                key = (id(producer), id(cell), pin)
+                if key in seen_pairs:
+                    continue
+                seen_pairs.add(key)
+                total_nets += 1
+                if _dedicated_route(producer, cell, pin):
+                    continue
+                low = min(producer.loc[1], cell.loc[1])
+                high = max(producer.loc[1], cell.loc[1])
+                for column in range(low, high):
+                    crossings[column] = crossings.get(column, 0) + 1
+                    total_crossings += 1
+
+    columns = tuple(
+        ColumnReport(
+            column=index,
+            kind=device.column(index).kind,
+            cells=cells_per_column.get(index, 0),
+            capacity=_column_capacity(device, index),
+            crossing_nets=crossings.get(index, 0),
+        )
+        for index in range(device.num_columns)
+    )
+    return CongestionReport(
+        columns=columns,
+        total_nets=total_nets,
+        total_crossings=total_crossings,
+    )

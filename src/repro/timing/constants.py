@@ -1,0 +1,71 @@
+"""The delay model: per-primitive and routing delays in picoseconds.
+
+Values are calibrated to public UltraScale+ speed-grade figures rather
+than measured silicon: a fully pipelined DSP slice is rated at 891 MHz
+for the fastest grade (its internal register-to-register path is
+~1120 ps), while large fabric designs typically close timing below
+400 MHz — the RapidWright observation quoted in the paper's Section 1.
+The *ratios* between entries are what the evaluation's run-time shapes
+depend on; absolute values only set the reported frequency scale.
+
+All delays are integers in picoseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Delay parameters shared by the TDL library, the STA, and the
+    vendor simulator."""
+
+    # -- LUT fabric ----------------------------------------------------
+    lut_logic: int = 120          # one LUT lookup
+    carry_in: int = 40            # getting onto a carry chain
+    carry_per_bit: int = 15       # per bit along a CARRY8 chain
+    ff_setup: int = 60            # FDRE setup
+    ff_clk_to_q: int = 100        # FDRE clock-to-out
+
+    # -- DSP slice -----------------------------------------------------
+    # Combinational delays through the ALU / multiplier.  With PREG
+    # set, <op> + dsp_setup is the internal register-to-register path:
+    # muladd lands at ~1120 ps = the 891 MHz datasheet rating.
+    dsp_add: int = 780            # scalar 48-bit ALU op
+    dsp_add_simd: int = 900       # SIMD (TWO24/FOUR12) ALU op
+    dsp_mul: int = 950            # 27x18 multiply
+    dsp_muladd: int = 1000        # multiply feeding the ALU
+    dsp_clk_to_q: int = 350       # P register clock-to-out (PREG=1)
+    dsp_setup: int = 120          # input/pipeline register setup
+
+    # -- Block RAM (memory-primitive extension) -------------------------
+    bram_clk_to_q: int = 800      # registered read port, clock-to-out
+    bram_setup: int = 300         # address/data/enable setup
+
+    # -- Routing -------------------------------------------------------
+    net_base: int = 250           # any general-fabric net
+    net_per_unit: int = 8         # per unit of Manhattan distance
+    cascade_net: int = 20         # dedicated DSP column cascade route
+    io_net: int = 350             # top-level port to first cell
+    # High-fanout nets slow down even with buffering; the penalty grows
+    # with the square root of the load count (buffer trees amortize).
+    fanout_sqrt_ps: int = 25
+
+    def net_delay(self, distance: int) -> int:
+        """General routing delay for a net spanning ``distance`` units."""
+        return self.net_base + self.net_per_unit * distance
+
+    def fanout_delay(self, fanout: int) -> int:
+        """Extra delay for a net with ``fanout`` loads."""
+        if fanout <= 1:
+            return 0
+        return int(self.fanout_sqrt_ps * math.sqrt(fanout - 1))
+
+    def carry_chain(self, bits: int) -> int:
+        """Delay through a ``bits``-bit carry chain (entry + ripple)."""
+        return self.carry_in + self.carry_per_bit * bits
+
+
+DEFAULT_DELAYS = DelayModel()

@@ -1,0 +1,218 @@
+"""Static timing analysis over placed netlists.
+
+Computes the worst register-to-register (or port-to-port) path — the
+circuit's critical path, whose reciprocal is the maximum clock
+frequency.  This is the quantity the paper's "run-time" plots report
+(Section 7.2): a *placed* netlist is scored with cell delays plus
+distance-dependent routing delays, so the same analysis ranks both
+Reticle's deterministic layouts and the vendor simulator's annealed
+layouts.
+
+Routing special cases mirror the hardware: CARRY8 ``CI`` fed by
+another CARRY8 uses the dedicated carry spine (zero route), and DSP
+``PCIN`` fed by ``PCOUT`` uses the dedicated cascade route — the whole
+point of the cascading optimization (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.primitives import dsp_registered_pins
+from repro.timing.constants import DEFAULT_DELAYS, DelayModel
+
+# Columns are physically wider than rows in routing terms.
+COLUMN_PITCH = 4
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """The result of one analysis."""
+
+    critical_ps: int
+    fmax_mhz: float
+    endpoint: str
+    path: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return (
+            f"critical path {self.critical_ps} ps "
+            f"({self.fmax_mhz:.1f} MHz) ending at {self.endpoint}"
+        )
+
+
+def _distance(a: Optional[Tuple[int, int]], b: Optional[Tuple[int, int]]) -> int:
+    if a is None or b is None:
+        return 0
+    return COLUMN_PITCH * abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class _Analyzer:
+    def __init__(self, netlist: Netlist, delays: DelayModel) -> None:
+        self.netlist = netlist
+        self.delays = delays
+        self.drivers = netlist.driver_map()
+        self.input_bits = netlist.input_bit_set()
+        self._arrival: Dict[int, Tuple[int, Tuple[str, ...]]] = {}
+        self._fanout: Dict[int, int] = {}
+        for cell in netlist.cells:
+            for bit in cell.input_bits():
+                self._fanout[bit] = self._fanout.get(bit, 0) + 1
+        for _, bits in netlist.outputs:
+            for bit in bits:
+                self._fanout[bit] = self._fanout.get(bit, 0) + 1
+
+    # -- delay tables ----------------------------------------------------
+
+    def cell_delay(self, cell: Cell) -> int:
+        if cell.kind.startswith("LUT"):
+            return self.delays.lut_logic
+        if cell.kind == "CARRY8":
+            return self.delays.carry_per_bit * 8
+        if cell.kind == "DSP48E2":
+            return self._dsp_comb_delay(cell)
+        raise SimulationError(f"no delay model for {cell.kind!r}")
+
+    def _dsp_comb_delay(self, cell: Cell) -> int:
+        op = str(cell.params.get("OP", "ADD"))
+        simd = str(cell.params.get("USE_SIMD", "ONE48"))
+        if op == "MULADD":
+            return self.delays.dsp_muladd
+        if op == "MUL":
+            return self.delays.dsp_mul
+        if simd != "ONE48":
+            return self.delays.dsp_add_simd
+        return self.delays.dsp_add
+
+    def clk_to_q(self, cell: Cell) -> int:
+        if cell.kind == "FDRE":
+            return self.delays.ff_clk_to_q
+        if cell.kind == "RAMB18E2":
+            return self.delays.bram_clk_to_q
+        return self.delays.dsp_clk_to_q
+
+    def setup(self, cell: Cell) -> int:
+        if cell.kind == "FDRE":
+            return self.delays.ff_setup
+        if cell.kind == "RAMB18E2":
+            return self.delays.bram_setup
+        return self.delays.dsp_setup
+
+    def net_delay(
+        self, bit: int, producer: Optional[Cell], consumer: Cell, pin: str
+    ) -> int:
+        if producer is None:
+            return self.delays.io_net + self.delays.fanout_delay(
+                self._fanout.get(bit, 1)
+            )
+        if pin == "CI" and producer.kind == "CARRY8":
+            return 0
+        if pin == "PCIN" and producer.kind == "DSP48E2":
+            return self.delays.cascade_net
+        distance = _distance(producer.position(), consumer.position())
+        return self.delays.net_delay(distance) + self.delays.fanout_delay(
+            self._fanout.get(bit, 1)
+        )
+
+    # -- arrival propagation ----------------------------------------------
+
+    def bit_arrival(self, bit: int, consumer: Cell, pin: str) -> Tuple[int, Tuple[str, ...]]:
+        producer = self.drivers.get(bit)
+        if producer is None:
+            if bit in self.input_bits:
+                route = self.net_delay(bit, None, consumer, pin)
+                return (route, ("<input>",))
+            return (0, ("<const>",))  # constant rails
+        route = self.net_delay(bit, producer, consumer, pin)
+        if producer.is_sequential:
+            launch = self.clk_to_q(producer)
+            return (launch + route, (producer.name,))
+        arrival, path = self.cell_arrival(producer)
+        return (arrival + route, path)
+
+    def cell_arrival(self, cell: Cell) -> Tuple[int, Tuple[str, ...]]:
+        """Arrival time at a combinational cell's outputs."""
+        key = id(cell)
+        cached = self._arrival.get(key)
+        if cached is not None:
+            return cached
+        worst = 0
+        worst_path: Tuple[str, ...] = ()
+        for pin, bits in cell.inputs.items():
+            for bit in bits:
+                arrival, path = self.bit_arrival(bit, cell, pin)
+                if arrival > worst:
+                    worst = arrival
+                    worst_path = path
+        total = worst + self.cell_delay(cell)
+        result = (total, worst_path + (cell.name,))
+        self._arrival[key] = result
+        return result
+
+    def analyze(self) -> TimingReport:
+        best: Tuple[int, str, Tuple[str, ...]] = (0, "<none>", ())
+
+        # Paths ending at flip-flop/BRAM input pins.  (Registered DSPs
+        # are handled below: their inputs cross the DSP's internal
+        # combinational logic before reaching the P register.)
+        for cell in self.netlist.cells:
+            if not cell.is_sequential or cell.kind == "DSP48E2":
+                continue
+            for pin, bits in cell.inputs.items():
+                for bit in bits:
+                    arrival, path = self.bit_arrival(bit, cell, pin)
+                    total = arrival + self.setup(cell)
+                    if total > best[0]:
+                        best = (total, cell.name, path + (cell.name,))
+
+        # Paths ending at output ports.
+        fake_sink = Cell(kind="LUT1", name="<output>")
+        for name, bits in self.netlist.outputs:
+            for bit in bits:
+                arrival, path = self.bit_arrival(bit, fake_sink, "D")
+                if arrival > best[0]:
+                    best = (arrival, f"<output {name}>", path)
+
+        # Registered DSPs: a pin that lands in an input pipeline
+        # register (AREG/BREG/CREG, or the CE control) ends its path at
+        # that register; an unregistered data pin crosses the internal
+        # combinational logic before reaching PREG.  When input
+        # registers are in play, the internal register-to-register path
+        # (the slice's rated speed) is also a candidate.
+        for cell in self.netlist.cells:
+            if cell.kind != "DSP48E2" or not cell.is_sequential:
+                continue
+            registered = set(dsp_registered_pins(cell.params))
+            registered.add("CE")
+            for pin, bits in cell.inputs.items():
+                through = (
+                    0 if pin in registered else self._dsp_comb_delay(cell)
+                )
+                for bit in bits:
+                    arrival, path = self.bit_arrival(bit, cell, pin)
+                    total = arrival + through + self.setup(cell)
+                    if total > best[0]:
+                        best = (total, cell.name, path + (cell.name,))
+            if registered - {"CE"}:
+                internal = self._dsp_comb_delay(cell) + self.setup(cell)
+                if internal > best[0]:
+                    best = (internal, cell.name, (cell.name, cell.name))
+
+        critical, endpoint, path = best
+        critical = max(critical, 1)
+        return TimingReport(
+            critical_ps=critical,
+            fmax_mhz=1_000_000.0 / critical,
+            endpoint=endpoint,
+            path=path,
+        )
+
+
+def analyze_netlist(
+    netlist: Netlist, delays: DelayModel = DEFAULT_DELAYS
+) -> TimingReport:
+    """Compute the critical path of a placed netlist."""
+    return _Analyzer(netlist, delays).analyze()

@@ -1,0 +1,27 @@
+"""Small shared utilities: bit manipulation and identifier generation."""
+
+from repro.utils.bits import (
+    bit_mask,
+    truncate,
+    to_signed,
+    to_unsigned,
+    sign_bit,
+    pack_lanes,
+    unpack_lanes,
+    bit_select,
+    bit_concat,
+)
+from repro.utils.names import NameGenerator
+
+__all__ = [
+    "bit_mask",
+    "truncate",
+    "to_signed",
+    "to_unsigned",
+    "sign_bit",
+    "pack_lanes",
+    "unpack_lanes",
+    "bit_select",
+    "bit_concat",
+    "NameGenerator",
+]

@@ -1,0 +1,78 @@
+"""Two's-complement bit-vector helpers.
+
+All hardware values in this package are carried as *unsigned bit
+patterns* (Python ints in ``[0, 2**width)``); these helpers convert
+between patterns and signed interpretations and implement the packing
+used by vector types and SIMD DSP lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the low ``width`` bits set."""
+    if width < 0:
+        raise ValueError(f"negative width: {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Wrap ``value`` to an unsigned ``width``-bit pattern."""
+    return value & bit_mask(width)
+
+
+def to_signed(pattern: int, width: int) -> int:
+    """Interpret a ``width``-bit pattern as a two's-complement integer."""
+    pattern = truncate(pattern, width)
+    if width > 0 and pattern & (1 << (width - 1)):
+        return pattern - (1 << width)
+    return pattern
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as a ``width``-bit pattern."""
+    return truncate(value, width)
+
+
+def sign_bit(pattern: int, width: int) -> int:
+    """Return the sign bit (MSB) of a ``width``-bit pattern."""
+    if width == 0:
+        return 0
+    return (truncate(pattern, width) >> (width - 1)) & 1
+
+
+def pack_lanes(lanes: Sequence[int], lane_width: int) -> int:
+    """Pack lane patterns into one wide pattern, lane 0 in the low bits."""
+    packed = 0
+    for index, lane in enumerate(lanes):
+        packed |= truncate(lane, lane_width) << (index * lane_width)
+    return packed
+
+
+def unpack_lanes(pattern: int, lane_width: int, lanes: int) -> List[int]:
+    """Split a wide pattern into ``lanes`` patterns of ``lane_width`` bits."""
+    return [
+        truncate(pattern >> (index * lane_width), lane_width)
+        for index in range(lanes)
+    ]
+
+
+def bit_select(pattern: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi..lo`` (inclusive, hi >= lo) from a pattern."""
+    if hi < lo:
+        raise ValueError(f"bit_select with hi < lo: [{hi}:{lo}]")
+    return (pattern >> lo) & bit_mask(hi - lo + 1)
+
+
+def bit_concat(parts: Sequence[int], widths: Sequence[int]) -> int:
+    """Concatenate patterns; ``parts[0]`` occupies the low bits."""
+    if len(parts) != len(widths):
+        raise ValueError("bit_concat: parts and widths differ in length")
+    result = 0
+    offset = 0
+    for part, width in zip(parts, widths):
+        result |= truncate(part, width) << offset
+        offset += width
+    return result

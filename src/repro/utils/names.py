@@ -1,0 +1,33 @@
+"""Fresh-name generation for compiler passes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+class NameGenerator:
+    """Produces identifiers guaranteed not to collide with a taken set.
+
+    Compiler passes that introduce temporaries (instruction selection,
+    cascading, behavioral emission) share this so generated programs
+    never shadow user variables.
+    """
+
+    def __init__(self, taken: Iterable[str] = (), prefix: str = "_t") -> None:
+        self._taken: Set[str] = set(taken)
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        """Return a new unique name, optionally derived from ``hint``."""
+        base = hint if hint else self._prefix
+        while True:
+            candidate = f"{base}{self._counter}"
+            self._counter += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken."""
+        self._taken.add(name)

@@ -1,0 +1,37 @@
+"""The vendor-toolchain simulator (the evaluation's Vivado stand-in).
+
+The paper benchmarks Reticle against Xilinx Vivado 2020.1 consuming
+behavioral Verilog, with and without vendor synthesis hints.  Vivado
+is closed source, so this package implements the documented
+*behavioural contract* the paper's experiments exercise (see
+DESIGN.md):
+
+* heuristic, cost-model technology mapping of behavioral programs;
+* hint annotations that are soft preferences, not constraints —
+  silently ignored once DSP resources run out (Section 2's second
+  challenge);
+* scalar-only DSP inference — no SIMD vectorization, ever
+  (Section 7.2: "Vivado fails to exploit vectorization even for this
+  simple, dependency-free parallel workload");
+* fused multiply-add and cascade inference only in hint mode
+  (Section 7.2's tensordot discussion);
+* strong bit-level logic optimization (LUT packing) that Reticle does
+  not attempt (Section 7.2's fsm discussion);
+* slow, randomized metaheuristic placement (simulated annealing),
+  which dominates compile time.
+"""
+
+from repro.vendor.synth import VendorOptions, VendorSynthesizer, SynthStats
+from repro.vendor.packing import pack_luts
+from repro.vendor.anneal import Annealer
+from repro.vendor.toolchain import VendorToolchain, VendorResult
+
+__all__ = [
+    "VendorOptions",
+    "VendorSynthesizer",
+    "SynthStats",
+    "pack_luts",
+    "Annealer",
+    "VendorToolchain",
+    "VendorResult",
+]

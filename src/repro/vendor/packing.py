@@ -1,0 +1,127 @@
+"""LUT packing: the bit-level logic optimization vendor tools apply.
+
+Traditional toolchains run heavyweight logic synthesis (ABC-style
+technology mapping) that Reticle deliberately skips (Section 7.2: the
+fsm benchmark is "a kind of pathological case for Reticle" because
+vendor toolchains "use complex logic synthesis optimizations to
+minimize the number of LUTs").  This pass models that strength with
+the classic remap: any LUT feeding exactly one other LUT merges into
+it when their combined support is at most six inputs, shrinking both
+LUT count and logic depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.codegen.lut_init import lut_init
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.primitives import eval_lut
+
+
+def _lut_input_bits(cell: Cell) -> List[int]:
+    return [cell.inputs[f"I{i}"][0] for i in range(len(cell.inputs))]
+
+
+def _merge_init(driver: Cell, sink: Cell, merged_inputs: List[int]) -> int:
+    """Truth table of ``sink`` with ``driver`` substituted in."""
+    driver_inputs = _lut_input_bits(driver)
+    sink_inputs = _lut_input_bits(sink)
+    driver_out = driver.outputs["O"][0]
+    driver_init = int(driver.params["INIT"])
+    sink_init = int(sink.params["INIT"])
+
+    position = {bit: index for index, bit in enumerate(merged_inputs)}
+
+    def fn(*values: int) -> int:
+        by_bit = {bit: values[position[bit]] for bit in merged_inputs}
+        driver_value = eval_lut(
+            driver_init, [by_bit[b] for b in driver_inputs]
+        )
+        sink_values = [
+            driver_value if b == driver_out else by_bit[b]
+            for b in sink_inputs
+        ]
+        return eval_lut(sink_init, sink_values)
+
+    return lut_init(len(merged_inputs), fn)
+
+
+def pack_luts(netlist: Netlist, passes: int = 2) -> int:
+    """Merge single-fanout LUT pairs in place; returns merges done."""
+    total_merged = 0
+    for _ in range(max(passes, 1)):
+        merged = _pack_once(netlist)
+        total_merged += merged
+        if merged == 0:
+            break
+    return total_merged
+
+
+def _pack_once(netlist: Netlist) -> int:
+    fanout: Dict[int, int] = {}
+    for cell in netlist.cells:
+        for bit in cell.input_bits():
+            fanout[bit] = fanout.get(bit, 0) + 1
+    output_bits: Set[int] = set()
+    for _, bits in netlist.outputs:
+        output_bits.update(bits)
+
+    # Index-based bookkeeping: slots[i] is the current version of cell
+    # i (None once absorbed); driver_of maps an output bit to its slot.
+    slots: List[Optional[Cell]] = list(netlist.cells)
+    driver_of: Dict[int, int] = {}
+    for index, cell in enumerate(netlist.cells):
+        if cell.kind.startswith("LUT"):
+            driver_of[cell.outputs["O"][0]] = index
+
+    merges = 0
+    for index in range(len(slots)):
+        sink = slots[index]
+        if sink is None or not sink.kind.startswith("LUT"):
+            continue
+        changed = True
+        while changed:
+            changed = False
+            for input_bit in _lut_input_bits(sink):
+                driver_index = driver_of.get(input_bit)
+                if driver_index is None or driver_index == index:
+                    continue
+                driver = slots[driver_index]
+                if (
+                    driver is None
+                    or fanout.get(input_bit, 0) != 1
+                    or input_bit in output_bits
+                ):
+                    continue
+                merged_inputs: List[int] = []
+                for bit in _lut_input_bits(sink):
+                    if bit == input_bit:
+                        for inner in _lut_input_bits(driver):
+                            if inner not in merged_inputs:
+                                merged_inputs.append(inner)
+                    elif bit not in merged_inputs:
+                        merged_inputs.append(bit)
+                if len(merged_inputs) > 6:
+                    continue
+                init = _merge_init(driver, sink, merged_inputs)
+                sink = Cell(
+                    kind=f"LUT{len(merged_inputs)}",
+                    name=sink.name,
+                    params={"INIT": init},
+                    inputs={
+                        f"I{i}": [bit] for i, bit in enumerate(merged_inputs)
+                    },
+                    outputs={"O": [sink.outputs["O"][0]]},
+                    loc=sink.loc,
+                    bel=sink.bel,
+                )
+                slots[index] = sink
+                slots[driver_index] = None
+                merges += 1
+                changed = True
+                break
+
+    if merges:
+        netlist.cells = [cell for cell in slots if cell is not None]
+    return merges

@@ -1,0 +1,481 @@
+"""Behavioral synthesis with heuristic DSP inference.
+
+Implements the mapping policy the paper attributes to vendor tools
+(Section 2): a cost model decides between LUTs and DSPs per operation,
+hints *suggest* DSPs for additions, and the mapper silently falls back
+to LUTs when the device's DSP budget runs out.  Vector operations are
+scalarized first — behavioral HDLs carry no lane information, so the
+vendor mapper only ever emits scalar (ONE48) DSP configurations.
+
+In hint mode the mapper also performs the fusions Vivado 2020.1
+applies with directives: multiply feeding a single-use add becomes a
+fused MULADD, a trailing single-use register folds into the DSP's
+``PREG``, and chained MULADDs ride the cascade (as macros the annealer
+keeps vertically adjacent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.codegen.dsp_synth import DSP_WIDTH
+from repro.codegen.lut_synth import LutSynthesizer, UnplacedAllocator
+from repro.errors import VendorError
+from repro.ir.ast import CompInstr, Func, Instr, Res, WireInstr
+from repro.ir.dfg import DataflowGraph
+from repro.ir.ops import CompOp
+from repro.ir.scalarize import scalarize_func
+from repro.ir.typecheck import typecheck_func
+from repro.ir.types import Ty
+from repro.ir.wellformed import check_well_formed
+from repro.codegen.generate import wire_bits
+from repro.netlist.core import Cell, Netlist
+from repro.place.device import Device
+from repro.utils.bits import to_unsigned
+
+
+@dataclass(frozen=True)
+class VendorOptions:
+    """Knobs of the simulated vendor flow."""
+
+    use_dsp_hints: bool = False   # honour @dsp annotations (softly)
+    effort: int = 2               # LUT-packing optimization passes
+    seed: int = 2021              # annealing seed
+    moves_per_cell: int = 24      # annealing effort
+
+
+@dataclass
+class SynthStats:
+    """What the mapper did — the unpredictability the paper measures."""
+
+    dsp_used: int = 0
+    dsp_fallbacks: int = 0        # ops that wanted a DSP but got LUTs
+    fused_muladds: int = 0
+    fused_pregs: int = 0
+    cascade_links: int = 0
+
+
+@dataclass
+class _DspGroup:
+    """A fused group of instructions implemented by one DSP slice."""
+
+    members: List[CompInstr] = field(default_factory=list)
+    mul: Optional[CompInstr] = None
+    add: Optional[CompInstr] = None
+    sub: Optional[CompInstr] = None
+    reg: Optional[CompInstr] = None
+    a_reg: Optional[CompInstr] = None  # input register retimed into AREG
+    b_reg: Optional[CompInstr] = None  # input register retimed into BREG
+    c_source: Optional[str] = None   # the accumulate operand, if any
+    cascade_from: Optional[str] = None  # root dst of the upstream group
+
+    @property
+    def root(self) -> CompInstr:
+        """The member whose value the group produces."""
+        if self.reg is not None:
+            return self.reg
+        for candidate in (self.add, self.sub, self.mul):
+            if candidate is not None:
+                return candidate
+        raise VendorError("empty DSP group")  # pragma: no cover
+
+    @property
+    def op(self) -> str:
+        if self.mul is not None and self.add is not None:
+            return "MULADD"
+        if self.mul is not None:
+            return "MUL"
+        if self.sub is not None:
+            return "SUB"
+        return "ADD"
+
+
+class VendorSynthesizer:
+    """Maps one behavioral function onto primitives."""
+
+    def __init__(self, device: Device, options: VendorOptions) -> None:
+        self.device = device
+        self.options = options
+
+    # -- DSP group inference --------------------------------------------
+
+    def _infer_groups(self, func: Func) -> Dict[str, _DspGroup]:
+        """Group instructions that one DSP slice will implement.
+
+        Returns a map from the group's *root* destination to the group;
+        every member instruction is recorded in ``_member_of``.
+        """
+        dfg = DataflowGraph.build(func)
+        by_dst = func.instr_by_dst()
+        groups: Dict[str, _DspGroup] = {}
+        claimed: Set[str] = set()
+
+        def single_consumer(dst: str) -> Optional[Instr]:
+            if dfg.use_count(dst) != 1 or dfg.is_output(dst):
+                return None
+            consumers = dfg.consumers.get(dst, ())
+            return consumers[0][0] if consumers else None
+
+        def try_fold_reg(group: _DspGroup) -> None:
+            if not self.options.use_dsp_hints:
+                return
+            consumer = single_consumer(group.root.dst)
+            if (
+                isinstance(consumer, CompInstr)
+                and consumer.op is CompOp.REG
+                and consumer.args[0] == group.root.dst
+                and consumer.dst not in claimed
+            ):
+                group.reg = consumer
+                group.members.append(consumer)
+                claimed.add(consumer.dst)
+
+        def try_fold_input_regs(group: _DspGroup) -> None:
+            """Retime single-use input registers into AREG/BREG.
+
+            Only sound in this model when the output register is also
+            in the DSP (PREG), every folded register shares the output
+            register's enable, and its initial value is zero (the
+            input pipeline registers reset to zero)."""
+            if group.reg is None:
+                return
+            enable = group.reg.args[1]
+            first = group.mul if group.mul is not None else (
+                group.add if group.add is not None else group.sub
+            )
+            assert first is not None
+            for slot, operand in (("a_reg", first.args[0]), ("b_reg", first.args[1])):
+                producer = by_dst.get(operand)
+                if (
+                    isinstance(producer, CompInstr)
+                    and producer.op is CompOp.REG
+                    and producer.dst not in claimed
+                    and dfg.use_count(producer.dst) == 1
+                    and not dfg.is_output(producer.dst)
+                    and producer.args[1] == enable
+                    and (not producer.attrs or producer.attrs[0] == 0)
+                ):
+                    setattr(group, slot, producer)
+                    group.members.append(producer)
+                    claimed.add(producer.dst)
+
+        for instr in func.instrs:
+            if (
+                not isinstance(instr, CompInstr)
+                or instr.dst in claimed
+                or instr.ty.is_vector
+            ):
+                continue
+            if instr.op is CompOp.MUL:
+                group = _DspGroup(members=[instr], mul=instr)
+                claimed.add(instr.dst)
+                if self.options.use_dsp_hints:
+                    consumer = single_consumer(instr.dst)
+                    if (
+                        isinstance(consumer, CompInstr)
+                        and consumer.op is CompOp.ADD
+                        and consumer.dst not in claimed
+                        and instr.dst in consumer.args
+                    ):
+                        group.add = consumer
+                        group.members.append(consumer)
+                        claimed.add(consumer.dst)
+                        other = [
+                            a for a in consumer.args if a != instr.dst
+                        ]
+                        group.c_source = other[0] if other else instr.dst
+                    try_fold_reg(group)
+                    try_fold_input_regs(group)
+                groups[group.root.dst] = group
+            elif (
+                self.options.use_dsp_hints
+                and instr.op in (CompOp.ADD, CompOp.SUB)
+                and instr.res is Res.DSP
+            ):
+                group = _DspGroup(members=[instr])
+                if instr.op is CompOp.ADD:
+                    group.add = instr
+                else:
+                    group.sub = instr
+                claimed.add(instr.dst)
+                try_fold_reg(group)
+                try_fold_input_regs(group)
+                groups[group.root.dst] = group
+
+        # Cascade inference: a MULADD whose accumulate operand is the
+        # single-use root of another MULADD group chains over PCIN.
+        if self.options.use_dsp_hints:
+            for group in groups.values():
+                if group.op != "MULADD" or group.c_source is None:
+                    continue
+                source = group.c_source
+                upstream = groups.get(source)
+                if (
+                    upstream is not None
+                    and upstream.op == "MULADD"
+                    and dfg.use_count(source) == 1
+                ):
+                    group.cascade_from = source
+        return groups
+
+    # -- netlist construction --------------------------------------------
+
+    def synthesize(self, func: Func) -> Tuple[Netlist, SynthStats]:
+        """Map ``func`` to an (unplaced) netlist of primitives."""
+        typecheck_func(func)
+        func = scalarize_func(func)
+        check_well_formed(func)
+
+        stats = SynthStats()
+        groups = self._infer_groups(func)
+        member_root: Dict[str, str] = {}
+        for root, group in groups.items():
+            for member in group.members:
+                member_root[member.dst] = root
+
+        # The DSP budget: groups past it silently fall back to LUTs —
+        # the hint-softness behaviour the paper measures.
+        budget = self.device.dsp_capacity()
+        dsp_groups: Set[str] = set()
+        for root, group in groups.items():
+            if budget > 0:
+                budget -= 1
+                dsp_groups.add(root)
+                stats.dsp_used += 1
+                if group.op == "MULADD":
+                    stats.fused_muladds += 1
+                if group.reg is not None:
+                    stats.fused_pregs += 1
+            else:
+                stats.dsp_fallbacks += 1
+        for root, group in groups.items():
+            if (
+                group.cascade_from is not None
+                and root in dsp_groups
+                and group.cascade_from in dsp_groups
+            ):
+                stats.cascade_links += 1
+            else:
+                group.cascade_from = None
+
+        netlist = Netlist(name=func.name)
+        types = func.defs()
+        env: Dict[str, List[int]] = {}
+        for port in func.inputs:
+            env[port.name] = netlist.add_input(port.name, port.ty.width)
+
+        lut_synth = LutSynthesizer(netlist, prefix=func.name)
+        alloc = UnplacedAllocator()
+
+        # Pre-allocate stateful outputs (cycle breaking): FDRE
+        # registers, DSP-folded ones, and BRAM read ports.
+        pcout_of: Dict[str, List[int]] = {}
+        for instr in func.instrs:
+            if not isinstance(instr, CompInstr) or not instr.is_stateful:
+                continue
+            if instr.op is CompOp.RAM:
+                env[instr.dst] = netlist.new_bits(instr.ty.width)
+                continue
+            root = member_root.get(instr.dst)
+            if root == instr.dst and root in dsp_groups:
+                # The group's output register: pre-allocate P/PCOUT.
+                p_bits = netlist.new_bits(DSP_WIDTH)
+                pcout = netlist.new_bits(DSP_WIDTH)
+                env[instr.dst] = p_bits[: instr.ty.width]
+                env[instr.dst + "/P"] = p_bits
+                env[instr.dst + "/PCOUT"] = pcout
+                pcout_of[instr.dst] = pcout
+            elif root is not None and root in dsp_groups:
+                # An input register retimed into AREG/BREG: its value
+                # lives inside the DSP; nothing else reads it.
+                continue
+            else:
+                # Plain FDRE register (including DSP-budget fallbacks).
+                env[instr.dst] = netlist.new_bits(instr.ty.width)
+
+        order = self._topo_order(func, member_root, dsp_groups)
+        for instr in order:
+            if isinstance(instr, WireInstr):
+                env[instr.dst] = wire_bits(
+                    instr,
+                    [env[arg] for arg in instr.args],
+                    [types[arg] for arg in instr.args],
+                )
+                continue
+            assert isinstance(instr, CompInstr)
+            if instr.op is CompOp.RAM:
+                # Vendors infer block RAMs from memory idioms; the IR's
+                # ram op maps one-to-one.
+                self._emit_bram(netlist, instr, env)
+                continue
+            root = member_root.get(instr.dst)
+            if root is not None and root in dsp_groups:
+                if instr.dst != root:
+                    continue  # emitted at the group root
+                self._emit_dsp_group(
+                    netlist, groups[root], env, types, pcout_of
+                )
+                continue
+            # LUT fabric (including DSP-budget fallbacks).
+            result = lut_synth.synth_comp(
+                instr.op,
+                instr.ty,
+                instr.attrs,
+                [env[arg] for arg in instr.args],
+                alloc,
+                out_bits=env.get(instr.dst) if instr.op is CompOp.REG else None,
+            )
+            env[instr.dst] = result
+
+        for port in func.outputs:
+            netlist.add_output(port.name, env[port.name])
+        return netlist, stats
+
+    def _emit_bram(
+        self,
+        netlist: Netlist,
+        instr: CompInstr,
+        env: Dict[str, List[int]],
+    ) -> None:
+        addr, wdata, wen, enable = (env[arg] for arg in instr.args)
+        netlist.add_cell(
+            Cell(
+                kind="RAMB18E2",
+                name=f"vbram_{instr.dst}",
+                params={
+                    "ADDR_WIDTH": instr.attrs[0],
+                    "WIDTH": instr.ty.width,
+                },
+                inputs={
+                    "ADDR": addr,
+                    "DI": wdata,
+                    "WE": [wen[0]],
+                    "CE": [enable[0]],
+                },
+                outputs={"DO": env[instr.dst]},
+                loc=None,
+                bel="BRAM",
+            )
+        )
+
+    def _topo_order(
+        self,
+        func: Func,
+        member_root: Dict[str, str],
+        dsp_groups: Set[str],
+    ) -> List[Instr]:
+        from collections import deque
+
+        instrs = list(func.instrs)
+        producer: Dict[str, int] = {}
+        for index, instr in enumerate(instrs):
+            stateful = (
+                isinstance(instr, CompInstr) and instr.is_stateful
+            )
+            if not stateful:
+                producer[instr.dst] = index
+        dependents: List[List[int]] = [[] for _ in instrs]
+        in_degree = [0] * len(instrs)
+        for index, instr in enumerate(instrs):
+            for arg in instr.args:
+                source = producer.get(arg)
+                if source is not None:
+                    dependents[source].append(index)
+                    in_degree[index] += 1
+        ready = deque(i for i, d in enumerate(in_degree) if d == 0)
+        order: List[Instr] = []
+        while ready:
+            node = ready.popleft()
+            order.append(instrs[node])
+            for succ in dependents[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(instrs):
+            raise VendorError("combinational cycle in behavioral program")
+        return order
+
+    def _sign_extend(self, bits: List[int], width: int) -> List[int]:
+        sign = bits[-1]
+        return bits + [sign] * (width - len(bits))
+
+    def _emit_dsp_group(
+        self,
+        netlist: Netlist,
+        group: _DspGroup,
+        env: Dict[str, List[int]],
+        types: Dict[str, Ty],
+        pcout_of: Dict[str, List[int]],
+    ) -> None:
+        root = group.root
+        inputs: Dict[str, List[int]] = {}
+
+        def operand(slot: Optional[CompInstr], default: str) -> str:
+            # A folded input register's data operand feeds the pin; the
+            # internal AREG/BREG register supplies the delay.
+            return slot.args[0] if slot is not None else default
+
+        if group.mul is not None:
+            inputs["A"] = self._sign_extend(
+                env[operand(group.a_reg, group.mul.args[0])], DSP_WIDTH
+            )
+            inputs["B"] = self._sign_extend(
+                env[operand(group.b_reg, group.mul.args[1])], DSP_WIDTH
+            )
+            if group.add is not None:
+                assert group.c_source is not None
+                if group.cascade_from is not None:
+                    inputs["PCIN"] = pcout_of[group.cascade_from]
+                else:
+                    inputs["C"] = self._sign_extend(
+                        env[group.c_source], DSP_WIDTH
+                    )
+        else:
+            alu = group.add if group.add is not None else group.sub
+            assert alu is not None
+            inputs["A"] = self._sign_extend(
+                env[operand(group.a_reg, alu.args[0])], DSP_WIDTH
+            )
+            inputs["B"] = self._sign_extend(
+                env[operand(group.b_reg, alu.args[1])], DSP_WIDTH
+            )
+
+        preg = 0
+        init = 0
+        if group.reg is not None:
+            preg = 1
+            inputs["CE"] = [env[group.reg.args[1]][0]]
+            init_value = group.reg.attrs[0] if group.reg.attrs else 0
+            init = to_unsigned(init_value, DSP_WIDTH)
+
+        if preg:
+            p_bits = env[root.dst + "/P"]
+            pcout_bits = env[root.dst + "/PCOUT"]
+        else:
+            p_bits = netlist.new_bits(DSP_WIDTH)
+            pcout_bits = netlist.new_bits(DSP_WIDTH)
+            pcout_of[root.dst] = pcout_bits
+            env[root.dst] = p_bits[: root.ty.width]
+
+        params = {
+            "OP": group.op,
+            "USE_SIMD": "ONE48",   # vendor inference is scalar-only
+            "PREG": preg,
+            "AREG": 1 if group.a_reg is not None else 0,
+            "BREG": 1 if group.b_reg is not None else 0,
+            "CREG": 0,
+            "CASCADE_IN": "PCIN" if group.cascade_from is not None else "NONE",
+            "INIT": init,
+        }
+        netlist.add_cell(
+            Cell(
+                kind="DSP48E2",
+                name=f"vdsp_{root.dst}",
+                params=params,
+                inputs=inputs,
+                outputs={"P": p_bits, "PCOUT": pcout_bits},
+                loc=None,
+                bel="DSP",
+            )
+        )

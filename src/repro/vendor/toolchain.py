@@ -1,0 +1,64 @@
+"""The end-to-end vendor flow: synthesize, optimize, place.
+
+``VendorToolchain.compile`` is the baseline the benchmark harness
+times and scores against Reticle's pipeline: behavioral synthesis with
+heuristic DSP inference, LUT-packing logic optimization, then
+simulated-annealing placement.  The returned netlist is placed and
+ready for the shared timing analysis and resource accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.ir.ast import Func
+from repro.netlist.core import Netlist
+from repro.place.device import Device
+from repro.vendor.anneal import Annealer
+from repro.vendor.packing import pack_luts
+from repro.vendor.synth import SynthStats, VendorOptions, VendorSynthesizer
+
+
+@dataclass
+class VendorResult:
+    """The outcome of one vendor compile."""
+
+    netlist: Netlist
+    stats: SynthStats
+    seconds: float
+    lut_merges: int
+
+
+class VendorToolchain:
+    """Reusable vendor flow for one device and option set."""
+
+    def __init__(self, device: Device, options: VendorOptions = VendorOptions()) -> None:
+        self.device = device
+        self.options = options
+
+    def synthesize(self, func: Func) -> VendorResult:
+        """Synthesis + logic optimization only (no placement)."""
+        start = time.perf_counter()
+        netlist, stats = VendorSynthesizer(self.device, self.options).synthesize(func)
+        merges = pack_luts(netlist, passes=self.options.effort)
+        seconds = time.perf_counter() - start
+        return VendorResult(
+            netlist=netlist, stats=stats, seconds=seconds, lut_merges=merges
+        )
+
+    def compile(self, func: Func) -> VendorResult:
+        """The full flow: synthesis, optimization, annealed placement."""
+        start = time.perf_counter()
+        netlist, stats = VendorSynthesizer(self.device, self.options).synthesize(func)
+        merges = pack_luts(netlist, passes=self.options.effort)
+        annealer = Annealer(
+            device=self.device,
+            seed=self.options.seed,
+            moves_per_cell=self.options.moves_per_cell,
+        )
+        annealer.place(netlist)
+        seconds = time.perf_counter() - start
+        return VendorResult(
+            netlist=netlist, stats=stats, seconds=seconds, lut_merges=merges
+        )

@@ -1,0 +1,58 @@
+"""A Verilog abstract-syntax library (the paper's companion AST crate).
+
+The Reticle artifact ships a 2,486-line Rust Verilog AST library used
+for code generation (Section 6).  This package is its Python
+counterpart: expression and item nodes, modules, ``(* ... *)``
+attribute support for layout annotations, and a pretty-printer.  The
+code generator builds structural modules from placed netlists; the
+behavioral-baseline emitters build behavioral modules from IR.
+"""
+
+from repro.verilog.ast import (
+    Attribute,
+    Assign,
+    AlwaysFF,
+    Binary,
+    Concat,
+    Expr,
+    Index,
+    Instance,
+    IntLit,
+    Item,
+    Module,
+    NonBlocking,
+    Port,
+    Ref,
+    Repeat,
+    Slice,
+    Ternary,
+    Unary,
+    WireDecl,
+    RegDecl,
+)
+from repro.verilog.printer import print_module, print_expr
+
+__all__ = [
+    "Attribute",
+    "Assign",
+    "AlwaysFF",
+    "Binary",
+    "Concat",
+    "Expr",
+    "Index",
+    "Instance",
+    "IntLit",
+    "Item",
+    "Module",
+    "NonBlocking",
+    "Port",
+    "Ref",
+    "Repeat",
+    "Slice",
+    "Ternary",
+    "Unary",
+    "WireDecl",
+    "RegDecl",
+    "print_module",
+    "print_expr",
+]

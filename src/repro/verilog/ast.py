@@ -1,0 +1,191 @@
+"""Verilog AST nodes.
+
+Covers the subset of Verilog-2001 the code generator and the
+behavioral-baseline emitters need: structural instances with
+parameters and synthesis attributes, continuous assignments,
+``always_ff``-style clocked blocks (emitted as ``always @(posedge
+clk)``), and the usual expression forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+
+class Expr:
+    """Base class of Verilog expressions."""
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A net or variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """An integer literal, sized (``8'h2A``) when ``width`` is given."""
+
+    value: int
+    width: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Slice(Expr):
+    """A part-select ``expr[hi:lo]``."""
+
+    target: Expr
+    hi: int
+    lo: int
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """A bit-select ``expr[i]``."""
+
+    target: Expr
+    index: int
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """``{a, b, c}`` — first element is the most significant."""
+
+    parts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Expr):
+    """``{n{expr}}``."""
+
+    times: int
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A prefix operator application (``~x``, ``-x``, ``&x``...)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """An infix operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """``cond ? then : else``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+class Item:
+    """Base class of module items."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A synthesis attribute ``(* name = "value" *)``."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class Port:
+    """A module port; ``width`` of 1 prints without a range.
+
+    ``reg`` marks an ``output reg`` port (driven from a clocked block).
+    """
+
+    direction: str  # "input" | "output"
+    name: str
+    width: int = 1
+    reg: bool = False
+
+
+@dataclass(frozen=True)
+class WireDecl(Item):
+    name: str
+    width: int = 1
+
+
+@dataclass(frozen=True)
+class RegDecl(Item):
+    name: str
+    width: int = 1
+    init: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Assign(Item):
+    """``assign lhs = rhs;``"""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class NonBlocking(Item):
+    """``lhs <= rhs;`` inside a clocked block."""
+
+    lhs: Expr
+    rhs: Expr
+    cond: Optional[Expr] = None  # optional enable: if (cond) lhs <= rhs;
+
+
+@dataclass(frozen=True)
+class AlwaysFF(Item):
+    """``always @(posedge clock) begin ... end``."""
+
+    clock: str
+    body: Tuple[NonBlocking, ...]
+
+
+@dataclass(frozen=True)
+class Instance(Item):
+    """A module instantiation with parameters and attributes."""
+
+    module: str
+    name: str
+    params: Tuple[Tuple[str, Union[int, str, IntLit]], ...] = ()
+    connections: Tuple[Tuple[str, Expr], ...] = ()
+    attributes: Tuple[Attribute, ...] = ()
+
+
+@dataclass(frozen=True)
+class Module:
+    """A Verilog module."""
+
+    name: str
+    ports: Tuple[Port, ...]
+    items: Tuple[Item, ...] = ()
+    attributes: Tuple[Attribute, ...] = ()
+
+
+def instance(
+    module: str,
+    name: str,
+    params: Optional[Dict[str, Union[int, str, IntLit]]] = None,
+    connections: Optional[Dict[str, Expr]] = None,
+    attributes: Sequence[Attribute] = (),
+) -> Instance:
+    """Convenience constructor taking dicts (order preserved)."""
+    return Instance(
+        module=module,
+        name=name,
+        params=tuple((params or {}).items()),
+        connections=tuple((connections or {}).items()),
+        attributes=tuple(attributes),
+    )

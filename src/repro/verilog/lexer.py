@@ -1,0 +1,184 @@
+"""Tokenizer for the structural-Verilog subset the toolchain emits.
+
+Verilog's lexical grammar differs from the Reticle languages' (sized
+literals like ``4'h8``, strings, ``.``-prefixed connections, ``(*``
+attribute delimiters), so the Verilog reader has its own lexer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+
+class VTokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"        # plain decimal
+    SIZED = "sized"          # e.g. 4'h8, 8'hff
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    EQUALS = "="
+    DOT = "."
+    HASH = "#"
+    ATTR_OPEN = "(*"
+    ATTR_CLOSE = "*)"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class VToken:
+    kind: VTokenKind
+    text: str
+    line: int
+    col: int
+
+    @property
+    def number(self) -> int:
+        return int(self.text)
+
+    @property
+    def sized_value(self) -> int:
+        """Decode a sized literal like ``8'hff`` or ``4'b1010``."""
+        width_text, rest = self.text.split("'", 1)
+        base = rest[0].lower()
+        digits = rest[1:].replace("_", "")
+        radix = {"h": 16, "d": 10, "b": 2, "o": 8}[base]
+        return int(digits, radix)
+
+    @property
+    def sized_width(self) -> int:
+        return int(self.text.split("'", 1)[0])
+
+
+_SINGLE = {
+    ")": VTokenKind.RPAREN,
+    "[": VTokenKind.LBRACKET,
+    "]": VTokenKind.RBRACKET,
+    "{": VTokenKind.LBRACE,
+    "}": VTokenKind.RBRACE,
+    ",": VTokenKind.COMMA,
+    ";": VTokenKind.SEMI,
+    ":": VTokenKind.COLON,
+    "=": VTokenKind.EQUALS,
+    ".": VTokenKind.DOT,
+    "#": VTokenKind.HASH,
+}
+
+
+def tokenize_verilog(source: str) -> List[VToken]:
+    """Tokenize Verilog source into a list ending in EOF."""
+    tokens: List[VToken] = []
+    line, col, i = 1, 1, 0
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i) and not source.startswith("/**", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for consumed in source[i : end + 2]:
+                if consumed == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        if source.startswith("(*", i):
+            tokens.append(VToken(VTokenKind.ATTR_OPEN, "(*", line, col))
+            i += 2
+            col += 2
+            continue
+        if source.startswith("*)", i):
+            tokens.append(VToken(VTokenKind.ATTR_CLOSE, "*)", line, col))
+            i += 2
+            col += 2
+            continue
+        if ch == "(":
+            tokens.append(VToken(VTokenKind.LPAREN, "(", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise error("unterminated string")
+            text = source[i + 1 : end]
+            tokens.append(VToken(VTokenKind.STRING, text, line, col))
+            col += end + 1 - i
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            while i < n and (source[i].isdigit() or source[i] == "_"):
+                i += 1
+                col += 1
+            if i < n and source[i] == "'":
+                i += 1
+                col += 1
+                if i >= n:
+                    raise error("truncated sized literal")
+                i += 1  # the base character
+                col += 1
+                while i < n and (source[i].isalnum() or source[i] == "_"):
+                    i += 1
+                    col += 1
+                tokens.append(
+                    VToken(VTokenKind.SIZED, source[start:i], line, start_col)
+                )
+            else:
+                tokens.append(
+                    VToken(VTokenKind.NUMBER, source[start:i], line, start_col)
+                )
+            continue
+        if ch.isalpha() or ch in "_$\\":
+            start = i
+            start_col = col
+            i += 1
+            col += 1
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+                col += 1
+            tokens.append(
+                VToken(VTokenKind.IDENT, source[start:i], line, start_col)
+            )
+            continue
+        kind = _SINGLE.get(ch)
+        if kind is not None:
+            tokens.append(VToken(kind, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(VToken(VTokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,227 @@
+"""Parser for the structural-Verilog subset the code generator emits.
+
+Reads back module headers, wire declarations, continuous assignments
+(references, bit/part selects, concatenations, sized literals), and
+primitive instantiations with parameters and ``(* ... *)`` attributes.
+Together with :mod:`repro.netlist.from_verilog` this closes the loop
+on the textual artifact: generated Verilog is parsed, rebuilt into a
+netlist, re-simulated, and differentially checked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.verilog.ast import (
+    Assign,
+    Attribute,
+    Concat,
+    Expr,
+    Index,
+    Instance,
+    IntLit,
+    Item,
+    Module,
+    Port,
+    Ref,
+    Slice,
+    WireDecl,
+)
+from repro.verilog.lexer import VToken, VTokenKind, tokenize_verilog
+
+
+class _Cursor:
+    def __init__(self, tokens: List[VToken]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def peek(self) -> VToken:
+        return self._tokens[self._index]
+
+    def at(self, kind: VTokenKind, text: Optional[str] = None) -> bool:
+        token = self.peek
+        return token.kind is kind and (text is None or token.text == text)
+
+    def advance(self) -> VToken:
+        token = self._tokens[self._index]
+        if token.kind is not VTokenKind.EOF:
+            self._index += 1
+        return token
+
+    def accept(self, kind: VTokenKind, text: Optional[str] = None):
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: VTokenKind, text: Optional[str] = None) -> VToken:
+        if not self.at(kind, text):
+            token = self.peek
+            wanted = text if text is not None else kind.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'eof'!r}",
+                token.line,
+                token.col,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek
+        return ParseError(message, token.line, token.col)
+
+
+def _parse_range(cursor: _Cursor) -> int:
+    """``[hi:lo]`` -> width (hi - lo + 1); requires lo == 0."""
+    cursor.expect(VTokenKind.LBRACKET)
+    hi = cursor.expect(VTokenKind.NUMBER).number
+    cursor.expect(VTokenKind.COLON)
+    lo = cursor.expect(VTokenKind.NUMBER).number
+    cursor.expect(VTokenKind.RBRACKET)
+    if lo != 0:
+        raise cursor.error("only [hi:0] ranges are supported")
+    return hi + 1
+
+
+def _parse_attributes(cursor: _Cursor) -> Tuple[Attribute, ...]:
+    attrs: List[Attribute] = []
+    while cursor.accept(VTokenKind.ATTR_OPEN):
+        while True:
+            name = cursor.expect(VTokenKind.IDENT).text
+            cursor.expect(VTokenKind.EQUALS)
+            value = cursor.expect(VTokenKind.STRING).text
+            attrs.append(Attribute(name, value))
+            if not cursor.accept(VTokenKind.COMMA):
+                break
+        cursor.expect(VTokenKind.ATTR_CLOSE)
+    return tuple(attrs)
+
+
+def _parse_expr(cursor: _Cursor) -> Expr:
+    if cursor.at(VTokenKind.SIZED):
+        token = cursor.advance()
+        return IntLit(token.sized_value, token.sized_width)
+    if cursor.at(VTokenKind.NUMBER):
+        return IntLit(cursor.advance().number)
+    if cursor.accept(VTokenKind.LBRACE):
+        parts = [_parse_expr(cursor)]
+        while cursor.accept(VTokenKind.COMMA):
+            parts.append(_parse_expr(cursor))
+        cursor.expect(VTokenKind.RBRACE)
+        return Concat(tuple(parts))
+    name = cursor.expect(VTokenKind.IDENT).text
+    expr: Expr = Ref(name)
+    if cursor.accept(VTokenKind.LBRACKET):
+        hi = cursor.expect(VTokenKind.NUMBER).number
+        if cursor.accept(VTokenKind.COLON):
+            lo = cursor.expect(VTokenKind.NUMBER).number
+            cursor.expect(VTokenKind.RBRACKET)
+            return Slice(expr, hi, lo)
+        cursor.expect(VTokenKind.RBRACKET)
+        return Index(expr, hi)
+    return expr
+
+
+def _parse_ports(cursor: _Cursor) -> Tuple[Port, ...]:
+    ports: List[Port] = []
+    cursor.expect(VTokenKind.LPAREN)
+    if not cursor.at(VTokenKind.RPAREN):
+        while True:
+            direction = cursor.expect(VTokenKind.IDENT).text
+            if direction not in ("input", "output"):
+                raise cursor.error(f"bad port direction {direction!r}")
+            reg = bool(cursor.accept(VTokenKind.IDENT, "reg"))
+            width = 1
+            if cursor.at(VTokenKind.LBRACKET):
+                width = _parse_range(cursor)
+            name = cursor.expect(VTokenKind.IDENT).text
+            ports.append(Port(direction, name, width, reg=reg))
+            if not cursor.accept(VTokenKind.COMMA):
+                break
+    cursor.expect(VTokenKind.RPAREN)
+    cursor.expect(VTokenKind.SEMI)
+    return tuple(ports)
+
+
+def _parse_param_value(cursor: _Cursor) -> Union[int, str, IntLit]:
+    if cursor.at(VTokenKind.STRING):
+        return cursor.advance().text
+    if cursor.at(VTokenKind.SIZED):
+        token = cursor.advance()
+        return IntLit(token.sized_value, token.sized_width)
+    return cursor.expect(VTokenKind.NUMBER).number
+
+
+def _parse_instance(
+    cursor: _Cursor, module_name: str, attributes: Tuple[Attribute, ...]
+) -> Instance:
+    params: List[Tuple[str, Union[int, str, IntLit]]] = []
+    if cursor.accept(VTokenKind.HASH):
+        cursor.expect(VTokenKind.LPAREN)
+        while True:
+            cursor.expect(VTokenKind.DOT)
+            name = cursor.expect(VTokenKind.IDENT).text
+            cursor.expect(VTokenKind.LPAREN)
+            params.append((name, _parse_param_value(cursor)))
+            cursor.expect(VTokenKind.RPAREN)
+            if not cursor.accept(VTokenKind.COMMA):
+                break
+        cursor.expect(VTokenKind.RPAREN)
+
+    instance_name = cursor.expect(VTokenKind.IDENT).text
+    cursor.expect(VTokenKind.LPAREN)
+    connections: List[Tuple[str, Expr]] = []
+    if not cursor.at(VTokenKind.RPAREN):
+        while True:
+            cursor.expect(VTokenKind.DOT)
+            pin = cursor.expect(VTokenKind.IDENT).text
+            cursor.expect(VTokenKind.LPAREN)
+            connections.append((pin, _parse_expr(cursor)))
+            cursor.expect(VTokenKind.RPAREN)
+            if not cursor.accept(VTokenKind.COMMA):
+                break
+    cursor.expect(VTokenKind.RPAREN)
+    cursor.expect(VTokenKind.SEMI)
+    return Instance(
+        module=module_name,
+        name=instance_name,
+        params=tuple(params),
+        connections=tuple(connections),
+        attributes=attributes,
+    )
+
+
+def parse_verilog_module(source: str) -> Module:
+    """Parse one structural module from Verilog text."""
+    cursor = _Cursor(tokenize_verilog(source))
+    module_attrs = _parse_attributes(cursor)
+    cursor.expect(VTokenKind.IDENT, "module")
+    name = cursor.expect(VTokenKind.IDENT).text
+    ports = _parse_ports(cursor)
+
+    items: List[Item] = []
+    while not cursor.at(VTokenKind.IDENT, "endmodule"):
+        attributes = _parse_attributes(cursor)
+        keyword = cursor.expect(VTokenKind.IDENT)
+        if keyword.text == "wire":
+            width = 1
+            if cursor.at(VTokenKind.LBRACKET):
+                width = _parse_range(cursor)
+            wire_name = cursor.expect(VTokenKind.IDENT).text
+            cursor.expect(VTokenKind.SEMI)
+            items.append(WireDecl(wire_name, width))
+        elif keyword.text == "assign":
+            lhs = _parse_expr(cursor)
+            cursor.expect(VTokenKind.EQUALS)
+            rhs = _parse_expr(cursor)
+            cursor.expect(VTokenKind.SEMI)
+            items.append(Assign(lhs, rhs))
+        else:
+            items.append(_parse_instance(cursor, keyword.text, attributes))
+
+    cursor.expect(VTokenKind.IDENT, "endmodule")
+    if not cursor.at(VTokenKind.EOF):
+        raise cursor.error("trailing input after endmodule")
+    return Module(
+        name=name, ports=ports, items=tuple(items), attributes=module_attrs
+    )

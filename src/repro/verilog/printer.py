@@ -1,0 +1,139 @@
+"""Pretty-printer from the Verilog AST to source text."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.verilog.ast import (
+    AlwaysFF,
+    Assign,
+    Binary,
+    Concat,
+    Expr,
+    Index,
+    Instance,
+    IntLit,
+    Item,
+    Module,
+    Ref,
+    RegDecl,
+    Repeat,
+    Slice,
+    Ternary,
+    Unary,
+    WireDecl,
+)
+
+INDENT = "    "
+
+
+def print_expr(expr: Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, IntLit):
+        if expr.width is None:
+            return str(expr.value)
+        value = expr.value & ((1 << expr.width) - 1)
+        return f"{expr.width}'h{value:x}"
+    if isinstance(expr, Slice):
+        return f"{print_expr(expr.target)}[{expr.hi}:{expr.lo}]"
+    if isinstance(expr, Index):
+        return f"{print_expr(expr.target)}[{expr.index}]"
+    if isinstance(expr, Concat):
+        inner = ", ".join(print_expr(part) for part in expr.parts)
+        return "{" + inner + "}"
+    if isinstance(expr, Repeat):
+        return "{" + f"{expr.times}{{{print_expr(expr.expr)}}}" + "}"
+    if isinstance(expr, Unary):
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, Binary):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, Ternary):
+        return (
+            f"({print_expr(expr.cond)} ? {print_expr(expr.then)} : "
+            f"{print_expr(expr.other)})"
+        )
+    raise TypeError(f"unknown expression node: {type(expr)}")
+
+
+def _print_attributes(attributes: tuple) -> List[str]:
+    if not attributes:
+        return []
+    rendered = ", ".join(
+        f'{attr.name} = "{attr.value}"' for attr in attributes
+    )
+    return [f"(* {rendered} *)"]
+
+
+def _print_param_value(value: Union[int, str, IntLit]) -> str:
+    if isinstance(value, IntLit):
+        return print_expr(value)
+    if isinstance(value, int):
+        return str(value)
+    return f'"{value}"'
+
+
+def _print_item(item: Item) -> List[str]:
+    if isinstance(item, WireDecl):
+        if item.width == 1:
+            return [f"wire {item.name};"]
+        return [f"wire [{item.width - 1}:0] {item.name};"]
+    if isinstance(item, RegDecl):
+        range_text = "" if item.width == 1 else f"[{item.width - 1}:0] "
+        init_text = (
+            "" if item.init is None else f" = {item.width}'h{item.init:x}"
+        )
+        return [f"reg {range_text}{item.name}{init_text};"]
+    if isinstance(item, Assign):
+        return [f"assign {print_expr(item.lhs)} = {print_expr(item.rhs)};"]
+    if isinstance(item, AlwaysFF):
+        lines = [f"always @(posedge {item.clock}) begin"]
+        for statement in item.body:
+            text = (
+                f"{print_expr(statement.lhs)} <= {print_expr(statement.rhs)};"
+            )
+            if statement.cond is not None:
+                text = f"if ({print_expr(statement.cond)}) {text}"
+            lines.append(INDENT + text)
+        lines.append("end")
+        return lines
+    if isinstance(item, Instance):
+        lines = _print_attributes(item.attributes)
+        header = item.module
+        if item.params:
+            rendered = ", ".join(
+                f".{name}({_print_param_value(value)})"
+                for name, value in item.params
+            )
+            header += f" # ({rendered})"
+        lines.append(f"{header} {item.name} (")
+        connections = [
+            f"{INDENT}.{port}({print_expr(expr)})"
+            for port, expr in item.connections
+        ]
+        lines.extend(
+            text + ("," if index < len(connections) - 1 else "")
+            for index, text in enumerate(connections)
+        )
+        lines.append(");")
+        return lines
+    raise TypeError(f"unknown item node: {type(item)}")
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    lines = _print_attributes(module.attributes)
+    port_texts = []
+    for port in module.ports:
+        direction = port.direction + (" reg" if port.reg else "")
+        if port.width == 1:
+            port_texts.append(f"{direction} {port.name}")
+        else:
+            port_texts.append(f"{direction} [{port.width - 1}:0] {port.name}")
+    lines.append(f"module {module.name}(" + ", ".join(port_texts) + ");")
+    for item in module.items:
+        for text in _print_item(item):
+            lines.append(INDENT + text)
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Tests for coordinate expressions and locations."""
+
+import pytest
+
+from repro.asm.coords import (
+    CoordLit,
+    CoordVar,
+    CoordWildcard,
+    Loc,
+    Prim,
+    WILDCARD,
+)
+from repro.errors import LayoutError
+
+
+class TestCoords:
+    def test_wildcard_canonical(self):
+        assert WILDCARD.canonical() == (None, None)
+
+    def test_literal_canonical(self):
+        assert CoordLit(7).canonical() == (None, 7)
+
+    def test_var_canonical(self):
+        assert CoordVar("y", 1).canonical() == ("y", 1)
+
+    def test_offset_literal(self):
+        assert CoordLit(3).offset_by(2) == CoordLit(5)
+
+    def test_offset_var(self):
+        assert CoordVar("y").offset_by(1) == CoordVar("y", 1)
+
+    def test_offset_wildcard_rejected(self):
+        with pytest.raises(LayoutError):
+            WILDCARD.offset_by(1)
+
+    def test_str_forms(self):
+        assert str(WILDCARD) == "??"
+        assert str(CoordLit(4)) == "4"
+        assert str(CoordVar("y")) == "y"
+        assert str(CoordVar("y", 1)) == "y+1"
+
+
+class TestLoc:
+    def test_resolved(self):
+        loc = Loc(Prim.DSP, CoordLit(1), CoordLit(2))
+        assert loc.is_resolved
+        assert loc.position() == (1, 2)
+
+    def test_unresolved(self):
+        loc = Loc(Prim.DSP, WILDCARD, CoordLit(2))
+        assert not loc.is_resolved
+        with pytest.raises(LayoutError):
+            loc.position()
+
+    def test_str(self):
+        loc = Loc(Prim.DSP, CoordVar("x"), CoordVar("y", 1))
+        assert str(loc) == "dsp(x, y+1)"

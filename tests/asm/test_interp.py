@@ -1,0 +1,136 @@
+"""Tests for assembly expansion and interpretation."""
+
+import pytest
+
+from repro.asm.interp import AsmInterpreter, asm_to_ir, expand_asm_instr
+from repro.asm.parser import parse_asm_func, parse_asm_instr
+from repro.errors import TargetError
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.utils.names import NameGenerator
+
+
+class TestExpansion:
+    def test_single_op_def(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                y: i8 = add_i8_lut(a, b) @lut(??, ??);
+            }
+            """
+        )
+        ir_func = asm_to_ir(func, target)
+        typecheck_func(ir_func)
+        assert len(ir_func.instrs) == 1
+        assert ir_func.instrs[0].op_name == "add"
+
+    def test_fused_def_expands_to_body(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                y: i8 = muladd_i8_dsp(a, b, c) @dsp(??, ??);
+            }
+            """
+        )
+        ir_func = asm_to_ir(func, target)
+        ops = [instr.op_name for instr in ir_func.instrs]
+        assert ops == ["mul", "add"]
+
+    def test_attr_parameterizes_reg_init(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, en: bool) -> (y: i8) {
+                y: i8 = reg_i8_lut[42](a, en) @lut(??, ??);
+            }
+            """
+        )
+        interp = AsmInterpreter(func, target)
+        out = interp.run(Trace({"a": [7], "en": [1]}))
+        assert out["y"] == [42]
+
+    def test_empty_attrs_use_definition_defaults(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, en: bool) -> (y: i8) {
+                y: i8 = reg_i8_lut(a, en) @lut(??, ??);
+            }
+            """
+        )
+        out = AsmInterpreter(func, target).run(Trace({"a": [7], "en": [1]}))
+        assert out["y"] == [0]
+
+    def test_wrong_arity_rejected(self, target):
+        instr = parse_asm_instr("y:i8 = add_i8_lut(a) @lut(??, ??);")
+        with pytest.raises(TargetError):
+            expand_asm_instr(instr, target["add_i8_lut"], NameGenerator())
+
+    def test_wrong_attr_count_rejected(self, target):
+        instr = parse_asm_instr(
+            "y:i8 = reg_i8_lut[1, 2](a, en) @lut(??, ??);"
+        )
+        with pytest.raises(TargetError):
+            expand_asm_instr(instr, target["reg_i8_lut"], NameGenerator())
+
+    def test_unknown_op_rejected(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                y: i8 = frobnicate(a, b) @lut(??, ??);
+            }
+            """
+        )
+        with pytest.raises(TargetError):
+            asm_to_ir(func, target)
+
+
+class TestInterpretation:
+    def test_cascade_semantics_match_plain(self, target):
+        plain = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8, d: i8, e: i8) -> (t1: i8) {
+                t0: i8 = muladd_i8_dsp(a, b, e) @dsp(??, ??);
+                t1: i8 = muladd_i8_dsp(c, d, t0) @dsp(??, ??);
+            }
+            """
+        )
+        cascaded = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8, d: i8, e: i8) -> (t1: i8) {
+                t0: i8 = muladd_i8_dsp_co(a, b, e) @dsp(x, y);
+                t1: i8 = muladd_i8_dsp_ci(c, d, t0) @dsp(x, y+1);
+            }
+            """
+        )
+        trace = Trace(
+            {"a": [2, -3], "b": [3, 4], "c": [4, 5], "d": [5, -6], "e": [1, 0]}
+        )
+        out_plain = AsmInterpreter(plain, target).run(trace)
+        out_cascaded = AsmInterpreter(cascaded, target).run(trace)
+        assert out_plain == out_cascaded
+
+    def test_pipelined_add_latency(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, en: bool) -> (y: i8) {
+                y: i8 = addp_i8_dsp(a, b, en) @dsp(??, ??);
+            }
+            """
+        )
+        out = AsmInterpreter(func, target).run(
+            Trace({"a": [1, 2, 3], "b": [10, 20, 30], "en": [1, 1, 1]})
+        )
+        # Two pipeline stages: the first sum appears at cycle 2.
+        assert out["y"] == [0, 0, 11]
+
+    def test_figure10_add_reg(self, fig10):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, en: bool) -> (y: i8) {
+                y: i8 = add_reg(a, b, en) @lut(??, ??);
+            }
+            """
+        )
+        out = AsmInterpreter(func, fig10).run(
+            Trace({"a": [1, 2], "b": [10, 20], "en": [1, 1]})
+        )
+        assert out["y"] == [0, 11]

@@ -1,0 +1,80 @@
+"""Tests for the assembly parser and printer."""
+
+import pytest
+
+from repro.asm.ast import AsmInstr
+from repro.asm.coords import CoordLit, CoordVar, CoordWildcard, Prim
+from repro.asm.parser import parse_asm_func, parse_asm_instr
+from repro.asm.printer import print_asm_func, print_asm_instr
+from repro.errors import ParseError
+from repro.ir.ast import WireInstr
+
+# Paper Figure 11b.
+FIGURE11B = """
+def f(a: i8, b: i8, c: i8, d: i8, in0: i8) -> (t1: i8) {
+    t0: i8 = muladd_co(a, b, in0) @dsp(x, y);
+    t1: i8 = muladd_ci(c, d, t0) @dsp(x, y+1);
+}
+"""
+
+
+class TestAsmInstr:
+    def test_wildcard_location(self):
+        instr = parse_asm_instr("y:i8 = muladd(a, b, c) @dsp(??, ??);")
+        assert isinstance(instr, AsmInstr)
+        assert instr.op == "muladd"
+        assert isinstance(instr.loc.x, CoordWildcard)
+
+    def test_literal_location(self):
+        instr = parse_asm_instr("y:i8 = add(a, b) @lut(3, 4);")
+        assert instr.loc.prim is Prim.LUT
+        assert instr.loc.position() == (3, 4)
+
+    def test_symbolic_location(self):
+        instr = parse_asm_instr("y:i8 = muladd(a, b, c) @dsp(x, y+1);")
+        assert instr.loc.x == CoordVar("x")
+        assert instr.loc.y == CoordVar("y", 1)
+
+    def test_attrs(self):
+        instr = parse_asm_instr("y:i8 = reg[5](a, en) @lut(??, ??);")
+        assert instr.attrs == (5,)
+
+    def test_wire_instr_passthrough(self):
+        instr = parse_asm_instr("t0:i8 = const[1];")
+        assert isinstance(instr, WireInstr)
+
+    def test_wire_with_location_rejected(self):
+        with pytest.raises(ParseError):
+            parse_asm_instr("t0:i8 = sll[1](a) @lut(0, 0);")
+
+    def test_asm_without_location_rejected(self):
+        with pytest.raises(ParseError):
+            parse_asm_instr("y:i8 = muladd(a, b, c);")
+
+    def test_unknown_prim_rejected(self):
+        with pytest.raises(ParseError):
+            parse_asm_instr("y:i8 = add(a, b) @uram(0, 0);")
+
+
+class TestRoundTrip:
+    def test_figure11b(self):
+        func = parse_asm_func(FIGURE11B)
+        assert parse_asm_func(print_asm_func(func)) == func
+
+    def test_instr_roundtrip(self):
+        for text in (
+            "y:i8 = muladd(a, b, c) @dsp(??, ??);",
+            "y:i8 = add(a, b) @lut(3, 4);",
+            "y:i8 = reg[5](a, en) @lut(x0, y0+2);",
+            "t0:i8<4> = const[1, 2, 3, 4];",
+        ):
+            instr = parse_asm_instr(text)
+            assert parse_asm_instr(print_asm_instr(instr)) == instr
+
+    def test_is_placed(self):
+        unplaced = parse_asm_func(FIGURE11B)
+        assert not unplaced.is_placed
+        placed = parse_asm_func(
+            FIGURE11B.replace("x, y+1", "0, 1").replace("x, y", "0, 0")
+        )
+        assert placed.is_placed

@@ -1,0 +1,100 @@
+"""DSP configuration unit tests, including error paths."""
+
+import pytest
+
+from repro.asm.parser import parse_asm_instr
+from repro.codegen.dsp_synth import DspConfig, configure, simd_mode
+from repro.errors import CodegenError
+from repro.ir.types import Int, Vec
+from repro.tdl.ultrascale import ultrascale_target
+
+TARGET = ultrascale_target()
+
+
+def config_for(instr_text, def_name):
+    instr = parse_asm_instr(instr_text)
+    return configure(instr, TARGET[def_name])
+
+
+class TestSimdModes:
+    def test_scalar(self):
+        assert simd_mode(Int(8)) == "ONE48"
+
+    def test_two_lanes(self):
+        assert simd_mode(Vec(Int(16), 2)) == "TWO24"
+
+    def test_four_lanes(self):
+        assert simd_mode(Vec(Int(8), 4)) == "FOUR12"
+
+    def test_unsupported_lane_count(self):
+        with pytest.raises(CodegenError):
+            simd_mode(Vec(Int(8), 3))
+
+
+class TestConfigure:
+    def test_plain_add(self):
+        config = config_for(
+            "y:i8 = add_i8_dsp(a, b) @dsp(16, 0);", "add_i8_dsp"
+        )
+        assert config == DspConfig(
+            op="ADD", use_simd="ONE48", preg=0, init=0
+        )
+
+    def test_simd_registered_add(self):
+        config = config_for(
+            "y:i8<4> = addr_i8v4_dsp[0](a, b, en) @dsp(16, 0);",
+            "addr_i8v4_dsp",
+        )
+        assert config.op == "ADD"
+        assert config.use_simd == "FOUR12"
+        assert config.preg == 1
+        assert (config.areg, config.breg) == (0, 0)
+
+    def test_fully_pipelined_add(self):
+        config = config_for(
+            "y:i8 = addp_i8_dsp[0, 0, 0](a, b, en) @dsp(16, 0);",
+            "addp_i8_dsp",
+        )
+        assert (config.areg, config.breg, config.preg) == (1, 1, 1)
+
+    def test_muladd_cascade_variants(self):
+        co = config_for(
+            "y:i8 = muladd_i8_dsp_co(a, b, c) @dsp(16, 0);",
+            "muladd_i8_dsp_co",
+        )
+        ci = config_for(
+            "y:i8 = muladd_i8_dsp_ci(a, b, c) @dsp(16, 1);",
+            "muladd_i8_dsp_ci",
+        )
+        cico = config_for(
+            "y:i8 = muladd_i8_dsp_cico(a, b, c) @dsp(16, 1);",
+            "muladd_i8_dsp_cico",
+        )
+        assert (co.cascade_in, co.cascade_out) == (False, True)
+        assert (ci.cascade_in, ci.cascade_out) == (True, False)
+        assert (cico.cascade_in, cico.cascade_out) == (True, True)
+
+    def test_muladd_op_derived_from_body(self):
+        config = config_for(
+            "y:i8 = muladd_i8_dsp(a, b, c) @dsp(16, 0);", "muladd_i8_dsp"
+        )
+        assert config.op == "MULADD"
+
+    def test_sub_op(self):
+        config = config_for(
+            "y:i16 = sub_i16_dsp(a, b) @dsp(16, 0);", "sub_i16_dsp"
+        )
+        assert config.op == "SUB"
+
+    def test_nonzero_init_packed_into_lanes(self):
+        config = config_for(
+            "y:i8<2> = addr_i8v2_dsp[-1](a, b, en) @dsp(16, 0);",
+            "addr_i8v2_dsp",
+        )
+        # -1 splat into two 24-bit fields.
+        assert config.init == (0xFFFFFF << 24) | 0xFFFFFF
+
+    def test_lut_only_op_has_no_dsp_mapping(self):
+        instr = parse_asm_instr("y:i8 = mux_i8_lut(c, a, b) @dsp(16, 0);")
+        with pytest.raises(CodegenError):
+            configure(instr, TARGET["mux_i8_lut"])

@@ -1,0 +1,209 @@
+"""Code-generation tests: per-operation differential checks against
+the reference interpreter, through the netlist simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.generate import generate_netlist
+from repro.compiler import ReticleCompiler
+from repro.errors import CodegenError
+from repro.ir.ast import Res
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.isel.select import select
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+
+
+def compile_and_sim(source, target=None, device=None, **kwargs):
+    compiler = ReticleCompiler(target=target, device=device, **kwargs)
+    func = parse_func(source)
+    result = compiler.compile(func)
+    types = {p.name: p.ty for p in func.inputs + func.outputs}
+    return func, result, NetlistSimulator(result.netlist, types)
+
+
+def assert_equivalent(source, trace_dict):
+    func, result, sim = compile_and_sim(source)
+    trace = Trace(trace_dict)
+    expected = Interpreter(func).run(trace)
+    actual = sim.run(trace)
+    assert expected == actual, (expected.to_dict(), actual.to_dict())
+    return result
+
+
+i8 = st.integers(-128, 127)
+
+
+class TestPerOpDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=5))
+    def test_lut_add(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }",
+            {"a": list(a), "b": list(b)},
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=5))
+    def test_dsp_add(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @dsp; }",
+            {"a": list(a), "b": list(b)},
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=5))
+    def test_lut_sub_and_mul(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            """
+            def f(a: i8, b: i8) -> (d: i8, p: i8) {
+                d: i8 = sub(a, b) @lut;
+                p: i8 = mul(a, b) @lut;
+            }
+            """,
+            {"a": list(a), "b": list(b)},
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=5))
+    def test_all_comparisons_on_luts(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            """
+            def f(a: i8, b: i8) -> (e: bool, n: bool, l: bool,
+                                    g: bool, le_: bool, ge_: bool) {
+                e: bool = eq(a, b);
+                n: bool = neq(a, b);
+                l: bool = lt(a, b);
+                g: bool = gt(a, b);
+                le_: bool = le(a, b);
+                ge_: bool = ge(a, b);
+            }
+            """,
+            {"a": list(a), "b": list(b)},
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(i8, i8, st.integers(0, 1)), min_size=1, max_size=5))
+    def test_mux_and_logic(self, rows):
+        a, b, c = zip(*rows)
+        assert_equivalent(
+            """
+            def f(a: i8, b: i8, c: bool) -> (m: i8, x: i8, o: i8, n: i8) {
+                m: i8 = mux(c, a, b);
+                x: i8 = xor(a, b);
+                o: i8 = or(a, b);
+                n: i8 = not(a);
+            }
+            """,
+            {"a": list(a), "b": list(b), "c": list(c)},
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.tuples(i8, st.integers(0, 1)), min_size=2, max_size=6)
+    )
+    def test_register_with_enable(self, rows):
+        a, en = zip(*rows)
+        assert_equivalent(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[7](a, en); }",
+            {"a": list(a), "en": list(en)},
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=4))
+    def test_wide_comparison_uses_multiple_carry_blocks(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            "def f(a: i16, b: i16) -> (y: bool) { y: bool = lt(a, b); }",
+            {"a": [v * 100 for v in a], "b": [v * 100 for v in b]},
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(i8, i8), min_size=1, max_size=4))
+    def test_simd_vector_add(self, pairs):
+        a, b = zip(*pairs)
+        assert_equivalent(
+            "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) "
+            "{ y: i8<4> = add(a, b) @dsp; }",
+            {
+                "a": [(v, -v, v + 1, 0) for v in a],
+                "b": [(w, w, -w, 127) for w in b],
+            },
+        )
+
+    def test_wire_ops_cost_nothing(self):
+        result = assert_equivalent(
+            """
+            def f(a: i8) -> (y: i8, z: i4, w: i8) {
+                t0: i8 = sll[2](a);
+                y: i8 = sra[1](t0);
+                z: i4 = slice[7, 4](a);
+                c: i4 = const[-3];
+                w: i8 = cat(z, c);
+            }
+            """,
+            {"a": [1, -1, 127, -128]},
+        )
+        counts = resource_counts(result.netlist)
+        assert counts.luts == 0 and counts.dsps == 0
+
+
+class TestStructure:
+    def test_unplaced_function_rejected(self, target):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+            ),
+            target,
+        )
+        with pytest.raises(CodegenError):
+            generate_netlist(asm, target)
+
+    def test_lut_cells_carry_placement(self):
+        _, result, _ = compile_and_sim(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+        )
+        for cell in result.netlist.cells:
+            assert cell.loc is not None
+            assert cell.bel is not None
+
+    def test_eight_bit_add_uses_eight_luts_one_carry(self):
+        _, result, _ = compile_and_sim(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+        )
+        counts = resource_counts(result.netlist)
+        assert counts.luts == 8
+        assert counts.carries == 1
+
+    def test_one_dsp_per_fused_muladd(self):
+        _, result, _ = compile_and_sim(
+            """
+            def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                y: i8 = add(t0, c);
+            }
+            """
+        )
+        counts = resource_counts(result.netlist)
+        assert counts.dsps == 1
+        assert counts.luts == 0
+
+    def test_bel_allocation_cycles_letters(self):
+        _, result, _ = compile_and_sim(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = xor(a, b) @lut; }"
+        )
+        bels = [
+            cell.bel
+            for cell in result.netlist.cells
+            if cell.kind.startswith("LUT")
+        ]
+        assert bels == [
+            "A6LUT", "B6LUT", "C6LUT", "D6LUT",
+            "E6LUT", "F6LUT", "G6LUT", "H6LUT",
+        ]

@@ -1,0 +1,68 @@
+"""Tests for LUT INIT truth-table computation."""
+
+from hypothesis import given, strategies as st
+
+from repro.codegen.lut_init import (
+    INIT_AND2,
+    INIT_BUF1,
+    INIT_GE3,
+    INIT_LT3,
+    INIT_MUX3,
+    INIT_NOT1,
+    INIT_OR2,
+    INIT_XNOR2,
+    INIT_XOR2,
+    and_reduce_init,
+    and_reduce_not_init,
+    lut_init,
+)
+from repro.netlist.primitives import eval_lut
+
+
+class TestKnownMasks:
+    def test_and2_is_8(self):
+        # The paper's Figure 2b: an AND is LUT2 INIT 4'h8.
+        assert INIT_AND2 == 0x8
+
+    def test_or2(self):
+        assert INIT_OR2 == 0xE
+
+    def test_xor2(self):
+        assert INIT_XOR2 == 0x6
+
+    def test_xnor2(self):
+        assert INIT_XNOR2 == 0x9
+
+    def test_not1(self):
+        assert INIT_NOT1 == 0x1
+
+    def test_buf1(self):
+        assert INIT_BUF1 == 0x2
+
+
+class TestEvalAgainstInit:
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_and(self, a, b):
+        assert eval_lut(INIT_AND2, [a, b]) == (a & b)
+
+    @given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    def test_mux(self, sel, x, y):
+        assert eval_lut(INIT_MUX3, [sel, x, y]) == (x if sel else y)
+
+    @given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    def test_lt_combiner_is_three_way_xor(self, n, co, ci):
+        assert eval_lut(INIT_LT3, [n, co, ci]) == n ^ co ^ ci
+        assert eval_lut(INIT_GE3, [n, co, ci]) == (n ^ co ^ ci) ^ 1
+
+    @given(st.integers(1, 6), st.data())
+    def test_and_reduce(self, width, data):
+        bits = [data.draw(st.integers(0, 1)) for _ in range(width)]
+        assert eval_lut(and_reduce_init(width), bits) == int(all(bits))
+        assert eval_lut(and_reduce_not_init(width), bits) == int(
+            not all(bits)
+        )
+
+    @given(st.integers(1, 6))
+    def test_lut_init_width(self, width):
+        init = lut_init(width, lambda *bits: 1)
+        assert init == (1 << (1 << width)) - 1

@@ -1,0 +1,33 @@
+"""Shared fixtures: targets, devices, and compiled-flow helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.place.device import Device, tiny_device, xczu3eg
+from repro.tdl.ast import Target
+from repro.tdl.ultrascale import figure10_target, ultrascale_target
+
+
+@pytest.fixture(scope="session")
+def target() -> Target:
+    """The UltraScale-like target library (parsed once per session)."""
+    return ultrascale_target()
+
+
+@pytest.fixture(scope="session")
+def fig10() -> Target:
+    """The paper's Figure 10 example target."""
+    return figure10_target()
+
+
+@pytest.fixture(scope="session")
+def device() -> Device:
+    """The paper's evaluation device (360 DSPs, ~71K LUTs)."""
+    return xczu3eg()
+
+
+@pytest.fixture()
+def tiny() -> Device:
+    """A small device for placement stress tests."""
+    return tiny_device()

@@ -1,0 +1,81 @@
+"""Tests for the behavioral-Verilog baseline emitter."""
+
+from repro.frontend.behavioral import emit_behavioral_verilog
+from repro.frontend.tensor import tensoradd_scalar
+from repro.ir.parser import parse_func
+
+
+class TestEmission:
+    def test_figure2a_style_assign(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                "def bit_and(a: bool, b: bool) -> (y: bool) "
+                "{ y: bool = and(a, b); }"
+            )
+        )
+        assert "module bit_and(" in text
+        assert "assign y = (a & b);" in text
+
+    def test_use_dsp_attribute(self):
+        # The paper's Figure 3 hint annotation.
+        func = tensoradd_scalar(2, dsp_hint=True)
+        text = emit_behavioral_verilog(func, use_dsp_attr=True)
+        assert '(* use_dsp = "yes" *)' in text
+
+    def test_no_attribute_by_default(self):
+        func = tensoradd_scalar(2)
+        assert "use_dsp" not in emit_behavioral_verilog(func)
+
+    def test_registers_become_clocked_block(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[0](a, en); }"
+            )
+        )
+        assert "always @(posedge clock)" in text
+        assert "if (en) y <= a;" in text
+        assert "output reg [7:0] y" in text
+
+    def test_signed_arithmetic(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: bool) { y: bool = lt(a, b); }"
+            )
+        )
+        assert "$signed(a) < $signed(b)" in text
+
+    def test_vectors_scalarized_to_part_selects(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                "def f(a: i8<2>, b: i8<2>) -> (y: i8<2>) "
+                "{ y: i8<2> = add(a, b); }"
+            )
+        )
+        assert "a[7:0]" in text
+        assert "a[15:8]" in text
+        assert "input [15:0] a" in text
+
+    def test_mux_is_ternary(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                "def f(c: bool, a: i8, b: i8) -> (y: i8) "
+                "{ y: i8 = mux(c, a, b); }"
+            )
+        )
+        assert "(c ? a : b)" in text
+
+    def test_shifts_and_slices(self):
+        text = emit_behavioral_verilog(
+            parse_func(
+                """
+                def f(a: i8) -> (y: i8, z: i4) {
+                    t: i8 = sll[2](a);
+                    y: i8 = sra[1](t);
+                    z: i4 = slice[7, 4](a);
+                }
+                """
+            )
+        )
+        assert "(a << 2)" in text
+        assert ">>> 1" in text
+        assert "a[7:4]" in text

@@ -1,0 +1,61 @@
+"""Tests for the coroutine FSM generator."""
+
+import pytest
+
+from repro.errors import ReticleError
+from repro.frontend.fsm import fsm
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+
+
+def run_fsm(states, inp, en=None):
+    func = fsm(states)
+    steps = len(inp)
+    en = en if en is not None else [1] * steps
+    return Interpreter(func).run(Trace({"inp": inp, "en": en}))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("states", [3, 5, 7, 9])
+    def test_paper_sizes_well_formed(self, states):
+        func = fsm(states)
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_logic_grows_with_states(self):
+        small = len(fsm(3).instrs)
+        large = len(fsm(9).instrs)
+        assert large > small
+
+    def test_state_bounds(self):
+        with pytest.raises(ReticleError):
+            fsm(1)
+        with pytest.raises(ReticleError):
+            fsm(17)
+
+
+class TestBehaviour:
+    def test_advances_on_matching_input(self):
+        out = run_fsm(3, inp=[0, 1, 2, 0, 1])
+        assert out["out"] == [0, 1, 2, 0, 1]
+
+    def test_holds_on_mismatched_input(self):
+        out = run_fsm(3, inp=[5, 0, 5, 1])
+        assert out["out"] == [0, 0, 1, 1]
+
+    def test_wraps_to_zero(self):
+        out = run_fsm(3, inp=[0, 1, 2, 0])
+        assert out["out"][3] == 0
+
+    def test_done_in_final_state(self):
+        out = run_fsm(3, inp=[0, 1, 2])
+        assert out["done"] == [0, 0, 1]
+
+    def test_enable_freezes_coroutine(self):
+        out = run_fsm(3, inp=[0, 1, 1], en=[1, 0, 1])
+        assert out["out"] == [0, 1, 1]
+        # cycle 1's advance is suppressed; cycle 2 retries input 1.
+        out2 = run_fsm(3, inp=[0, 1, 1], en=[1, 1, 1])
+        assert out2["out"] == [0, 1, 2]

@@ -1,0 +1,120 @@
+"""Tests for the tensor benchmark generators."""
+
+import pytest
+
+from repro.errors import ReticleError
+from repro.ir.ast import Res
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector, tensordot
+
+
+class TestTensoraddVector:
+    def test_well_formed(self):
+        func = tensoradd_vector(64)
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_column_count(self):
+        func = tensoradd_vector(64, lanes=4)
+        assert len(func.outputs) == 16
+
+    def test_size_must_divide(self):
+        with pytest.raises(ReticleError):
+            tensoradd_vector(10, lanes=4)
+
+    def test_two_cycle_latency_semantics(self):
+        func = tensoradd_vector(4)
+        out = Interpreter(func).run(
+            Trace(
+                {
+                    "en": [1, 1, 1],
+                    "a0": [(1, 2, 3, 4)] * 3,
+                    "b0": [(10, 20, 30, 40)] * 3,
+                }
+            )
+        )
+        assert out["y0"] == [(0, 0, 0, 0), (0, 0, 0, 0), (11, 22, 33, 44)]
+
+
+class TestTensoraddScalar:
+    def test_well_formed(self):
+        func = tensoradd_scalar(8)
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_hint_annotations(self):
+        hinted = tensoradd_scalar(4, dsp_hint=True)
+        plain = tensoradd_scalar(4, dsp_hint=False)
+        hint_res = {
+            i.res for i in hinted.compute_instrs() if i.op.value == "add"
+        }
+        plain_res = {
+            i.res for i in plain.compute_instrs() if i.op.value == "add"
+        }
+        assert hint_res == {Res.DSP}
+        assert plain_res == {Res.ANY}
+
+    def test_equivalent_to_vector_version(self):
+        vector = tensoradd_vector(8, lanes=4)
+        scalar = tensoradd_scalar(8)
+        steps = 4
+        values_a = [list(range(j, j + 8)) for j in range(steps)]
+        values_b = [[7 - v for v in row] for row in values_a]
+        vec_trace = Trace(
+            {
+                "en": [1] * steps,
+                "a0": [tuple(row[:4]) for row in values_a],
+                "a1": [tuple(row[4:]) for row in values_a],
+                "b0": [tuple(row[:4]) for row in values_b],
+                "b1": [tuple(row[4:]) for row in values_b],
+            }
+        )
+        scalar_trace = Trace(
+            {
+                "en": [1] * steps,
+                **{
+                    f"a{i}": [row[i] for row in values_a] for i in range(8)
+                },
+                **{
+                    f"b{i}": [row[i] for row in values_b] for i in range(8)
+                },
+            }
+        )
+        vec_out = Interpreter(vector).run(vec_trace)
+        scalar_out = Interpreter(scalar).run(scalar_trace)
+        for column in range(2):
+            lanes = vec_out[f"y{column}"]
+            for lane in range(4):
+                element = column * 4 + lane
+                assert [row[lane] for row in lanes] == scalar_out[
+                    f"y{element}"
+                ]
+
+
+class TestTensordot:
+    def test_well_formed(self):
+        func = tensordot(arrays=5, size=3)
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_port_count(self):
+        func = tensordot(arrays=5, size=3)
+        # 5 arrays x 3 stages x 2 operands + enable.
+        assert len(func.inputs) == 31
+        assert len(func.outputs) == 5
+
+    def test_computes_dot_product_after_pipeline_fill(self):
+        func = tensordot(arrays=1, size=3)
+        steps = 8
+        trace = {"en": [1] * steps}
+        a = [2, 3, 4]
+        b = [5, 6, 7]
+        for stage in range(3):
+            trace[f"a0_{stage}"] = [a[stage]] * steps
+            trace[f"b0_{stage}"] = [b[stage]] * steps
+        out = Interpreter(func).run(Trace(trace))
+        expected = sum(x * y for x, y in zip(a, b))  # 56
+        assert out["y0"][-1] == expected

@@ -1,0 +1,47 @@
+"""Tests for the differential fuzz runner."""
+
+import pytest
+
+from repro.fuzz.runner import DEFAULT_FLOWS, FuzzOutcome, FuzzReport, run_fuzz
+
+
+class TestRunner:
+    def test_small_session_all_ok(self):
+        report = run_fuzz(iterations=8, seed=1)
+        assert report.ok, report.summary()
+        assert report.iterations == 8
+        assert len(report.outcomes) == 8 * len(DEFAULT_FLOWS)
+
+    def test_flow_subset(self):
+        report = run_fuzz(iterations=3, seed=2, flows=("reticle",))
+        assert len(report.outcomes) == 3
+        assert all(o.flow == "reticle" for o in report.outcomes)
+
+    def test_progress_callback(self):
+        seen = []
+        run_fuzz(iterations=2, seed=3, progress=seen.append)
+        assert len(seen) == 2
+
+    def test_summary_mentions_counts(self):
+        report = run_fuzz(iterations=2, seed=4)
+        assert "fuzzed 2 programs" in report.summary()
+
+    def test_failures_reported_with_seed(self):
+        report = FuzzReport(iterations=1)
+        report.outcomes.append(
+            FuzzOutcome(seed=99, flow="reticle", status="mismatch", detail="x")
+        )
+        assert not report.ok
+        assert "seed 99" in report.summary()
+
+    def test_unknown_flow_surfaces_as_error(self):
+        report = run_fuzz(iterations=1, seed=5, flows=("bogus",))
+        assert not report.ok
+        assert report.failures[0].status == "error"
+
+
+@pytest.mark.slow
+class TestLongSession:
+    def test_fifty_seeds_differential(self):
+        report = run_fuzz(iterations=50, seed=1000)
+        assert report.ok, report.summary()

@@ -1,0 +1,121 @@
+"""Experiment-harness tests at reduced sizes.
+
+These pin the *shapes* the paper's figures show; the full-size runs
+live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    FIG13_SIZES,
+    fig4_rows,
+    fig13_rows,
+    format_table,
+)
+from repro.harness.flows import run_reticle, run_vendor
+from repro.frontend.tensor import tensoradd_vector
+
+
+class TestFlowScores:
+    def test_reticle_score_fields(self, device):
+        score = run_reticle(tensoradd_vector(8), device=device)
+        assert score.lang == "reticle"
+        assert score.compile_seconds > 0
+        assert score.critical_ps > 0
+        assert score.dsps == 2
+        assert score.luts == 0
+
+    def test_vendor_score_modes(self, device):
+        base = run_vendor(
+            tensoradd_vector(8), hints=False, device=device, moves_per_cell=1
+        )
+        assert base.lang == "base"
+        assert base.dsps == 0
+        assert base.luts > 0
+
+
+class TestFig13Shapes:
+    @pytest.fixture(scope="class")
+    def tensoradd_rows(self, device):
+        return fig13_rows(
+            "tensoradd", sizes=[16], device=device, moves_per_cell=2
+        )
+
+    def test_three_languages_per_size(self, tensoradd_rows):
+        assert [row["lang"] for row in tensoradd_rows] == [
+            "base",
+            "hint",
+            "reticle",
+        ]
+
+    def test_reticle_compiles_faster_than_vendor(self, tensoradd_rows):
+        rows = {row["lang"]: row for row in tensoradd_rows}
+        assert rows["base"]["compile_speedup"] > 1
+        assert rows["hint"]["compile_speedup"] > 1
+
+    def test_reticle_uses_simd_dsps(self, tensoradd_rows):
+        rows = {row["lang"]: row for row in tensoradd_rows}
+        assert rows["reticle"]["dsps"] == 4  # 16 elements / 4 lanes
+        assert rows["hint"]["dsps"] == 16  # scalar-only inference
+        assert rows["base"]["dsps"] == 0
+
+    def test_reticle_beats_base_runtime(self, tensoradd_rows):
+        rows = {row["lang"]: row for row in tensoradd_rows}
+        assert rows["base"]["runtime_speedup"] > 1.0
+
+    def test_fsm_runs_lut_only(self, device):
+        rows = fig13_rows("fsm", sizes=[3], device=device, moves_per_cell=2)
+        assert all(row["dsps"] == 0 for row in rows)
+        by_lang = {row["lang"]: row for row in rows}
+        # Vendor logic optimization wins on control logic (Section 7.2).
+        assert by_lang["reticle"]["runtime_speedup"] <= 1.0
+        assert by_lang["base"]["luts"] <= by_lang["reticle"]["luts"]
+
+    def test_tensordot_cascade_parity(self, device):
+        rows = fig13_rows(
+            "tensordot", sizes=[3], device=device, moves_per_cell=4
+        )
+        by_lang = {row["lang"]: row for row in rows}
+        # Reticle and hinted Vivado both cascade: runtime parity.
+        assert by_lang["hint"]["critical_ns"] == pytest.approx(
+            by_lang["reticle"]["critical_ns"], rel=0.25
+        )
+        assert by_lang["base"]["runtime_speedup"] > 1.5
+
+    def test_unknown_benchmark_rejected(self, device):
+        with pytest.raises(ValueError):
+            fig13_rows("bogus", sizes=[1], device=device)
+
+    def test_default_sizes_match_paper(self):
+        assert FIG13_SIZES["tensoradd"] == (64, 128, 256, 512)
+        assert FIG13_SIZES["tensordot"] == (3, 9, 18, 36)
+        assert FIG13_SIZES["fsm"] == (3, 5, 7, 9)
+
+
+class TestFig4Shapes:
+    def test_small_sizes(self, device):
+        rows = fig4_rows(sizes=[8, 16], device=device)
+        by_key = {(row["size"], row["style"]): row for row in rows}
+        # Behavioral scalar: one DSP per element; structural
+        # vectorized: one per four elements.
+        assert by_key[(8, "behavioral")]["dsps"] == 8
+        assert by_key[(8, "structural")]["dsps"] == 2
+        assert by_key[(16, "behavioral")]["dsps"] == 16
+        assert by_key[(16, "structural")]["dsps"] == 4
+
+    def test_structural_uses_no_compute_luts(self, device):
+        rows = fig4_rows(sizes=[8], device=device)
+        structural = [r for r in rows if r["style"] == "structural"][0]
+        assert structural["luts"] == 0
+
+
+class TestFormatting:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,38 @@
+"""Tests for the flow-scoring helpers."""
+
+from repro.frontend.fsm import fsm
+from repro.frontend.tensor import tensoradd_vector
+from repro.harness.flows import FlowScore, run_reticle, run_vendor
+
+
+class TestFlowScore:
+    def test_runtime_ns_conversion(self):
+        score = FlowScore(
+            lang="reticle",
+            compile_seconds=0.1,
+            critical_ps=2500,
+            fmax_mhz=400.0,
+            luts=1,
+            dsps=2,
+            ffs=3,
+        )
+        assert score.runtime_ns == 2.5
+
+    def test_run_reticle_counts(self, device):
+        score = run_reticle(tensoradd_vector(8), device=device)
+        assert (score.luts, score.dsps) == (0, 2)
+
+    def test_run_vendor_synth_only(self, device):
+        score = run_vendor(
+            fsm(3), hints=False, device=device, place=False
+        )
+        assert score.lang == "base"
+        assert score.luts > 0
+        # Synthesis-only skips the annealer, so it is fast.
+        assert score.compile_seconds < 1.0
+
+    def test_hint_flag_changes_lang(self, device):
+        score = run_vendor(
+            fsm(3), hints=True, device=device, place=False
+        )
+        assert score.lang == "hint"

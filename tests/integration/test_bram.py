@@ -1,0 +1,208 @@
+"""End-to-end tests for the memory-primitive (BRAM) extension."""
+
+import random
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.errors import SelectionError, TypeCheckError
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.netlist.from_verilog import netlist_from_verilog
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+from repro.prims import Prim
+from repro.isel.select import select
+
+SCRATCHPAD = """
+def scratch(addr: i4, wdata: i8, wen: bool, en: bool) -> (q: i8) {
+    q: i8 = ram[4](addr, wdata, wen, en);
+}
+"""
+
+
+def random_trace(steps=24, seed=11, addr_bits=4, width=8):
+    rng = random.Random(seed)
+    half = 1 << (width - 1)
+    return Trace(
+        {
+            "addr": [rng.randrange(1 << addr_bits) for _ in range(steps)],
+            "wdata": [rng.randint(-half, half - 1) for _ in range(steps)],
+            "wen": [rng.randint(0, 1) for _ in range(steps)],
+            "en": [rng.randint(0, 1) for _ in range(steps)],
+        }
+    )
+
+
+class TestInterpreterSemantics:
+    def test_read_first_write(self):
+        func = parse_func(SCRATCHPAD)
+        out = Interpreter(func).run(
+            Trace(
+                {
+                    "addr": [3, 3, 3],
+                    "wdata": [7, 9, 0],
+                    "wen": [1, 1, 0],
+                    "en": [1, 1, 1],
+                }
+            )
+        )
+        # q lags one cycle; reads see the pre-write word (read-first).
+        assert out["q"] == [0, 0, 7]
+
+    def test_enable_freezes_memory_and_port(self):
+        func = parse_func(SCRATCHPAD)
+        out = Interpreter(func).run(
+            Trace(
+                {
+                    "addr": [2, 2, 2, 2],
+                    "wdata": [5, 6, 0, 0],
+                    "wen": [1, 1, 0, 0],
+                    "en": [1, 0, 1, 1],
+                }
+            )
+        )
+        # The disabled cycle neither writes 6 nor updates q.
+        assert out["q"] == [0, 0, 0, 5]
+
+    def test_distinct_addresses_independent(self):
+        func = parse_func(SCRATCHPAD)
+        out = Interpreter(func).run(
+            Trace(
+                {
+                    "addr": [0, 1, 0, 1, 0],
+                    "wdata": [10, 20, 0, 0, 0],
+                    "wen": [1, 1, 0, 0, 0],
+                    "en": [1, 1, 1, 1, 1],
+                }
+            )
+        )
+        # q lags one cycle: reads of addresses 0 and 1 surface at
+        # cycles 3 and 4.
+        assert out["q"][3:] == [10, 20]
+
+
+class TestTypeRules:
+    def test_address_width_must_match_attr(self):
+        with pytest.raises(TypeCheckError):
+            typecheck_func(
+                parse_func(
+                    "def f(a: i8, d: i8, w: bool, e: bool) -> (q: i8) "
+                    "{ q: i8 = ram[4](a, d, w, e); }"
+                )
+            )
+
+    def test_data_must_match_result(self):
+        with pytest.raises(TypeCheckError):
+            typecheck_func(
+                parse_func(
+                    "def f(a: i4, d: i16, w: bool, e: bool) -> (q: i8) "
+                    "{ q: i8 = ram[4](a, d, w, e); }"
+                )
+            )
+
+    def test_vector_data_rejected(self):
+        with pytest.raises(TypeCheckError):
+            typecheck_func(
+                parse_func(
+                    "def f(a: i4, d: i8<2>, w: bool, e: bool) -> (q: i8<2>) "
+                    "{ q: i8<2> = ram[4](a, d, w, e); }"
+                )
+            )
+
+
+class TestFullPipeline:
+    def test_selection_binds_bram(self, target):
+        asm = select(parse_func(SCRATCHPAD), target)
+        instr = next(asm.asm_instrs())
+        assert instr.op == "ram_i8_bram_a4"
+        assert instr.loc.prim is Prim.BRAM
+
+    def test_unsupported_geometry_rejected(self, target):
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(a: i12, d: i8, w: bool, e: bool) -> (q: i8) "
+                    "{ q: i8 = ram[12](a, d, w, e); }"
+                ),
+                target,
+            )
+
+    def test_compile_places_on_bram_column(self, device):
+        result = ReticleCompiler(device=device).compile(parse_func(SCRATCHPAD))
+        instr = next(result.placed.asm_instrs())
+        col, _ = instr.loc.position()
+        assert device.column(col).kind is Prim.BRAM
+        assert resource_counts(result.netlist).brams == 1
+
+    def test_netlist_differential(self, device):
+        func = parse_func(SCRATCHPAD)
+        result = ReticleCompiler(device=device).compile(func)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = random_trace()
+        expected = Interpreter(func).run(trace)
+        assert NetlistSimulator(result.netlist, types).run(trace) == expected
+
+    def test_verilog_text_roundtrip(self, device):
+        func = parse_func(SCRATCHPAD)
+        result = ReticleCompiler(device=device).compile(func)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = random_trace(seed=12)
+        rebuilt = netlist_from_verilog(result.verilog())
+        assert 'LOC = "RAMB18_X' in result.verilog()
+        assert NetlistSimulator(rebuilt, types).run(trace) == Interpreter(
+            func
+        ).run(trace)
+
+    def test_wider_memory(self, device):
+        func = parse_func(
+            "def f(addr: i8, wdata: i16, wen: bool, en: bool) -> (q: i16) "
+            "{ q: i16 = ram[8](addr, wdata, wen, en); }"
+        )
+        result = ReticleCompiler(device=device).compile(func)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = random_trace(seed=13, addr_bits=8, width=16)
+        expected = Interpreter(func).run(trace)
+        assert NetlistSimulator(result.netlist, types).run(trace) == expected
+
+    def test_vendor_infers_bram_too(self, device):
+        from repro.vendor.synth import VendorOptions, VendorSynthesizer
+
+        func = parse_func(SCRATCHPAD)
+        netlist, _ = VendorSynthesizer(
+            device, VendorOptions()
+        ).synthesize(func)
+        assert resource_counts(netlist).brams == 1
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = random_trace(seed=14)
+        assert NetlistSimulator(netlist, types).run(trace) == Interpreter(
+            func
+        ).run(trace)
+
+
+class TestMemoryWithLogic:
+    def test_accumulating_memory(self, device):
+        # Read-modify-write pipeline: q + din written back next cycle.
+        source = """
+        def accmem(addr: i4, din: i8, wen: bool, en: bool) -> (q: i8) {
+            q: i8 = ram[4](addr, sum, wen, en);
+            sum: i8 = add(q, din);
+        }
+        """
+        func = parse_func(source)
+        result = ReticleCompiler(device=device).compile(func)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = Trace(
+            {
+                "addr": [1, 1, 1, 1, 1],
+                "din": [5, 5, 5, 5, 5],
+                "wen": [1, 1, 1, 1, 1],
+                "en": [1, 1, 1, 1, 1],
+            }
+        )
+        expected = Interpreter(func).run(trace)
+        assert NetlistSimulator(result.netlist, types).run(trace) == expected
+        counts = resource_counts(result.netlist)
+        assert counts.brams == 1 and counts.luts == 8

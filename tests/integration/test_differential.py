@@ -1,0 +1,88 @@
+"""The strongest correctness check in the repository: random
+well-typed programs run through the *entire* Reticle pipeline
+(selection -> cascading -> placement -> code generation) and through
+the vendor-toolchain simulator, and every stage's simulation must
+match the reference interpreter exactly."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm.interp import AsmInterpreter
+from repro.compiler import ReticleCompiler
+from repro.ir.interp import Interpreter
+from repro.netlist.sim import NetlistSimulator
+from repro.place.device import xczu3eg
+from repro.tdl.ultrascale import ultrascale_target
+from repro.vendor.synth import VendorOptions, VendorSynthesizer
+from tests.strategies import funcs, traces_for
+
+TARGET = ultrascale_target()
+DEVICE = xczu3eg()
+COMPILER = ReticleCompiler(target=TARGET, device=DEVICE)
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def port_types(func):
+    return {p.name: p.ty for p in func.inputs + func.outputs}
+
+
+class TestReticlePipeline:
+    @SLOW
+    @given(st.data())
+    def test_netlist_matches_interpreter(self, data):
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        expected = Interpreter(func).run(trace)
+        result = COMPILER.compile(func)
+        actual = NetlistSimulator(result.netlist, port_types(func)).run(trace)
+        assert expected == actual, (expected.to_dict(), actual.to_dict())
+
+    @SLOW
+    @given(st.data())
+    def test_every_stage_matches(self, data):
+        func = data.draw(funcs(max_instrs=6))
+        trace = data.draw(traces_for(func, max_steps=5))
+        expected = Interpreter(func).run(trace)
+        result = COMPILER.compile(func)
+        # Stage 1: selected assembly.
+        assert AsmInterpreter(result.selected, TARGET).run(trace) == expected
+        # Stage 2: after cascading.
+        assert AsmInterpreter(result.cascaded, TARGET).run(trace) == expected
+        # Stage 3: after placement.
+        assert AsmInterpreter(result.placed, TARGET).run(trace) == expected
+        # Stage 4: the generated netlist.
+        actual = NetlistSimulator(result.netlist, port_types(func)).run(trace)
+        assert actual == expected
+
+
+class TestVendorFlow:
+    @SLOW
+    @given(st.data(), st.booleans())
+    def test_vendor_netlist_matches_interpreter(self, data, hints):
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        expected = Interpreter(func).run(trace)
+        netlist, _ = VendorSynthesizer(
+            DEVICE, VendorOptions(use_dsp_hints=hints)
+        ).synthesize(func)
+        actual = NetlistSimulator(netlist, port_types(func)).run(trace)
+        assert expected == actual, (expected.to_dict(), actual.to_dict())
+
+    @SLOW
+    @given(st.data())
+    def test_vendor_packing_preserves_behaviour(self, data):
+        from repro.vendor.packing import pack_luts
+
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        expected = Interpreter(func).run(trace)
+        netlist, _ = VendorSynthesizer(
+            DEVICE, VendorOptions(use_dsp_hints=False)
+        ).synthesize(func)
+        pack_luts(netlist, passes=3)
+        actual = NetlistSimulator(netlist, port_types(func)).run(trace)
+        assert expected == actual

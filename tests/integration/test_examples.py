@@ -1,0 +1,32 @@
+"""Every example script must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    arguments = [sys.executable, str(EXAMPLES_DIR / name)]
+    # Keep the slow sweep example quick.
+    if name == "tensoradd_pipeline.py":
+        arguments.append("16")
+    completed = subprocess.run(
+        arguments,
+        cwd=tmp_path,  # examples may write artifacts (VCD files)
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print their story"

@@ -1,0 +1,119 @@
+"""Tests for the programmatic function builder."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.ir.ast import Res
+from repro.ir.builder import FuncBuilder
+from repro.ir.interp import interpret
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.types import Bool, Int
+from repro.ir.wellformed import check_well_formed
+
+
+class TestBasics:
+    def test_simple_add(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8"), ("b", "i8")])
+        fb.add("a", "b", dst="y")
+        func = fb.build(outputs=[("y", "i8")])
+        typecheck_func(func)
+        out = interpret(func, Trace({"a": [2], "b": [3]}))
+        assert out["y"] == [5]
+
+    def test_type_inference_from_args(self):
+        fb = FuncBuilder("f", inputs=[("a", "i16"), ("b", "i16")])
+        dst = fb.add("a", "b")
+        assert fb.type_of(dst) == Int(16)
+
+    def test_comparison_infers_bool(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8"), ("b", "i8")])
+        dst = fb.lt("a", "b")
+        assert fb.type_of(dst) == Bool()
+
+    def test_mux_infers_from_branch(self):
+        fb = FuncBuilder("f", inputs=[("c", "bool"), ("a", "i8"), ("b", "i8")])
+        dst = fb.mux("c", "a", "b")
+        assert fb.type_of(dst) == Int(8)
+
+    def test_fresh_names_do_not_collide_with_inputs(self):
+        fb = FuncBuilder("f", inputs=[("add0", "i8")])
+        dst = fb.add("add0", "add0")
+        assert dst != "add0"
+
+    def test_res_annotation_recorded(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8"), ("b", "i8")])
+        fb.add("a", "b", res=Res.DSP, dst="y")
+        func = fb.build(outputs=[("y", "i8")])
+        assert list(func.compute_instrs())[0].res is Res.DSP
+
+
+class TestErrors:
+    def test_redefinition_rejected(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8")])
+        fb.id_("a", dst="y")
+        with pytest.raises(TypeCheckError):
+            fb.id_("a", dst="y")
+
+    def test_undefined_type_of(self):
+        fb = FuncBuilder("f")
+        with pytest.raises(TypeCheckError):
+            fb.type_of("ghost")
+
+    def test_dangling_declaration_rejected(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8")])
+        fb.declare("future", "i8")
+        fb.id_("a", dst="y")
+        with pytest.raises(TypeCheckError) as info:
+            fb.build(outputs=[("y", "i8")])
+        assert "future" in str(info.value)
+
+    def test_declared_type_mismatch(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8"), ("en", "bool")])
+        fb.declare("state", "i8")
+        with pytest.raises(TypeCheckError):
+            fb.reg("a", "en", dst="state")  # ok
+            fb2 = FuncBuilder("g", inputs=[("a", "i16")])
+            fb2.declare("state", "i8")
+            fb2.id_("a", dst="state")
+
+
+class TestFeedback:
+    def test_counter_via_declare(self):
+        fb = FuncBuilder("counter", inputs=[("en", "bool")])
+        fb.declare("state", "i8")
+        one = fb.const(1, "i8")
+        nxt = fb.add("state", one)
+        fb.reg(nxt, "en", dst="state")
+        fb.id_("state", dst="y")
+        func = fb.build(outputs=[("y", "i8")])
+        check_well_formed(func)
+        out = interpret(func, Trace({"en": [1, 1, 1]}))
+        assert out["y"] == [0, 1, 2]
+
+
+class TestWireHelpers:
+    def test_slice_bits(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8")])
+        dst = fb.slice_bits("a", 7, 4)
+        assert fb.type_of(dst) == Int(4)
+
+    def test_slice_lane(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8<4>")])
+        dst = fb.slice_lane("a", 0)
+        assert fb.type_of(dst) == Int(8)
+
+    def test_cat_vector(self):
+        fb = FuncBuilder("f", inputs=[("a", "i8"), ("b", "i8")])
+        fb.cat(["a", "b"], "i8<2>", dst="y")
+        func = fb.build(outputs=[("y", "i8<2>")])
+        typecheck_func(func)
+        out = interpret(func, Trace({"a": [1], "b": [2]}))
+        assert out["y"] == [(1, 2)]
+
+    def test_const_vector(self):
+        fb = FuncBuilder("f")
+        fb.const([1, 2, 3, 4], "i8<4>", dst="y")
+        func = fb.build(outputs=[("y", "i8<4>")])
+        out = interpret(func, Trace({}))
+        assert len(out) == 0  # no inputs means zero-length trace

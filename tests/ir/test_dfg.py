@@ -1,0 +1,47 @@
+"""Tests for the dataflow graph."""
+
+from repro.ir.dfg import DataflowGraph
+from repro.ir.parser import parse_func
+
+SOURCE = """
+def f(a: i8, b: i8) -> (y: i8, t0: i8) {
+    t0: i8 = add(a, b);
+    t1: i8 = mul(t0, t0);
+    y: i8 = id(t1);
+}
+"""
+
+
+class TestDataflowGraph:
+    def test_producers(self):
+        graph = DataflowGraph.build(parse_func(SOURCE))
+        assert graph.producer_of("t0").op_name == "add"
+        assert graph.producer_of("a") is None
+
+    def test_use_count_includes_outputs(self):
+        graph = DataflowGraph.build(parse_func(SOURCE))
+        # t0 is used twice by mul and once as an output port.
+        assert graph.use_count("t0") == 3
+
+    def test_use_count_single(self):
+        graph = DataflowGraph.build(parse_func(SOURCE))
+        assert graph.use_count("t1") == 1
+
+    def test_is_output(self):
+        graph = DataflowGraph.build(parse_func(SOURCE))
+        assert graph.is_output("y")
+        assert graph.is_output("t0")
+        assert not graph.is_output("t1")
+
+    def test_consumers_with_positions(self):
+        graph = DataflowGraph.build(parse_func(SOURCE))
+        consumers = graph.consumers["t0"]
+        assert len(consumers) == 2
+        assert {pos for _, pos in consumers} == {0, 1}
+
+    def test_unused_input_has_empty_consumers(self):
+        graph = DataflowGraph.build(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = id(a); }")
+        )
+        assert graph.consumers["b"] == []
+        assert graph.use_count("b") == 0

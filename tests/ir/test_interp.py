@@ -1,0 +1,171 @@
+"""Reference interpreter tests (paper Algorithm 1)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.ir.interp import Interpreter, interpret
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+
+
+def run(source, **inputs):
+    return interpret(parse_func(source), Trace(inputs))
+
+
+class TestCombinational:
+    def test_add(self):
+        out = run(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }",
+            a=[1, 100, -128],
+            b=[2, 100, -1],
+        )
+        assert out["y"] == [3, -56, 127]  # wrapping two's complement
+
+    def test_figure6_expression(self):
+        # Paper Figure 6: 5 * 2 + 5 via const, sll, add.
+        source = """
+        def f(unused: bool) -> (t2: i8) {
+            t0: i8 = const[5];
+            t1: i8 = sll[1](t0);
+            t2: i8 = add(t0, t1) @??;
+        }
+        """
+        assert run(source, unused=[0])["t2"] == [15]
+
+    def test_mux(self):
+        out = run(
+            "def f(c: bool, a: i8, b: i8) -> (y: i8) "
+            "{ y: i8 = mux(c, a, b); }",
+            c=[1, 0],
+            a=[10, 10],
+            b=[20, 20],
+        )
+        assert out["y"] == [10, 20]
+
+    def test_signed_compare(self):
+        out = run(
+            "def f(a: i8, b: i8) -> (y: bool) { y: bool = lt(a, b); }",
+            a=[-1, 1, -128],
+            b=[1, -1, 127],
+        )
+        assert out["y"] == [1, 0, 1]
+
+    def test_vector_lanewise_add(self):
+        out = run(
+            "def f(a: i8<2>, b: i8<2>) -> (y: i8<2>) "
+            "{ y: i8<2> = add(a, b); }",
+            a=[(127, 1)],
+            b=[(1, 2)],
+        )
+        assert out["y"] == [(-128, 3)]  # lane 0 wraps independently
+
+    def test_sra_is_arithmetic(self):
+        out = run(
+            "def f(a: i8) -> (y: i8) { y: i8 = sra[2](a); }",
+            a=[-8, 8],
+        )
+        assert out["y"] == [-2, 2]
+
+    def test_srl_is_logical(self):
+        out = run(
+            "def f(a: i8) -> (y: i8) { y: i8 = srl[2](a); }",
+            a=[-8],
+        )
+        assert out["y"] == [62]  # 0xF8 >> 2 = 0x3E
+
+    def test_cat_and_slice_inverse(self):
+        out = run(
+            """
+            def f(a: i8) -> (y: i4, z: i4) {
+                y: i4 = slice[7, 4](a);
+                z: i4 = slice[3, 0](a);
+            }
+            """,
+            a=[0x5A - 256],  # 0x5A as signed would be 90; use plain 90
+        )
+        # 0x5A - 256 = -166 wraps to 0x5A anyway
+        assert out["y"] == [5]
+        assert out["z"] == [-6]  # 0xA as signed i4
+
+
+class TestRegisters:
+    def test_counter(self):
+        source = """
+        def counter(en: bool) -> (y: i8) {
+            t0: i8 = const[1];
+            t1: i8 = add(t2, t0);
+            t2: i8 = reg[0](t1, en);
+            y: i8 = id(t2);
+        }
+        """
+        out = run(source, en=[1, 1, 1, 0, 1])
+        assert out["y"] == [0, 1, 2, 3, 3]
+
+    def test_register_initial_value(self):
+        out = run(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[42](a, en); }",
+            a=[7],
+            en=[1],
+        )
+        assert out["y"] == [42]
+
+    def test_enable_holds_value(self):
+        out = run(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[0](a, en); }",
+            a=[1, 2, 3, 4],
+            en=[1, 0, 0, 1],
+        )
+        assert out["y"] == [0, 1, 1, 1]
+
+    def test_shift_register_chain(self):
+        source = """
+        def f(a: i8, en: bool) -> (y: i8) {
+            t0: i8 = reg[0](a, en);
+            y: i8 = reg[0](t0, en);
+        }
+        """
+        out = run(source, a=[1, 2, 3, 4], en=[1, 1, 1, 1])
+        assert out["y"] == [0, 0, 1, 2]
+
+    def test_vector_register_splat_init(self):
+        out = run(
+            "def f(a: i8<2>, en: bool) -> (y: i8<2>) "
+            "{ y: i8<2> = reg[3](a, en); }",
+            a=[(9, 9)],
+            en=[1],
+        )
+        assert out["y"] == [(3, 3)]
+
+
+class TestTraces:
+    def test_missing_input_rejected(self):
+        func = parse_func(
+            "def f(a: i8) -> (y: i8) { y: i8 = id(a); }"
+        )
+        with pytest.raises(InterpError):
+            Interpreter(func).run(Trace({"b": [1]}))
+
+    def test_empty_trace_gives_empty_output(self):
+        func = parse_func(
+            "def f(a: i8) -> (y: i8) { y: i8 = id(a); }"
+        )
+        out = Interpreter(func).run(Trace({"a": []}))
+        assert len(out) == 0
+
+    def test_interpreter_reusable_state_reset(self):
+        func = parse_func(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[0](a, en); }"
+        )
+        interp = Interpreter(func)
+        first = interp.run(Trace({"a": [5], "en": [1]}))
+        second = interp.run(Trace({"a": [7], "en": [1]}))
+        # State must not leak between runs: both start at the init.
+        assert first["y"] == [0]
+        assert second["y"] == [0]
+
+    def test_run_steps_helper(self):
+        func = parse_func(
+            "def f(a: i8) -> (y: i8) { y: i8 = not(a); }"
+        )
+        out = Interpreter(func).run_steps([{"a": 0}, {"a": -1}])
+        assert out["y"] == [-1, 0]

@@ -1,0 +1,78 @@
+"""Tests pinning the instruction set (paper Table 1)."""
+
+from repro.ir.ops import (
+    CompOp,
+    OpKind,
+    WireOp,
+    lookup_comp_op,
+    lookup_wire_op,
+)
+
+# Paper Table 1, verbatim.
+TABLE1_COMPUTE = {
+    OpKind.ARITHMETIC: {"add", "sub", "mul"},
+    OpKind.BITWISE: {"not", "and", "or", "xor"},
+    OpKind.COMPARISON: {"eq", "neq", "lt", "gt", "le", "ge"},
+    OpKind.CONTROL: {"mux"},
+    # "ram" extends Table 1's memory row: the paper's stated BRAM
+    # future work, implemented by this reproduction.
+    OpKind.MEMORY: {"reg", "ram"},
+}
+TABLE1_WIRE = {
+    OpKind.SHIFT: {"sll", "srl", "sra"},
+    OpKind.MISC: {"slice", "cat", "id", "const"},
+}
+
+
+class TestTable1Coverage:
+    def test_compute_set_complete(self):
+        for kind, names in TABLE1_COMPUTE.items():
+            actual = {op.value for op in CompOp if op.kind is kind}
+            assert actual == names, kind
+
+    def test_wire_set_complete(self):
+        for kind, names in TABLE1_WIRE.items():
+            actual = {op.value for op in WireOp if op.kind is kind}
+            assert actual == names, kind
+
+    def test_total_counts(self):
+        # Table 1's 15 compute ops plus the ram extension.
+        assert len(CompOp) == 16
+        assert len(WireOp) == 7
+
+
+class TestOpProperties:
+    def test_memory_ops_are_stateful(self):
+        stateful = {op for op in CompOp if op.is_stateful}
+        assert stateful == {CompOp.REG, CompOp.RAM}
+
+    def test_arities(self):
+        assert CompOp.NOT.arity == 1
+        assert CompOp.MUX.arity == 3
+        assert CompOp.ADD.arity == 2
+        assert CompOp.REG.arity == 2
+
+    def test_attr_counts(self):
+        assert CompOp.REG.num_attrs == 1
+        assert CompOp.RAM.num_attrs == 1
+        assert CompOp.ADD.num_attrs == 0
+
+    def test_ram_arity(self):
+        assert CompOp.RAM.arity == 4
+
+    def test_cat_is_variadic(self):
+        assert WireOp.CAT.arity is None
+        assert WireOp.CONST.arity == 0
+        assert WireOp.SLL.arity == 1
+
+    def test_commutativity(self):
+        assert CompOp.ADD.is_commutative
+        assert CompOp.MUL.is_commutative
+        assert not CompOp.SUB.is_commutative
+        assert not CompOp.LT.is_commutative
+
+    def test_lookup(self):
+        assert lookup_comp_op("add") is CompOp.ADD
+        assert lookup_comp_op("sll") is None
+        assert lookup_wire_op("sll") is WireOp.SLL
+        assert lookup_wire_op("add") is None

@@ -1,0 +1,222 @@
+"""Optimization pass tests: each pass plus fixpoint equivalence."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.ast import WireInstr
+from repro.ir.interp import Interpreter
+from repro.ir.ops import WireOp
+from repro.ir.parser import parse_func
+from repro.ir.printer import print_func
+from repro.ir.optimize import (
+    constant_fold,
+    copy_propagate,
+    eliminate_dead_code,
+    optimize_func,
+)
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from tests.strategies import funcs, traces_for
+
+
+class TestCopyPropagation:
+    def test_forwards_through_id(self):
+        func = parse_func(
+            """
+            def f(a: i8) -> (y: i8) {
+                t0: i8 = id(a);
+                y: i8 = not(t0);
+            }
+            """
+        )
+        result = copy_propagate(func)
+        not_instr = [i for i in result.instrs if i.op_name == "not"][0]
+        assert not_instr.args == ("a",)
+
+    def test_chains_collapse(self):
+        func = parse_func(
+            """
+            def f(a: i8) -> (y: i8) {
+                t0: i8 = id(a);
+                t1: i8 = id(t0);
+                t2: i8 = id(t1);
+                y: i8 = not(t2);
+            }
+            """
+        )
+        result = copy_propagate(func)
+        assert [i for i in result.instrs if i.op_name == "not"][0].args == (
+            "a",
+        )
+
+    def test_output_id_kept(self):
+        func = parse_func(
+            "def f(a: i8) -> (y: i8) { y: i8 = id(a); }"
+        )
+        result = optimize_func(func)
+        assert len(result.instrs) == 1
+        typecheck_func(result)
+
+
+class TestConstantFolding:
+    def test_folds_figure6(self):
+        # 5 << 1 + 5 = 15, all constant.
+        func = parse_func(
+            """
+            def f(a: bool) -> (t2: i8) {
+                t0: i8 = const[5];
+                t1: i8 = sll[1](t0);
+                t2: i8 = add(t0, t1);
+            }
+            """
+        )
+        result = optimize_func(func)
+        consts = [
+            i
+            for i in result.instrs
+            if isinstance(i, WireInstr) and i.op is WireOp.CONST
+        ]
+        assert len(result.instrs) == 1
+        assert consts[0].attrs == (15,)
+
+    def test_folds_comparisons_to_bool(self):
+        func = parse_func(
+            """
+            def f(a: bool) -> (y: bool) {
+                c0: i8 = const[-3];
+                c1: i8 = const[4];
+                y: bool = lt(c0, c1);
+            }
+            """
+        )
+        result = optimize_func(func)
+        assert len(result.instrs) == 1
+        assert result.instrs[0].attrs == (1,)
+
+    def test_does_not_fold_registers(self):
+        func = parse_func(
+            """
+            def f(en: bool) -> (y: i8) {
+                c: i8 = const[7];
+                y: i8 = reg[0](c, en);
+            }
+            """
+        )
+        result = optimize_func(func)
+        assert any(i.op_name == "reg" for i in result.instrs)
+
+    def test_vector_fold_per_lane(self):
+        func = parse_func(
+            """
+            def f(a: bool) -> (y: i8<2>) {
+                c0: i8<2> = const[1, 2];
+                c1: i8<2> = const[10, 20];
+                y: i8<2> = add(c0, c1);
+            }
+            """
+        )
+        result = optimize_func(func)
+        assert result.instrs[-1].attrs == (11, 22)
+
+    def test_wrapping_fold(self):
+        func = parse_func(
+            """
+            def f(a: bool) -> (y: i8) {
+                c0: i8 = const[127];
+                c1: i8 = const[1];
+                y: i8 = add(c0, c1);
+            }
+            """
+        )
+        result = optimize_func(func)
+        assert result.instrs[-1].attrs == (-128,)
+
+
+class TestDeadCodeElimination:
+    def test_drops_unused(self):
+        func = parse_func(
+            """
+            def f(a: i8) -> (y: i8) {
+                dead: i8 = add(a, a);
+                y: i8 = not(a);
+            }
+            """
+        )
+        result = eliminate_dead_code(func)
+        assert [i.dst for i in result.instrs] == ["y"]
+
+    def test_drops_dead_register_cycle(self):
+        func = parse_func(
+            """
+            def f(a: i8, en: bool) -> (y: i8) {
+                t1: i8 = add(t2, a);
+                t2: i8 = reg[0](t1, en);
+                y: i8 = not(a);
+            }
+            """
+        )
+        result = eliminate_dead_code(func)
+        assert [i.dst for i in result.instrs] == ["y"]
+
+    def test_keeps_live_register_cycle(self):
+        func = parse_func(
+            """
+            def f(en: bool) -> (y: i8) {
+                c: i8 = const[1];
+                t1: i8 = add(t2, c);
+                t2: i8 = reg[0](t1, en);
+                y: i8 = id(t2);
+            }
+            """
+        )
+        result = eliminate_dead_code(func)
+        assert len(result.instrs) == 4
+
+
+class TestFixpoint:
+    def test_combined_cleanup(self):
+        func = parse_func(
+            """
+            def f(a: i8, en: bool) -> (y: i8) {
+                c0: i8 = const[2];
+                c1: i8 = const[3];
+                t0: i8 = mul(c0, c1);
+                t1: i8 = id(t0);
+                dead: i8 = add(t1, t1);
+                y: i8 = add(a, t1);
+            }
+            """
+        )
+        result = optimize_func(func)
+        ops = sorted(i.op_name for i in result.instrs)
+        assert ops == ["add", "const"]
+
+    def test_idempotent(self):
+        func = parse_func(
+            """
+            def f(a: i8) -> (y: i8) {
+                t0: i8 = id(a);
+                y: i8 = not(t0);
+            }
+            """
+        )
+        once = optimize_func(func)
+        assert optimize_func(once) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_programs_equivalent(self, data):
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        optimized = optimize_func(func)
+        typecheck_func(optimized)
+        check_well_formed(optimized)
+        assert Interpreter(func).run(trace) == Interpreter(optimized).run(
+            trace
+        ), print_func(optimized)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_never_grows(self, data):
+        func = data.draw(funcs())
+        assert len(optimize_func(func).instrs) <= len(func.instrs)

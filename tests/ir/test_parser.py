@@ -1,0 +1,156 @@
+"""Tests for the IR parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.ast import CompInstr, Res, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.parser import parse_func, parse_instr, parse_prog
+from repro.ir.types import Bool, Int, Vec
+
+COUNTER = """
+def counter(en: bool) -> (y: i8) {
+    t0: i8 = const[1];
+    t1: i8 = add(t2, t0) @lut;
+    t2: i8 = reg[0](t1, en);
+    y: i8 = id(t2);
+}
+"""
+
+
+class TestInstructions:
+    def test_compute_with_res(self):
+        instr = parse_instr("t2:i8 = add(t0, t1) @dsp;")
+        assert isinstance(instr, CompInstr)
+        assert instr.op is CompOp.ADD
+        assert instr.res is Res.DSP
+        assert instr.args == ("t0", "t1")
+
+    def test_compute_wildcard_res(self):
+        instr = parse_instr("t2:i8 = add(t0, t1) @??;")
+        assert instr.res is Res.ANY
+
+    def test_compute_res_defaults_to_wildcard(self):
+        instr = parse_instr("t2:i8 = mul(a, b);")
+        assert instr.res is Res.ANY
+
+    def test_const_has_no_args(self):
+        instr = parse_instr("t0:i8 = const[5];")
+        assert isinstance(instr, WireInstr)
+        assert instr.op is WireOp.CONST
+        assert instr.attrs == (5,)
+        assert instr.args == ()
+
+    def test_negative_const(self):
+        assert parse_instr("t0:i8 = const[-5];").attrs == (-5,)
+
+    def test_shift_attr(self):
+        instr = parse_instr("t1:i8 = sll[1](t0);")
+        assert instr.op is WireOp.SLL
+        assert instr.attrs == (1,)
+
+    def test_slice_two_attrs(self):
+        instr = parse_instr("t1:i4 = slice[7, 4](t0);")
+        assert instr.attrs == (7, 4)
+        assert instr.ty == Int(4)
+
+    def test_reg_with_init(self):
+        instr = parse_instr("c:i8 = reg[0](a, b) @??;")
+        assert instr.op is CompOp.REG
+        assert instr.attrs == (0,)
+
+    def test_vector_type(self):
+        instr = parse_instr("y:i8<4> = add(a, b);")
+        assert instr.ty == Vec(Int(8), 4)
+
+    def test_mux_three_args(self):
+        instr = parse_instr("t0:i8 = mux(cond, a, b);")
+        assert instr.args == ("cond", "a", "b")
+
+    def test_wire_with_res_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instr("t0:i8 = sll[1](a) @lut;")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instr("t0:i8 = frobnicate(a);")
+
+    def test_unknown_res_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instr("t0:i8 = add(a, b) @uram;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instr("t0:i8 = add(a, b)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instr("t0:i8 = add(a, b); junk")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_instr("t0:i8 = add(a,;")
+        assert info.value.line == 1
+
+
+class TestFunctions:
+    def test_counter_shape(self):
+        func = parse_func(COUNTER)
+        assert func.name == "counter"
+        assert func.input_names() == ("en",)
+        assert func.output_names() == ("y",)
+        assert len(func.instrs) == 4
+
+    def test_no_inputs_allowed(self):
+        func = parse_func(
+            "def k() -> (y: i8) { y: i8 = const[3]; }"
+        )
+        assert func.inputs == ()
+
+    def test_multiple_outputs(self):
+        func = parse_func(
+            """
+            def two(a: i8) -> (x: i8, y: bool) {
+                x: i8 = id(a);
+                y: bool = const[1];
+            }
+            """
+        )
+        assert func.output_names() == ("x", "y")
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_func("def f(a: i8) -> () { y: i8 = id(a); }")
+
+    def test_comments_allowed(self):
+        func = parse_func(
+            """
+            def f(a: i8) -> (y: i8) {
+                // forward the input
+                y: i8 = id(a); /* done */
+            }
+            """
+        )
+        assert len(func.instrs) == 1
+
+
+class TestPrograms:
+    def test_two_functions(self):
+        prog = parse_prog(
+            """
+            def f(a: i8) -> (y: i8) { y: i8 = id(a); }
+            def g(a: i8) -> (y: i8) { y: i8 = not(a); }
+            """
+        )
+        assert len(prog) == 2
+        assert prog["g"].name == "g"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_prog("   ")
+
+    def test_lookup_missing_function(self):
+        prog = parse_prog("def f(a: i8) -> (y: i8) { y: i8 = id(a); }")
+        assert prog.get("missing") is None
+        with pytest.raises(KeyError):
+            prog["missing"]

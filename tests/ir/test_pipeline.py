@@ -1,0 +1,155 @@
+"""Automatic pipelining tests (paper Section 8.1, Figure 14)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ReticleCompiler
+from repro.errors import ReticleError
+from repro.ir.ast import CompInstr
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.pipeline import pipeline_func
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from repro.timing.sta import analyze_netlist
+from tests.strategies import funcs, traces_for
+
+MULADD = """
+def f(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c);
+}
+"""
+
+
+def run_delayed_check(func, result, trace, stages):
+    """Pipelined output at cycle t+stages equals comb output at t."""
+    comb_out = Interpreter(func).run(trace)
+    steps = len(trace) + stages
+    extended = {}
+    for port in result.func.inputs:
+        if port.name in trace:
+            values = list(trace[port.name]) + [trace[port.name][-1]] * stages
+        else:  # the added enable
+            values = [1] * steps
+        extended[port.name] = values
+    pipe_out = Interpreter(result.func).run(Trace(extended))
+    for name in func.output_names():
+        assert pipe_out[name][stages:] == comb_out[name], name
+
+
+class TestStructure:
+    def test_figure14_three_stage_schedule(self):
+        result = pipeline_func(parse_func(MULADD), stages=2)
+        typecheck_func(result.func)
+        check_well_formed(result.func)
+        # mul at stage 0, add at stage 1: the product and c cross the
+        # first boundary, the sum crosses the second — three registers,
+        # two on every path.
+        assert result.registers_added == 3
+        assert result.stages == 2
+
+    def test_enable_port_added(self):
+        result = pipeline_func(parse_func(MULADD), stages=1)
+        assert result.func.input_names()[-1] == "en"
+
+    def test_existing_enable_reused(self):
+        func = parse_func(
+            "def f(a: i8, b: i8, en: bool) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        result = pipeline_func(func, stages=1)
+        assert result.func.input_names().count("en") == 1
+
+    def test_non_bool_enable_rejected(self):
+        func = parse_func(
+            "def f(a: i8, en: i8) -> (y: i8) { y: i8 = add(a, en); }"
+        )
+        with pytest.raises(ReticleError):
+            pipeline_func(func, stages=1)
+
+    def test_register_input_rejected(self):
+        func = parse_func(
+            "def f(a: i8, e: bool) -> (y: i8) { y: i8 = reg[0](a, e); }"
+        )
+        with pytest.raises(ReticleError):
+            pipeline_func(func, stages=1)
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ReticleError):
+            pipeline_func(parse_func(MULADD), stages=0)
+
+    def test_balanced_paths(self):
+        # A skewed dag: one deep branch, one shallow; both must cross
+        # the same number of registers.
+        source = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t0: i8 = add(a, b);
+            t1: i8 = add(t0, a);
+            t2: i8 = add(t1, b);
+            y: i8 = add(t2, a);
+        }
+        """
+        result = pipeline_func(parse_func(source), stages=3)
+        trace = Trace({"a": [1, 2, 3], "b": [4, 5, 6]})
+        run_delayed_check(parse_func(source), result, trace, 3)
+
+
+class TestBehaviour:
+    def test_muladd_delayed_by_stages(self):
+        func = parse_func(MULADD)
+        for stages in (1, 2, 3):
+            result = pipeline_func(func, stages=stages)
+            trace = Trace(
+                {"a": [2, -3, 4], "b": [5, 6, -7], "c": [1, 1, 100]}
+            )
+            run_delayed_check(func, result, trace, stages)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data(), st.integers(1, 4))
+    def test_random_combinational_programs(self, data, stages):
+        func = data.draw(funcs(max_instrs=8))
+        # Keep only combinational candidates.
+        if any(instr.is_stateful for instr in func.instrs):
+            return
+        trace = data.draw(traces_for(func, max_steps=5))
+        # Strategy functions carry a data input named "en", so the
+        # pipeline enable needs its own dedicated name.
+        result = pipeline_func(func, stages=stages, enable="pipe_en")
+        typecheck_func(result.func)
+        run_delayed_check(func, result, trace, stages)
+
+    def test_shared_chains_not_duplicated(self):
+        # One value feeding two consumers in a later stage gets one
+        # register chain, not two.
+        source = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t0: i8 = add(a, b);
+            t1: i8 = mul(t0, t0);
+            y: i8 = add(t1, t0);
+        }
+        """
+        func = parse_func(source)
+        result = pipeline_func(func, stages=2)
+        regs = [i for i in result.func.instrs if i.is_stateful]
+        data_sources = [r.args[0] for r in regs]
+        assert len(data_sources) == len(set(data_sources))
+
+
+class TestTimingEffect:
+    def test_pipelining_improves_fmax(self, device):
+        deep = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t0: i8 = mul(a, b) @lut;
+            t1: i8 = mul(t0, a) @lut;
+            t2: i8 = mul(t1, b) @lut;
+            y: i8 = mul(t2, a) @lut;
+        }
+        """
+        func = parse_func(deep)
+        compiler = ReticleCompiler(device=device)
+        comb = analyze_netlist(compiler.compile(func).netlist)
+        piped = analyze_netlist(
+            compiler.compile(pipeline_func(func, stages=4).func).netlist
+        )
+        assert piped.critical_ps < comb.critical_ps

@@ -1,0 +1,64 @@
+"""Printer tests, including the print->parse round-trip property."""
+
+from hypothesis import given, settings
+
+from repro.ir.parser import parse_func, parse_instr
+from repro.ir.printer import print_func, print_instr, print_instr_explicit
+from tests.strategies import funcs
+
+
+class TestPrintInstr:
+    def test_wire(self):
+        instr = parse_instr("t1:i8 = sll[1](t0);")
+        assert print_instr(instr) == "t1:i8 = sll[1](t0);"
+
+    def test_const(self):
+        instr = parse_instr("t0:i8 = const[5];")
+        assert print_instr(instr) == "t0:i8 = const[5];"
+
+    def test_comp_hides_wildcard_res(self):
+        instr = parse_instr("t2:i8 = add(t0, t1) @??;")
+        assert print_instr(instr) == "t2:i8 = add(t0, t1);"
+
+    def test_comp_explicit_res(self):
+        instr = parse_instr("t2:i8 = add(t0, t1) @??;")
+        assert print_instr_explicit(instr) == "t2:i8 = add(t0, t1) @??;"
+
+    def test_comp_concrete_res(self):
+        instr = parse_instr("t2:i8 = add(t0, t1) @dsp;")
+        assert print_instr(instr) == "t2:i8 = add(t0, t1) @dsp;"
+
+    def test_vector_type_rendered(self):
+        instr = parse_instr("y:i8<4> = reg[0](a, en);")
+        assert "i8<4>" in print_instr(instr)
+
+
+class TestRoundTrip:
+    def test_counter(self):
+        source = """
+        def counter(en: bool) -> (y: i8) {
+            t0: i8 = const[1];
+            t1: i8 = add(t2, t0) @lut;
+            t2: i8 = reg[0](t1, en);
+            y: i8 = id(t2);
+        }
+        """
+        func = parse_func(source)
+        assert parse_func(print_func(func)) == func
+
+    def test_explicit_res_roundtrip(self):
+        func = parse_func(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        assert parse_func(print_func(func, explicit_res=True)) == func
+
+    @settings(max_examples=60)
+    @given(funcs())
+    def test_random_programs_roundtrip(self, func):
+        assert parse_func(print_func(func)) == func
+
+    @settings(max_examples=30)
+    @given(funcs())
+    def test_printing_is_stable(self, func):
+        once = print_func(func)
+        assert print_func(parse_func(once)) == once

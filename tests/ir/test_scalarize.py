@@ -1,0 +1,96 @@
+"""Scalarization tests: behaviour preservation and shape."""
+
+from hypothesis import given, settings
+
+from repro.ir.ast import CompInstr
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.scalarize import scalarize_func
+from repro.ir.trace import Trace
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+from tests.strategies import funcs, traces_for
+from hypothesis import strategies as st
+
+VECTOR_PIPE = """
+def f(a: i8<4>, b: i8<4>, en: bool) -> (y: i8<4>) {
+    t0: i8<4> = add(a, b);
+    y: i8<4> = reg[0](t0, en);
+}
+"""
+
+
+class TestShape:
+    def test_no_vector_compute_remains(self):
+        func = scalarize_func(parse_func(VECTOR_PIPE))
+        for instr in func.compute_instrs():
+            assert not instr.ty.is_vector
+
+    def test_signature_unchanged(self):
+        original = parse_func(VECTOR_PIPE)
+        func = scalarize_func(original)
+        assert func.inputs == original.inputs
+        assert func.outputs == original.outputs
+
+    def test_result_still_well_typed(self):
+        func = scalarize_func(parse_func(VECTOR_PIPE))
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_scalar_program_untouched(self):
+        source = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        func = parse_func(source)
+        assert scalarize_func(func) == func
+
+    def test_vector_reg_splits_init(self):
+        source = (
+            "def f(a: i8<2>, en: bool) -> (y: i8<2>) "
+            "{ y: i8<2> = reg[-1](a, en); }"
+        )
+        func = scalarize_func(parse_func(source))
+        inits = [
+            instr.attrs
+            for instr in func.compute_instrs()
+            if instr.op.value == "reg"
+        ]
+        assert inits == [(-1,), (-1,)]
+
+
+class TestBehaviour:
+    def test_vector_pipeline_equivalent(self):
+        func = parse_func(VECTOR_PIPE)
+        scalar = scalarize_func(func)
+        trace = Trace(
+            {
+                "a": [(1, 2, 3, 4), (120, -120, 5, 6)],
+                "b": [(10, 20, 30, 40), (120, -120, -5, -6)],
+                "en": [1, 1],
+            }
+        )
+        assert Interpreter(func).run(trace) == Interpreter(scalar).run(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_programs_equivalent(self, data):
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        scalar = scalarize_func(func)
+        typecheck_func(scalar)
+        assert Interpreter(func).run(trace) == Interpreter(scalar).run(trace)
+
+    def test_mux_shares_scalar_condition(self):
+        source = (
+            "def f(c: bool, a: i8<2>, b: i8<2>) -> (y: i8<2>) "
+            "{ y: i8<2> = mux(c, a, b); }"
+        )
+        func = scalarize_func(parse_func(source))
+        muxes = [
+            instr
+            for instr in func.compute_instrs()
+            if isinstance(instr, CompInstr) and instr.op.value == "mux"
+        ]
+        assert len(muxes) == 2
+        assert all(instr.args[0] == "c" for instr in muxes)
+        trace = Trace({"c": [1, 0], "a": [(1, 2)] * 2, "b": [(3, 4)] * 2})
+        out = Interpreter(func).run(trace)
+        assert out["y"] == [(1, 2), (3, 4)]

@@ -1,0 +1,164 @@
+"""Bit-accurate operation semantics against a Python big-int oracle."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.semantics import eval_pure_comp, eval_wire, reg_init_pattern
+from repro.ir.types import Bool, Int, Vec
+from repro.utils.bits import to_signed, to_unsigned, truncate
+
+widths = st.integers(2, 32)
+
+
+def pattern_for(width):
+    return st.integers(0, (1 << width) - 1)
+
+
+class TestArithmeticOracle:
+    @given(st.data(), widths)
+    def test_add(self, data, width):
+        a = data.draw(pattern_for(width))
+        b = data.draw(pattern_for(width))
+        ty = Int(width)
+        result = eval_pure_comp(CompOp.ADD, ty, [a, b], [ty, ty])
+        assert result == truncate(a + b, width)
+
+    @given(st.data(), widths)
+    def test_sub_matches_signed_oracle(self, data, width):
+        a = data.draw(pattern_for(width))
+        b = data.draw(pattern_for(width))
+        ty = Int(width)
+        result = eval_pure_comp(CompOp.SUB, ty, [a, b], [ty, ty])
+        oracle = to_unsigned(
+            to_signed(a, width) - to_signed(b, width), width
+        )
+        assert result == oracle
+
+    @given(st.data(), st.integers(2, 16))
+    def test_mul_matches_signed_oracle(self, data, width):
+        a = data.draw(pattern_for(width))
+        b = data.draw(pattern_for(width))
+        ty = Int(width)
+        result = eval_pure_comp(CompOp.MUL, ty, [a, b], [ty, ty])
+        oracle = to_unsigned(
+            to_signed(a, width) * to_signed(b, width), width
+        )
+        assert result == oracle
+
+    @given(st.data())
+    def test_vector_add_is_lanewise(self, data):
+        ty = Vec(Int(8), 4)
+        a = data.draw(pattern_for(32))
+        b = data.draw(pattern_for(32))
+        result = eval_pure_comp(CompOp.ADD, ty, [a, b], [ty, ty])
+        for lane in range(4):
+            lane_a = (a >> (8 * lane)) & 0xFF
+            lane_b = (b >> (8 * lane)) & 0xFF
+            assert (result >> (8 * lane)) & 0xFF == (lane_a + lane_b) & 0xFF
+
+
+class TestBitwiseOracle:
+    @given(st.data(), widths)
+    def test_and_or_xor_not(self, data, width):
+        a = data.draw(pattern_for(width))
+        b = data.draw(pattern_for(width))
+        ty = Int(width)
+        assert eval_pure_comp(CompOp.AND, ty, [a, b], [ty, ty]) == a & b
+        assert eval_pure_comp(CompOp.OR, ty, [a, b], [ty, ty]) == a | b
+        assert eval_pure_comp(CompOp.XOR, ty, [a, b], [ty, ty]) == a ^ b
+        assert eval_pure_comp(CompOp.NOT, ty, [a], [ty]) == truncate(
+            ~a, width
+        )
+
+
+class TestComparisonOracle:
+    @given(st.data(), widths)
+    def test_all_comparisons_signed(self, data, width):
+        a = data.draw(pattern_for(width))
+        b = data.draw(pattern_for(width))
+        ty = Int(width)
+        sa, sb = to_signed(a, width), to_signed(b, width)
+        cases = {
+            CompOp.EQ: sa == sb,
+            CompOp.NEQ: sa != sb,
+            CompOp.LT: sa < sb,
+            CompOp.GT: sa > sb,
+            CompOp.LE: sa <= sb,
+            CompOp.GE: sa >= sb,
+        }
+        for op, expected in cases.items():
+            assert eval_pure_comp(op, Bool(), [a, b], [ty, ty]) == int(
+                expected
+            )
+
+    def test_bool_eq_is_unsigned(self):
+        assert eval_pure_comp(CompOp.EQ, Bool(), [1, 1], [Bool(), Bool()]) == 1
+        assert eval_pure_comp(CompOp.EQ, Bool(), [1, 0], [Bool(), Bool()]) == 0
+
+
+class TestShiftOracle:
+    @given(st.data(), widths)
+    def test_sll_srl(self, data, width):
+        a = data.draw(pattern_for(width))
+        amount = data.draw(st.integers(0, width))
+        ty = Int(width)
+        assert eval_wire(WireOp.SLL, ty, [amount], [a], [ty]) == truncate(
+            a << amount, width
+        )
+        assert eval_wire(WireOp.SRL, ty, [amount], [a], [ty]) == a >> amount
+
+    @given(st.data(), widths)
+    def test_sra_replicates_sign(self, data, width):
+        a = data.draw(pattern_for(width))
+        amount = data.draw(st.integers(0, width))
+        ty = Int(width)
+        result = eval_wire(WireOp.SRA, ty, [amount], [a], [ty])
+        assert result == to_unsigned(to_signed(a, width) >> amount, width)
+
+
+class TestWireMisc:
+    def test_slice_scalar(self):
+        ty = Int(4)
+        assert eval_wire(WireOp.SLICE, ty, [5, 2], [0b10110100], [Int(8)]) == 0b1101
+
+    def test_slice_vector_lane(self):
+        vec = Vec(Int(8), 4)
+        packed = 0x04030201
+        assert eval_wire(WireOp.SLICE, Int(8), [2], [packed], [vec]) == 3
+
+    def test_cat_low_first(self):
+        result = eval_wire(
+            WireOp.CAT, Int(12), [], [0xAB, 0x5], [Int(8), Int(4)]
+        )
+        assert result == 0x5AB
+
+    def test_const_scalar_wraps(self):
+        assert eval_wire(WireOp.CONST, Int(8), [-1], [], []) == 0xFF
+
+    def test_const_vector_splat(self):
+        result = eval_wire(WireOp.CONST, Vec(Int(8), 2), [3], [], [])
+        assert result == 0x0303
+
+    def test_const_vector_per_lane(self):
+        result = eval_wire(WireOp.CONST, Vec(Int(8), 2), [1, 2], [], [])
+        assert result == 0x0201
+
+    def test_id(self):
+        assert eval_wire(WireOp.ID, Int(8), [], [0x42], [Int(8)]) == 0x42
+
+
+class TestRegInit:
+    def test_scalar(self):
+        assert reg_init_pattern([5], Int(8)) == 5
+
+    def test_negative_wraps(self):
+        assert reg_init_pattern([-1], Int(8)) == 0xFF
+
+    def test_vector_splat(self):
+        assert reg_init_pattern([1], Vec(Int(8), 2)) == 0x0101
+
+    def test_vector_per_lane(self):
+        assert reg_init_pattern([1, 2], Vec(Int(8), 2)) == 0x0201
+
+    def test_default_zero(self):
+        assert reg_init_pattern([], Int(8)) == 0

@@ -1,0 +1,83 @@
+"""Tests for traces and value encoding."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.ir.trace import Trace, decode_value, encode_value
+from repro.ir.types import Bool, Int, Vec
+
+
+class TestEncodeDecode:
+    def test_scalar_roundtrip(self):
+        for value in (-128, -1, 0, 1, 127):
+            assert decode_value(encode_value(value, Int(8)), Int(8)) == value
+
+    def test_bool_values(self):
+        assert encode_value(1, Bool()) == 1
+        assert encode_value(0, Bool()) == 0
+        assert decode_value(1, Bool()) == 1
+
+    def test_bool_out_of_range(self):
+        with pytest.raises(InterpError):
+            encode_value(2, Bool())
+
+    def test_vector_roundtrip(self):
+        ty = Vec(Int(8), 4)
+        value = (-1, 0, 64, -128)
+        assert decode_value(encode_value(value, ty), ty) == value
+
+    def test_vector_splat_from_int(self):
+        ty = Vec(Int(8), 2)
+        assert decode_value(encode_value(3, ty), ty) == (3, 3)
+
+    def test_vector_wrong_lane_count(self):
+        with pytest.raises(InterpError):
+            encode_value((1, 2), Vec(Int(8), 4))
+
+    def test_scalar_expected(self):
+        with pytest.raises(InterpError):
+            encode_value((1, 2), Int(8))
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(Trace({"a": [1, 2, 3]})) == 3
+
+    def test_rectangularity_enforced(self):
+        with pytest.raises(InterpError):
+            Trace({"a": [1, 2], "b": [1]})
+
+    def test_step_access(self):
+        trace = Trace({"a": [1, 2], "b": [3, 4]})
+        assert trace.step(1) == {"a": 2, "b": 4}
+
+    def test_push_onto_empty(self):
+        trace = Trace()
+        trace.push({"y": 1})
+        trace.push({"y": 2})
+        assert trace["y"] == [1, 2]
+
+    def test_push_name_mismatch(self):
+        trace = Trace()
+        trace.push({"y": 1})
+        with pytest.raises(InterpError):
+            trace.push({"z": 2})
+
+    def test_equality(self):
+        assert Trace({"a": [1]}) == Trace({"a": [1]})
+        assert Trace({"a": [1]}) != Trace({"a": [2]})
+
+    def test_contains(self):
+        trace = Trace({"a": [1]})
+        assert "a" in trace
+        assert "b" not in trace
+
+    def test_steps_iteration(self):
+        trace = Trace({"a": [1, 2]})
+        assert list(trace.steps()) == [{"a": 1}, {"a": 2}]
+
+    def test_to_dict_copies(self):
+        trace = Trace({"a": [1]})
+        d = trace.to_dict()
+        d["a"].append(2)
+        assert trace["a"] == [1]

@@ -1,0 +1,222 @@
+"""Tests for the typing rules."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.ir.parser import parse_func
+from repro.ir.typecheck import typecheck_func
+
+
+def check(source):
+    typecheck_func(parse_func(source))
+
+
+def rejects(source, fragment=""):
+    with pytest.raises(TypeCheckError) as info:
+        check(source)
+    assert fragment in str(info.value)
+
+
+class TestArithmetic:
+    def test_add_ok(self):
+        check("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }")
+
+    def test_vector_add_ok(self):
+        check(
+            "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) { y: i8<4> = add(a, b); }"
+        )
+
+    def test_width_mismatch(self):
+        rejects(
+            "def f(a: i8, b: i16) -> (y: i8) { y: i8 = add(a, b); }",
+            "operands must match",
+        )
+
+    def test_result_mismatch(self):
+        rejects(
+            "def f(a: i8, b: i8) -> (y: i16) { y: i16 = add(a, b); }"
+        )
+
+    def test_bool_arithmetic_rejected(self):
+        rejects(
+            "def f(a: bool, b: bool) -> (y: bool) { y: bool = add(a, b); }",
+            "bool",
+        )
+
+    def test_arity(self):
+        rejects(
+            "def f(a: i8) -> (y: i8) { y: i8 = add(a); }", "argument"
+        )
+
+
+class TestComparisons:
+    def test_eq_ok(self):
+        check("def f(a: i8, b: i8) -> (y: bool) { y: bool = eq(a, b); }")
+
+    def test_eq_on_bool_ok(self):
+        check(
+            "def f(a: bool, b: bool) -> (y: bool) { y: bool = eq(a, b); }"
+        )
+
+    def test_lt_on_bool_rejected(self):
+        rejects(
+            "def f(a: bool, b: bool) -> (y: bool) { y: bool = lt(a, b); }",
+            "integer",
+        )
+
+    def test_result_must_be_bool(self):
+        rejects(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = lt(a, b); }",
+            "bool",
+        )
+
+    def test_vector_compare_rejected(self):
+        rejects(
+            "def f(a: i8<4>, b: i8<4>) -> (y: bool) { y: bool = eq(a, b); }",
+            "vector",
+        )
+
+
+class TestMuxAndReg:
+    def test_mux_ok(self):
+        check(
+            "def f(c: bool, a: i8, b: i8) -> (y: i8) { y: i8 = mux(c, a, b); }"
+        )
+
+    def test_mux_cond_must_be_bool(self):
+        rejects(
+            "def f(c: i8, a: i8, b: i8) -> (y: i8) { y: i8 = mux(c, a, b); }",
+            "condition",
+        )
+
+    def test_reg_ok(self):
+        check("def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[0](a, en); }")
+
+    def test_reg_enable_must_be_bool(self):
+        rejects(
+            "def f(a: i8, en: i8) -> (y: i8) { y: i8 = reg[0](a, en); }",
+            "enable",
+        )
+
+    def test_reg_needs_init_attr(self):
+        rejects(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg(a, en); }",
+            "attribute",
+        )
+
+    def test_reg_init_out_of_range(self):
+        rejects(
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[300](a, en); }",
+            "fit",
+        )
+
+
+class TestWireOps:
+    def test_shift_ok(self):
+        check("def f(a: i8) -> (y: i8) { y: i8 = sll[3](a); }")
+
+    def test_shift_amount_range(self):
+        rejects(
+            "def f(a: i8) -> (y: i8) { y: i8 = sll[9](a); }", "range"
+        )
+
+    def test_slice_ok(self):
+        check("def f(a: i8) -> (y: i4) { y: i4 = slice[7, 4](a); }")
+
+    def test_slice_width_mismatch(self):
+        rejects(
+            "def f(a: i8) -> (y: i3) { y: i3 = slice[7, 4](a); }",
+            "produce",
+        )
+
+    def test_slice_out_of_range(self):
+        rejects(
+            "def f(a: i8) -> (y: i4) { y: i4 = slice[11, 8](a); }",
+            "out of range",
+        )
+
+    def test_lane_slice_ok(self):
+        check("def f(a: i8<4>) -> (y: i8) { y: i8 = slice[2](a); }")
+
+    def test_lane_slice_out_of_range(self):
+        rejects(
+            "def f(a: i8<4>) -> (y: i8) { y: i8 = slice[4](a); }",
+            "lane",
+        )
+
+    def test_cat_bits_ok(self):
+        check(
+            "def f(a: i8, b: i4) -> (y: i12) { y: i12 = cat(a, b); }"
+        )
+
+    def test_cat_widths_must_sum(self):
+        rejects(
+            "def f(a: i8, b: i4) -> (y: i16) { y: i16 = cat(a, b); }",
+            "sum",
+        )
+
+    def test_cat_vector_pack_ok(self):
+        check(
+            "def f(a: i8, b: i8) -> (y: i8<2>) { y: i8<2> = cat(a, b); }"
+        )
+
+    def test_cat_vector_lane_count(self):
+        rejects(
+            "def f(a: i8, b: i8) -> (y: i8<4>) { y: i8<4> = cat(a, b); }",
+            "arguments",
+        )
+
+    def test_const_vector_splat_ok(self):
+        check("def f() -> (y: i8<4>) { y: i8<4> = const[7]; }")
+
+    def test_const_vector_per_lane_ok(self):
+        check("def f() -> (y: i8<4>) { y: i8<4> = const[1, 2, 3, 4]; }")
+
+    def test_const_vector_wrong_count(self):
+        rejects(
+            "def f() -> (y: i8<4>) { y: i8<4> = const[1, 2]; }",
+            "attributes",
+        )
+
+    def test_const_out_of_range(self):
+        rejects("def f() -> (y: i8) { y: i8 = const[256]; }", "fit")
+
+    def test_bool_const_range(self):
+        check("def f() -> (y: bool) { y: bool = const[1]; }")
+        rejects("def f() -> (y: bool) { y: bool = const[2]; }", "fit")
+
+
+class TestFunctionLevel:
+    def test_undefined_variable(self):
+        rejects(
+            "def f(a: i8) -> (y: i8) { y: i8 = add(a, ghost); }",
+            "undefined",
+        )
+
+    def test_redefinition(self):
+        rejects(
+            """
+            def f(a: i8) -> (y: i8) {
+                y: i8 = id(a);
+                y: i8 = not(a);
+            }
+            """,
+            "redefinition",
+        )
+
+    def test_output_not_defined(self):
+        rejects(
+            "def f(a: i8) -> (y: i8) { t: i8 = id(a); }",
+            "not defined",
+        )
+
+    def test_output_type_mismatch(self):
+        rejects(
+            "def f(a: i8) -> (y: i16) { y: i8 = id(a); }",
+            "declared",
+        )
+
+    def test_output_must_be_instruction_not_input(self):
+        rejects(
+            "def f(a: i8) -> (a: i8) { t: i8 = id(a); }"
+        )

@@ -1,0 +1,96 @@
+"""Tests for the type system."""
+
+import pytest
+
+from repro.errors import ParseError, TypeCheckError
+from repro.ir.types import Bool, Int, Vec, as_type, parse_type
+
+
+class TestBool:
+    def test_width(self):
+        assert Bool().width == 1
+
+    def test_lanes(self):
+        assert Bool().lanes == 1
+
+    def test_not_signed(self):
+        assert not Bool().is_signed
+
+    def test_str(self):
+        assert str(Bool()) == "bool"
+
+
+class TestInt:
+    def test_width(self):
+        assert Int(8).width == 8
+
+    def test_signed(self):
+        assert Int(8).is_signed
+
+    def test_str(self):
+        assert str(Int(12)) == "i12"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Int(0)
+
+    def test_lane_type_is_self(self):
+        assert Int(8).lane_type() == Int(8)
+
+    def test_equality(self):
+        assert Int(8) == Int(8)
+        assert Int(8) != Int(16)
+
+
+class TestVec:
+    def test_width_is_total(self):
+        assert Vec(Int(8), 4).width == 32
+
+    def test_lanes(self):
+        assert Vec(Int(8), 4).lanes == 4
+
+    def test_is_vector(self):
+        assert Vec(Int(8), 4).is_vector
+        assert not Int(8).is_vector
+
+    def test_lane_type(self):
+        assert Vec(Int(8), 4).lane_type() == Int(8)
+
+    def test_str(self):
+        assert str(Vec(Int(8), 4)) == "i8<4>"
+
+    def test_single_lane_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Vec(Int(8), 1)
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("bool", Bool()),
+            ("i1", Int(1)),
+            ("i8", Int(8)),
+            ("i48", Int(48)),
+            ("i8<4>", Vec(Int(8), 4)),
+            ("i12<2>", Vec(Int(12), 2)),
+            ("  i8  ", Int(8)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["int", "u8", "i", "i8<>", "i8<x>", "<4>", "i8>4<"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(ParseError):
+            parse_type(text)
+
+    def test_roundtrip(self):
+        for ty in (Bool(), Int(7), Vec(Int(9), 3)):
+            assert parse_type(str(ty)) == ty
+
+    def test_as_type_passthrough(self):
+        assert as_type(Int(8)) == Int(8)
+        assert as_type("i8<4>") == Vec(Int(8), 4)

@@ -1,0 +1,91 @@
+"""VCD waveform writer tests."""
+
+import io
+
+import pytest
+
+from repro.errors import InterpError
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.ir.types import Bool, Int, Vec
+from repro.ir.vcd import dump_vcd, merge_traces, write_vcd
+
+
+def render(trace, types, **kwargs):
+    handle = io.StringIO()
+    write_vcd(handle, trace, types, **kwargs)
+    return handle.getvalue()
+
+
+class TestWriter:
+    def test_header_structure(self):
+        text = render(Trace({"a": [1]}), {"a": Int(8)})
+        assert "$timescale 1ns $end" in text
+        assert "$scope module top $end" in text
+        assert "$var wire 8 " in text
+        assert "$enddefinitions $end" in text
+
+    def test_values_binary_encoded(self):
+        text = render(Trace({"a": [-1]}), {"a": Int(8)})
+        assert "b11111111 " in text
+
+    def test_scalar_bool_single_bit_format(self):
+        text = render(Trace({"f": [1, 0]}), {"f": Bool()})
+        lines = text.splitlines()
+        # 1-bit signals use the compact "0<id>"/"1<id>" form.
+        assert any(
+            line[0] in "01" and not line.startswith("b")
+            for line in lines
+            if line and line[0] in "01"
+        )
+
+    def test_only_changes_emitted(self):
+        text = render(Trace({"a": [5, 5, 6]}), {"a": Int(8)})
+        assert text.count("b00000101 ") == 1
+        assert text.count("b00000110 ") == 1
+
+    def test_timestamps_advance(self):
+        text = render(Trace({"a": [1, 2]}), {"a": Int(8)})
+        for stamp in ("#0", "#5", "#10", "#15", "#20"):
+            assert f"\n{stamp}\n" in text
+
+    def test_vector_width(self):
+        text = render(Trace({"v": [(1, 2)]}), {"v": Vec(Int(8), 2)})
+        assert "$var wire 16 " in text
+        assert "b0000001000000001 " in text
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(InterpError):
+            render(Trace({"a": [1]}), {})
+
+    def test_custom_module_name(self):
+        text = render(Trace({"a": [1]}), {"a": Int(8)}, module="dut")
+        assert "$scope module dut $end" in text
+
+    def test_dump_to_file(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        dump_vcd(str(path), Trace({"a": [3]}), {"a": Int(4)})
+        assert path.read_text().startswith("$date")
+
+
+class TestMergeTraces:
+    def test_inputs_and_outputs_combined(self):
+        func = parse_func(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        inputs = Trace({"a": [1, 2], "b": [3, 4]})
+        outputs = Interpreter(func).run(inputs)
+        merged = merge_traces(inputs, outputs)
+        assert set(merged.names) == {"a", "b", "y"}
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        text = render(merged, types)
+        assert text.count("$var wire 8 ") == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InterpError):
+            merge_traces(Trace({"a": [1]}), Trace({"b": [1, 2]}))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InterpError):
+            merge_traces(Trace({"a": [1]}), Trace({"a": [2]}))

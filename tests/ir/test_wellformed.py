@@ -1,0 +1,133 @@
+"""Well-formedness tests, including the paper's Figure 12 programs."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.ir.parser import parse_func
+from repro.ir.wellformed import check_well_formed, is_well_formed
+
+# Paper Figure 12a: a combinational (register-free) cycle.
+ILL_FORMED = """
+def inc(unused: bool) -> (t1: i8) {
+    t0: i8 = const[4];
+    t1: i8 = add(t1, t0) @??;
+}
+"""
+
+# Paper Figure 12b: the same increment, cycle broken by a register.
+WELL_FORMED = """
+def inc(unused: bool) -> (t3: i8) {
+    t0: bool = const[1];
+    t1: i8 = const[4];
+    t2: i8 = add(t3, t1) @??;
+    t3: i8 = reg[0](t2, t0) @??;
+}
+"""
+
+
+class TestFigure12:
+    def test_ill_formed_rejected(self):
+        with pytest.raises(WellFormednessError) as info:
+            check_well_formed(parse_func(ILL_FORMED))
+        assert "cycle" in str(info.value)
+
+    def test_well_formed_accepted(self):
+        info = check_well_formed(parse_func(WELL_FORMED))
+        assert len(info.regs) == 1
+        assert info.reg_inits == {"t3": 0}
+
+    def test_predicate_form(self):
+        assert not is_well_formed(parse_func(ILL_FORMED))
+        assert is_well_formed(parse_func(WELL_FORMED))
+
+
+class TestCycles:
+    def test_two_instruction_combinational_cycle(self):
+        source = """
+        def f(a: i8) -> (y: i8) {
+            t0: i8 = add(t1, a);
+            t1: i8 = add(t0, a);
+            y: i8 = id(t0);
+        }
+        """
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+    def test_self_loop_through_mux(self):
+        source = """
+        def f(c: bool, a: i8) -> (y: i8) {
+            y: i8 = mux(c, a, y);
+        }
+        """
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+    def test_cycle_through_two_regs_ok(self):
+        source = """
+        def f(en: bool) -> (y: i8) {
+            t0: i8 = reg[0](t1, en);
+            t1: i8 = reg[1](t0, en);
+            y: i8 = id(t0);
+        }
+        """
+        info = check_well_formed(parse_func(source))
+        assert len(info.regs) == 2
+
+    def test_wire_op_in_cycle_detected(self):
+        source = """
+        def f(a: i8) -> (y: i8) {
+            t0: i8 = sll[1](t1);
+            t1: i8 = add(t0, a);
+            y: i8 = id(t1);
+        }
+        """
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+
+class TestNameResolution:
+    def test_undefined_argument(self):
+        source = "def f(a: i8) -> (y: i8) { y: i8 = add(a, ghost); }"
+        with pytest.raises(WellFormednessError) as info:
+            check_well_formed(parse_func(source))
+        assert "undefined" in str(info.value)
+
+    def test_redefinition(self):
+        source = """
+        def f(a: i8) -> (y: i8) {
+            y: i8 = id(a);
+            y: i8 = not(a);
+        }
+        """
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+    def test_shadowing_input_rejected(self):
+        source = "def f(a: i8) -> (a: i8) { a: i8 = not(a); }"
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+    def test_undefined_output(self):
+        # The output port is a parse-level member but never defined.
+        source = "def f(a: i8) -> (y: i8) { t: i8 = id(a); }"
+        with pytest.raises(WellFormednessError):
+            check_well_formed(parse_func(source))
+
+
+class TestSchedule:
+    def test_pure_order_respects_dependencies(self):
+        source = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t1: i8 = add(t0, b);
+            t0: i8 = add(a, b);
+            y: i8 = id(t1);
+        }
+        """
+        info = check_well_formed(parse_func(source))
+        order = [instr.dst for instr in info.pure_order]
+        assert order.index("t0") < order.index("t1")
+
+    def test_regs_not_in_pure_order(self):
+        info = check_well_formed(parse_func(WELL_FORMED))
+        pure_dsts = {instr.dst for instr in info.pure_order}
+        assert "t3" not in pure_dsts

@@ -1,0 +1,136 @@
+"""Tests for pattern matching and DP covering internals."""
+
+from repro.ir.parser import parse_func
+from repro.isel.cover import cover_tree, match_at
+from repro.isel.partition import partition
+from repro.prims import Prim
+from repro.tdl.parser import parse_target
+from repro.tdl.pattern import build_pattern
+
+SMALL_TARGET = parse_target(
+    """
+    add8[lut, 8, 1](a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }
+    mul8[dsp, 1, 1](a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }
+    muladd8[dsp, 1, 1](a: i8, b: i8, c: i8) -> (y: i8) {
+        t0: i8 = mul(a, b);
+        y: i8 = add(t0, c);
+    }
+    square8[dsp, 1, 1](a: i8) -> (y: i8) { y: i8 = mul(a, a); }
+    """,
+    name="small",
+)
+
+
+def tree_for(source):
+    trees = partition(parse_func(source))
+    assert len(trees) == 1
+    return trees[0]
+
+
+def index_for(target):
+    index = {}
+    for asm_def in target:
+        root = asm_def.root()
+        index.setdefault((root.op, root.ty), []).append(
+            build_pattern(asm_def)
+        )
+    return index
+
+
+class TestMatchAt:
+    def test_single_node_match(self):
+        tree = tree_for(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        match = match_at(build_pattern(SMALL_TARGET["add8"]), tree.root)
+        assert match is not None
+        assert match.bindings == {"a": "a", "b": "b"}
+        assert match.subtrees == ()
+
+    def test_nested_match_binds_leaf(self):
+        tree = tree_for(
+            """
+            def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                y: i8 = add(t0, c);
+            }
+            """
+        )
+        match = match_at(build_pattern(SMALL_TARGET["muladd8"]), tree.root)
+        assert match is not None
+        assert match.bindings == {"a": "a", "b": "b", "c": "c"}
+
+    def test_op_mismatch(self):
+        tree = tree_for(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = sub(a, b); }"
+        )
+        assert match_at(build_pattern(SMALL_TARGET["add8"]), tree.root) is None
+
+    def test_type_mismatch(self):
+        tree = tree_for(
+            "def f(a: i16, b: i16) -> (y: i16) { y: i16 = add(a, b); }"
+        )
+        assert match_at(build_pattern(SMALL_TARGET["add8"]), tree.root) is None
+
+    def test_nonlinear_pattern_requires_same_var(self):
+        square = build_pattern(SMALL_TARGET["square8"])
+        matching = tree_for(
+            "def f(a: i8) -> (y: i8) { y: i8 = mul(a, a); }"
+        )
+        differing = tree_for(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        assert match_at(square, matching.root) is not None
+        assert match_at(square, differing.root) is None
+
+    def test_res_annotation_blocks_match(self):
+        tree = tree_for(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b) @lut; }"
+        )
+        assert match_at(build_pattern(SMALL_TARGET["mul8"]), tree.root) is None
+
+
+class TestCoverTree:
+    WEIGHTS = {Prim.LUT: 1.0, Prim.DSP: 16.0}
+
+    def test_prefers_fused_cover(self):
+        tree = tree_for(
+            """
+            def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                y: i8 = add(t0, c);
+            }
+            """
+        )
+        result = cover_tree(tree, index_for(SMALL_TARGET), self.WEIGHTS)
+        assert [m.def_name for m in result.matches] == ["muladd8"]
+        assert result.cost == 16.0
+
+    def test_split_cover_when_needed(self):
+        # Chain of two muls: only the inner one can fuse with nothing;
+        # each mul covered separately.
+        tree = tree_for(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                y: i8 = mul(t0, a);
+            }
+            """
+        )
+        result = cover_tree(tree, index_for(SMALL_TARGET), self.WEIGHTS)
+        assert [m.def_name for m in result.matches] == ["mul8", "mul8"]
+        assert result.cost == 32.0
+
+    def test_matches_in_dependency_order(self):
+        tree = tree_for(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                t1: i8 = mul(t0, a);
+                y: i8 = mul(t1, b);
+            }
+            """
+        )
+        result = cover_tree(tree, index_for(SMALL_TARGET), self.WEIGHTS)
+        order = [m.node.dst for m in result.matches]
+        assert order == ["t0", "t1", "y"]

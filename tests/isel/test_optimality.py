@@ -1,0 +1,144 @@
+"""DP optimality verification: on small trees, exhaustively enumerate
+every legal cover and check the tree-covering DP found the cheapest."""
+
+from itertools import count
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.ast import CompInstr, Func, Port, Res
+from repro.ir.ops import CompOp
+from repro.ir.types import Int
+from repro.isel.cover import cover_tree, match_at
+from repro.isel.partition import SubjectNode, partition
+from repro.prims import Prim
+from repro.tdl.parser import parse_target
+from repro.tdl.pattern import build_pattern
+
+TARGET = parse_target(
+    """
+    add8[lut, 8, 1](a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }
+    add8d[dsp, 1, 1](a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }
+    mul8[dsp, 1, 1](a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }
+    mul8l[lut, 64, 1](a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }
+    muladd8[dsp, 1, 1](a: i8, b: i8, c: i8) -> (y: i8) {
+        t0: i8 = mul(a, b);
+        y: i8 = add(t0, c);
+    }
+    addadd8[lut, 12, 1](a: i8, b: i8, c: i8) -> (y: i8) {
+        t0: i8 = add(a, b);
+        y: i8 = add(t0, c);
+    }
+    """,
+    name="opt",
+)
+PATTERNS = [build_pattern(asm_def) for asm_def in TARGET]
+INDEX: Dict[tuple, list] = {}
+for pattern in PATTERNS:
+    root = pattern.asm_def.root()
+    INDEX.setdefault((root.op, root.ty), []).append(pattern)
+WEIGHTS = {Prim.LUT: 1.0, Prim.DSP: 16.0}
+
+
+def brute_force_cost(node: SubjectNode, types) -> float:
+    """Minimum cover cost by exhaustive enumeration."""
+    best = float("inf")
+    for pattern in INDEX.get((node.instr.op, node.instr.ty), []):
+        match = match_at(pattern, node, types)
+        if match is None:
+            continue
+        cost = pattern.asm_def.area * WEIGHTS[pattern.asm_def.prim]
+        for subtree in match.subtrees:
+            cost += brute_force_cost(subtree, types)
+        best = min(best, cost)
+    return best
+
+
+@st.composite
+def random_trees(draw):
+    """A random expression tree of i8 add/mul over fresh inputs."""
+    ids = count()
+    inputs: List[Port] = []
+    instrs: List[CompInstr] = []
+
+    def leaf() -> str:
+        name = f"in{next(ids)}"
+        inputs.append(Port(name, Int(8)))
+        return name
+
+    def node(depth: int) -> str:
+        if depth == 0 or draw(st.booleans()):
+            return leaf()
+        op = draw(st.sampled_from([CompOp.ADD, CompOp.MUL]))
+        left = node(depth - 1)
+        right = node(depth - 1)
+        dst = f"t{next(ids)}"
+        instrs.append(
+            CompInstr(
+                dst=dst,
+                ty=Int(8),
+                attrs=(),
+                args=(left, right),
+                op=op,
+                res=Res.ANY,
+            )
+        )
+        return dst
+
+    root = node(draw(st.integers(1, 4)))
+    if not instrs:  # force at least one operation
+        dst = f"t{next(ids)}"
+        instrs.append(
+            CompInstr(
+                dst=dst,
+                ty=Int(8),
+                attrs=(),
+                args=(root, leaf()),
+                op=CompOp.ADD,
+                res=Res.ANY,
+            )
+        )
+        root = dst
+    return Func(
+        name="tree",
+        inputs=tuple(inputs),
+        outputs=(Port(root, Int(8)),),
+        instrs=tuple(instrs),
+    )
+
+
+class TestOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(random_trees())
+    def test_dp_matches_brute_force(self, func):
+        types = func.defs()
+        trees = partition(func)
+        assert len(trees) == 1
+        tree = trees[0]
+        expected = brute_force_cost(tree.root, types)
+        result = cover_tree(tree, INDEX, WEIGHTS, types)
+        assert result.cost == expected
+
+    def test_three_way_fusion_choice(self):
+        # add(add(a,b),c): addadd8 (12) beats two LUT adds (16) and
+        # mixed DSP options (17+).
+        source_instrs = (
+            CompInstr(
+                dst="t0", ty=Int(8), attrs=(), args=("a", "b"),
+                op=CompOp.ADD, res=Res.ANY,
+            ),
+            CompInstr(
+                dst="t1", ty=Int(8), attrs=(), args=("t0", "c"),
+                op=CompOp.ADD, res=Res.ANY,
+            ),
+        )
+        func = Func(
+            name="f",
+            inputs=(Port("a", Int(8)), Port("b", Int(8)), Port("c", Int(8))),
+            outputs=(Port("t1", Int(8)),),
+            instrs=source_instrs,
+        )
+        tree = partition(func)[0]
+        result = cover_tree(tree, INDEX, WEIGHTS, func.defs())
+        assert [m.def_name for m in result.matches] == ["addadd8"]
+        assert result.cost == 12.0

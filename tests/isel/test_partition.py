@@ -1,0 +1,143 @@
+"""Tree-partitioning tests (paper Section 5.1)."""
+
+from repro.ir.parser import parse_func
+from repro.isel.partition import partition
+
+
+def tree_shapes(func):
+    """Map each tree root dst to the set of dsts inside its tree."""
+    shapes = {}
+    for tree in partition(func):
+        shapes[tree.dst] = {node.dst for node in tree.root.nodes()}
+    return shapes
+
+
+class TestBasicPartition:
+    def test_single_instruction(self):
+        func = parse_func(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        shapes = tree_shapes(func)
+        assert shapes == {"y": {"y"}}
+
+    def test_chain_forms_one_tree(self):
+        func = parse_func(
+            """
+            def f(a: i8, b: i8, c: i8) -> (t1: i8) {
+                t0: i8 = mul(a, b);
+                t1: i8 = add(t0, c);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        assert shapes == {"t1": {"t0", "t1"}}
+
+    def test_shared_value_cuts_tree(self):
+        func = parse_func(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                t0: i8 = add(a, b);
+                t1: i8 = mul(t0, a);
+                y: i8 = mul(t0, t1);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        # t0 has two uses: it roots its own tree.
+        assert shapes["t0"] == {"t0"}
+        assert shapes["y"] == {"t1", "y"}
+
+    def test_output_use_cuts_tree(self):
+        func = parse_func(
+            """
+            def f(a: i8, b: i8) -> (t0: i8, y: i8) {
+                t0: i8 = add(a, b);
+                y: i8 = mul(t0, a);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        assert shapes["t0"] == {"t0"}
+
+    def test_wire_consumer_cuts_tree(self):
+        func = parse_func(
+            """
+            def f(a: i8, b: i8) -> (y: i4) {
+                t0: i8 = add(a, b);
+                y: i4 = slice[3, 0](t0);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        assert shapes == {"t0": {"t0"}}
+
+    def test_every_compute_instr_in_exactly_one_tree(self):
+        func = parse_func(
+            """
+            def f(a: i8, b: i8, en: bool) -> (y: i8) {
+                t0: i8 = add(a, b);
+                t1: i8 = mul(t0, t0);
+                t2: i8 = reg[0](t1, en);
+                t3: i8 = sub(t2, a);
+                y: i8 = id(t3);
+            }
+            """
+        )
+        trees = partition(func)
+        all_nodes = [
+            node.dst for tree in trees for node in tree.root.nodes()
+        ]
+        assert sorted(all_nodes) == ["t0", "t1", "t2", "t3"]
+        assert len(set(all_nodes)) == len(all_nodes)
+
+
+class TestRegisters:
+    def test_pipeline_reg_joins_tree(self):
+        # reg used once by output: roots a tree containing the add and
+        # the input registers (the pipelined DSP pattern shape).
+        func = parse_func(
+            """
+            def f(a: i8, b: i8, en: bool) -> (y: i8) {
+                t0: i8 = reg[0](a, en);
+                t1: i8 = reg[0](b, en);
+                t2: i8 = add(t0, t1);
+                y: i8 = reg[0](t2, en);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        assert shapes == {"y": {"t0", "t1", "t2", "y"}}
+
+    def test_feedback_cycle_is_cut(self):
+        func = parse_func(
+            """
+            def counter(en: bool) -> (y: i8) {
+                t0: i8 = const[1];
+                t1: i8 = add(t2, t0);
+                t2: i8 = reg[0](t1, en);
+                y: i8 = id(t2);
+            }
+            """
+        )
+        shapes = tree_shapes(func)
+        # t2 feeds both add (cycle) and the output id: it is a root;
+        # its tree contains the add.
+        assert shapes["t2"] == {"t1", "t2"}
+
+    def test_dead_cycle_still_partitioned(self):
+        # A register cycle unreachable from outputs must still be
+        # claimed by the sweep (no infinite recursion).
+        func = parse_func(
+            """
+            def f(a: i8, en: bool) -> (y: i8) {
+                y: i8 = id(a);
+                t1: i8 = add(t2, a);
+                t2: i8 = reg[0](t1, en);
+            }
+            """
+        )
+        trees = partition(func)
+        all_nodes = sorted(
+            node.dst for tree in trees for node in tree.root.nodes()
+        )
+        assert all_nodes == ["t1", "t2"]

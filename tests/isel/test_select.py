@@ -1,0 +1,196 @@
+"""Instruction-selection tests, including the paper's Figure 8."""
+
+import pytest
+
+from repro.asm.ast import AsmInstr
+from repro.errors import SelectionError
+from repro.ir.ast import Res
+from repro.ir.parser import parse_func
+from repro.isel.select import Selector, select
+from repro.prims import Prim
+
+FIGURE8 = """
+def f(a: i8, b: i8, c: i8) -> (t1: i8) {
+    t0: i8 = mul(a, b);
+    t1: i8 = add(t0, c);
+}
+"""
+
+
+def asm_ops(asm_func):
+    return [instr.op for instr in asm_func.asm_instrs()]
+
+
+class TestFigure8:
+    def test_muladd_fusion(self, target):
+        asm = select(parse_func(FIGURE8), target)
+        assert asm_ops(asm) == ["muladd_i8_dsp"]
+
+    def test_fused_cost_cheaper_than_split(self, target):
+        selector = Selector(target)
+        cost = selector.total_cost(parse_func(FIGURE8))
+        # One DSP at the default weight; the split version would cost
+        # at least one DSP plus one LUT adder.
+        assert cost == selector.dsp_weight
+
+    def test_args_in_definition_order(self, target):
+        asm = select(parse_func(FIGURE8), target)
+        instr = next(asm.asm_instrs())
+        assert instr.args == ("a", "b", "c")
+
+
+class TestPolicy:
+    def test_scalar_add_prefers_lut(self, target):
+        asm = select(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"),
+            target,
+        )
+        assert asm_ops(asm) == ["add_i8_lut"]
+
+    def test_scalar_mul_prefers_dsp(self, target):
+        asm = select(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"),
+            target,
+        )
+        assert asm_ops(asm) == ["mul_i8_dsp"]
+
+    def test_vector_add_prefers_dsp(self, target):
+        asm = select(
+            parse_func(
+                "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) "
+                "{ y: i8<4> = add(a, b); }"
+            ),
+            target,
+        )
+        assert asm_ops(asm) == ["add_i8v4_dsp"]
+
+    def test_dsp_weight_flips_policy(self, target):
+        # With DSPs nearly free, even scalar adds go to DSPs.
+        asm = select(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"),
+            target,
+            dsp_weight=1.0,
+        )
+        assert asm_ops(asm) == ["add_i8_dsp"]
+
+    def test_pipelined_add_fuses_fully(self, target):
+        source = """
+        def f(a: i8<4>, b: i8<4>, en: bool) -> (y: i8<4>) {
+            t0: i8<4> = reg[0](a, en);
+            t1: i8<4> = reg[0](b, en);
+            t2: i8<4> = add(t0, t1);
+            y: i8<4> = reg[0](t2, en);
+        }
+        """
+        asm = select(parse_func(source), target)
+        assert asm_ops(asm) == ["addp_i8v4_dsp"]
+
+    def test_output_register_fuses(self, target):
+        source = """
+        def f(a: i8<4>, b: i8<4>, en: bool) -> (y: i8<4>) {
+            t0: i8<4> = add(a, b);
+            y: i8<4> = reg[0](t0, en);
+        }
+        """
+        asm = select(parse_func(source), target)
+        assert asm_ops(asm) == ["addr_i8v4_dsp"]
+
+
+class TestResourceConstraints:
+    def test_lut_annotation_honoured(self, target):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b) @lut; }"
+            ),
+            target,
+        )
+        assert asm_ops(asm) == ["mul_i8_lut"]
+
+    def test_dsp_annotation_honoured(self, target):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @dsp; }"
+            ),
+            target,
+        )
+        assert asm_ops(asm) == ["add_i8_dsp"]
+
+    def test_unsatisfiable_annotation_rejected(self, target):
+        # mux exists only on LUTs; demanding a DSP must fail loudly —
+        # annotations are constraints, not hints (Section 3).
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(c: bool, a: i8, b: i8) -> (y: i8) "
+                    "{ y: i8 = mux(c, a, b) @dsp; }"
+                ),
+                target,
+            )
+
+    def test_annotation_blocks_fusion(self, target):
+        # Forcing the mul onto LUTs prevents the DSP muladd pattern.
+        source = """
+        def f(a: i8, b: i8, c: i8) -> (t1: i8) {
+            t0: i8 = mul(a, b) @lut;
+            t1: i8 = add(t0, c);
+        }
+        """
+        asm = select(parse_func(source), target)
+        assert "mul_i8_lut" in asm_ops(asm)
+
+    def test_unsupported_width_rejected(self, target):
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(a: i48, b: i48) -> (y: bool) "
+                    "{ y: bool = eq(a, b); }"
+                ),
+                target,
+            )
+
+
+class TestEmission:
+    def test_locations_are_wildcards(self, target):
+        asm = select(parse_func(FIGURE8), target)
+        instr = next(asm.asm_instrs())
+        assert not instr.loc.is_resolved
+        assert instr.loc.prim is Prim.DSP
+
+    def test_wire_instrs_pass_through(self, target):
+        source = """
+        def f(a: i8) -> (y: i8) {
+            t0: i8 = sll[1](a);
+            y: i8 = add(t0, a);
+        }
+        """
+        asm = select(parse_func(source), target)
+        wire_ops = [instr.op_name for instr in asm.wire_instrs()]
+        assert wire_ops == ["sll"]
+
+    def test_reg_attrs_captured(self, target):
+        source = """
+        def f(a: i8, en: bool) -> (y: i8) {
+            y: i8 = reg[42](a, en);
+        }
+        """
+        asm = select(parse_func(source), target)
+        instr = next(asm.asm_instrs())
+        assert instr.attrs == (42,)
+
+    def test_signature_preserved(self, target):
+        func = parse_func(FIGURE8)
+        asm = select(func, target)
+        assert asm.inputs == func.inputs
+        assert asm.outputs == func.outputs
+
+    def test_emission_in_dependency_order(self, target):
+        source = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t0: i8 = add(a, b);
+            t1: i8 = mul(t0, t0);
+            y: i8 = sub(t1, a);
+        }
+        """
+        asm = select(parse_func(source), target)
+        order = [instr.dst for instr in asm.asm_instrs()]
+        assert order.index("t0") < order.index("t1") < order.index("y")

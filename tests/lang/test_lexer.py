@@ -1,0 +1,103 @@
+"""Tests for the shared tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo")[:-1] == [TokenKind.IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("_t0 x_1") == ["_t0", "x_1"]
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT
+        assert token.int_value == 42
+
+    def test_negative_integer(self):
+        assert tokenize("-7")[0].int_value == -7
+
+    def test_dash_without_digits_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("- x")
+
+    def test_arrow(self):
+        assert kinds("->")[:-1] == [TokenKind.ARROW]
+
+    def test_wildcard(self):
+        assert kinds("??")[:-1] == [TokenKind.WILDCARD]
+
+    def test_single_chars(self):
+        source = "()[]{}<>,:;=@+"
+        expected = [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LANGLE,
+            TokenKind.RANGLE,
+            TokenKind.COMMA,
+            TokenKind.COLON,
+            TokenKind.SEMI,
+            TokenKind.EQUALS,
+            TokenKind.AT,
+            TokenKind.PLUS,
+        ]
+        assert kinds(source)[:-1] == expected
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_position_after_block_comment(self):
+        tokens = tokenize("/* x\n*/ b")
+        assert tokens[0].line == 2
+
+
+class TestRealPrograms:
+    def test_instruction_tokens(self):
+        source = "t2:i8 = add(t0, t1) @??;"
+        token_kinds = kinds(source)[:-1]
+        assert TokenKind.WILDCARD in token_kinds
+        assert TokenKind.AT in token_kinds
+
+    def test_vector_type_tokens(self):
+        assert texts("i8<4>") == ["i8", "<", "4", ">"]

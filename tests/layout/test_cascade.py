@@ -1,0 +1,135 @@
+"""Cascading tests (paper Section 5.2, Figure 11)."""
+
+from repro.asm.coords import CoordVar, CoordWildcard
+from repro.asm.parser import parse_asm_func
+from repro.ir.parser import parse_func
+from repro.isel.select import select
+from repro.layout.cascade import apply_cascading, cascade_chains
+
+
+def chain_program(stages, op="muladd_i8_dsp"):
+    lines = [
+        "def f("
+        + ", ".join(
+            f"a{i}: i8, b{i}: i8" for i in range(stages)
+        )
+        + ", c0: i8) -> (t%d: i8) {" % (stages - 1)
+    ]
+    prev = "c0"
+    for i in range(stages):
+        lines.append(f"    t{i}: i8 = {op}(a{i}, b{i}, {prev}) @dsp(??, ??);")
+        prev = f"t{i}"
+    lines.append("}")
+    return parse_asm_func("\n".join(lines))
+
+
+class TestChainDetection:
+    def test_pair_found(self, target):
+        chains = cascade_chains(chain_program(2), target)
+        assert len(chains) == 1
+        assert [i.dst for i in chains[0].instrs] == ["t0", "t1"]
+
+    def test_long_chain_found(self, target):
+        chains = cascade_chains(chain_program(5), target)
+        assert len(chains) == 1
+        assert len(chains[0]) == 5
+
+    def test_singleton_not_a_chain(self, target):
+        chains = cascade_chains(chain_program(1), target)
+        assert chains == []
+
+    def test_multi_use_partial_sum_blocks_link(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8, d: i8, e: i8) -> (t1: i8, t0: i8) {
+                t0: i8 = muladd_i8_dsp(a, b, e) @dsp(??, ??);
+                t1: i8 = muladd_i8_dsp(c, d, t0) @dsp(??, ??);
+            }
+            """
+        )
+        # t0 is also an output: its value is needed off-cascade.
+        assert cascade_chains(func, target) == []
+
+    def test_explicit_coordinates_not_clobbered(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8, d: i8, e: i8) -> (t1: i8) {
+                t0: i8 = muladd_i8_dsp(a, b, e) @dsp(3, 4);
+                t1: i8 = muladd_i8_dsp(c, d, t0) @dsp(??, ??);
+            }
+            """
+        )
+        assert cascade_chains(func, target) == []
+
+    def test_non_cascadable_op_ignored(self, target):
+        func = parse_asm_func(
+            """
+            def f(a: i8, b: i8, c: i8) -> (t1: i8) {
+                t0: i8 = add_i8_dsp(a, b) @dsp(??, ??);
+                t1: i8 = add_i8_dsp(t0, c) @dsp(??, ??);
+            }
+            """
+        )
+        # `add_i8_dsp` has no `c` input / cascade variants.
+        assert cascade_chains(func, target) == []
+
+
+class TestRewrite:
+    def test_figure11_shape(self, target):
+        rewritten = apply_cascading(chain_program(2), target)
+        instrs = list(rewritten.asm_instrs())
+        assert instrs[0].op == "muladd_i8_dsp_co"
+        assert instrs[1].op == "muladd_i8_dsp_ci"
+        # Same column variable, adjacent row expressions.
+        assert instrs[0].loc.x == instrs[1].loc.x
+        assert isinstance(instrs[0].loc.y, CoordVar)
+        assert instrs[1].loc.y.var == instrs[0].loc.y.var
+        assert instrs[1].loc.y.offset == instrs[0].loc.y.offset + 1
+
+    def test_middle_gets_cico(self, target):
+        rewritten = apply_cascading(chain_program(3), target)
+        ops = [i.op for i in rewritten.asm_instrs()]
+        assert ops == [
+            "muladd_i8_dsp_co",
+            "muladd_i8_dsp_cico",
+            "muladd_i8_dsp_ci",
+        ]
+
+    def test_row_offsets_consecutive(self, target):
+        rewritten = apply_cascading(chain_program(4), target)
+        offsets = [i.loc.y.offset for i in rewritten.asm_instrs()]
+        assert offsets == [0, 1, 2, 3]
+
+    def test_independent_chains_get_distinct_vars(self, target):
+        source = """
+        def f(a: i8, b: i8, c: i8, d: i8, e: i8, g: i8) -> (t1: i8, t3: i8) {
+            t0: i8 = muladd_i8_dsp(a, b, e) @dsp(??, ??);
+            t1: i8 = muladd_i8_dsp(c, d, t0) @dsp(??, ??);
+            t2: i8 = muladd_i8_dsp(a, d, g) @dsp(??, ??);
+            t3: i8 = muladd_i8_dsp(c, b, t2) @dsp(??, ??);
+        }
+        """
+        rewritten = apply_cascading(parse_asm_func(source), target)
+        instrs = {i.dst: i for i in rewritten.asm_instrs()}
+        assert instrs["t0"].loc.x != instrs["t2"].loc.x
+
+    def test_no_chains_returns_same_function(self, target):
+        func = chain_program(1)
+        assert apply_cascading(func, target) is func
+
+    def test_pipelined_selection_then_cascade(self, target):
+        source = """
+        def f(a0: i8, b0: i8, a1: i8, b1: i8, en: bool) -> (y: i8) {
+            z: i8 = const[0];
+            m0: i8 = mul(a0, b0);
+            s0: i8 = add(m0, z);
+            r0: i8 = reg[0](s0, en);
+            m1: i8 = mul(a1, b1);
+            s1: i8 = add(m1, r0);
+            y: i8 = reg[0](s1, en);
+        }
+        """
+        asm = select(parse_func(source), target)
+        rewritten = apply_cascading(asm, target)
+        ops = [i.op for i in rewritten.asm_instrs()]
+        assert ops == ["muladdr_i8_dsp_co", "muladdr_i8_dsp_ci"]

@@ -1,0 +1,115 @@
+"""Tests for the executable primitive models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist.primitives import (
+    bits_to_int,
+    dsp_registered_pins,
+    eval_carry8,
+    eval_dsp_comb,
+    eval_lut,
+    int_to_bits,
+)
+from repro.utils.bits import to_signed, to_unsigned, truncate
+
+
+class TestBitConversion:
+    @given(st.integers(0, 0xFFFF))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    def test_lsb_first(self):
+        assert int_to_bits(0b01, 2) == [1, 0]
+
+
+class TestCarry8:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_addition_identity(self, a, b, ci):
+        """S=a^b, DI=a computes a+b+ci on the chain."""
+        s = int_to_bits(a ^ b, 8)
+        di = int_to_bits(a, 8)
+        result = eval_carry8(s, di, ci)
+        assert bits_to_int(result["O"]) == truncate(a + b + ci, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_carry_out_matches_addition(self, a, b):
+        s = int_to_bits(a ^ b, 8)
+        di = int_to_bits(a, 8)
+        result = eval_carry8(s, di, 0)
+        assert result["CO"][7] == ((a + b) >> 8) & 1
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_subtraction_identity(self, a, b):
+        """S=a xnor b, DI=a, CI=1 computes a-b."""
+        s = int_to_bits(truncate(~(a ^ b), 8), 8)
+        di = int_to_bits(a, 8)
+        result = eval_carry8(s, di, 1)
+        assert bits_to_int(result["O"]) == truncate(a - b, 8)
+
+
+class TestDspComb:
+    def test_scalar_add(self):
+        params = {"OP": "ADD", "USE_SIMD": "ONE48"}
+        assert eval_dsp_comb(params, {"A": 5, "B": 7}) == 12
+
+    def test_scalar_add_wraps_48_bits(self):
+        params = {"OP": "ADD", "USE_SIMD": "ONE48"}
+        top = (1 << 48) - 1
+        assert eval_dsp_comb(params, {"A": top, "B": 1}) == 0
+
+    def test_simd_four12_independent_lanes(self):
+        params = {"OP": "ADD", "USE_SIMD": "FOUR12"}
+        # Lane 0 overflows; lane 1 must not see the carry.
+        a = 0xFFF | (1 << 12)
+        b = 0x001
+        result = eval_dsp_comb(params, {"A": a, "B": b})
+        assert result & 0xFFF == 0
+        assert (result >> 12) & 0xFFF == 1  # a carry leak would make it 2
+
+    def test_simd_two24(self):
+        params = {"OP": "SUB", "USE_SIMD": "TWO24"}
+        a = (5 << 24) | 3
+        b = (1 << 24) | 4
+        result = eval_dsp_comb(params, {"A": a, "B": b})
+        assert result & 0xFFFFFF == 0xFFFFFF  # 3-4 wraps in 24 bits
+        assert (result >> 24) & 0xFFFFFF == 4
+
+    def test_mul_signed_27x18(self):
+        params = {"OP": "MUL", "USE_SIMD": "ONE48"}
+        a = to_unsigned(-3, 27)
+        b = to_unsigned(5, 18)
+        result = eval_dsp_comb(params, {"A": a, "B": b})
+        assert to_signed(result, 48) == -15
+
+    def test_muladd_with_c(self):
+        params = {"OP": "MULADD", "USE_SIMD": "ONE48", "CASCADE_IN": "NONE"}
+        result = eval_dsp_comb(params, {"A": 3, "B": 4, "C": 10})
+        assert result == 22
+
+    def test_muladd_with_pcin(self):
+        params = {"OP": "MULADD", "USE_SIMD": "ONE48", "CASCADE_IN": "PCIN"}
+        result = eval_dsp_comb(params, {"A": 3, "B": 4, "C": 99, "PCIN": 10})
+        assert result == 22  # C ignored when cascading
+
+    def test_simd_mul_rejected(self):
+        params = {"OP": "MUL", "USE_SIMD": "FOUR12"}
+        with pytest.raises(SimulationError):
+            eval_dsp_comb(params, {"A": 1, "B": 1})
+
+    def test_unknown_simd_rejected(self):
+        with pytest.raises(SimulationError):
+            eval_dsp_comb({"OP": "ADD", "USE_SIMD": "EIGHT6"}, {})
+
+
+class TestRegisteredPins:
+    def test_none_by_default(self):
+        assert dsp_registered_pins({}) == []
+
+    def test_all_three(self):
+        params = {"AREG": 1, "BREG": 1, "CREG": 1}
+        assert dsp_registered_pins(params) == ["A", "B", "C"]
+
+    def test_subset(self):
+        assert dsp_registered_pins({"BREG": 1}) == ["B"]

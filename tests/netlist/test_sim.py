@@ -1,0 +1,156 @@
+"""Netlist simulator tests: construction-level behaviours."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.types import Bool, Int
+from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.netlist.sim import NetlistSimulator
+from repro.ir.trace import Trace
+
+
+def lut2(netlist, name, init, a, b, out=None):
+    out_bit = netlist.new_bits(1)[0] if out is None else out
+    netlist.add_cell(
+        Cell(
+            kind="LUT2",
+            name=name,
+            params={"INIT": init},
+            inputs={"I0": [a], "I1": [b]},
+            outputs={"O": [out_bit]},
+        )
+    )
+    return out_bit
+
+
+class TestHandBuiltNetlists:
+    def test_and_gate(self):
+        netlist = Netlist(name="and2")
+        a = netlist.add_input("a", 1)[0]
+        b = netlist.add_input("b", 1)[0]
+        y = lut2(netlist, "g", 0x8, a, b)
+        netlist.add_output("y", [y])
+        sim = NetlistSimulator(netlist, {"a": Bool(), "b": Bool(), "y": Bool()})
+        out = sim.run(Trace({"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}))
+        assert out["y"] == [0, 0, 0, 1]
+
+    def test_constant_rails(self):
+        netlist = Netlist(name="rails")
+        netlist.add_input("a", 1)
+        netlist.add_output("zero", [GND])
+        netlist.add_output("one", [VCC])
+        sim = NetlistSimulator(
+            netlist, {"a": Bool(), "zero": Bool(), "one": Bool()}
+        )
+        out = sim.run(Trace({"a": [0, 1]}))
+        assert out["zero"] == [0, 0]
+        assert out["one"] == [1, 1]
+
+    def test_chained_luts_levelized(self):
+        netlist = Netlist(name="chain")
+        a = netlist.add_input("a", 1)[0]
+        # Build the chain out of order to exercise levelization.
+        mid = netlist.new_bits(1)[0]
+        out = lut2(netlist, "second", 0x6, mid, VCC)  # xor with 1 = not
+        netlist.add_cell(
+            Cell(
+                kind="LUT1",
+                name="first",
+                params={"INIT": 0x1},  # not
+                inputs={"I0": [a]},
+                outputs={"O": [mid]},
+            )
+        )
+        netlist.add_output("y", [out])
+        sim = NetlistSimulator(netlist, {"a": Bool(), "y": Bool()})
+        assert sim.run(Trace({"a": [0, 1]}))["y"] == [0, 1]
+
+    def test_combinational_loop_rejected(self):
+        netlist = Netlist(name="loop")
+        a = netlist.add_input("a", 1)[0]
+        x = netlist.new_bits(1)[0]
+        y = lut2(netlist, "g1", 0x8, a, x)
+        netlist.add_cell(
+            Cell(
+                kind="LUT1",
+                name="g2",
+                params={"INIT": 0x2},
+                inputs={"I0": [y]},
+                outputs={"O": [x]},
+            )
+        )
+        netlist.add_output("y", [y])
+        with pytest.raises(SimulationError):
+            NetlistSimulator(netlist, {"a": Bool(), "y": Bool()})
+
+    def test_double_driver_rejected(self):
+        netlist = Netlist(name="dd")
+        a = netlist.add_input("a", 1)[0]
+        shared = netlist.new_bits(1)[0]
+        lut2(netlist, "g1", 0x8, a, a, out=shared)
+        netlist.add_cell(
+            Cell(
+                kind="LUT1",
+                name="g2",
+                params={"INIT": 0x2},
+                inputs={"I0": [a]},
+                outputs={"O": [shared]},
+            )
+        )
+        netlist.add_output("y", [shared])
+        with pytest.raises(SimulationError):
+            NetlistSimulator(netlist, {"a": Bool(), "y": Bool()})
+
+    def test_fdre_holds_until_enabled(self):
+        netlist = Netlist(name="ff")
+        d = netlist.add_input("d", 1)[0]
+        en = netlist.add_input("en", 1)[0]
+        q = netlist.new_bits(1)[0]
+        netlist.add_cell(
+            Cell(
+                kind="FDRE",
+                name="ff0",
+                params={"INIT": 1},
+                inputs={"D": [d], "CE": [en]},
+                outputs={"Q": [q]},
+            )
+        )
+        netlist.add_output("q", [q])
+        sim = NetlistSimulator(
+            netlist, {"d": Bool(), "en": Bool(), "q": Bool()}
+        )
+        out = sim.run(Trace({"d": [0, 0, 1, 0], "en": [0, 1, 1, 0]}))
+        assert out["q"] == [1, 1, 0, 1]
+
+    def test_missing_port_type_rejected(self):
+        netlist = Netlist(name="m")
+        netlist.add_input("a", 8)
+        netlist.add_output("y", [GND])
+        with pytest.raises(SimulationError):
+            NetlistSimulator(netlist, {"a": Int(8)})
+
+    def test_missing_trace_input_rejected(self):
+        netlist = Netlist(name="m")
+        a = netlist.add_input("a", 1)
+        netlist.add_output("y", a)
+        sim = NetlistSimulator(netlist, {"a": Bool(), "y": Bool()})
+        with pytest.raises(SimulationError):
+            sim.run(Trace({"b": [1]}))
+
+    def test_state_reset_between_runs(self):
+        netlist = Netlist(name="ff")
+        d = netlist.add_input("d", 1)[0]
+        q = netlist.new_bits(1)[0]
+        netlist.add_cell(
+            Cell(
+                kind="FDRE",
+                name="ff0",
+                params={"INIT": 0},
+                inputs={"D": [d], "CE": [VCC]},
+                outputs={"Q": [q]},
+            )
+        )
+        netlist.add_output("q", [q])
+        sim = NetlistSimulator(netlist, {"d": Bool(), "q": Bool()})
+        assert sim.run(Trace({"d": [1, 1]}))["q"] == [0, 1]
+        assert sim.run(Trace({"d": [0, 0]}))["q"] == [0, 0]

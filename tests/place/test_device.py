@@ -1,0 +1,63 @@
+"""Tests for the column-based device model."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.place.device import (
+    Column,
+    Device,
+    LUTS_PER_SLICE,
+    tiny_device,
+    xczu3eg,
+)
+from repro.prims import Prim
+
+
+class TestColumns:
+    def test_column_height_positive(self):
+        with pytest.raises(PlacementError):
+            Column(Prim.LUT, 0)
+
+    def test_device_needs_columns(self):
+        with pytest.raises(PlacementError):
+            Device("empty", ())
+
+
+class TestXczu3eg:
+    """The paper's device: 360 DSPs and ~71K LUTs (Section 7)."""
+
+    def test_dsp_capacity_matches_paper(self, device):
+        assert device.dsp_capacity() == 360
+
+    def test_lut_capacity_matches_paper(self, device):
+        assert 70_000 <= device.lut_capacity() <= 71_000
+
+    def test_luts_per_slice_is_eight(self):
+        # UltraScale+ slices host eight LUTs (paper Section 2).
+        assert LUTS_PER_SLICE == 8
+
+    def test_columns_interspersed(self, device):
+        dsp_cols = device.columns_of(Prim.DSP)
+        assert len(dsp_cols) == 3
+        # DSP columns sit inside the fabric, not at the edges.
+        assert all(0 < x < device.num_columns - 1 for x in dsp_cols)
+
+    def test_summary(self, device):
+        summary = device.summary()
+        assert summary["dsps"] == 360
+        assert summary["lut_slices"] * 8 == summary["luts"]
+
+    def test_column_lookup_bounds(self, device):
+        with pytest.raises(PlacementError):
+            device.column(-1)
+        with pytest.raises(PlacementError):
+            device.column(device.num_columns)
+
+
+class TestTinyDevice:
+    def test_shape(self):
+        device = tiny_device(lut_columns=2, dsp_columns=1, height=4)
+        assert device.columns_of(Prim.LUT) == [0, 1]
+        assert device.columns_of(Prim.DSP) == [2]
+        assert device.dsp_capacity() == 4
+        assert device.slice_capacity(Prim.LUT) == 8

@@ -1,0 +1,76 @@
+"""In-family device portability (paper Section 5.1).
+
+The same (unplaced) assembly program places on any device of the
+family; only capacity differs.  A program too big for the small part
+still fits the large one.
+"""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.frontend.tensor import tensoradd_vector
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.isel.select import select
+from repro.layout.cascade import apply_cascading
+from repro.netlist.sim import NetlistSimulator
+from repro.place.device import xczu3eg, xczu7ev
+from repro.place.placer import place
+from repro.codegen.generate import generate_netlist
+
+
+class TestFamilyDevices:
+    def test_zu7ev_capacities(self):
+        device = xczu7ev()
+        assert device.dsp_capacity() == 1728
+        assert 220_000 <= device.lut_capacity() <= 235_000
+
+    def test_same_asm_places_on_both_devices(self, target):
+        asm = apply_cascading(
+            select(
+                parse_func(
+                    "def f(a: i8, b: i8, c: i8) -> (y: i8) {\n"
+                    "    t0: i8 = mul(a, b);\n    y: i8 = add(t0, c);\n}"
+                ),
+                target,
+            ),
+            target,
+        )
+        small = place(asm, target, xczu3eg())
+        large = place(asm, target, xczu7ev())
+        assert small.is_placed and large.is_placed
+
+    def test_behaviour_identical_across_devices(self, target):
+        func = tensoradd_vector(16)
+        asm = apply_cascading(select(func, target), target)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = Trace(
+            {
+                "en": [1, 1, 1],
+                **{
+                    f"{v}{i}": [(1, -2, 3, -4)] * 3
+                    for i in range(4)
+                    for v in "ab"
+                },
+            }
+        )
+        expected = Interpreter(func).run(trace)
+        for device in (xczu3eg(), xczu7ev()):
+            placed = place(asm, target, device)
+            netlist = generate_netlist(placed, target)
+            assert NetlistSimulator(netlist, types).run(trace) == expected
+
+    def test_oversized_program_needs_the_big_part(self, target):
+        # 420 scalar DSP adds: over the ZU3EG's 360, fine on the ZU7EV.
+        lines = ["def f(a: i8, b: i8) -> ("]
+        outs = ", ".join(f"o{i}: i8" for i in range(420))
+        body = "\n".join(
+            f"    o{i}: i8 = add(a, b) @dsp;" for i in range(420)
+        )
+        func = parse_func(f"def f(a: i8, b: i8) -> ({outs}) {{\n{body}\n}}")
+        asm = select(func, target)
+        with pytest.raises(PlacementError):
+            place(asm, target, xczu3eg(), shrink=False)
+        placed = place(asm, target, xczu7ev(), shrink=False)
+        assert placed.is_placed

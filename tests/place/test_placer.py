@@ -1,0 +1,168 @@
+"""Tests for the placement driver and the shrink optimization."""
+
+import pytest
+
+from repro.asm.parser import parse_asm_func
+from repro.errors import PlacementError
+from repro.ir.parser import parse_func
+from repro.isel.select import select
+from repro.layout.cascade import apply_cascading
+from repro.place.device import tiny_device
+from repro.place.placer import Placer, instr_span, place
+from repro.prims import Prim
+
+
+def placed_positions(func):
+    return {
+        instr.dst: instr.loc.position() for instr in func.asm_instrs()
+    }
+
+
+class TestInstrSpan:
+    def test_dsp_span_is_one(self, target):
+        func = parse_asm_func(
+            "def f(a: i8, b: i8) -> (y: i8) "
+            "{ y: i8 = add_i8_dsp(a, b) @dsp(??, ??); }"
+        )
+        instr = next(func.asm_instrs())
+        assert instr_span(instr, target) == 1
+
+    def test_small_lut_op_fits_one_slice(self, target):
+        func = parse_asm_func(
+            "def f(a: i8, b: i8) -> (y: i8) "
+            "{ y: i8 = add_i8_lut(a, b) @lut(??, ??); }"
+        )
+        instr = next(func.asm_instrs())
+        assert instr_span(instr, target) == 1
+
+    def test_wide_lut_op_spans_slices(self, target):
+        func = parse_asm_func(
+            "def f(a: i32, b: i32) -> (y: i32) "
+            "{ y: i32 = mul_i32_lut(a, b) @lut(??, ??); }"
+        )
+        instr = next(func.asm_instrs())
+        # A 32x32 LUT multiplier needs 1024 LUTs = 128 slices.
+        assert instr_span(instr, target) == 128
+
+
+class TestPlacement:
+    def test_all_locations_resolved(self, target, device):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8, c: i8) -> (y: i8) {\n"
+                "    t0: i8 = mul(a, b);\n"
+                "    y: i8 = add(t0, c);\n"
+                "}"
+            ),
+            target,
+        )
+        placed = place(asm, target, device)
+        assert placed.is_placed
+
+    def test_positions_legal_and_unique(self, target, device):
+        source = """
+        def f(a: i8, b: i8) -> (o0: i8, o1: i8, o2: i8) {
+            o0: i8 = add(a, b);
+            o1: i8 = sub(a, b);
+            o2: i8 = xor(a, b);
+        }
+        """
+        placed = place(select(parse_func(source), target), target, device)
+        positions = placed_positions(placed)
+        assert len(set(positions.values())) == 3
+        for instr in placed.asm_instrs():
+            col, row = instr.loc.position()
+            assert device.column(col).kind is instr.loc.prim
+
+    def test_cascade_constraints_solved(self, target, device):
+        source = """
+        def f(a0: i8, b0: i8, a1: i8, b1: i8, c: i8) -> (y: i8) {
+            t0: i8 = mul(a0, b0);
+            s0: i8 = add(t0, c);
+            t1: i8 = mul(a1, b1);
+            y: i8 = add(t1, s0);
+        }
+        """
+        asm = apply_cascading(select(parse_func(source), target), target)
+        placed = place(asm, target, device)
+        positions = placed_positions(placed)
+        (c0, r0) = positions["s0"]
+        (c1, r1) = positions["y"]
+        assert c0 == c1 and r1 == r0 + 1
+
+    def test_over_capacity_rejected(self, target):
+        device = tiny_device(lut_columns=0, dsp_columns=1, height=2)
+        source = """
+        def f(a: i8, b: i8) -> (o0: i8, o1: i8, o2: i8) {
+            o0: i8 = mul(a, b);
+            o1: i8 = mul(b, a);
+            o2: i8 = mul(a, a);
+        }
+        """
+        asm = select(parse_func(source), target)
+        with pytest.raises(PlacementError):
+            place(asm, target, device)
+
+    def test_function_without_asm_instrs(self, target, device):
+        func = parse_asm_func(
+            "def f(a: i8) -> (y: i8) { y: i8 = id(a); }"
+        )
+        assert place(func, target, device) is func
+
+    def test_user_literal_location_kept(self, target, device):
+        func = parse_asm_func(
+            "def f(a: i8, b: i8) -> (y: i8) "
+            "{ y: i8 = add_i8_dsp(a, b) @dsp(16, 7); }"
+        )
+        placed = place(func, target, device)
+        assert placed_positions(placed)["y"] == (16, 7)
+
+
+class TestShrink:
+    def test_shrink_compacts_rows(self, target, device):
+        # Many independent DSP ops: without shrinking, first-fit packs
+        # them into one column anyway; with explicit different columns
+        # the shrink pass must pull the bounding box in.
+        source_lines = ["def f(a: i8, b: i8) -> ("]
+        outs = ", ".join(f"o{i}: i8" for i in range(6))
+        body = "\n".join(
+            f"    o{i}: i8 = mul(a, b);" for i in range(6)
+        )
+        source = f"def f(a: i8, b: i8) -> ({outs}) {{\n{body}\n}}"
+        asm = select(parse_func(source), target)
+
+        shrunk = Placer(target=target, device=device, shrink=True).place(asm)
+        rows = [instr.loc.position()[1] for instr in shrunk.asm_instrs()]
+        cols = [instr.loc.position()[0] for instr in shrunk.asm_instrs()]
+        # Columns shrink first: all six DSPs land in the leftmost DSP
+        # column, packed into the bottom six rows.
+        assert set(cols) == {min(device.columns_of(Prim.DSP))}
+        assert max(rows) <= 5
+
+    def test_shrink_never_breaks_validity(self, target, device):
+        source = """
+        def f(a: i8, b: i8) -> (o0: i8, o1: i8, o2: i8, o3: i8) {
+            o0: i8 = mul(a, b);
+            o1: i8 = add(a, b);
+            o2: i8 = sub(a, b);
+            o3: i8 = xor(a, b);
+        }
+        """
+        asm = select(parse_func(source), target)
+        placed = Placer(target=target, device=device, shrink=True).place(asm)
+        seen = set()
+        for instr in placed.asm_instrs():
+            position = instr.loc.position()
+            key = (instr.loc.prim, position)
+            assert key not in seen
+            seen.add(key)
+            assert device.column(position[0]).kind is instr.loc.prim
+
+    def test_shrink_matches_unshrunk_semantics(self, target, device):
+        # Shrinking only moves instructions; the program is unchanged.
+        source = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        asm = select(parse_func(source), target)
+        with_shrink = Placer(target=target, device=device, shrink=True).place(asm)
+        without = Placer(target=target, device=device, shrink=False).place(asm)
+        ops = lambda f: [(i.dst, i.op, i.args) for i in f.asm_instrs()]
+        assert ops(with_shrink) == ops(without)

@@ -1,0 +1,204 @@
+"""Tests for the placement constraint solver."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.place.device import tiny_device
+from repro.place.solver import (
+    PlacementItem,
+    PlacementProblem,
+    solve_placement,
+)
+from repro.prims import Prim
+
+
+def item(key, prim, x=None, xo=0, y=None, yo=0, span=1):
+    return PlacementItem(
+        key=key, prim=prim, x_var=x, x_off=xo, y_var=y, y_off=yo, span=span
+    )
+
+
+def solve(device, items, **bounds):
+    problem = PlacementProblem(device=device, items=items, **bounds)
+    return solve_placement(problem)
+
+
+def check_solution(device, items, solution, max_col=None, max_row=None):
+    """Every paper constraint holds on the returned positions."""
+    occupied = {}
+    for it in items:
+        col, row = solution.positions[it.key]
+        column = device.column(col)
+        assert column.kind is it.prim, "column kind must match the resource"
+        assert 0 <= row and row + it.span <= column.height
+        if max_col is not None:
+            assert col <= max_col.get(it.prim, col)
+        if max_row is not None:
+            assert row + it.span - 1 <= max_row.get(it.prim, row + it.span)
+        for offset in range(it.span):
+            site = (col, row + offset)
+            assert site not in occupied, "resources must be unique"
+            occupied[site] = it.key
+
+
+class TestSingletons:
+    def test_single_item(self):
+        device = tiny_device()
+        items = [item(0, Prim.LUT, x="x0", y="y0")]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+    def test_kind_separation(self):
+        device = tiny_device()
+        items = [
+            item(0, Prim.LUT, x="x0", y="y0"),
+            item(1, Prim.DSP, x="x1", y="y1"),
+        ]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+    def test_fill_to_capacity(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(8)
+        ]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+    def test_over_capacity_rejected(self):
+        device = tiny_device(lut_columns=1, dsp_columns=0, height=4)
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(5)
+        ]
+        with pytest.raises(PlacementError):
+            solve(device, items)
+
+    def test_deterministic(self):
+        device = tiny_device()
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(4)
+        ]
+        first = solve(device, items)
+        second = solve(device, items)
+        assert first.positions == second.positions
+
+
+class TestSpans:
+    def test_multi_row_item(self):
+        device = tiny_device(lut_columns=1, dsp_columns=0, height=4)
+        items = [item(0, Prim.LUT, x="x", y="y", span=3)]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+    def test_span_taller_than_column_rejected(self):
+        device = tiny_device(lut_columns=1, dsp_columns=0, height=4)
+        items = [item(0, Prim.LUT, x="x", y="y", span=5)]
+        with pytest.raises(PlacementError):
+            solve(device, items)
+
+    def test_spans_do_not_overlap(self):
+        device = tiny_device(lut_columns=1, dsp_columns=0, height=4)
+        items = [
+            item(0, Prim.LUT, x="a", y="b", span=2),
+            item(1, Prim.LUT, x="c", y="d", span=2),
+        ]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+
+class TestRelativeConstraints:
+    def test_cascade_pair_adjacent(self):
+        device = tiny_device()
+        items = [
+            item(0, Prim.DSP, x="cx", y="cy", yo=0),
+            item(1, Prim.DSP, x="cx", y="cy", yo=1),
+        ]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+        (c0, r0) = solution.positions[0]
+        (c1, r1) = solution.positions[1]
+        assert c0 == c1
+        assert r1 == r0 + 1
+
+    def test_chain_longer_than_column_rejected(self):
+        device = tiny_device(height=4)
+        items = [
+            item(i, Prim.DSP, x="cx", y="cy", yo=i) for i in range(5)
+        ]
+        with pytest.raises(PlacementError):
+            solve(device, items)
+
+    def test_literal_coordinates_pinned(self):
+        device = tiny_device()
+        items = [item(0, Prim.DSP, x=None, xo=2, y=None, yo=3)]
+        solution = solve(device, items)
+        assert solution.positions[0] == (2, 3)
+
+    def test_bad_literal_rejected(self):
+        device = tiny_device()
+        # Column 0 is a LUT column; pinning a DSP there must fail.
+        items = [item(0, Prim.DSP, x=None, xo=0, y=None, yo=0)]
+        with pytest.raises(PlacementError):
+            solve(device, items)
+
+    def test_shared_var_with_mixed_prims_unsat(self):
+        device = tiny_device()
+        items = [
+            item(0, Prim.DSP, x="x", y="y0"),
+            item(1, Prim.LUT, x="x", y="y1"),
+        ]
+        with pytest.raises(PlacementError):
+            solve(device, items)
+
+    def test_two_chains_share_column_without_overlap(self):
+        device = tiny_device(height=4)
+        items = [
+            item(0, Prim.DSP, x="a", y="b", yo=0),
+            item(1, Prim.DSP, x="a", y="b", yo=1),
+            item(2, Prim.DSP, x="c", y="d", yo=0),
+            item(3, Prim.DSP, x="c", y="d", yo=1),
+        ]
+        solution = solve(device, items)
+        check_solution(device, items, solution)
+
+
+class TestBounds:
+    def test_max_row_respected(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(2)
+        ]
+        bounds = {Prim.LUT: 0}
+        solution = solve(device, items, max_row=bounds)
+        check_solution(device, items, solution, max_row=bounds)
+        for key in (0, 1):
+            assert solution.positions[key][1] == 0
+
+    def test_max_col_respected(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(2)
+        ]
+        bounds = {Prim.LUT: 0}
+        solution = solve(device, items, max_col=bounds)
+        for key in (0, 1):
+            assert solution.positions[key][0] == 0
+
+    def test_infeasible_bounds_fail_fast(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            item(i, Prim.LUT, x=f"x{i}", y=f"y{i}") for i in range(5)
+        ]
+        with pytest.raises(PlacementError):
+            solve(device, items, max_row={Prim.LUT: 0}, max_col={Prim.LUT: 0})
+
+
+class TestBudget:
+    def test_budget_exhaustion_reported(self):
+        device = tiny_device(lut_columns=1, dsp_columns=0, height=4)
+        # Feasible but search-heavy enough with a 1-node budget.
+        items = [item(0, Prim.LUT, x="x", y="y")]
+        problem = PlacementProblem(device=device, items=items)
+        with pytest.raises(PlacementError) as info:
+            solve_placement(problem, node_budget=0)
+        assert "budget" in str(info.value)

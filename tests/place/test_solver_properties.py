@@ -1,0 +1,184 @@
+"""Property-based placement solver tests.
+
+The solver is the repo's Z3 substitute; these properties pin its
+contract: any returned solution satisfies every constraint the paper
+lists (§5.3), singleton instances within capacity always solve, and
+failure is an exception — never a bogus solution.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.place.device import tiny_device
+from repro.place.solver import (
+    PlacementItem,
+    PlacementProblem,
+    solve_placement,
+)
+from repro.prims import Prim
+
+
+def check_solution(device, items, solution):
+    occupied = set()
+    for item in items:
+        col, row = solution.positions[item.key]
+        column = device.column(col)
+        assert column.kind is item.prim
+        assert 0 <= row and row + item.span <= column.height
+        for offset in range(item.span):
+            site = (col, row + offset)
+            assert site not in occupied
+            occupied.add(site)
+        # Symbolic coordinates resolve consistently.
+        if item.x_var is not None:
+            assert col == solution.var_values[item.x_var] + item.x_off
+        if item.y_var is not None:
+            assert row == solution.var_values[item.y_var] + item.y_off
+
+
+@st.composite
+def singleton_problems(draw, unit_span: bool = False):
+    lut_cols = draw(st.integers(1, 3))
+    dsp_cols = draw(st.integers(0, 2))
+    height = draw(st.integers(2, 6))
+    device = tiny_device(lut_cols, dsp_cols, height)
+    prims = [Prim.LUT] + ([Prim.DSP] if dsp_cols else [])
+    count = draw(st.integers(1, 10))
+    items = []
+    for key in range(count):
+        prim = draw(st.sampled_from(prims))
+        span = 1 if unit_span else draw(st.integers(1, min(3, height)))
+        items.append(
+            PlacementItem(
+                key=key,
+                prim=prim,
+                x_var=f"x{key}",
+                x_off=0,
+                y_var=f"y{key}",
+                y_off=0,
+                span=span,
+            )
+        )
+    return device, items
+
+
+@st.composite
+def chain_problems(draw):
+    """Cascade-chain instances that are feasible *by construction*:
+    chain lengths are drawn against a concrete column packing."""
+    dsp_cols = draw(st.integers(1, 2))
+    height = draw(st.integers(3, 8))
+    device = tiny_device(1, dsp_cols, height)
+    remaining = [height] * dsp_cols
+    chains = draw(st.integers(1, 3))
+    items = []
+    key = 0
+    for chain in range(chains):
+        fits = max(remaining)
+        if fits == 0:
+            break
+        length = draw(st.integers(1, fits))
+        # Reserve space in some column that can host this chain.
+        for index, free in enumerate(remaining):
+            if free >= length:
+                remaining[index] -= length
+                break
+        for offset in range(length):
+            items.append(
+                PlacementItem(
+                    key=key,
+                    prim=Prim.DSP,
+                    x_var=f"cx{chain}",
+                    x_off=0,
+                    y_var=f"cy{chain}",
+                    y_off=offset,
+                    span=1,
+                )
+            )
+            key += 1
+    return device, items
+
+
+class TestSolverProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(singleton_problems())
+    def test_solution_valid_or_error(self, problem):
+        device, items = problem
+        try:
+            solution = solve_placement(
+                PlacementProblem(device=device, items=items)
+            )
+        except PlacementError:
+            return
+        check_solution(device, items, solution)
+
+    @settings(max_examples=60, deadline=None)
+    @given(singleton_problems(unit_span=True))
+    def test_unit_span_within_capacity_always_solves(self, problem):
+        device, items = problem
+        by_prim = {}
+        for item in items:
+            by_prim[item.prim] = by_prim.get(item.prim, 0) + 1
+        assume(
+            all(
+                count <= device.slice_capacity(prim)
+                for prim, count in by_prim.items()
+            )
+        )
+        solution = solve_placement(
+            PlacementProblem(device=device, items=items)
+        )
+        check_solution(device, items, solution)
+
+    @settings(max_examples=50, deadline=None)
+    @given(chain_problems())
+    def test_chains_valid_and_adjacent(self, problem):
+        device, items = problem
+        # Instances are feasible by construction: solving must succeed.
+        solution = solve_placement(
+            PlacementProblem(device=device, items=items)
+        )
+        check_solution(device, items, solution)
+        # Chain members share a column and occupy consecutive rows.
+        by_chain = {}
+        for item in items:
+            by_chain.setdefault(item.x_var, []).append(item)
+        for members in by_chain.values():
+            positions = sorted(
+                solution.positions[m.key] for m in members
+            )
+            cols = {col for col, _ in positions}
+            rows = [row for _, row in positions]
+            assert len(cols) == 1
+            assert rows == list(range(rows[0], rows[0] + len(rows)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(singleton_problems(), st.integers(0, 3))
+    def test_row_bounds_respected(self, problem, bound):
+        device, items = problem
+        problem_obj = PlacementProblem(
+            device=device,
+            items=items,
+            max_row={Prim.LUT: bound, Prim.DSP: bound},
+        )
+        try:
+            solution = solve_placement(problem_obj)
+        except PlacementError:
+            return
+        for item in items:
+            _, row = solution.positions[item.key]
+            assert row + item.span - 1 <= bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(singleton_problems())
+    def test_deterministic(self, problem):
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+        try:
+            first = solve_placement(problem_obj)
+        except PlacementError:
+            return
+        second = solve_placement(
+            PlacementProblem(device=device, items=items)
+        )
+        assert first.positions == second.positions

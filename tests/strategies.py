@@ -1,0 +1,262 @@
+"""Hypothesis strategies for random well-typed Reticle programs.
+
+The generator builds acyclic A-normal-form functions over the types
+and operations the UltraScale target library covers, so generated
+programs survive the whole pipeline (selection, placement, codegen)
+and can be differentially tested against the reference interpreter.
+Feedback cycles are exercised by dedicated hand-written tests; random
+programs here are pipelines (registers allowed, cycles not).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.ir.ast import CompInstr, Func, Port, Res, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.trace import Trace
+from repro.ir.types import Bool, Int, Ty, Vec
+
+# Types with full coverage in the UltraScale target library.
+SCALAR_WIDTHS = (4, 8, 12, 16)
+VEC_SHAPES = ((8, 4), (12, 4), (8, 2), (16, 2))
+
+SCALAR_TYPES = [Int(width) for width in SCALAR_WIDTHS]
+VECTOR_TYPES = [Vec(Int(elem), lanes) for elem, lanes in VEC_SHAPES]
+ALL_TYPES: List[Ty] = [Bool()] + SCALAR_TYPES + VECTOR_TYPES
+
+
+def value_for(draw, ty: Ty):
+    """A random user-facing trace value of type ``ty``."""
+    width = ty.lane_type().width
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if isinstance(ty, Bool):
+        return draw(st.integers(0, 1))
+    if ty.is_vector:
+        return tuple(
+            draw(st.integers(lo, hi)) for _ in range(ty.lanes)
+        )
+    return draw(st.integers(lo, hi))
+
+
+@st.composite
+def funcs(draw, max_instrs: int = 10, name: str = "rand") -> Func:
+    """A random well-typed, acyclic function."""
+    pool: dict = {}  # name -> Ty
+    instrs: list = []
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"v{counter[0]}"
+
+    inputs = [Port("en", Bool())]
+    pool["en"] = Bool()
+    for _ in range(draw(st.integers(1, 3))):
+        ty = draw(st.sampled_from(ALL_TYPES))
+        port = Port(fresh(), ty)
+        inputs.append(port)
+        pool[port.name] = ty
+
+    def vars_of(ty: Ty) -> List[str]:
+        return [name for name, t in pool.items() if t == ty]
+
+    def any_scalar_int() -> List[Ty]:
+        present = {t for t in pool.values() if isinstance(t, Int)}
+        return sorted(present, key=lambda t: t.width)
+
+    num_instrs = draw(st.integers(1, max_instrs))
+    for _ in range(num_instrs):
+        choice = draw(
+            st.sampled_from(
+                ["arith", "logic", "cmp", "mux", "reg", "shift", "const",
+                 "not", "ram"]
+            )
+        )
+        dst = fresh()
+        made = None
+        if choice == "const":
+            ty = draw(st.sampled_from(ALL_TYPES))
+            width = ty.lane_type().width
+            if isinstance(ty, Bool):
+                value = draw(st.integers(0, 1))
+            else:
+                value = draw(
+                    st.integers(-(1 << (width - 1)), (1 << width) - 1)
+                )
+            made = WireInstr(
+                dst=dst, ty=ty, attrs=(value,), args=(), op=WireOp.CONST
+            )
+        elif choice == "arith":
+            # Multiplication only at widths the DSP multiplier covers
+            # and where LUT multipliers stay small.
+            candidates = [
+                t
+                for t in pool.values()
+                if not isinstance(t, Bool)
+            ]
+            if candidates:
+                ty = draw(st.sampled_from(sorted(set(candidates), key=str)))
+                ops = [CompOp.ADD, CompOp.SUB]
+                if isinstance(ty, Int) and ty.width <= 8:
+                    ops.append(CompOp.MUL)
+                op = draw(st.sampled_from(ops))
+                args = (
+                    draw(st.sampled_from(vars_of(ty))),
+                    draw(st.sampled_from(vars_of(ty))),
+                )
+                made = CompInstr(
+                    dst=dst, ty=ty, attrs=(), args=args, op=op, res=Res.ANY
+                )
+        elif choice == "logic":
+            ty = draw(st.sampled_from(sorted(set(pool.values()), key=str)))
+            op = draw(st.sampled_from([CompOp.AND, CompOp.OR, CompOp.XOR]))
+            args = (
+                draw(st.sampled_from(vars_of(ty))),
+                draw(st.sampled_from(vars_of(ty))),
+            )
+            made = CompInstr(
+                dst=dst, ty=ty, attrs=(), args=args, op=op, res=Res.ANY
+            )
+        elif choice == "not":
+            ty = draw(st.sampled_from(sorted(set(pool.values()), key=str)))
+            made = CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(),
+                args=(draw(st.sampled_from(vars_of(ty))),),
+                op=CompOp.NOT,
+                res=Res.ANY,
+            )
+        elif choice == "cmp":
+            ints = any_scalar_int()
+            if ints:
+                ty = draw(st.sampled_from(ints))
+                op = draw(
+                    st.sampled_from(
+                        [
+                            CompOp.EQ,
+                            CompOp.NEQ,
+                            CompOp.LT,
+                            CompOp.GT,
+                            CompOp.LE,
+                            CompOp.GE,
+                        ]
+                    )
+                )
+                args = (
+                    draw(st.sampled_from(vars_of(ty))),
+                    draw(st.sampled_from(vars_of(ty))),
+                )
+                made = CompInstr(
+                    dst=dst,
+                    ty=Bool(),
+                    attrs=(),
+                    args=args,
+                    op=op,
+                    res=Res.ANY,
+                )
+        elif choice == "mux":
+            conds = vars_of(Bool())
+            ty = draw(st.sampled_from(sorted(set(pool.values()), key=str)))
+            if conds:
+                made = CompInstr(
+                    dst=dst,
+                    ty=ty,
+                    attrs=(),
+                    args=(
+                        draw(st.sampled_from(conds)),
+                        draw(st.sampled_from(vars_of(ty))),
+                        draw(st.sampled_from(vars_of(ty))),
+                    ),
+                    op=CompOp.MUX,
+                    res=Res.ANY,
+                )
+        elif choice == "reg":
+            ty = draw(st.sampled_from(sorted(set(pool.values()), key=str)))
+            width = ty.lane_type().width
+            if isinstance(ty, Bool):
+                init = draw(st.integers(0, 1))
+            else:
+                init = draw(
+                    st.integers(-(1 << (width - 1)), (1 << width) - 1)
+                )
+            made = CompInstr(
+                dst=dst,
+                ty=ty,
+                attrs=(init,),
+                args=(draw(st.sampled_from(vars_of(ty))), "en"),
+                op=CompOp.REG,
+                res=Res.ANY,
+            )
+        elif choice == "ram":
+            addr_candidates = vars_of(Int(4))
+            data_candidates = vars_of(Int(8))
+            bools = vars_of(Bool())
+            if addr_candidates and data_candidates and bools:
+                made = CompInstr(
+                    dst=dst,
+                    ty=Int(8),
+                    attrs=(4,),
+                    args=(
+                        draw(st.sampled_from(addr_candidates)),
+                        draw(st.sampled_from(data_candidates)),
+                        draw(st.sampled_from(bools)),
+                        draw(st.sampled_from(bools)),
+                    ),
+                    op=CompOp.RAM,
+                    res=Res.ANY,
+                )
+        elif choice == "shift":
+            ints = [t for t in set(pool.values()) if isinstance(t, Int)]
+            if ints:
+                ty = draw(st.sampled_from(sorted(ints, key=str)))
+                op = draw(
+                    st.sampled_from([WireOp.SLL, WireOp.SRL, WireOp.SRA])
+                )
+                amount = draw(st.integers(0, ty.width))
+                made = WireInstr(
+                    dst=dst,
+                    ty=ty,
+                    attrs=(amount,),
+                    args=(draw(st.sampled_from(vars_of(ty))),),
+                    op=op,
+                )
+        if made is None:
+            continue
+        instrs.append(made)
+        pool[dst] = made.ty
+
+    if not instrs:
+        instrs.append(
+            WireInstr(dst="c0", ty=Int(8), attrs=(1,), args=(), op=WireOp.CONST)
+        )
+        pool["c0"] = Int(8)
+
+    # Outputs: the last instruction plus a random sample of others.
+    defined = [instr.dst for instr in instrs]
+    picks = sorted(
+        set([defined[-1]] + draw(st.lists(st.sampled_from(defined), max_size=3)))
+    )
+    outputs = tuple(Port(name, pool[name]) for name in picks)
+    return Func(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=outputs,
+        instrs=tuple(instrs),
+    )
+
+
+@st.composite
+def traces_for(draw, func: Func, max_steps: int = 8) -> Trace:
+    """A random input trace for ``func``."""
+    steps = draw(st.integers(1, max_steps))
+    return Trace(
+        {
+            port.name: [value_for(draw, port.ty) for _ in range(steps)]
+            for port in func.inputs
+        }
+    )

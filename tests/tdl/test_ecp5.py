@@ -1,0 +1,169 @@
+"""Cross-family portability tests with the ECP5-like target.
+
+The same intermediate programs compile against both families; the
+emitted assembly differs (no SIMD, no fusion, no cascades on the
+low-end fabric) but the observable behaviour must be identical.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.errors import SelectionError
+from repro.frontend.tensor import tensordot, tensoradd_vector
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.isel.select import select
+from repro.layout.cascade import apply_cascading, cascade_chains
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+from repro.place.device import lfe5u85
+from repro.tdl.ecp5 import ecp5_target, ecp5_tdl_text
+from repro.tdl.parser import parse_target
+from repro.tdl.printer import print_target
+
+
+@pytest.fixture(scope="module")
+def ecp5():
+    return ecp5_target()
+
+
+@pytest.fixture(scope="module")
+def ecp5_compiler(ecp5):
+    return ReticleCompiler(target=ecp5, device=lfe5u85())
+
+
+class TestFamilyContents:
+    def test_parses_and_roundtrips(self, ecp5):
+        assert parse_target(print_target(ecp5), name="ecp5") == ecp5
+
+    def test_no_simd_definitions(self, ecp5):
+        from repro.prims import Prim
+
+        for asm_def in ecp5:
+            if asm_def.prim is Prim.DSP:
+                assert not asm_def.output.ty.is_vector
+
+    def test_no_cascade_variants(self, ecp5):
+        for asm_def in ecp5:
+            assert not asm_def.name.endswith(("_co", "_ci", "_cico"))
+
+    def test_no_fused_muladd(self, ecp5):
+        assert "muladd_i8_dsp" not in ecp5
+
+    def test_device_capacities(self):
+        device = lfe5u85()
+        assert device.dsp_capacity() == 156
+        assert 83_000 <= device.lut_capacity() <= 85_000
+
+
+class TestRetargeting:
+    def test_mul_still_lands_on_multiplier_block(self, ecp5):
+        asm = select(
+            parse_func("def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"),
+            ecp5,
+        )
+        assert [i.op for i in asm.asm_instrs()] == ["mul_i8_dsp"]
+
+    def test_muladd_splits_instead_of_fusing(self, ecp5):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8, c: i8) -> (y: i8) {\n"
+                "    t0: i8 = mul(a, b);\n    y: i8 = add(t0, c);\n}"
+            ),
+            ecp5,
+        )
+        ops = sorted(i.op for i in asm.asm_instrs())
+        assert ops == ["add_i8_lut", "mul_i8_dsp"]
+
+    def test_vector_add_falls_to_lut_fabric(self, ecp5):
+        asm = select(
+            parse_func(
+                "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) "
+                "{ y: i8<4> = add(a, b); }"
+            ),
+            ecp5,
+        )
+        assert [i.op for i in asm.asm_instrs()] == ["add_i8v4_lut"]
+
+    def test_dsp_annotation_on_add_unsatisfiable(self, ecp5):
+        # There is no DSP adder in this family: the constraint is
+        # rejected, not silently degraded.
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @dsp; }"
+                ),
+                ecp5,
+            )
+
+    def test_cascading_finds_nothing(self, ecp5):
+        func = tensordot(arrays=1, size=3)
+        asm = select(func, ecp5)
+        assert cascade_chains(asm, ecp5) == []
+        assert apply_cascading(asm, ecp5) is asm
+
+
+class TestCrossFamilyBehaviour:
+    def _check(self, func, trace, compiler):
+        result = compiler.compile(func)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        expected = Interpreter(func).run(trace)
+        actual = NetlistSimulator(result.netlist, types).run(trace)
+        assert expected == actual
+        return result
+
+    def test_tensoradd_portable(self, ecp5_compiler):
+        func = tensoradd_vector(8)
+        trace = Trace(
+            {
+                "en": [1, 1, 1],
+                "a0": [(1, 2, 3, 4)] * 3,
+                "a1": [(5, 6, 7, 8)] * 3,
+                "b0": [(9, 10, 11, 12)] * 3,
+                "b1": [(-1, -2, -3, -4)] * 3,
+            }
+        )
+        result = self._check(func, trace, ecp5_compiler)
+        counts = resource_counts(result.netlist)
+        # No SIMD here: the adds land on the LUT fabric.
+        assert counts.dsps == 0
+        assert counts.luts > 0
+
+    def test_tensordot_portable(self, ecp5_compiler):
+        func = tensordot(arrays=1, size=3)
+        steps = 6
+        trace = {"en": [1] * steps}
+        for stage in range(3):
+            trace[f"a0_{stage}"] = [2 + stage] * steps
+            trace[f"b0_{stage}"] = [3 - stage] * steps
+        result = self._check(func, Trace(trace), ecp5_compiler)
+        counts = resource_counts(result.netlist)
+        # Multiplies on the blocks, accumulation on LUTs.
+        assert counts.dsps == 3
+        assert counts.luts > 0
+
+    def test_same_program_both_families(self, ecp5_compiler, device):
+        from repro.tdl.ultrascale import ultrascale_target
+
+        func = parse_func(
+            """
+            def f(a: i8, b: i8, c: i8, en: bool) -> (y: i8) {
+                t0: i8 = mul(a, b);
+                t1: i8 = add(t0, c);
+                y: i8 = reg[0](t1, en);
+            }
+            """
+        )
+        trace = Trace(
+            {"a": [3, -7], "b": [5, 9], "c": [1, 2], "en": [1, 1]}
+        )
+        expected = Interpreter(func).run(trace)
+        for compiler in (
+            ecp5_compiler,
+            ReticleCompiler(target=ultrascale_target(), device=device),
+        ):
+            result = compiler.compile(func)
+            types = {p.name: p.ty for p in func.inputs + func.outputs}
+            actual = NetlistSimulator(result.netlist, types).run(trace)
+            assert actual == expected

@@ -1,0 +1,149 @@
+"""Tests for the target description language parser/printer."""
+
+import pytest
+
+from repro.errors import ParseError, TargetError
+from repro.prims import Prim
+from repro.tdl.parser import parse_asm_def, parse_target
+from repro.tdl.printer import print_asm_def, print_target
+
+# Paper Figure 10, verbatim modulo whitespace.
+FIGURE10 = """
+reg[lut, 1, 2](a: i8, en: bool) -> (y: i8) {
+    y: i8 = reg[0](a, en);
+}
+
+add[lut, 1, 2](a: i8, b: i8) -> (y: i8) {
+    y: i8 = add(a, b);
+}
+
+add_reg[lut, 1, 2](a: i8, b: i8, en: bool) -> (y: i8) {
+    t0: i8 = add(a, b);
+    y: i8 = reg[0](t0, en);
+}
+"""
+
+
+class TestParsing:
+    def test_figure10(self):
+        target = parse_target(FIGURE10, name="figure10")
+        assert len(target) == 3
+        add_reg = target["add_reg"]
+        assert add_reg.prim is Prim.LUT
+        assert add_reg.area == 1
+        assert add_reg.latency == 2
+        assert len(add_reg.body) == 2
+        assert add_reg.output.name == "y"
+
+    def test_single_def(self):
+        asm_def = parse_asm_def(
+            "mul[dsp, 1, 3](a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        assert asm_def.prim is Prim.DSP
+        assert asm_def.is_stateful is False
+
+    def test_stateful_detection(self):
+        target = parse_target(FIGURE10)
+        assert target["reg"].is_stateful
+        assert target["add_reg"].is_stateful
+        assert not target["add"].is_stateful
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_target("  ")
+
+    def test_res_in_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8) -> (y: i8) { y: i8 = not(a) @lut; }"
+            )
+
+    def test_unknown_prim_rejected(self):
+        with pytest.raises(ParseError):
+            parse_asm_def(
+                "f[uram, 1, 1](a: i8) -> (y: i8) { y: i8 = not(a); }"
+            )
+
+
+class TestRoundTrip:
+    def test_figure10_roundtrip(self):
+        target = parse_target(FIGURE10, name="t")
+        assert parse_target(print_target(target), name="t") == target
+
+    def test_def_roundtrip(self):
+        asm_def = parse_asm_def(
+            "muladd[dsp, 1, 3](a: i8, b: i8, c: i8) -> (y: i8) {\n"
+            "    t0: i8 = mul(a, b);\n"
+            "    y: i8 = add(t0, c);\n"
+            "}"
+        )
+        assert parse_asm_def(print_asm_def(asm_def)) == asm_def
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        text = """
+        f[lut, 1, 1](a: i8) -> (y: i8) { y: i8 = not(a); }
+        f[lut, 1, 1](a: i8) -> (y: i8) { y: i8 = not(a); }
+        """
+        with pytest.raises(TargetError):
+            parse_target(text)
+
+    def test_output_not_defined_rejected(self):
+        with pytest.raises(TargetError):
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8) -> (y: i8) { t: i8 = not(a); }"
+            )
+
+    def test_dag_not_tree_rejected(self):
+        # t0 is used twice: the body is a DAG, not a tree.
+        text = """
+        f[lut, 1, 1](a: i8) -> (y: i8) {
+            t0: i8 = not(a);
+            y: i8 = add(t0, t0);
+        }
+        """
+        with pytest.raises(TargetError) as info:
+            parse_asm_def(text)
+        assert "tree" in str(info.value)
+
+    def test_output_used_internally_rejected(self):
+        text = """
+        f[lut, 1, 1](a: i8) -> (y: i8) {
+            y: i8 = not(t0);
+            t0: i8 = not(y);
+        }
+        """
+        with pytest.raises(TargetError):
+            parse_asm_def(text)
+
+    def test_wire_op_in_body_rejected(self):
+        with pytest.raises(TargetError) as info:
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8) -> (y: i8) { y: i8 = sll[1](a); }"
+            )
+        assert "wire" in str(info.value)
+
+    def test_undefined_body_variable_rejected(self):
+        with pytest.raises(TargetError):
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8) -> (y: i8) { y: i8 = not(ghost); }"
+            )
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(TargetError):
+            parse_asm_def(
+                "f[lut, -1, 1](a: i8) -> (y: i8) { y: i8 = not(a); }"
+            )
+
+    def test_body_typechecked(self):
+        with pytest.raises(TargetError):
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8, b: i16) -> (y: i8) { y: i8 = add(a, b); }"
+            )
+
+    def test_output_type_mismatch_rejected(self):
+        with pytest.raises(TargetError):
+            parse_asm_def(
+                "f[lut, 1, 1](a: i8) -> (y: i16) { y: i8 = not(a); }"
+            )

@@ -1,0 +1,71 @@
+"""Tests for pattern trees built from definitions."""
+
+from repro.ir.ops import CompOp
+from repro.tdl.parser import parse_asm_def
+from repro.tdl.pattern import PatternNode, build_pattern
+
+
+class TestBuildPattern:
+    def test_single_node(self):
+        asm_def = parse_asm_def(
+            "add[lut, 1, 2](a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        pattern = build_pattern(asm_def)
+        assert pattern.size == 1
+        assert pattern.root.instr.op is CompOp.ADD
+        assert pattern.root.children == ("a", "b")
+
+    def test_nested_tree(self):
+        asm_def = parse_asm_def(
+            "muladd[dsp, 1, 3](a: i8, b: i8, c: i8) -> (y: i8) {\n"
+            "    t0: i8 = mul(a, b);\n"
+            "    y: i8 = add(t0, c);\n"
+            "}"
+        )
+        pattern = build_pattern(asm_def)
+        assert pattern.size == 2
+        assert pattern.root.instr.op is CompOp.ADD
+        mul_child, c_leaf = pattern.root.children
+        assert isinstance(mul_child, PatternNode)
+        assert mul_child.instr.op is CompOp.MUL
+        assert c_leaf == "c"
+
+    def test_deep_pipelined_pattern(self):
+        asm_def = parse_asm_def(
+            "addp[dsp, 1, 1](a: i8, b: i8, en: bool) -> (y: i8) {\n"
+            "    t0: i8 = reg[0](a, en);\n"
+            "    t1: i8 = reg[0](b, en);\n"
+            "    t2: i8 = add(t0, t1);\n"
+            "    y: i8 = reg[0](t2, en);\n"
+            "}"
+        )
+        pattern = build_pattern(asm_def)
+        assert pattern.size == 4
+        assert pattern.root.instr.op is CompOp.REG
+
+    def test_body_order_nodes(self):
+        asm_def = parse_asm_def(
+            "add_reg[lut, 1, 2](a: i8, b: i8, en: bool) -> (y: i8) {\n"
+            "    t0: i8 = add(a, b);\n"
+            "    y: i8 = reg[0](t0, en);\n"
+            "}"
+        )
+        ops = [i.op for i in build_pattern(asm_def).body_order_nodes()]
+        assert ops == [CompOp.ADD, CompOp.REG]
+
+
+class TestUltrascaleLibrary:
+    def test_all_defs_build_patterns(self, target):
+        for asm_def in target:
+            pattern = build_pattern(asm_def)
+            assert pattern.size == len(asm_def.body)
+
+    def test_library_covers_every_compute_op(self, target):
+        covered = set()
+        for asm_def in target:
+            covered.add(asm_def.root().op)
+        # mux/cmp/logic only on LUTs, arithmetic on both; every compute
+        # op except none should be reachable.
+        from repro.ir.ops import CompOp as C
+
+        assert covered == set(C)

@@ -1,0 +1,101 @@
+"""Tests for the generated UltraScale-like target library."""
+
+from repro.ir.types import Bool, Int, Vec
+from repro.prims import Prim
+from repro.tdl.parser import parse_target
+from repro.tdl.printer import print_target
+from repro.tdl.ultrascale import (
+    DSP_ADD_WIDTHS,
+    DSP_MUL_WIDTHS,
+    LUT_WIDTHS,
+    VEC_SHAPES,
+    def_name,
+    figure10_target,
+    ty_code,
+    ultrascale_target,
+    ultrascale_tdl_text,
+)
+
+
+class TestNaming:
+    def test_ty_codes(self):
+        assert ty_code(Bool()) == "b1"
+        assert ty_code(Int(8)) == "i8"
+        assert ty_code(Vec(Int(8), 4)) == "i8v4"
+
+    def test_def_name(self):
+        assert def_name("add", Int(8), "lut") == "add_i8_lut"
+        assert def_name("muladd", Int(8), "dsp", "_co") == "muladd_i8_dsp_co"
+
+
+class TestLibraryContents:
+    def test_parses_and_validates(self, target):
+        assert len(target) > 200
+
+    def test_text_roundtrips(self, target):
+        assert parse_target(print_target(target), name="ultrascale") == target
+
+    def test_tdl_text_is_substantial(self):
+        # The paper's UltraScale library is 444 lines of TDL.
+        assert len(ultrascale_tdl_text().splitlines()) > 400
+
+    def test_lut_scalar_coverage(self, target):
+        for width in LUT_WIDTHS:
+            for op in ("add", "sub", "mul", "and", "or", "xor", "not",
+                       "eq", "lt", "mux", "reg"):
+                assert def_name(op, Int(width), "lut") in target
+
+    def test_dsp_scalar_coverage(self, target):
+        for width in DSP_ADD_WIDTHS:
+            assert def_name("add", Int(width), "dsp") in target
+            assert def_name("addp", Int(width), "dsp") in target
+
+    def test_dsp_mul_and_fusions(self, target):
+        for width in DSP_MUL_WIDTHS:
+            ty = Int(width)
+            assert def_name("mul", ty, "dsp") in target
+            for suffix in ("", "_co", "_ci", "_cico"):
+                assert def_name("muladd", ty, "dsp", suffix) in target
+                assert def_name("muladdp", ty, "dsp", suffix) in target
+
+    def test_vector_coverage(self, target):
+        for elem, lanes in VEC_SHAPES:
+            ty = Vec(Int(elem), lanes)
+            for prim in ("lut", "dsp"):
+                assert def_name("add", ty, prim) in target
+            assert def_name("addp", ty, "dsp") in target
+
+    def test_dsp_defs_have_unit_area(self, target):
+        for asm_def in target:
+            if asm_def.prim is Prim.DSP:
+                assert asm_def.area == 1
+
+    def test_lut_areas_scale_with_width(self, target):
+        a8 = target[def_name("add", Int(8), "lut")]
+        a32 = target[def_name("add", Int(32), "lut")]
+        assert a32.area > a8.area
+
+    def test_defs_rooted_at_index(self, target):
+        from repro.ir.ops import CompOp
+
+        roots = target.defs_rooted_at(CompOp.ADD, Int(8))
+        names = {d.name for d in roots}
+        assert "add_i8_lut" in names
+        assert "add_i8_dsp" in names
+        # fused ops rooted at add too
+        assert "muladd_i8_dsp" in names
+
+    def test_caching(self):
+        assert ultrascale_target() is ultrascale_target()
+        assert figure10_target() is figure10_target()
+
+
+class TestFigure10Target:
+    def test_contents(self, fig10):
+        assert [d.name for d in fig10] == ["reg", "add", "add_reg"]
+
+    def test_costs_match_paper(self, fig10):
+        for asm_def in fig10:
+            assert asm_def.area == 1
+            assert asm_def.latency == 2
+            assert asm_def.prim is Prim.LUT

@@ -1,0 +1,87 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c) @dsp;
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.ret"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestCheck:
+    def test_ok(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        assert "muladd: ok" in capsys.readouterr().out
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.ret"
+        path.write_text("def f( -> {")
+        assert main(["check", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_ill_formed_reported(self, tmp_path, capsys):
+        path = tmp_path / "loop.ret"
+        path.write_text(
+            "def f(a: i8) -> (y: i8) { y: i8 = add(y, a); }"
+        )
+        assert main(["check", str(path)]) == 1
+        assert "cycle" in capsys.readouterr().err
+
+
+class TestInterp:
+    def test_trace_roundtrip(self, program_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"a": [2, 3], "b": [4, 5], "c": [1, 1]}))
+        assert main(["interp", program_file, "--trace", str(trace)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["y"] == [9, 16]
+
+
+class TestSelect:
+    def test_emits_assembly(self, program_file, capsys):
+        assert main(["select", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "muladd_i8_dsp" in out
+        assert "@dsp(??, ??)" in out
+
+
+class TestCompile:
+    def test_emits_structural_verilog(self, program_file, tmp_path):
+        output = tmp_path / "out.v"
+        assert main(["compile", program_file, "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "DSP48E2" in text
+        assert 'LOC = "DSP48E2_' in text
+
+    def test_place_emits_resolved_assembly(self, program_file, capsys):
+        assert main(["place", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "??" not in out
+
+
+class TestBehav:
+    def test_emits_behavioral_verilog(self, program_file, capsys):
+        assert main(["behav", program_file, "--use-dsp"]) == 0
+        out = capsys.readouterr().out
+        assert "assign" in out
+        assert 'use_dsp = "yes"' in out
+
+
+class TestTdl:
+    def test_dumps_target(self, capsys):
+        assert main(["tdl"]) == 0
+        out = capsys.readouterr().out
+        assert "muladd_i8_dsp[dsp, 1," in out

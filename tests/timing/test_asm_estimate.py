@@ -1,0 +1,131 @@
+"""ASM-level timing estimate tests: sane values, ordering agreement
+with the netlist-level STA."""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.errors import LayoutError
+from repro.frontend.tensor import tensordot, tensoradd_vector
+from repro.ir.parser import parse_func
+from repro.isel.select import select
+from repro.timing.asm_estimate import estimate_asm_timing
+from repro.timing.constants import DEFAULT_DELAYS as D
+from repro.timing.sta import analyze_netlist
+
+
+def compile_for(source_or_func, **kwargs):
+    compiler = ReticleCompiler(**kwargs)
+    func = (
+        parse_func(source_or_func)
+        if isinstance(source_or_func, str)
+        else source_or_func
+    )
+    return compiler.compile(func)
+
+
+class TestBasics:
+    def test_unplaced_rejected(self, target):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+            ),
+            target,
+        )
+        with pytest.raises(LayoutError):
+            estimate_asm_timing(asm, target)
+
+    def test_single_lut_op(self, target):
+        result = compile_for(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+        )
+        report = estimate_asm_timing(result.placed, target)
+        lat = target["add_i8_lut"].latency
+        assert report.critical_ps == D.io_net + lat + D.net_base
+        assert "output" in report.endpoint
+
+    def test_pipelined_dsp_internal_path(self, target):
+        func = tensoradd_vector(4)
+        result = compile_for(func)
+        report = estimate_asm_timing(result.placed, target)
+        # One fully pipelined SIMD DSP: internal path + setup.
+        lat = target["addp_i8v4_dsp"].latency
+        assert report.critical_ps == lat + D.dsp_setup
+
+    def test_registered_output_breaks_path(self, target):
+        comb = compile_for(
+            """
+            def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                t0: i8 = add(a, b) @lut;
+                y: i8 = add(t0, c) @lut;
+            }
+            """
+        )
+        piped = compile_for(
+            """
+            def f(a: i8, b: i8, c: i8, en: bool) -> (y: i8) {
+                t0: i8 = add(a, b) @lut;
+                r0: i8 = reg[0](t0, en);
+                y: i8 = add(r0, c) @lut;
+            }
+            """
+        )
+        fast = estimate_asm_timing(piped.placed, target).critical_ps
+        slow = estimate_asm_timing(comb.placed, target).critical_ps
+        assert fast < slow
+
+    def test_cascade_cheaper_than_fabric(self, target, device):
+        func = tensordot(arrays=1, size=4)
+        cascaded = ReticleCompiler(device=device, cascade=True).compile(func)
+        scattered = ReticleCompiler(device=device, cascade=False).compile(func)
+        fast = estimate_asm_timing(cascaded.placed, target).critical_ps
+        slow = estimate_asm_timing(scattered.placed, target).critical_ps
+        assert fast < slow
+
+
+class TestAgreementWithNetlistSta:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }",
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {\n"
+            "    t0: i8 = mul(a, b);\n    y: i8 = add(t0, c);\n}",
+            "def f(a: i8<4>, b: i8<4>, en: bool) -> (y: i8<4>) {\n"
+            "    t0: i8<4> = reg[0](a, en);\n"
+            "    t1: i8<4> = reg[0](b, en);\n"
+            "    t2: i8<4> = add(t0, t1);\n"
+            "    y: i8<4> = reg[0](t2, en);\n}",
+        ],
+    )
+    def test_estimate_within_2x_of_sta(self, target, source):
+        result = compile_for(source)
+        estimate = estimate_asm_timing(result.placed, target).critical_ps
+        actual = analyze_netlist(result.netlist).critical_ps
+        assert actual / 2 <= estimate <= actual * 2, (estimate, actual)
+
+    def test_ordering_preserved_across_designs(self, target):
+        # Designs with clearly separated speeds: a pipelined SIMD DSP,
+        # a cascaded dot chain, and a deep combinational LUT chain.
+        deep_chain = """
+        def f(a: i8, b: i8) -> (y: i8) {
+            t0: i8 = add(a, b) @lut;
+            t1: i8 = add(t0, a) @lut;
+            t2: i8 = add(t1, b) @lut;
+            t3: i8 = add(t2, a) @lut;
+            y: i8 = add(t3, b) @lut;
+        }
+        """
+        designs = [
+            compile_for(tensoradd_vector(8)),
+            compile_for(tensordot(arrays=1, size=4)),
+            compile_for(deep_chain),
+        ]
+        estimates = [
+            estimate_asm_timing(d.placed, target).critical_ps for d in designs
+        ]
+        actuals = [
+            analyze_netlist(d.netlist).critical_ps for d in designs
+        ]
+        # Same ranking of designs by speed.
+        assert sorted(range(3), key=lambda i: estimates[i]) == sorted(
+            range(3), key=lambda i: actuals[i]
+        )

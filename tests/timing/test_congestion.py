@@ -1,0 +1,102 @@
+"""Congestion-report tests."""
+
+from repro.compiler import ReticleCompiler
+from repro.frontend.tensor import tensordot
+from repro.ir.parser import parse_func
+from repro.netlist.stats import resource_counts
+from repro.prims import Prim
+from repro.timing.congestion import analyze_congestion
+
+
+def compiled(source_or_func, **kwargs):
+    compiler = ReticleCompiler(**kwargs)
+    func = (
+        parse_func(source_or_func)
+        if isinstance(source_or_func, str)
+        else source_or_func
+    )
+    return compiler, compiler.compile(func)
+
+
+class TestOccupancy:
+    def test_cell_counts_sum(self, device):
+        _, result = compiled(
+            "def f(a: i8, b: i8) -> (y: i8, z: i8) {\n"
+            "    y: i8 = add(a, b) @lut;\n    z: i8 = mul(a, b);\n}"
+        )
+        report = analyze_congestion(result.netlist, device)
+        counts = resource_counts(result.netlist)
+        placed = sum(c.cells for c in report.columns)
+        assert placed == counts.luts + counts.carries + counts.dsps
+
+    def test_occupancy_bounded(self, device):
+        _, result = compiled(tensordot(arrays=2, size=3))
+        report = analyze_congestion(result.netlist, device)
+        for column in report.columns:
+            assert 0.0 <= column.occupancy <= 1.0
+
+    def test_kinds_match_device(self, device):
+        _, result = compiled(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        report = analyze_congestion(result.netlist, device)
+        for column in report.columns:
+            if column.cells:
+                assert column.kind is device.column(column.column).kind
+
+
+class TestCrossings:
+    def test_local_nets_cross_nothing(self, device):
+        # A single LUT adder: everything inside one slice column.
+        _, result = compiled(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+        )
+        report = analyze_congestion(result.netlist, device)
+        assert report.total_crossings == 0
+        assert report.average_net_span == 0.0
+
+    def test_cascades_do_not_count_as_demand(self, device):
+        func = tensordot(arrays=1, size=4)
+        compiler_c, cascaded = compiled(func, device=device, cascade=True)
+        _, scattered = compiled(func, device=device, cascade=False)
+        demand_cascaded = analyze_congestion(
+            cascaded.netlist, device
+        ).total_crossings
+        demand_scattered = analyze_congestion(
+            scattered.netlist, device
+        ).total_crossings
+        # The cascade rides dedicated routes; without it the partial
+        # sums cross the fabric between DSP columns.
+        assert demand_cascaded <= demand_scattered
+
+    def test_lut_to_dsp_nets_cross_columns(self, device):
+        # A LUT-made value feeding a DSP multiplier crosses the fabric.
+        _, result = compiled(
+            """
+            def f(a: i8, b: i8) -> (y: i8) {
+                t0: i8 = xor(a, b) @lut;
+                y: i8 = mul(t0, a) @dsp;
+            }
+            """
+        )
+        report = analyze_congestion(result.netlist, device)
+        assert report.total_crossings > 0
+        assert report.hotspots()
+
+
+class TestRendering:
+    def test_table_lists_used_columns(self, device):
+        _, result = compiled(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        report = analyze_congestion(result.netlist, device)
+        table = report.table()
+        assert "col" in table.splitlines()[0]
+        assert "dsp" in table
+
+    def test_hotspots_sorted_by_demand(self, device):
+        _, result = compiled(tensordot(arrays=3, size=3))
+        report = analyze_congestion(result.netlist, device)
+        spots = report.hotspots(top=10)
+        demands = [s.crossing_nets for s in spots]
+        assert demands == sorted(demands, reverse=True)

@@ -1,0 +1,152 @@
+"""Static timing analysis tests."""
+
+from repro.compiler import ReticleCompiler
+from repro.ir.parser import parse_func
+from repro.timing.constants import DEFAULT_DELAYS as D
+from repro.timing.constants import DelayModel
+from repro.timing.sta import analyze_netlist
+
+
+def netlist_for(source, **kwargs):
+    compiler = ReticleCompiler(**kwargs)
+    return compiler.compile(parse_func(source)).netlist
+
+
+class TestBasicPaths:
+    def test_single_lut_path(self):
+        netlist = netlist_for(
+            "def f(a: bool, b: bool) -> (y: bool) { y: bool = and(a, b); }"
+        )
+        report = analyze_netlist(netlist)
+        # io route in + one LUT lookup + route out to the port.
+        assert report.critical_ps == D.io_net + D.lut_logic + D.net_base
+
+    def test_adder_includes_carry_chain(self):
+        narrow = analyze_netlist(
+            netlist_for(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+            )
+        )
+        wide = analyze_netlist(
+            netlist_for(
+                "def f(a: i32, b: i32) -> (y: i32) { y: i32 = add(a, b) @lut; }"
+            )
+        )
+        assert wide.critical_ps > narrow.critical_ps
+
+    def test_register_cuts_path(self):
+        comb = analyze_netlist(
+            netlist_for(
+                """
+                def f(a: i8, b: i8, c: i8) -> (y: i8) {
+                    t0: i8 = add(a, b) @lut;
+                    t1: i8 = add(t0, c) @lut;
+                    y: i8 = add(t1, a) @lut;
+                }
+                """
+            )
+        )
+        piped = analyze_netlist(
+            netlist_for(
+                """
+                def f(a: i8, b: i8, c: i8, en: bool) -> (y: i8) {
+                    t0: i8 = add(a, b) @lut;
+                    r0: i8 = reg[0](t0, en);
+                    t1: i8 = add(r0, c) @lut;
+                    r1: i8 = reg[0](t1, en);
+                    y: i8 = add(r1, a) @lut;
+                }
+                """
+            )
+        )
+        assert piped.critical_ps < comb.critical_ps
+
+    def test_fmax_is_reciprocal(self):
+        report = analyze_netlist(
+            netlist_for(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+            )
+        )
+        assert abs(report.fmax_mhz - 1_000_000.0 / report.critical_ps) < 1e-6
+
+
+class TestDspPaths:
+    def test_pipelined_dsp_hits_internal_path(self):
+        netlist = netlist_for(
+            """
+            def f(a: i8<4>, b: i8<4>, en: bool) -> (y: i8<4>) {
+                t0: i8<4> = reg[0](a, en);
+                t1: i8<4> = reg[0](b, en);
+                t2: i8<4> = add(t0, t1);
+                y: i8<4> = reg[0](t2, en);
+            }
+            """
+        )
+        report = analyze_netlist(netlist)
+        # The critical path is the DSP's internal SIMD ALU-to-PREG path.
+        assert report.critical_ps == D.dsp_add_simd + D.dsp_setup
+
+    def test_cascade_route_cheaper_than_fabric(self):
+        cascaded = analyze_netlist(
+            netlist_for(
+                """
+                def f(a0: i8, b0: i8, a1: i8, b1: i8, c: i8) -> (y: i8) {
+                    t0: i8 = mul(a0, b0);
+                    s0: i8 = add(t0, c);
+                    t1: i8 = mul(a1, b1);
+                    y: i8 = add(t1, s0);
+                }
+                """
+            )
+        )
+        scattered = analyze_netlist(
+            netlist_for(
+                """
+                def f(a0: i8, b0: i8, a1: i8, b1: i8, c: i8) -> (y: i8) {
+                    t0: i8 = mul(a0, b0);
+                    s0: i8 = add(t0, c);
+                    t1: i8 = mul(a1, b1);
+                    y: i8 = add(t1, s0);
+                }
+                """,
+                cascade=False,
+            )
+        )
+        assert cascaded.critical_ps < scattered.critical_ps
+
+
+class TestDelayModel:
+    def test_fanout_penalty_monotonic(self):
+        model = DelayModel()
+        assert model.fanout_delay(1) == 0
+        assert model.fanout_delay(16) < model.fanout_delay(256)
+
+    def test_net_delay_grows_with_distance(self):
+        model = DelayModel()
+        assert model.net_delay(0) == model.net_base
+        assert model.net_delay(10) > model.net_delay(1)
+
+    def test_dsp_rated_speed(self):
+        # A fully pipelined DSP multiply-add lands near the 891 MHz
+        # datasheet rating (paper Section 1).
+        model = DelayModel()
+        internal = model.dsp_muladd + model.dsp_setup
+        assert 1_000_000 / internal > 850
+
+    def test_custom_model_applied(self):
+        netlist = netlist_for(
+            "def f(a: bool, b: bool) -> (y: bool) { y: bool = and(a, b); }"
+        )
+        slow = DelayModel(lut_logic=10_000)
+        report = analyze_netlist(netlist, slow)
+        assert report.critical_ps > 10_000
+
+    def test_report_has_endpoint_and_path(self):
+        report = analyze_netlist(
+            netlist_for(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+            )
+        )
+        assert report.endpoint
+        assert report.path
+        assert "critical path" in str(report)

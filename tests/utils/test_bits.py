@@ -1,0 +1,114 @@
+"""Unit and property tests for the bit-vector helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_concat,
+    bit_mask,
+    bit_select,
+    pack_lanes,
+    sign_bit,
+    to_signed,
+    to_unsigned,
+    truncate,
+    unpack_lanes,
+)
+
+
+class TestBitMask:
+    def test_zero_width(self):
+        assert bit_mask(0) == 0
+
+    def test_eight_bits(self):
+        assert bit_mask(8) == 0xFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+
+class TestTruncate:
+    def test_wraps_positive_overflow(self):
+        assert truncate(256, 8) == 0
+        assert truncate(257, 8) == 1
+
+    def test_wraps_negative(self):
+        assert truncate(-1, 8) == 0xFF
+
+    def test_identity_in_range(self):
+        assert truncate(100, 8) == 100
+
+
+class TestSignedConversion:
+    def test_positive_pattern(self):
+        assert to_signed(0x7F, 8) == 127
+
+    def test_negative_pattern(self):
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0xFF, 8) == -1
+
+    def test_roundtrip_negative(self):
+        assert to_signed(to_unsigned(-42, 8), 8) == -42
+
+    @given(st.integers(-128, 127))
+    def test_roundtrip_all_i8(self, value):
+        assert to_signed(to_unsigned(value, 8), 8) == value
+
+    @given(st.integers(1, 64), st.integers())
+    def test_signed_in_range(self, width, value):
+        signed = to_signed(value, width)
+        assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+class TestSignBit:
+    def test_zero_width(self):
+        assert sign_bit(0, 0) == 0
+
+    def test_msb_set(self):
+        assert sign_bit(0x80, 8) == 1
+
+    def test_msb_clear(self):
+        assert sign_bit(0x7F, 8) == 0
+
+
+class TestLanes:
+    def test_pack_order_lane0_low(self):
+        assert pack_lanes([0x01, 0x02], 8) == 0x0201
+
+    def test_unpack_inverse(self):
+        assert unpack_lanes(0x0201, 8, 2) == [0x01, 0x02]
+
+    def test_pack_truncates_lanes(self):
+        assert pack_lanes([0x1FF], 8) == 0xFF
+
+    @given(
+        st.lists(st.integers(0, 0xFFF), min_size=1, max_size=6),
+        st.integers(1, 12),
+    )
+    def test_pack_unpack_roundtrip(self, lanes, width):
+        lanes = [lane & ((1 << width) - 1) for lane in lanes]
+        packed = pack_lanes(lanes, width)
+        assert unpack_lanes(packed, width, len(lanes)) == lanes
+
+
+class TestSelectConcat:
+    def test_bit_select_range(self):
+        assert bit_select(0b10110100, 5, 2) == 0b1101
+
+    def test_bit_select_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            bit_select(0, 1, 3)
+
+    def test_concat_low_first(self):
+        assert bit_concat([0b01, 0b11], [2, 2]) == 0b1101
+
+    def test_concat_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_concat([1], [2, 3])
+
+    @given(st.integers(0, 0xFF), st.integers(0, 0xF))
+    def test_concat_then_select(self, low, high):
+        combined = bit_concat([low, high], [8, 4])
+        assert bit_select(combined, 7, 0) == low
+        assert bit_select(combined, 11, 8) == high

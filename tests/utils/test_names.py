@@ -1,0 +1,30 @@
+"""Tests for the fresh-name generator."""
+
+from repro.utils.names import NameGenerator
+
+
+class TestNameGenerator:
+    def test_avoids_taken_names(self):
+        gen = NameGenerator(["_t0", "_t1"])
+        assert gen.fresh() == "_t2"
+
+    def test_fresh_names_unique(self):
+        gen = NameGenerator()
+        names = {gen.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_hint_prefixes(self):
+        gen = NameGenerator()
+        assert gen.fresh("add").startswith("add")
+
+    def test_reserve_blocks_name(self):
+        gen = NameGenerator()
+        gen.reserve("x0")
+        gen2_names = [gen.fresh("x") for _ in range(3)]
+        assert "x0" not in gen2_names
+
+    def test_counter_shared_across_hints(self):
+        gen = NameGenerator()
+        a = gen.fresh("a")
+        b = gen.fresh("b")
+        assert a != b

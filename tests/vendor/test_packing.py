@@ -1,0 +1,72 @@
+"""LUT-packing tests: the vendor's logic-optimization strength."""
+
+from repro.frontend.fsm import fsm
+from repro.ir.interp import Interpreter
+from repro.ir.trace import Trace
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+from repro.vendor.packing import pack_luts
+from repro.vendor.synth import VendorOptions, VendorSynthesizer
+
+
+def synth_unpacked(func, device):
+    options = VendorOptions(use_dsp_hints=False)
+    netlist, _ = VendorSynthesizer(device, options).synthesize(func)
+    return netlist
+
+
+class TestPacking:
+    def test_reduces_lut_count_on_control_logic(self, device):
+        func = fsm(5)
+        netlist = synth_unpacked(func, device)
+        before = resource_counts(netlist).luts
+        merges = pack_luts(netlist)
+        after = resource_counts(netlist).luts
+        assert merges > 0
+        assert after < before
+        assert before - after == merges
+
+    def test_preserves_behaviour(self, device):
+        func = fsm(4)
+        netlist = synth_unpacked(func, device)
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        trace = Trace(
+            {"inp": [0, 0, 1, 2, 3, 5, 3], "en": [1, 1, 1, 1, 1, 0, 1]}
+        )
+        expected = Interpreter(func).run(trace)
+        pack_luts(netlist)
+        assert NetlistSimulator(netlist, types).run(trace) == expected
+
+    def test_never_exceeds_six_inputs(self, device):
+        netlist = synth_unpacked(fsm(7), device)
+        pack_luts(netlist)
+        for cell in netlist.cells:
+            if cell.kind.startswith("LUT"):
+                assert len(cell.inputs) <= 6
+
+    def test_output_driving_luts_kept(self, device):
+        func = fsm(3)
+        netlist = synth_unpacked(func, device)
+        pack_luts(netlist)
+        driven = {bit for cell in netlist.cells for bit in cell.output_bits()}
+        for name, bits in netlist.outputs:
+            for bit in bits:
+                # Output bits still have drivers (or are rails/ports).
+                assert bit in driven or bit < 2 or bit in {
+                    b for _, ib in netlist.inputs for b in ib
+                }
+
+    def test_idempotent_at_fixpoint(self, device):
+        netlist = synth_unpacked(fsm(5), device)
+        pack_luts(netlist, passes=4)
+        assert pack_luts(netlist, passes=1) == 0
+
+    def test_multi_fanout_not_merged(self, device):
+        # An 8-bit eq produces XNORs feeding a single reduction: those
+        # merge; but shared mux conditions (fanout > 1) must survive.
+        func = fsm(6)
+        netlist = synth_unpacked(func, device)
+        before_cells = {id(c) for c in netlist.cells}
+        pack_luts(netlist)
+        # Sanity: some cells survived.
+        assert any(id(c) in before_cells for c in netlist.cells)

@@ -1,0 +1,142 @@
+"""Verilog parser tests, including the emit->parse round trip."""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.errors import LexError, ParseError
+from repro.ir.parser import parse_func
+from repro.verilog.ast import Assign, Concat, Instance, IntLit, Ref, WireDecl
+from repro.verilog.lexer import VTokenKind, tokenize_verilog
+from repro.verilog.parser import parse_verilog_module
+from repro.verilog.printer import print_module
+
+FIGURE2C = """
+module bit_and(input a, input b, output y);
+    (* LOC = "SLICE_X0Y0", BEL = "A6LUT" *)
+    LUT2 # (.INIT(4'h8)) i0 (
+        .I0(a),
+        .I1(b),
+        .O(y_wire)
+    );
+    assign y = y_wire;
+endmodule
+"""
+
+
+class TestLexer:
+    def test_sized_literals(self):
+        token = tokenize_verilog("8'hff")[0]
+        assert token.kind is VTokenKind.SIZED
+        assert token.sized_value == 255
+        assert token.sized_width == 8
+
+    def test_binary_sized_literal(self):
+        token = tokenize_verilog("4'b1010")[0]
+        assert token.sized_value == 10
+
+    def test_attr_delimiters(self):
+        kinds = [t.kind for t in tokenize_verilog('(* LOC = "X" *)')]
+        assert kinds[0] is VTokenKind.ATTR_OPEN
+        assert kinds[-2] is VTokenKind.ATTR_CLOSE
+
+    def test_strings(self):
+        token = tokenize_verilog('"FOUR12"')[0]
+        assert token.kind is VTokenKind.STRING
+        assert token.text == "FOUR12"
+
+    def test_comments_skipped(self):
+        tokens = tokenize_verilog("a // x\n/* y */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize_verilog('"oops')
+
+
+class TestParser:
+    def test_figure2c(self):
+        module = parse_verilog_module(FIGURE2C)
+        assert module.name == "bit_and"
+        assert [p.name for p in module.ports] == ["a", "b", "y"]
+        instances = [i for i in module.items if isinstance(i, Instance)]
+        assert len(instances) == 1
+        inst = instances[0]
+        assert inst.module == "LUT2"
+        assert dict(inst.params)["INIT"] == IntLit(8, 4)
+        attrs = {a.name: a.value for a in inst.attributes}
+        assert attrs == {"LOC": "SLICE_X0Y0", "BEL": "A6LUT"}
+
+    def test_wide_ports(self):
+        module = parse_verilog_module(
+            "module m(input [7:0] a, output [3:0] y);\n"
+            "    assign y = a[3:0];\nendmodule"
+        )
+        assert module.ports[0].width == 8
+        assert module.ports[1].width == 4
+
+    def test_concat_expression(self):
+        module = parse_verilog_module(
+            "module m(input [1:0] a, output [1:0] y);\n"
+            "    assign y = {a[0], a[1]};\nendmodule"
+        )
+        assign = [i for i in module.items if isinstance(i, Assign)][0]
+        assert isinstance(assign.rhs, Concat)
+
+    def test_wire_declarations(self):
+        module = parse_verilog_module(
+            "module m(input a, output y);\n"
+            "    wire t;\n    wire [47:0] bus;\n"
+            "    assign y = a;\nendmodule"
+        )
+        wires = [i for i in module.items if isinstance(i, WireDecl)]
+        assert [(w.name, w.width) for w in wires] == [("t", 1), ("bus", 48)]
+
+    def test_string_parameters(self):
+        module = parse_verilog_module(
+            "module m(input a, output y);\n"
+            'DSP48E2 # (.USE_SIMD("FOUR12"), .PREG(1)) d (.A(a), .P(y));\n'
+            "endmodule"
+        )
+        inst = [i for i in module.items if isinstance(i, Instance)][0]
+        params = dict(inst.params)
+        assert params["USE_SIMD"] == "FOUR12"
+        assert params["PREG"] == 1
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog_module("module m(inout a); endmodule")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog_module(
+                "module m(input a, output y);\nassign y = a;\n"
+                "endmodule extra"
+            )
+
+    def test_nonzero_lsb_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog_module(
+                "module m(input [7:4] a, output y); endmodule"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }",
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {\n"
+            "    t0: i8 = mul(a, b);\n"
+            "    y: i8 = add(t0, c);\n"
+            "}",
+            "def f(a: i8, en: bool) -> (y: i8) { y: i8 = reg[3](a, en); }",
+            "def f(a: i8<4>, b: i8<4>) -> (y: i8<4>) "
+            "{ y: i8<4> = add(a, b) @dsp; }",
+        ],
+    )
+    def test_emitted_verilog_reparses(self, source):
+        result = ReticleCompiler().compile(parse_func(source))
+        text = result.verilog()
+        module = parse_verilog_module(text)
+        # The reparsed AST prints back to the identical text.
+        assert print_module(module) == text

@@ -1,0 +1,168 @@
+"""Tests for the Verilog AST printer."""
+
+from repro.verilog.ast import (
+    AlwaysFF,
+    Assign,
+    Attribute,
+    Binary,
+    Concat,
+    Index,
+    Instance,
+    IntLit,
+    Module,
+    NonBlocking,
+    Port,
+    Ref,
+    RegDecl,
+    Repeat,
+    Slice,
+    Ternary,
+    Unary,
+    WireDecl,
+    instance,
+)
+from repro.verilog.printer import print_expr, print_module
+
+
+class TestExpressions:
+    def test_ref(self):
+        assert print_expr(Ref("a")) == "a"
+
+    def test_unsized_literal(self):
+        assert print_expr(IntLit(42)) == "42"
+
+    def test_sized_literal_hex(self):
+        assert print_expr(IntLit(0x2A, 8)) == "8'h2a"
+
+    def test_sized_literal_wraps_negative(self):
+        assert print_expr(IntLit(-1, 4)) == "4'hf"
+
+    def test_slice(self):
+        assert print_expr(Slice(Ref("a"), 7, 4)) == "a[7:4]"
+
+    def test_index(self):
+        assert print_expr(Index(Ref("a"), 3)) == "a[3]"
+
+    def test_concat_msb_first(self):
+        assert print_expr(Concat((Ref("hi"), Ref("lo")))) == "{hi, lo}"
+
+    def test_repeat(self):
+        assert print_expr(Repeat(4, Ref("s"))) == "{4{s}}"
+
+    def test_unary(self):
+        assert print_expr(Unary("~", Ref("a"))) == "~(a)"
+
+    def test_signed_cast(self):
+        assert print_expr(Unary("$signed", Ref("a"))) == "$signed(a)"
+
+    def test_binary(self):
+        assert print_expr(Binary("+", Ref("a"), Ref("b"))) == "(a + b)"
+
+    def test_ternary(self):
+        expr = Ternary(Ref("c"), Ref("a"), Ref("b"))
+        assert print_expr(expr) == "(c ? a : b)"
+
+
+class TestModules:
+    def test_figure2b_structure(self):
+        """The paper's Figure 2b: structural LUT2 instantiation."""
+        module = Module(
+            name="bit_and",
+            ports=(
+                Port("input", "a"),
+                Port("input", "b"),
+                Port("output", "y"),
+            ),
+            items=(
+                instance(
+                    "LUT2",
+                    "i0",
+                    params={"INIT": IntLit(8, 4)},
+                    connections={
+                        "I0": Ref("a"),
+                        "I1": Ref("b"),
+                        "O": Ref("y"),
+                    },
+                ),
+            ),
+        )
+        text = print_module(module)
+        assert "module bit_and(input a, input b, output y);" in text
+        assert "LUT2 # (.INIT(4'h8)) i0 (" in text
+        assert ".I0(a)," in text
+        assert text.endswith("endmodule")
+
+    def test_figure2c_attributes(self):
+        """The paper's Figure 2c: LOC/BEL layout attributes."""
+        module = Module(
+            name="bit_and",
+            ports=(Port("input", "a"), Port("output", "y")),
+            items=(
+                instance(
+                    "LUT1",
+                    "i0",
+                    params={"INIT": IntLit(2, 2)},
+                    connections={"I0": Ref("a"), "O": Ref("y")},
+                    attributes=[
+                        Attribute("LOC", "SLICE_X0Y0"),
+                        Attribute("BEL", "A6LUT"),
+                    ],
+                ),
+            ),
+        )
+        text = print_module(module)
+        assert '(* LOC = "SLICE_X0Y0", BEL = "A6LUT" *)' in text
+
+    def test_wide_ports_and_wires(self):
+        module = Module(
+            name="m",
+            ports=(Port("input", "a", 8), Port("output", "y", 8)),
+            items=(WireDecl("t", 8), Assign(Ref("y"), Ref("t"))),
+        )
+        text = print_module(module)
+        assert "input [7:0] a" in text
+        assert "wire [7:0] t;" in text
+        assert "assign y = t;" in text
+
+    def test_output_reg_port(self):
+        module = Module(
+            name="m",
+            ports=(Port("output", "y", 8, reg=True),),
+        )
+        assert "output reg [7:0] y" in print_module(module)
+
+    def test_always_block_with_enable(self):
+        module = Module(
+            name="m",
+            ports=(Port("input", "clock"),),
+            items=(
+                RegDecl("q", 8, init=0),
+                AlwaysFF(
+                    clock="clock",
+                    body=(
+                        NonBlocking(Ref("q"), Ref("d"), cond=Ref("en")),
+                    ),
+                ),
+            ),
+        )
+        text = print_module(module)
+        assert "reg [7:0] q = 8'h0;" in text
+        assert "always @(posedge clock) begin" in text
+        assert "if (en) q <= d;" in text
+
+    def test_string_parameter(self):
+        module = Module(
+            name="m",
+            ports=(Port("input", "a"),),
+            items=(
+                instance(
+                    "DSP48E2",
+                    "d0",
+                    params={"USE_SIMD": "FOUR12", "PREG": 1},
+                    connections={"A": Ref("a")},
+                ),
+            ),
+        )
+        text = print_module(module)
+        assert '.USE_SIMD("FOUR12")' in text
+        assert ".PREG(1)" in text
