@@ -1,0 +1,87 @@
+"""Per-stage pipeline timings: the data behind BENCH_pipeline.json.
+
+The observability layer (repro.obs) splits each Reticle compile into
+its Figure 7 stages; this module samples the Figure 13 workloads and
+seeds the repo's perf trajectory by (re)writing ``BENCH_pipeline.json``
+at the repository root on every benchmark run.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import (
+    BENCH_PIPELINE_SIZES,
+    format_table,
+    pipeline_rows,
+    pipeline_table_rows,
+    write_bench_pipeline,
+)
+
+from benchmarks.conftest import print_figure
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
+
+CORE_STAGES = ("select", "cascade", "place", "codegen")
+
+
+@pytest.fixture(scope="module")
+def rows(device):
+    return pipeline_rows(device=device)
+
+
+class TestPipelineTimings:
+    def test_print_table(self, rows):
+        print_figure(
+            "Pipeline stage timings", format_table(pipeline_table_rows(rows))
+        )
+
+    def test_covers_required_workloads(self, rows):
+        benches = {row["bench"] for row in rows}
+        assert {"tensoradd", "fsm"} <= benches
+        for bench, sizes in BENCH_PIPELINE_SIZES.items():
+            seen = {row["size"] for row in rows if row["bench"] == bench}
+            assert seen == set(sizes), bench
+
+    def test_every_row_has_nonzero_stage_timings(self, rows):
+        for row in rows:
+            assert tuple(row["stages"]) == CORE_STAGES
+            for stage, seconds in row["stages"].items():
+                assert seconds > 0, (row["bench"], row["size"], stage)
+            assert row["seconds"] == pytest.approx(
+                sum(row["stages"].values()), abs=1e-5
+            )
+
+    def test_counters_present(self, rows):
+        for row in rows:
+            counters = row["counters"]
+            assert counters["isel.trees"] > 0
+            assert counters["place.items"] > 0
+            assert counters["place.solver_nodes"] > 0
+            assert counters["codegen.cells"] > 0
+
+    def test_placement_dominates_fsm_at_scale(self, rows):
+        # The paper's compile-time story (Section 7.2): the constraint
+        # solving layout stage eats the budget as designs grow.  The
+        # fsm workload shows it most clearly — its LUT mux cascades
+        # make the placer backtrack heavily.
+        big = next(
+            row for row in rows if row["bench"] == "fsm" and row["size"] == 9
+        )
+        assert big["stages"]["place"] == max(big["stages"].values())
+
+
+class TestBenchPipelineJson:
+    """The hook: running the benchmarks refreshes BENCH_pipeline.json."""
+
+    def test_writes_bench_pipeline_json(self, rows):
+        payload = write_bench_pipeline(str(BENCH_PATH), rows)
+        loaded = json.loads(BENCH_PATH.read_text())
+        assert loaded == payload
+        assert loaded["figure"] == "pipeline"
+        assert loaded["device"] == "xczu3eg"
+        assert len(loaded["rows"]) == len(rows)
+        for row in loaded["rows"]:
+            assert set(row["stages"]) == set(CORE_STAGES)

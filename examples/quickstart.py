@@ -42,7 +42,11 @@ def main() -> None:
     timing = analyze_netlist(result.netlist)
     print(f"\nresources: {counts.as_dict()}")
     print(f"timing:    {timing}")
-    print(f"compiled in {result.seconds * 1000:.1f} ms")
+    stages = ", ".join(
+        f"{stage} {seconds * 1000:.2f}"
+        for stage, seconds in result.metrics.stages.items()
+    )
+    print(f"compiled in {result.seconds * 1000:.1f} ms ({stages})")
 
     print("\n--- structural Verilog (first lines) ---")
     for line in result.verilog().splitlines()[:8]:

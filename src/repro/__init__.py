@@ -24,7 +24,12 @@ Quickstart::
     print(result.verilog())
 """
 
-from repro.compiler import ReticleCompiler, ReticleResult, compile_func
+from repro.compiler import (
+    CompileMetrics,
+    ReticleCompiler,
+    ReticleResult,
+    compile_func,
+)
 from repro.errors import (
     CodegenError,
     InterpError,
@@ -53,6 +58,7 @@ from repro.ir import (
     print_func,
     print_prog,
 )
+from repro.obs import NULL_TRACER, Tracer
 from repro.prims import Prim
 
 __version__ = "1.0.0"
@@ -60,7 +66,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ReticleCompiler",
     "ReticleResult",
+    "CompileMetrics",
     "compile_func",
+    "Tracer",
+    "NULL_TRACER",
     "ReticleError",
     "ParseError",
     "TypeCheckError",

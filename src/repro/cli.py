@@ -7,6 +7,7 @@ Subcommands mirror the toolchain stages::
     reticle select   prog.ret          # IR -> assembly (unplaced)
     reticle place    prog.ret          # IR -> placed assembly
     reticle compile  prog.ret -o out.v # IR -> structural Verilog
+    reticle compile  prog.ret -o out.v --profile --trace-out trace.json
     reticle behav    prog.ret          # IR -> behavioral Verilog
     reticle tdl                        # dump the UltraScale target
     reticle bench fig13 tensoradd      # regenerate a figure's rows
@@ -26,13 +27,21 @@ from repro.asm.printer import print_asm_func
 from repro.compiler import ReticleCompiler
 from repro.errors import ReticleError
 from repro.frontend.behavioral import emit_behavioral_verilog
-from repro.harness.experiments import fig4_rows, fig13_rows, format_table
+from repro.harness.experiments import (
+    fig4_rows,
+    fig13_rows,
+    format_table,
+    pipeline_rows,
+    pipeline_table_rows,
+    write_bench_pipeline,
+)
 from repro.ir.interp import Interpreter
 from repro.ir.parser import parse_prog
 from repro.ir.trace import Trace
 from repro.ir.typecheck import typecheck_func
 from repro.ir.wellformed import check_well_formed
 from repro.isel.select import select
+from repro.obs import Tracer, format_profile, write_chrome_trace
 from repro.layout.cascade import apply_cascading
 from repro.tdl.ecp5 import ecp5_target
 from repro.tdl.ultrascale import ultrascale_target, ultrascale_tdl_text
@@ -117,14 +126,24 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_telemetry(tracer: Tracer, args: argparse.Namespace) -> None:
+    """Honour --profile/--trace-out after an instrumented command."""
+    if args.profile:
+        print(format_profile(tracer), file=sys.stderr)
+    if args.trace_out:
+        write_chrome_trace(tracer, args.trace_out)
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     func = _read_func(args.program, getattr(args, 'func', None))
     target, device = _resolve_target(args.target)
     compiler = ReticleCompiler(
         target=target, device=device, shrink=not args.no_shrink
     )
-    result = compiler.compile(func)
+    tracer = Tracer()
+    result = compiler.compile(func, tracer=tracer)
     _write_output(print_asm_func(result.placed), args.output)
+    _emit_telemetry(tracer, args)
     return 0
 
 
@@ -148,11 +167,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 for func in prog
             )
         )
-    results = compiler.compile_prog(prog)
+    # One tracer across every function, so --profile aggregates the
+    # whole program and --trace-out gets a single coherent timeline.
+    tracer = Tracer()
+    results = compiler.compile_prog(prog, tracer=tracer)
     _write_output(
         "\n\n".join(result.verilog() for result in results.values()),
         args.output,
     )
+    _emit_telemetry(tracer, args)
     if args.xdc:
         from repro.codegen.xdc import generate_xdc
 
@@ -193,6 +216,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "pipeline":
+        rows = pipeline_rows()
+        if args.json:
+            write_bench_pipeline(args.json, rows)
+        print(format_table(pipeline_table_rows(rows)))
+        return 0
     if args.figure == "fig4":
         rows = fig4_rows()
     else:
@@ -235,6 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selectc.add_argument("--func", help="function name in multi-def files")
 
+    def add_profile_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--profile",
+            action="store_true",
+            help="print per-stage timings and counters to stderr",
+        )
+        command.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write a Chrome trace_event JSON trace here",
+        )
+
     placec = add("place", _cmd_place, "lower, cascade, and place")
     placec.add_argument("program")
     placec.add_argument("-o", "--output")
@@ -243,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
     )
     placec.add_argument("--func", help="function name in multi-def files")
+    add_profile_args(placec)
 
     compilec = add("compile", _cmd_compile, "full pipeline to Verilog")
     compilec.add_argument("program")
@@ -269,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STAGES",
         help="auto-pipeline combinational programs into STAGES cuts (§8.1)",
     )
+    add_profile_args(compilec)
 
     behav = add("behav", _cmd_behav, "emit behavioral Verilog (baseline)")
     behav.add_argument("program")
@@ -285,8 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-instrs", type=int, default=12)
 
     bench = add("bench", _cmd_bench, "regenerate a figure's data rows")
-    bench.add_argument("figure", choices=["fig4", "fig13"])
+    bench.add_argument("figure", choices=["fig4", "fig13", "pipeline"])
     bench.add_argument("benchmark", nargs="?")
+    bench.add_argument(
+        "--json",
+        metavar="FILE",
+        help="(pipeline) also write the rows as JSON, e.g. "
+        "BENCH_pipeline.json",
+    )
 
     return parser
 

@@ -26,6 +26,8 @@ from repro.ir.semantics import eval_wire
 from repro.ir.types import Ty
 from repro.netlist.core import GND, Netlist, VCC
 from repro.netlist.primitives import SIMD_LANES
+from repro.netlist.stats import resource_counts
+from repro.obs import NULL_TRACER
 from repro.prims import Prim
 from repro.tdl.ast import AsmDef, Target
 from repro.utils.names import NameGenerator
@@ -125,8 +127,13 @@ class CodeGenerator:
             raise CodegenError("combinational cycle in assembly function")
         return order
 
-    def generate(self, func: AsmFunc) -> Netlist:
-        """Generate the structural netlist for ``func``."""
+    def generate(self, func: AsmFunc, tracer=NULL_TRACER) -> Netlist:
+        """Generate the structural netlist for ``func``.
+
+        ``tracer`` (any :mod:`repro.obs` tracer) receives the emitted
+        primitive counts (``codegen.luts``/``ffs``/``carries``/
+        ``dsps``/``brams``/``cells``).
+        """
         if not func.is_placed:
             raise CodegenError(
                 f"function {func.name!r} has unresolved locations; "
@@ -195,6 +202,11 @@ class CodeGenerator:
 
         for port in func.outputs:
             netlist.add_output(port.name, env[port.name])
+
+        counts = resource_counts(netlist)
+        for name, value in counts.as_dict().items():
+            tracer.count(f"codegen.{name}", value)
+        tracer.count("codegen.cells", len(netlist.cells))
         return netlist
 
     def _synth_lut_instr(
@@ -247,6 +259,8 @@ class CodeGenerator:
             env[instr.dst] = local[instr.dst]
 
 
-def generate_netlist(func: AsmFunc, target: Target) -> Netlist:
+def generate_netlist(
+    func: AsmFunc, target: Target, tracer=NULL_TRACER
+) -> Netlist:
     """One-shot netlist generation."""
-    return CodeGenerator(target).generate(func)
+    return CodeGenerator(target).generate(func, tracer=tracer)

@@ -2,14 +2,20 @@
 
 Chains the pipeline stages — instruction selection, layout
 optimization (cascading), instruction placement, and code generation —
-and reports wall-clock compile time, so the benchmark harness can
-score it against the vendor-toolchain simulator.
+and measures each one through the :mod:`repro.obs` tracing layer, so
+the benchmark harness can score compile time per stage against the
+vendor-toolchain simulator.
+
+Every compile produces a :class:`CompileMetrics` (per-stage durations
+plus the counters and gauges recorded by the selector, placer, and
+code generator) and keeps the full :class:`~repro.obs.Tracer` on the
+result for structured export (Chrome ``trace_event`` JSON or a text
+table via :func:`repro.obs.format_profile`).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -22,15 +28,52 @@ from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
 from repro.ir.ast import Func
 from repro.layout.cascade import apply_cascading
 from repro.netlist.core import Netlist
+from repro.obs import Tracer
 from repro.place.device import Device, xczu3eg
 from repro.place.placer import Placer
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import ultrascale_target
 
+#: The pipeline stages of one compile, in execution order.  The
+#: optional front-end stages only appear when their flag is set.
+PIPELINE_STAGES = (
+    "optimize",
+    "vectorize",
+    "select",
+    "cascade",
+    "place",
+    "codegen",
+)
+
+
+@dataclass(frozen=True)
+class CompileMetrics:
+    """Telemetry of one compile: stage timings, counters, gauges.
+
+    ``stages`` maps stage name to seconds, in pipeline order; it only
+    holds stages that actually ran.  ``counters`` and ``gauges`` are
+    whatever the instrumented stages recorded (``isel.*``,
+    ``place.*``, ``codegen.*``).
+    """
+
+    stages: Dict[str, float]
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """The sum of stage durations (excludes import overhead)."""
+        return sum(self.stages.values())
+
 
 @dataclass
 class ReticleResult:
-    """The output of one compile: every intermediate plus timing."""
+    """The output of one compile: every intermediate plus telemetry.
+
+    ``seconds`` is the sum of the stage spans — module-import cost of
+    the optional front-end passes is deliberately excluded, so first
+    and repeat compiles report comparable timings.
+    """
 
     source: Func
     selected: AsmFunc
@@ -38,6 +81,8 @@ class ReticleResult:
     placed: AsmFunc
     netlist: Netlist
     seconds: float
+    metrics: Optional[CompileMetrics] = None
+    trace: Optional[Tracer] = None
 
     def verilog(self) -> str:
         """The final structural Verilog with layout annotations."""
@@ -67,44 +112,91 @@ class ReticleCompiler:
         self.optimize = optimize
         self.auto_vectorize = auto_vectorize
 
-    def compile(self, func: Func) -> ReticleResult:
-        """Run the full pipeline on one IR function."""
-        start = time.perf_counter()
+    def compile(
+        self, func: Func, tracer: Optional[Tracer] = None
+    ) -> ReticleResult:
+        """Run the full pipeline on one IR function.
+
+        ``tracer`` lets callers aggregate several compiles into one
+        trace; by default each compile gets a fresh
+        :class:`~repro.obs.Tracer` whose snapshot becomes
+        ``result.metrics``.
+        """
+        trace = Tracer() if tracer is None else tracer
+        # Resolve the lazy front-end imports *before* any stage clock
+        # starts: first-compile timings must not be inflated by
+        # one-time module import cost.
+        optimize_func = vectorize_func = None
         if self.optimize:
             from repro.ir.optimize import optimize_func
-
-            func = optimize_func(func)
         if self.auto_vectorize:
             from repro.ir.vectorize import vectorize_func
 
-            func = vectorize_func(func).func
-        selected = self.selector.select(func)
-        cascaded = (
-            apply_cascading(selected, self.target) if self.cascade else selected
+        stages: Dict[str, float] = {}
+        with trace.span("compile"):
+            if optimize_func is not None:
+                with trace.span("optimize") as span:
+                    func = optimize_func(func)
+                stages["optimize"] = span.seconds
+            if vectorize_func is not None:
+                with trace.span("vectorize") as span:
+                    func = vectorize_func(func).func
+                stages["vectorize"] = span.seconds
+            with trace.span("select") as span:
+                selected = self.selector.select(func, tracer=trace)
+            stages["select"] = span.seconds
+            with trace.span("cascade") as span:
+                cascaded = (
+                    apply_cascading(selected, self.target)
+                    if self.cascade
+                    else selected
+                )
+            stages["cascade"] = span.seconds
+            with trace.span("place") as span:
+                placed = self.placer.place(cascaded, tracer=trace)
+            stages["place"] = span.seconds
+            with trace.span("codegen") as span:
+                netlist = generate_netlist(placed, self.target, tracer=trace)
+            stages["codegen"] = span.seconds
+
+        metrics = CompileMetrics(
+            stages=stages,
+            counters=trace.counters,
+            gauges=trace.gauges,
         )
-        placed = self.placer.place(cascaded)
-        netlist = generate_netlist(placed, self.target)
-        seconds = time.perf_counter() - start
         return ReticleResult(
             source=func,
             selected=selected,
             cascaded=cascaded,
             placed=placed,
             netlist=netlist,
-            seconds=seconds,
+            seconds=metrics.total_seconds,
+            metrics=metrics,
+            trace=trace,
         )
 
+    def compile_prog(
+        self, prog: "Prog", tracer: Optional[Tracer] = None
+    ) -> Dict[str, ReticleResult]:
+        """Compile every function of a program; keyed by name.
 
-    def compile_prog(self, prog: "Prog") -> Dict[str, ReticleResult]:
-        """Compile every function of a program; keyed by name."""
-        return {func.name: self.compile(func) for func in prog}
+        With an explicit ``tracer`` all functions share one trace
+        (counters accumulate); otherwise each gets its own.
+        """
+        return {
+            func.name: self.compile(func, tracer=tracer) for func in prog
+        }
 
 
-def compile_func(func: Func, **kwargs) -> ReticleResult:
+def compile_func(
+    func: Func, tracer: Optional[Tracer] = None, **kwargs
+) -> ReticleResult:
     """One-shot compilation with default target and device."""
-    return ReticleCompiler(**kwargs).compile(func)
+    return ReticleCompiler(**kwargs).compile(func, tracer=tracer)
 
 
-def compile_prog(prog: "Prog", **kwargs) -> Dict[str, ReticleResult]:
+def compile_prog(
+    prog: "Prog", tracer: Optional[Tracer] = None, **kwargs
+) -> Dict[str, ReticleResult]:
     """One-shot compilation of a whole program."""
-    return ReticleCompiler(**kwargs).compile_prog(prog)
+    return ReticleCompiler(**kwargs).compile_prog(prog, tracer=tracer)

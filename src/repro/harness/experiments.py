@@ -11,8 +11,10 @@ across the three languages (base, hint, reticle).
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.compiler import ReticleCompiler
 from repro.frontend.fsm import fsm
 from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector, tensordot
 from repro.harness.flows import FlowScore, run_reticle, run_vendor
@@ -26,6 +28,14 @@ FIG13_SIZES: Dict[str, Sequence] = {
     "fsm": (3, 5, 7, 9),
 }
 FIG13_BENCHMARKS = tuple(FIG13_SIZES)
+
+# The per-stage timing trajectory (BENCH_pipeline.json) samples a
+# light subset of the Figure 13 sizes so it stays cheap to regenerate.
+BENCH_PIPELINE_SIZES: Dict[str, Sequence] = {
+    "tensoradd": (64, 256),
+    "tensordot": (9,),
+    "fsm": (5, 9),
+}
 
 
 def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
@@ -137,6 +147,79 @@ def fig4_rows(
                 }
             )
     return rows
+
+
+def pipeline_rows(
+    benches: Optional[Iterable[str]] = None,
+    sizes: Optional[Dict[str, Sequence]] = None,
+    device: Optional[Device] = None,
+) -> List[dict]:
+    """Per-stage compile telemetry for the Figure 13 workloads.
+
+    One row per (bench, size): the Reticle-flow program's stage
+    durations plus every counter and gauge the pipeline recorded.
+    This is the data behind ``BENCH_pipeline.json``.
+    """
+    device = device if device is not None else xczu3eg()
+    sizes = sizes if sizes is not None else BENCH_PIPELINE_SIZES
+    compiler = ReticleCompiler(device=device)
+    rows: List[dict] = []
+    for bench in benches if benches is not None else tuple(sizes):
+        for size in sizes[bench]:
+            func = _benchmark_funcs(bench, size)["reticle"]
+            result = compiler.compile(func)
+            assert result.metrics is not None
+            rows.append(
+                {
+                    "bench": bench,
+                    "size": size,
+                    "seconds": round(result.seconds, 6),
+                    "stages": {
+                        stage: round(duration, 6)
+                        for stage, duration in result.metrics.stages.items()
+                    },
+                    "counters": dict(result.metrics.counters),
+                    "gauges": dict(result.metrics.gauges),
+                }
+            )
+    return rows
+
+
+def pipeline_table_rows(rows: Sequence[dict]) -> List[dict]:
+    """Flatten pipeline rows for :func:`format_table`."""
+    flat: List[dict] = []
+    for row in rows:
+        entry = {
+            "bench": row["bench"],
+            "size": row["size"],
+            "total_ms": round(row["seconds"] * 1000, 3),
+        }
+        for stage, seconds in row["stages"].items():
+            entry[f"{stage}_ms"] = round(seconds * 1000, 3)
+        entry["solver_nodes"] = row["counters"].get("place.solver_nodes", 0)
+        entry["dsps"] = row["counters"].get("codegen.dsps", 0)
+        entry["luts"] = row["counters"].get("codegen.luts", 0)
+        flat.append(entry)
+    return flat
+
+
+def write_bench_pipeline(
+    path: str, rows: Optional[Sequence[dict]] = None
+) -> dict:
+    """Write the per-stage timing trajectory to ``path`` (JSON).
+
+    Returns the written payload.  This seeds the repo's perf
+    trajectory: successive revisions append comparable snapshots.
+    """
+    payload = {
+        "figure": "pipeline",
+        "device": "xczu3eg",
+        "rows": list(rows) if rows is not None else pipeline_rows(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
 
 
 def format_table(rows: Sequence[dict]) -> str:

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.compiler import ReticleCompiler
+from repro.compiler import CompileMetrics, ReticleCompiler
 from repro.ir.ast import Func
 from repro.netlist.core import Netlist
 from repro.netlist.stats import resource_counts
+from repro.obs import Tracer
 from repro.place.device import Device, xczu3eg
 from repro.timing.sta import analyze_netlist
 from repro.vendor.toolchain import VendorOptions, VendorToolchain
@@ -16,7 +17,12 @@ from repro.vendor.toolchain import VendorOptions, VendorToolchain
 
 @dataclass(frozen=True)
 class FlowScore:
-    """What the paper's Figure 13 reports, for one compile."""
+    """What the paper's Figure 13 reports, for one compile.
+
+    ``stage_seconds`` carries the per-stage breakdown of
+    ``compile_seconds`` when the flow is instrumented (the Reticle
+    pipeline); the vendor simulator reports only the total.
+    """
 
     lang: str           # "base" | "hint" | "reticle"
     compile_seconds: float
@@ -25,13 +31,19 @@ class FlowScore:
     luts: int
     dsps: int
     ffs: int
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def runtime_ns(self) -> float:
         return self.critical_ps / 1000.0
 
 
-def _score(lang: str, netlist: Netlist, seconds: float) -> FlowScore:
+def _score(
+    lang: str,
+    netlist: Netlist,
+    seconds: float,
+    metrics: Optional[CompileMetrics] = None,
+) -> FlowScore:
     counts = resource_counts(netlist)
     report = analyze_netlist(netlist)
     return FlowScore(
@@ -42,6 +54,7 @@ def _score(lang: str, netlist: Netlist, seconds: float) -> FlowScore:
         luts=counts.luts,
         dsps=counts.dsps,
         ffs=counts.ffs,
+        stage_seconds=dict(metrics.stages) if metrics is not None else None,
     )
 
 
@@ -49,12 +62,13 @@ def run_reticle(
     func: Func,
     device: Optional[Device] = None,
     compiler: Optional[ReticleCompiler] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FlowScore:
     """Compile with the Reticle pipeline and score the result."""
     if compiler is None:
         compiler = ReticleCompiler(device=device if device else xczu3eg())
-    result = compiler.compile(func)
-    return _score("reticle", result.netlist, result.seconds)
+    result = compiler.compile(func, tracer=tracer)
+    return _score("reticle", result.netlist, result.seconds, result.metrics)
 
 
 def run_vendor(

@@ -142,12 +142,17 @@ class CoverResult:
     """The minimum-cost cover of one subject tree.
 
     ``matches`` lists the chosen matches in emission (dependency)
-    order; ``cost`` is the total weighted area.
+    order; ``cost`` is the total weighted area.  ``dp_hits`` and
+    ``matches_tried`` expose the dynamic-programming effort behind the
+    cover (memo-table hits and pattern match attempts) for the
+    observability layer.
     """
 
     tree: SubjectTree
     matches: List[Match]
     cost: float
+    dp_hits: int = 0
+    matches_tried: int = 0
 
 
 def cover_tree(
@@ -163,17 +168,22 @@ def cover_tree(
     unit (see ``Selector.dsp_weight``).
     """
     best: Dict[int, Tuple[float, Match]] = {}
+    dp_hits = 0
+    matches_tried = 0
 
     def cost_of(node: SubjectNode) -> float:
+        nonlocal dp_hits, matches_tried
         key = id(node)
         cached = best.get(key)
         if cached is not None:
+            dp_hits += 1
             return cached[0]
         node_best: Optional[Tuple[float, Match]] = None
         candidates = patterns_by_root.get(
             (node.instr.op, node.instr.ty), []
         )
         for pattern in candidates:
+            matches_tried += 1
             match = match_at(pattern, node, types)
             if match is None:
                 continue
@@ -215,4 +225,10 @@ def cover_tree(
         ordered.append(match)
 
     emit(tree.root)
-    return CoverResult(tree=tree, matches=ordered, cost=total)
+    return CoverResult(
+        tree=tree,
+        matches=ordered,
+        cost=total,
+        dp_hits=dp_hits,
+        matches_tried=matches_tried,
+    )

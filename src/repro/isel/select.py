@@ -18,6 +18,7 @@ from repro.ir.typecheck import typecheck_func
 from repro.ir.wellformed import check_well_formed
 from repro.isel.cover import CoverResult, cover_tree
 from repro.isel.partition import partition
+from repro.obs import NULL_TRACER
 from repro.prims import Prim
 from repro.tdl.ast import Target
 from repro.tdl.pattern import Pattern, build_pattern
@@ -70,18 +71,30 @@ class Selector:
             cover_tree(tree, self._index, weight, types) for tree in trees
         ]
 
-    def select(self, func: Func) -> AsmFunc:
-        """Lower one IR function to assembly with unknown locations."""
+    def select(self, func: Func, tracer=NULL_TRACER) -> AsmFunc:
+        """Lower one IR function to assembly with unknown locations.
+
+        ``tracer`` (any :mod:`repro.obs` tracer) receives the
+        selection counters: trees partitioned, DP memo-table hits,
+        match attempts, and covers chosen per primitive kind.
+        """
         typecheck_func(func)
         check_well_formed(func)
 
         covers = self.cover(func)
+        tracer.count("isel.trees", len(covers))
+        tracer.count("isel.dp_hits", sum(c.dp_hits for c in covers))
+        tracer.count(
+            "isel.matches_tried", sum(c.matches_tried for c in covers)
+        )
         instrs: List[AsmOrWire] = [
             instr for instr in func.instrs if isinstance(instr, WireInstr)
         ]
+        tracer.count("isel.wires", len(instrs))
         for cover in covers:
             for match in cover.matches:
                 asm_def = match.pattern.asm_def
+                tracer.count(f"isel.covers.{asm_def.prim.value}")
                 instrs.append(
                     AsmInstr(
                         dst=match.node.dst,
@@ -105,7 +118,12 @@ class Selector:
 
 
 def select(
-    func: Func, target: Target, dsp_weight: float = DEFAULT_DSP_WEIGHT
+    func: Func,
+    target: Target,
+    dsp_weight: float = DEFAULT_DSP_WEIGHT,
+    tracer=NULL_TRACER,
 ) -> AsmFunc:
     """One-shot selection of ``func`` against ``target``."""
-    return Selector(target=target, dsp_weight=dsp_weight).select(func)
+    return Selector(target=target, dsp_weight=dsp_weight).select(
+        func, tracer=tracer
+    )

@@ -1,0 +1,71 @@
+"""Observability for the Reticle pipeline: spans, counters, gauges.
+
+The paper's evaluation (Figures 13/14) is about *where* compile time
+and resources go; this package is the measurement substrate.  It is
+zero-dependency and in-memory: a :class:`Tracer` records nested phase
+timers (spans), monotonic counters, and last-value gauges, and exports
+them as a Chrome ``trace_event`` JSON file or a text table.
+
+Tracing a region::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("select"):
+            ...
+            tracer.count("isel.trees", len(trees))
+        with tracer.span("place"):
+            ...
+            tracer.gauge("place.bbox_rows", extent)
+
+    tracer.stage_seconds()   # {"select": 0.0012, "place": 0.0304}
+    tracer.counters          # {"isel.trees": 7}
+
+Exporting::
+
+    from repro.obs import chrome_trace_json, format_profile
+
+    print(format_profile(tracer))          # human-readable table
+    open("trace.json", "w").write(chrome_trace_json(tracer))
+
+The whole pipeline is instrumented against this API
+(``ReticleCompiler.compile`` opens the root span; the selector,
+placer, and code generator record their own counters), and every
+instrumented entry point defaults to :data:`NULL_TRACER` — a no-op
+:class:`NullTracer` whose ``span``/``count``/``gauge`` cost one cheap
+method call — so uninstrumented callers pay effectively nothing.
+
+Repeated updates to one metric can go through the bound handles
+:class:`Counter`/:class:`Gauge` (see :mod:`repro.obs.metrics`); hot
+loops should accumulate a local int and record it once per stage.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    format_profile,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanRecord",
+    "Counter",
+    "Gauge",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "format_profile",
+]

@@ -1,0 +1,113 @@
+"""Exporting a tracer's telemetry.
+
+Two consumers:
+
+* ``chrome_trace`` — the Chrome ``trace_event`` JSON format, loadable
+  in ``chrome://tracing`` / Perfetto.  Spans become complete (``"X"``)
+  events with microsecond timestamps; counters and gauges become one
+  counter (``"C"``) event each at the trace's end.
+* ``format_profile`` — a human-readable table: one row per span name
+  (calls, total milliseconds, share of the root span), followed by the
+  counters and gauges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+def chrome_trace(tracer) -> Dict[str, object]:
+    """The tracer's telemetry as a Chrome ``trace_event`` object."""
+    events: List[Dict[str, object]] = []
+    end_us = 0.0
+    for record in tracer.spans:
+        start_us = record.start * 1e6
+        duration_us = record.seconds * 1e6
+        end_us = max(end_us, record.end * 1e6)
+        events.append(
+            {
+                "name": record.name,
+                "ph": "X",
+                "ts": start_us,
+                "dur": duration_us,
+                "pid": 0,
+                "tid": record.thread_id,
+                "args": {"depth": record.depth, "parent": record.parent},
+            }
+        )
+    for name, value in sorted(tracer.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": end_us,
+                "pid": 0,
+                "args": {name: value},
+            }
+        )
+    for name, value in sorted(tracer.gauges.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": end_us,
+                "pid": 0,
+                "args": {name: value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer, indent: Optional[int] = None) -> str:
+    """``chrome_trace`` rendered as a JSON string."""
+    return json.dumps(chrome_trace(tracer), indent=indent)
+
+
+def write_chrome_trace(tracer, path: str) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer, indent=2) + "\n")
+
+
+def format_profile(tracer) -> str:
+    """The tracer's telemetry as an aligned text table."""
+    spans = tracer.spans
+    lines: List[str] = []
+    if spans:
+        root_seconds = max(
+            (s.seconds for s in spans if s.depth == 0), default=0.0
+        )
+        totals: Dict[str, List[float]] = {}
+        for record in spans:
+            entry = totals.setdefault(record.name, [0, 0.0, record.depth])
+            entry[0] += 1
+            entry[1] += record.seconds
+            entry[2] = min(entry[2], record.depth)
+        name_width = max(len("span"), *(len(n) + 2 * int(t[2]) for n, t in totals.items()))
+        lines.append(
+            f"{'span'.ljust(name_width)}  {'calls':>5}  {'ms':>10}  {'share':>6}"
+        )
+        lines.append(f"{'-' * name_width}  {'-' * 5}  {'-' * 10}  {'-' * 6}")
+        for name, (calls, seconds, depth) in totals.items():
+            share = seconds / root_seconds if root_seconds > 0 else 0.0
+            label = "  " * int(depth) + name
+            lines.append(
+                f"{label.ljust(name_width)}  {calls:>5}  "
+                f"{seconds * 1000:>10.3f}  {share:>5.1%}"
+            )
+    counters = tracer.counters
+    if counters:
+        lines.append("")
+        width = max(len(name) for name in counters)
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {counters[name]}")
+    gauges = tracer.gauges
+    if gauges:
+        lines.append("")
+        width = max(len(name) for name in gauges)
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(width)}  {gauges[name]:g}")
+    return "\n".join(lines) if lines else "(no telemetry)"

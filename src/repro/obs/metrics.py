@@ -1,0 +1,47 @@
+"""Named metric handles bound to a tracer.
+
+:class:`Counter` and :class:`Gauge` are thin conveniences over
+``tracer.count``/``tracer.gauge`` for code that updates the same
+metric many times: create the handle once, update it in the loop.
+Bound to :data:`~repro.obs.tracer.NULL_TRACER` they are no-ops.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+TracerLike = "Tracer | NullTracer"
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("_tracer", "name")
+
+    def __init__(self, tracer, name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+
+    def inc(self, value: int = 1) -> None:
+        self._tracer.count(self.name, value)
+
+    @property
+    def value(self) -> int:
+        return self._tracer.counters.get(self.name, 0)
+
+
+class Gauge:
+    """A last-value-wins float metric."""
+
+    __slots__ = ("_tracer", "name")
+
+    def __init__(self, tracer, name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+
+    def set(self, value: float) -> None:
+        self._tracer.gauge(self.name, value)
+
+    @property
+    def value(self) -> float:
+        return self._tracer.gauges.get(self.name, 0.0)

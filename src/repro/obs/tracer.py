@@ -1,0 +1,228 @@
+"""Span-based tracing with counters and gauges.
+
+A :class:`Tracer` collects three kinds of telemetry:
+
+* **Spans** — named, nested wall-clock intervals entered with
+  ``with tracer.span("select"):``.  Each finished span records its
+  name, start/end offsets (seconds since the tracer's epoch), nesting
+  depth, parent span name, and thread id.
+* **Counters** — monotonically accumulated integers
+  (``tracer.count("isel.dp_hits", 3)``).
+* **Gauges** — last-value-wins floats
+  (``tracer.gauge("place.bbox_rows", 12)``).
+
+All mutation is guarded by a lock so one tracer can be shared across
+threads; the span *stack* is thread-local, so concurrent threads nest
+independently.
+
+When no observation is wanted, :data:`NULL_TRACER` (an instance of
+:class:`NullTracer`) provides the same API as pure no-ops, so
+instrumented code never branches on "is tracing enabled".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start``/``end`` are seconds since the tracer's epoch (the
+    moment the tracer was created), so records from one tracer are
+    directly comparable.
+    """
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    parent: Optional[str]
+    thread_id: int
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+class Span:
+    """Context manager handle for one in-flight span.
+
+    After exit, :attr:`record` holds the finished :class:`SpanRecord`
+    and :attr:`seconds` its duration, so callers that need the elapsed
+    time of a specific ``with`` block read it off the handle.
+    """
+
+    __slots__ = ("_tracer", "name", "_start", "_depth", "_parent", "record")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.record: Optional[SpanRecord] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.record.seconds if self.record is not None else 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._clock()
+        self._tracer._stack().pop()
+        self.record = SpanRecord(
+            name=self.name,
+            start=self._start - self._tracer._epoch,
+            end=end - self._tracer._epoch,
+            depth=self._depth,
+            parent=self._parent,
+            thread_id=threading.get_ident(),
+        )
+        self._tracer._record(self.record)
+
+
+class Tracer:
+    """Thread-safe, in-memory span/counter/gauge collector."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """A context manager timing one named phase (nestable)."""
+        return Span(self, name)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    # -- reading -----------------------------------------------------
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """All finished spans, in start order."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.start, -s.end))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def durations(self, depth: Optional[int] = None) -> Dict[str, float]:
+        """Total seconds per span name, in first-start order.
+
+        ``depth`` restricts the aggregation to spans at one nesting
+        level (0 = roots, 1 = direct children of a root, ...).
+        """
+        totals: Dict[str, float] = {}
+        for record in self.spans:
+            if depth is not None and record.depth != depth:
+                continue
+            totals[record.name] = totals.get(record.name, 0.0) + record.seconds
+        return totals
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage totals: the direct children of the root span.
+
+        Falls back to the root spans themselves when nothing nested
+        (a tracer used without an enclosing root span).
+        """
+        stages = self.durations(depth=1)
+        return stages if stages else self.durations(depth=0)
+
+
+class _NullSpan:
+    """The reusable no-op span; entering and exiting cost two calls."""
+
+    __slots__ = ()
+
+    seconds = 0.0
+    record = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A do-nothing tracer with the full :class:`Tracer` API.
+
+    Instrumented code takes this as its default so the uninstrumented
+    path stays allocation-free and branch-free.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        return []
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {}
+
+    def durations(self, depth: Optional[int] = None) -> Dict[str, float]:
+        return {}
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.asm.ast import AsmFunc, AsmInstr
 from repro.asm.coords import Coord, CoordLit, Loc
 from repro.errors import PlacementError
+from repro.obs import NULL_TRACER
 from repro.place.device import Device, LUTS_PER_SLICE
 from repro.place.solver import (
     PlacementItem,
@@ -108,7 +109,10 @@ class Placer:
         )
 
     def _shrink(
-        self, items: List[PlacementItem], solution: PlacementSolution
+        self,
+        items: List[PlacementItem],
+        solution: PlacementSolution,
+        tracer=NULL_TRACER,
     ) -> PlacementSolution:
         """Binary-search the smallest feasible area (paper Section 5.3).
 
@@ -150,6 +154,7 @@ class Placer:
                         bounds_row[prim] = middle
                     else:
                         bounds_col[prim] = middle
+                    tracer.count("place.shrink_probes")
                     try:
                         candidate = self._solve(
                             items,
@@ -158,8 +163,11 @@ class Placer:
                             budget=self.probe_budget,
                         )
                     except PlacementError:
+                        tracer.count("place.shrink_infeasible")
                         low = middle + 1
                         continue
+                    tracer.count("place.solver_nodes", candidate.nodes)
+                    tracer.count("place.backtracks", candidate.backtracks)
                     best = candidate
                     high = middle
                 if dimension == "row":
@@ -168,14 +176,31 @@ class Placer:
                     max_col[prim] = high
         return best
 
-    def place(self, func: AsmFunc) -> AsmFunc:
-        """Resolve every location in ``func``; raises on failure."""
+    def place(self, func: AsmFunc, tracer=NULL_TRACER) -> AsmFunc:
+        """Resolve every location in ``func``; raises on failure.
+
+        ``tracer`` (any :mod:`repro.obs` tracer) receives the search
+        counters — solver nodes, backtracks, shrink probes — and the
+        final bounding-box gauges.
+        """
         items, ordered = self._items(func)
         if not items:
             return func
+        tracer.count("place.items", len(items))
         solution = self._solve(items, {}, {})
+        tracer.count("place.solver_nodes", solution.nodes)
+        tracer.count("place.backtracks", solution.backtracks)
         if self.shrink:
-            solution = self._shrink(items, solution)
+            solution = self._shrink(items, solution, tracer)
+
+        bbox_cols = max(
+            solution.positions[item.key][0] for item in items
+        ) + 1
+        bbox_rows = max(
+            solution.positions[item.key][1] + item.span for item in items
+        )
+        tracer.gauge("place.bbox_cols", bbox_cols)
+        tracer.gauge("place.bbox_rows", bbox_rows)
 
         resolved: Dict[str, AsmInstr] = {}
         for item, instr in zip(items, ordered):
@@ -195,6 +220,9 @@ def place(
     target: Target,
     device: Device,
     shrink: bool = True,
+    tracer=NULL_TRACER,
 ) -> AsmFunc:
     """One-shot placement."""
-    return Placer(target=target, device=device, shrink=shrink).place(func)
+    return Placer(target=target, device=device, shrink=shrink).place(
+        func, tracer=tracer
+    )

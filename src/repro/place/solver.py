@@ -87,10 +87,18 @@ class PlacementProblem:
 
 @dataclass
 class PlacementSolution:
-    """Variable values and concrete per-item positions."""
+    """Variable values and concrete per-item positions.
+
+    ``nodes`` and ``backtracks`` report the search effort that
+    produced the solution (for the observability layer): nodes are
+    budget-counted search steps, backtracks are cluster commits that
+    had to be undone.
+    """
 
     var_values: Dict[str, int]
     positions: Dict[int, Tuple[int, int]]
+    nodes: int = 0
+    backtracks: int = 0
 
 
 class _Occupancy:
@@ -180,6 +188,7 @@ class _Solver:
         self.values: Dict[str, int] = {}
         self.node_budget = node_budget
         self.nodes = 0
+        self.backtracks = 0
         # Per-problem caches: allowed columns by prim, usable rows by
         # column (domains are recomputed millions of times in search).
         self._columns: Dict[Prim, List[int]] = {
@@ -302,6 +311,7 @@ class _Solver:
                     del positions[item.key]
             for item, col, row in reversed(placed):
                 self.occupancy.remove(col, row, item.span)
+            self.backtracks += 1
             return False
 
         def assign_vars(
@@ -322,7 +332,12 @@ class _Solver:
 
         if not place_cluster(0):
             raise PlacementError("no valid placement exists")
-        return PlacementSolution(var_values=dict(self.values), positions=positions)
+        return PlacementSolution(
+            var_values=dict(self.values),
+            positions=positions,
+            nodes=self.nodes,
+            backtracks=self.backtracks,
+        )
 
     def _domain(self, cluster: _Cluster, var: str) -> Iterator[int]:
         """Candidate values for one variable, ascending."""

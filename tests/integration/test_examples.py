@@ -1,13 +1,31 @@
 """Every example script must run clean end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def example_env():
+    """The subprocess environment: ``repro`` importable from anywhere.
+
+    The examples run with ``cwd=tmp_path``, so an inherited *relative*
+    ``PYTHONPATH=src`` (how the test suite itself is usually invoked)
+    would resolve against the wrong directory; prepend the absolute
+    ``<repo>/src`` instead.
+    """
+    env = dict(os.environ)
+    entries = [str(REPO_ROOT / "src")]
+    if env.get("PYTHONPATH"):
+        entries.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(entries)
+    return env
 
 
 def test_examples_directory_populated():
@@ -24,6 +42,7 @@ def test_example_runs(name, tmp_path):
     completed = subprocess.run(
         arguments,
         cwd=tmp_path,  # examples may write artifacts (VCD files)
+        env=example_env(),
         capture_output=True,
         text=True,
         timeout=300,

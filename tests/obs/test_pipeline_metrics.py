@@ -1,0 +1,112 @@
+"""End-to-end: the compiler pipeline is observable.
+
+Acceptance shape: one compile exposes per-stage durations for
+select/cascade/place/codegen and at least five distinct counters drawn
+from the selector, the placer, and the code generator.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import ReticleCompiler, compile_func
+from repro.ir.parser import parse_func
+from repro.obs import Tracer, chrome_trace_json
+
+MULADD = """
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c) @dsp;
+}
+"""
+
+CORE_STAGES = ("select", "cascade", "place", "codegen")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compile_func(parse_func(MULADD))
+
+
+class TestPipelineSpans:
+    def test_every_stage_has_a_nonzero_span(self, result):
+        names = {span.name for span in result.trace.spans}
+        assert names == {"compile", *CORE_STAGES}
+        for span in result.trace.spans:
+            assert span.seconds > 0, span.name
+
+    def test_stages_nest_under_the_root_compile_span(self, result):
+        for span in result.trace.spans:
+            if span.name == "compile":
+                assert span.depth == 0 and span.parent is None
+            else:
+                assert span.depth == 1 and span.parent == "compile"
+
+    def test_metrics_stage_durations(self, result):
+        assert tuple(result.metrics.stages) == CORE_STAGES
+        for stage, seconds in result.metrics.stages.items():
+            assert seconds > 0, stage
+
+    def test_seconds_is_the_sum_of_stage_spans(self, result):
+        assert result.seconds == pytest.approx(
+            sum(result.metrics.stages.values())
+        )
+        assert result.seconds == pytest.approx(result.metrics.total_seconds)
+
+    def test_optional_front_end_stages_appear_when_enabled(self):
+        compiler = ReticleCompiler(optimize=True, auto_vectorize=True)
+        result = compiler.compile(parse_func(MULADD))
+        assert tuple(result.metrics.stages) == (
+            "optimize",
+            "vectorize",
+            *CORE_STAGES,
+        )
+
+
+class TestPipelineCounters:
+    def test_counters_cover_isel_place_and_codegen(self, result):
+        counters = result.metrics.counters
+        expected = {
+            "isel.trees",
+            "isel.dp_hits",
+            "isel.matches_tried",
+            "place.items",
+            "place.solver_nodes",
+            "place.backtracks",
+            "place.shrink_probes",
+            "codegen.luts",
+            "codegen.dsps",
+            "codegen.cells",
+        }
+        assert expected <= set(counters)
+        assert len(counters) >= 5
+
+    def test_counter_values_reflect_the_program(self, result):
+        counters = result.metrics.counters
+        # mul+add fuses into one DSP muladd: one tree, one DSP cover,
+        # one placed item, one DSP cell.
+        assert counters["isel.trees"] == 1
+        assert counters["isel.covers.dsp"] == 1
+        assert counters["place.items"] == 1
+        assert counters["codegen.dsps"] == 1
+        assert counters["place.solver_nodes"] > 0
+
+    def test_bounding_box_gauges(self, result):
+        gauges = result.metrics.gauges
+        assert gauges["place.bbox_cols"] >= 1
+        assert gauges["place.bbox_rows"] >= 1
+
+
+class TestTracerThreading:
+    def test_external_tracer_aggregates_compiles(self):
+        tracer = Tracer()
+        compiler = ReticleCompiler()
+        compiler.compile(parse_func(MULADD), tracer=tracer)
+        compiler.compile(parse_func(MULADD), tracer=tracer)
+        assert tracer.counters["isel.trees"] == 2
+        assert sum(1 for s in tracer.spans if s.name == "compile") == 2
+
+    def test_compile_trace_exports_as_chrome_json(self, result):
+        trace = json.loads(chrome_trace_json(result.trace))
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"compile", *CORE_STAGES} <= names

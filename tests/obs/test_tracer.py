@@ -1,0 +1,199 @@
+"""Unit tests for the tracing/metrics substrate."""
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    format_profile,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    """A deterministic perf_counter stand-in."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSpans:
+    def test_nested_spans_record_depth_parent_and_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("compile"):
+            clock.advance(1.0)
+            with tracer.span("select"):
+                clock.advance(2.0)
+            with tracer.span("place"):
+                clock.advance(4.0)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["compile"].depth == 0
+        assert spans["compile"].parent is None
+        assert spans["compile"].seconds == 7.0
+        assert spans["select"].depth == 1
+        assert spans["select"].parent == "compile"
+        assert spans["select"].seconds == 2.0
+        assert spans["place"].seconds == 4.0
+
+    def test_spans_listed_in_start_order(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root"):
+            with tracer.span("first"):
+                clock.advance(1.0)
+            with tracer.span("second"):
+                clock.advance(1.0)
+        # The root finishes last but started first.
+        assert [s.name for s in tracer.spans] == ["root", "first", "second"]
+
+    def test_span_handle_exposes_seconds(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work") as span:
+            clock.advance(3.5)
+        assert span.seconds == 3.5
+        assert span.record.name == "work"
+
+    def test_durations_aggregate_by_name_and_depth(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for _ in range(3):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    clock.advance(1.0)
+        assert tracer.durations() == {"outer": 3.0, "inner": 3.0}
+        assert tracer.durations(depth=1) == {"inner": 3.0}
+        assert tracer.stage_seconds() == {"inner": 3.0}
+
+    def test_stage_seconds_falls_back_to_roots(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("flat"):
+            clock.advance(2.0)
+        assert tracer.stage_seconds() == {"flat": 2.0}
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        tracer.count("misses", 0)
+        assert tracer.counters == {"hits": 5, "misses": 0}
+
+    def test_counter_handle(self):
+        tracer = Tracer()
+        counter = Counter(tracer, "steps")
+        counter.inc()
+        counter.inc(9)
+        assert counter.value == 10
+        assert tracer.counters["steps"] == 10
+
+    def test_gauge_last_value_wins(self):
+        tracer = Tracer()
+        tracer.gauge("bbox", 4)
+        tracer.gauge("bbox", 2)
+        assert tracer.gauges == {"bbox": 2.0}
+        gauge = Gauge(tracer, "bbox")
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(1000):
+                tracer.count("n")
+                with tracer.span("tick"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.counters["n"] == 4000
+        assert len(tracer.spans) == 4000
+
+
+class TestNullTracer:
+    def test_null_tracer_is_a_silent_sink(self):
+        with NULL_TRACER.span("anything"):
+            NULL_TRACER.count("whatever", 10)
+            NULL_TRACER.gauge("thing", 1.5)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.counters == {}
+        assert NULL_TRACER.gauges == {}
+        assert NULL_TRACER.stage_seconds() == {}
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_null_span_is_reused(self):
+        # The no-op path allocates nothing per span.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NULL_TRACER.span("a").seconds == 0.0
+
+    def test_handles_bound_to_null_tracer_are_noops(self):
+        counter = Counter(NULL_TRACER, "x")
+        counter.inc(5)
+        assert counter.value == 0
+        gauge = Gauge(NULL_TRACER, "y")
+        gauge.set(3)
+        assert gauge.value == 0.0
+
+
+class TestExport:
+    def _sample_tracer(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("compile"):
+            with tracer.span("select"):
+                clock.advance(0.002)
+            tracer.count("isel.trees", 3)
+            tracer.gauge("place.bbox_rows", 5)
+        return tracer
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(tracer)
+        assert loaded == json.loads(chrome_trace_json(tracer))
+
+        events = {e["name"]: e for e in loaded["traceEvents"]}
+        assert events["select"]["ph"] == "X"
+        assert events["select"]["dur"] == 2000.0  # microseconds
+        assert events["select"]["args"]["parent"] == "compile"
+        assert events["compile"]["ts"] == 0.0
+        assert events["isel.trees"]["ph"] == "C"
+        assert events["isel.trees"]["args"] == {"isel.trees": 3}
+        assert events["place.bbox_rows"]["args"] == {"place.bbox_rows": 5.0}
+
+    def test_format_profile_table(self):
+        tracer = self._sample_tracer()
+        table = format_profile(tracer)
+        assert "compile" in table
+        assert "select" in table
+        assert "isel.trees" in table
+        assert "place.bbox_rows" in table
+        assert "100.0%" in table
+
+    def test_empty_tracer_formats(self):
+        assert format_profile(Tracer()) == "(no telemetry)"
+        assert chrome_trace(Tracer()) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }

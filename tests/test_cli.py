@@ -72,6 +72,50 @@ class TestCompile:
         assert "??" not in out
 
 
+class TestProfile:
+    def test_compile_profile_prints_stage_table(
+        self, program_file, tmp_path, capsys
+    ):
+        output = tmp_path / "out.v"
+        assert (
+            main(["compile", program_file, "-o", str(output), "--profile"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        for stage in ("compile", "select", "cascade", "place", "codegen"):
+            assert stage in err
+        assert "counters" in err
+        assert "isel.trees" in err
+
+    def test_compile_trace_out_writes_chrome_trace(
+        self, program_file, tmp_path
+    ):
+        output = tmp_path / "out.v"
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "compile",
+                    program_file,
+                    "-o",
+                    str(output),
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        loaded = json.loads(trace.read_text())
+        names = {event["name"] for event in loaded["traceEvents"]}
+        assert {"compile", "select", "place", "codegen"} <= names
+
+    def test_place_profile(self, program_file, capsys):
+        assert main(["place", program_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "??" not in captured.out
+        assert "place.solver_nodes" in captured.err
+
+
 class TestBehav:
     def test_emits_behavioral_verilog(self, program_file, capsys):
         assert main(["behav", program_file, "--use-dsp"]) == 0

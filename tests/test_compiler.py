@@ -77,6 +77,29 @@ class TestCompile:
         assert resource_counts(vectorized.netlist).dsps == 1
 
 
+class TestCompileTimings:
+    """``seconds`` must reflect pipeline work, not import overhead."""
+
+    def test_seconds_is_sum_of_stage_spans(self):
+        result = compile_func(parse_func(MULADD))
+        assert result.seconds == pytest.approx(
+            sum(result.metrics.stages.values())
+        )
+
+    def test_consecutive_compiles_report_comparable_stage_timings(self):
+        # Regression: the clock used to start before the lazy
+        # optimize/vectorize imports, so the *first* compile of a
+        # process reported wildly inflated timings.  With per-stage
+        # spans the import cost is excluded, so two back-to-back
+        # compiles must agree to well within an order of magnitude.
+        compiler = ReticleCompiler(optimize=True, auto_vectorize=True)
+        first = compiler.compile(parse_func(MULADD))
+        second = compiler.compile(parse_func(MULADD))
+        assert set(first.metrics.stages) == set(second.metrics.stages)
+        assert first.seconds < 20 * second.seconds
+        assert second.seconds < 20 * first.seconds
+
+
 class TestCompileProg:
     def test_every_function_compiled(self):
         prog = parse_prog(
