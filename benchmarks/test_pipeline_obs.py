@@ -62,6 +62,28 @@ class TestPipelineTimings:
             assert counters["place.solver_nodes"] > 0
             assert counters["codegen.cells"] > 0
 
+    def test_cache_counters_recorded(self, rows):
+        # Every row is a cold+warm pair through the content-addressed
+        # compile cache; both sides must be visible in the counters.
+        for row in rows:
+            counters = row["counters"]
+            assert counters["cache.misses"] == 1, (row["bench"], row["size"])
+            assert counters["cache.stores"] == 1
+            assert counters["cache.hits"] == 1
+            assert counters["cache.memory_hits"] == 1
+
+    def test_warm_recompile_at_least_10x_faster_than_cold(self, rows):
+        # The headline cache win: recompiling an identical Fig. 13
+        # workload is near-free.  Compare in aggregate so one noisy
+        # lookup cannot flake the suite (each hit is typically
+        # microseconds against milliseconds of pipeline work).
+        cold = sum(row["seconds"] for row in rows)
+        warm = sum(row["warm_seconds"] for row in rows)
+        assert warm > 0
+        assert cold >= 10 * warm, (cold, warm)
+        for row in rows:
+            assert row["warm_seconds"] < row["seconds"], row["bench"]
+
     def test_placement_dominates_fsm_at_scale(self, rows):
         # The paper's compile-time story (Section 7.2): the constraint
         # solving layout stage eats the budget as designs grow.  The
@@ -85,3 +107,7 @@ class TestBenchPipelineJson:
         assert len(loaded["rows"]) == len(rows)
         for row in loaded["rows"]:
             assert set(row["stages"]) == set(CORE_STAGES)
+            assert row["warm_seconds"] > 0
+            assert any(
+                name.startswith("cache.") for name in row["counters"]
+            )

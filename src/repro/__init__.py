@@ -59,6 +59,12 @@ from repro.ir import (
     print_prog,
 )
 from repro.obs import NULL_TRACER, Tracer
+from repro.passes import (
+    CompileCache,
+    PassManager,
+    PIPELINE_PRESETS,
+    resolve_pipeline,
+)
 from repro.prims import Prim
 
 __version__ = "1.0.0"
@@ -68,6 +74,10 @@ __all__ = [
     "ReticleResult",
     "CompileMetrics",
     "compile_func",
+    "CompileCache",
+    "PassManager",
+    "PIPELINE_PRESETS",
+    "resolve_pipeline",
     "Tracer",
     "NULL_TRACER",
     "ReticleError",

@@ -8,8 +8,10 @@ Subcommands mirror the toolchain stages::
     reticle place    prog.ret          # IR -> placed assembly
     reticle compile  prog.ret -o out.v # IR -> structural Verilog
     reticle compile  prog.ret -o out.v --profile --trace-out trace.json
+    reticle compile  prog.ret --passes full --cache-dir .ret-cache --jobs 4
     reticle behav    prog.ret          # IR -> behavioral Verilog
     reticle tdl                        # dump the UltraScale target
+    reticle passes                     # list pipeline passes/presets
     reticle bench fig13 tensoradd      # regenerate a figure's rows
 
 Programs are read in the textual IR format (see README); traces are
@@ -43,6 +45,7 @@ from repro.ir.wellformed import check_well_formed
 from repro.isel.select import select
 from repro.obs import Tracer, format_profile, write_chrome_trace
 from repro.layout.cascade import apply_cascading
+from repro.passes import PASS_REGISTRY, PIPELINE_PRESETS
 from repro.tdl.ecp5 import ecp5_target
 from repro.tdl.ultrascale import ultrascale_target, ultrascale_tdl_text
 
@@ -156,6 +159,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         optimize=args.opt,
         auto_vectorize=args.vectorize,
+        passes=args.passes,
+        cache_dir=args.cache_dir,
     )
     if args.pipeline:
         from repro.ir.ast import Prog
@@ -170,7 +175,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     # One tracer across every function, so --profile aggregates the
     # whole program and --trace-out gets a single coherent timeline.
     tracer = Tracer()
-    results = compiler.compile_prog(prog, tracer=tracer)
+    results = compiler.compile_prog(prog, tracer=tracer, jobs=args.jobs)
     _write_output(
         "\n\n".join(result.verilog() for result in results.values()),
         args.output,
@@ -183,10 +188,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             for result in results.values():
                 handle.write(generate_xdc(result.netlist))
     for name, result in results.items():
+        cached = " (cached)" if result.cached else ""
         print(
-            f"// compiled {name} in {result.seconds:.3f}s",
+            f"// compiled {name} in {result.seconds:.3f}s{cached}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    print("passes:")
+    for name in PASS_REGISTRY:
+        print(f"  {name}")
+    print("presets:")
+    for name, names in PIPELINE_PRESETS.items():
+        print(f"  {name}: {','.join(names)}")
     return 0
 
 
@@ -311,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STAGES",
         help="auto-pipeline combinational programs into STAGES cuts (§8.1)",
     )
+    compilec.add_argument(
+        "--passes",
+        metavar="SPEC",
+        help="pipeline preset or comma-separated pass list (see "
+        "'reticle passes'); overrides --opt/--vectorize",
+    )
+    compilec.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed compile cache directory (hits/misses "
+        "show up as cache.* counters under --profile)",
+    )
+    compilec.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile a multi-function program on N worker threads",
+    )
     add_profile_args(compilec)
 
     behav = add("behav", _cmd_behav, "emit behavioral Verilog (baseline)")
@@ -321,6 +356,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     tdl = add("tdl", _cmd_tdl, "dump the UltraScale target description")
     tdl.add_argument("-o", "--output")
+
+    add("passes", _cmd_passes, "list pipeline passes and presets")
 
     fuzz = add("fuzz", _cmd_fuzz, "differentially fuzz every flow")
     fuzz.add_argument("--iterations", type=int, default=25)

@@ -1,10 +1,25 @@
 """The end-to-end Reticle compiler (paper Figure 7).
 
-Chains the pipeline stages — instruction selection, layout
-optimization (cascading), instruction placement, and code generation —
-and measures each one through the :mod:`repro.obs` tracing layer, so
-the benchmark harness can score compile time per stage against the
-vendor-toolchain simulator.
+Since the pass-manager refactor this module is a thin facade over
+:mod:`repro.passes`: the pipeline is a :class:`~repro.passes.
+PassManager` built from a spec (a preset name like ``"default"`` /
+``"full"``, a comma-separated pass list, or explicit pass objects),
+executed over a :class:`~repro.passes.CompileArtifact` under a
+:class:`~repro.passes.CompileContext`.  The manager emits the
+:mod:`repro.obs` spans generically — one root ``compile`` span, one
+child per pass — so the per-stage story (Figure 13) comes for free for
+any pipeline.
+
+Two scaling features ride on that spine:
+
+* a **content-addressed compile cache** (``cache=CompileCache(...)``
+  or ``cache_dir="..."``): compiles are memoized under a SHA-256 of
+  the canonical IR text, target/device names, pipeline, and options,
+  with ``cache.*`` counters reported through the tracer;
+* **parallel whole-program compilation** (``compile_prog(prog,
+  jobs=N)``): the functions of a multi-function program are
+  independent, so they fan out over a thread pool, each worker
+  recording into a private tracer that is merged into the shared one.
 
 Every compile produces a :class:`CompileMetrics` (per-stage durations
 plus the counters and gauges recorded by the selector, placer, and
@@ -15,20 +30,31 @@ table via :func:`repro.obs.format_profile`).
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ir.ast import Prog
 
 from repro.asm.ast import AsmFunc
-from repro.codegen.generate import generate_netlist
 from repro.codegen.verilog_emit import generate_verilog
+from repro.errors import ReticleError
 from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
 from repro.ir.ast import Func
-from repro.layout.cascade import apply_cascading
 from repro.netlist.core import Netlist
 from repro.obs import Tracer
+from repro.passes import (
+    CachedCompile,
+    CompileArtifact,
+    CompileCache,
+    CompileContext,
+    PassManager,
+    cache_key,
+    resolve_pipeline,
+)
+from repro.passes.stages import PipelineSpec
 from repro.place.device import Device, xczu3eg
 from repro.place.placer import Placer
 from repro.tdl.ast import Target
@@ -51,9 +77,10 @@ class CompileMetrics:
     """Telemetry of one compile: stage timings, counters, gauges.
 
     ``stages`` maps stage name to seconds, in pipeline order; it only
-    holds stages that actually ran.  ``counters`` and ``gauges`` are
-    whatever the instrumented stages recorded (``isel.*``,
-    ``place.*``, ``codegen.*``).
+    holds stages that actually ran (a cache hit reports a single
+    ``cache`` pseudo-stage).  ``counters`` and ``gauges`` are whatever
+    the instrumented stages recorded (``isel.*``, ``place.*``,
+    ``codegen.*``, ``cache.*``).
     """
 
     stages: Dict[str, float]
@@ -70,9 +97,13 @@ class CompileMetrics:
 class ReticleResult:
     """The output of one compile: every intermediate plus telemetry.
 
-    ``seconds`` is the sum of the stage spans — module-import cost of
-    the optional front-end passes is deliberately excluded, so first
-    and repeat compiles report comparable timings.
+    ``source`` is the *pristine* input function — front-end passes
+    (optimize/vectorize) rewrite a private copy, never what is
+    reported back.  ``seconds`` is the sum of the stage spans —
+    module-import cost of the optional front-end passes is
+    deliberately excluded, so first and repeat compiles report
+    comparable timings.  ``cached`` is True when the artifacts came
+    out of the compile cache rather than a pipeline run.
     """
 
     source: Func
@@ -83,6 +114,7 @@ class ReticleResult:
     seconds: float
     metrics: Optional[CompileMetrics] = None
     trace: Optional[Tracer] = None
+    cached: bool = False
 
     def verilog(self) -> str:
         """The final structural Verilog with layout annotations."""
@@ -90,7 +122,16 @@ class ReticleResult:
 
 
 class ReticleCompiler:
-    """Reusable compiler for one target/device pair."""
+    """Reusable compiler facade for one target/device pair.
+
+    The boolean knobs (``optimize``/``auto_vectorize``/``cascade``)
+    are kept for API compatibility and map onto a pipeline spec;
+    ``passes`` overrides them with an explicit spec.  One
+    :class:`~repro.isel.select.Selector` (pattern index built once)
+    and one :class:`~repro.place.placer.Placer` are shared across
+    compiles — both are stateless per compile, so they are safe under
+    concurrent ``compile_prog`` workers.
+    """
 
     def __init__(
         self,
@@ -101,6 +142,10 @@ class ReticleCompiler:
         cascade: bool = True,
         optimize: bool = False,
         auto_vectorize: bool = False,
+        passes: Optional[PipelineSpec] = None,
+        cache: Optional[CompileCache] = None,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
     ) -> None:
         self.target = target if target is not None else ultrascale_target()
         self.device = device if device is not None else xczu3eg()
@@ -111,11 +156,67 @@ class ReticleCompiler:
         self.cascade = cascade
         self.optimize = optimize
         self.auto_vectorize = auto_vectorize
+        self.options: Dict[str, object] = {
+            "dsp_weight": dsp_weight,
+            "shrink": shrink,
+            "cascade": cascade,
+        }
+        if passes is None:
+            names = []
+            if optimize:
+                names.append("optimize")
+            if auto_vectorize:
+                names.append("vectorize")
+            names.extend(("select", "cascade", "place", "codegen"))
+            passes = names
+        self.pass_manager = PassManager(resolve_pipeline(passes))
+        if cache is None and cache_dir is not None:
+            cache = CompileCache(cache_dir=cache_dir)
+        self.cache = cache
+        self.jobs = jobs
+
+    # -- caching -----------------------------------------------------
+
+    def cache_key(self, func: Func) -> str:
+        """The content address of compiling ``func`` with this config."""
+        return cache_key(
+            func,
+            target_name=self.target.name,
+            device_name=self.device.name,
+            pipeline=self.pass_manager.names,
+            options=self.options,
+        )
+
+    def _result_from_cache(
+        self,
+        func: Func,
+        entry: CachedCompile,
+        seconds: float,
+        trace: Tracer,
+    ) -> ReticleResult:
+        metrics = CompileMetrics(
+            stages={"cache": seconds},
+            counters=trace.counters,
+            gauges=trace.gauges,
+        )
+        return ReticleResult(
+            source=func,
+            selected=entry.selected,
+            cascaded=entry.cascaded,
+            placed=entry.placed,
+            netlist=entry.netlist,
+            seconds=metrics.total_seconds,
+            metrics=metrics,
+            trace=trace,
+            cached=True,
+        )
+
+    # -- compiling ---------------------------------------------------
 
     def compile(
         self, func: Func, tracer: Optional[Tracer] = None
     ) -> ReticleResult:
-        """Run the full pipeline on one IR function.
+        """Run the pipeline on one IR function (or hit the cache).
 
         ``tracer`` lets callers aggregate several compiles into one
         trace; by default each compile gets a fresh
@@ -123,69 +224,102 @@ class ReticleCompiler:
         ``result.metrics``.
         """
         trace = Tracer() if tracer is None else tracer
-        # Resolve the lazy front-end imports *before* any stage clock
-        # starts: first-compile timings must not be inflated by
-        # one-time module import cost.
-        optimize_func = vectorize_func = None
-        if self.optimize:
-            from repro.ir.optimize import optimize_func
-        if self.auto_vectorize:
-            from repro.ir.vectorize import vectorize_func
+        key = None
+        if self.cache is not None:
+            key = self.cache_key(func)
+            start = time.perf_counter()
+            entry = self.cache.get(key, tracer=trace)
+            if entry is not None:
+                seconds = time.perf_counter() - start
+                return self._result_from_cache(func, entry, seconds, trace)
 
-        stages: Dict[str, float] = {}
-        with trace.span("compile"):
-            if optimize_func is not None:
-                with trace.span("optimize") as span:
-                    func = optimize_func(func)
-                stages["optimize"] = span.seconds
-            if vectorize_func is not None:
-                with trace.span("vectorize") as span:
-                    func = vectorize_func(func).func
-                stages["vectorize"] = span.seconds
-            with trace.span("select") as span:
-                selected = self.selector.select(func, tracer=trace)
-            stages["select"] = span.seconds
-            with trace.span("cascade") as span:
-                cascaded = (
-                    apply_cascading(selected, self.target)
-                    if self.cascade
-                    else selected
-                )
-            stages["cascade"] = span.seconds
-            with trace.span("place") as span:
-                placed = self.placer.place(cascaded, tracer=trace)
-            stages["place"] = span.seconds
-            with trace.span("codegen") as span:
-                netlist = generate_netlist(placed, self.target, tracer=trace)
-            stages["codegen"] = span.seconds
-
+        ctx = CompileContext(
+            target=self.target,
+            device=self.device,
+            options=dict(self.options),
+            tracer=trace,
+            selector=self.selector,
+            placer=self.placer,
+        )
+        artifact = self.pass_manager.run(
+            CompileArtifact(source=func, func=func), ctx
+        )
+        if artifact.netlist is None:
+            raise ReticleError(
+                "pipeline did not produce a netlist (passes: "
+                + ", ".join(self.pass_manager.names)
+                + ")"
+            )
+        selected = (
+            artifact.selected if artifact.selected is not None else artifact.asm
+        )
+        cascaded = (
+            artifact.cascaded if artifact.cascaded is not None else selected
+        )
+        placed = artifact.placed if artifact.placed is not None else cascaded
+        if key is not None:
+            self.cache.put(
+                key,
+                CachedCompile(
+                    selected=selected,
+                    cascaded=cascaded,
+                    placed=placed,
+                    netlist=artifact.netlist,
+                    stages=dict(ctx.stats),
+                ),
+                tracer=trace,
+            )
         metrics = CompileMetrics(
-            stages=stages,
+            stages=ctx.stats,
             counters=trace.counters,
             gauges=trace.gauges,
         )
         return ReticleResult(
-            source=func,
+            source=artifact.source,
             selected=selected,
             cascaded=cascaded,
             placed=placed,
-            netlist=netlist,
+            netlist=artifact.netlist,
             seconds=metrics.total_seconds,
             metrics=metrics,
             trace=trace,
         )
 
     def compile_prog(
-        self, prog: "Prog", tracer: Optional[Tracer] = None
+        self,
+        prog: "Prog",
+        tracer: Optional[Tracer] = None,
+        jobs: Optional[int] = None,
     ) -> Dict[str, ReticleResult]:
         """Compile every function of a program; keyed by name.
 
         With an explicit ``tracer`` all functions share one trace
-        (counters accumulate); otherwise each gets its own.
+        (counters accumulate); otherwise each gets its own.  With
+        ``jobs > 1`` functions compile concurrently on a thread pool —
+        they are independent — and each worker's private tracer is
+        merged into the shared one (definition order, so merged
+        telemetry is deterministic).  Results are identical to a
+        serial compile: the selector's pattern index is read-only and
+        the placer keeps no per-compile state.
         """
-        return {
-            func.name: self.compile(func, tracer=tracer) for func in prog
-        }
+        jobs = self.jobs if jobs is None else jobs
+        funcs = list(prog)
+        if jobs <= 1 or len(funcs) <= 1:
+            return {
+                func.name: self.compile(func, tracer=tracer)
+                for func in funcs
+            }
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(self.compile, func, Tracer()) for func in funcs
+            ]
+            compiled = [future.result() for future in futures]
+        results: Dict[str, ReticleResult] = {}
+        for func, result in zip(funcs, compiled):
+            if tracer is not None and result.trace is not None:
+                tracer.merge(result.trace)
+            results[func.name] = result
+        return results
 
 
 def compile_func(
@@ -196,7 +330,12 @@ def compile_func(
 
 
 def compile_prog(
-    prog: "Prog", tracer: Optional[Tracer] = None, **kwargs
+    prog: "Prog",
+    tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
+    **kwargs,
 ) -> Dict[str, ReticleResult]:
     """One-shot compilation of a whole program."""
-    return ReticleCompiler(**kwargs).compile_prog(prog, tracer=tracer)
+    return ReticleCompiler(**kwargs).compile_prog(
+        prog, tracer=tracer, jobs=jobs
+    )

@@ -8,6 +8,10 @@ under test and compare.  Flows:
   code generation), simulating the generated netlist;
 * ``reticle-text`` — additionally round-trips the emitted structural
   Verilog through the parser and netlist reconstruction;
+* ``reticle-cached`` — compiles twice through a shared
+  content-addressed compile cache (cold, then warm) and demands the
+  two emit byte-identical Verilog before simulating the cached
+  netlist — a differential check on the cache itself;
 * ``vendor-base`` / ``vendor-hint`` — the vendor simulator's synthesis
   (plus LUT packing) without placement.
 
@@ -30,10 +34,17 @@ from repro.ir.interp import Interpreter
 from repro.ir.trace import Trace
 from repro.netlist.from_verilog import netlist_from_verilog
 from repro.netlist.sim import NetlistSimulator
+from repro.passes import CompileCache
 from repro.vendor.packing import pack_luts
 from repro.vendor.synth import VendorOptions, VendorSynthesizer
 
-DEFAULT_FLOWS = ("reticle", "reticle-text", "vendor-base", "vendor-hint")
+DEFAULT_FLOWS = (
+    "reticle",
+    "reticle-text",
+    "reticle-cached",
+    "vendor-base",
+    "vendor-hint",
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +92,7 @@ class _Flows:
     def __init__(self) -> None:
         self.compiler = ReticleCompiler()
         self.device = self.compiler.device
+        self.cached_compiler = ReticleCompiler(cache=CompileCache())
 
     def _types(self, func: Func) -> Dict[str, object]:
         return {p.name: p.ty for p in func.inputs + func.outputs}
@@ -94,6 +106,15 @@ class _Flows:
         rebuilt = netlist_from_verilog(generate_verilog(result.netlist))
         return NetlistSimulator(rebuilt, self._types(func)).run(trace)
 
+    def reticle_cached(self, func: Func, trace: Trace) -> Trace:
+        cold = self.cached_compiler.compile(func)
+        warm = self.cached_compiler.compile(func)
+        if not warm.cached:
+            raise ReticleError("recompile missed the compile cache")
+        if generate_verilog(warm.netlist) != generate_verilog(cold.netlist):
+            raise ReticleError("cache hit emitted different Verilog")
+        return NetlistSimulator(warm.netlist, self._types(func)).run(trace)
+
     def vendor(self, func: Func, trace: Trace, hints: bool) -> Trace:
         netlist, _ = VendorSynthesizer(
             self.device, VendorOptions(use_dsp_hints=hints)
@@ -106,6 +127,8 @@ class _Flows:
             return self.reticle(func, trace)
         if flow == "reticle-text":
             return self.reticle_text(func, trace)
+        if flow == "reticle-cached":
+            return self.reticle_cached(func, trace)
         if flow == "vendor-base":
             return self.vendor(func, trace, hints=False)
         if flow == "vendor-hint":

@@ -10,6 +10,7 @@ from repro.ir.ast import Func
 from repro.netlist.core import Netlist
 from repro.netlist.stats import resource_counts
 from repro.obs import Tracer
+from repro.passes import CompileCache
 from repro.place.device import Device, xczu3eg
 from repro.timing.sta import analyze_netlist
 from repro.vendor.toolchain import VendorOptions, VendorToolchain
@@ -63,10 +64,18 @@ def run_reticle(
     device: Optional[Device] = None,
     compiler: Optional[ReticleCompiler] = None,
     tracer: Optional[Tracer] = None,
+    cache: Optional[CompileCache] = None,
 ) -> FlowScore:
-    """Compile with the Reticle pipeline and score the result."""
+    """Compile with the Reticle pipeline and score the result.
+
+    ``cache`` (used when no ``compiler`` is given) lets sweeps that
+    revisit identical workloads — Figure 13 regeneration, ablations —
+    reuse memoized compiles; a warm hit scores its (tiny) lookup time.
+    """
     if compiler is None:
-        compiler = ReticleCompiler(device=device if device else xczu3eg())
+        compiler = ReticleCompiler(
+            device=device if device else xczu3eg(), cache=cache
+        )
     result = compiler.compile(func, tracer=tracer)
     return _score("reticle", result.netlist, result.seconds, result.metrics)
 

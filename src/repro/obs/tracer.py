@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 
@@ -129,6 +129,33 @@ class Tracer:
         with self._lock:
             self._spans.append(record)
 
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's telemetry into this one.
+
+        Spans are rebased from the other tracer's epoch onto this
+        one's (both epochs come from the same monotonic clock), so a
+        merged timeline stays coherent; counters accumulate; gauges
+        take the other tracer's value (last write wins, as everywhere
+        else).  Used by parallel ``compile_prog``: each worker records
+        into a private tracer, then merges into the shared one.
+        """
+        offset = other._epoch - self._epoch
+        spans = other.spans
+        counters = other.counters
+        gauges = other.gauges
+        with self._lock:
+            for record in spans:
+                self._spans.append(
+                    replace(
+                        record,
+                        start=record.start + offset,
+                        end=record.end + offset,
+                    )
+                )
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(gauges)
+
     # -- reading -----------------------------------------------------
 
     @property
@@ -204,6 +231,9 @@ class NullTracer:
         return None
 
     def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def merge(self, other) -> None:
         return None
 
     @property

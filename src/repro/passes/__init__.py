@@ -1,0 +1,74 @@
+"""Composable compiler passes: the pipeline as data.
+
+The pipeline of :class:`~repro.compiler.ReticleCompiler` used to be a
+hard-coded straight-line method; this package makes it a value.  A
+*pipeline* is a tuple of :class:`Pass` objects resolved from a spec
+(preset name, ``"a,b,c"`` string, or explicit sequence), executed by a
+:class:`PassManager` over one :class:`CompileArtifact` under one
+:class:`CompileContext`:
+
+    from repro.passes import (
+        CompileArtifact, CompileContext, PassManager, resolve_pipeline,
+    )
+
+    manager = PassManager(resolve_pipeline("full"))
+    artifact = manager.run(
+        CompileArtifact(source=func, func=func),
+        CompileContext(target=target, device=device, tracer=tracer),
+    )
+    artifact.netlist   # the compiled design
+
+The manager emits the :mod:`repro.obs` spans generically — a root
+``compile`` span with one child per pass, per-pass seconds in
+``ctx.stats`` — so new passes are observable for free.
+
+Compiles are memoized by :class:`CompileCache` under a content
+address (:func:`cache_key`): SHA-256 of the canonical-printed IR, the
+target and device names, the pipeline's pass names, and the options
+dict.  The cache has a bounded in-memory LRU layer plus an optional
+on-disk layer shared across processes (``--cache-dir``).
+"""
+
+from repro.passes.cache import CachedCompile, CompileCache, cache_key
+from repro.passes.core import (
+    CompileArtifact,
+    CompileContext,
+    Pass,
+    PassManager,
+)
+from repro.passes.stages import (
+    BACKEND_PASSES,
+    PASS_REGISTRY,
+    PIPELINE_PRESETS,
+    CascadePass,
+    CodegenPass,
+    OptimizePass,
+    PlacePass,
+    SelectPass,
+    VectorizePass,
+    pipeline_names,
+    register_pass,
+    resolve_pipeline,
+)
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "CompileArtifact",
+    "CompileContext",
+    "CompileCache",
+    "CachedCompile",
+    "cache_key",
+    "PASS_REGISTRY",
+    "PIPELINE_PRESETS",
+    "BACKEND_PASSES",
+    "register_pass",
+    "resolve_pipeline",
+    "pipeline_names",
+    "OptimizePass",
+    "VectorizePass",
+    "SelectPass",
+    "CascadePass",
+    "PlacePass",
+    "CodegenPass",
+]

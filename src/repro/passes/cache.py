@@ -1,0 +1,191 @@
+"""The content-addressed compile cache.
+
+A compile is a pure function of (canonical IR text, target, device,
+pipeline, options), so its per-stage artifacts can be memoized under a
+SHA-256 of exactly those inputs.  :func:`cache_key` builds the key;
+:class:`CompileCache` stores :class:`CachedCompile` entries in a
+bounded in-memory LRU layer and, optionally, an on-disk layer
+(``cache_dir``) shared across processes.
+
+Key recipe (every component is deterministic across processes — no
+salted ``hash()``, no ids):
+
+* the function pretty-printed with explicit resource annotations
+  (``print_func(func, explicit_res=True)``), so alpha-renaming a wire
+  or changing an op changes the key;
+* the target and device *names* (``ultrascale``/``xczu3eg``, ...);
+* the pipeline's pass names in execution order;
+* the options dict, JSON-serialized with sorted keys.
+
+Hits and misses are reported through the caller's tracer as
+``cache.*`` counters (``cache.hits``, ``cache.misses``,
+``cache.memory_hits``, ``cache.disk_hits``, ``cache.stores``), so they
+surface in ``--profile`` and ``reticle bench pipeline`` next to the
+stage timings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
+
+from repro.ir.printer import print_func
+from repro.obs import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.asm.ast import AsmFunc
+    from repro.ir.ast import Func
+    from repro.netlist.core import Netlist
+
+
+def cache_key(
+    func: "Func",
+    target_name: str,
+    device_name: str,
+    pipeline: Sequence[str],
+    options: Optional[Dict[str, object]] = None,
+) -> str:
+    """The SHA-256 content address of one compile's inputs."""
+    payload = json.dumps(
+        {
+            "ir": print_func(func, explicit_res=True),
+            "target": target_name,
+            "device": device_name,
+            "pipeline": list(pipeline),
+            "options": dict(options) if options else {},
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedCompile:
+    """The memoized per-stage artifacts of one compile.
+
+    ``stages`` keeps the cold compile's per-stage seconds so a warm
+    hit can still report what the work *would* have cost.
+    """
+
+    selected: "AsmFunc"
+    cascaded: "AsmFunc"
+    placed: "AsmFunc"
+    netlist: "Netlist"
+    stages: Dict[str, float] = field(default_factory=dict)
+
+
+class CompileCache:
+    """Two-layer (memory + optional disk) store of compile artifacts.
+
+    Thread-safe: one lock guards the LRU dict, so concurrent
+    ``compile_prog`` workers can share one cache.  Disk entries are
+    pickles written atomically (temp file + rename), one file per key,
+    so concurrent processes sharing a ``cache_dir`` never observe a
+    torn entry.  A corrupt or unreadable disk entry degrades to a
+    miss, never an error.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_memory_entries: int = 256,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, CachedCompile]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    # -- lookup ------------------------------------------------------
+
+    def get(self, key: str, tracer=NULL_TRACER) -> Optional[CachedCompile]:
+        """The entry under ``key``, or None; records ``cache.*``."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            tracer.count("cache.hits")
+            tracer.count("cache.memory_hits")
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            with self._lock:
+                self.hits += 1
+            tracer.count("cache.hits")
+            tracer.count("cache.disk_hits")
+            self._memory_put(key, entry)
+            return entry
+        with self._lock:
+            self.misses += 1
+        tracer.count("cache.misses")
+        return None
+
+    def _disk_get(self, key: str) -> Optional[CachedCompile]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - corrupt entry degrades to miss
+            return None
+        return entry if isinstance(entry, CachedCompile) else None
+
+    # -- store -------------------------------------------------------
+
+    def put(
+        self, key: str, entry: CachedCompile, tracer=NULL_TRACER
+    ) -> None:
+        """Store ``entry`` in memory and (when configured) on disk."""
+        self._memory_put(key, entry)
+        self._disk_put(key, entry)
+        tracer.count("cache.stores")
+
+    def _memory_put(self, key: str, entry: CachedCompile) -> None:
+        with self._lock:
+            self._memory[key] = entry
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+
+    def _disk_put(self, key: str, entry: CachedCompile) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:  # noqa: BLE001 - disk layer is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop the memory layer (disk entries are left in place)."""
+        with self._lock:
+            self._memory.clear()

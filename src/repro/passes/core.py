@@ -1,0 +1,159 @@
+"""The pass-manager spine: artifact, context, protocol, driver.
+
+The compile pipeline (paper Figure 7) is a sequence of *passes*, each
+transforming one :class:`CompileArtifact` under one
+:class:`CompileContext`.  The :class:`PassManager` is the only place
+that knows how a pipeline executes: it opens the root ``compile`` span,
+wraps every pass in its own child span, and records per-pass wall-clock
+seconds into ``ctx.stats`` — so the stages themselves never touch the
+tracing layer for timing (they still record their own domain counters,
+``isel.*``/``place.*``/``codegen.*``).
+
+Passes are ordinary objects satisfying the :class:`Pass` protocol::
+
+    class MyPass:
+        name = "mypass"
+
+        def run(self, artifact: CompileArtifact, ctx: CompileContext):
+            artifact.func = rewrite(artifact.func)
+
+The built-in Figure 7 stages live in :mod:`repro.passes.stages`; the
+content-addressed compile cache in :mod:`repro.passes.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import ReticleError
+from repro.obs import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.asm.ast import AsmFunc
+    from repro.ir.ast import Func
+    from repro.isel.select import Selector
+    from repro.netlist.core import Netlist
+    from repro.place.device import Device
+    from repro.place.placer import Placer
+    from repro.tdl.ast import Target
+
+
+@dataclass
+class CompileArtifact:
+    """The unit of work flowing through a pipeline.
+
+    ``source`` is the pristine input function and is never reassigned
+    (callers report it back to the user); ``func`` is the *current* IR,
+    rewritten in place by front-end passes; ``asm`` is the current
+    assembly between the back-end stages.  The named snapshots
+    (``selected``/``cascaded``/``placed``/``netlist``) are what each
+    stage produced, kept for the result object and the compile cache.
+    """
+
+    source: "Func"
+    func: "Func"
+    asm: Optional["AsmFunc"] = None
+    selected: Optional["AsmFunc"] = None
+    cascaded: Optional["AsmFunc"] = None
+    placed: Optional["AsmFunc"] = None
+    netlist: Optional["Netlist"] = None
+
+
+@dataclass
+class CompileContext:
+    """Everything a pass may read: target, device, options, telemetry.
+
+    ``options`` is a flat string-keyed dict (``dsp_weight``,
+    ``shrink``, ``cascade``, ...) — the same dict is hashed into the
+    compile-cache key, so passes must treat it as configuration, not
+    scratch space.  ``stats`` receives per-pass seconds from the
+    :class:`PassManager`.  ``selector``/``placer`` are optionally
+    injected by a long-lived caller (:class:`repro.compiler.
+    ReticleCompiler` shares one selector so the target's pattern index
+    is built once); when absent they are constructed on first use from
+    ``options``.
+    """
+
+    target: "Target"
+    device: "Device"
+    options: Dict[str, object] = field(default_factory=dict)
+    tracer: object = NULL_TRACER
+    stats: Dict[str, float] = field(default_factory=dict)
+    selector: Optional["Selector"] = None
+    placer: Optional["Placer"] = None
+
+    def get_selector(self) -> "Selector":
+        if self.selector is None:
+            from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
+
+            self.selector = Selector(
+                target=self.target,
+                dsp_weight=float(
+                    self.options.get("dsp_weight", DEFAULT_DSP_WEIGHT)
+                ),
+            )
+        return self.selector
+
+    def get_placer(self) -> "Placer":
+        if self.placer is None:
+            from repro.place.placer import Placer
+
+            self.placer = Placer(
+                target=self.target,
+                device=self.device,
+                shrink=bool(self.options.get("shrink", True)),
+            )
+        return self.placer
+
+
+class Pass:
+    """Protocol (and convenient base class) for one pipeline stage.
+
+    Subclasses set ``name`` and implement :meth:`run`; the manager
+    handles spans and timing.  Any object with a ``name`` attribute
+    and a ``run(artifact, ctx)`` method is accepted — inheritance is
+    optional.
+    """
+
+    name: str = "?"
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PassManager:
+    """Executes a fixed sequence of passes over one artifact.
+
+    The manager is the generic observability seam: one root
+    ``compile`` span, one child span per pass, per-pass seconds in
+    ``ctx.stats`` (insertion order = execution order, matching the
+    pre-refactor ``CompileMetrics.stages`` layout).
+    """
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        if not passes:
+            raise ReticleError("a pipeline needs at least one pass")
+        self.passes: Tuple[Pass, ...] = tuple(passes)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The pass names, in execution order (cache-key material)."""
+        return tuple(p.name for p in self.passes)
+
+    def run(
+        self, artifact: CompileArtifact, ctx: CompileContext
+    ) -> CompileArtifact:
+        """Run every pass in order; returns the (mutated) artifact."""
+        with ctx.tracer.span("compile"):
+            for pipeline_pass in self.passes:
+                with ctx.tracer.span(pipeline_pass.name) as span:
+                    pipeline_pass.run(artifact, ctx)
+                ctx.stats[pipeline_pass.name] = span.seconds
+        return artifact
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PassManager({', '.join(self.names)})"

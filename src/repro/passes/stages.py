@@ -1,0 +1,198 @@
+"""The six Figure 7 stages as registered passes, plus named presets.
+
+The registry maps pass names to zero-argument factories; presets map a
+memorable name to a tuple of pass names.  :func:`resolve_pipeline`
+turns any pipeline *spec* — a preset name, a comma-separated pass
+list, a sequence of names, or ready-made :class:`Pass` objects — into
+the tuple of pass instances a :class:`~repro.passes.core.PassManager`
+runs.
+
+Stage factories resolve their imports at *construction* time (pipeline
+build), never inside :meth:`run` — a lazy module import inside a pass
+would inflate that pass's first span, which is exactly the
+first-compile timing bug the observability layer fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ReticleError
+from repro.passes.core import CompileArtifact, CompileContext, Pass
+
+#: name -> zero-argument factory producing a fresh pass instance.
+PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(name: str) -> Callable[[Callable[[], Pass]], Callable[[], Pass]]:
+    """Register ``factory`` under ``name`` (decorator)."""
+
+    def decorate(factory: Callable[[], Pass]) -> Callable[[], Pass]:
+        if name in PASS_REGISTRY:
+            raise ReticleError(f"duplicate pass name: {name!r}")
+        PASS_REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+@register_pass("optimize")
+class OptimizePass(Pass):
+    """Copy-propagation, constant folding, and DCE to a fixpoint."""
+
+    name = "optimize"
+
+    def __init__(self) -> None:
+        from repro.ir.optimize import optimize_func
+
+        self._optimize = optimize_func
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        artifact.func = self._optimize(artifact.func)
+
+
+@register_pass("vectorize")
+class VectorizePass(Pass):
+    """Auto-combine independent scalar ops into vectors (paper §8.2)."""
+
+    name = "vectorize"
+
+    def __init__(self) -> None:
+        from repro.ir.vectorize import vectorize_func
+
+        self._vectorize = vectorize_func
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        artifact.func = self._vectorize(artifact.func).func
+
+
+@register_pass("select")
+class SelectPass(Pass):
+    """Tree-covering instruction selection against the target (§5.1)."""
+
+    name = "select"
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        artifact.selected = ctx.get_selector().select(
+            artifact.func, tracer=ctx.tracer
+        )
+        artifact.asm = artifact.selected
+
+
+@register_pass("cascade")
+class CascadePass(Pass):
+    """The cascading layout optimization (§5.2).
+
+    Honours ``ctx.options["cascade"]``: when false the pass is an
+    identity (it still runs, so stage timings keep the same shape —
+    this mirrors the pre-refactor ``cascade=False`` behaviour).
+    """
+
+    name = "cascade"
+
+    def __init__(self) -> None:
+        from repro.layout.cascade import apply_cascading
+
+        self._apply = apply_cascading
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        asm = artifact.asm if artifact.asm is not None else artifact.selected
+        if asm is None:
+            raise ReticleError("cascade pass needs a selected function")
+        if ctx.options.get("cascade", True):
+            asm = self._apply(asm, ctx.target)
+        artifact.cascaded = asm
+        artifact.asm = asm
+
+
+@register_pass("place")
+class PlacePass(Pass):
+    """CSP placement with binary-search area shrinking (§5.3)."""
+
+    name = "place"
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        if artifact.asm is None:
+            raise ReticleError("place pass needs an assembly function")
+        artifact.placed = ctx.get_placer().place(
+            artifact.asm, tracer=ctx.tracer
+        )
+        artifact.asm = artifact.placed
+
+
+@register_pass("codegen")
+class CodegenPass(Pass):
+    """Structural code generation: placed assembly -> netlist (§5.4)."""
+
+    name = "codegen"
+
+    def __init__(self) -> None:
+        from repro.codegen.generate import generate_netlist
+
+        self._generate = generate_netlist
+
+    def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
+        if artifact.asm is None:
+            raise ReticleError("codegen pass needs a placed function")
+        artifact.netlist = self._generate(
+            artifact.asm, ctx.target, tracer=ctx.tracer
+        )
+
+
+#: The back-end common to every preset, in Figure 7 order.
+BACKEND_PASSES: Tuple[str, ...] = ("select", "cascade", "place", "codegen")
+
+#: preset name -> pass names, in execution order.
+PIPELINE_PRESETS: Dict[str, Tuple[str, ...]] = {
+    # The pre-refactor default pipeline.
+    "default": BACKEND_PASSES,
+    # Every stage, front end included (--opt --vectorize equivalent).
+    "full": ("optimize", "vectorize") + BACKEND_PASSES,
+    # IR cleanup first (the --opt flag).
+    "opt": ("optimize",) + BACKEND_PASSES,
+    # Auto-vectorization first (the --vectorize flag).
+    "vectorized": ("vectorize",) + BACKEND_PASSES,
+    # Skip the cascading rewrite entirely (not even an identity pass).
+    "no-cascade": ("select", "place", "codegen"),
+}
+
+#: Pipeline spec: preset name, "a,b,c" string, or a sequence of
+#: names / Pass instances.
+PipelineSpec = Union[str, Sequence[Union[str, Pass]]]
+
+
+def resolve_pipeline(spec: PipelineSpec = "default") -> Tuple[Pass, ...]:
+    """Turn a pipeline spec into fresh pass instances.
+
+    Raises :class:`~repro.errors.ReticleError` naming the known passes
+    and presets when the spec mentions an unknown name.
+    """
+    if isinstance(spec, str):
+        if spec in PIPELINE_PRESETS:
+            names: Sequence[Union[str, Pass]] = PIPELINE_PRESETS[spec]
+        else:
+            names = [part.strip() for part in spec.split(",") if part.strip()]
+            if not names:
+                raise ReticleError(f"empty pipeline spec: {spec!r}")
+    else:
+        names = spec
+    passes: List[Pass] = []
+    for entry in names:
+        if isinstance(entry, str):
+            factory = PASS_REGISTRY.get(entry)
+            if factory is None:
+                known = ", ".join(sorted(PASS_REGISTRY))
+                presets = ", ".join(sorted(PIPELINE_PRESETS))
+                raise ReticleError(
+                    f"unknown pass {entry!r} (passes: {known}; "
+                    f"presets: {presets})"
+                )
+            passes.append(factory())
+        else:
+            passes.append(entry)
+    return tuple(passes)
+
+
+def pipeline_names(spec: PipelineSpec = "default") -> Tuple[str, ...]:
+    """The pass names a spec resolves to (cache-key material)."""
+    return tuple(p.name for p in resolve_pipeline(spec))

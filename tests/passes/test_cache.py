@@ -1,0 +1,182 @@
+"""The content-addressed compile cache: key recipe, layers, results.
+
+The key must be a pure function of the compile inputs — stable across
+processes (no salted ``hash()``), sensitive to any semantic change
+(renamed wire, changed op, different options/pipeline/device).
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+from repro.compiler import ReticleCompiler
+from repro.ir.parser import parse_func
+from repro.obs import Tracer
+from repro.passes import CachedCompile, CompileCache, cache_key
+
+ADD = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+ADD_RENAMED_INPUT = "def f(c: i8, b: i8) -> (y: i8) { y: i8 = sub(c, b); }"
+TWO_STEP = """
+def f(a: i8, b: i8) -> (y: i8) {
+    t0: i8 = add(a, b);
+    y: i8 = not(t0);
+}
+"""
+TWO_STEP_RENAMED_WIRE = TWO_STEP.replace("t0", "tmp")
+TWO_STEP_CHANGED_OP = TWO_STEP.replace("add(a, b)", "sub(a, b)")
+
+PIPELINE = ("select", "cascade", "place", "codegen")
+OPTIONS = {"dsp_weight": 16.0, "shrink": True, "cascade": True}
+
+
+def key_of(source: str, **overrides) -> str:
+    kwargs = {
+        "target_name": "ultrascale",
+        "device_name": "xczu3eg",
+        "pipeline": PIPELINE,
+        "options": OPTIONS,
+    }
+    kwargs.update(overrides)
+    return cache_key(parse_func(source), **kwargs)
+
+
+class TestKeyDeterminism:
+    def test_same_function_same_key(self):
+        assert key_of(TWO_STEP) == key_of(TWO_STEP)
+
+    def test_reparsed_function_same_key(self):
+        # The key hashes the canonical printed IR, so formatting
+        # differences in the source text never matter.
+        reformatted = TWO_STEP.replace("\n    ", "\n        ")
+        assert key_of(TWO_STEP) == key_of(reformatted)
+
+    def test_key_stable_across_processes(self):
+        # A salted-hash ingredient (Python's str hash, an object id)
+        # would break on-disk sharing; recompute in a subprocess.
+        script = (
+            "from repro.ir.parser import parse_func\n"
+            "from repro.passes import cache_key\n"
+            f"func = parse_func({TWO_STEP!r})\n"
+            f"print(cache_key(func, 'ultrascale', 'xczu3eg', {PIPELINE!r},"
+            f" {OPTIONS!r}))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert out.stdout.strip() == key_of(TWO_STEP)
+
+    def test_renamed_wire_changes_key(self):
+        assert key_of(TWO_STEP) != key_of(TWO_STEP_RENAMED_WIRE)
+
+    def test_changed_op_changes_key(self):
+        assert key_of(TWO_STEP) != key_of(TWO_STEP_CHANGED_OP)
+
+    def test_target_device_pipeline_options_all_keyed(self):
+        base = key_of(TWO_STEP)
+        assert key_of(TWO_STEP, target_name="ecp5") != base
+        assert key_of(TWO_STEP, device_name="xczu7ev") != base
+        assert key_of(TWO_STEP, pipeline=("select", "place", "codegen")) != base
+        assert (
+            key_of(TWO_STEP, options={**OPTIONS, "dsp_weight": 2.0}) != base
+        )
+
+    def test_compiler_config_reaches_the_key(self):
+        func = parse_func(ADD)
+        assert (
+            ReticleCompiler().cache_key(func)
+            != ReticleCompiler(shrink=False).cache_key(func)
+        )
+        assert (
+            ReticleCompiler().cache_key(func)
+            != ReticleCompiler(passes="no-cascade").cache_key(func)
+        )
+
+
+class TestCacheLayers:
+    def test_memory_hit_returns_identical_verilog(self):
+        compiler = ReticleCompiler(cache=CompileCache())
+        func = parse_func(TWO_STEP)
+        cold = compiler.compile(func)
+        warm = compiler.compile(func)
+        assert not cold.cached and warm.cached
+        assert warm.verilog() == cold.verilog()
+        assert warm.selected == cold.selected
+        assert warm.placed == cold.placed
+
+    def test_counters_reported_through_tracer(self):
+        compiler = ReticleCompiler(cache=CompileCache())
+        func = parse_func(TWO_STEP)
+        cold = compiler.compile(func)
+        warm = compiler.compile(func)
+        assert cold.metrics.counters["cache.misses"] == 1
+        assert cold.metrics.counters["cache.stores"] == 1
+        assert warm.metrics.counters["cache.hits"] == 1
+        assert warm.metrics.counters["cache.memory_hits"] == 1
+
+    def test_disk_layer_shared_between_compiler_instances(self, tmp_path):
+        func = parse_func(TWO_STEP)
+        first = ReticleCompiler(cache_dir=str(tmp_path))
+        cold = first.compile(func)
+        # A fresh compiler (fresh memory layer) sharing the directory.
+        second = ReticleCompiler(cache_dir=str(tmp_path))
+        warm = second.compile(func)
+        assert warm.cached
+        assert warm.metrics.counters["cache.disk_hits"] == 1
+        assert warm.verilog() == cold.verilog()
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        func = parse_func(TWO_STEP)
+        compiler = ReticleCompiler(cache_dir=str(tmp_path))
+        compiler.compile(func)
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"not a pickle")
+        fresh = ReticleCompiler(cache_dir=str(tmp_path))
+        result = fresh.compile(func)
+        assert not result.cached
+        assert result.metrics.counters["cache.misses"] == 1
+
+    def test_memory_layer_is_lru_bounded(self):
+        cache = CompileCache(max_memory_entries=2)
+        entry = CachedCompile(
+            selected=None, cascaded=None, placed=None, netlist=None
+        )
+        for name in ("a", "b", "c"):
+            cache.put(name, entry)
+        assert len(cache) == 2
+        assert cache.get("a") is None  # evicted
+        assert cache.get("c") is entry
+
+    def test_hit_and_miss_stats(self):
+        cache = CompileCache()
+        tracer = Tracer()
+        assert cache.get("missing", tracer=tracer) is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert tracer.counters["cache.misses"] == 1
+
+    def test_warm_result_reports_cache_pseudo_stage(self):
+        compiler = ReticleCompiler(cache=CompileCache())
+        func = parse_func(ADD)
+        compiler.compile(func)
+        warm = compiler.compile(func)
+        assert tuple(warm.metrics.stages) == ("cache",)
+        assert warm.seconds == pytest.approx(warm.metrics.total_seconds)
+
+    def test_different_functions_do_not_collide(self):
+        compiler = ReticleCompiler(cache=CompileCache())
+        first = compiler.compile(parse_func(ADD))
+        second = compiler.compile(parse_func(ADD_RENAMED_INPUT))
+        assert not second.cached
+        assert first.verilog() != second.verilog()

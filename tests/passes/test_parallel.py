@@ -1,0 +1,135 @@
+"""Parallel whole-program compilation: determinism and telemetry.
+
+The concurrency-safety audit behind these tests: ``Selector`` builds
+its pattern index once in ``__post_init__`` and only reads it from
+``select``; ``Placer`` keeps no per-compile state (every ``place``
+call builds its own items/bounds); the cascade and codegen drivers
+construct a fresh rewriter/generator per call; and ``Tracer`` guards
+mutation with a lock and keeps its span stack thread-local.  The
+regression tests here pin that: a parallel compile must be
+byte-identical to a serial one.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler, compile_prog
+from repro.ir.parser import parse_prog
+from repro.obs import Tracer
+from repro.passes import CompileCache
+
+PROG = """
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c);
+}
+
+def inv(a: i8) -> (y: i8) {
+    y: i8 = not(a);
+}
+
+def accum(a: i8, en: bool) -> (y: i8) {
+    t0: i8 = add(a, y);
+    y: i8 = reg[0](t0, en);
+}
+
+def twoadd(a0: i8, b0: i8, a1: i8, b1: i8) -> (y0: i8, y1: i8) {
+    y0: i8 = add(a0, b0) @dsp;
+    y1: i8 = add(a1, b1) @dsp;
+}
+"""
+
+
+def verilog_by_name(results):
+    return {name: result.verilog() for name, result in results.items()}
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_serial_byte_for_byte(self, device):
+        prog = parse_prog(PROG)
+        serial = ReticleCompiler(device=device).compile_prog(prog)
+        parallel = ReticleCompiler(device=device).compile_prog(prog, jobs=4)
+        assert sorted(parallel) == sorted(serial)
+        assert verilog_by_name(parallel) == verilog_by_name(serial)
+        for name in serial:
+            assert parallel[name].placed == serial[name].placed
+
+    def test_shared_compiler_instance_is_safe(self, device):
+        # One compiler (one Selector, one Placer) across workers.
+        prog = parse_prog(PROG)
+        compiler = ReticleCompiler(device=device)
+        serial = compiler.compile_prog(prog)
+        for _ in range(3):
+            parallel = compiler.compile_prog(prog, jobs=4)
+            assert verilog_by_name(parallel) == verilog_by_name(serial)
+
+    def test_module_level_compile_prog_jobs(self, device):
+        prog = parse_prog(PROG)
+        results = compile_prog(prog, jobs=2, device=device)
+        assert sorted(results) == ["accum", "inv", "muladd", "twoadd"]
+        assert all(r.placed.is_placed for r in results.values())
+
+    def test_shared_cache_under_parallel_compiles(self, device):
+        prog = parse_prog(PROG)
+        cache = CompileCache()
+        compiler = ReticleCompiler(device=device, cache=cache)
+        cold = compiler.compile_prog(prog, jobs=4)
+        warm = compiler.compile_prog(prog, jobs=4)
+        assert all(result.cached for result in warm.values())
+        assert verilog_by_name(warm) == verilog_by_name(cold)
+
+
+class TestMergedTelemetry:
+    def test_per_function_metrics_survive_fan_out(self, device):
+        prog = parse_prog(PROG)
+        results = ReticleCompiler(device=device).compile_prog(prog, jobs=4)
+        for result in results.values():
+            assert tuple(result.metrics.stages) == (
+                "select",
+                "cascade",
+                "place",
+                "codegen",
+            )
+            assert result.metrics.counters["isel.trees"] >= 1
+            assert result.seconds > 0
+
+    def test_shared_tracer_aggregates_all_functions(self, device):
+        prog = parse_prog(PROG)
+        tracer = Tracer()
+        results = ReticleCompiler(device=device).compile_prog(
+            prog, tracer=tracer, jobs=4
+        )
+        # One compile root span per function, merged into one tracer.
+        roots = [span for span in tracer.spans if span.name == "compile"]
+        assert len(roots) == len(results)
+        # Counters accumulate across functions: the merged total
+        # equals the sum of the per-function counts.
+        merged = tracer.counters["place.items"]
+        assert merged == sum(
+            result.metrics.counters["place.items"]
+            for result in results.values()
+        )
+
+    def test_merge_rebases_span_offsets(self):
+        first = Tracer()
+        with first.span("a"):
+            pass
+        second = Tracer()
+        with second.span("b"):
+            pass
+        first.merge(second)
+        spans = {span.name: span for span in first.spans}
+        assert set(spans) == {"a", "b"}
+        # The second tracer was created after the first, so its
+        # rebased span must not start before the first tracer's epoch.
+        assert spans["b"].start >= spans["a"].start >= 0
+
+    def test_merge_accumulates_counters_and_gauges(self):
+        first = Tracer()
+        first.count("x", 2)
+        first.gauge("g", 1.0)
+        second = Tracer()
+        second.count("x", 3)
+        second.gauge("g", 5.0)
+        first.merge(second)
+        assert first.counters["x"] == 5
+        assert first.gauges["g"] == pytest.approx(5.0)

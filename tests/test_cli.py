@@ -71,6 +71,83 @@ class TestCompile:
         out = capsys.readouterr().out
         assert "??" not in out
 
+    def test_passes_preset_spec(self, program_file, tmp_path):
+        output = tmp_path / "out.v"
+        args = ["compile", program_file, "-o", str(output), "--passes"]
+        assert main(args + ["full"]) == 0
+        full = output.read_text()
+        assert main(args + ["select,cascade,place,codegen"]) == 0
+        assert output.read_text() == full
+
+    def test_unknown_passes_spec_reports_error(
+        self, program_file, tmp_path, capsys
+    ):
+        output = tmp_path / "out.v"
+        assert (
+            main(
+                [
+                    "compile",
+                    program_file,
+                    "-o",
+                    str(output),
+                    "--passes",
+                    "bogus",
+                ]
+            )
+            == 1
+        )
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_cache_dir_hits_across_invocations(
+        self, program_file, tmp_path, capsys
+    ):
+        output = tmp_path / "out.v"
+        args = [
+            "compile",
+            program_file,
+            "-o",
+            str(output),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--profile",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "cache.misses" in first.err
+        cold = output.read_text()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "cache.hits" in second.err
+        assert "(cached)" in second.err
+        assert output.read_text() == cold
+
+    def test_jobs_matches_serial_output(self, tmp_path):
+        program = tmp_path / "two.ret"
+        program.write_text(
+            PROGRAM
+            + "\ndef inv(a: i8) -> (y: i8) { y: i8 = not(a); }\n"
+        )
+        serial = tmp_path / "serial.v"
+        parallel = tmp_path / "parallel.v"
+        assert main(["compile", str(program), "-o", str(serial)]) == 0
+        assert (
+            main(
+                ["compile", str(program), "-o", str(parallel), "--jobs", "4"]
+            )
+            == 0
+        )
+        assert parallel.read_text() == serial.read_text()
+
+
+class TestPasses:
+    def test_lists_passes_and_presets(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("select", "cascade", "place", "codegen"):
+            assert f"  {name}" in out
+        assert "default: select,cascade,place,codegen" in out
+        assert "full: optimize,vectorize,select,cascade,place,codegen" in out
+
 
 class TestProfile:
     def test_compile_profile_prints_stage_table(

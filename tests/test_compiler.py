@@ -58,6 +58,24 @@ class TestCompile:
         )
         assert len(optimized.selected.instrs) < len(plain.selected.instrs)
 
+    def test_source_is_the_pristine_input_function(self):
+        # Regression: the optimize/vectorize rewrites used to leak
+        # into ReticleResult.source because the local was reassigned
+        # before the result was built.
+        source = """
+        def f(a: i8) -> (y: i8) {
+            c0: i8 = const[2];
+            c1: i8 = const[3];
+            t0: i8 = mul(c0, c1);
+            y: i8 = add(a, t0);
+        }
+        """
+        func = parse_func(source)
+        result = ReticleCompiler(optimize=True).compile(func)
+        assert result.source is func
+        assert len(result.source.instrs) == 4
+        assert len(result.selected.instrs) < 4
+
     def test_auto_vectorize_flag(self):
         source = """
         def f(a0: i8, b0: i8, a1: i8, b1: i8,
