@@ -9,6 +9,7 @@ from repro import Trace, compile_func, parse_func
 from repro.asm.printer import print_asm_func
 from repro.ir.interp import Interpreter
 from repro.netlist.stats import resource_counts
+from repro.obs import Tracer, write_chrome_trace
 from repro.timing.sta import analyze_netlist
 
 # The paper's Figure 8 program: a multiply feeding an add.  The @dsp
@@ -34,7 +35,8 @@ def main() -> None:
     # 2. Compile: instruction selection fuses mul+add into a single
     #    DSP muladd, placement picks a concrete slice, and codegen
     #    emits structural Verilog with layout attributes.
-    result = compile_func(func)
+    tracer = Tracer()
+    result = compile_func(func, tracer=tracer)
     print("\n--- placed assembly ---")
     print(print_asm_func(result.placed))
 
@@ -51,6 +53,25 @@ def main() -> None:
     print("\n--- structural Verilog (first lines) ---")
     for line in result.verilog().splitlines()[:8]:
         print(line)
+
+    # 3. Observability: the compile report joins provenance (which IR
+    #    op became which DSP at which site), utilization, and events;
+    #    the Chrome trace opens in chrome://tracing or Perfetto.  CI
+    #    uploads both files as workflow artifacts.
+    report = result.report()
+    with open("quickstart_report.json", "w") as handle:
+        handle.write(report.to_json())
+    write_chrome_trace(tracer, "quickstart_trace.json")
+    first = report.lineage[0]
+    print(
+        f"\nwrote quickstart_report.json ({len(report.lineage)} lineage "
+        "rows) and quickstart_trace.json"
+    )
+    print(
+        f"lineage example: {first.ir_op} {first.ir_dst!r} -> "
+        f"{first.asm_op} @ {first.prim}({first.x}, {first.y}) -> "
+        f"cells {list(first.cells)}"
+    )
 
 
 if __name__ == "__main__":

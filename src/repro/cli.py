@@ -12,7 +12,9 @@ Subcommands mirror the toolchain stages::
     reticle behav    prog.ret          # IR -> behavioral Verilog
     reticle tdl                        # dump the UltraScale target
     reticle passes                     # list pipeline passes/presets
+    reticle report   prog.ret          # compile report with provenance
     reticle bench fig13 tensoradd      # regenerate a figure's rows
+    reticle bench diff OLD.json NEW.json --max-regress 25
 
 Programs are read in the textual IR format (see README); traces are
 JSON objects mapping input names to per-cycle value lists.
@@ -122,15 +124,19 @@ def _cmd_interp(args: argparse.Namespace) -> int:
 def _cmd_select(args: argparse.Namespace) -> int:
     func = _read_func(args.program, getattr(args, 'func', None))
     target, _ = _resolve_target(args.target)
-    asm = select(func, target)
+    tracer = Tracer()
+    with tracer.span("select"):
+        asm = select(func, target, tracer=tracer)
     if args.cascade:
-        asm = apply_cascading(asm, target)
+        with tracer.span("cascade"):
+            asm = apply_cascading(asm, target, tracer=tracer)
     _write_output(print_asm_func(asm), args.output)
+    _emit_telemetry(tracer, args)
     return 0
 
 
 def _emit_telemetry(tracer: Tracer, args: argparse.Namespace) -> None:
-    """Honour --profile/--trace-out after an instrumented command."""
+    """Honour the uniform --profile/--trace-out telemetry flags."""
     if args.profile:
         print(format_profile(tracer), file=sys.stderr)
     if args.trace_out:
@@ -196,6 +202,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import Severity
+
+    func = _read_func(args.program, getattr(args, 'func', None))
+    target, device = _resolve_target(args.target)
+    compiler = ReticleCompiler(target=target, device=device)
+    tracer = Tracer()
+    result = compiler.compile(func, tracer=tracer)
+    report = result.report()
+    if args.json:
+        _write_output(report.to_json(), args.output)
+    else:
+        min_severity = Severity[args.events.upper()]
+        _write_output(report.format_text(min_severity), args.output)
+    _emit_telemetry(tracer, args)
+    return 0
+
+
 def _cmd_passes(args: argparse.Namespace) -> int:
     print("passes:")
     for name in PASS_REGISTRY:
@@ -232,6 +256,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "diff":
+        from repro.harness.benchdiff import diff_files, format_diff
+
+        if not args.benchmark or not args.against:
+            raise ReticleError(
+                "bench diff needs two files: "
+                "reticle bench diff OLD.json NEW.json"
+            )
+        diff = diff_files(
+            args.benchmark,
+            args.against,
+            max_regress=args.max_regress,
+            counter_regress=args.counter_regress,
+        )
+        print(format_diff(diff, verbose=args.verbose))
+        return 0 if diff.ok else 1
     if args.figure == "pipeline":
         rows = pipeline_rows()
         if args.json:
@@ -246,6 +286,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = fig13_rows(args.benchmark)
     print(format_table(rows))
     return 0
+
+
+def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
+    """The uniform --profile/--trace-out flags (see _emit_telemetry)."""
+    command.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and counters to stderr",
+    )
+    command.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON trace here",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -279,18 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cascade", action="store_true", help="apply cascade optimization"
     )
     selectc.add_argument("--func", help="function name in multi-def files")
-
-    def add_profile_args(command: argparse.ArgumentParser) -> None:
-        command.add_argument(
-            "--profile",
-            action="store_true",
-            help="print per-stage timings and counters to stderr",
-        )
-        command.add_argument(
-            "--trace-out",
-            metavar="FILE",
-            help="write a Chrome trace_event JSON trace here",
-        )
+    _add_telemetry_args(selectc)
 
     placec = add("place", _cmd_place, "lower, cascade, and place")
     placec.add_argument("program")
@@ -300,7 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
     )
     placec.add_argument("--func", help="function name in multi-def files")
-    add_profile_args(placec)
+    _add_telemetry_args(placec)
 
     compilec = add("compile", _cmd_compile, "full pipeline to Verilog")
     compilec.add_argument("program")
@@ -346,7 +389,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compile a multi-function program on N worker threads",
     )
-    add_profile_args(compilec)
+    _add_telemetry_args(compilec)
+
+    reportc = add(
+        "report", _cmd_report, "compile and render a provenance report"
+    )
+    reportc.add_argument("program")
+    reportc.add_argument("-o", "--output")
+    reportc.add_argument(
+        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+    )
+    reportc.add_argument("--func", help="function name in multi-def files")
+    reportc.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    reportc.add_argument(
+        "--events",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="minimum severity listed in the events section",
+    )
+    _add_telemetry_args(reportc)
 
     behav = add("behav", _cmd_behav, "emit behavioral Verilog (baseline)")
     behav.add_argument("program")
@@ -364,14 +429,48 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--max-instrs", type=int, default=12)
 
-    bench = add("bench", _cmd_bench, "regenerate a figure's data rows")
-    bench.add_argument("figure", choices=["fig4", "fig13", "pipeline"])
-    bench.add_argument("benchmark", nargs="?")
+    bench = add(
+        "bench", _cmd_bench, "regenerate a figure's data rows, or diff runs"
+    )
+    bench.add_argument(
+        "figure", choices=["fig4", "fig13", "pipeline", "diff"]
+    )
+    bench.add_argument(
+        "benchmark",
+        nargs="?",
+        help="fig13: benchmark name; diff: the OLD (baseline) JSON file",
+    )
+    bench.add_argument(
+        "against",
+        nargs="?",
+        help="(diff) the NEW JSON file to gate against the baseline",
+    )
     bench.add_argument(
         "--json",
         metavar="FILE",
         help="(pipeline) also write the rows as JSON, e.g. "
         "BENCH_pipeline.json",
+    )
+    bench.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="(diff) timing tolerance: fail when seconds grow or "
+        "cache_speedup drops by more than PCT percent (default 25)",
+    )
+    bench.add_argument(
+        "--counter-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="(diff) separate tolerance for work counters "
+        "(solver nodes, matches tried, cells); defaults to --max-regress",
+    )
+    bench.add_argument(
+        "--verbose",
+        action="store_true",
+        help="(diff) list every compared metric, not only regressions",
     )
 
     return parser

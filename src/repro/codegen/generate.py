@@ -127,12 +127,18 @@ class CodeGenerator:
             raise CodegenError("combinational cycle in assembly function")
         return order
 
-    def generate(self, func: AsmFunc, tracer=NULL_TRACER) -> Netlist:
+    def generate(
+        self, func: AsmFunc, tracer=NULL_TRACER, lineage=None
+    ) -> Netlist:
         """Generate the structural netlist for ``func``.
 
         ``tracer`` (any :mod:`repro.obs` tracer) receives the emitted
         primitive counts (``codegen.luts``/``ffs``/``carries``/
-        ``dsps``/``brams``/``cells``).
+        ``dsps``/``brams``/``cells``).  ``lineage`` records, for every
+        assembly instruction, the names of the cells its synthesis
+        stamped into the netlist (attribution by cell-list position:
+        cells appended while one instruction synthesizes belong to it,
+        so the emitted netlist itself is untouched).
         """
         if not func.is_placed:
             raise CodegenError(
@@ -178,6 +184,7 @@ class CodeGenerator:
                 arg_types = [types[arg] for arg in instr.args]
                 env[instr.dst] = wire_bits(instr, arg_bits, arg_types)
                 continue
+            cells_before = len(netlist.cells)
             asm_def = self._def_of(instr)
             if asm_def.prim is Prim.DSP:
                 result = dsp_synth.synth(
@@ -199,6 +206,14 @@ class CodeGenerator:
                 )
             else:
                 self._synth_lut_instr(instr, asm_def, env, types, lut_synth)
+            if lineage is not None:
+                lineage.record_cells(
+                    instr.dst,
+                    tuple(
+                        cell.name
+                        for cell in netlist.cells[cells_before:]
+                    ),
+                )
 
         for port in func.outputs:
             netlist.add_output(port.name, env[port.name])
@@ -260,7 +275,9 @@ class CodeGenerator:
 
 
 def generate_netlist(
-    func: AsmFunc, target: Target, tracer=NULL_TRACER
+    func: AsmFunc, target: Target, tracer=NULL_TRACER, lineage=None
 ) -> Netlist:
     """One-shot netlist generation."""
-    return CodeGenerator(target).generate(func, tracer=tracer)
+    return CodeGenerator(target).generate(
+        func, tracer=tracer, lineage=lineage
+    )

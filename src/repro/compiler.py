@@ -44,7 +44,7 @@ from repro.errors import ReticleError
 from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
 from repro.ir.ast import Func
 from repro.netlist.core import Netlist
-from repro.obs import Tracer
+from repro.obs import Lineage, Tracer
 from repro.passes import (
     CachedCompile,
     CompileArtifact,
@@ -115,10 +115,23 @@ class ReticleResult:
     metrics: Optional[CompileMetrics] = None
     trace: Optional[Tracer] = None
     cached: bool = False
+    lineage: Optional[Lineage] = None
 
     def verilog(self) -> str:
         """The final structural Verilog with layout annotations."""
         return generate_verilog(self.netlist)
+
+    def report(self):
+        """The :class:`~repro.obs.report.CompileReport` of this compile.
+
+        Joins the lineage table (IR op -> ASM instr -> location ->
+        cells), resource utilization, the placement heatmap, the
+        per-tree isel cost breakdown, and the event log into one
+        machine- and human-renderable artifact.
+        """
+        from repro.obs.report import build_report
+
+        return build_report(self)
 
 
 class ReticleCompiler:
@@ -209,6 +222,8 @@ class ReticleCompiler:
             metrics=metrics,
             trace=trace,
             cached=True,
+            # Pre-provenance disk entries lack the field entirely.
+            lineage=getattr(entry, "lineage", None),
         )
 
     # -- compiling ---------------------------------------------------
@@ -233,6 +248,7 @@ class ReticleCompiler:
                 seconds = time.perf_counter() - start
                 return self._result_from_cache(func, entry, seconds, trace)
 
+        lineage = Lineage()
         ctx = CompileContext(
             target=self.target,
             device=self.device,
@@ -240,6 +256,7 @@ class ReticleCompiler:
             tracer=trace,
             selector=self.selector,
             placer=self.placer,
+            lineage=lineage,
         )
         artifact = self.pass_manager.run(
             CompileArtifact(source=func, func=func), ctx
@@ -266,6 +283,7 @@ class ReticleCompiler:
                     placed=placed,
                     netlist=artifact.netlist,
                     stages=dict(ctx.stats),
+                    lineage=lineage,
                 ),
                 tracer=trace,
             )
@@ -283,6 +301,7 @@ class ReticleCompiler:
             seconds=metrics.total_seconds,
             metrics=metrics,
             trace=trace,
+            lineage=lineage,
         )
 
     def compile_prog(

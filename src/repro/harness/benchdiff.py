@@ -1,0 +1,227 @@
+"""Bench regression gating: diff two BENCH_pipeline.json payloads.
+
+``reticle bench diff OLD.json NEW.json --max-regress <pct>`` compares
+the rows of two pipeline-benchmark payloads (see
+:func:`repro.harness.experiments.pipeline_rows`) keyed by
+``(bench, size)`` and fails — nonzero exit — when the new run regressed
+beyond tolerance.  CI runs it against the committed baseline so a PR
+that quietly slows the pipeline down or inflates the solver's work is
+caught at review time, not three PRs later.
+
+What is gated, per row:
+
+* ``seconds`` (cold end-to-end time) — regression when the new value
+  exceeds the old by more than ``max_regress`` percent;
+* ``cache_speedup`` — regression when it *drops* by more than
+  ``max_regress`` percent (a cache that stops paying off is a bug);
+* growth counters (solver nodes, backtracks, matches tried, emitted
+  cells) — same percentage tolerance, because they are the
+  machine-independent proxy for algorithmic regressions.  Counter
+  gating uses ``max(counter_regress or max_regress)`` so CI can keep
+  timing tolerance loose (runner machines vary) while holding
+  counters tight (they should be deterministic).
+
+A row present in OLD but missing from NEW is always a failure (a
+benchmark silently dropped is a regression in coverage); rows only in
+NEW are reported but never fail the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Counters gated by the diff: machine-independent work measures whose
+#: growth means the algorithm (not the machine) got slower.
+GATED_COUNTERS = (
+    "isel.matches_tried",
+    "place.solver_nodes",
+    "place.backtracks",
+    "codegen.cells",
+)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of one row."""
+
+    bench: str
+    size: int
+    metric: str
+    old: float
+    new: float
+    #: signed percent change, positive = worse (slower / more work)
+    change_pct: float
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "WORSE" if self.regressed else "ok"
+        return (
+            f"{self.bench}/{self.size} {self.metric}: "
+            f"{self.old:g} -> {self.new:g} "
+            f"({self.change_pct:+.1f}%) [{arrow}]"
+        )
+
+
+@dataclass
+class BenchDiff:
+    """The outcome of comparing two benchmark payloads."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    missing: List[Tuple[str, int]] = field(default_factory=list)
+    added: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "regressions": [d.describe() for d in self.regressions],
+            "missing": [f"{b}/{s}" for b, s in self.missing],
+            "added": [f"{b}/{s}" for b, s in self.added],
+            "deltas": [
+                {
+                    "bench": d.bench,
+                    "size": d.size,
+                    "metric": d.metric,
+                    "old": d.old,
+                    "new": d.new,
+                    "change_pct": d.change_pct,
+                    "regressed": d.regressed,
+                }
+                for d in self.deltas
+            ],
+        }
+
+
+def _rows_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, int], Dict]:
+    rows = payload.get("rows", [])
+    return {(row["bench"], int(row["size"])): row for row in rows}
+
+
+def _pct_change(old: float, new: float) -> float:
+    """Percent change new vs old; 0 when old is 0 and new is too."""
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old * 100.0
+
+
+def diff_payloads(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    max_regress: float = 25.0,
+    counter_regress: Optional[float] = None,
+) -> BenchDiff:
+    """Compare two pipeline-benchmark payloads row by row.
+
+    ``max_regress`` is the timing tolerance in percent (``seconds`` may
+    grow, ``cache_speedup`` may drop, by at most this much);
+    ``counter_regress`` overrides it for the gated growth counters
+    (defaults to the same value).
+    """
+    counter_tol = max_regress if counter_regress is None else counter_regress
+    old_rows = _rows_by_key(old)
+    new_rows = _rows_by_key(new)
+    diff = BenchDiff()
+    diff.missing = sorted(set(old_rows) - set(new_rows))
+    diff.added = sorted(set(new_rows) - set(old_rows))
+
+    for key in sorted(set(old_rows) & set(new_rows)):
+        bench, size = key
+        old_row, new_row = old_rows[key], new_rows[key]
+
+        old_s = float(old_row.get("seconds", 0.0))
+        new_s = float(new_row.get("seconds", 0.0))
+        change = _pct_change(old_s, new_s)
+        diff.deltas.append(
+            MetricDelta(
+                bench=bench,
+                size=size,
+                metric="seconds",
+                old=old_s,
+                new=new_s,
+                change_pct=change,
+                regressed=change > max_regress,
+            )
+        )
+
+        old_sp = float(old_row.get("cache_speedup", 0.0))
+        new_sp = float(new_row.get("cache_speedup", 0.0))
+        if old_sp > 0:
+            drop = _pct_change(old_sp, new_sp)
+            diff.deltas.append(
+                MetricDelta(
+                    bench=bench,
+                    size=size,
+                    metric="cache_speedup",
+                    old=old_sp,
+                    new=new_sp,
+                    change_pct=drop,
+                    # A speedup *drop* beyond tolerance regresses.
+                    regressed=drop < -max_regress,
+                )
+            )
+
+        old_counters = old_row.get("counters", {}) or {}
+        new_counters = new_row.get("counters", {}) or {}
+        for name in GATED_COUNTERS:
+            if name not in old_counters:
+                continue
+            old_c = float(old_counters[name])
+            new_c = float(new_counters.get(name, 0.0))
+            change = _pct_change(old_c, new_c)
+            diff.deltas.append(
+                MetricDelta(
+                    bench=bench,
+                    size=size,
+                    metric=name,
+                    old=old_c,
+                    new=new_c,
+                    change_pct=change,
+                    regressed=change > counter_tol,
+                )
+            )
+    return diff
+
+
+def diff_files(
+    old_path: str,
+    new_path: str,
+    max_regress: float = 25.0,
+    counter_regress: Optional[float] = None,
+) -> BenchDiff:
+    """:func:`diff_payloads` over two JSON files on disk."""
+    with open(old_path, "r", encoding="utf-8") as handle:
+        old = json.load(handle)
+    with open(new_path, "r", encoding="utf-8") as handle:
+        new = json.load(handle)
+    return diff_payloads(
+        old, new, max_regress=max_regress, counter_regress=counter_regress
+    )
+
+
+def format_diff(diff: BenchDiff, verbose: bool = False) -> str:
+    """Human summary: regressions (always), clean deltas (verbose)."""
+    lines: List[str] = []
+    for bench, size in diff.missing:
+        lines.append(f"MISSING  {bench}/{size}: row dropped from new run")
+    for bench, size in diff.added:
+        lines.append(f"new row  {bench}/{size} (not in baseline)")
+    for delta in diff.deltas:
+        if delta.regressed or verbose:
+            lines.append(delta.describe())
+    verdict = "OK" if diff.ok else "REGRESSED"
+    compared = len({(d.bench, d.size) for d in diff.deltas})
+    lines.append(
+        f"bench diff: {verdict} "
+        f"({compared} rows compared, {len(diff.regressions)} regressions, "
+        f"{len(diff.missing)} missing)"
+    )
+    return "\n".join(lines)

@@ -16,7 +16,7 @@ the node uncoverable and selection fails loudly (Section 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SelectionError
@@ -142,10 +142,12 @@ class CoverResult:
     """The minimum-cost cover of one subject tree.
 
     ``matches`` lists the chosen matches in emission (dependency)
-    order; ``cost`` is the total weighted area.  ``dp_hits`` and
-    ``matches_tried`` expose the dynamic-programming effort behind the
-    cover (memo-table hits and pattern match attempts) for the
-    observability layer.
+    order; ``cost`` is the total weighted area; ``match_costs`` holds
+    each chosen match's *own* weighted area (subtree costs excluded),
+    parallel to ``matches`` — the per-match figure the provenance
+    lineage reports.  ``dp_hits`` and ``matches_tried`` expose the
+    dynamic-programming effort behind the cover (memo-table hits and
+    pattern match attempts) for the observability layer.
     """
 
     tree: SubjectTree
@@ -153,6 +155,7 @@ class CoverResult:
     cost: float
     dp_hits: int = 0
     matches_tried: int = 0
+    match_costs: List[float] = field(default_factory=list)
 
 
 def cover_tree(
@@ -216,6 +219,7 @@ def cover_tree(
     # Recover the chosen matches, children before parents so emitted
     # instructions are in dependency order.
     ordered: List[Match] = []
+    ordered_costs: List[float] = []
 
     def emit(node: SubjectNode) -> None:
         match = best[id(node)][1]
@@ -223,6 +227,8 @@ def cover_tree(
         for subtree in match.subtrees:
             emit(subtree)
         ordered.append(match)
+        asm_def = match.pattern.asm_def
+        ordered_costs.append(asm_def.area * prim_weight[asm_def.prim])
 
     emit(tree.root)
     return CoverResult(
@@ -231,4 +237,5 @@ def cover_tree(
         cost=total,
         dp_hits=dp_hits,
         matches_tried=matches_tried,
+        match_costs=ordered_costs,
     )

@@ -71,12 +71,18 @@ class Selector:
             cover_tree(tree, self._index, weight, types) for tree in trees
         ]
 
-    def select(self, func: Func, tracer=NULL_TRACER) -> AsmFunc:
+    def select(
+        self, func: Func, tracer=NULL_TRACER, lineage=None
+    ) -> AsmFunc:
         """Lower one IR function to assembly with unknown locations.
 
         ``tracer`` (any :mod:`repro.obs` tracer) receives the
-        selection counters: trees partitioned, DP memo-table hits,
-        match attempts, and covers chosen per primitive kind.
+        selection counters — trees partitioned, DP memo-table hits,
+        match attempts, covers chosen per primitive kind — and the
+        per-tree match-attempt histogram.  ``lineage`` (a
+        :class:`repro.obs.provenance.Lineage`), when given, records
+        which IR instructions each emitted assembly instruction
+        covers, with its match cost.
         """
         typecheck_func(func)
         check_well_formed(func)
@@ -91,10 +97,21 @@ class Selector:
             instr for instr in func.instrs if isinstance(instr, WireInstr)
         ]
         tracer.count("isel.wires", len(instrs))
-        for cover in covers:
-            for match in cover.matches:
+        for tree_index, cover in enumerate(covers):
+            tracer.observe("isel.matches_per_tree", cover.matches_tried)
+            for match, match_cost in zip(cover.matches, cover.match_costs):
                 asm_def = match.pattern.asm_def
                 tracer.count(f"isel.covers.{asm_def.prim.value}")
+                if lineage is not None:
+                    lineage.record_match(
+                        asm_dst=match.node.dst,
+                        asm_op=match.def_name,
+                        prim=asm_def.prim.value,
+                        cost=match_cost,
+                        tree=tree_index,
+                        ir_dsts=tuple(i.dst for i in match.captured),
+                        ir_ops=tuple(i.op_name for i in match.captured),
+                    )
                 instrs.append(
                     AsmInstr(
                         dst=match.node.dst,
@@ -122,8 +139,9 @@ def select(
     target: Target,
     dsp_weight: float = DEFAULT_DSP_WEIGHT,
     tracer=NULL_TRACER,
+    lineage=None,
 ) -> AsmFunc:
     """One-shot selection of ``func`` against ``target``."""
     return Selector(target=target, dsp_weight=dsp_weight).select(
-        func, tracer=tracer
+        func, tracer=tracer, lineage=lineage
     )

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from repro.asm.ast import AsmFunc, AsmInstr
 from repro.asm.coords import CoordVar, CoordWildcard, Loc
 from repro.errors import LayoutError
+from repro.obs import NULL_TRACER, Severity
 from repro.prims import Prim
 from repro.tdl.ast import AsmDef, Target
 from repro.utils.names import NameGenerator
@@ -121,10 +122,29 @@ class CascadeRewriter:
 
     target: Target
 
-    def rewrite(self, func: AsmFunc) -> AsmFunc:
+    def rewrite(
+        self, func: AsmFunc, tracer=NULL_TRACER, lineage=None
+    ) -> AsmFunc:
+        """Rewrite all cascade chains in ``func``.
+
+        ``tracer`` receives ``cascade.*`` counters plus one structured
+        event per chain rewritten (and a debug event when nothing was
+        rewritable); ``lineage`` records the op rename of every
+        instruction pulled into a chain.
+        """
         chains = cascade_chains(func, self.target)
         if not chains:
+            tracer.event(
+                Severity.DEBUG,
+                "cascade",
+                "no cascade chains found",
+                func=func.name,
+            )
             return func
+        tracer.count("cascade.chains", len(chains))
+        tracer.count(
+            "cascade.rewritten", sum(len(chain) for chain in chains)
+        )
 
         taken = set()
         for instr in func.asm_instrs():
@@ -134,10 +154,18 @@ class CascadeRewriter:
         names = NameGenerator(taken)
 
         replacement: Dict[str, AsmInstr] = {}
-        for chain in chains:
+        for chain_index, chain in enumerate(chains):
             x_var = CoordVar(names.fresh("cx"))
             y_base = names.fresh("cy")
             last = len(chain) - 1
+            tracer.event(
+                Severity.INFO,
+                "cascade",
+                f"chain of {len(chain)} rewritten to cascade ports",
+                provenance=chain.instrs[0].dst,
+                chain=chain_index,
+                length=len(chain),
+            )
             for row, instr in enumerate(chain.instrs):
                 if row == 0:
                     suffix = "_co"
@@ -150,6 +178,8 @@ class CascadeRewriter:
                     raise LayoutError(f"missing cascade variant {new_op!r}")
                 loc = Loc(Prim.DSP, x_var, CoordVar(y_base, row))
                 replacement[instr.dst] = instr.with_op(new_op).with_loc(loc)
+                if lineage is not None:
+                    lineage.record_rewrite(instr.dst, new_op)
 
         instrs = tuple(
             replacement.get(instr.dst, instr) for instr in func.instrs
@@ -157,6 +187,10 @@ class CascadeRewriter:
         return func.with_instrs(instrs)
 
 
-def apply_cascading(func: AsmFunc, target: Target) -> AsmFunc:
+def apply_cascading(
+    func: AsmFunc, target: Target, tracer=NULL_TRACER, lineage=None
+) -> AsmFunc:
     """One-shot cascading rewrite."""
-    return CascadeRewriter(target=target).rewrite(func)
+    return CascadeRewriter(target=target).rewrite(
+        func, tracer=tracer, lineage=lineage
+    )

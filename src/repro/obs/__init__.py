@@ -41,13 +41,16 @@ Repeated updates to one metric can go through the bound handles
 loops should accumulate a local int and record it once per stage.
 """
 
+from repro.obs.events import Event, EventLog, Severity, format_events
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
     format_profile,
     write_chrome_trace,
 )
-from repro.obs.metrics import Counter, Gauge
+from repro.obs.metrics import Counter, Gauge, Histogram, percentile
+from repro.obs.provenance import Lineage, LineageRow, MatchRecord
+from repro.obs.report import CompileReport, build_report, format_report
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -64,6 +67,18 @@ __all__ = [
     "SpanRecord",
     "Counter",
     "Gauge",
+    "Histogram",
+    "percentile",
+    "Event",
+    "EventLog",
+    "Severity",
+    "format_events",
+    "Lineage",
+    "LineageRow",
+    "MatchRecord",
+    "CompileReport",
+    "build_report",
+    "format_report",
     "chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",

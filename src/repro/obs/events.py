@@ -1,0 +1,149 @@
+"""Structured diagnostic events (LLVM-remark-style).
+
+Spans say *how long* a stage took; events say *what it did*.  Each
+:class:`Event` carries a severity, the emitting stage, an optional
+provenance id (the instruction the event is about, linking it to the
+lineage table of :mod:`repro.obs.provenance`), a human message, and a
+flat dict of structured attributes — machine-readable, so reports and
+CI can filter and count them without parsing prose.
+
+Stages emit events through their tracer (``tracer.event(...)``); a
+:class:`NullTracer` swallows them, so the uninstrumented path stays
+free.  The :class:`EventLog` itself is thread-safe and mergeable,
+mirroring the span/counter story of :class:`~repro.obs.tracer.Tracer`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Event severity, ordered so logs can be filtered by level."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured diagnostic.
+
+    ``time`` is seconds since the owning tracer's epoch, so events
+    interleave with spans on one timeline.  ``provenance`` names the
+    instruction (IR or assembly ``dst``) the event is about, or None
+    for stage-level events.
+    """
+
+    severity: Severity
+    stage: str
+    message: str
+    provenance: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    time: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "severity": str(self.severity),
+            "stage": self.stage,
+            "message": self.message,
+            "provenance": self.provenance,
+            "attrs": dict(self.attrs),
+            "time": self.time,
+        }
+
+
+class EventLog:
+    """A thread-safe, append-only list of events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Event] = []
+
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def append(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: List[Event]) -> None:
+        with self._lock:
+            self._events.extend(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def events(self) -> List[Event]:
+        """All events, in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    def select(
+        self,
+        min_severity: Severity = Severity.DEBUG,
+        stage: Optional[str] = None,
+        provenance: Optional[str] = None,
+    ) -> List[Event]:
+        """Events at or above ``min_severity``, optionally filtered."""
+        return [
+            event
+            for event in self.events
+            if event.severity >= min_severity
+            and (stage is None or event.stage == stage)
+            and (provenance is None or event.provenance == provenance)
+        ]
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            key = str(event.severity)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def counts_by_stage(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.stage] = counts.get(event.stage, 0) + 1
+        return counts
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [event.to_dict() for event in self.events]
+
+
+def format_events(
+    events: List[Event], min_severity: Severity = Severity.DEBUG
+) -> str:
+    """Render events as aligned ``severity stage message attrs`` lines."""
+    rows = [e for e in events if e.severity >= min_severity]
+    if not rows:
+        return "(no events)"
+    lines: List[str] = []
+    for event in rows:
+        attrs = " ".join(
+            f"{name}={value}" for name, value in sorted(event.attrs.items())
+        )
+        where = f" [{event.provenance}]" if event.provenance else ""
+        tail = f"  ({attrs})" if attrs else ""
+        lines.append(
+            f"{str(event.severity):>7}  {event.stage:<8}"
+            f"{event.message}{where}{tail}"
+        )
+    return "\n".join(lines)

@@ -4,11 +4,14 @@ Two consumers:
 
 * ``chrome_trace`` — the Chrome ``trace_event`` JSON format, loadable
   in ``chrome://tracing`` / Perfetto.  Spans become complete (``"X"``)
-  events with microsecond timestamps; counters and gauges become one
-  counter (``"C"``) event each at the trace's end.
+  events with microsecond timestamps (spans that unwound with an
+  exception carry ``"error": true`` and are colored as terrible);
+  structured diagnostics become instant (``"i"``) events; counters and
+  gauges become one counter (``"C"``) event each at the trace's end.
 * ``format_profile`` — a human-readable table: one row per span name
   (calls, total milliseconds, share of the root span), followed by the
-  counters and gauges.
+  counters, gauges, histogram summaries (count/p50/p95), and an event
+  severity summary.
 """
 
 from __future__ import annotations
@@ -25,15 +28,38 @@ def chrome_trace(tracer) -> Dict[str, object]:
         start_us = record.start * 1e6
         duration_us = record.seconds * 1e6
         end_us = max(end_us, record.end * 1e6)
+        args: Dict[str, object] = {
+            "depth": record.depth,
+            "parent": record.parent,
+        }
+        entry: Dict[str, object] = {
+            "name": record.name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": duration_us,
+            "pid": 0,
+            "tid": record.thread_id,
+            "args": args,
+        }
+        if record.error:
+            args["error"] = True
+            entry["cname"] = "terrible"
+        events.append(entry)
+    for diag in tracer.events.events:
+        ts_us = diag.time * 1e6
+        end_us = max(end_us, ts_us)
         events.append(
             {
-                "name": record.name,
-                "ph": "X",
-                "ts": start_us,
-                "dur": duration_us,
+                "name": f"{diag.stage}: {diag.message}",
+                "ph": "i",
+                "ts": ts_us,
                 "pid": 0,
-                "tid": record.thread_id,
-                "args": {"depth": record.depth, "parent": record.parent},
+                "s": "g",
+                "args": {
+                    "severity": str(diag.severity),
+                    "provenance": diag.provenance,
+                    **diag.attrs,
+                },
             }
         )
     for name, value in sorted(tracer.counters.items()):
@@ -110,4 +136,27 @@ def format_profile(tracer) -> str:
         lines.append("gauges")
         for name in sorted(gauges):
             lines.append(f"  {name.ljust(width)}  {gauges[name]:g}")
+    histograms = tracer.histograms
+    if histograms:
+        from repro.obs.metrics import percentile
+
+        lines.append("")
+        width = max(len(name) for name in histograms)
+        lines.append(
+            f"histograms ({'name'.ljust(width)}  "
+            f"{'count':>5}  {'p50':>8}  {'p95':>8})"
+        )
+        for name in sorted(histograms):
+            values = histograms[name]
+            lines.append(
+                f"  {name.ljust(width)}  {len(values):>5}  "
+                f"{percentile(values, 50):>8g}  {percentile(values, 95):>8g}"
+            )
+    severities = tracer.events.counts_by_severity()
+    if severities:
+        lines.append("")
+        summary = ", ".join(
+            f"{count} {name}" for name, count in sorted(severities.items())
+        )
+        lines.append(f"events: {summary}")
     return "\n".join(lines) if lines else "(no telemetry)"

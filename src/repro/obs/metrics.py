@@ -1,16 +1,40 @@
 """Named metric handles bound to a tracer.
 
-:class:`Counter` and :class:`Gauge` are thin conveniences over
-``tracer.count``/``tracer.gauge`` for code that updates the same
-metric many times: create the handle once, update it in the loop.
-Bound to :data:`~repro.obs.tracer.NULL_TRACER` they are no-ops.
+:class:`Counter`, :class:`Gauge`, and :class:`Histogram` are thin
+conveniences over ``tracer.count``/``tracer.gauge``/``tracer.observe``
+for code that updates the same metric many times: create the handle
+once, update it in the loop.  Bound to
+:data:`~repro.obs.tracer.NULL_TRACER` they are no-ops.
+
+Histograms are for quantities whose *distribution* matters — placement
+backtracks per solver probe, isel match attempts per tree — where a
+single counter would hide the long tail.  :func:`percentile` is the
+shared nearest-rank estimator used by ``format_profile`` (p50/p95)
+and the compile report.
 """
 
 from __future__ import annotations
 
+import math
+from typing import List, Sequence
+
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 TracerLike = "Tracer | NullTracer"
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (nearest-rank) of ``values``.
+
+    Returns 0.0 for an empty sample set; ``p`` is in [0, 100].
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    rank = min(len(ordered), max(1, math.ceil(len(ordered) * p / 100)))
+    return ordered[rank - 1]
 
 
 class Counter:
@@ -45,3 +69,27 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._tracer.gauges.get(self.name, 0.0)
+
+
+class Histogram:
+    """A sample-distribution metric (p50/p95 in profiles)."""
+
+    __slots__ = ("_tracer", "name")
+
+    def __init__(self, tracer, name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+
+    def observe(self, value: float) -> None:
+        self._tracer.observe(self.name, value)
+
+    @property
+    def values(self) -> List[float]:
+        return self._tracer.histograms.get(self.name, [])
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, p: float) -> float:
+        return percentile(self.values, p)

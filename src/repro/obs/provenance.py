@@ -1,0 +1,210 @@
+"""End-to-end provenance: IR instruction -> emitted Verilog cells.
+
+The provenance id of a value is its SSA name (``dst``) — unique within
+a function and stable across the whole pipeline, because every stage
+keys its rewrite on it: instruction selection emits one assembly
+instruction per *match root* and records which IR instructions the
+match swallowed; cascading renames an instruction's op but keeps its
+``dst``; placement resolves its location; codegen attributes every
+cell it stamps to the assembly instruction being synthesized.
+
+Each stage reports into one :class:`Lineage` (side-channel — artifacts
+themselves are untouched, so provenance cannot perturb the emitted
+Verilog).  :meth:`Lineage.rows` joins the four stage tables into the
+per-IR-instruction lineage table of ``reticle report``: every compute
+IR instruction maps to exactly one assembly instruction, its match
+cost, its placed ``(prim, x, y)``, and the Verilog cells it became.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One chosen isel match: the IR instructions one ASM instr covers.
+
+    ``cost`` is the match's own weighted area (the pattern's area times
+    its primitive weight — subtree costs are accounted to the subtree
+    roots' own matches).
+    """
+
+    asm_dst: str
+    asm_op: str
+    prim: str
+    cost: float
+    tree: int
+    ir_dsts: Tuple[str, ...]
+    ir_ops: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LineageRow:
+    """One IR compute instruction's full journey through the pipeline."""
+
+    ir_dst: str
+    ir_op: str
+    asm_dst: str
+    asm_op: str
+    match_cost: float
+    tree: int
+    prim: Optional[str] = None
+    x: Optional[int] = None
+    y: Optional[int] = None
+    cells: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ir_dst": self.ir_dst,
+            "ir_op": self.ir_op,
+            "asm_dst": self.asm_dst,
+            "asm_op": self.asm_op,
+            "match_cost": self.match_cost,
+            "tree": self.tree,
+            "prim": self.prim,
+            "x": self.x,
+            "y": self.y,
+            "cells": list(self.cells),
+        }
+
+
+class Lineage:
+    """Per-compile provenance collector, filled stage by stage.
+
+    Thread-safe so one lineage could aggregate concurrent work, though
+    the compiler builds one per compiled function.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._matches: List[MatchRecord] = []
+        # asm dst -> cascade variant op it was rewritten to
+        self._rewrites: Dict[str, str] = {}
+        # asm dst -> (prim, x, y)
+        self._placements: Dict[str, Tuple[str, int, int]] = {}
+        # asm dst -> emitted cell names
+        self._cells: Dict[str, Tuple[str, ...]] = {}
+
+    # Lineages ride inside pickled compile-cache entries; the lock is
+    # recreated on load.
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- stage recorders ---------------------------------------------
+
+    def record_match(
+        self,
+        asm_dst: str,
+        asm_op: str,
+        prim: str,
+        cost: float,
+        tree: int,
+        ir_dsts: Tuple[str, ...],
+        ir_ops: Tuple[str, ...],
+    ) -> None:
+        """Selection chose a pattern rooted at ``asm_dst``."""
+        with self._lock:
+            self._matches.append(
+                MatchRecord(
+                    asm_dst=asm_dst,
+                    asm_op=asm_op,
+                    prim=prim,
+                    cost=cost,
+                    tree=tree,
+                    ir_dsts=ir_dsts,
+                    ir_ops=ir_ops,
+                )
+            )
+
+    def record_rewrite(self, asm_dst: str, new_op: str) -> None:
+        """Cascading renamed ``asm_dst``'s op to a cascade variant."""
+        with self._lock:
+            self._rewrites[asm_dst] = new_op
+
+    def record_placement(
+        self, asm_dst: str, prim: str, x: int, y: int
+    ) -> None:
+        """Placement resolved ``asm_dst`` to ``(prim, x, y)``."""
+        with self._lock:
+            self._placements[asm_dst] = (prim, x, y)
+
+    def record_cells(self, asm_dst: str, cells: Tuple[str, ...]) -> None:
+        """Codegen synthesized ``asm_dst`` into these netlist cells."""
+        if not cells:
+            return
+        with self._lock:
+            existing = self._cells.get(asm_dst, ())
+            self._cells[asm_dst] = existing + tuple(cells)
+
+    # -- reading ------------------------------------------------------
+
+    @property
+    def matches(self) -> List[MatchRecord]:
+        with self._lock:
+            return list(self._matches)
+
+    @property
+    def placements(self) -> Dict[str, Tuple[str, int, int]]:
+        with self._lock:
+            return dict(self._placements)
+
+    @property
+    def rewrites(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._rewrites)
+
+    @property
+    def cells(self) -> Dict[str, Tuple[str, ...]]:
+        with self._lock:
+            return dict(self._cells)
+
+    def rows(self) -> List[LineageRow]:
+        """The joined lineage table, one row per covered IR instruction.
+
+        Rows appear in selection (emission) order, captured
+        instructions in pattern-body order.
+        """
+        rewrites = self.rewrites
+        placements = self.placements
+        cells = self.cells
+        rows: List[LineageRow] = []
+        for match in self.matches:
+            asm_op = rewrites.get(match.asm_dst, match.asm_op)
+            placed = placements.get(match.asm_dst)
+            owned = cells.get(match.asm_dst, ())
+            for ir_dst, ir_op in zip(match.ir_dsts, match.ir_ops):
+                rows.append(
+                    LineageRow(
+                        ir_dst=ir_dst,
+                        ir_op=ir_op,
+                        asm_dst=match.asm_dst,
+                        asm_op=asm_op,
+                        match_cost=match.cost,
+                        tree=match.tree,
+                        prim=placed[0] if placed else match.prim,
+                        x=placed[1] if placed else None,
+                        y=placed[2] if placed else None,
+                        cells=owned,
+                    )
+                )
+        return rows
+
+    def tree_costs(self) -> Dict[int, float]:
+        """Total match cost per subject tree (isel cost breakdown)."""
+        totals: Dict[int, float] = {}
+        for match in self.matches:
+            totals[match.tree] = totals.get(match.tree, 0.0) + match.cost
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rows": [row.to_dict() for row in self.rows()]}

@@ -1,0 +1,291 @@
+"""The compile report: one artifact that explains a whole compile.
+
+Joins everything the observability layer collects about one
+:class:`~repro.compiler.ReticleResult` — the provenance lineage table
+(IR op -> ASM instr + match cost -> placed location -> Verilog cells),
+resource utilization by primitive kind and by device column, an ASCII
+placement heatmap, the per-tree instruction-selection cost breakdown,
+stage timings, and the structured event log — into a
+:class:`CompileReport` that renders as JSON (machine-readable, the CI
+artifact) or human text (``reticle report``).
+
+The report is *derived*: it reads the result's artifacts and lineage,
+never mutates them, so producing a report cannot perturb the compile.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import Event, Severity, format_events
+from repro.obs.provenance import LineageRow
+
+#: Heatmap density ramp: index = instructions on the tile (clamped).
+_DENSITY = ".123456789#"
+
+#: Widest heatmap we render before clipping columns.
+_MAX_HEATMAP_COLS = 72
+_MAX_HEATMAP_ROWS = 40
+
+
+@dataclass
+class CompileReport:
+    """Everything ``reticle report`` knows about one compile."""
+
+    name: str
+    seconds: float
+    cached: bool
+    stages: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    lineage: List[LineageRow] = field(default_factory=list)
+    #: cell kind (LUT6, FDRE, CARRY8, DSP48E2, ...) -> count
+    utilization: Dict[str, int] = field(default_factory=dict)
+    #: primitive kind -> {column -> cell count}
+    columns: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    heatmaps: Dict[str, str] = field(default_factory=dict)
+    #: subject-tree index -> total weighted isel cost
+    tree_costs: Dict[int, float] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+
+    # -- rendering ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "cached": self.cached,
+            "stages": dict(self.stages),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "lineage": [row.to_dict() for row in self.lineage],
+            "utilization": dict(self.utilization),
+            "columns": {
+                prim: {str(col): count for col, count in sorted(cols.items())}
+                for prim, cols in self.columns.items()
+            },
+            "heatmaps": dict(self.heatmaps),
+            "tree_costs": {
+                str(tree): cost for tree, cost in sorted(self.tree_costs.items())
+            },
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_text(self, min_severity: Severity = Severity.INFO) -> str:
+        return format_report(self, min_severity=min_severity)
+
+
+# -- building ---------------------------------------------------------
+
+
+def _placement_heatmaps(placed) -> Dict[str, str]:
+    """One density grid per primitive kind, from placed instructions.
+
+    Rows print top-down (highest row first, matching device
+    orientation); each tile's character encodes how many instructions
+    occupy it (an instruction's row span counts every row it covers).
+    """
+    from repro.asm.ast import AsmInstr  # local: avoid cycle at import
+
+    occupancy: Dict[str, Dict[Tuple[int, int], int]] = {}
+    spans: Dict[str, Tuple[int, int]] = {}
+    for instr in placed.instrs:
+        if not isinstance(instr, AsmInstr):
+            continue
+        if not instr.loc.is_resolved:
+            continue
+        prim = instr.loc.prim.value
+        col, row = instr.loc.position()
+        grid = occupancy.setdefault(prim, {})
+        grid[(col, row)] = grid.get((col, row), 0) + 1
+        max_col, max_row = spans.get(prim, (0, 0))
+        spans[prim] = (max(max_col, col), max(max_row, row))
+
+    heatmaps: Dict[str, str] = {}
+    for prim, grid in sorted(occupancy.items()):
+        max_col, max_row = spans[prim]
+        cols = min(max_col + 1, _MAX_HEATMAP_COLS)
+        rows = min(max_row + 1, _MAX_HEATMAP_ROWS)
+        lines: List[str] = []
+        for row in range(rows - 1, -1, -1):
+            chars = []
+            for col in range(cols):
+                count = grid.get((col, row), 0)
+                chars.append(_DENSITY[min(count, len(_DENSITY) - 1)])
+            lines.append(f"{row:>3} {''.join(chars)}")
+        clipped = ""
+        if max_col + 1 > cols or max_row + 1 > rows:
+            clipped = (
+                f"\n    (clipped to {cols}x{rows} of "
+                f"{max_col + 1}x{max_row + 1})"
+            )
+        heatmaps[prim] = "\n".join(lines) + clipped
+    return heatmaps
+
+
+def _column_utilization(netlist) -> Dict[str, Dict[int, int]]:
+    """Cells per (primitive kind, device column)."""
+    columns: Dict[str, Dict[int, int]] = {}
+    for cell in netlist.cells:
+        if cell.loc is None:
+            continue
+        prim, col, _row = cell.loc
+        per_col = columns.setdefault(prim.value, {})
+        per_col[col] = per_col.get(col, 0) + 1
+    return columns
+
+
+def _cell_utilization(netlist) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for cell in netlist.cells:
+        counts[cell.kind] = counts.get(cell.kind, 0) + 1
+    return counts
+
+
+def build_report(result) -> CompileReport:
+    """Build the report of one :class:`~repro.compiler.ReticleResult`."""
+    metrics = result.metrics
+    lineage_rows: List[LineageRow] = []
+    tree_costs: Dict[int, float] = {}
+    if result.lineage is not None:
+        lineage_rows = result.lineage.rows()
+        tree_costs = result.lineage.tree_costs()
+    events: List[Event] = []
+    if result.trace is not None:
+        events = result.trace.events.events
+    return CompileReport(
+        name=result.source.name,
+        seconds=result.seconds,
+        cached=result.cached,
+        stages=dict(metrics.stages) if metrics is not None else {},
+        counters=dict(metrics.counters) if metrics is not None else {},
+        gauges=dict(metrics.gauges) if metrics is not None else {},
+        lineage=lineage_rows,
+        utilization=_cell_utilization(result.netlist),
+        columns=_column_utilization(result.netlist),
+        heatmaps=_placement_heatmaps(result.placed),
+        tree_costs=tree_costs,
+        events=events,
+    )
+
+
+# -- text rendering ---------------------------------------------------
+
+
+def _format_lineage_table(rows: List[LineageRow]) -> str:
+    if not rows:
+        return "(no lineage recorded)"
+    header = ("ir", "op", "asm", "asm op", "cost", "loc", "cells")
+    table: List[Tuple[str, ...]] = [header]
+    for row in rows:
+        loc = "??"
+        if row.x is not None and row.y is not None:
+            loc = f"{row.prim}({row.x}, {row.y})"
+        cells = ", ".join(row.cells[:3])
+        if len(row.cells) > 3:
+            cells += f", +{len(row.cells) - 3} more"
+        table.append(
+            (
+                row.ir_dst,
+                row.ir_op,
+                row.asm_dst,
+                row.asm_op,
+                f"{row.match_cost:g}",
+                loc,
+                cells or "-",
+            )
+        )
+    widths = [
+        max(len(entry[i]) for entry in table) for i in range(len(header))
+    ]
+    lines = []
+    for index, entry in enumerate(table):
+        lines.append(
+            "  ".join(part.ljust(widths[i]) for i, part in enumerate(entry))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_report(
+    report: CompileReport, min_severity: Severity = Severity.INFO
+) -> str:
+    """Human-readable rendering of one compile report.
+
+    ``min_severity`` bounds the event listing (the per-severity counts
+    in the section header always cover every recorded event).
+    """
+    cached = " (cached)" if report.cached else ""
+    lines: List[str] = [
+        f"== compile report: {report.name}{cached} ==",
+        f"total {report.seconds * 1000:.3f} ms",
+    ]
+    if report.stages:
+        stage_parts = ", ".join(
+            f"{stage} {seconds * 1000:.3f}"
+            for stage, seconds in report.stages.items()
+        )
+        lines.append(f"stages (ms): {stage_parts}")
+
+    lines.append("")
+    lines.append("-- lineage (IR op -> ASM instr -> loc -> cells) --")
+    lines.append(_format_lineage_table(report.lineage))
+
+    if report.tree_costs:
+        lines.append("")
+        lines.append("-- isel cost per subject tree --")
+        for tree, cost in sorted(report.tree_costs.items()):
+            lines.append(f"  tree {tree}: {cost:g}")
+
+    if report.utilization:
+        lines.append("")
+        lines.append("-- utilization by cell kind --")
+        width = max(len(kind) for kind in report.utilization)
+        for kind in sorted(report.utilization):
+            lines.append(
+                f"  {kind.ljust(width)}  {report.utilization[kind]}"
+            )
+
+    if report.columns:
+        lines.append("")
+        lines.append("-- cells per device column --")
+        for prim in sorted(report.columns):
+            cols = report.columns[prim]
+            parts = ", ".join(
+                f"x{col}: {count}" for col, count in sorted(cols.items())
+            )
+            lines.append(f"  {prim}: {parts}")
+
+    if report.heatmaps:
+        lines.append("")
+        lines.append("-- placement heatmap (row-major, top row first) --")
+        for prim, grid in report.heatmaps.items():
+            lines.append(f"  [{prim}]")
+            for grid_line in grid.splitlines():
+                lines.append(f"  {grid_line}")
+
+    lines.append("")
+    severities: Dict[str, int] = {}
+    for event in report.events:
+        key = str(event.severity)
+        severities[key] = severities.get(key, 0) + 1
+    if severities:
+        summary = ", ".join(
+            f"{count} {name}" for name, count in sorted(severities.items())
+        )
+        lines.append(f"-- events ({summary}) --")
+        visible = [e for e in report.events if e.severity >= min_severity]
+        if visible:
+            lines.append(format_events(visible))
+        else:
+            lines.append("(debug only; rerun with --events debug to list)")
+    else:
+        lines.append("-- events --")
+        lines.append("(no events)")
+    return "\n".join(lines)

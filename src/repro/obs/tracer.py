@@ -10,6 +10,15 @@ A :class:`Tracer` collects three kinds of telemetry:
   (``tracer.count("isel.dp_hits", 3)``).
 * **Gauges** — last-value-wins floats
   (``tracer.gauge("place.bbox_rows", 12)``).
+* **Histograms** — value distributions
+  (``tracer.observe("isel.matches_per_tree", 26)``), summarized as
+  count/p50/p95 by :func:`~repro.obs.export.format_profile`.
+* **Events** — structured diagnostics
+  (``tracer.event(Severity.INFO, "cascade", "chain rewritten", ...)``),
+  collected in an :class:`~repro.obs.events.EventLog`.
+
+A span that unwinds with an exception is recorded with
+``error=True``, so failed compiles stay visible in traces.
 
 All mutation is guarded by a lock so one tracer can be shared across
 threads; the span *stack* is thread-local, so concurrent threads nest
@@ -27,6 +36,8 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.events import Event, EventLog, Severity
+
 
 @dataclass(frozen=True)
 class SpanRecord:
@@ -34,7 +45,8 @@ class SpanRecord:
 
     ``start``/``end`` are seconds since the tracer's epoch (the
     moment the tracer was created), so records from one tracer are
-    directly comparable.
+    directly comparable.  ``error`` marks a span whose body unwound
+    with an exception.
     """
 
     name: str
@@ -43,6 +55,7 @@ class SpanRecord:
     depth: int
     parent: Optional[str]
     thread_id: int
+    error: bool = False
 
     @property
     def seconds(self) -> float:
@@ -86,6 +99,7 @@ class Span:
             depth=self._depth,
             parent=self._parent,
             thread_id=threading.get_ident(),
+            error=exc_type is not None,
         )
         self._tracer._record(self.record)
 
@@ -100,6 +114,8 @@ class Tracer:
         self._spans: List[SpanRecord] = []
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, List[float]] = {}
+        self.events = EventLog()
         self._local = threading.local()
 
     # -- recording ---------------------------------------------------
@@ -117,6 +133,31 @@ class Tracer:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
         with self._lock:
             self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the histogram ``name``."""
+        with self._lock:
+            self._hists.setdefault(name, []).append(float(value))
+
+    def event(
+        self,
+        severity: Severity,
+        stage: str,
+        message: str,
+        provenance: Optional[str] = None,
+        **attrs: object,
+    ) -> Event:
+        """Record one structured diagnostic event."""
+        record = Event(
+            severity=severity,
+            stage=stage,
+            message=message,
+            provenance=provenance,
+            attrs=attrs,
+            time=self._clock() - self._epoch,
+        )
+        self.events.append(record)
+        return record
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -136,13 +177,18 @@ class Tracer:
         one's (both epochs come from the same monotonic clock), so a
         merged timeline stays coherent; counters accumulate; gauges
         take the other tracer's value (last write wins, as everywhere
-        else).  Used by parallel ``compile_prog``: each worker records
-        into a private tracer, then merges into the shared one.
+        else); histogram samples concatenate; events are rebased and
+        appended.  Only *finished* spans move — a span still open in
+        the other tracer has no record yet and is simply absent from
+        the merge.  Used by parallel ``compile_prog``: each worker
+        records into a private tracer, then merges into the shared one.
         """
         offset = other._epoch - self._epoch
         spans = other.spans
         counters = other.counters
         gauges = other.gauges
+        hists = other.histograms
+        events = other.events.events
         with self._lock:
             for record in spans:
                 self._spans.append(
@@ -155,6 +201,11 @@ class Tracer:
             for name, value in counters.items():
                 self._counters[name] = self._counters.get(name, 0) + value
             self._gauges.update(gauges)
+            for name, values in hists.items():
+                self._hists.setdefault(name, []).extend(values)
+        self.events.extend(
+            [replace(event, time=event.time + offset) for event in events]
+        )
 
     # -- reading -----------------------------------------------------
 
@@ -173,6 +224,12 @@ class Tracer:
     def gauges(self) -> Dict[str, float]:
         with self._lock:
             return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        """Raw samples per histogram name."""
+        with self._lock:
+            return {name: list(values) for name, values in self._hists.items()}
 
     def durations(self, depth: Optional[int] = None) -> Dict[str, float]:
         """Total seconds per span name, in first-start order.
@@ -233,6 +290,19 @@ class NullTracer:
     def gauge(self, name: str, value: float) -> None:
         return None
 
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def event(
+        self,
+        severity: Severity,
+        stage: str,
+        message: str,
+        provenance: Optional[str] = None,
+        **attrs: object,
+    ) -> None:
+        return None
+
     def merge(self, other) -> None:
         return None
 
@@ -247,6 +317,14 @@ class NullTracer:
     @property
     def gauges(self) -> Dict[str, float]:
         return {}
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        return {}
+
+    @property
+    def events(self) -> EventLog:
+        return EventLog()
 
     def durations(self, depth: Optional[int] = None) -> Dict[str, float]:
         return {}

@@ -73,6 +73,9 @@ class CachedCompile:
 
     ``stages`` keeps the cold compile's per-stage seconds so a warm
     hit can still report what the work *would* have cost.
+    ``lineage`` keeps the cold compile's provenance so a warm hit can
+    still render a full ``reticle report`` (read via ``getattr`` with
+    a None default, so pre-provenance disk entries stay loadable).
     """
 
     selected: "AsmFunc"
@@ -80,6 +83,7 @@ class CachedCompile:
     placed: "AsmFunc"
     netlist: "Netlist"
     stages: Dict[str, float] = field(default_factory=dict)
+    lineage: Optional[object] = None
 
 
 class CompileCache:

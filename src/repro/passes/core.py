@@ -82,6 +82,10 @@ class CompileContext:
     stats: Dict[str, float] = field(default_factory=dict)
     selector: Optional["Selector"] = None
     placer: Optional["Placer"] = None
+    #: Provenance collector (repro.obs.provenance.Lineage); stages
+    #: record IR->ASM coverage, placements, and cell attribution into
+    #: it when present.  None keeps provenance off entirely.
+    lineage: Optional[object] = None
 
     def get_selector(self) -> "Selector":
         if self.selector is None:

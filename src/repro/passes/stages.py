@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.errors import ReticleError
+from repro.obs import Severity
 from repro.passes.core import CompileArtifact, CompileContext, Pass
 
 #: name -> zero-argument factory producing a fresh pass instance.
@@ -74,7 +75,7 @@ class SelectPass(Pass):
 
     def run(self, artifact: CompileArtifact, ctx: CompileContext) -> None:
         artifact.selected = ctx.get_selector().select(
-            artifact.func, tracer=ctx.tracer
+            artifact.func, tracer=ctx.tracer, lineage=ctx.lineage
         )
         artifact.asm = artifact.selected
 
@@ -100,7 +101,16 @@ class CascadePass(Pass):
         if asm is None:
             raise ReticleError("cascade pass needs a selected function")
         if ctx.options.get("cascade", True):
-            asm = self._apply(asm, ctx.target)
+            asm = self._apply(
+                asm, ctx.target, tracer=ctx.tracer, lineage=ctx.lineage
+            )
+        else:
+            ctx.tracer.event(
+                Severity.INFO,
+                "cascade",
+                "cascade rewriting skipped (cascade=False)",
+                func=asm.name,
+            )
         artifact.cascaded = asm
         artifact.asm = asm
 
@@ -115,7 +125,7 @@ class PlacePass(Pass):
         if artifact.asm is None:
             raise ReticleError("place pass needs an assembly function")
         artifact.placed = ctx.get_placer().place(
-            artifact.asm, tracer=ctx.tracer
+            artifact.asm, tracer=ctx.tracer, lineage=ctx.lineage
         )
         artifact.asm = artifact.placed
 
@@ -135,7 +145,7 @@ class CodegenPass(Pass):
         if artifact.asm is None:
             raise ReticleError("codegen pass needs a placed function")
         artifact.netlist = self._generate(
-            artifact.asm, ctx.target, tracer=ctx.tracer
+            artifact.asm, ctx.target, tracer=ctx.tracer, lineage=ctx.lineage
         )
 
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.asm.ast import AsmFunc, AsmInstr
 from repro.asm.coords import Coord, CoordLit, Loc
 from repro.errors import PlacementError
-from repro.obs import NULL_TRACER
+from repro.obs import NULL_TRACER, Severity
 from repro.place.device import Device, LUTS_PER_SLICE
 from repro.place.solver import (
     PlacementItem,
@@ -164,10 +164,32 @@ class Placer:
                         )
                     except PlacementError:
                         tracer.count("place.shrink_infeasible")
+                        tracer.event(
+                            Severity.DEBUG,
+                            "place",
+                            "shrink probe infeasible",
+                            prim=prim.value,
+                            dimension=dimension,
+                            bound=middle,
+                        )
                         low = middle + 1
                         continue
                     tracer.count("place.solver_nodes", candidate.nodes)
                     tracer.count("place.backtracks", candidate.backtracks)
+                    tracer.observe(
+                        "place.backtracks_per_solve", candidate.backtracks
+                    )
+                    tracer.observe(
+                        "place.nodes_per_solve", candidate.nodes
+                    )
+                    tracer.event(
+                        Severity.DEBUG,
+                        "place",
+                        "shrink probe feasible",
+                        prim=prim.value,
+                        dimension=dimension,
+                        bound=middle,
+                    )
                     best = candidate
                     high = middle
                 if dimension == "row":
@@ -176,12 +198,20 @@ class Placer:
                     max_col[prim] = high
         return best
 
-    def place(self, func: AsmFunc, tracer=NULL_TRACER) -> AsmFunc:
+    # A single solve spending this many backtracks is a hotspot worth
+    # surfacing as a warning event (the paper's Figure 13 pathologies).
+    BACKTRACK_HOTSPOT = 10_000
+
+    def place(
+        self, func: AsmFunc, tracer=NULL_TRACER, lineage=None
+    ) -> AsmFunc:
         """Resolve every location in ``func``; raises on failure.
 
         ``tracer`` (any :mod:`repro.obs` tracer) receives the search
-        counters — solver nodes, backtracks, shrink probes — and the
-        final bounding-box gauges.
+        counters — solver nodes, backtracks, shrink probes — the
+        per-solve backtrack/node histograms, structured shrink-probe
+        events, and the final bounding-box gauges.  ``lineage``
+        records every instruction's resolved ``(prim, x, y)``.
         """
         items, ordered = self._items(func)
         if not items:
@@ -190,6 +220,17 @@ class Placer:
         solution = self._solve(items, {}, {})
         tracer.count("place.solver_nodes", solution.nodes)
         tracer.count("place.backtracks", solution.backtracks)
+        tracer.observe("place.backtracks_per_solve", solution.backtracks)
+        tracer.observe("place.nodes_per_solve", solution.nodes)
+        if solution.backtracks >= self.BACKTRACK_HOTSPOT:
+            tracer.event(
+                Severity.WARNING,
+                "place",
+                "solver backtrack hotspot",
+                func=func.name,
+                backtracks=solution.backtracks,
+                nodes=solution.nodes,
+            )
         if self.shrink:
             solution = self._shrink(items, solution, tracer)
 
@@ -207,6 +248,10 @@ class Placer:
             col, row = solution.positions[item.key]
             loc = Loc(instr.loc.prim, CoordLit(col), CoordLit(row))
             resolved[instr.dst] = instr.with_loc(loc)
+            if lineage is not None:
+                lineage.record_placement(
+                    instr.dst, instr.loc.prim.value, col, row
+                )
 
         instrs = tuple(
             resolved.get(instr.dst, instr) if isinstance(instr, AsmInstr) else instr
@@ -221,8 +266,9 @@ def place(
     device: Device,
     shrink: bool = True,
     tracer=NULL_TRACER,
+    lineage=None,
 ) -> AsmFunc:
     """One-shot placement."""
     return Placer(target=target, device=device, shrink=shrink).place(
-        func, tracer=tracer
+        func, tracer=tracer, lineage=lineage
     )

@@ -1,0 +1,162 @@
+"""Bench regression gating (``reticle bench diff``)."""
+
+import copy
+import json
+
+from repro.harness.benchdiff import (
+    BenchDiff,
+    diff_files,
+    diff_payloads,
+    format_diff,
+)
+
+BASE = {
+    "figure": "pipeline",
+    "device": "xczu3eg",
+    "rows": [
+        {
+            "bench": "tensoradd",
+            "size": 64,
+            "seconds": 0.010,
+            "warm_seconds": 1e-5,
+            "cache_speedup": 1000.0,
+            "counters": {
+                "isel.matches_tried": 416,
+                "place.solver_nodes": 288,
+                "place.backtracks": 120,
+                "codegen.cells": 16,
+            },
+        },
+        {
+            "bench": "fsm",
+            "size": 5,
+            "seconds": 0.004,
+            "warm_seconds": 1e-5,
+            "cache_speedup": 800.0,
+            "counters": {
+                "isel.matches_tried": 91,
+                "place.solver_nodes": 483,
+                "place.backtracks": 210,
+                "codegen.cells": 84,
+            },
+        },
+    ],
+}
+
+
+def variant(**mutate_first_row):
+    payload = copy.deepcopy(BASE)
+    payload["rows"][0].update(mutate_first_row)
+    return payload
+
+
+class TestDiffPayloads:
+    def test_identical_runs_pass(self):
+        diff = diff_payloads(BASE, copy.deepcopy(BASE))
+        assert diff.ok
+        assert not diff.regressions
+        assert not diff.missing
+
+    def test_fifty_percent_slowdown_fails_default_tolerance(self):
+        diff = diff_payloads(BASE, variant(seconds=0.015))
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "seconds"
+        assert bad.bench == "tensoradd"
+        assert round(bad.change_pct) == 50
+
+    def test_slowdown_within_tolerance_passes(self):
+        assert diff_payloads(BASE, variant(seconds=0.012)).ok
+        # Getting faster is never a regression.
+        assert diff_payloads(BASE, variant(seconds=0.001)).ok
+
+    def test_cache_speedup_drop_fails(self):
+        diff = diff_payloads(BASE, variant(cache_speedup=100.0))
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "cache_speedup"
+        # A speedup *gain* is fine.
+        assert diff_payloads(BASE, variant(cache_speedup=9000.0)).ok
+
+    def test_counter_growth_fails(self):
+        grown = variant(
+            counters={
+                "isel.matches_tried": 416,
+                "place.solver_nodes": 288 * 3,
+                "place.backtracks": 120,
+                "codegen.cells": 16,
+            }
+        )
+        diff = diff_payloads(BASE, grown)
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "place.solver_nodes"
+
+    def test_counter_tolerance_is_separate_from_timing(self):
+        new = variant(seconds=0.030)  # 3x slower
+        new["rows"][0]["counters"] = dict(
+            new["rows"][0]["counters"], **{"codegen.cells": 17}
+        )
+        # Loose timing + tight counters: +6% cells fails, 3x time ok.
+        diff = diff_payloads(BASE, new, max_regress=500, counter_regress=5)
+        assert not diff.ok
+        assert [d.metric for d in diff.regressions] == ["codegen.cells"]
+
+    def test_missing_row_always_fails(self):
+        dropped = copy.deepcopy(BASE)
+        dropped["rows"] = dropped["rows"][:1]
+        diff = diff_payloads(BASE, dropped)
+        assert not diff.ok
+        assert diff.missing == [("fsm", 5)]
+
+    def test_added_row_is_reported_not_fatal(self):
+        extra = copy.deepcopy(BASE)
+        extra["rows"].append(dict(BASE["rows"][0], bench="tensordot"))
+        diff = diff_payloads(BASE, extra)
+        assert diff.ok
+        assert diff.added == [("tensordot", 64)]
+
+    def test_zero_baseline_regresses_only_on_growth(self):
+        old = variant(seconds=0.0)
+        assert diff_payloads(old, variant(seconds=0.0)).ok
+        diff = diff_payloads(old, variant(seconds=0.001))
+        assert not diff.ok
+
+
+class TestRendering:
+    def test_format_diff_lists_regressions_and_verdict(self):
+        diff = diff_payloads(BASE, variant(seconds=0.015))
+        text = format_diff(diff)
+        assert "WORSE" in text
+        assert "REGRESSED" in text
+        assert "tensoradd/64 seconds" in text
+        clean = format_diff(diff_payloads(BASE, copy.deepcopy(BASE)))
+        assert "OK" in clean
+        assert "WORSE" not in clean
+
+    def test_verbose_lists_every_metric(self):
+        text = format_diff(
+            diff_payloads(BASE, copy.deepcopy(BASE)), verbose=True
+        )
+        assert "isel.matches_tried" in text
+        assert "cache_speedup" in text
+
+    def test_to_dict_is_json_serializable(self):
+        diff = diff_payloads(BASE, variant(seconds=0.015))
+        payload = json.loads(json.dumps(diff.to_dict()))
+        assert payload["ok"] is False
+        assert payload["regressions"]
+
+    def test_empty_diff_is_ok(self):
+        assert BenchDiff().ok
+
+
+class TestDiffFiles:
+    def test_reads_json_from_disk(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(BASE))
+        new.write_text(json.dumps(variant(seconds=0.015)))
+        diff = diff_files(str(old), str(new))
+        assert not diff.ok
+        assert diff_files(str(old), str(old)).ok

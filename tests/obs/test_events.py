@@ -1,0 +1,248 @@
+"""Structured events, histograms, and span error flags."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Event,
+    EventLog,
+    Histogram,
+    Severity,
+    Tracer,
+    chrome_trace,
+    format_events,
+    format_profile,
+    percentile,
+)
+
+from tests.obs.test_tracer import FakeClock
+
+
+class TestSeverity:
+    def test_ordering_and_rendering(self):
+        assert Severity.DEBUG < Severity.INFO < Severity.WARNING
+        assert Severity.WARNING < Severity.ERROR
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestEventLog:
+    def test_append_and_read_in_order(self):
+        log = EventLog()
+        log.append(Event(Severity.INFO, "select", "first"))
+        log.append(Event(Severity.DEBUG, "place", "second"))
+        assert len(log) == 2
+        assert [e.message for e in log.events] == ["first", "second"]
+
+    def test_select_filters_by_severity_stage_provenance(self):
+        log = EventLog()
+        log.append(Event(Severity.DEBUG, "place", "probe"))
+        log.append(Event(Severity.WARNING, "place", "hotspot"))
+        log.append(
+            Event(Severity.INFO, "cascade", "chain", provenance="y0")
+        )
+        assert [e.message for e in log.select(Severity.INFO)] == [
+            "hotspot",
+            "chain",
+        ]
+        assert [e.message for e in log.select(stage="place")] == [
+            "probe",
+            "hotspot",
+        ]
+        assert [e.message for e in log.select(provenance="y0")] == ["chain"]
+
+    def test_counts(self):
+        log = EventLog()
+        log.append(Event(Severity.DEBUG, "place", "a"))
+        log.append(Event(Severity.DEBUG, "place", "b"))
+        log.append(Event(Severity.ERROR, "codegen", "c"))
+        assert log.counts_by_severity() == {"debug": 2, "error": 1}
+        assert log.counts_by_stage() == {"place": 2, "codegen": 1}
+
+    def test_pickle_round_trip_recreates_lock(self):
+        log = EventLog()
+        log.append(Event(Severity.INFO, "select", "kept"))
+        clone = pickle.loads(pickle.dumps(log))
+        assert [e.message for e in clone.events] == ["kept"]
+        clone.append(Event(Severity.INFO, "select", "and writable"))
+        assert len(clone) == 2
+
+    def test_format_events_aligns_and_filters(self):
+        events = [
+            Event(Severity.DEBUG, "place", "probe", attrs={"bound": 3}),
+            Event(
+                Severity.WARNING,
+                "place",
+                "hotspot",
+                provenance="y0",
+                attrs={"backtracks": 12000},
+            ),
+        ]
+        text = format_events(events, Severity.WARNING)
+        assert "probe" not in text
+        assert "warning" in text
+        assert "[y0]" in text
+        assert "backtracks=12000" in text
+        assert format_events([], Severity.DEBUG) == "(no events)"
+
+
+class TestTracerEvents:
+    def test_event_records_time_since_epoch(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(2.5)
+        event = tracer.event(
+            Severity.INFO, "cascade", "chain rewritten", provenance="y0",
+            length=3,
+        )
+        assert event.time == pytest.approx(2.5)
+        assert event.attrs == {"length": 3}
+        assert tracer.events.events == [event]
+
+    def test_merge_rebases_event_times(self):
+        clock = FakeClock()
+        first = Tracer(clock=clock)
+        clock.advance(10.0)
+        second = Tracer(clock=clock)  # epoch at t=10
+        clock.advance(1.0)
+        second.event(Severity.INFO, "place", "late")
+        first.merge(second)
+        merged = first.events.events
+        assert [e.message for e in merged] == ["late"]
+        assert merged[0].time == pytest.approx(11.0)
+
+    def test_chrome_trace_emits_instant_events(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(0.5)
+        tracer.event(
+            Severity.WARNING, "place", "hotspot", provenance="y0", n=7
+        )
+        payload = chrome_trace(tracer)
+        instants = [
+            entry
+            for entry in payload["traceEvents"]
+            if entry["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        (instant,) = instants
+        assert instant["name"] == "place: hotspot"
+        assert instant["ts"] == pytest.approx(0.5e6)
+        assert instant["args"]["severity"] == "warning"
+        assert instant["args"]["provenance"] == "y0"
+        assert instant["args"]["n"] == 7
+        assert json.dumps(payload)  # JSON-serializable
+
+    def test_format_profile_summarizes_events(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            tracer.event(Severity.DEBUG, "place", "probe")
+            tracer.event(Severity.WARNING, "place", "hotspot")
+        text = format_profile(tracer)
+        assert "events:" in text
+        assert "1 warning" in text
+        assert "1 debug" in text
+
+    def test_null_tracer_swallows_events(self):
+        assert NULL_TRACER.event(Severity.ERROR, "x", "boom") is None
+        assert NULL_TRACER.events.events == []
+
+
+class TestHistograms:
+    def test_percentile_nearest_rank(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 50) == 5
+        assert percentile(values, 95) == 10
+        assert percentile(values, 100) == 10
+        assert percentile([42], 50) == 42
+        assert percentile([], 50) == 0.0
+
+    def test_observe_collects_samples(self):
+        tracer = Tracer()
+        for value in (3, 1, 2):
+            tracer.observe("isel.matches_per_tree", value)
+        assert tracer.histograms == {"isel.matches_per_tree": [3, 1, 2]}
+
+    def test_histogram_handle(self):
+        tracer = Tracer()
+        hist = Histogram(tracer, "depths")
+        for value in range(1, 11):
+            hist.observe(value)
+        assert hist.count == 10
+        assert hist.percentile(50) == 5
+        assert hist.percentile(95) == 10
+        null = Histogram(NULL_TRACER, "depths")
+        null.observe(3)
+        assert null.count == 0
+        assert null.percentile(50) == 0.0
+
+    def test_merge_concatenates_samples(self):
+        first = Tracer()
+        first.observe("h", 1)
+        second = Tracer()
+        second.observe("h", 2)
+        second.observe("other", 9)
+        first.merge(second)
+        assert first.histograms == {"h": [1, 2], "other": [9]}
+
+    def test_format_profile_shows_p50_p95(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            for value in range(1, 101):
+                tracer.observe("place.backtracks_per_solve", value)
+        text = format_profile(tracer)
+        assert "place.backtracks_per_solve" in text
+        assert "p50" in text and "p95" in text
+
+    def test_threaded_observe_is_lossless(self):
+        tracer = Tracer()
+
+        def work():
+            for value in range(500):
+                tracer.observe("h", value)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.histograms["h"]) == 2000
+
+
+class TestSpanErrorFlag:
+    def test_clean_span_is_not_errored(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("fine"):
+            pass
+        assert tracer.spans[0].error is False
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        spans = {span.name: span for span in tracer.spans}
+        assert spans["inner"].error is True
+        assert spans["outer"].error is True
+
+    def test_chrome_trace_highlights_errored_spans(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                clock.advance(1.0)
+                raise RuntimeError
+        with tracer.span("good"):
+            clock.advance(1.0)
+        entries = {
+            entry["name"]: entry
+            for entry in chrome_trace(tracer)["traceEvents"]
+        }
+        assert entries["bad"]["args"]["error"] is True
+        assert entries["bad"]["cname"] == "terrible"
+        assert "error" not in entries["good"].get("args", {})
+        assert "cname" not in entries["good"]

@@ -10,11 +10,13 @@ regression tests here pin that: a parallel compile must be
 byte-identical to a serial one.
 """
 
+import threading
+
 import pytest
 
 from repro.compiler import ReticleCompiler, compile_prog
 from repro.ir.parser import parse_prog
-from repro.obs import Tracer
+from repro.obs import Severity, Tracer
 from repro.passes import CompileCache
 
 PROG = """
@@ -133,3 +135,86 @@ class TestMergedTelemetry:
         first.merge(second)
         assert first.counters["x"] == 5
         assert first.gauges["g"] == pytest.approx(5.0)
+
+    def test_merge_keeps_nested_span_structure(self):
+        first = Tracer()
+        second = Tracer()
+        with second.span("compile"):
+            with second.span("select"):
+                pass
+        first.merge(second)
+        spans = {span.name: span for span in first.spans}
+        assert spans["select"].parent == "compile"
+        assert spans["select"].depth == 1
+        assert spans["compile"].depth == 0
+
+    def test_merge_skips_spans_still_open_in_the_source(self):
+        first = Tracer()
+        second = Tracer()
+        outer = second.span("still-open")
+        outer.__enter__()
+        with second.span("finished"):
+            pass
+        first.merge(second)
+        assert [span.name for span in first.spans] == ["finished"]
+        # The finished child keeps its parent name even though the
+        # parent's own record never crossed the merge.
+        assert first.spans[0].parent == "still-open"
+        outer.__exit__(None, None, None)
+
+    def test_merge_under_concurrent_counter_collisions(self):
+        # Many workers, all recording the SAME counter names into
+        # private tracers merged concurrently into one shared tracer —
+        # the exact shape of parallel compile_prog — must not lose
+        # updates.
+        shared = Tracer()
+
+        def work():
+            private = Tracer()
+            for _ in range(250):
+                private.count("isel.trees")
+                private.count("place.items", 2)
+                private.observe("hist", 1.0)
+            with private.span("compile"):
+                pass
+            shared.merge(private)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.counters["isel.trees"] == 2000
+        assert shared.counters["place.items"] == 4000
+        assert len(shared.histograms["hist"]) == 2000
+        assert len(shared.spans) == 8
+
+    def test_parallel_compile_merges_events_and_histograms(self, device):
+        prog = parse_prog(PROG)
+        serial_tracer = Tracer()
+        parallel_tracer = Tracer()
+        compiler = ReticleCompiler(device=device)
+        compiler.compile_prog(prog, tracer=serial_tracer)
+        compiler.compile_prog(prog, tracer=parallel_tracer, jobs=4)
+        # Events and histogram samples survive the merge with the
+        # same multiset as a serial run (order may differ).
+        assert sorted(
+            (e.stage, e.message) for e in parallel_tracer.events.events
+        ) == sorted(
+            (e.stage, e.message) for e in serial_tracer.events.events
+        )
+        serial_hists = serial_tracer.histograms
+        parallel_hists = parallel_tracer.histograms
+        assert set(parallel_hists) == set(serial_hists)
+        for name in serial_hists:
+            assert sorted(parallel_hists[name]) == sorted(serial_hists[name])
+        # Event severities make it through intact too.
+        severities = {
+            e.severity for e in parallel_tracer.events.events
+        }
+        assert severities <= {
+            Severity.DEBUG,
+            Severity.INFO,
+            Severity.WARNING,
+            Severity.ERROR,
+        }

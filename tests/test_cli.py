@@ -192,6 +192,111 @@ class TestProfile:
         assert "??" not in captured.out
         assert "place.solver_nodes" in captured.err
 
+    def test_select_profile(self, program_file, capsys):
+        # The telemetry flags are uniform: select has them too.
+        assert main(["select", program_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "isel.matches_tried" in captured.err
+        assert "select" in captured.err
+
+    def test_select_trace_out(self, program_file, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                ["select", program_file, "--cascade",
+                 "--trace-out", str(trace)]
+            )
+            == 0
+        )
+        loaded = json.loads(trace.read_text())
+        names = {event["name"] for event in loaded["traceEvents"]}
+        assert "select" in names
+        assert "cascade" in names
+
+
+class TestReport:
+    def test_text_report(self, program_file, capsys):
+        assert main(["report", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "compile report: muladd" in out
+        assert "lineage" in out
+        assert "muladd_i8_dsp" in out
+        assert "placement heatmap" in out
+
+    def test_json_report_lineage_is_complete(self, program_file, capsys):
+        assert main(["report", program_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "muladd"
+        # Both compute IR instructions (mul, add) reach cells.
+        assert {row["ir_dst"] for row in payload["lineage"]} == {"t0", "y"}
+        for row in payload["lineage"]:
+            assert row["x"] is not None and row["y"] is not None
+            assert row["cells"]
+
+    def test_report_events_level_flag(self, program_file, capsys):
+        assert main(["report", program_file, "--events", "debug"]) == 0
+        assert "debug" in capsys.readouterr().out
+
+    def test_report_output_file_and_profile(
+        self, program_file, tmp_path, capsys
+    ):
+        out_file = tmp_path / "report.json"
+        assert (
+            main(
+                ["report", program_file, "--json", "-o", str(out_file),
+                 "--profile"]
+            )
+            == 0
+        )
+        assert json.loads(out_file.read_text())["lineage"]
+        assert "counters" in capsys.readouterr().err
+
+
+class TestBenchDiff:
+    BASE = {
+        "rows": [
+            {
+                "bench": "tensoradd",
+                "size": 64,
+                "seconds": 0.010,
+                "cache_speedup": 1000.0,
+                "counters": {"codegen.cells": 16},
+            }
+        ]
+    }
+
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_synthetic_slowdown_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self.BASE)
+        slow = json.loads(json.dumps(self.BASE))
+        slow["rows"][0]["seconds"] *= 1.5  # injected 50% slowdown
+        new = self._write(tmp_path, "new.json", slow)
+        assert main(["bench", "diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "seconds" in out
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self.BASE)
+        assert main(["bench", "diff", old, old]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_max_regress_flag_loosens_the_gate(self, tmp_path):
+        old = self._write(tmp_path, "old.json", self.BASE)
+        slow = json.loads(json.dumps(self.BASE))
+        slow["rows"][0]["seconds"] *= 1.5
+        new = self._write(tmp_path, "new.json", slow)
+        assert main(["bench", "diff", old, new, "--max-regress", "60"]) == 0
+
+    def test_diff_without_two_files_errors(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self.BASE)
+        assert main(["bench", "diff", old]) == 1
+        assert "two files" in capsys.readouterr().err
+
 
 class TestBehav:
     def test_emits_behavioral_verilog(self, program_file, capsys):
