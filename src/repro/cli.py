@@ -147,7 +147,11 @@ def _cmd_place(args: argparse.Namespace) -> int:
     func = _read_func(args.program, getattr(args, 'func', None))
     target, device = _resolve_target(args.target)
     compiler = ReticleCompiler(
-        target=target, device=device, shrink=not args.no_shrink
+        target=target,
+        device=device,
+        shrink=not args.no_shrink,
+        place_jobs=args.place_jobs,
+        place_portfolio=args.place_portfolio,
     )
     tracer = Tracer()
     result = compiler.compile(func, tracer=tracer)
@@ -167,6 +171,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         auto_vectorize=args.vectorize,
         passes=args.passes,
         cache_dir=args.cache_dir,
+        place_jobs=args.place_jobs,
+        place_portfolio=args.place_portfolio,
     )
     if args.pipeline:
         from repro.ir.ast import Prog
@@ -207,7 +213,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     func = _read_func(args.program, getattr(args, 'func', None))
     target, device = _resolve_target(args.target)
-    compiler = ReticleCompiler(target=target, device=device)
+    compiler = ReticleCompiler(
+        target=target,
+        device=device,
+        place_jobs=args.place_jobs,
+        place_portfolio=args.place_portfolio,
+    )
     tracer = Tracer()
     result = compiler.compile(func, tracer=tracer)
     report = result.report()
@@ -221,11 +232,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_passes(args: argparse.Namespace) -> int:
+    from repro.place.solver import PORTFOLIO_PRESETS, STRATEGY_REGISTRY
+
     print("passes:")
     for name in PASS_REGISTRY:
         print(f"  {name}")
     print("presets:")
     for name, names in PIPELINE_PRESETS.items():
+        print(f"  {name}: {','.join(names)}")
+    print("placement strategies (--place-portfolio):")
+    for name in STRATEGY_REGISTRY:
+        print(f"  {name}")
+    print("portfolio presets:")
+    for name, names in PORTFOLIO_PRESETS.items():
         print(f"  {name}: {','.join(names)}")
     return 0
 
@@ -288,6 +307,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_place_args(command: argparse.ArgumentParser) -> None:
+    """The uniform --place-jobs/--place-portfolio placement flags."""
+    command.add_argument(
+        "--place-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="placement thread-pool width: shrink probes dispatch in "
+        "batches of N, and portfolio strategies race on the pool",
+    )
+    command.add_argument(
+        "--place-portfolio",
+        metavar="SPEC",
+        help="race placement strategies: a preset name or a comma "
+        "list of strategy names (see 'reticle passes'); the winner "
+        "is priority-ordered, so output is deterministic",
+    )
+
+
 def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
     """The uniform --profile/--trace-out flags (see _emit_telemetry)."""
     command.add_argument(
@@ -343,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
     )
     placec.add_argument("--func", help="function name in multi-def files")
+    _add_place_args(placec)
     _add_telemetry_args(placec)
 
     compilec = add("compile", _cmd_compile, "full pipeline to Verilog")
@@ -389,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compile a multi-function program on N worker threads",
     )
+    _add_place_args(compilec)
     _add_telemetry_args(compilec)
 
     reportc = add(
@@ -405,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable JSON report instead of text",
     )
+    _add_place_args(reportc)
     reportc.add_argument(
         "--events",
         choices=["debug", "info", "warning", "error"],

@@ -57,6 +57,7 @@ from repro.passes import (
 from repro.passes.stages import PipelineSpec
 from repro.place.device import Device, xczu3eg
 from repro.place.placer import Placer
+from repro.place.solver import PortfolioSpec, resolve_portfolio
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import ultrascale_target
 
@@ -159,12 +160,25 @@ class ReticleCompiler:
         cache: Optional[CompileCache] = None,
         cache_dir: Optional[str] = None,
         jobs: int = 1,
+        place_jobs: int = 1,
+        place_portfolio: Optional[PortfolioSpec] = None,
     ) -> None:
         self.target = target if target is not None else ultrascale_target()
         self.device = device if device is not None else xczu3eg()
         self.selector = Selector(target=self.target, dsp_weight=dsp_weight)
+        # The portfolio is canonicalized to strategy *names* before it
+        # enters the options dict: the dict is cache-key material and
+        # must stay JSON-serializable, and two spellings of the same
+        # portfolio ("throughput" vs its expansion) must hash alike.
+        portfolio_names = [
+            strategy.name for strategy in resolve_portfolio(place_portfolio)
+        ]
         self.placer = Placer(
-            target=self.target, device=self.device, shrink=shrink
+            target=self.target,
+            device=self.device,
+            shrink=shrink,
+            jobs=place_jobs,
+            portfolio=portfolio_names or None,
         )
         self.cascade = cascade
         self.optimize = optimize
@@ -173,6 +187,8 @@ class ReticleCompiler:
             "dsp_weight": dsp_weight,
             "shrink": shrink,
             "cascade": cascade,
+            "place_jobs": place_jobs,
+            "place_portfolio": portfolio_names,
         }
         if passes is None:
             names = []

@@ -59,9 +59,17 @@ class FuzzOutcome:
 
 @dataclass
 class FuzzReport:
-    """Aggregate over a fuzzing session."""
+    """Aggregate over a fuzzing session.
+
+    The session's base ``seed`` and ``max_instrs`` are recorded so any
+    failure is replayable: each failing outcome carries its program
+    seed, and :meth:`replay_command` renders the exact CLI invocation
+    that regenerates that one program deterministically.
+    """
 
     iterations: int = 0
+    seed: int = 0
+    max_instrs: int = 12
     outcomes: List[FuzzOutcome] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -73,17 +81,26 @@ class FuzzReport:
     def ok(self) -> bool:
         return not self.failures
 
+    def replay_command(self, outcome: FuzzOutcome) -> str:
+        """The CLI invocation that replays one failing seed."""
+        return (
+            f"reticle fuzz --seed {outcome.seed} --iterations 1 "
+            f"--max-instrs {self.max_instrs}"
+        )
+
     def summary(self) -> str:
         checked = len(self.outcomes)
         failed = len(self.failures)
         text = (
             f"fuzzed {self.iterations} programs, {checked} flow checks, "
-            f"{failed} failures in {self.seconds:.1f}s"
+            f"{failed} failures in {self.seconds:.1f}s "
+            f"(base seed {self.seed})"
         )
         for outcome in self.failures[:10]:
             text += (
                 f"\n  seed {outcome.seed} [{outcome.flow}] "
                 f"{outcome.status}: {outcome.detail[:120]}"
+                f"\n    replay: {self.replay_command(outcome)}"
             )
         return text
 
@@ -144,7 +161,9 @@ def run_fuzz(
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``iterations`` programs across ``flows``."""
-    report = FuzzReport(iterations=iterations)
+    report = FuzzReport(
+        iterations=iterations, seed=seed, max_instrs=max_instrs
+    )
     runner = _Flows()
     start = time.perf_counter()
     for index in range(iterations):

@@ -38,6 +38,13 @@ BENCH_PIPELINE_SIZES: Dict[str, Sequence] = {
     "fsm": (5, 9),
 }
 
+#: The placement-portfolio configuration the ``<bench>+portfolio``
+#: rows exercise: the greedy-first preset racing on two threads.  Only
+#: the largest size of each benchmark gets a portfolio row — that is
+#: where placement dominates and the portfolio pays for its pool.
+BENCH_PORTFOLIO_JOBS = 2
+BENCH_PORTFOLIO_PRESET = "throughput"
+
 
 def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
     """The per-language programs for one benchmark instance.
@@ -155,6 +162,7 @@ def pipeline_rows(
     sizes: Optional[Dict[str, Sequence]] = None,
     device: Optional[Device] = None,
     cache: Optional[CompileCache] = None,
+    portfolio: bool = True,
 ) -> List[dict]:
     """Per-stage compile telemetry for the Figure 13 workloads.
 
@@ -164,39 +172,80 @@ def pipeline_rows(
     and the merged ``cache.*`` counters of both compiles.  This is the
     data behind ``BENCH_pipeline.json``; the warm/cold pair is the
     repo's cache-speedup trajectory.
+
+    With ``portfolio`` (default) the largest size of every benchmark
+    additionally gets a ``<bench>+portfolio`` row: the same program
+    compiled with the placement portfolio
+    (:data:`BENCH_PORTFOLIO_PRESET` on :data:`BENCH_PORTFOLIO_JOBS`
+    threads), reporting ``place_seconds`` and the ``place_speedup``
+    over the matching serial row.
     """
     device = device if device is not None else xczu3eg()
     sizes = sizes if sizes is not None else BENCH_PIPELINE_SIZES
     cache = cache if cache is not None else CompileCache()
     compiler = ReticleCompiler(device=device, cache=cache)
     rows: List[dict] = []
-    for bench in benches if benches is not None else tuple(sizes):
+
+    def run_pair(compiler: ReticleCompiler, bench: str, size) -> dict:
+        func = _benchmark_funcs(bench, size)["reticle"]
+        cold = compiler.compile(func)
+        warm = compiler.compile(func)
+        assert cold.metrics is not None and warm.metrics is not None
+        assert warm.cached, "second compile must hit the cache"
+        counters = dict(cold.metrics.counters)
+        for name, value in warm.metrics.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        return {
+            "bench": bench,
+            "size": size,
+            "seconds": round(cold.seconds, 6),
+            "warm_seconds": round(warm.seconds, 9),
+            "cache_speedup": round(
+                cold.seconds / max(warm.seconds, 1e-9), 1
+            ),
+            "stages": {
+                stage: round(duration, 6)
+                for stage, duration in cold.metrics.stages.items()
+            },
+            "counters": counters,
+            "gauges": dict(cold.metrics.gauges),
+        }
+
+    selected = tuple(benches) if benches is not None else tuple(sizes)
+    for bench in selected:
         for size in sizes[bench]:
-            func = _benchmark_funcs(bench, size)["reticle"]
-            cold = compiler.compile(func)
-            warm = compiler.compile(func)
-            assert cold.metrics is not None and warm.metrics is not None
-            assert warm.cached, "second compile must hit the cache"
-            counters = dict(cold.metrics.counters)
-            for name, value in warm.metrics.counters.items():
-                counters[name] = counters.get(name, 0) + value
-            rows.append(
-                {
-                    "bench": bench,
-                    "size": size,
-                    "seconds": round(cold.seconds, 6),
-                    "warm_seconds": round(warm.seconds, 9),
-                    "cache_speedup": round(
-                        cold.seconds / max(warm.seconds, 1e-9), 1
-                    ),
-                    "stages": {
-                        stage: round(duration, 6)
-                        for stage, duration in cold.metrics.stages.items()
-                    },
-                    "counters": counters,
-                    "gauges": dict(cold.metrics.gauges),
-                }
-            )
+            rows.append(run_pair(compiler, bench, size))
+
+    if portfolio:
+        racer = ReticleCompiler(
+            device=device,
+            cache=cache,
+            place_jobs=BENCH_PORTFOLIO_JOBS,
+            place_portfolio=BENCH_PORTFOLIO_PRESET,
+        )
+        # Spawn the placement pool's threads up front: the executor
+        # lives for the compiler's lifetime, so its one-time spin-up
+        # is session overhead, not cold-compile placement time.
+        pool = racer.placer._executor()
+        if pool is not None:
+            for future in [
+                pool.submit(lambda: None)
+                for _ in range(BENCH_PORTFOLIO_JOBS)
+            ]:
+                future.result()
+        serial_rows = {(row["bench"], row["size"]): row for row in rows}
+        for bench in selected:
+            size = max(sizes[bench])
+            row = run_pair(racer, bench, size)
+            row["bench"] = f"{bench}+portfolio"
+            place_seconds = row["stages"].get("place", 0.0)
+            row["place_seconds"] = round(place_seconds, 6)
+            baseline = serial_rows.get((bench, size))
+            if baseline is not None and place_seconds > 0:
+                row["place_speedup"] = round(
+                    baseline["stages"].get("place", 0.0) / place_seconds, 2
+                )
+            rows.append(row)
     return rows
 
 
@@ -214,6 +263,7 @@ def pipeline_table_rows(rows: Sequence[dict]) -> List[dict]:
         if "warm_seconds" in row:
             entry["warm_us"] = round(row["warm_seconds"] * 1e6, 1)
             entry["cache_speedup"] = row["cache_speedup"]
+        entry["place_speedup"] = row.get("place_speedup", "")
         entry["solver_nodes"] = row["counters"].get("place.solver_nodes", 0)
         entry["dsps"] = row["counters"].get("codegen.dsps", 0)
         entry["luts"] = row["counters"].get("codegen.luts", 0)

@@ -103,10 +103,13 @@ class CompileContext:
         if self.placer is None:
             from repro.place.placer import Placer
 
+            portfolio = self.options.get("place_portfolio") or None
             self.placer = Placer(
                 target=self.target,
                 device=self.device,
                 shrink=bool(self.options.get("shrink", True)),
+                jobs=int(self.options.get("place_jobs", 1)),
+                portfolio=portfolio,
             )
         return self.placer
 

@@ -8,10 +8,21 @@ shrinking the used area by binary search.
 
 from repro.place.device import Column, Device, xczu3eg, tiny_device
 from repro.place.solver import (
+    BASELINE_STRATEGY,
+    PORTFOLIO_PRESETS,
+    STRATEGY_REGISTRY,
     PlacementItem,
     PlacementProblem,
     PlacementSolution,
+    PortfolioResult,
+    SolverStrategy,
+    StrategyOutcome,
+    build_clusters,
+    pack_hints,
+    prepare_fixed,
+    resolve_portfolio,
     solve_placement,
+    solve_portfolio,
 )
 from repro.place.placer import Placer, place
 
@@ -20,10 +31,21 @@ __all__ = [
     "Device",
     "xczu3eg",
     "tiny_device",
+    "BASELINE_STRATEGY",
+    "PORTFOLIO_PRESETS",
+    "STRATEGY_REGISTRY",
     "PlacementItem",
     "PlacementProblem",
     "PlacementSolution",
+    "PortfolioResult",
+    "SolverStrategy",
+    "StrategyOutcome",
+    "build_clusters",
+    "pack_hints",
+    "prepare_fixed",
+    "resolve_portfolio",
     "solve_placement",
+    "solve_portfolio",
     "Placer",
     "place",
 ]

@@ -12,8 +12,9 @@ region is found (Section 5.3).
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.asm.ast import AsmFunc, AsmInstr
 from repro.asm.coords import Coord, CoordLit, Loc
@@ -21,10 +22,18 @@ from repro.errors import PlacementError
 from repro.obs import NULL_TRACER, Severity
 from repro.place.device import Device, LUTS_PER_SLICE
 from repro.place.solver import (
+    BASELINE_STRATEGY,
+    FixedBase,
     PlacementItem,
     PlacementProblem,
     PlacementSolution,
+    PortfolioSpec,
+    SolverStrategy,
+    build_clusters,
+    prepare_fixed,
+    resolve_portfolio,
     solve_placement,
+    solve_portfolio,
 )
 from repro.prims import Prim
 from repro.tdl.ast import Target
@@ -50,9 +59,31 @@ def _canonical(coord: Coord, fresh: NameGenerator, hint: str) -> Tuple[Optional[
     return (var, offset)
 
 
+def _used_extents(
+    items: Sequence[PlacementItem], solution: PlacementSolution
+) -> Dict[Prim, Tuple[int, int]]:
+    """Per-kind (max column, max top row) extents of a solution."""
+    extents: Dict[Prim, Tuple[int, int]] = {}
+    for item in items:
+        col, row = solution.positions[item.key]
+        top = row + item.span - 1
+        current = extents.get(item.prim, (0, 0))
+        extents[item.prim] = (max(current[0], col), max(current[1], top))
+    return extents
+
+
 @dataclass
 class Placer:
-    """Places assembly functions onto one device."""
+    """Places assembly functions onto one device.
+
+    ``jobs`` widens the solver thread pool: shrink probes are
+    dispatched in parallel batches and, with a ``portfolio``
+    configured, the strategies race on the same pool.  ``portfolio``
+    is any :data:`~repro.place.solver.PortfolioSpec` (a preset name
+    like ``"default"``/``"throughput"``, a comma list of strategy
+    names, or strategy objects); ``None`` keeps the original serial
+    solver and serial shrink loop, byte-for-byte.
+    """
 
     target: Target
     device: Device
@@ -61,6 +92,29 @@ class Placer:
     # Shrink probes use a small budget: a probe that cannot be decided
     # quickly is treated as infeasible and the looser bound is kept.
     probe_budget: int = 20_000
+    jobs: int = 1
+    portfolio: Optional[PortfolioSpec] = None
+
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared placement thread pool (lazily built, reused).
+
+        Building an executor costs ~0.5ms of thread spawning; a
+        portfolio race plus a shrink's probe batches would pay it
+        several times per function, so one pool lives for the
+        placer's lifetime.  Executors are thread-safe, so concurrent
+        ``compile_prog`` workers may share it.
+        """
+        if self.jobs <= 1:
+            return None
+        pool = self.__dict__.get("_pool")
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="place"
+            )
+            # Benign race: two threads may build two pools; the loser
+            # is dropped and garbage-collected with idle threads.
+            pool = self.__dict__.setdefault("_pool", pool)
+        return pool
 
     def _items(self, func: AsmFunc) -> Tuple[List[PlacementItem], List[AsmInstr]]:
         taken = set()
@@ -96,6 +150,10 @@ class Placer:
         max_col: Dict[Prim, int],
         max_row: Dict[Prim, int],
         budget: Optional[int] = None,
+        strategy: Optional[SolverStrategy] = None,
+        clusters=None,
+        fixed: Optional[FixedBase] = None,
+        hints: Optional[Dict[str, int]] = None,
     ) -> PlacementSolution:
         problem = PlacementProblem(
             device=self.device,
@@ -106,6 +164,10 @@ class Placer:
         return solve_placement(
             problem,
             node_budget=budget if budget is not None else self.node_budget,
+            strategy=strategy,
+            clusters=clusters,
+            fixed=fixed,
+            hints=hints,
         )
 
     def _shrink(
@@ -198,6 +260,189 @@ class Placer:
                     max_col[prim] = high
         return best
 
+    @staticmethod
+    def _probe_points(low: int, high: int, fanout: int) -> List[int]:
+        """Up to ``fanout`` candidate bounds, evenly spaced in [low, high).
+
+        With ``fanout == 1`` this is exactly the serial binary-search
+        midpoint, so the scheduler degrades gracefully to the paper's
+        algorithm.
+        """
+        span = high - low
+        count = max(1, min(fanout, span))
+        return sorted(
+            {low + (span * (index + 1)) // (count + 1) for index in range(count)}
+        )
+
+    def _shrink_scheduled(
+        self,
+        items: List[PlacementItem],
+        solution: PlacementSolution,
+        strategy: SolverStrategy,
+        clusters,
+        fixed: Optional[FixedBase],
+        tracer=NULL_TRACER,
+    ) -> PlacementSolution:
+        """The parallel probe scheduler (portfolio / ``jobs > 1`` mode).
+
+        Same outer structure as :meth:`_shrink` (columns before rows,
+        per resource kind, bounds accumulating), but each narrowing
+        step dispatches a *batch* of independent probes across the
+        thread pool instead of one midpoint:
+
+        * probes share the precomputed cluster list and the fixed-item
+          occupancy snapshot, and are warm-started from the best
+          solution so far (hint-first value order), so a feasible
+          probe is mostly a cheap re-commit rather than a search;
+        * results are memoized keyed on the probed bounds — repeat
+          extents across dimensions/kinds are never re-solved;
+        * every narrowing decision happens after the batch completes
+          (a barrier) using only probe *values*, never completion
+          order, so the final placement is deterministic for a fixed
+          configuration.
+        """
+        max_col: Dict[Prim, int] = {}
+        max_row: Dict[Prim, int] = {}
+        best = solution
+        fanout = max(1, self.jobs)
+        memo: Dict[tuple, Optional[PlacementSolution]] = {}
+        pool = self._executor()
+
+        def probe(bounds_col, bounds_row, hints):
+            try:
+                return self._solve(
+                    items,
+                    bounds_col,
+                    bounds_row,
+                    budget=self.probe_budget,
+                    strategy=strategy,
+                    clusters=clusters,
+                    fixed=fixed,
+                    hints=hints,
+                )
+            except PlacementError:
+                return None
+
+        for prim in (Prim.DSP, Prim.BRAM, Prim.LUT):
+            if not any(item.prim is prim for item in items):
+                continue
+            for dimension in ("col", "row"):
+                extents = _used_extents(items, best)
+                high = (
+                    extents[prim][1]
+                    if dimension == "row"
+                    else extents[prim][0]
+                )
+                low = 0
+                while low < high:
+                    points = self._probe_points(low, high, fanout)
+                    hints = dict(best.var_values)
+                    batch = []
+                    for point in points:
+                        bounds_col = dict(max_col)
+                        bounds_row = dict(max_row)
+                        if dimension == "row":
+                            bounds_row[prim] = point
+                        else:
+                            bounds_col[prim] = point
+                        key = (
+                            tuple(sorted(
+                                (p.value, b) for p, b in bounds_col.items()
+                            )),
+                            tuple(sorted(
+                                (p.value, b) for p, b in bounds_row.items()
+                            )),
+                        )
+                        batch.append((point, key, bounds_col, bounds_row))
+                    dispatch = [
+                        entry for entry in batch if entry[1] not in memo
+                    ]
+                    tracer.count(
+                        "place.probe.memo_hits",
+                        len(batch) - len(dispatch),
+                    )
+                    if dispatch:
+                        tracer.count("place.shrink_probes", len(dispatch))
+                        if len(dispatch) > 1:
+                            tracer.count(
+                                "place.probe.parallel", len(dispatch) - 1
+                            )
+                        if pool is not None and len(dispatch) > 1:
+                            solved = list(pool.map(
+                                lambda entry: probe(
+                                    entry[2], entry[3], hints
+                                ),
+                                dispatch,
+                            ))
+                        else:
+                            solved = [
+                                probe(entry[2], entry[3], hints)
+                                for entry in dispatch
+                            ]
+                        for entry, result in zip(dispatch, solved):
+                            memo[entry[1]] = result
+                    outcome = {
+                        point: memo[key] for point, key, _, _ in batch
+                    }
+                    feasible = [
+                        (point, result)
+                        for point, result in sorted(outcome.items())
+                        if result is not None
+                    ]
+                    for point, key, _, _ in batch:
+                        candidate = memo[key]
+                        if candidate is None:
+                            tracer.count("place.shrink_infeasible")
+                            tracer.event(
+                                Severity.DEBUG,
+                                "place",
+                                "shrink probe infeasible",
+                                prim=prim.value,
+                                dimension=dimension,
+                                bound=point,
+                            )
+                        else:
+                            tracer.count(
+                                "place.solver_nodes", candidate.nodes
+                            )
+                            tracer.count(
+                                "place.backtracks", candidate.backtracks
+                            )
+                            tracer.observe(
+                                "place.backtracks_per_solve",
+                                candidate.backtracks,
+                            )
+                            tracer.observe(
+                                "place.nodes_per_solve", candidate.nodes
+                            )
+                            tracer.event(
+                                Severity.DEBUG,
+                                "place",
+                                "shrink probe feasible",
+                                prim=prim.value,
+                                dimension=dimension,
+                                bound=point,
+                            )
+                    if feasible:
+                        tightest, candidate = feasible[0]
+                        best = candidate
+                        high = tightest
+                        low = max(
+                            (
+                                point + 1
+                                for point, result in outcome.items()
+                                if point < tightest and result is None
+                            ),
+                            default=low,
+                        )
+                    else:
+                        low = max(outcome) + 1
+                if dimension == "row":
+                    max_row[prim] = high
+                else:
+                    max_col[prim] = high
+        return best
+
     # A single solve spending this many backtracks is a hotspot worth
     # surfacing as a warning event (the paper's Figure 13 pathologies).
     BACKTRACK_HOTSPOT = 10_000
@@ -217,7 +462,56 @@ class Placer:
         if not items:
             return func
         tracer.count("place.items", len(items))
-        solution = self._solve(items, {}, {})
+        scheduled = self.portfolio is not None or self.jobs > 1
+        winner_strategy = BASELINE_STRATEGY
+        clusters = fixed = None
+        if scheduled:
+            clusters = build_clusters(items)
+            fixed = prepare_fixed(items, clusters)
+        if self.portfolio is not None:
+            problem = PlacementProblem(
+                device=self.device, items=items, max_col={}, max_row={}
+            )
+            race = solve_portfolio(
+                problem,
+                strategies=self.portfolio,
+                node_budget=self.node_budget,
+                jobs=self.jobs,
+                clusters=clusters,
+                fixed=fixed,
+                tracer=None if tracer is NULL_TRACER else tracer,
+                pool=self._executor(),
+            )
+            solution = race.solution
+            winner_strategy = race.winner
+            # Telemetry reports the *winner's* search effort (the
+            # deterministic part of the race); losers show up as
+            # structured events and per-strategy spans only.
+            tracer.count("place.portfolio.strategies", len(race.outcomes))
+            tracer.gauge("place.portfolio.winner", race.winner_index)
+            tracer.event(
+                Severity.INFO,
+                "place",
+                "portfolio winner",
+                func=func.name,
+                strategy=race.winner.name,
+                index=race.winner_index,
+            )
+            for outcome in race.outcomes:
+                if outcome.strategy == race.winner.name:
+                    continue
+                if outcome.status == "cancelled":
+                    tracer.count("place.portfolio.cancelled")
+                tracer.event(
+                    Severity.DEBUG,
+                    "place",
+                    "portfolio strategy finished",
+                    func=func.name,
+                    strategy=outcome.strategy,
+                    status=outcome.status,
+                )
+        else:
+            solution = self._solve(items, {}, {}, clusters=clusters, fixed=fixed)
         tracer.count("place.solver_nodes", solution.nodes)
         tracer.count("place.backtracks", solution.backtracks)
         tracer.observe("place.backtracks_per_solve", solution.backtracks)
@@ -232,7 +526,12 @@ class Placer:
                 nodes=solution.nodes,
             )
         if self.shrink:
-            solution = self._shrink(items, solution, tracer)
+            if scheduled:
+                solution = self._shrink_scheduled(
+                    items, solution, winner_strategy, clusters, fixed, tracer
+                )
+            else:
+                solution = self._shrink(items, solution, tracer)
 
         bbox_cols = max(
             solution.positions[item.key][0] for item in items

@@ -15,16 +15,33 @@ constraints are exactly the paper's:
   must not overlap).
 
 Search strategy: items are clustered by shared coordinate variables
-(a cascade chain is one cluster); clusters are placed in decreasing
-size order with chronological backtracking and a node budget, scanning
-candidate positions column-major so solutions pack toward the origin
-deterministically.
+(a cascade chain is one cluster); clusters are placed with
+chronological backtracking under a node budget.  *How* the search is
+ordered is a :class:`SolverStrategy` — which cluster goes first, which
+coordinate of a cluster is assigned first, and in which order a
+variable's candidate values are scanned.  The default strategy
+(``packed``) preserves the original behaviour exactly: clusters in
+decreasing size order, column-major, ascending values, so solutions
+pack toward the origin deterministically.
+
+A *portfolio* (:func:`solve_portfolio`) races several strategies on a
+thread pool with cooperative cancellation.  The winner is NOT the
+wall-clock first finisher: it is the lowest-index strategy that
+succeeds (each strategy's success/failure is a pure function of the
+problem and its node budget), so the selected solution — and therefore
+everything downstream of placement — is deterministic for a fixed
+portfolio configuration.  Wall-clock ordering only decides how early
+the *losers* get cancelled.
 """
 
 from __future__ import annotations
 
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import PlacementError
 from repro.place.device import Device
@@ -99,6 +116,132 @@ class PlacementSolution:
     positions: Dict[int, Tuple[int, int]]
     nodes: int = 0
     backtracks: int = 0
+    #: Name of the :class:`SolverStrategy` that produced the solution.
+    strategy: str = "packed"
+
+
+@dataclass(frozen=True)
+class SolverStrategy:
+    """One search ordering for the backtracking solver.
+
+    * ``cluster_order`` — ``"largest"`` places big clusters first (the
+      original heuristic); ``"constrained"`` places the cluster with
+      the smallest candidate-value domain first (fail-first).
+    * ``var_order`` — ``"xy"`` assigns a cluster's column variables
+      before its row variables (column-major); ``"yx"`` the reverse
+      (row-major).
+    * ``value_order`` — ``"ascending"`` scans candidate values from
+      the origin outward (packs tightly); ``"shuffled"`` scans them in
+      a pseudo-random order fixed by ``seed`` (scatters, which avoids
+      the quadratic collision scans dense packs suffer).
+    * ``node_budget`` — optional per-strategy budget override, so a
+      portfolio can give an aggressive strategy a short leash.
+    * ``warm_start`` — seed the search with :func:`pack_hints`, a
+      deterministic greedy first-fit packing computed in linear time;
+      when the greedy packing is valid the search merely re-commits it
+      (one node per variable) instead of discovering it by
+      backtracking.
+
+    Everything is deterministic: a strategy is a pure description, and
+    two runs with the same strategy explore the identical search tree.
+    """
+
+    name: str
+    cluster_order: str = "largest"
+    var_order: str = "xy"
+    value_order: str = "ascending"
+    seed: Optional[int] = None
+    node_budget: Optional[int] = None
+    warm_start: bool = False
+
+
+#: The serial baseline: identical search order to the original solver.
+BASELINE_STRATEGY = SolverStrategy(name="packed")
+
+#: Named strategies a portfolio spec may reference.
+STRATEGY_REGISTRY: Dict[str, SolverStrategy] = {
+    "packed": BASELINE_STRATEGY,
+    "greedy": SolverStrategy(name="greedy", warm_start=True),
+    "constrained": SolverStrategy(name="constrained", cluster_order="constrained"),
+    "rowmajor": SolverStrategy(name="rowmajor", var_order="yx"),
+    "scatter": SolverStrategy(name="scatter", value_order="shuffled", seed=0x5EED),
+    "scatter2": SolverStrategy(
+        name="scatter2", value_order="shuffled", seed=0xD1CE, cluster_order="constrained"
+    ),
+}
+
+#: portfolio preset name -> strategy names, in priority order (the
+#: winner rule prefers lower indices).
+PORTFOLIO_PRESETS: Dict[str, Tuple[str, ...]] = {
+    # Baseline-first: byte-identical to the serial solver whenever the
+    # serial solver succeeds; diversity only kicks in on failure.
+    "default": ("packed", "constrained", "rowmajor", "scatter"),
+    # Greedy-first: the warm-started strategy re-commits a linear-time
+    # first-fit packing (skipping the backtracking search's quadratic
+    # collision scans); scatter catches problems the greedy packing
+    # misjudges, and packed is the complete fallback.
+    "throughput": ("greedy", "scatter", "packed"),
+}
+
+#: A portfolio spec: preset name, "a,b,c" string, or a sequence of
+#: strategy names / ready-made SolverStrategy objects.
+PortfolioSpec = Union[str, Sequence[Union[str, SolverStrategy]]]
+
+
+def resolve_portfolio(spec: Optional[PortfolioSpec]) -> Tuple[SolverStrategy, ...]:
+    """Turn a portfolio spec into concrete strategies, in priority order."""
+    if spec is None:
+        return ()
+    if isinstance(spec, SolverStrategy):
+        return (spec,)
+    if isinstance(spec, str):
+        if spec in PORTFOLIO_PRESETS:
+            names: Sequence[Union[str, SolverStrategy]] = PORTFOLIO_PRESETS[spec]
+        else:
+            names = [part.strip() for part in spec.split(",") if part.strip()]
+            if not names:
+                raise PlacementError(f"empty portfolio spec: {spec!r}")
+    else:
+        names = spec
+    strategies: List[SolverStrategy] = []
+    for entry in names:
+        if isinstance(entry, SolverStrategy):
+            strategies.append(entry)
+            continue
+        strategy = STRATEGY_REGISTRY.get(entry)
+        if strategy is None:
+            known = ", ".join(sorted(STRATEGY_REGISTRY))
+            presets = ", ".join(sorted(PORTFOLIO_PRESETS))
+            raise PlacementError(
+                f"unknown solver strategy {entry!r} "
+                f"(strategies: {known}; presets: {presets})"
+            )
+        strategies.append(strategy)
+    return tuple(strategies)
+
+
+class CancelToken:
+    """Cooperative cancellation flag shared with a running solver."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class PlacementCancelled(Exception):
+    """Internal: a solver observed its cancel token mid-search.
+
+    Deliberately NOT a :class:`PlacementError` — cancellation is a
+    scheduling outcome, never a statement about the problem, and must
+    not be mistaken for infeasibility by ``except PlacementError``.
+    """
 
 
 class _Occupancy:
@@ -119,6 +262,61 @@ class _Occupancy:
 
     def remove(self, col: int, row: int, span: int) -> None:
         self._columns[col].remove((row, row + span))
+
+    def clone(self) -> "_Occupancy":
+        """An independent copy; the base snapshot for probe solvers."""
+        other = _Occupancy()
+        other._columns = {
+            col: list(intervals) for col, intervals in self._columns.items()
+        }
+        return other
+
+
+@dataclass(frozen=True)
+class FixedBase:
+    """Pre-committed fixed-coordinate items, shared across solves.
+
+    Items whose coordinates are all literal have exactly one possible
+    position regardless of search strategy or shrink bounds, so a
+    portfolio (or a batch of shrink probes) commits them once into a
+    base :class:`_Occupancy` and every solver starts from a
+    :meth:`_Occupancy.clone` of that snapshot instead of re-searching
+    them.  Only their *bounds validity* must be re-checked per solve
+    (shrink probes tighten the usable area).
+    """
+
+    occupancy: "_Occupancy"
+    positions: Dict[int, Tuple[int, int]]
+    items: Tuple[PlacementItem, ...]
+
+
+def prepare_fixed(
+    items: Sequence[PlacementItem], clusters: Sequence["_Cluster"]
+) -> Optional[FixedBase]:
+    """Commit all fully-literal items once; None when there are none.
+
+    Raises :class:`PlacementError` immediately when two fixed items
+    overlap — no search can ever fix that.
+    """
+    fixed_clusters = [c for c in clusters if not (c.x_vars or c.y_vars)]
+    if not fixed_clusters:
+        return None
+    base = _Occupancy()
+    positions: Dict[int, Tuple[int, int]] = {}
+    fixed_items: List[PlacementItem] = []
+    for cluster in fixed_clusters:
+        for item in cluster.items:
+            col, row = item.x_off, item.y_off
+            if not base.fits(col, row, item.span):
+                raise PlacementError(
+                    f"fixed items overlap at column {col}, row {row}"
+                )
+            base.add(col, row, item.span)
+            positions[item.key] = (col, row)
+            fixed_items.append(item)
+    return FixedBase(
+        occupancy=base, positions=positions, items=tuple(fixed_items)
+    )
 
 
 class _Cluster:
@@ -181,14 +379,43 @@ def _build_clusters(items: Sequence[PlacementItem]) -> List[_Cluster]:
 class _Solver:
     """Backtracking search over clusters."""
 
-    def __init__(self, problem: PlacementProblem, node_budget: int) -> None:
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        node_budget: int,
+        strategy: SolverStrategy = BASELINE_STRATEGY,
+        cancel: Optional[CancelToken] = None,
+        clusters: Optional[Sequence[_Cluster]] = None,
+        hints: Optional[Dict[str, int]] = None,
+        fixed: Optional[FixedBase] = None,
+    ) -> None:
         self.problem = problem
         self.device = problem.device
-        self.occupancy = _Occupancy()
+        self.occupancy = (
+            fixed.occupancy.clone() if fixed is not None else _Occupancy()
+        )
         self.values: Dict[str, int] = {}
-        self.node_budget = node_budget
+        self.node_budget = (
+            strategy.node_budget if strategy.node_budget is not None else node_budget
+        )
         self.nodes = 0
         self.backtracks = 0
+        self.strategy = strategy
+        self._cancel = cancel
+        self._clusters = clusters
+        self._hints = hints or {}
+        self._fixed = fixed
+        self._rng = (
+            random.Random(strategy.seed)
+            if strategy.value_order == "shuffled"
+            else None
+        )
+        # Candidate-value lists per variable: domains are static for
+        # one solve (they depend only on items, columns, and bounds),
+        # but the search re-enumerates them on every backtrack, so they
+        # are built once and cached.  Value-order strategies (shuffle,
+        # hint-first) are applied at build time.
+        self._domains: Dict[str, List[int]] = {}
         # Per-problem caches: allowed columns by prim, usable rows by
         # column (domains are recomputed millions of times in search).
         self._columns: Dict[Prim, List[int]] = {
@@ -237,6 +464,14 @@ class _Solver:
             raise PlacementError(
                 f"placement search budget exceeded ({self.node_budget} nodes)"
             )
+        # Cancellation is polled every 64 nodes: losers of a portfolio
+        # race stop within microseconds without a per-node flag read.
+        if (
+            self._cancel is not None
+            and self.nodes % 64 == 0
+            and self._cancel.cancelled()
+        ):
+            raise PlacementCancelled()
 
     def _resolve(self, item: PlacementItem) -> Optional[Tuple[int, int]]:
         """Concrete position of an item, or None if a var is unbound."""
@@ -267,13 +502,62 @@ class _Solver:
             return False
         return self.occupancy.fits(col, row, item.span)
 
+    def _order_clusters(self, clusters: List[_Cluster]) -> None:
+        if self.strategy.cluster_order == "constrained":
+            # Fail-first: the cluster with the fewest candidate values
+            # across its variables goes first.  Building the weights
+            # also pre-populates the domain cache.
+            def weight(cluster: _Cluster) -> int:
+                return sum(
+                    len(self._domain_list(cluster, var))
+                    for var in cluster.x_vars + cluster.y_vars
+                )
+
+            clusters.sort(
+                key=lambda c: (
+                    weight(c),
+                    -c.total_span,
+                    min(i.key for i in c.items),
+                )
+            )
+        else:
+            clusters.sort(
+                key=lambda c: (-c.total_span, min(i.key for i in c.items))
+            )
+
+    def _fixed_in_bounds(self) -> None:
+        """Bounds re-validation for pre-committed fixed items."""
+        assert self._fixed is not None
+        for item in self._fixed.items:
+            col, row = self._fixed.positions[item.key]
+            limit = self._row_limit.get(col)
+            if (
+                limit is None
+                or not 0 <= col < self.device.num_columns
+                or self.device.columns[col].kind is not item.prim
+                or row < 0
+                or row + item.span > limit
+            ):
+                raise PlacementError(
+                    f"fixed item at column {col}, row {row} violates the "
+                    f"area bounds"
+                )
+
     def solve(self) -> PlacementSolution:
         self._check_capacity()
-        clusters = _build_clusters(self.problem.items)
-        clusters.sort(
-            key=lambda c: (-c.total_span, min(i.key for i in c.items))
-        )
+        if self._clusters is not None:
+            clusters = list(self._clusters)
+        else:
+            clusters = _build_clusters(self.problem.items)
         positions: Dict[int, Tuple[int, int]] = {}
+        if self._fixed is not None:
+            # Fixed items are already in the cloned base occupancy;
+            # check their bounds, adopt their positions, and search
+            # only the variable clusters.
+            self._fixed_in_bounds()
+            positions.update(self._fixed.positions)
+            clusters = [c for c in clusters if c.x_vars or c.y_vars]
+        self._order_clusters(clusters)
 
         def place_cluster(index: int) -> bool:
             if index == len(clusters):
@@ -317,12 +601,15 @@ class _Solver:
         def assign_vars(
             cluster: _Cluster, var_index: int, cluster_index: int
         ) -> bool:
-            ordered = cluster.x_vars + cluster.y_vars
+            if self.strategy.var_order == "yx":
+                ordered = cluster.y_vars + cluster.x_vars
+            else:
+                ordered = cluster.x_vars + cluster.y_vars
             if var_index == len(ordered):
                 self._spend()
                 return try_commit(cluster, cluster_index)
             var = ordered[var_index]
-            for value in self._domain(cluster, var):
+            for value in self._domain_list(cluster, var):
                 self._spend()
                 self.values[var] = value
                 if assign_vars(cluster, var_index + 1, cluster_index):
@@ -337,7 +624,29 @@ class _Solver:
             positions=positions,
             nodes=self.nodes,
             backtracks=self.backtracks,
+            strategy=self.strategy.name,
         )
+
+    def _domain_list(self, cluster: _Cluster, var: str) -> List[int]:
+        """Candidate values for ``var``, in strategy order, cached.
+
+        The base enumeration is ascending (:meth:`_domain`); a
+        ``shuffled`` strategy permutes a copy with its seeded RNG, and
+        a warm-start hint (the variable's value in a previous
+        solution, used by shrink probes) is moved to the front so
+        near-identical re-solves commit almost immediately.
+        """
+        cached = self._domains.get(var)
+        if cached is None:
+            cached = list(self._domain(cluster, var))
+            if self._rng is not None:
+                self._rng.shuffle(cached)
+            hint = self._hints.get(var)
+            if hint is not None and hint in cached:
+                cached.remove(hint)
+                cached.insert(0, hint)
+            self._domains[var] = cached
+        return cached
 
     def _domain(self, cluster: _Cluster, var: str) -> Iterator[int]:
         """Candidate values for one variable, ascending."""
@@ -377,10 +686,156 @@ class _Solver:
         return iter(range(max(0, base), max(base, top)))
 
 
+def build_clusters(items: Sequence[PlacementItem]) -> List[_Cluster]:
+    """Public cluster construction (clusters are bounds-independent).
+
+    A portfolio solve and a batch of shrink probes all share one
+    cluster list instead of re-running the union-find per solve.
+    """
+    return _build_clusters(items)
+
+
+def pack_hints(
+    problem: PlacementProblem,
+    clusters: Optional[Sequence[_Cluster]] = None,
+    fixed: Optional[FixedBase] = None,
+) -> Dict[str, int]:
+    """Greedy first-fit variable values for a ``warm_start`` strategy.
+
+    The backtracking search pays a quadratic collision scan when it
+    packs n items into one column (item k re-tries the k occupied rows
+    below it, one budgeted node each).  This greedy pass packs the
+    same clusters in the same priority order but keeps a per-column
+    *fill pointer* — the next candidate row — so placing all items is
+    near linear.  The result is returned as hints, not a solution:
+    the real solver still validates every constraint, with each
+    hinted value simply tried first.  Clusters the greedy pass cannot
+    handle (several variables per axis, mixed-kind columns, no fit)
+    are skipped and left to the search.
+
+    Deterministic: a pure function of the problem, clusters, and
+    fixed base.
+    """
+    if clusters is None:
+        clusters = _build_clusters(problem.items)
+    occupancy = fixed.occupancy.clone() if fixed is not None else _Occupancy()
+    columns: Dict[Prim, List[int]] = {
+        prim: problem.allowed_columns(prim) for prim in Prim
+    }
+    limits: Dict[int, int] = {}
+    for prim in Prim:
+        for col in columns[prim]:
+            limits[col] = problem.row_limit(
+                prim, problem.device.column(col).height
+            )
+    hints: Dict[str, int] = {}
+    fill: Dict[int, int] = {}
+
+    order = [c for c in clusters if c.x_vars or c.y_vars]
+    order.sort(key=lambda c: (-c.total_span, min(i.key for i in c.items)))
+    for cluster in order:
+        if len(cluster.x_vars) > 1 or len(cluster.y_vars) > 1:
+            continue
+        x_var = cluster.x_vars[0] if cluster.x_vars else None
+        y_var = cluster.y_vars[0] if cluster.y_vars else None
+        if x_var is None:
+            x_candidates: List[Optional[int]] = [None]
+        else:
+            users = [i for i in cluster.items if i.x_var == x_var]
+            prims = {i.prim for i in users}
+            if len(prims) != 1:
+                continue
+            column_set = set(columns[prims.pop()])
+            offsets = {i.x_off for i in users}
+            x_candidates = [
+                v
+                for v in sorted({c - o for c in column_set for o in offsets})
+                if all((v + o) in column_set for o in offsets)
+            ]
+        for x_value in x_candidates:
+            cols: List[int] = []
+            ok = True
+            for item in cluster.items:
+                col = (
+                    item.x_off
+                    if item.x_var is None
+                    else x_value + item.x_off  # type: ignore[operator]
+                )
+                if (
+                    col not in limits
+                    or problem.device.column(col).kind is not item.prim
+                ):
+                    ok = False
+                    break
+                cols.append(col)
+            if not ok:
+                continue
+            if y_var is None:
+                if all(
+                    0 <= item.y_off
+                    and item.y_off + item.span <= limits[col]
+                    and occupancy.fits(col, item.y_off, item.span)
+                    for item, col in zip(cluster.items, cols)
+                ):
+                    for item, col in zip(cluster.items, cols):
+                        occupancy.add(col, item.y_off, item.span)
+                        fill[col] = max(
+                            fill.get(col, 0), item.y_off + item.span
+                        )
+                    if x_var is not None and x_value is not None:
+                        hints[x_var] = x_value
+                    break
+                continue
+            base = max(
+                0, -min(item.y_off for item in cluster.items)
+            )
+            top = min(
+                limits[col] - (item.y_off + item.span)
+                for item, col in zip(cluster.items, cols)
+            )
+            y_value = base
+            for item, col in zip(cluster.items, cols):
+                y_value = max(y_value, fill.get(col, 0) - item.y_off)
+            found = None
+            while y_value <= top:
+                if all(
+                    occupancy.fits(col, y_value + item.y_off, item.span)
+                    for item, col in zip(cluster.items, cols)
+                ):
+                    found = y_value
+                    break
+                y_value += 1
+            if found is None:
+                continue
+            for item, col in zip(cluster.items, cols):
+                occupancy.add(col, found + item.y_off, item.span)
+                fill[col] = max(
+                    fill.get(col, 0), found + item.y_off + item.span
+                )
+            if x_var is not None and x_value is not None:
+                hints[x_var] = x_value
+            hints[y_var] = found
+            break
+    return hints
+
+
 def solve_placement(
-    problem: PlacementProblem, node_budget: int = 500_000
+    problem: PlacementProblem,
+    node_budget: int = 500_000,
+    strategy: Optional[SolverStrategy] = None,
+    cancel: Optional[CancelToken] = None,
+    clusters: Optional[Sequence[_Cluster]] = None,
+    hints: Optional[Dict[str, int]] = None,
+    fixed: Optional[FixedBase] = None,
 ) -> PlacementSolution:
     """Solve ``problem`` or raise :class:`PlacementError`.
+
+    ``strategy`` selects the search ordering (default: the packed
+    baseline, byte-identical to the historical solver); ``cancel``
+    lets a portfolio race abort losers; ``clusters``/``fixed`` are the
+    shared precomputed state (see :func:`build_clusters` and
+    :func:`prepare_fixed`); ``hints`` warm-start variables at their
+    values from a previous solution.
 
     The search recurses once per cluster (chronological backtracking),
     so the recursion limit is raised proportionally; item counts are
@@ -393,7 +848,182 @@ def solve_placement(
     if needed > previous:
         sys.setrecursionlimit(needed)
     try:
-        return _Solver(problem, node_budget).solve()
+        return _Solver(
+            problem,
+            node_budget,
+            strategy=strategy if strategy is not None else BASELINE_STRATEGY,
+            cancel=cancel,
+            clusters=clusters,
+            hints=hints,
+            fixed=fixed,
+        ).solve()
     finally:
         if needed > previous:
             sys.setrecursionlimit(previous)
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """How one portfolio strategy ended."""
+
+    strategy: str
+    status: str            # "solved" | "failed" | "cancelled"
+    seconds: float
+    nodes: int = 0
+    backtracks: int = 0
+    detail: str = ""
+
+
+@dataclass
+class PortfolioResult:
+    """A portfolio race: the winning solution plus every outcome."""
+
+    solution: PlacementSolution
+    winner: SolverStrategy
+    winner_index: int
+    outcomes: List[StrategyOutcome]
+
+
+def solve_portfolio(
+    problem: PlacementProblem,
+    strategies: Optional[PortfolioSpec] = "default",
+    node_budget: int = 500_000,
+    jobs: int = 0,
+    clusters: Optional[Sequence[_Cluster]] = None,
+    fixed: Optional[FixedBase] = None,
+    tracer=None,
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> PortfolioResult:
+    """Race ``strategies`` concurrently; deterministic winner.
+
+    Every strategy runs on a thread pool against shared precomputed
+    state (one cluster list, one fixed-item occupancy snapshot).  The
+    winner is the **lowest-index strategy that solves the problem** —
+    a pure function of the problem and the per-strategy node budgets,
+    never of thread scheduling.  As soon as index ``i`` solves, every
+    strategy with index ``> i`` is cancelled (none of them can win);
+    strategies with index ``< i`` always run to their own deterministic
+    success or failure, preserving the priority rule.
+
+    With no successful strategy the first (highest-priority) failure
+    is re-raised.  ``tracer`` (a :class:`repro.obs.Tracer`) receives
+    one ``place.strategy.<name>`` span per strategy when provided.
+    ``pool`` reuses a caller-owned executor (it is left running);
+    otherwise a private pool is built and torn down.
+    """
+    resolved = resolve_portfolio(strategies)
+    if not resolved:
+        raise PlacementError("a portfolio needs at least one strategy")
+    if clusters is None:
+        clusters = build_clusters(problem.items)
+    if fixed is None:
+        fixed = prepare_fixed(problem.items, clusters)
+    warm = (
+        pack_hints(problem, clusters=clusters, fixed=fixed)
+        if any(strategy.warm_start for strategy in resolved)
+        else None
+    )
+    total = len(resolved)
+    workers = jobs if jobs > 0 else min(total, 4)
+    tokens = [CancelToken() for _ in range(total)]
+    outcomes: List[Optional[StrategyOutcome]] = [None] * total
+    solutions: List[Optional[PlacementSolution]] = [None] * total
+    failures: List[Optional[PlacementError]] = [None] * total
+
+    def run_one(index: int) -> StrategyOutcome:
+        strategy = resolved[index]
+        start = time.perf_counter()
+        if tokens[index].cancelled():
+            return StrategyOutcome(strategy.name, "cancelled", 0.0)
+        span = (
+            tracer.span(f"place.strategy.{strategy.name}")
+            if tracer is not None
+            else None
+        )
+        try:
+            if span is not None:
+                span.__enter__()
+            solution = solve_placement(
+                problem,
+                node_budget=node_budget,
+                strategy=strategy,
+                cancel=tokens[index],
+                clusters=clusters,
+                fixed=fixed,
+                hints=warm if strategy.warm_start else None,
+            )
+        except PlacementCancelled:
+            return StrategyOutcome(
+                strategy.name,
+                "cancelled",
+                time.perf_counter() - start,
+            )
+        except PlacementError as error:
+            failures[index] = error
+            return StrategyOutcome(
+                strategy.name,
+                "failed",
+                time.perf_counter() - start,
+                detail=str(error),
+            )
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        solutions[index] = solution
+        # Cancel lower-priority strategies from the worker itself —
+        # routing through the main thread would add a GIL wake-up
+        # latency during which losers burn interpreter time.
+        for token in tokens[index + 1:]:
+            token.cancel()
+        return StrategyOutcome(
+            strategy.name,
+            "solved",
+            time.perf_counter() - start,
+            nodes=solution.nodes,
+            backtracks=solution.backtracks,
+        )
+
+    if total == 1 or workers == 1:
+        # Degenerate portfolio: run in priority order, stop at the
+        # first success (identical to the winner rule, no threads).
+        for index in range(total):
+            outcomes[index] = run_one(index)
+            if outcomes[index].status == "solved":
+                for later in range(index + 1, total):
+                    outcomes[later] = StrategyOutcome(
+                        resolved[later].name, "cancelled", 0.0
+                    )
+                break
+    else:
+        owned = pool is None
+        executor = (
+            ThreadPoolExecutor(max_workers=workers) if owned else pool
+        )
+        try:
+            futures = {
+                executor.submit(run_one, index): index
+                for index in range(total)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                outcomes[index] = future.result()
+        finally:
+            if owned:
+                executor.shutdown(wait=True)
+
+    winner_index = next(
+        (i for i in range(total) if solutions[i] is not None), None
+    )
+    if winner_index is None:
+        for failure in failures:
+            if failure is not None:
+                raise failure
+        raise PlacementError("no valid placement exists")
+    solution = solutions[winner_index]
+    assert solution is not None
+    return PortfolioResult(
+        solution=solution,
+        winner=resolved[winner_index],
+        winner_index=winner_index,
+        outcomes=[outcome for outcome in outcomes if outcome is not None],
+    )

@@ -1,12 +1,41 @@
-"""Shared fixtures: targets, devices, and compiled-flow helpers."""
+"""Shared fixtures: targets, devices, and compiled-flow helpers.
+
+Also registers the repository's Hypothesis profiles:
+
+* ``dev`` (default) — the library defaults, minus deadlines, which
+  misfire on shared machines;
+* ``ci`` — derandomized with a pinned example budget, so continuous
+  integration replays the identical generated programs on every run
+  (the differential co-sim suite depends on this for determinism).
+
+Select with ``HYPOTHESIS_PROFILE=ci`` in the environment.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.place.device import Device, tiny_device, xczu3eg
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import figure10_target, ultrascale_target
+
+_CHECKS = [HealthCheck.too_slow, HealthCheck.data_too_large]
+
+settings.register_profile(
+    "dev", deadline=None, suppress_health_check=_CHECKS
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    print_blob=True,
+    suppress_health_check=_CHECKS,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

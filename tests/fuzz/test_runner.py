@@ -34,6 +34,27 @@ class TestRunner:
         assert not report.ok
         assert "seed 99" in report.summary()
 
+    def test_report_records_seed_and_max_instrs(self):
+        report = run_fuzz(
+            iterations=1, seed=7, max_instrs=5, flows=("reticle",)
+        )
+        assert report.seed == 7
+        assert report.max_instrs == 5
+        assert "base seed 7" in report.summary()
+
+    def test_failure_summary_includes_replay_command(self):
+        report = FuzzReport(iterations=2, seed=42, max_instrs=9)
+        report.outcomes.append(
+            FuzzOutcome(
+                seed=43, flow="reticle", status="mismatch", detail="x"
+            )
+        )
+        summary = report.summary()
+        assert (
+            "replay: reticle fuzz --seed 43 --iterations 1 --max-instrs 9"
+            in summary
+        )
+
     def test_unknown_flow_surfaces_as_error(self):
         report = run_fuzz(iterations=1, seed=5, flows=("bogus",))
         assert not report.ok

@@ -1,0 +1,133 @@
+"""Lock-step differential co-simulation over the whole pipeline.
+
+``test_differential.py`` checks that whole output traces agree; this
+module goes one step further and drives the three executable models —
+the reference IR interpreter, the assembly interpreter on the *placed*
+program, and the netlist simulator on the generated Verilog — through
+the same stimulus and demands equality **cycle by cycle**, reporting
+the first divergent cycle and port on failure.  It also runs the
+pipeline with the portfolio placement solver enabled, so the racing
+path gets the same differential coverage as the serial one.
+
+Example counts are explicit where the CI contract demands them: the
+main lock-step property runs 50 generated programs, and under the
+``ci`` Hypothesis profile (see ``tests/conftest.py``) the run is
+derandomized, so CI replays the identical 50 programs every time.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm.interp import AsmInterpreter
+from repro.compiler import ReticleCompiler
+from repro.ir.interp import Interpreter
+from repro.netlist.from_verilog import netlist_from_verilog
+from repro.netlist.sim import NetlistSimulator
+from repro.place.device import xczu3eg
+from repro.tdl.ultrascale import ultrascale_target
+from tests.strategies import funcs, traces_for
+
+TARGET = ultrascale_target()
+DEVICE = xczu3eg()
+COMPILER = ReticleCompiler(target=TARGET, device=DEVICE)
+#: The same pipeline with the tentpole enabled: the baseline-first
+#: portfolio racing on two threads.
+PORTFOLIO_COMPILER = ReticleCompiler(
+    target=TARGET,
+    device=DEVICE,
+    place_jobs=2,
+    place_portfolio="default",
+)
+
+_CHECKS = [HealthCheck.too_slow, HealthCheck.data_too_large]
+COSIM = settings(max_examples=50, deadline=None, suppress_health_check=_CHECKS)
+SMALL = settings(max_examples=15, deadline=None, suppress_health_check=_CHECKS)
+
+
+def port_types(func):
+    return {p.name: p.ty for p in func.inputs + func.outputs}
+
+
+def assert_lockstep(reference, actual, label):
+    """Equality per cycle, with the first divergence named precisely."""
+    assert set(actual.names) == set(reference.names), (
+        f"{label}: port sets differ: "
+        f"{sorted(reference.names)} vs {sorted(actual.names)}"
+    )
+    assert len(actual) == len(reference), (
+        f"{label}: trace lengths differ: "
+        f"{len(reference)} vs {len(actual)} cycles"
+    )
+    for cycle in range(len(reference)):
+        want = reference.step(cycle)
+        got = actual.step(cycle)
+        if got != want:
+            diff = {
+                name: {"want": want[name], "got": got[name]}
+                for name in want
+                if got[name] != want[name]
+            }
+            raise AssertionError(
+                f"{label}: divergence at cycle {cycle}: {diff}"
+            )
+
+
+class TestCosimLockstep:
+    @COSIM
+    @given(st.data())
+    def test_interp_asm_netlist_agree_every_cycle(self, data):
+        func = data.draw(funcs())
+        trace = data.draw(traces_for(func))
+        reference = Interpreter(func).run(trace)
+        result = COMPILER.compile(func)
+        asm = AsmInterpreter(result.placed, TARGET).run(trace)
+        assert_lockstep(reference, asm, "asm(placed)")
+        netlist = NetlistSimulator(result.netlist, port_types(func)).run(
+            trace
+        )
+        assert_lockstep(reference, netlist, "netlist")
+
+    @SMALL
+    @given(st.data())
+    def test_verilog_roundtrip_agrees_every_cycle(self, data):
+        func = data.draw(funcs(max_instrs=8))
+        trace = data.draw(traces_for(func))
+        reference = Interpreter(func).run(trace)
+        result = COMPILER.compile(func)
+        rebuilt = netlist_from_verilog(result.verilog())
+        actual = NetlistSimulator(rebuilt, port_types(func)).run(trace)
+        assert_lockstep(reference, actual, "netlist(verilog round-trip)")
+
+
+class TestCosimPortfolio:
+    @SMALL
+    @given(st.data())
+    def test_portfolio_pipeline_agrees_every_cycle(self, data):
+        func = data.draw(funcs(max_instrs=8))
+        trace = data.draw(traces_for(func))
+        reference = Interpreter(func).run(trace)
+        result = PORTFOLIO_COMPILER.compile(func)
+        asm = AsmInterpreter(result.placed, TARGET).run(trace)
+        assert_lockstep(reference, asm, "asm(portfolio placed)")
+        netlist = NetlistSimulator(result.netlist, port_types(func)).run(
+            trace
+        )
+        assert_lockstep(reference, netlist, "netlist(portfolio)")
+
+    @SMALL
+    @given(st.data())
+    def test_portfolio_verilog_deterministic(self, data):
+        """Two fresh racing compilers emit byte-identical Verilog."""
+        func = data.draw(funcs(max_instrs=8))
+        first = ReticleCompiler(
+            target=TARGET,
+            device=DEVICE,
+            place_jobs=2,
+            place_portfolio="default",
+        ).compile(func)
+        second = ReticleCompiler(
+            target=TARGET,
+            device=DEVICE,
+            place_jobs=2,
+            place_portfolio="default",
+        ).compile(func)
+        assert first.verilog() == second.verilog()

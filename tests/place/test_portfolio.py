@@ -1,0 +1,238 @@
+"""Portfolio solver equivalence and determinism properties.
+
+Every strategy in the registry is a *complete* search over the same
+constraint system — only the exploration order differs — so all of
+them must agree on feasibility, and any solution any of them returns
+must satisfy every constraint.  The portfolio's winner rule is
+priority, not wall clock: with the baseline-first ``default`` preset
+the racing solver must reproduce the serial solver's answer exactly
+whenever the serial solver succeeds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ReticleCompiler
+from repro.errors import PlacementError
+from repro.frontend.tensor import tensoradd_vector
+from repro.place.device import tiny_device
+from repro.place.solver import (
+    BASELINE_STRATEGY,
+    PORTFOLIO_PRESETS,
+    STRATEGY_REGISTRY,
+    PlacementItem,
+    PlacementProblem,
+    SolverStrategy,
+    pack_hints,
+    resolve_portfolio,
+    solve_placement,
+    solve_portfolio,
+)
+from repro.prims import Prim
+from tests.place.test_solver_properties import (
+    check_solution,
+    singleton_problems,
+)
+
+FAST = settings(max_examples=30, deadline=None)
+
+
+class TestStrategyEquivalence:
+    @FAST
+    @given(singleton_problems())
+    def test_all_strategies_agree_on_feasibility(self, problem):
+        """Orderings never change what is solvable, only how fast.
+
+        A budget-exhausted search (also a :class:`PlacementError`) is
+        not a feasibility verdict, so those attempts are skipped
+        instead of compared.
+        """
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+
+        def attempt(strategy):
+            try:
+                return solve_placement(problem_obj, strategy=strategy), None
+            except PlacementError as error:
+                return None, error
+
+        baseline, baseline_error = attempt(BASELINE_STRATEGY)
+        if baseline_error is not None and "budget" in str(baseline_error):
+            return
+        feasible = baseline is not None
+        for strategy in STRATEGY_REGISTRY.values():
+            solution, error = attempt(strategy)
+            if solution is None:
+                if "budget" in str(error):
+                    continue
+                assert not feasible, (
+                    f"{strategy.name} failed a problem the baseline solves"
+                )
+                continue
+            assert feasible, (
+                f"{strategy.name} solved a problem the baseline rejects"
+            )
+            check_solution(device, items, solution)
+            assert solution.strategy == strategy.name
+
+    @FAST
+    @given(singleton_problems())
+    def test_default_portfolio_reproduces_the_serial_baseline(self, problem):
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+        try:
+            baseline = solve_placement(problem_obj)
+        except PlacementError:
+            with pytest.raises(PlacementError):
+                solve_portfolio(problem_obj, "default", jobs=2)
+            return
+        result = solve_portfolio(problem_obj, "default", jobs=2)
+        assert result.winner.name == "packed"
+        assert result.winner_index == 0
+        assert result.solution.positions == baseline.positions
+        assert result.solution.var_values == baseline.var_values
+
+    @FAST
+    @given(singleton_problems())
+    def test_throughput_portfolio_is_deterministic(self, problem):
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+        try:
+            first = solve_portfolio(problem_obj, "throughput", jobs=2)
+        except PlacementError:
+            return
+        second = solve_portfolio(problem_obj, "throughput", jobs=2)
+        assert first.winner.name == second.winner.name
+        assert first.winner_index == second.winner_index
+        assert first.solution.positions == second.solution.positions
+        check_solution(device, items, first.solution)
+
+
+class TestWinnerPriority:
+    def _feasible_problem(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            PlacementItem(
+                key=key,
+                prim=Prim.LUT,
+                x_var=f"x{key}",
+                x_off=0,
+                y_var=f"y{key}",
+                y_off=0,
+                span=1,
+            )
+            for key in range(4)
+        ]
+        return PlacementProblem(device=device, items=items)
+
+    def test_budget_starved_leader_loses_to_the_next_index(self):
+        starved = SolverStrategy(name="starved", node_budget=1)
+        result = solve_portfolio(
+            self._feasible_problem(), (starved, BASELINE_STRATEGY), jobs=2
+        )
+        assert result.winner_index == 1
+        assert result.winner.name == "packed"
+        by_name = {o.strategy: o for o in result.outcomes}
+        assert by_name["starved"].status == "failed"
+        assert "budget exceeded" in by_name["starved"].detail
+        assert by_name["packed"].status == "solved"
+
+    def test_all_strategies_starved_reraises_the_first_failure(self):
+        starved = SolverStrategy(name="starved", node_budget=1)
+        starved2 = SolverStrategy(name="starved2", node_budget=2)
+        with pytest.raises(
+            PlacementError, match=r"budget exceeded \(1 nodes\)"
+        ):
+            solve_portfolio(
+                self._feasible_problem(), (starved, starved2), jobs=2
+            )
+
+    def test_serial_fallback_matches_threaded_result(self):
+        problem = self._feasible_problem()
+        threaded = solve_portfolio(problem, "default", jobs=2)
+        serial = solve_portfolio(problem, "default", jobs=1)
+        assert serial.winner_index == threaded.winner_index
+        assert serial.solution.positions == threaded.solution.positions
+
+
+class TestResolvePortfolio:
+    def test_none_is_empty(self):
+        assert resolve_portfolio(None) == ()
+
+    def test_presets_resolve_in_priority_order(self):
+        for preset, names in PORTFOLIO_PRESETS.items():
+            strategies = resolve_portfolio(preset)
+            assert tuple(s.name for s in strategies) == names
+
+    def test_comma_string_and_sequence_forms(self):
+        from_string = resolve_portfolio("packed, scatter")
+        assert tuple(s.name for s in from_string) == ("packed", "scatter")
+        custom = SolverStrategy(name="mine", node_budget=10)
+        mixed = resolve_portfolio(["rowmajor", custom])
+        assert mixed == (STRATEGY_REGISTRY["rowmajor"], custom)
+
+    def test_single_strategy_object_passes_through(self):
+        assert resolve_portfolio(BASELINE_STRATEGY) == (BASELINE_STRATEGY,)
+
+    def test_unknown_strategy_names_the_alternatives(self):
+        with pytest.raises(PlacementError) as excinfo:
+            resolve_portfolio("packed,bogus")
+        message = str(excinfo.value)
+        assert "unknown solver strategy 'bogus'" in message
+        assert "packed" in message and "throughput" in message
+
+    def test_empty_spec_is_rejected(self):
+        with pytest.raises(PlacementError, match="empty portfolio spec"):
+            resolve_portfolio(" , ,")
+
+
+class TestPackHints:
+    @FAST
+    @given(singleton_problems(unit_span=True))
+    def test_hints_are_deterministic_and_name_real_variables(self, problem):
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+        hints = pack_hints(problem_obj)
+        assert hints == pack_hints(problem_obj)
+        known = {
+            var for item in items for var in item.coordinate_vars()
+        }
+        assert set(hints) <= known
+
+    @FAST
+    @given(singleton_problems())
+    def test_warm_started_solution_is_valid(self, problem):
+        device, items = problem
+        problem_obj = PlacementProblem(device=device, items=items)
+        try:
+            solution = solve_placement(
+                problem_obj, strategy=STRATEGY_REGISTRY["greedy"]
+            )
+        except PlacementError:
+            return
+        check_solution(device, items, solution)
+
+
+class TestPortfolioThroughCompiler:
+    def test_portfolio_area_not_worse_than_serial(self):
+        func = tensoradd_vector(16)
+        serial = ReticleCompiler().compile(func)
+        racer = ReticleCompiler(
+            place_jobs=2, place_portfolio="throughput"
+        ).compile(func)
+        assert serial.trace is not None and racer.trace is not None
+        for gauge in ("place.bbox_cols", "place.bbox_rows"):
+            assert racer.trace.gauges[gauge] <= serial.trace.gauges[gauge]
+
+    def test_portfolio_flags_change_the_cache_key(self):
+        from repro.passes import CompileCache
+
+        cache = CompileCache()
+        func = tensoradd_vector(16)
+        ReticleCompiler(cache=cache).compile(func)
+        racer = ReticleCompiler(
+            cache=cache, place_jobs=2, place_portfolio="throughput"
+        ).compile(func)
+        assert not racer.cached, (
+            "a portfolio compile must not reuse a serial cache entry"
+        )

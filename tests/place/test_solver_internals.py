@@ -1,0 +1,269 @@
+"""White-box tests for the placement solver's internal machinery.
+
+The portfolio layer leans on three internals whose contracts were
+previously only exercised indirectly: the per-column interval index
+(:class:`_Occupancy`), the union-find cluster construction
+(:func:`_build_clusters`), and the strategy-ordered candidate-value
+enumeration (:meth:`_Solver._domain_list`).  These tests pin each one
+directly, plus the node-budget exhaustion error the portfolio's
+per-strategy budgets rely on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.place.device import tiny_device
+from repro.place.solver import (
+    BASELINE_STRATEGY,
+    PlacementItem,
+    PlacementProblem,
+    SolverStrategy,
+    _Occupancy,
+    _Solver,
+    _build_clusters,
+    build_clusters,
+    solve_placement,
+)
+from repro.prims import Prim
+
+
+def lut(key, x_var=None, x_off=0, y_var=None, y_off=0, span=1):
+    return PlacementItem(
+        key=key,
+        prim=Prim.LUT,
+        x_var=x_var,
+        x_off=x_off,
+        y_var=y_var,
+        y_off=y_off,
+        span=span,
+    )
+
+
+class TestOccupancy:
+    def test_empty_fits_anywhere(self):
+        occ = _Occupancy()
+        assert occ.fits(0, 0, 1)
+        assert occ.fits(7, 100, 12)
+
+    def test_add_blocks_exactly_the_overlaps(self):
+        occ = _Occupancy()
+        occ.add(0, 2, 3)  # rows 2..4 of column 0
+        assert not occ.fits(0, 2, 3)  # itself
+        assert not occ.fits(0, 1, 2)  # tail overlaps row 2
+        assert not occ.fits(0, 4, 1)  # head overlaps row 4
+        assert not occ.fits(0, 0, 9)  # engulfs the interval
+        assert occ.fits(0, 0, 2)  # rows 0..1, adjacent below
+        assert occ.fits(0, 5, 1)  # row 5, adjacent above
+        assert occ.fits(1, 2, 3)  # other column entirely
+
+    def test_remove_restores_the_slot(self):
+        occ = _Occupancy()
+        occ.add(3, 1, 2)
+        occ.remove(3, 1, 2)
+        assert occ.fits(3, 1, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 8), st.integers(1, 3)
+            ),
+            max_size=12,
+        )
+    )
+    def test_add_remove_round_trip(self, requests):
+        """First-fit commits are pairwise disjoint, so removing any one
+        makes its exact slot available again — in any removal order."""
+        occ = _Occupancy()
+        committed = []
+        for col, row, span in requests:
+            if occ.fits(col, row, span):
+                occ.add(col, row, span)
+                committed.append((col, row, span))
+        for col, row, span in committed:
+            assert not occ.fits(col, row, span)
+        for col, row, span in reversed(committed):
+            occ.remove(col, row, span)
+            assert occ.fits(col, row, span)
+
+    def test_clone_is_independent(self):
+        base = _Occupancy()
+        base.add(0, 0, 2)
+        copy = base.clone()
+        copy.add(0, 2, 2)
+        assert base.fits(0, 2, 2), "mutating the clone leaked into base"
+        assert not copy.fits(0, 2, 2)
+        base.remove(0, 0, 2)
+        assert not copy.fits(0, 0, 2), "mutating base leaked into clone"
+
+
+class TestBuildClusters:
+    def test_shared_variable_merges_items(self):
+        items = [
+            lut(0, x_var="a", y_var="row"),
+            lut(1, x_var="b", y_var="row"),
+        ]
+        clusters = _build_clusters(items)
+        assert len(clusters) == 1
+        assert sorted(clusters[0].x_vars) == ["a", "b"]
+        assert clusters[0].y_vars == ["row"]
+
+    def test_union_find_is_transitive(self):
+        # a-s, b-s, b-t: one chain through shared variables.
+        items = [
+            lut(0, x_var="a", y_var="s"),
+            lut(1, x_var="b", y_var="s"),
+            lut(2, x_var="b", y_var="t"),
+        ]
+        clusters = _build_clusters(items)
+        assert len(clusters) == 1
+        assert {i.key for i in clusters[0].items} == {0, 1, 2}
+
+    def test_disjoint_variables_stay_separate(self):
+        items = [
+            lut(0, x_var="a", y_var="p"),
+            lut(1, x_var="b", y_var="q"),
+        ]
+        clusters = _build_clusters(items)
+        assert len(clusters) == 2
+        assert {frozenset(i.key for i in c.items) for c in clusters} == {
+            frozenset({0}),
+            frozenset({1}),
+        }
+
+    def test_literal_items_form_one_varless_cluster(self):
+        items = [
+            lut(0, x_off=1, y_off=2),
+            lut(1, x_off=0, y_off=0),
+            lut(2, x_var="a", y_var="b"),
+        ]
+        clusters = _build_clusters(items)
+        fixed = [c for c in clusters if not (c.x_vars or c.y_vars)]
+        assert len(fixed) == 1
+        assert {i.key for i in fixed[0].items} == {0, 1}
+
+    def test_total_span_sums_member_spans(self):
+        items = [
+            lut(0, x_var="a", y_var="s", span=2),
+            lut(1, x_var="a", y_var="s", y_off=2, span=3),
+        ]
+        (cluster,) = _build_clusters(items)
+        assert cluster.total_span == 5
+
+    def test_public_wrapper_matches_private(self):
+        items = [lut(0, x_var="a", y_var="b"), lut(1)]
+        public = build_clusters(items)
+        private = _build_clusters(items)
+        assert [
+            sorted(i.key for i in c.items) for c in public
+        ] == [sorted(i.key for i in c.items) for c in private]
+
+
+class TestDomainEnumeration:
+    def _solver(self, items, strategy=BASELINE_STRATEGY, hints=None):
+        device = tiny_device(lut_columns=3, dsp_columns=0, height=8)
+        problem = PlacementProblem(device=device, items=items)
+        return _Solver(
+            problem, node_budget=10_000, strategy=strategy, hints=hints
+        )
+
+    def test_baseline_domains_are_ascending(self):
+        items = [lut(0, x_var="vx", y_var="vy", span=2)]
+        solver = self._solver(items)
+        (cluster,) = _build_clusters(items)
+        assert solver._domain_list(cluster, "vx") == [0, 1, 2]
+        # v + y_off + span <= height: rows 0..6 for a span-2 item.
+        assert solver._domain_list(cluster, "vy") == list(range(7))
+
+    def test_offsets_constrain_the_column_domain(self):
+        # Both offsets of a shared x variable must land on LUT columns
+        # (0..2 on this device), so v in {0, 1}.
+        items = [
+            lut(0, x_var="vx", x_off=0, y_var="vy"),
+            lut(1, x_var="vx", x_off=1, y_var="vy", y_off=1),
+        ]
+        solver = self._solver(items)
+        (cluster,) = _build_clusters(items)
+        assert solver._domain_list(cluster, "vx") == [0, 1]
+
+    def test_shuffled_order_is_a_seeded_permutation(self):
+        items = [lut(0, x_var="vx", y_var="vy")]
+        strategy = SolverStrategy(
+            name="test-shuffle", value_order="shuffled", seed=7
+        )
+        (cluster,) = _build_clusters(items)
+        first = self._solver(items, strategy)._domain_list(cluster, "vy")
+        second = self._solver(items, strategy)._domain_list(cluster, "vy")
+        baseline = self._solver(items)._domain_list(cluster, "vy")
+        assert first == second, "same seed must give the same order"
+        assert sorted(first) == baseline, "shuffle must not change members"
+        other = SolverStrategy(
+            name="test-shuffle-2", value_order="shuffled", seed=8
+        )
+        assert (
+            self._solver(items, other)._domain_list(cluster, "vy") != first
+        ), "different seeds should (here) give different orders"
+
+    def test_hint_moves_to_the_front(self):
+        items = [lut(0, x_var="vx", y_var="vy")]
+        (cluster,) = _build_clusters(items)
+        solver = self._solver(items, hints={"vy": 5})
+        domain = solver._domain_list(cluster, "vy")
+        assert domain[0] == 5
+        assert domain[1:] == [v for v in range(8) if v != 5]
+
+    def test_out_of_domain_hint_is_ignored(self):
+        items = [lut(0, x_var="vx", y_var="vy")]
+        (cluster,) = _build_clusters(items)
+        solver = self._solver(items, hints={"vy": 99})
+        assert solver._domain_list(cluster, "vy") == list(range(8))
+
+    def test_domain_list_is_cached(self):
+        items = [lut(0, x_var="vx", y_var="vy")]
+        (cluster,) = _build_clusters(items)
+        solver = self._solver(items)
+        assert solver._domain_list(cluster, "vx") is solver._domain_list(
+            cluster, "vx"
+        )
+
+
+class TestNodeBudget:
+    def test_exhaustion_raises_with_the_budget_in_the_message(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            lut(key, x_var=f"x{key}", y_var=f"y{key}") for key in range(4)
+        ]
+        with pytest.raises(
+            PlacementError,
+            match=r"placement search budget exceeded \(1 nodes\)",
+        ):
+            solve_placement(
+                PlacementProblem(device=device, items=items), node_budget=1
+            )
+
+    def test_strategy_budget_overrides_the_call_budget(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            lut(key, x_var=f"x{key}", y_var=f"y{key}") for key in range(4)
+        ]
+        starved = SolverStrategy(name="starved", node_budget=2)
+        with pytest.raises(
+            PlacementError,
+            match=r"placement search budget exceeded \(2 nodes\)",
+        ):
+            solve_placement(
+                PlacementProblem(device=device, items=items),
+                node_budget=500_000,
+                strategy=starved,
+            )
+
+    def test_generous_budget_solves_the_same_problem(self):
+        device = tiny_device(lut_columns=2, dsp_columns=0, height=4)
+        items = [
+            lut(key, x_var=f"x{key}", y_var=f"y{key}") for key in range(4)
+        ]
+        solution = solve_placement(
+            PlacementProblem(device=device, items=items), node_budget=10_000
+        )
+        assert len(solution.positions) == 4
