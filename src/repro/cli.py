@@ -9,6 +9,7 @@ Subcommands mirror the toolchain stages::
     reticle compile  prog.ret -o out.v # IR -> structural Verilog
     reticle compile  prog.ret -o out.v --profile --trace-out trace.json
     reticle compile  prog.ret --passes full --cache-dir .ret-cache --jobs 4
+    reticle compile  prog.ret --isel-jobs 4 --isel-memo on
     reticle behav    prog.ret          # IR -> behavioral Verilog
     reticle tdl                        # dump the UltraScale target
     reticle passes                     # list pipeline passes/presets
@@ -126,7 +127,13 @@ def _cmd_select(args: argparse.Namespace) -> int:
     target, _ = _resolve_target(args.target)
     tracer = Tracer()
     with tracer.span("select"):
-        asm = select(func, target, tracer=tracer)
+        asm = select(
+            func,
+            target,
+            tracer=tracer,
+            memo=args.isel_memo == "on",
+            jobs=args.isel_jobs,
+        )
     if args.cascade:
         with tracer.span("cascade"):
             asm = apply_cascading(asm, target, tracer=tracer)
@@ -152,6 +159,8 @@ def _cmd_place(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        isel_jobs=args.isel_jobs,
+        isel_memo=args.isel_memo == "on",
     )
     tracer = Tracer()
     result = compiler.compile(func, tracer=tracer)
@@ -173,6 +182,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        isel_jobs=args.isel_jobs,
+        isel_memo=args.isel_memo == "on",
     )
     if args.pipeline:
         from repro.ir.ast import Prog
@@ -218,6 +229,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         device=device,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        isel_jobs=args.isel_jobs,
+        isel_memo=args.isel_memo == "on",
     )
     tracer = Tracer()
     result = compiler.compile(func, tracer=tracer)
@@ -307,6 +320,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_isel_args(command: argparse.ArgumentParser) -> None:
+    """The uniform --isel-jobs/--isel-memo selection flags."""
+    command.add_argument(
+        "--isel-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="instruction-selection thread-pool width: distinct tree "
+        "shapes are covered on N workers (deterministic result order)",
+    )
+    command.add_argument(
+        "--isel-memo",
+        choices=["on", "off"],
+        default="on",
+        help="cross-tree cover memo: cover each distinct tree shape "
+        "once and replay it per instance (default on; output is "
+        "byte-identical either way)",
+    )
+
+
 def _add_place_args(command: argparse.ArgumentParser) -> None:
     """The uniform --place-jobs/--place-portfolio placement flags."""
     command.add_argument(
@@ -371,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cascade", action="store_true", help="apply cascade optimization"
     )
     selectc.add_argument("--func", help="function name in multi-def files")
+    _add_isel_args(selectc)
     _add_telemetry_args(selectc)
 
     placec = add("place", _cmd_place, "lower, cascade, and place")
@@ -381,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
     )
     placec.add_argument("--func", help="function name in multi-def files")
+    _add_isel_args(placec)
     _add_place_args(placec)
     _add_telemetry_args(placec)
 
@@ -428,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="compile a multi-function program on N worker threads",
     )
+    _add_isel_args(compilec)
     _add_place_args(compilec)
     _add_telemetry_args(compilec)
 
@@ -445,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable JSON report instead of text",
     )
+    _add_isel_args(reportc)
     _add_place_args(reportc)
     reportc.add_argument(
         "--events",

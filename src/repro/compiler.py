@@ -162,10 +162,17 @@ class ReticleCompiler:
         jobs: int = 1,
         place_jobs: int = 1,
         place_portfolio: Optional[PortfolioSpec] = None,
+        isel_jobs: int = 1,
+        isel_memo: bool = True,
     ) -> None:
         self.target = target if target is not None else ultrascale_target()
         self.device = device if device is not None else xczu3eg()
-        self.selector = Selector(target=self.target, dsp_weight=dsp_weight)
+        self.selector = Selector(
+            target=self.target,
+            dsp_weight=dsp_weight,
+            memo=isel_memo,
+            jobs=isel_jobs,
+        )
         # The portfolio is canonicalized to strategy *names* before it
         # enters the options dict: the dict is cache-key material and
         # must stay JSON-serializable, and two spellings of the same
@@ -189,6 +196,8 @@ class ReticleCompiler:
             "cascade": cascade,
             "place_jobs": place_jobs,
             "place_portfolio": portfolio_names,
+            "isel_jobs": isel_jobs,
+            "isel_memo": isel_memo,
         }
         if passes is None:
             names = []

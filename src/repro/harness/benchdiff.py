@@ -23,7 +23,10 @@ What is gated, per row:
 
 A row present in OLD but missing from NEW is always a failure (a
 benchmark silently dropped is a regression in coverage); rows only in
-NEW are reported but never fail the diff.
+NEW never fail the diff, but they are *always* logged with their
+headline metrics — a freshly added variant row (``+portfolio``,
+``+iselmemo``) carries no baseline and is therefore ungated, and that
+fact must be visible in CI output rather than silently passing.
 """
 
 from __future__ import annotations
@@ -36,6 +39,9 @@ from typing import Dict, List, Optional, Tuple
 #: growth means the algorithm (not the machine) got slower.
 GATED_COUNTERS = (
     "isel.matches_tried",
+    "isel.index_skips",
+    "isel.unique_trees",
+    "isel.memo_hits",
     "place.solver_nodes",
     "place.backtracks",
     "codegen.cells",
@@ -71,6 +77,9 @@ class BenchDiff:
     deltas: List[MetricDelta] = field(default_factory=list)
     missing: List[Tuple[str, int]] = field(default_factory=list)
     added: List[Tuple[str, int]] = field(default_factory=list)
+    #: key -> headline-metric summary of each added (ungated) row, so
+    #: fresh variant rows are visible in CI logs, never silent passes.
+    added_detail: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -132,6 +141,18 @@ def diff_payloads(
     diff = BenchDiff()
     diff.missing = sorted(set(old_rows) - set(new_rows))
     diff.added = sorted(set(new_rows) - set(old_rows))
+    for key in diff.added:
+        row = new_rows[key]
+        counters = row.get("counters", {}) or {}
+        gated = ", ".join(
+            f"{name}={counters[name]:g}"
+            for name in GATED_COUNTERS
+            if name in counters
+        )
+        summary = f"seconds={float(row.get('seconds', 0.0)):g}"
+        if gated:
+            summary += f", {gated}"
+        diff.added_detail[key] = summary
 
     for key in sorted(set(old_rows) & set(new_rows)):
         bench, size = key
@@ -213,7 +234,11 @@ def format_diff(diff: BenchDiff, verbose: bool = False) -> str:
     for bench, size in diff.missing:
         lines.append(f"MISSING  {bench}/{size}: row dropped from new run")
     for bench, size in diff.added:
-        lines.append(f"new row  {bench}/{size} (not in baseline)")
+        detail = diff.added_detail.get((bench, size), "")
+        suffix = f": {detail}" if detail else ""
+        lines.append(
+            f"ADDED    {bench}/{size} (not in baseline, not gated){suffix}"
+        )
     for delta in diff.deltas:
         if delta.regressed or verbose:
             lines.append(delta.describe())
@@ -222,6 +247,6 @@ def format_diff(diff: BenchDiff, verbose: bool = False) -> str:
     lines.append(
         f"bench diff: {verdict} "
         f"({compared} rows compared, {len(diff.regressions)} regressions, "
-        f"{len(diff.missing)} missing)"
+        f"{len(diff.missing)} missing, {len(diff.added)} added)"
     )
     return "\n".join(lines)

@@ -45,6 +45,13 @@ BENCH_PIPELINE_SIZES: Dict[str, Sequence] = {
 BENCH_PORTFOLIO_JOBS = 2
 BENCH_PORTFOLIO_PRESET = "throughput"
 
+#: The instruction-selection configuration the ``<bench>+iselmemo``
+#: rows exercise: the cross-tree cover memo (the default) plus a
+#: two-worker fan-out over distinct tree shapes.  Each row also
+#: records the naive matcher's (``isel_memo=False``) cold ``select``
+#: time, so ``select_speedup`` pins the memo's win in the trajectory.
+BENCH_ISEL_JOBS = 2
+
 
 def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
     """The per-language programs for one benchmark instance.
@@ -163,6 +170,7 @@ def pipeline_rows(
     device: Optional[Device] = None,
     cache: Optional[CompileCache] = None,
     portfolio: bool = True,
+    iselmemo: bool = True,
 ) -> List[dict]:
     """Per-stage compile telemetry for the Figure 13 workloads.
 
@@ -179,6 +187,12 @@ def pipeline_rows(
     (:data:`BENCH_PORTFOLIO_PRESET` on :data:`BENCH_PORTFOLIO_JOBS`
     threads), reporting ``place_seconds`` and the ``place_speedup``
     over the matching serial row.
+
+    With ``iselmemo`` (default) the largest size of every benchmark
+    also gets a ``<bench>+iselmemo`` row: the memoized selector
+    fanning distinct tree shapes over :data:`BENCH_ISEL_JOBS` workers,
+    reporting ``select_seconds``, the naive matcher's
+    ``select_naive_seconds``, and their ratio ``select_speedup``.
     """
     device = device if device is not None else xczu3eg()
     sizes = sizes if sizes is not None else BENCH_PIPELINE_SIZES
@@ -246,6 +260,37 @@ def pipeline_rows(
                     baseline["stages"].get("place", 0.0) / place_seconds, 2
                 )
             rows.append(row)
+
+    if iselmemo:
+        memoized = ReticleCompiler(
+            device=device, cache=cache, isel_jobs=BENCH_ISEL_JOBS
+        )
+        naive = ReticleCompiler(device=device, cache=cache, isel_memo=False)
+        # As with the placement pool above, spawn the selector's
+        # workers up front: pool spin-up is session overhead, not
+        # cold-compile selection time.
+        pool = memoized.selector._executor()
+        if pool is not None:
+            for future in [
+                pool.submit(lambda: None) for _ in range(BENCH_ISEL_JOBS)
+            ]:
+                future.result()
+        for bench in selected:
+            size = max(sizes[bench])
+            func = _benchmark_funcs(bench, size)["reticle"]
+            naive_cold = naive.compile(func)
+            assert naive_cold.metrics is not None
+            naive_select = naive_cold.metrics.stages.get("select", 0.0)
+            row = run_pair(memoized, bench, size)
+            row["bench"] = f"{bench}+iselmemo"
+            select_seconds = row["stages"].get("select", 0.0)
+            row["select_seconds"] = round(select_seconds, 6)
+            row["select_naive_seconds"] = round(naive_select, 6)
+            if select_seconds > 0:
+                row["select_speedup"] = round(
+                    naive_select / select_seconds, 2
+                )
+            rows.append(row)
     return rows
 
 
@@ -264,6 +309,7 @@ def pipeline_table_rows(rows: Sequence[dict]) -> List[dict]:
             entry["warm_us"] = round(row["warm_seconds"] * 1e6, 1)
             entry["cache_speedup"] = row["cache_speedup"]
         entry["place_speedup"] = row.get("place_speedup", "")
+        entry["select_speedup"] = row.get("select_speedup", "")
         entry["solver_nodes"] = row["counters"].get("place.solver_nodes", 0)
         entry["dsps"] = row["counters"].get("codegen.dsps", 0)
         entry["luts"] = row["counters"].get("codegen.luts", 0)

@@ -4,10 +4,22 @@ Nodes are input ports and instructions (identified by the variable
 they define); edges are definition–use relationships.  Instruction
 selection partitions this graph into trees (Section 5.1); the vendor
 synthesis simulator and the timing analyzer traverse it as well.
+
+This module also owns the *hash-consing* layer the selector's
+cross-tree cover memo is built on: :func:`tree_digest` assigns every
+dataflow tree a structural digest such that two trees collide exactly
+when they are α-equivalent — same ops, types, attributes, and resource
+annotations at every node, same leaf types, and the same leaf-sharing
+structure (leaves are canonicalized by type and first-occurrence
+position, de Bruijn style, so concrete variable names never enter the
+digest).  A :class:`HashConser` interns digests of repeated substructure
+so replicated designs (the tensor benchmarks emit hundreds of
+structurally identical trees) hash each distinct shape once.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -54,3 +66,76 @@ class DataflowGraph:
 
     def is_output(self, name: str) -> bool:
         return name in self.output_uses
+
+
+class HashConser:
+    """Interns structural digests so equal shapes are hashed once.
+
+    The table maps a structure key — a nested tuple of ops, types,
+    attrs, resource annotations, and child *digests* — to its digest.
+    Keying on child digests instead of child structure keeps every key
+    one level deep (classic hash-consing), so interning a tree of
+    depth *d* costs *d* small lookups rather than rehashing the whole
+    subtree at every level.  ``hits`` counts table hits, the measure
+    of structural redundancy in the input.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple, str] = {}
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def digest(self, key: Tuple) -> str:
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=16
+        ).hexdigest()
+        self._table[key] = digest
+        return digest
+
+
+def tree_digest(root, types=None, conser: Optional[HashConser] = None) -> str:
+    """The structural digest of the dataflow tree rooted at ``root``.
+
+    ``root`` is any tree node carrying an ``instr`` (with ``op_name``,
+    ``ty``, ``attrs``, and optionally ``res``) and a ``children``
+    tuple whose entries are nested nodes or leaf variable names — the
+    selector's ``SubjectNode`` satisfies this without an import cycle.
+
+    Two trees digest equally iff they are α-equivalent: leaf names are
+    replaced by their first-occurrence index over the whole tree (so
+    ``add(x, x)`` and ``add(a, a)`` collide but ``add(x, y)`` does
+    not) plus the leaf's type from ``types`` (a ``func.defs()`` map),
+    since pattern leaves only bind type-correct operands.  Everything
+    that influences which patterns can match and at what cost — op,
+    type, attrs, ``@res`` annotation, shape — is part of the digest;
+    nothing else is.
+    """
+    conser = HashConser() if conser is None else conser
+    leaf_index: Dict[str, int] = {}
+
+    def digest_of(node) -> str:
+        child_keys: List[Tuple] = []
+        for child in node.children:
+            if isinstance(child, str):
+                position = leaf_index.setdefault(child, len(leaf_index))
+                leaf_ty = types.get(child) if types is not None else None
+                child_keys.append(("leaf", position, str(leaf_ty)))
+            else:
+                child_keys.append(("node", digest_of(child)))
+        instr = node.instr
+        key = (
+            instr.op_name,
+            str(instr.ty),
+            instr.attrs,
+            str(getattr(instr, "res", None)),
+            tuple(child_keys),
+        )
+        return conser.digest(key)
+
+    return digest_of(root)

@@ -9,7 +9,7 @@ from the randomized metaheuristics of traditional FPGA toolchains.
 """
 
 from repro.isel.partition import SubjectNode, SubjectTree, partition
-from repro.isel.cover import Match, CoverResult, cover_tree
+from repro.isel.cover import Match, CoverResult, cover_tree, replay_cover
 from repro.isel.select import Selector, select
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "Match",
     "CoverResult",
     "cover_tree",
+    "replay_cover",
     "Selector",
     "select",
 ]

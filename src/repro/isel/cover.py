@@ -21,9 +21,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SelectionError
 from repro.ir.ast import CompInstr, Res
-from repro.isel.partition import SubjectNode, SubjectTree
+from repro.isel.partition import SubjectChild, SubjectNode, SubjectTree
 from repro.prims import Prim
-from repro.tdl.pattern import Pattern, PatternNode
+from repro.tdl.pattern import Pattern, PatternIndex, PatternNode
 
 
 @dataclass(frozen=True)
@@ -147,7 +147,11 @@ class CoverResult:
     parallel to ``matches`` — the per-match figure the provenance
     lineage reports.  ``dp_hits`` and ``matches_tried`` expose the
     dynamic-programming effort behind the cover (memo-table hits and
-    pattern match attempts) for the observability layer.
+    actual pattern match attempts); ``index_skips`` counts candidates
+    the pattern index rejected by fingerprint *before* any match
+    attempt.  ``replayed`` marks covers produced by
+    :func:`replay_cover` from a digest-equal template rather than by
+    the DP — they carry zero effort counters.
     """
 
     tree: SubjectTree
@@ -156,35 +160,48 @@ class CoverResult:
     dp_hits: int = 0
     matches_tried: int = 0
     match_costs: List[float] = field(default_factory=list)
+    index_skips: int = 0
+    replayed: bool = False
 
 
 def cover_tree(
     tree: SubjectTree,
-    patterns_by_root: Dict[Tuple[object, object], List[Pattern]],
+    patterns_by_root: "PatternIndex | Dict[Tuple[object, object], List[Pattern]]",
     prim_weight: Dict[Prim, float],
     types: Optional[Dict[str, object]] = None,
+    prefilter: bool = True,
 ) -> CoverResult:
     """Cover ``tree`` with minimum total weighted area.
 
-    ``patterns_by_root`` indexes patterns by their root ``(op, ty)``;
+    ``patterns_by_root`` is a :class:`~repro.tdl.pattern.PatternIndex`
+    (fingerprint prefilter applied unless ``prefilter`` is off) or, for
+    compatibility, a plain dict indexing patterns by root ``(op, ty)``;
     ``prim_weight`` scales each primitive's area into a common cost
     unit (see ``Selector.dsp_weight``).
     """
     best: Dict[int, Tuple[float, Match]] = {}
     dp_hits = 0
     matches_tried = 0
+    index_skips = 0
+    indexed = isinstance(patterns_by_root, PatternIndex)
 
     def cost_of(node: SubjectNode) -> float:
-        nonlocal dp_hits, matches_tried
+        nonlocal dp_hits, matches_tried, index_skips
         key = id(node)
         cached = best.get(key)
         if cached is not None:
             dp_hits += 1
             return cached[0]
         node_best: Optional[Tuple[float, Match]] = None
-        candidates = patterns_by_root.get(
-            (node.instr.op, node.instr.ty), []
-        )
+        if indexed:
+            candidates, skipped = patterns_by_root.candidates(
+                node, prefilter=prefilter
+            )
+            index_skips += skipped
+        else:
+            candidates = patterns_by_root.get(
+                (node.instr.op, node.instr.ty), []
+            )
         for pattern in candidates:
             matches_tried += 1
             match = match_at(pattern, node, types)
@@ -238,4 +255,70 @@ def cover_tree(
         dp_hits=dp_hits,
         matches_tried=matches_tried,
         match_costs=ordered_costs,
+        index_skips=index_skips,
+    )
+
+
+def _correspond(
+    template: SubjectNode,
+    node: SubjectNode,
+    rename: Dict[str, str],
+    nodes: Dict[str, SubjectNode],
+) -> None:
+    """Map every name of ``template`` to its counterpart in ``node``.
+
+    The two trees must be structurally equal (same digest); the walk
+    fills ``rename`` (template variable name -> instance name, for
+    node dsts and leaves alike) and ``nodes`` (template node dst ->
+    instance node).
+    """
+    rename[template.dst] = node.dst
+    nodes[template.dst] = node
+    for t_child, n_child in zip(template.children, node.children):
+        if isinstance(t_child, SubjectNode):
+            assert isinstance(n_child, SubjectNode), "digest collision"
+            _correspond(t_child, n_child, rename, nodes)
+        else:
+            assert isinstance(n_child, str), "digest collision"
+            rename[t_child] = n_child
+
+
+def replay_cover(cover: CoverResult, tree: SubjectTree) -> CoverResult:
+    """Rebind a memoized cover onto a digest-equal tree instance.
+
+    ``cover`` was computed by :func:`cover_tree` on a template tree
+    structurally equal to ``tree`` (same :func:`repro.ir.dfg.
+    tree_digest`).  The replay walks both trees in parallel to build
+    the name correspondence, then rebinds every chosen match — node,
+    bindings, captured instructions, subtrees — onto the instance's
+    concrete operands.  Because the matches, their order, and their
+    costs are copied verbatim from the template's DP solution, the
+    replay inherits its tie-breaking exactly: emitted assembly is
+    byte-identical to covering the instance from scratch.
+    """
+    rename: Dict[str, str] = {}
+    nodes: Dict[str, SubjectNode] = {}
+    _correspond(cover.tree.root, tree.root, rename, nodes)
+    matches = [
+        Match(
+            pattern=match.pattern,
+            node=nodes[match.node.dst],
+            bindings={
+                name: rename[bound] for name, bound in match.bindings.items()
+            },
+            captured=tuple(
+                nodes[instr.dst].instr for instr in match.captured
+            ),
+            subtrees=tuple(
+                nodes[subtree.dst] for subtree in match.subtrees
+            ),
+        )
+        for match in cover.matches
+    ]
+    return CoverResult(
+        tree=tree,
+        matches=matches,
+        cost=cover.cost,
+        match_costs=list(cover.match_costs),
+        replayed=True,
     )

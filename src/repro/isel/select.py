@@ -4,24 +4,37 @@
 any number of functions against it.  The emitted assembly program has
 unknown locations (coordinate wildcards) which the layout optimizer
 and the placer resolve later (Figure 7, stages c-e).
+
+Cold selection scales with the number of *distinct* tree shapes, not
+tree instances: every subject tree is hash-consed to a structural
+digest (:func:`repro.ir.dfg.tree_digest`), the tree-covering DP runs
+once per distinct digest, and every further instance replays the
+memoized cover against its concrete operand names
+(:func:`repro.isel.cover.replay_cover`).  Replay preserves the DP's
+tie-breaking bit for bit, so emitted assembly is byte-identical to
+covering every tree from scratch — ``memo=False`` keeps the naive
+path for differential testing.  With ``jobs > 1`` the distinct trees
+fan out over a shared thread pool in deterministic order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
 from repro.asm.coords import Loc, WILDCARD
 from repro.ir.ast import Func, WireInstr
+from repro.ir.dfg import HashConser, tree_digest
 from repro.ir.typecheck import typecheck_func
 from repro.ir.wellformed import check_well_formed
-from repro.isel.cover import CoverResult, cover_tree
-from repro.isel.partition import partition
+from repro.isel.cover import CoverResult, cover_tree, replay_cover
+from repro.isel.partition import SubjectTree, partition
 from repro.obs import NULL_TRACER
 from repro.prims import Prim
 from repro.tdl.ast import Target
-from repro.tdl.pattern import Pattern, build_pattern
+from repro.tdl.pattern import PatternIndex
 
 # With area measured in primitive units (LUTs for lut defs, slices for
 # dsp defs), this weight makes one DSP slice cost as much as 16 LUTs.
@@ -33,24 +46,39 @@ DEFAULT_DSP_WEIGHT = 16.0
 
 @dataclass
 class Selector:
-    """Reusable instruction selector for one target."""
+    """Reusable instruction selector for one target.
+
+    ``memo`` enables the cross-tree cover memo (on by default; output
+    is byte-identical either way).  ``jobs > 1`` covers distinct trees
+    on a lazily built thread pool shared across compiles — results
+    are collected in submission order, so selection stays
+    deterministic.  Both the index and the pool are safe under
+    concurrent ``compile_prog`` workers: the index is read-only after
+    construction and executors are thread-safe.
+    """
 
     target: Target
     dsp_weight: float = DEFAULT_DSP_WEIGHT
-    _index: Dict[Tuple[object, object], List[Pattern]] = field(
-        default_factory=dict, repr=False
-    )
+    memo: bool = True
+    jobs: int = 1
+    _index: PatternIndex = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        for asm_def in self.target:
-            pattern = build_pattern(asm_def)
-            root = asm_def.root()
-            key = (root.op, root.ty)
-            self._index.setdefault(key, []).append(pattern)
-        # Prefer larger patterns on cost ties so fused instructions win
-        # deterministically.
-        for patterns in self._index.values():
-            patterns.sort(key=lambda p: -p.size)
+        self._index = PatternIndex.from_target(self.target)
+
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared selection thread pool (lazily built, reused)."""
+        if self.jobs <= 1:
+            return None
+        pool = self.__dict__.get("_pool")
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="isel"
+            )
+            # Benign race: two threads may build two pools; the loser
+            # is dropped and garbage-collected with idle threads.
+            pool = self.__dict__.setdefault("_pool", pool)
+        return pool
 
     @property
     def prim_weight(self) -> Dict[Prim, float]:
@@ -62,14 +90,61 @@ class Selector:
             Prim.BRAM: 4 * self.dsp_weight,
         }
 
+    def _cover_batch(
+        self,
+        trees: List[SubjectTree],
+        weight: Dict[Prim, float],
+        types: Dict[str, object],
+    ) -> List[CoverResult]:
+        """Cover ``trees`` from scratch, fanning out when ``jobs > 1``.
+
+        Results come back in input order regardless of completion
+        order, and a :class:`~repro.errors.SelectionError` raised by
+        any worker propagates from its future.
+        """
+        pool = self._executor()
+        if pool is None or len(trees) <= 1:
+            return [
+                cover_tree(tree, self._index, weight, types)
+                for tree in trees
+            ]
+        futures = [
+            pool.submit(cover_tree, tree, self._index, weight, types)
+            for tree in trees
+        ]
+        return [future.result() for future in futures]
+
     def cover(self, func: Func) -> List[CoverResult]:
-        """Partition and cover ``func``; exposed for tests/diagnostics."""
+        """Partition and cover ``func``; exposed for tests/diagnostics.
+
+        With the memo enabled, trees are grouped by structural digest,
+        one representative per group runs the DP, and the remaining
+        instances are replayed covers (``CoverResult.replayed``); the
+        returned list is always in partition order.
+        """
         trees = partition(func)
         weight = self.prim_weight
         types = func.defs()
-        return [
-            cover_tree(tree, self._index, weight, types) for tree in trees
-        ]
+        if not self.memo:
+            return self._cover_batch(trees, weight, types)
+
+        conser = HashConser()
+        digests = [tree_digest(tree.root, types, conser) for tree in trees]
+        representatives: Dict[str, SubjectTree] = {}
+        for tree, digest in zip(trees, digests):
+            representatives.setdefault(digest, tree)
+        unique = list(representatives.values())
+        covered = dict(
+            zip(representatives, self._cover_batch(unique, weight, types))
+        )
+        results: List[CoverResult] = []
+        for tree, digest in zip(trees, digests):
+            template = covered[digest]
+            if template.tree is tree:
+                results.append(template)
+            else:
+                results.append(replay_cover(template, tree))
+        return results
 
     def select(
         self, func: Func, tracer=NULL_TRACER, lineage=None
@@ -77,9 +152,10 @@ class Selector:
         """Lower one IR function to assembly with unknown locations.
 
         ``tracer`` (any :mod:`repro.obs` tracer) receives the
-        selection counters — trees partitioned, DP memo-table hits,
-        match attempts, covers chosen per primitive kind — and the
-        per-tree match-attempt histogram.  ``lineage`` (a
+        selection counters — trees partitioned, distinct tree shapes,
+        cover-memo replays, DP memo-table hits, match attempts,
+        index-prefilter skips, covers chosen per primitive kind — and
+        the per-tree match-attempt histogram.  ``lineage`` (a
         :class:`repro.obs.provenance.Lineage`), when given, records
         which IR instructions each emitted assembly instruction
         covers, with its match cost.
@@ -89,9 +165,19 @@ class Selector:
 
         covers = self.cover(func)
         tracer.count("isel.trees", len(covers))
+        tracer.count(
+            "isel.unique_trees",
+            sum(1 for c in covers if not c.replayed),
+        )
+        tracer.count(
+            "isel.memo_hits", sum(1 for c in covers if c.replayed)
+        )
         tracer.count("isel.dp_hits", sum(c.dp_hits for c in covers))
         tracer.count(
             "isel.matches_tried", sum(c.matches_tried for c in covers)
+        )
+        tracer.count(
+            "isel.index_skips", sum(c.index_skips for c in covers)
         )
         instrs: List[AsmOrWire] = [
             instr for instr in func.instrs if isinstance(instr, WireInstr)
@@ -140,8 +226,10 @@ def select(
     dsp_weight: float = DEFAULT_DSP_WEIGHT,
     tracer=NULL_TRACER,
     lineage=None,
+    memo: bool = True,
+    jobs: int = 1,
 ) -> AsmFunc:
     """One-shot selection of ``func`` against ``target``."""
-    return Selector(target=target, dsp_weight=dsp_weight).select(
-        func, tracer=tracer, lineage=lineage
-    )
+    return Selector(
+        target=target, dsp_weight=dsp_weight, memo=memo, jobs=jobs
+    ).select(func, tracer=tracer, lineage=lineage)

@@ -96,6 +96,8 @@ class CompileContext:
                 dsp_weight=float(
                     self.options.get("dsp_weight", DEFAULT_DSP_WEIGHT)
                 ),
+                memo=bool(self.options.get("isel_memo", True)),
+                jobs=int(self.options.get("isel_jobs", 1)),
             )
         return self.selector
 

@@ -4,12 +4,21 @@ The instruction selector matches fragments of an IR program against
 each definition's body.  A validated body is a tree (each internal
 value used once), so it converts directly into a :class:`Pattern` —
 the tree-shaped view the tree-covering algorithm consumes.
+
+:class:`PatternIndex` is the selector's view of a whole target
+library: patterns bucketed by root ``(op, ty)`` and prefiltered by a
+precomputed root *fingerprint* (arity plus the required ``(op, ty)``
+of each internal child), so the tree-covering DP only pays a full
+recursive match for patterns that can possibly succeed — the same
+root-indexing trick LLVM-style matchers use to avoid trying the whole
+library at every node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from functools import cached_property
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.ir.ast import CompInstr
 from repro.tdl.ast import AsmDef
@@ -52,6 +61,99 @@ class Pattern:
     def body_order_nodes(self) -> List[CompInstr]:
         """Body instructions in definition order (for attr capture)."""
         return [instr for instr in self.asm_def.body if isinstance(instr, CompInstr)]
+
+    @cached_property
+    def root_fingerprint(
+        self,
+    ) -> Tuple[Optional[Tuple[object, object]], ...]:
+        """Per-child matching requirement at the pattern root.
+
+        One entry per root child: ``(op, ty)`` when the child is an
+        internal pattern node (the subject child *must* be a compute
+        node with that op and type), ``None`` when it is a pattern
+        leaf (binds to anything type-compatible, checked during the
+        full match).  The tuple's length is the root arity.
+        """
+        return tuple(
+            (child.instr.op, child.instr.ty)
+            if isinstance(child, PatternNode)
+            else None
+            for child in self.root.children
+        )
+
+    def root_compatible(self, node) -> bool:
+        """Cheap prefilter: can this pattern possibly match at ``node``?
+
+        ``node`` is a subject tree node (``instr`` plus ``children``
+        of nodes or leaf names).  Checks arity and, for every internal
+        pattern child, that the subject child is a compute node of the
+        required op and type — a depth-1 fingerprint comparison, no
+        recursion and no binding work.
+        """
+        fingerprint = self.root_fingerprint
+        children = node.children
+        if len(children) != len(fingerprint):
+            return False
+        for required, child in zip(fingerprint, children):
+            if required is None:
+                continue
+            if isinstance(child, str):
+                return False
+            if child.instr.op is not required[0]:
+                return False
+            if child.instr.ty != required[1]:
+                return False
+        return True
+
+
+class PatternIndex:
+    """A target library indexed for fast candidate lookup.
+
+    Buckets patterns by root ``(op, ty)``; within a bucket, larger
+    patterns sort first so fused instructions win cost ties
+    deterministically (the tie-break the DP and the memo replay both
+    rely on).  :meth:`candidates` additionally applies each pattern's
+    root fingerprint, separating *index skips* (rejected without a
+    match attempt) from real match attempts.
+    """
+
+    def __init__(self, patterns: Iterable[Pattern]) -> None:
+        self._by_root: Dict[Tuple[object, object], List[Pattern]] = {}
+        for pattern in patterns:
+            root = pattern.root.instr
+            self._by_root.setdefault((root.op, root.ty), []).append(pattern)
+        for bucket in self._by_root.values():
+            bucket.sort(key=lambda p: -p.size)
+
+    @classmethod
+    def from_target(cls, target) -> "PatternIndex":
+        """Index every definition of a :class:`repro.tdl.ast.Target`."""
+        return cls(build_pattern(asm_def) for asm_def in target)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_root.values())
+
+    def bucket(self, op, ty) -> List[Pattern]:
+        """Every pattern rooted at ``(op, ty)``, largest first."""
+        return self._by_root.get((op, ty), [])
+
+    def candidates(
+        self, node, prefilter: bool = True
+    ) -> Tuple[List[Pattern], int]:
+        """Patterns worth matching at ``node``, plus the skip count.
+
+        Returns ``(candidates, index_skips)``: the bucket entries
+        whose root fingerprint is compatible with ``node`` (order
+        preserved, so tie-breaking is unchanged) and how many bucket
+        entries the fingerprint rejected.  With ``prefilter=False``
+        the whole bucket is returned — the naive matcher the property
+        tests compare against.
+        """
+        bucket = self._by_root.get((node.instr.op, node.instr.ty), [])
+        if not prefilter:
+            return bucket, 0
+        passing = [p for p in bucket if p.root_compatible(node)]
+        return passing, len(bucket) - len(passing)
 
 
 def build_pattern(asm_def: AsmDef) -> Pattern:

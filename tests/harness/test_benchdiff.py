@@ -116,6 +116,19 @@ class TestDiffPayloads:
         assert diff.ok
         assert diff.added == [("tensordot", 64)]
 
+    def test_added_row_detail_carries_headline_metrics(self):
+        # A fresh variant row (e.g. ``+iselmemo``) has no baseline, so
+        # its seconds and gated counters must be surfaced for the log.
+        extra = copy.deepcopy(BASE)
+        extra["rows"].append(
+            dict(BASE["rows"][0], bench="tensoradd+iselmemo")
+        )
+        diff = diff_payloads(BASE, extra)
+        detail = diff.added_detail[("tensoradd+iselmemo", 64)]
+        assert "seconds=0.01" in detail
+        assert "isel.matches_tried=416" in detail
+        assert "codegen.cells=16" in detail
+
     def test_zero_baseline_regresses_only_on_growth(self):
         old = variant(seconds=0.0)
         assert diff_payloads(old, variant(seconds=0.0)).ok
@@ -133,6 +146,19 @@ class TestRendering:
         clean = format_diff(diff_payloads(BASE, copy.deepcopy(BASE)))
         assert "OK" in clean
         assert "WORSE" not in clean
+
+    def test_format_diff_logs_added_rows_visibly(self):
+        extra = copy.deepcopy(BASE)
+        extra["rows"].append(
+            dict(BASE["rows"][0], bench="tensoradd+iselmemo")
+        )
+        text = format_diff(diff_payloads(BASE, extra))
+        assert (
+            "ADDED    tensoradd+iselmemo/64 (not in baseline, not gated)"
+            in text
+        )
+        assert "isel.matches_tried=416" in text
+        assert "1 added" in text
 
     def test_verbose_lists_every_metric(self):
         text = format_diff(

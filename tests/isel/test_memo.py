@@ -1,0 +1,224 @@
+"""Hash-consed digests, the pattern index, and cover-memo replay."""
+
+import pytest
+
+from repro.asm.printer import print_asm_func
+from repro.errors import SelectionError
+from repro.ir.dfg import HashConser, tree_digest
+from repro.ir.parser import parse_func
+from repro.isel.cover import cover_tree, replay_cover
+from repro.isel.partition import partition
+from repro.isel.select import Selector
+from repro.obs import Tracer
+from repro.tdl.pattern import PatternIndex
+from repro.tdl.ultrascale import ultrascale_target
+
+TARGET = ultrascale_target()
+
+
+def trees_of(source):
+    func = parse_func(source)
+    return partition(func), func.defs()
+
+
+def digest_of(source):
+    trees, types = trees_of(source)
+    assert len(trees) == 1
+    return tree_digest(trees[0].root, types)
+
+
+class TestTreeDigest:
+    def test_alpha_renamed_trees_collide(self):
+        a = digest_of(
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {"
+            " t0: i8 = mul(a, b); y: i8 = add(t0, c); }"
+        )
+        b = digest_of(
+            "def g(p: i8, q: i8, r: i8) -> (out: i8) {"
+            " x9: i8 = mul(p, q); out: i8 = add(x9, r); }"
+        )
+        assert a == b
+
+    def test_distinct_op_misses(self):
+        add = digest_of("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }")
+        sub = digest_of("def f(a: i8, b: i8) -> (y: i8) { y: i8 = sub(a, b); }")
+        assert add != sub
+
+    def test_distinct_type_misses(self):
+        i8 = digest_of("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }")
+        i16 = digest_of(
+            "def f(a: i16, b: i16) -> (y: i16) { y: i16 = add(a, b); }"
+        )
+        assert i8 != i16
+
+    def test_distinct_res_annotation_misses(self):
+        free = digest_of("def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }")
+        pinned = digest_of(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b) @lut; }"
+        )
+        assert free != pinned
+
+    def test_leaf_sharing_structure_misses(self):
+        # mul(a, a) can match non-linear patterns; mul(a, b) cannot —
+        # they must never share a memoized cover.
+        shared = digest_of("def f(a: i8) -> (y: i8) { y: i8 = mul(a, a); }")
+        distinct = digest_of(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        assert shared != distinct
+
+    def test_argument_order_misses(self):
+        left = digest_of(
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {"
+            " t0: i8 = mul(a, b); y: i8 = add(t0, c); }"
+        )
+        right = digest_of(
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {"
+            " t0: i8 = mul(a, b); y: i8 = add(c, t0); }"
+        )
+        assert left != right
+
+    def test_conser_interns_repeated_shapes(self):
+        source = (
+            "def f(a: i8, b: i8) -> (y0: i8, y1: i8) {"
+            " y0: i8 = add(a, b); y1: i8 = add(a, b); }"
+        )
+        trees, types = trees_of(source)
+        assert len(trees) == 2
+        conser = HashConser()
+        first = tree_digest(trees[0].root, types, conser)
+        assert conser.hits == 0
+        second = tree_digest(trees[1].root, types, conser)
+        assert first == second
+        assert conser.hits == 1
+        assert len(conser) == 1
+
+
+class TestPatternIndex:
+    def test_index_counts_every_target_pattern(self):
+        index = PatternIndex.from_target(TARGET)
+        assert len(index) == sum(1 for _ in TARGET)
+
+    def test_candidates_are_a_prefiltered_subset(self):
+        index = PatternIndex.from_target(TARGET)
+        trees, _ = trees_of(
+            "def f(a: i8, b: i8, c: i8) -> (y: i8) {"
+            " t0: i8 = mul(a, b); y: i8 = add(t0, c); }"
+        )
+        node = trees[0].root
+        bucket = index.bucket(node.instr.op, node.instr.ty)
+        passing, skipped = index.candidates(node)
+        assert skipped == len(bucket) - len(passing)
+        assert [p for p in bucket if p in passing] == passing  # order kept
+        unfiltered, none_skipped = index.candidates(node, prefilter=False)
+        assert unfiltered == bucket and none_skipped == 0
+
+    def test_cover_tree_accepts_plain_dict_index(self):
+        # Compatibility: a dict keyed by root (op, ty) still works and
+        # reports zero index skips.
+        from repro.tdl.pattern import build_pattern
+
+        index = {}
+        for asm_def in TARGET:
+            root = asm_def.root()
+            index.setdefault((root.op, root.ty), []).append(
+                build_pattern(asm_def)
+            )
+        for bucket in index.values():
+            bucket.sort(key=lambda p: -p.size)
+        trees, types = trees_of(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        selector = Selector(TARGET)
+        from_dict = cover_tree(
+            trees[0], index, selector.prim_weight, types
+        )
+        from_index = cover_tree(
+            trees[0], selector._index, selector.prim_weight, types
+        )
+        assert from_dict.index_skips == 0
+        assert from_dict.cost == from_index.cost
+        assert [m.def_name for m in from_dict.matches] == [
+            m.def_name for m in from_index.matches
+        ]
+
+
+REPLICATED = """
+def f(a: i8, b: i8, c: i8, d: i8) -> (y0: i8, y1: i8) {
+    t0: i8 = mul(a, b);
+    y0: i8 = add(t0, c);
+    t1: i8 = mul(a, d);
+    y1: i8 = add(t1, c);
+}
+"""
+
+
+class TestCoverMemo:
+    def test_replay_rebinds_names_and_costs(self):
+        func = parse_func(REPLICATED)
+        trees = partition(func)
+        types = func.defs()
+        selector = Selector(TARGET)
+        template = cover_tree(
+            trees[0], selector._index, selector.prim_weight, types
+        )
+        replayed = replay_cover(template, trees[1])
+        assert replayed.replayed
+        assert replayed.matches_tried == 0 and replayed.index_skips == 0
+        assert replayed.cost == template.cost
+        assert replayed.match_costs == template.match_costs
+        assert [m.node.dst for m in replayed.matches] == ["y1"]
+        (match,) = replayed.matches
+        assert match.arg_names() == ("a", "d", "c")
+
+    def test_memoized_cover_marks_replays(self):
+        selector = Selector(TARGET)
+        covers = selector.cover(parse_func(REPLICATED))
+        assert [c.replayed for c in covers] == [False, True]
+
+    def test_counters_expose_memo_effect(self):
+        tracer = Tracer()
+        Selector(TARGET).select(parse_func(REPLICATED), tracer=tracer)
+        assert tracer.counters["isel.trees"] == 2
+        assert tracer.counters["isel.unique_trees"] == 1
+        assert tracer.counters["isel.memo_hits"] == 1
+
+    def test_naive_selector_reports_no_memo_hits(self):
+        tracer = Tracer()
+        Selector(TARGET, memo=False).select(
+            parse_func(REPLICATED), tracer=tracer
+        )
+        assert tracer.counters["isel.memo_hits"] == 0
+        assert (
+            tracer.counters["isel.unique_trees"]
+            == tracer.counters["isel.trees"]
+        )
+
+    def test_memo_output_byte_identical_to_naive(self):
+        func = parse_func(REPLICATED)
+        naive = Selector(TARGET, memo=False).select(func)
+        memo = Selector(TARGET).select(func)
+        assert print_asm_func(memo) == print_asm_func(naive)
+        assert memo == naive
+
+    def test_parallel_jobs_match_serial_byte_for_byte(self):
+        func = parse_func(REPLICATED)
+        serial = Selector(TARGET).select(func)
+        parallel = Selector(TARGET, jobs=4).select(func)
+        assert print_asm_func(parallel) == print_asm_func(serial)
+
+    def test_selection_error_still_raised(self):
+        # An unsatisfiable @res annotation must fail loudly on every
+        # path: memoized, naive, and parallel.
+        source = (
+            "def f(c: bool, a: i8, b: i8) -> (y: i8) "
+            "{ y: i8 = mux(c, a, b) @dsp; }"
+        )
+        func = parse_func(source)
+        for selector in (
+            Selector(TARGET),
+            Selector(TARGET, memo=False),
+            Selector(TARGET, jobs=2),
+        ):
+            with pytest.raises(SelectionError):
+                selector.select(func)

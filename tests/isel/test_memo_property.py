@@ -1,0 +1,109 @@
+"""Property tests: memoized selection is a pure optimization.
+
+For random well-typed programs, the indexed + memoized (and parallel)
+selector must produce byte-identical assembly and identical per-tree
+costs to the naive matcher, and the structural digest must be
+invariant under α-renaming while separating distinct tree shapes.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm.printer import print_asm_func
+from repro.ir.dfg import tree_digest
+from repro.isel.partition import partition
+from repro.isel.select import Selector
+from repro.tdl.ultrascale import ultrascale_target
+from tests.strategies import funcs
+
+TARGET = ultrascale_target()
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def alpha_rename(func, prefix="r_"):
+    """``func`` with every value name replaced by a fresh one."""
+    names = [port.name for port in func.inputs]
+    names += [instr.dst for instr in func.instrs]
+    mapping = {name: f"{prefix}{i}" for i, name in enumerate(names)}
+    return replace(
+        func,
+        inputs=tuple(
+            replace(p, name=mapping[p.name]) for p in func.inputs
+        ),
+        outputs=tuple(
+            replace(p, name=mapping[p.name]) for p in func.outputs
+        ),
+        instrs=tuple(
+            replace(
+                instr,
+                dst=mapping[instr.dst],
+                args=tuple(mapping[arg] for arg in instr.args),
+            )
+            for instr in func.instrs
+        ),
+    )
+
+
+def tree_digests(func):
+    types = func.defs()
+    return [tree_digest(tree.root, types) for tree in partition(func)]
+
+
+class TestMemoEquivalence:
+    @SLOW
+    @given(st.data())
+    def test_memo_matches_naive_asm_and_costs(self, data):
+        func = data.draw(funcs())
+        naive = Selector(TARGET, memo=False)
+        memo = Selector(TARGET)
+        assert print_asm_func(memo.select(func)) == print_asm_func(
+            naive.select(func)
+        )
+        naive_covers = naive.cover(func)
+        memo_covers = memo.cover(func)
+        assert [c.cost for c in memo_covers] == [
+            c.cost for c in naive_covers
+        ]
+        assert [c.match_costs for c in memo_covers] == [
+            c.match_costs for c in naive_covers
+        ]
+
+    @SLOW
+    @given(st.data())
+    def test_parallel_jobs_match_serial(self, data):
+        func = data.draw(funcs())
+        serial = Selector(TARGET).select(func)
+        parallel = Selector(TARGET, jobs=3).select(func)
+        assert print_asm_func(parallel) == print_asm_func(serial)
+
+
+class TestDigestProperties:
+    @SLOW
+    @given(st.data())
+    def test_alpha_renaming_preserves_digests(self, data):
+        func = data.draw(funcs())
+        assert tree_digests(alpha_rename(func)) == tree_digests(func)
+
+    @SLOW
+    @given(st.data())
+    def test_distinct_shapes_get_distinct_digests(self, data):
+        # Within one function, trees the naive DP covers differently
+        # (different costs) must never share a digest.
+        func = data.draw(funcs())
+        covers = Selector(TARGET, memo=False).cover(func)
+        by_digest = {}
+        types = func.defs()
+        for cover in covers:
+            digest = tree_digest(cover.tree.root, types)
+            if digest in by_digest:
+                previous = by_digest[digest]
+                assert previous.cost == cover.cost
+                assert previous.match_costs == cover.match_costs
+            else:
+                by_digest[digest] = cover
