@@ -31,6 +31,7 @@ from repro.compiler import (
     compile_func,
 )
 from repro.errors import (
+    CacheKeyError,
     CodegenError,
     InterpError,
     LayoutError,
@@ -87,6 +88,7 @@ __all__ = [
     "InterpError",
     "TargetError",
     "SelectionError",
+    "CacheKeyError",
     "LayoutError",
     "PlacementError",
     "CodegenError",

@@ -14,7 +14,9 @@ Subcommands mirror the toolchain stages::
     reticle tdl                        # dump the UltraScale target
     reticle passes                     # list pipeline passes/presets
     reticle report   prog.ret          # compile report with provenance
+    reticle serve    --port 8752 --cache-dir .ret-cache --cache-budget 256M
     reticle bench fig13 tensoradd      # regenerate a figure's rows
+    reticle bench service --json BENCH_service.json
     reticle bench diff OLD.json NEW.json --max-regress 25
 
 Programs are read in the textual IR format (see README); traces are
@@ -49,8 +51,7 @@ from repro.isel.select import select
 from repro.obs import Tracer, format_profile, write_chrome_trace
 from repro.layout.cascade import apply_cascading
 from repro.passes import PASS_REGISTRY, PIPELINE_PRESETS
-from repro.tdl.ecp5 import ecp5_target
-from repro.tdl.ultrascale import ultrascale_target, ultrascale_tdl_text
+from repro.tdl.ultrascale import ultrascale_tdl_text
 
 
 def _read_prog(path: str):
@@ -75,11 +76,9 @@ def _read_func(path: str, name: Optional[str] = None):
 
 
 def _resolve_target(name: str):
-    from repro.place.device import lfe5u85, xczu3eg
+    from repro.compiler import resolve_target
 
-    if name == "ecp5":
-        return ecp5_target(), lfe5u85()
-    return ultrascale_target(), xczu3eg()
+    return resolve_target(name)
 
 
 def _write_output(text: str, path: Optional[str]) -> None:
@@ -287,6 +286,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_main
+
+    return serve_main(args)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.figure == "diff":
         from repro.harness.benchdiff import diff_files, format_diff
@@ -309,6 +314,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.json:
             write_bench_pipeline(args.json, rows)
         print(format_table(pipeline_table_rows(rows)))
+        return 0
+    if args.figure == "service":
+        from repro.harness.loadgen import (
+            service_rows,
+            service_table_rows,
+            write_bench_service,
+        )
+
+        rows = service_rows(
+            concurrency=args.concurrency, repeats=args.repeats
+        )
+        if args.json:
+            write_bench_service(args.json, rows)
+        print(format_table(service_table_rows(rows)))
         return 0
     if args.figure == "fig4":
         rows = fig4_rows()
@@ -507,11 +526,65 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--max-instrs", type=int, default=12)
 
+    serve = add(
+        "serve", _cmd_serve, "run the long-lived compile daemon"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; daemon is a local "
+        "service, not an internet-facing one)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--unix",
+        metavar="PATH",
+        help="serve on a unix-domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="compile worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission window: max outstanding compile items before "
+        "batches are rejected with 503 (default 64)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="shared content-addressed cache directory (the "
+        "cross-process tier; stale *.tmp litter is swept at startup)",
+    )
+    serve.add_argument(
+        "--cache-budget",
+        metavar="SIZE",
+        help="disk-cache size budget, e.g. 256M or 2G; least-recently-"
+        "used entries are evicted to stay under it",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="FILE",
+        help="write the bound address here once listening (lets "
+        "scripts wait for startup and discover an ephemeral port)",
+    )
+
     bench = add(
         "bench", _cmd_bench, "regenerate a figure's data rows, or diff runs"
     )
     bench.add_argument(
-        "figure", choices=["fig4", "fig13", "pipeline", "diff"]
+        "figure", choices=["fig4", "fig13", "pipeline", "service", "diff"]
     )
     bench.add_argument(
         "benchmark",
@@ -526,8 +599,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json",
         metavar="FILE",
-        help="(pipeline) also write the rows as JSON, e.g. "
-        "BENCH_pipeline.json",
+        help="(pipeline/service) also write the rows as JSON, e.g. "
+        "BENCH_pipeline.json / BENCH_service.json",
+    )
+    bench.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="(service) loadgen client threads per workload (default 4)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=8,
+        metavar="N",
+        help="(service) warm-pass replays of each workload (default 8)",
     )
     bench.add_argument(
         "--max-regress",

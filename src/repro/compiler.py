@@ -61,6 +61,28 @@ from repro.place.solver import PortfolioSpec, resolve_portfolio
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import ultrascale_target
 
+def resolve_target(name: str) -> "tuple[Target, Device]":
+    """The (target, device) pair for a registered target name.
+
+    The single authority used by the CLI and the compile daemon, so a
+    request served by ``reticle serve`` builds exactly the compiler
+    ``reticle compile --target NAME`` would — a prerequisite for the
+    shared cache tier (same key recipe) and for byte-identical output
+    across the two front ends.
+    """
+    from repro.place.device import lfe5u85
+
+    if name == "ecp5":
+        from repro.tdl.ecp5 import ecp5_target
+
+        return ecp5_target(), lfe5u85()
+    if name == "ultrascale":
+        return ultrascale_target(), xczu3eg()
+    raise ReticleError(
+        f"unknown target {name!r} (expected 'ultrascale' or 'ecp5')"
+    )
+
+
 #: The pipeline stages of one compile, in execution order.  The
 #: optional front-end stages only appear when their flag is set.
 PIPELINE_STAGES = (

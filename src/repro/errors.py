@@ -55,6 +55,16 @@ class SelectionError(ReticleError):
     """Raised when instruction selection cannot cover a program."""
 
 
+class CacheKeyError(ReticleError):
+    """Raised when compile inputs cannot form a stable cache key.
+
+    A cache key must be a pure function of the compile inputs; an
+    option value that only ``repr``s (embedding ``id()``s or memory
+    addresses) would hash differently in every process and poison a
+    shared cache directory, so it is rejected up front.
+    """
+
+
 class LayoutError(ReticleError):
     """Raised by layout optimization passes."""
 

@@ -1,0 +1,420 @@
+"""Load generator for the compile daemon, and BENCH_service.json.
+
+:func:`run_loadgen` replays a workload of IR programs against a
+running daemon at a configurable concurrency: N client threads, each
+holding one keep-alive HTTP connection, issuing single-item
+``POST /compile`` requests round-robin over the workload.  Per-request
+latency lands in the existing :class:`~repro.obs.Histogram` machinery
+(a ``loadgen.latency_s`` histogram on a private tracer), so the report
+carries the same nearest-rank p50/p95 the rest of the repo uses.
+
+:func:`service_rows` is the data behind ``BENCH_service.json``: it
+boots an in-process daemon on a fresh cache directory, replays each
+bench workload cold (misses, fills the shared tier) and warm (hits),
+measures the process-per-compile baseline (one ``python -m repro
+compile`` subprocess per program — what every compile cost before the
+daemon existed), and emits one row per workload in the same shape
+``reticle bench diff`` already gates: ``seconds`` (cold wall),
+``cache_speedup`` (cold vs warm per-request), and counters.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReticleError
+from repro.ir.printer import print_func
+from repro.obs import Tracer, summarize
+
+#: The bench workloads the service trajectory replays: small enough to
+#: keep the bench quick, varied enough to cover DSP (tensoradd) and
+#: LUT-only (fsm) pipelines.
+SERVICE_WORKLOADS: Dict[str, Sequence[Tuple[str, int]]] = {
+    "mixed": (("tensoradd", 64), ("tensoradd", 128), ("fsm", 5)),
+    "tensoradd": (("tensoradd", 64), ("tensoradd", 128)),
+}
+
+#: Default concurrency for the service bench rows and the CI smoke.
+SERVICE_CONCURRENCY = 4
+
+
+def workload_programs(
+    spec: Sequence[Tuple[str, int]]
+) -> List[Tuple[str, str]]:
+    """(name, IR text) for each (bench, size) of a workload spec."""
+    from repro.harness.experiments import _benchmark_funcs
+
+    programs: List[Tuple[str, str]] = []
+    for bench, size in spec:
+        func = _benchmark_funcs(bench, size)["reticle"]
+        programs.append((f"{bench}-{size}", print_func(func)))
+    return programs
+
+
+@dataclass
+class LoadgenReport:
+    """The outcome of one loadgen run against one daemon."""
+
+    requests: int = 0
+    errors: int = 0
+    rejected: int = 0
+    warm_hits: int = 0
+    wall_seconds: float = 0.0
+    #: program name -> the one Verilog text every response agreed on
+    verilog: Dict[str, str] = field(default_factory=dict)
+    #: latency summary: count/min/max/p50/p95 (seconds)
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        done = self.requests - self.rejected - self.errors
+        return done / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "warm_hits": self.warm_hits,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency": self.latency,
+        }
+
+
+def _url_host_port(base_url: str) -> Tuple[str, int]:
+    if not base_url.startswith("http://"):
+        raise ReticleError(
+            f"loadgen needs an http:// URL, got {base_url!r}"
+        )
+    hostport = base_url[len("http://") :].rstrip("/")
+    host, _, port = hostport.partition(":")
+    return host, int(port or "80")
+
+
+def post_compile(
+    base_url: str,
+    items: Sequence[Dict[str, object]],
+    timeout: float = 120.0,
+) -> Tuple[int, Dict[str, object]]:
+    """One ``POST /compile`` batch; returns (status, decoded body)."""
+    host, port = _url_host_port(base_url)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps({"requests": list(items)})
+        connection.request(
+            "POST",
+            "/compile",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return response.status, payload
+    finally:
+        connection.close()
+
+
+def get_json(
+    base_url: str, path: str, timeout: float = 30.0
+) -> Tuple[int, Dict[str, object]]:
+    """One GET of a daemon endpoint; returns (status, decoded body)."""
+    host, port = _url_host_port(base_url)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def run_loadgen(
+    base_url: str,
+    programs: Sequence[Tuple[str, str]],
+    concurrency: int = SERVICE_CONCURRENCY,
+    repeats: int = 1,
+    target: str = "ultrascale",
+    tracer: Optional[Tracer] = None,
+) -> LoadgenReport:
+    """Replay ``programs`` (name, IR text) against a daemon.
+
+    Issues ``len(programs) * repeats`` single-item compile requests
+    from ``concurrency`` threads, each holding one keep-alive
+    connection.  Every program's Verilog must come back identical on
+    every repeat — a mismatch (a torn cache entry, a key collision)
+    raises, because a load generator that shrugs at wrong answers is
+    measuring the wrong thing.
+    """
+    if not programs:
+        raise ReticleError("loadgen needs at least one program")
+    tracer = tracer if tracer is not None else Tracer()
+    host, port = _url_host_port(base_url)
+    jobs: List[Tuple[str, str]] = [
+        programs[i % len(programs)]
+        for i in range(len(programs) * repeats)
+    ]
+    report = LoadgenReport()
+    mismatches: List[str] = []
+
+    def worker(worker_index: int) -> Tuple[int, int, int, int, Dict[str, str]]:
+        connection = http.client.HTTPConnection(host, port, timeout=120.0)
+        sent = errors = rejected = warm = 0
+        seen: Dict[str, str] = {}
+        try:
+            for job_index in range(worker_index, len(jobs), concurrency):
+                name, program = jobs[job_index]
+                body = json.dumps(
+                    {
+                        "requests": [
+                            {"program": program, "target": target}
+                        ]
+                    }
+                )
+                start = time.perf_counter()
+                try:
+                    connection.request(
+                        "POST",
+                        "/compile",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                except (OSError, ValueError):
+                    # Reconnect once; keep-alive sockets can die idle.
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=120.0
+                    )
+                    connection.request(
+                        "POST",
+                        "/compile",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                tracer.observe(
+                    "loadgen.latency_s", time.perf_counter() - start
+                )
+                sent += 1
+                if response.status == 503:
+                    rejected += 1
+                    continue
+                result = (payload.get("results") or [{}])[0]
+                if response.status != 200 or not result.get("ok"):
+                    errors += 1
+                    continue
+                if result.get("cached"):
+                    warm += 1
+                verilog = result.get("verilog", "")
+                if name in seen:
+                    if seen[name] != verilog:
+                        mismatches.append(name)
+                else:
+                    seen[name] = verilog
+        finally:
+            connection.close()
+        return sent, errors, rejected, warm, seen
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        outcomes = list(pool.map(worker, range(concurrency)))
+    report.wall_seconds = time.perf_counter() - start
+
+    for sent, errors, rejected, warm, seen in outcomes:
+        report.requests += sent
+        report.errors += errors
+        report.rejected += rejected
+        report.warm_hits += warm
+        for name, verilog in seen.items():
+            if name in report.verilog:
+                if report.verilog[name] != verilog:
+                    mismatches.append(name)
+            else:
+                report.verilog[name] = verilog
+    if mismatches:
+        raise ReticleError(
+            "loadgen observed non-identical Verilog for: "
+            + ", ".join(sorted(set(mismatches)))
+        )
+    report.latency = summarize(
+        tracer.histograms.get("loadgen.latency_s", [])
+    )
+    return report
+
+
+def process_per_compile_seconds(
+    program_text: str, runs: int = 2, target: str = "ultrascale"
+) -> float:
+    """Seconds per compile of the pre-daemon model: one process each.
+
+    Spawns ``python -m repro compile`` on the program ``runs`` times
+    and returns the *fastest* run — the most favourable baseline the
+    old model can claim (warm OS page cache, no import noise), which
+    makes the daemon's speedup figure conservative.
+    """
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    best = float("inf")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "prog.ret")
+        with open(path, "w") as handle:
+            handle.write(program_text)
+        out = os.path.join(tmp, "out.v")
+        for _ in range(runs):
+            start = time.perf_counter()
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "compile",
+                    path,
+                    "--target",
+                    target,
+                    "-o",
+                    out,
+                ],
+                check=True,
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def service_rows(
+    workloads: Optional[Dict[str, Sequence[Tuple[str, int]]]] = None,
+    concurrency: int = SERVICE_CONCURRENCY,
+    repeats: int = 8,
+    workers: int = SERVICE_CONCURRENCY,
+    baseline_runs: int = 2,
+) -> List[dict]:
+    """One BENCH_service.json row per workload.
+
+    Each row records the cold replay (every program a miss, filling
+    the shared disk tier), the warm replay (``repeats`` passes of
+    hits at ``concurrency``), the per-request cold/warm
+    ``cache_speedup`` the bench gate already understands, daemon-side
+    counters, and the process-per-compile baseline with the daemon's
+    ``warm_speedup_vs_process`` headline.
+    """
+    from repro.passes import CompileCache
+    from repro.serve import CompileService, DaemonThread, ReticleDaemon
+
+    workloads = workloads if workloads is not None else SERVICE_WORKLOADS
+    rows: List[dict] = []
+    for workload_name, spec in workloads.items():
+        programs = workload_programs(spec)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            service = CompileService(
+                cache=CompileCache(cache_dir=cache_dir)
+            )
+            daemon = ReticleDaemon(
+                service=service,
+                workers=workers,
+                queue_limit=max(64, concurrency * 4),
+            )
+            with DaemonThread(daemon) as handle:
+                cold = run_loadgen(
+                    handle.base_url,
+                    programs,
+                    concurrency=concurrency,
+                    repeats=1,
+                )
+                warm = run_loadgen(
+                    handle.base_url,
+                    programs,
+                    concurrency=concurrency,
+                    repeats=repeats,
+                )
+                stats = service.stats()
+        if cold.errors or warm.errors:
+            raise ReticleError(
+                f"service bench workload {workload_name!r} had errors"
+            )
+        if warm.warm_hits < warm.requests:
+            raise ReticleError(
+                f"service bench workload {workload_name!r}: "
+                f"{warm.requests - warm.warm_hits} warm-pass requests "
+                "missed the cache"
+            )
+        baseline_s = process_per_compile_seconds(
+            programs[0][1], runs=baseline_runs
+        )
+        cold_per_request = cold.wall_seconds / max(cold.requests, 1)
+        warm_per_request = warm.wall_seconds / max(warm.requests, 1)
+        warm_rps = warm.throughput_rps
+        rows.append(
+            {
+                "bench": f"service-{workload_name}",
+                "size": concurrency,
+                # cold wall-clock is the row's gated "seconds"
+                "seconds": round(cold.wall_seconds, 6),
+                "warm_seconds": round(warm.wall_seconds, 6),
+                "cache_speedup": round(
+                    cold_per_request / max(warm_per_request, 1e-9), 1
+                ),
+                "requests": warm.requests,
+                "throughput_rps": round(warm_rps, 2),
+                "p50_ms": round(warm.latency["p50"] * 1000, 3),
+                "p95_ms": round(warm.latency["p95"] * 1000, 3),
+                "baseline_process_s": round(baseline_s, 6),
+                "warm_speedup_vs_process": round(
+                    baseline_s / max(warm_per_request, 1e-9), 1
+                ),
+                "counters": stats["counters"],
+                "gauges": stats["gauges"],
+            }
+        )
+    return rows
+
+
+def service_table_rows(rows: Sequence[dict]) -> List[dict]:
+    """Flatten service rows for :func:`~.experiments.format_table`."""
+    flat: List[dict] = []
+    for row in rows:
+        flat.append(
+            {
+                "bench": row["bench"],
+                "concurrency": row["size"],
+                "cold_s": row["seconds"],
+                "warm_s": row["warm_seconds"],
+                "rps": row["throughput_rps"],
+                "p50_ms": row["p50_ms"],
+                "p95_ms": row["p95_ms"],
+                "proc_s": row["baseline_process_s"],
+                "speedup": row["warm_speedup_vs_process"],
+            }
+        )
+    return flat
+
+
+def write_bench_service(
+    path: str, rows: Optional[Sequence[dict]] = None
+) -> dict:
+    """Write the service trajectory to ``path`` (JSON); returns it."""
+    payload = {
+        "figure": "service",
+        "device": "xczu3eg",
+        "rows": list(rows) if rows is not None else service_rows(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

@@ -48,7 +48,7 @@ from repro.obs.export import (
     format_profile,
     write_chrome_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, percentile
+from repro.obs.metrics import Counter, Gauge, Histogram, percentile, summarize
 from repro.obs.provenance import Lineage, LineageRow, MatchRecord
 from repro.obs.report import CompileReport, build_report, format_report
 from repro.obs.tracer import (
@@ -69,6 +69,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "percentile",
+    "summarize",
     "Event",
     "EventLog",
     "Severity",

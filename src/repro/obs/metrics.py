@@ -37,6 +37,22 @@ def percentile(values: Sequence[float], p: float) -> float:
     return ordered[rank - 1]
 
 
+def summarize(values: Sequence[float]) -> dict:
+    """count/min/max/p50/p95 of one histogram's samples.
+
+    The uniform shape used wherever a latency distribution crosses a
+    serialization boundary (the compile daemon's ``/stats`` endpoint,
+    the loadgen report, ``BENCH_service.json`` rows).
+    """
+    return {
+        "count": len(values),
+        "min": min(values) if values else 0.0,
+        "max": max(values) if values else 0.0,
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+    }
+
+
 class Counter:
     """A monotonically increasing integer metric."""
 
@@ -93,3 +109,7 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         return percentile(self.values, p)
+
+    def summary(self) -> dict:
+        """count/min/max/p50/p95 of the samples (see :func:`summarize`)."""
+        return summarize(self.values)

@@ -15,13 +15,35 @@ salted ``hash()``, no ids):
   or changing an op changes the key;
 * the target and device *names* (``ultrascale``/``xczu3eg``, ...);
 * the pipeline's pass names in execution order;
-* the options dict, JSON-serialized with sorted keys.
+* the options dict, JSON-serialized with sorted keys — and *strictly*
+  serialized: a non-JSON-serializable option value raises
+  :class:`~repro.errors.CacheKeyError` instead of being silently
+  stringified (a ``repr`` embedding ``id()`` would make keys unstable
+  across processes and poison a shared disk tier).
+
+The disk layer is designed for many processes sharing one
+``cache_dir`` (the compile daemon's shared tier):
+
+* entries are written atomically (temp file + fsync + rename), so a
+  reader never observes a torn entry;
+* a corrupt entry is *quarantined* — renamed to ``<key>.bad`` and
+  counted as ``cache.corrupt`` — so repeated lookups of the same key
+  stay a cheap ``os.path.exists`` miss instead of re-unpickling
+  garbage on every ``get``;
+* with ``max_disk_bytes`` set, the disk tier is evicted
+  least-recently-used (hit recency is tracked via file mtime) under a
+  per-directory ``flock`` so concurrent evictors never race; evictions
+  surface as ``cache.evictions`` and the post-eviction footprint as
+  the ``cache.disk_bytes`` gauge;
+* :meth:`CompileCache.sweep` reclaims stale ``*.tmp`` litter left by
+  crashed writers (the daemon runs it at startup).
 
 Hits and misses are reported through the caller's tracer as
 ``cache.*`` counters (``cache.hits``, ``cache.misses``,
-``cache.memory_hits``, ``cache.disk_hits``, ``cache.stores``), so they
-surface in ``--profile`` and ``reticle bench pipeline`` next to the
-stage timings.
+``cache.memory_hits``, ``cache.disk_hits``, ``cache.stores``,
+``cache.corrupt``, ``cache.evictions``), so they surface in
+``--profile``, ``reticle bench pipeline``, and the daemon's
+``/stats`` endpoint next to the stage timings.
 """
 
 from __future__ import annotations
@@ -32,17 +54,47 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.errors import CacheKeyError
 from repro.ir.printer import print_func
 from repro.obs import NULL_TRACER
+
+try:  # POSIX only; the lock degrades to best-effort elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.asm.ast import AsmFunc
     from repro.ir.ast import Func
     from repro.netlist.core import Netlist
+
+
+def _encode_options(options: Dict[str, object]) -> Dict[str, object]:
+    """Validate that every option value is strictly JSON-serializable.
+
+    Returns the dict unchanged on success; raises
+    :class:`CacheKeyError` naming the offending option otherwise.
+    Checking per-option (not just the whole payload) turns an opaque
+    ``TypeError: Object of type X is not JSON serializable`` into a
+    diagnosis that names the key to fix.
+    """
+    for name, value in options.items():
+        try:
+            json.dumps(value, sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise CacheKeyError(
+                f"compile option {name!r} is not JSON-serializable "
+                f"({type(value).__name__}: {value!r}); cache keys must "
+                "be pure functions of the compile inputs, so options "
+                "must hold only JSON data (str/int/float/bool/None/"
+                "list/dict)"
+            ) from error
+    return options
 
 
 def cache_key(
@@ -52,17 +104,23 @@ def cache_key(
     pipeline: Sequence[str],
     options: Optional[Dict[str, object]] = None,
 ) -> str:
-    """The SHA-256 content address of one compile's inputs."""
+    """The SHA-256 content address of one compile's inputs.
+
+    Raises :class:`~repro.errors.CacheKeyError` when an option value
+    is not JSON-serializable — silently stringifying it (the old
+    ``default=str`` behaviour) would admit ``repr``-based values whose
+    text embeds ``id()``s, making the key differ across processes and
+    poisoning any shared cache directory.
+    """
     payload = json.dumps(
         {
             "ir": print_func(func, explicit_res=True),
             "target": target_name,
             "device": device_name,
             "pipeline": list(pipeline),
-            "options": dict(options) if options else {},
+            "options": _encode_options(dict(options) if options else {}),
         },
         sort_keys=True,
-        default=str,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -86,28 +144,44 @@ class CachedCompile:
     lineage: Optional[object] = None
 
 
+#: Age (seconds) past which an orphaned ``*.tmp`` file is considered
+#: stale litter from a crashed writer.  Generous enough that a live
+#: writer mid-``pickle.dump`` is never swept out from under itself.
+STALE_TMP_SECONDS = 15 * 60
+
+
 class CompileCache:
     """Two-layer (memory + optional disk) store of compile artifacts.
 
     Thread-safe: one lock guards the LRU dict, so concurrent
     ``compile_prog`` workers can share one cache.  Disk entries are
-    pickles written atomically (temp file + rename), one file per key,
-    so concurrent processes sharing a ``cache_dir`` never observe a
-    torn entry.  A corrupt or unreadable disk entry degrades to a
-    miss, never an error.
+    pickles written atomically (temp file + fsync + rename), one file
+    per key, so concurrent processes sharing a ``cache_dir`` never
+    observe a torn entry.  A corrupt or unreadable disk entry degrades
+    to a miss — and is quarantined to ``<key>.bad`` so it is paid for
+    once, not on every lookup.
+
+    ``max_disk_bytes`` bounds the disk tier: after every store the
+    total ``*.pkl`` footprint is trimmed back under the budget by
+    deleting least-recently-used entries (mtime order; hits bump
+    mtime).  Eviction runs under a per-directory file lock so
+    concurrent processes cooperate instead of double-deleting.
     """
 
     def __init__(
         self,
         cache_dir: Optional[str] = None,
         max_memory_entries: int = 256,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         self.cache_dir = cache_dir
         self.max_memory_entries = max_memory_entries
+        self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[str, CachedCompile]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -133,7 +207,7 @@ class CompileCache:
             tracer.count("cache.hits")
             tracer.count("cache.memory_hits")
             return entry
-        entry = self._disk_get(key)
+        entry = self._disk_get(key, tracer=tracer)
         if entry is not None:
             with self._lock:
                 self.hits += 1
@@ -146,16 +220,47 @@ class CompileCache:
         tracer.count("cache.misses")
         return None
 
-    def _disk_get(self, key: str) -> Optional[CachedCompile]:
+    def _disk_get(
+        self, key: str, tracer=NULL_TRACER
+    ) -> Optional[CachedCompile]:
         path = self._disk_path(key)
         if path is None or not os.path.exists(path):
             return None
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
-        except Exception:  # noqa: BLE001 - corrupt entry degrades to miss
+        except FileNotFoundError:
+            # Evicted by a concurrent process between exists() and
+            # open(): an ordinary miss, nothing to quarantine.
             return None
-        return entry if isinstance(entry, CachedCompile) else None
+        except Exception:  # noqa: BLE001 - corrupt entry degrades to miss
+            self._quarantine(path, tracer=tracer)
+            return None
+        if not isinstance(entry, CachedCompile):
+            self._quarantine(path, tracer=tracer)
+            return None
+        # Bump recency for LRU eviction; the entry file itself is the
+        # index, so a hit is "used" when its mtime moves forward.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        return entry
+
+    def _quarantine(self, path: str, tracer=NULL_TRACER) -> None:
+        """Move a corrupt entry aside so later gets miss cheaply.
+
+        The rename is atomic, keeps the bytes around for post-mortems,
+        and — crucially — stops every subsequent ``get`` of the same
+        key from re-opening and re-unpickling the same garbage.
+        """
+        try:
+            os.replace(path, path + ".bad")
+        except OSError:
+            # Lost a race with another quarantiner/evictor, or the
+            # filesystem is read-only; either way the miss stands.
+            return
+        tracer.count("cache.corrupt")
 
     # -- store -------------------------------------------------------
 
@@ -164,7 +269,7 @@ class CompileCache:
     ) -> None:
         """Store ``entry`` in memory and (when configured) on disk."""
         self._memory_put(key, entry)
-        self._disk_put(key, entry)
+        self._disk_put(key, entry, tracer=tracer)
         tracer.count("cache.stores")
 
     def _memory_put(self, key: str, entry: CachedCompile) -> None:
@@ -174,7 +279,9 @@ class CompileCache:
             while len(self._memory) > self.max_memory_entries:
                 self._memory.popitem(last=False)
 
-    def _disk_put(self, key: str, entry: CachedCompile) -> None:
+    def _disk_put(
+        self, key: str, entry: CachedCompile, tracer=NULL_TRACER
+    ) -> None:
         path = self._disk_path(key)
         if path is None:
             return
@@ -182,12 +289,159 @@ class CompileCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                # Without the fsync, a crash after os.replace can
+                # publish a file whose *data* never reached the disk —
+                # a torn entry with a valid name, which every sharing
+                # process would then read, quarantine, and miss.
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except Exception:  # noqa: BLE001 - disk layer is best-effort
+            pass
+        finally:
+            # The tmp file is gone on the success path (renamed); on
+            # *any* failure path — including one inside the except
+            # handler of a previous version of this code — it must be
+            # unlinked here or it leaks until a sweep.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+        self._evict_disk(tracer=tracer)
+
+    # -- disk-tier maintenance --------------------------------------
+
+    def _entry_files(self) -> List[Tuple[str, float, int]]:
+        """(path, mtime, size) of every disk entry, oldest first."""
+        assert self.cache_dir is not None
+        files: List[Tuple[str, float, int]] = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return files
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # evicted concurrently
+            files.append((path, stat.st_mtime, stat.st_size))
+        files.sort(key=lambda item: item[1])
+        return files
+
+    def disk_bytes(self) -> int:
+        """The current ``*.pkl`` footprint of the disk tier."""
+        if self.cache_dir is None:
+            return 0
+        return sum(size for _, _, size in self._entry_files())
+
+    def _dir_lock(self):
+        """An exclusive advisory lock on the cache directory.
+
+        Serializes evictors and sweepers across *processes*; entry
+        reads and atomic writes never take it (they are safe without).
+        Returns an open fd to hold for the lock's lifetime, or None
+        when locking is unavailable (non-POSIX).
+        """
+        if fcntl is None or self.cache_dir is None:
+            return None
+        fd = os.open(
+            os.path.join(self.cache_dir, ".lock"),
+            os.O_CREAT | os.O_RDWR,
+            0o644,
+        )
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    def _unlock(self, fd) -> None:
+        if fd is None:
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def _evict_disk(self, tracer=NULL_TRACER) -> int:
+        """Trim the disk tier under ``max_disk_bytes`` (LRU by mtime).
+
+        Returns the number of entries evicted.  Holds the directory
+        lock so two processes finishing stores at the same moment
+        don't both walk the directory and double-delete.
+        """
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return 0
+        lock_fd = self._dir_lock()
+        evicted = 0
+        try:
+            files = self._entry_files()
+            total = sum(size for _, _, size in files)
+            for path, _, size in files:
+                if total <= self.max_disk_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+            tracer.gauge("cache.disk_bytes", float(total))
+        finally:
+            self._unlock(lock_fd)
+        if evicted:
+            with self._lock:
+                self.evictions += evicted
+            tracer.count("cache.evictions", evicted)
+        return evicted
+
+    def sweep(
+        self,
+        tracer=NULL_TRACER,
+        stale_tmp_seconds: float = STALE_TMP_SECONDS,
+        now: Optional[float] = None,
+    ) -> int:
+        """Reclaim stale ``*.tmp`` litter left by crashed writers.
+
+        A writer that dies between ``mkstemp`` and its ``finally``
+        (SIGKILL, power loss) leaks its temp file; nothing in the
+        normal read/write path ever touches those names again, so an
+        explicit sweep — run by the daemon at startup — is the only
+        reclamation point.  Only files older than
+        ``stale_tmp_seconds`` go (a live writer's fresh tmp survives).
+        Returns the number of files removed, also counted as
+        ``cache.tmp_swept``.
+        """
+        if self.cache_dir is None:
+            return 0
+        now = time.time() if now is None else now
+        lock_fd = self._dir_lock()
+        swept = 0
+        try:
+            try:
+                names = os.listdir(self.cache_dir)
+            except OSError:
+                return 0
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(self.cache_dir, name)
+                try:
+                    if now - os.stat(path).st_mtime < stale_tmp_seconds:
+                        continue
+                    os.unlink(path)
+                except OSError:
+                    continue
+                swept += 1
+        finally:
+            self._unlock(lock_fd)
+        if swept:
+            tracer.count("cache.tmp_swept", swept)
+        return swept
 
     def clear(self) -> None:
         """Drop the memory layer (disk entries are left in place)."""

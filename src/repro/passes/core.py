@@ -162,6 +162,13 @@ class PassManager:
                 with ctx.tracer.span(pipeline_pass.name) as span:
                     pipeline_pass.run(artifact, ctx)
                 ctx.stats[pipeline_pass.name] = span.seconds
+                # Also fold each pass's seconds into a per-stage
+                # histogram: a long-lived tracer (the compile daemon's)
+                # accumulates a latency *distribution* per stage across
+                # many compiles, where ctx.stats only holds this one.
+                ctx.tracer.observe(
+                    f"stage.{pipeline_pass.name}", span.seconds
+                )
         return artifact
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,46 @@
+"""Compile-as-a-service: the long-running Reticle daemon.
+
+The CLI-per-invocation model pays interpreter startup, target-library
+parsing, and pattern-index construction on *every* compile; a
+long-running service pays them once and amortizes them over millions
+of requests, with the content-addressed compile cache
+(:mod:`repro.passes.cache`) promoted to a cross-process shared tier.
+
+Two layers:
+
+* :class:`CompileService` (:mod:`repro.serve.service`) — the
+  transport-agnostic core: parses request programs, pools one
+  :class:`~repro.compiler.ReticleCompiler` per (target, options)
+  configuration, compiles on the existing pass-manager spine, and
+  accumulates service-level telemetry (request counters, per-stage
+  latency histograms, ``cache.*``) in one long-lived tracer.
+* :class:`ReticleDaemon` (:mod:`repro.serve.daemon`) — the asyncio
+  front end: a minimal HTTP/1.1 server (TCP or unix socket) exposing
+  ``POST /compile`` (batch), ``GET /healthz``, ``GET /stats``, and
+  ``POST /shutdown``, with a bounded admission window and a worker
+  thread pool.  ``reticle serve`` is its CLI entry point;
+  :class:`DaemonThread` runs it in-process for tests and the
+  load-generator harness.
+"""
+
+from repro.serve.service import (
+    CompileRequest,
+    CompileResponse,
+    CompileService,
+)
+from repro.serve.daemon import (
+    DaemonThread,
+    ReticleDaemon,
+    parse_size,
+    serve_main,
+)
+
+__all__ = [
+    "CompileRequest",
+    "CompileResponse",
+    "CompileService",
+    "ReticleDaemon",
+    "DaemonThread",
+    "parse_size",
+    "serve_main",
+]

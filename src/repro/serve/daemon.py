@@ -1,0 +1,455 @@
+"""The asyncio HTTP front end of the compile service.
+
+:class:`ReticleDaemon` binds a TCP port (or unix socket) and speaks a
+deliberately small slice of HTTP/1.1 over raw asyncio streams — no
+framework, no dependency, keep-alive supported:
+
+* ``POST /compile`` — a batch of compile requests, answered as a
+  batch of results.  The body is ``{"requests": [{...}, ...]}`` (or a
+  single bare request object); each item carries ``program`` (IR
+  text), optional ``target``, optional ``options``.
+* ``GET /healthz`` — liveness + admission-window snapshot.
+* ``GET /stats`` — the service's counters/gauges/latency summaries.
+* ``POST /shutdown`` — graceful stop (drains in-flight work).
+
+Admission control: the daemon admits at most ``queue_limit``
+*outstanding* compile items (queued + running, across all
+connections).  A batch that would overflow the window is rejected
+whole with ``503`` and a ``Retry-After`` hint, counted as
+``service.rejected`` — backpressure is explicit, not an unbounded
+queue silently growing until the process dies.
+
+Execution: admitted items run on a ``ThreadPoolExecutor`` of
+``workers`` threads (compiles are CPU-bound Python, but the pool still
+overlaps the pickling/disk/cache I/O and keeps the event loop free to
+answer health checks while compiling).  Items of one batch compile
+concurrently; the batch answers when all its items have.
+
+At startup the daemon sweeps stale ``*.tmp`` litter out of the shared
+cache directory (:meth:`CompileCache.sweep`) — the one reclamation
+point for temp files leaked by crashed writers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReticleError
+from repro.serve.service import (
+    CompileRequest,
+    CompileService,
+)
+
+#: Hard ceiling on accepted request bodies (64 MiB of IR text is far
+#: beyond any device-filling program; anything larger is a mistake or
+#: abuse and is refused before buffering).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
+def parse_size(text: str) -> int:
+    """A byte count from a human size string (``"256M"``, ``"2G"``).
+
+    Bare integers are bytes; suffixes K/M/G are binary (1024-based),
+    case-insensitive.  Raises :class:`ReticleError` on junk.
+    """
+    raw = text.strip()
+    if not raw:
+        raise ReticleError("empty size")
+    multiplier = 1
+    suffix = raw[-1].upper()
+    if suffix in ("K", "M", "G"):
+        multiplier = {"K": 1024, "M": 1024**2, "G": 1024**3}[suffix]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ReticleError(
+            f"bad size {text!r} (expected e.g. 1048576, 256M, 2G)"
+        ) from error
+    if value < 0:
+        raise ReticleError(f"size must be non-negative: {text!r}")
+    return value * multiplier
+
+
+class ReticleDaemon:
+    """One server: service core + admission window + worker pool."""
+
+    def __init__(
+        self,
+        service: Optional[CompileService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        workers: int = 4,
+        queue_limit: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ReticleError("serve needs at least one worker")
+        if queue_limit < 1:
+            raise ReticleError("queue limit must be at least 1")
+        self.service = service if service is not None else CompileService()
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="reticle-compile"
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._connections: set = set()
+
+    # -- admission ---------------------------------------------------
+
+    def _admit(self, items: int) -> bool:
+        """Reserve ``items`` slots of the admission window, or refuse."""
+        with self._inflight_lock:
+            if self._inflight + items > self.queue_limit:
+                return False
+            self._inflight += items
+            return True
+
+    def _release(self, items: int) -> None:
+        with self._inflight_lock:
+            self._inflight -= items
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    # -- HTTP plumbing ----------------------------------------------
+
+    @staticmethod
+    def _response_bytes(
+        status: int, payload: Dict[str, object], extra_headers: str = ""
+    ) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{extra_headers}"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One HTTP request off the stream, or None at clean EOF."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ReticleError("malformed HTTP request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ReticleError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # -- request handling -------------------------------------------
+
+    async def _handle_compile(self, body: bytes) -> Tuple[int, Dict]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"ok": False, "error": "body is not valid JSON"}
+        if isinstance(payload, dict) and "requests" in payload:
+            raw_items = payload["requests"]
+        else:
+            raw_items = [payload]
+        if not isinstance(raw_items, list) or not raw_items:
+            return 400, {
+                "ok": False,
+                "error": "'requests' must be a non-empty list",
+            }
+        try:
+            requests = [CompileRequest.from_dict(item) for item in raw_items]
+        except ReticleError as error:
+            self.service.tracer.count("service.bad_requests")
+            return 400, {"ok": False, "error": str(error)}
+
+        if not self._admit(len(requests)):
+            self.service.tracer.count("service.rejected", len(requests))
+            return 503, {
+                "ok": False,
+                "error": (
+                    f"admission window full "
+                    f"({self.inflight}/{self.queue_limit} in flight); "
+                    "retry later"
+                ),
+            }
+        loop = asyncio.get_running_loop()
+
+        def run_one(request: CompileRequest):
+            try:
+                return self.service.compile_request(request)
+            finally:
+                self._release(1)
+
+        self.service.tracer.count("service.batches")
+        responses = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._pool, run_one, request)
+                for request in requests
+            )
+        )
+        results = [response.to_dict() for response in responses]
+        return 200, {
+            "ok": all(result["ok"] for result in results),
+            "results": results,
+        }
+
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "inflight": self.inflight,
+            "queue_limit": self.queue_limit,
+            "workers": self.workers,
+        }
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ReticleError as error:
+                    writer.write(
+                        self._response_bytes(
+                            400, {"ok": False, "error": str(error)}
+                        )
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload, extra = 404, {"ok": False, "error": "not found"}, ""
+                if path == "/compile" and method == "POST":
+                    status, payload = await self._handle_compile(body)
+                    if status == 503:
+                        extra = "Retry-After: 1\r\n"
+                elif path == "/healthz" and method == "GET":
+                    status, payload = 200, self._healthz()
+                elif path == "/stats" and method == "GET":
+                    status, payload = 200, self.service.stats()
+                elif path == "/shutdown" and method == "POST":
+                    status, payload = 200, {"ok": True, "stopping": True}
+                elif path in ("/compile", "/shutdown", "/healthz", "/stats"):
+                    status, payload = 405, {
+                        "ok": False,
+                        "error": f"method {method} not allowed on {path}",
+                    }
+                writer.write(self._response_bytes(status, payload, extra))
+                await writer.drain()
+                if path == "/shutdown" and method == "POST" and status == 200:
+                    self.stop()
+                    break
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # Shutdown cancelled us while parked on a keep-alive read.
+            # Swallow rather than re-raise: the streams machinery calls
+            # task.exception() on this handler's task, and a propagated
+            # CancelledError would be logged as a callback error.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving (non-blocking; see :meth:`run`)."""
+        # Reclaim tmp litter from crashed writers before the first
+        # request can race a fresh writer's live tmp file.
+        self.service.cache.sweep(tracer=self.service.tracer)
+        self._stopped = asyncio.Event()
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            # With port 0 the kernel picked; publish the real one.
+            for sock in self._server.sockets:
+                if sock.family in (socket.AF_INET, socket.AF_INET6):
+                    self.port = sock.getsockname()[1]
+                    break
+
+    def stop(self) -> None:
+        """Request a graceful stop (idempotent, callable from handlers)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def run(self) -> None:
+        """Serve until :meth:`stop` (or cancellation), then drain."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            # Idle keep-alive connections sit parked in readline();
+            # cancel them so the loop closes without orphaned tasks.
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+            self._pool.shutdown(wait=True)
+
+    @property
+    def address(self) -> str:
+        """The reachable address, for humans and ready files."""
+        if self.unix_path is not None:
+            return f"unix:{self.unix_path}"
+        return f"http://{self.host}:{self.port}"
+
+
+class DaemonThread:
+    """An in-process daemon on a background thread (tests, loadgen).
+
+    Starts the asyncio loop on its own thread, waits until the socket
+    is bound, and exposes ``base_url``/``port`` plus a blocking
+    :meth:`stop`.  Usable as a context manager.
+    """
+
+    def __init__(self, daemon: Optional[ReticleDaemon] = None, **kwargs) -> None:
+        self.daemon = daemon if daemon is not None else ReticleDaemon(**kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> "DaemonThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 10.0) -> "DaemonThread":
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.daemon.start())
+                self._ready.set()
+                loop.run_until_complete(self.daemon.run())
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                self._error = error
+                self._ready.set()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="reticle-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReticleError("daemon did not come up in time")
+        if self._error is not None:
+            raise ReticleError(f"daemon failed to start: {self._error}")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    @property
+    def base_url(self) -> str:
+        return self.daemon.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self.daemon.stop)
+            except RuntimeError:
+                pass  # loop already closing
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+def serve_main(args) -> int:
+    """The ``reticle serve`` entry point (argparse namespace in)."""
+    from repro.passes import CompileCache
+    from repro.obs import Tracer
+
+    budget = (
+        parse_size(args.cache_budget) if args.cache_budget else None
+    )
+    cache = CompileCache(
+        cache_dir=args.cache_dir,
+        max_disk_bytes=budget,
+    )
+    service = CompileService(cache=cache, tracer=Tracer())
+    daemon = ReticleDaemon(
+        service=service,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+
+    async def main() -> None:
+        await daemon.start()
+        print(f"reticle serve: listening on {daemon.address}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as handle:
+                handle.write(daemon.address + "\n")
+        await daemon.run()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

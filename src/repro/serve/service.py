@@ -1,0 +1,244 @@
+"""The transport-agnostic core of the compile service.
+
+:class:`CompileService` is what the daemon's workers call: it turns
+one :class:`CompileRequest` (IR text + target + options) into one
+:class:`CompileResponse` (Verilog + telemetry), reusing the existing
+``ReticleCompiler``/pass-manager spine.  It is deliberately
+synchronous and thread-safe — concurrency lives in the daemon's
+worker pool, correctness lives here.
+
+Compiler pooling: requests name a target and an options dict; the
+service keeps one :class:`~repro.compiler.ReticleCompiler` per
+distinct (target, options) configuration, so the expensive per-config
+setup (TDL parse, pattern-index build, placement pool) is paid once
+per configuration, not once per request.  Every pooled compiler
+shares the *same* :class:`~repro.passes.CompileCache`, whose disk
+tier is the cross-process shared layer: a key compiled by any worker,
+any process, or the plain CLI is a warm hit for everyone after.
+
+The response Verilog is exactly what ``reticle compile`` prints — the
+per-function modules joined by blank lines — pinned by the
+byte-identity tests in ``benchmarks/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import ReticleCompiler, resolve_target
+from repro.errors import ReticleError
+from repro.ir.parser import parse_prog
+from repro.obs import Tracer
+from repro.passes import CompileCache
+
+#: Request options accepted by the service: exactly the
+#: ``ReticleCompiler`` configuration surface the CLI exposes.  An
+#: unknown option is a request error, not a silent default — a typo'd
+#: option that silently no-ops would return a *differently configured*
+#: compile under a cache key the client did not intend.
+ALLOWED_OPTIONS = frozenset(
+    {
+        "shrink",
+        "cascade",
+        "optimize",
+        "auto_vectorize",
+        "passes",
+        "dsp_weight",
+        "place_jobs",
+        "place_portfolio",
+        "isel_jobs",
+        "isel_memo",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One unit of service work: a program, a target, options."""
+
+    program: str
+    target: str = "ultrascale"
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CompileRequest":
+        """Build a request from one decoded JSON object.
+
+        Raises :class:`ReticleError` on a malformed payload (missing
+        program, unknown option, non-JSON-able option value) so the
+        daemon can answer 400 instead of burying the mistake.
+        """
+        if not isinstance(payload, dict):
+            raise ReticleError("compile request must be a JSON object")
+        program = payload.get("program")
+        if not isinstance(program, str) or not program.strip():
+            raise ReticleError(
+                "compile request needs a non-empty 'program' (IR text)"
+            )
+        target = payload.get("target", "ultrascale")
+        if not isinstance(target, str):
+            raise ReticleError("'target' must be a string")
+        options = payload.get("options", {}) or {}
+        if not isinstance(options, dict):
+            raise ReticleError("'options' must be an object")
+        unknown = sorted(set(options) - ALLOWED_OPTIONS)
+        if unknown:
+            raise ReticleError(
+                f"unknown compile option(s): {', '.join(unknown)} "
+                f"(allowed: {', '.join(sorted(ALLOWED_OPTIONS))})"
+            )
+        return cls(
+            program=program,
+            target=target,
+            options=tuple(sorted(options.items())),
+        )
+
+
+@dataclass
+class CompileResponse:
+    """The outcome of one request, ready to serialize."""
+
+    ok: bool
+    functions: List[str] = field(default_factory=list)
+    verilog: str = ""
+    cached: bool = False
+    seconds: float = 0.0
+    key: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        if not self.ok:
+            return {"ok": False, "error": self.error}
+        return {
+            "ok": True,
+            "functions": self.functions,
+            "verilog": self.verilog,
+            "cached": self.cached,
+            "seconds": self.seconds,
+            "key": self.key,
+        }
+
+
+class CompileService:
+    """Thread-safe compile core shared by every daemon worker.
+
+    ``cache`` is the one shared :class:`CompileCache` every pooled
+    compiler points at; with a ``cache_dir`` its disk tier is the
+    cross-process shared layer.  ``tracer`` is the service-lifetime
+    telemetry sink: request counters (``service.requests``,
+    ``service.errors``), per-request latency
+    (``service.latency_s`` histogram), per-stage latency histograms
+    (``stage.*``, recorded by the pass manager), and every compile's
+    ``cache.*`` counters, all surfaced by the daemon's ``/stats``.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[CompileCache] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else CompileCache()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._compilers: Dict[Tuple[str, str], ReticleCompiler] = {}
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+
+    # -- compiler pooling -------------------------------------------
+
+    def _config_key(self, request: CompileRequest) -> Tuple[str, str]:
+        return (
+            request.target,
+            json.dumps(
+                {name: value for name, value in request.options},
+                sort_keys=True,
+                default=str,  # display key only; never cache-key material
+            ),
+        )
+
+    def compiler_for(self, request: CompileRequest) -> ReticleCompiler:
+        """The pooled compiler for this request's configuration."""
+        key = self._config_key(request)
+        with self._lock:
+            compiler = self._compilers.get(key)
+            if compiler is not None:
+                return compiler
+        # Construct outside the lock (TDL parse + pattern index take
+        # real time); racing constructions are benign — last one in
+        # wins the pool slot, both compile correctly.
+        target, device = resolve_target(request.target)
+        compiler = ReticleCompiler(
+            target=target,
+            device=device,
+            cache=self.cache,
+            **{name: value for name, value in request.options},
+        )
+        with self._lock:
+            return self._compilers.setdefault(key, compiler)
+
+    # -- serving -----------------------------------------------------
+
+    def compile_request(self, request: CompileRequest) -> CompileResponse:
+        """Serve one request; never raises — errors become responses."""
+        start = time.perf_counter()
+        tracer = Tracer()
+        try:
+            prog = parse_prog(request.program)
+            compiler = self.compiler_for(request)
+            results = compiler.compile_prog(prog, tracer=tracer)
+            verilog = "\n\n".join(
+                result.verilog() for result in results.values()
+            )
+            response = CompileResponse(
+                ok=True,
+                functions=list(results),
+                verilog=verilog,
+                cached=all(r.cached for r in results.values()),
+                seconds=round(time.perf_counter() - start, 6),
+                key=compiler.cache_key(prog.funcs[0]) if prog.funcs else None,
+            )
+        except ReticleError as error:
+            self.tracer.count("service.errors")
+            response = CompileResponse(ok=False, error=str(error))
+        except Exception as error:  # noqa: BLE001 - daemon must not die
+            self.tracer.count("service.errors")
+            response = CompileResponse(
+                ok=False,
+                error=f"internal error: {type(error).__name__}: {error}",
+            )
+        self.tracer.merge(tracer)
+        self.tracer.count("service.requests")
+        if response.ok and response.cached:
+            self.tracer.count("service.warm_requests")
+        self.tracer.observe(
+            "service.latency_s", time.perf_counter() - start
+        )
+        return response
+
+    # -- introspection ----------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The /stats payload: counters, gauges, latency summaries."""
+        from repro.obs import summarize
+
+        histograms = self.tracer.histograms
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "counters": self.tracer.counters,
+            "gauges": self.tracer.gauges,
+            "histograms": {
+                name: summarize(values)
+                for name, values in sorted(histograms.items())
+            },
+            "cache": {
+                "memory_entries": len(self.cache),
+                "disk_bytes": self.cache.disk_bytes(),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+            },
+            "compilers": len(self._compilers),
+        }

@@ -1,0 +1,115 @@
+"""The load-generator harness: workloads, replay, report shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReticleError
+from repro.harness.loadgen import (
+    SERVICE_WORKLOADS,
+    LoadgenReport,
+    run_loadgen,
+    service_table_rows,
+    workload_programs,
+)
+from repro.ir.parser import parse_prog
+from repro.serve import DaemonThread
+
+
+class TestWorkloads:
+    def test_programs_are_parseable_ir(self):
+        for name, spec in SERVICE_WORKLOADS.items():
+            for program_name, text in workload_programs(spec):
+                prog = parse_prog(text)
+                assert len(prog) == 1, (name, program_name)
+
+    def test_names_carry_bench_and_size(self):
+        names = [
+            name
+            for name, _ in workload_programs((("fsm", 5), ("fsm", 7)))
+        ]
+        assert names == ["fsm-5", "fsm-7"]
+
+
+class TestRunLoadgen:
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        with DaemonThread(workers=2, queue_limit=32) as handle:
+            yield handle
+
+    def test_replay_reports_and_verilog(self, daemon):
+        programs = workload_programs((("fsm", 3),))
+        cold = run_loadgen(
+            daemon.base_url, programs, concurrency=2, repeats=1
+        )
+        assert cold.requests == 1
+        assert cold.errors == 0 and cold.rejected == 0
+        assert "fsm-3" in cold.verilog
+        assert "module" in cold.verilog["fsm-3"]
+
+        warm = run_loadgen(
+            daemon.base_url, programs, concurrency=2, repeats=6
+        )
+        assert warm.requests == 6
+        assert warm.warm_hits == 6
+        assert warm.verilog["fsm-3"] == cold.verilog["fsm-3"]
+        assert warm.throughput_rps > 0
+        assert warm.latency["count"] == 6
+        assert warm.latency["p50"] <= warm.latency["p95"]
+
+    def test_report_dict_shape(self, daemon):
+        programs = workload_programs((("fsm", 3),))
+        report = run_loadgen(
+            daemon.base_url, programs, concurrency=1, repeats=2
+        )
+        payload = report.to_dict()
+        assert payload["requests"] == 2
+        assert set(payload) == {
+            "requests",
+            "errors",
+            "rejected",
+            "wall_seconds",
+            "throughput_rps",
+            "latency",
+            "warm_hits",
+        }
+
+    def test_empty_workload_rejected(self, daemon):
+        with pytest.raises(ReticleError):
+            run_loadgen(daemon.base_url, [], concurrency=1)
+
+    def test_non_http_url_rejected(self):
+        with pytest.raises(ReticleError):
+            run_loadgen("unix:/tmp/x.sock", [("a", "b")])
+
+
+class TestServiceTable:
+    def test_flattens_headline_metrics(self):
+        rows = [
+            {
+                "bench": "service-mixed",
+                "size": 4,
+                "seconds": 1.0,
+                "warm_seconds": 0.2,
+                "throughput_rps": 120.0,
+                "p50_ms": 5.0,
+                "p95_ms": 9.0,
+                "baseline_process_s": 0.8,
+                "warm_speedup_vs_process": 48.0,
+            }
+        ]
+        flat = service_table_rows(rows)
+        assert flat[0]["bench"] == "service-mixed"
+        assert flat[0]["speedup"] == 48.0
+        assert flat[0]["concurrency"] == 4
+
+
+class TestThroughputProperty:
+    def test_rejected_and_errors_excluded(self):
+        report = LoadgenReport(
+            requests=10, errors=1, rejected=2, wall_seconds=2.0
+        )
+        assert report.throughput_rps == pytest.approx(3.5)
+
+    def test_zero_wall_is_zero_rps(self):
+        assert LoadgenReport().throughput_rps == 0.0

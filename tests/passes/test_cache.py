@@ -9,6 +9,7 @@ import os
 import pathlib
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -17,6 +18,7 @@ import repro
 SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
 
 from repro.compiler import ReticleCompiler
+from repro.errors import CacheKeyError
 from repro.ir.parser import parse_func
 from repro.obs import Tracer
 from repro.passes import CachedCompile, CompileCache, cache_key
@@ -180,3 +182,199 @@ class TestCacheLayers:
         second = compiler.compile(parse_func(ADD_RENAMED_INPUT))
         assert not second.cached
         assert first.verilog() != second.verilog()
+
+
+class TestKeyStrictness:
+    """Non-JSON option values must be rejected, never stringified.
+
+    The old ``json.dumps(..., default=str)`` admitted *any* value by
+    falling back to ``str()``; an object whose repr embeds ``id()``
+    (every default ``object`` repr does) then produced a key that
+    differs in every process — poisoning a shared cache directory
+    with entries nobody can ever hit, or worse, colliding by luck.
+    """
+
+    def test_object_valued_option_raises(self):
+        with pytest.raises(CacheKeyError) as excinfo:
+            key_of(TWO_STEP, options={**OPTIONS, "placer": object()})
+        # The error must name the offending option, not just fail.
+        assert "placer" in str(excinfo.value)
+        assert "object" in str(excinfo.value)
+
+    def test_set_valued_option_raises(self):
+        with pytest.raises(CacheKeyError):
+            key_of(TWO_STEP, options={**OPTIONS, "flags": {"a", "b"}})
+
+    def test_nan_option_is_allowed_but_deterministic(self):
+        # float("nan") serializes as the literal NaN token in every
+        # process — unusual, but stable, so it is not rejected.
+        assert key_of(
+            TWO_STEP, options={**OPTIONS, "w": float("nan")}
+        ) == key_of(TWO_STEP, options={**OPTIONS, "w": float("nan")})
+
+    def test_jsonable_containers_still_key(self):
+        base = key_of(TWO_STEP)
+        listy = key_of(
+            TWO_STEP, options={**OPTIONS, "portfolio": ["a", "b"]}
+        )
+        assert listy != base
+        assert listy == key_of(
+            TWO_STEP, options={**OPTIONS, "portfolio": ["a", "b"]}
+        )
+
+    def test_compiler_options_are_always_keyable(self):
+        # The facade's own options dict must never trip the strict
+        # encoder, whatever combination of knobs is set.
+        compiler = ReticleCompiler(
+            place_portfolio="throughput", place_jobs=2, isel_jobs=2
+        )
+        assert compiler.cache_key(parse_func(ADD))
+
+    def test_cache_key_error_is_a_reticle_error(self):
+        from repro.errors import ReticleError
+
+        assert issubclass(CacheKeyError, ReticleError)
+
+
+class TestDiskHygiene:
+    """Crash-safety of the disk tier: tmp litter, torn writes, corruption."""
+
+    def _entry(self, payload: bytes = b"x") -> CachedCompile:
+        return CachedCompile(
+            selected=None, cascaded=None, placed=None, netlist=payload
+        )
+
+    def test_unpicklable_entry_leaves_no_tmp_litter(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        bad = CachedCompile(
+            selected=None,
+            cascaded=None,
+            placed=None,
+            netlist=lambda: None,  # lambdas cannot pickle
+        )
+        cache.put("k" * 64, bad)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix != ""]
+        assert not [n for n in leftovers if n.endswith(".tmp")], leftovers
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_corrupt_entry_is_quarantined_once(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "deadbeef" * 8
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"not a pickle")
+        tracer = Tracer()
+        assert cache.get(key, tracer=tracer) is None
+        assert tracer.counters["cache.corrupt"] == 1
+        assert not path.exists()
+        assert (tmp_path / f"{key}.pkl.bad").exists()
+        # Every subsequent lookup is a plain cheap miss: the garbage
+        # is not re-opened, so cache.corrupt does not grow.
+        assert cache.get(key, tracer=tracer) is None
+        assert tracer.counters["cache.corrupt"] == 1
+        assert tracer.counters["cache.misses"] == 2
+
+    def test_wrong_type_pickle_is_quarantined(self, tmp_path):
+        import pickle
+
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "cafebabe" * 8
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps([1, 2, 3]))
+        tracer = Tracer()
+        assert cache.get(key, tracer=tracer) is None
+        assert tracer.counters["cache.corrupt"] == 1
+        assert (tmp_path / f"{key}.pkl.bad").exists()
+
+    def test_quarantined_entry_can_be_rewritten(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "abad1dea" * 8
+        (tmp_path / f"{key}.pkl").write_bytes(b"junk")
+        assert cache.get(key) is None
+        cache.clear()
+        cache.put(key, self._entry(b"good"))
+        cache.clear()  # force the disk path
+        entry = cache.get(key)
+        assert entry is not None and entry.netlist == b"good"
+
+    def test_sweep_removes_only_stale_tmp(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        stale = tmp_path / "old123.tmp"
+        fresh = tmp_path / "new456.tmp"
+        stale.write_bytes(b"a")
+        fresh.write_bytes(b"b")
+        now = time.time()
+        os.utime(stale, (now - 3600, now - 3600))
+        tracer = Tracer()
+        swept = cache.sweep(tracer=tracer, stale_tmp_seconds=600)
+        assert swept == 1
+        assert not stale.exists() and fresh.exists()
+        assert tracer.counters["cache.tmp_swept"] == 1
+        # Idempotent: nothing stale left, nothing counted.
+        assert cache.sweep(tracer=tracer, stale_tmp_seconds=600) == 0
+
+    def test_sweep_without_disk_layer_is_noop(self):
+        assert CompileCache().sweep() == 0
+
+
+class TestDiskBudget:
+    """LRU eviction of the disk tier under ``max_disk_bytes``."""
+
+    def _entry(self, size: int) -> CachedCompile:
+        return CachedCompile(
+            selected=None, cascaded=None, placed=None, netlist=b"z" * size
+        )
+
+    def _age(self, tmp_path, key: str, seconds_ago: float) -> None:
+        path = tmp_path / f"{key}.pkl"
+        stamp = time.time() - seconds_ago
+        os.utime(path, (stamp, stamp))
+
+    def test_store_evicts_least_recently_used(self, tmp_path):
+        cache = CompileCache(
+            cache_dir=str(tmp_path), max_disk_bytes=3000
+        )
+        tracer = Tracer()
+        cache.put("a" * 64, self._entry(1000), tracer=tracer)
+        cache.put("b" * 64, self._entry(1000), tracer=tracer)
+        # Make recency unambiguous regardless of mtime granularity.
+        self._age(tmp_path, "a" * 64, 300)
+        self._age(tmp_path, "b" * 64, 200)
+        cache.put("c" * 64, self._entry(2000), tracer=tracer)
+        assert tracer.counters["cache.evictions"] >= 1
+        assert cache.evictions >= 1
+        assert not (tmp_path / ("a" * 64 + ".pkl")).exists()
+        assert (tmp_path / ("c" * 64 + ".pkl")).exists()
+        assert cache.disk_bytes() <= 3000
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        # Budget sized so evicting exactly one 1000-byte entry (plus
+        # pickle overhead) gets back under it — the LRU choice is the
+        # observable behaviour here.
+        cache = CompileCache(
+            cache_dir=str(tmp_path), max_disk_bytes=3500
+        )
+        cache.put("a" * 64, self._entry(1000))
+        cache.put("b" * 64, self._entry(1000))
+        self._age(tmp_path, "a" * 64, 300)
+        self._age(tmp_path, "b" * 64, 200)
+        cache.clear()
+        # Touch "a" through the disk layer: it becomes most recent.
+        assert cache.get("a" * 64) is not None
+        cache.put("c" * 64, self._entry(2000))
+        assert (tmp_path / ("a" * 64 + ".pkl")).exists()
+        assert not (tmp_path / ("b" * 64 + ".pkl")).exists()
+
+    def test_disk_bytes_gauge_reported(self, tmp_path):
+        cache = CompileCache(
+            cache_dir=str(tmp_path), max_disk_bytes=10_000
+        )
+        tracer = Tracer()
+        cache.put("a" * 64, self._entry(500), tracer=tracer)
+        assert tracer.gauges["cache.disk_bytes"] > 0
+        assert tracer.gauges["cache.disk_bytes"] == cache.disk_bytes()
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        for index in range(5):
+            cache.put(f"{index:064x}", self._entry(4000))
+        assert len(list(tmp_path.glob("*.pkl"))) == 5
+        assert cache.evictions == 0

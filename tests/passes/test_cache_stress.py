@@ -1,0 +1,151 @@
+"""Cross-process stress test of the shared disk cache tier.
+
+N ``multiprocessing`` workers hammer one ``cache_dir`` with a mixed
+get/put workload under a size budget that forces constant eviction.
+The invariants a *shared* tier must hold, whatever the interleaving:
+
+* **no torn reads** — every successful ``get`` returns exactly the
+  artifact a serial writer would have produced for that key (atomic
+  rename + fsync means a reader sees a whole entry or no entry);
+* **no corruption** — no entry is ever quarantined (``*.bad``),
+  because no writer ever publishes a half-written pickle;
+* **no tmp litter** — every worker's ``finally`` cleans its temp
+  file, so after the dust settles the directory holds only ``*.pkl``
+  (plus the lock file);
+* **byte-identical artifacts vs serial** — surviving entries unpickle
+  to the same payload a single-process run would store.
+
+The workers use synthetic :class:`CachedCompile` payloads (a
+deterministic blob per key) rather than real compiles so the test
+exercises thousands of cache operations in seconds — the compile
+daemon's end-to-end path is covered by ``tests/serve``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+
+from repro.passes import CachedCompile, CompileCache
+
+WORKERS = 4
+KEYS = 10
+OPS_PER_WORKER = 120
+PAYLOAD_BYTES = 1500
+#: Budget fits roughly half the key space, so eviction runs hot.
+BUDGET = KEYS * PAYLOAD_BYTES // 2
+
+
+def key_name(index: int) -> str:
+    return hashlib.sha256(f"stress-{index}".encode()).hexdigest()
+
+
+def payload_for(key: str) -> bytes:
+    """The deterministic artifact blob a serial writer stores."""
+    seed = hashlib.sha256(key.encode()).digest()
+    repeated = seed * (PAYLOAD_BYTES // len(seed) + 1)
+    return repeated[:PAYLOAD_BYTES]
+
+
+def entry_for(key: str) -> CachedCompile:
+    return CachedCompile(
+        selected=None,
+        cascaded=None,
+        placed=None,
+        netlist=payload_for(key),
+    )
+
+
+def hammer(args) -> dict:
+    """One worker: mixed get/put/evict traffic against the shared dir.
+
+    Runs in a child process (module-level for picklability).  Returns
+    observation counts; any torn or wrong-payload read is reported as
+    ``torn`` and fails the test in the parent.
+    """
+    cache_dir, worker_index = args
+    cache = CompileCache(
+        cache_dir=cache_dir,
+        max_memory_entries=2,  # tiny, so the disk tier does the work
+        max_disk_bytes=BUDGET,
+    )
+    hits = misses = torn = 0
+    for op in range(OPS_PER_WORKER):
+        key = key_name((op * 7 + worker_index * 3) % KEYS)
+        entry = cache.get(key)
+        if entry is not None:
+            hits += 1
+            if entry.netlist != payload_for(key):
+                torn += 1
+        else:
+            misses += 1
+            cache.put(key, entry_for(key))
+        if op % 17 == worker_index % 17:
+            # Periodic sweep from arbitrary processes must be safe
+            # against concurrent writers (it only removes old tmp).
+            cache.sweep(stale_tmp_seconds=3600)
+    return {"hits": hits, "misses": misses, "torn": torn}
+
+
+class TestCrossProcessStress:
+    def test_shared_dir_survives_concurrent_hammering(self, tmp_path):
+        cache_dir = str(tmp_path)
+        with multiprocessing.Pool(WORKERS) as pool:
+            outcomes = pool.map(
+                hammer, [(cache_dir, index) for index in range(WORKERS)]
+            )
+
+        # No torn reads: every hit carried the exact serial payload.
+        assert sum(o["torn"] for o in outcomes) == 0, outcomes
+        # The workload actually exercised both paths.
+        assert sum(o["hits"] for o in outcomes) > 0
+        assert sum(o["misses"] for o in outcomes) > 0
+
+        # No corruption was ever observed (no quarantined entries) and
+        # no writer leaked its temp file.
+        names = os.listdir(cache_dir)
+        assert not [n for n in names if n.endswith(".bad")], names
+        assert not [n for n in names if n.endswith(".tmp")], names
+        assert set(names) <= (
+            {f"{key_name(i)}.pkl" for i in range(KEYS)} | {".lock"}
+        ), names
+
+        # Byte-identical artifacts vs serial: every surviving entry
+        # unpickles to exactly the payload a one-process run stores.
+        survivors = 0
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            survivors += 1
+            key = name[: -len(".pkl")]
+            with open(os.path.join(cache_dir, name), "rb") as handle:
+                entry = pickle.load(handle)
+            assert isinstance(entry, CachedCompile)
+            assert entry.netlist == payload_for(key)
+            serial = pickle.dumps(
+                entry_for(key), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            with open(os.path.join(cache_dir, name), "rb") as handle:
+                assert handle.read() == serial
+        assert survivors > 0
+
+        # The budget held: eviction kept the tier bounded.
+        total = sum(
+            os.path.getsize(os.path.join(cache_dir, n))
+            for n in names
+            if n.endswith(".pkl")
+        )
+        assert total <= BUDGET
+
+    def test_serial_reference_matches_itself(self, tmp_path):
+        """The serial baseline the stress test compares against."""
+        cache = CompileCache(cache_dir=str(tmp_path))
+        for index in range(KEYS):
+            cache.put(key_name(index), entry_for(key_name(index)))
+        cache.clear()
+        for index in range(KEYS):
+            entry = cache.get(key_name(index))
+            assert entry is not None
+            assert entry.netlist == payload_for(key_name(index))

@@ -1,0 +1,334 @@
+"""The compile daemon: protocol, admission, shared tier, lifecycle.
+
+The daemon is worth serving only if it answers exactly what the CLI
+would: the byte-identity assertions here pin the service's Verilog to
+the ``ReticleCompiler`` output the CLI path produces.  Admission and
+error paths are pinned by status code; the startup sweep and corrupt
+quarantine pin the shared tier's hygiene guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+import pytest
+
+from repro.compiler import ReticleCompiler, resolve_target
+from repro.errors import ReticleError
+from repro.harness.loadgen import get_json, post_compile
+from repro.ir.parser import parse_prog
+from repro.passes import CompileCache
+from repro.serve import (
+    CompileRequest,
+    CompileService,
+    DaemonThread,
+    ReticleDaemon,
+    parse_size,
+)
+
+ADD = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+MUL = """
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c) @dsp;
+}
+"""
+TWO_FUNCS = ADD + "\n" + MUL
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One shared daemon for the read-only protocol tests."""
+    with DaemonThread(workers=2, queue_limit=8) as handle:
+        yield handle
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("1048576") == 1024 * 1024
+
+    def test_suffixes(self):
+        assert parse_size("4K") == 4096
+        assert parse_size("256M") == 256 * 1024 * 1024
+        assert parse_size("2g") == 2 * 1024**3
+
+    def test_junk_rejected(self):
+        with pytest.raises(ReticleError):
+            parse_size("lots")
+        with pytest.raises(ReticleError):
+            parse_size("")
+        with pytest.raises(ReticleError):
+            parse_size("-5M")
+
+
+class TestRequestValidation:
+    def test_minimal_request(self):
+        request = CompileRequest.from_dict({"program": ADD})
+        assert request.target == "ultrascale"
+        assert request.options == ()
+
+    def test_missing_program_rejected(self):
+        with pytest.raises(ReticleError):
+            CompileRequest.from_dict({"target": "ultrascale"})
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ReticleError) as excinfo:
+            CompileRequest.from_dict(
+                {"program": ADD, "options": {"shirnk": False}}
+            )
+        assert "shirnk" in str(excinfo.value)
+
+    def test_known_options_accepted(self):
+        request = CompileRequest.from_dict(
+            {
+                "program": ADD,
+                "options": {"shrink": False, "isel_jobs": 2},
+            }
+        )
+        assert dict(request.options) == {"shrink": False, "isel_jobs": 2}
+
+
+class TestProtocol:
+    def test_healthz(self, daemon):
+        status, payload = get_json(daemon.base_url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["queue_limit"] == 8
+        assert payload["workers"] == 2
+
+    def test_unknown_path_404(self, daemon):
+        status, payload = get_json(daemon.base_url, "/nope")
+        assert status == 404
+        assert not payload["ok"]
+
+    def test_wrong_method_405(self, daemon):
+        status, payload = get_json(daemon.base_url, "/compile")
+        assert status == 405
+
+    def test_bad_json_400(self, daemon):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/compile", body=b"{nope", headers={}
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_empty_batch_400(self, daemon):
+        status, payload = post_compile(daemon.base_url, [])
+        assert status == 400
+
+    def test_unknown_option_400(self, daemon):
+        status, payload = post_compile(
+            daemon.base_url,
+            [{"program": ADD, "options": {"bogus": 1}}],
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_parse_error_is_per_item_not_batch(self, daemon):
+        status, payload = post_compile(
+            daemon.base_url,
+            [{"program": "garbage"}, {"program": ADD}],
+        )
+        assert status == 200
+        assert not payload["ok"]  # batch verdict reflects the failure
+        first, second = payload["results"]
+        assert not first["ok"] and "garbage" in first["error"]
+        assert second["ok"] and "module" in second["verilog"]
+
+    def test_stats_shape(self, daemon):
+        status, payload = get_json(daemon.base_url, "/stats")
+        assert status == 200
+        assert "counters" in payload and "histograms" in payload
+        assert payload["cache"]["memory_entries"] >= 0
+
+
+class TestCompileSemantics:
+    def test_batch_verilog_matches_cli_path(self, daemon):
+        """The service answer is byte-identical to the CLI pipeline."""
+        status, payload = post_compile(
+            daemon.base_url, [{"program": TWO_FUNCS}]
+        )
+        assert status == 200 and payload["ok"]
+        result = payload["results"][0]
+        assert result["functions"] == ["f", "muladd"]
+
+        target, device = resolve_target("ultrascale")
+        compiler = ReticleCompiler(target=target, device=device)
+        expected = "\n\n".join(
+            r.verilog()
+            for r in compiler.compile_prog(
+                parse_prog(TWO_FUNCS)
+            ).values()
+        )
+        assert result["verilog"] == expected
+
+    def test_repeat_is_warm_and_identical(self, daemon):
+        first = post_compile(daemon.base_url, [{"program": MUL}])[1]
+        second = post_compile(daemon.base_url, [{"program": MUL}])[1]
+        one, two = first["results"][0], second["results"][0]
+        assert two["cached"]
+        assert one["verilog"] == two["verilog"]
+        assert one["key"] == two["key"]
+
+    def test_options_change_the_result_key(self, daemon):
+        plain = post_compile(daemon.base_url, [{"program": ADD}])[1]
+        optioned = post_compile(
+            daemon.base_url,
+            [{"program": ADD, "options": {"shrink": False}}],
+        )[1]
+        assert (
+            plain["results"][0]["key"] != optioned["results"][0]["key"]
+        )
+
+    def test_ecp5_target_served(self, daemon):
+        status, payload = post_compile(
+            daemon.base_url, [{"program": ADD, "target": "ecp5"}]
+        )
+        assert status == 200 and payload["ok"]
+
+    def test_unknown_target_is_request_error(self, daemon):
+        status, payload = post_compile(
+            daemon.base_url, [{"program": ADD, "target": "virtex2"}]
+        )
+        assert status == 200
+        assert not payload["results"][0]["ok"]
+        assert "virtex2" in payload["results"][0]["error"]
+
+
+class TestAdmissionControl:
+    def test_oversized_batch_rejected_503(self):
+        with DaemonThread(workers=1, queue_limit=2) as handle:
+            status, payload = post_compile(
+                handle.base_url,
+                [{"program": ADD}, {"program": MUL}, {"program": ADD}],
+            )
+            assert status == 503
+            assert "admission" in payload["error"]
+            status, stats = get_json(handle.base_url, "/stats")
+            assert stats["counters"]["service.rejected"] == 3
+            # The window frees up: a fitting batch is served.
+            status, payload = post_compile(
+                handle.base_url, [{"program": ADD}]
+            )
+            assert status == 200 and payload["ok"]
+
+    def test_window_drains_back_to_zero(self):
+        with DaemonThread(workers=2, queue_limit=4) as handle:
+            post_compile(handle.base_url, [{"program": ADD}])
+            _, health = get_json(handle.base_url, "/healthz")
+            assert health["inflight"] == 0
+
+
+class TestSharedTier:
+    def test_startup_sweeps_stale_tmp(self, tmp_path):
+        stale = tmp_path / "leak123.tmp"
+        stale.write_bytes(b"leftover")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        service = CompileService(
+            cache=CompileCache(cache_dir=str(tmp_path))
+        )
+        with DaemonThread(ReticleDaemon(service=service)) as handle:
+            get_json(handle.base_url, "/healthz")
+            assert not stale.exists()
+            _, stats = get_json(handle.base_url, "/stats")
+            assert stats["counters"]["cache.tmp_swept"] == 1
+
+    def test_disk_tier_warm_across_daemon_restarts(self, tmp_path):
+        def boot():
+            service = CompileService(
+                cache=CompileCache(cache_dir=str(tmp_path))
+            )
+            return DaemonThread(ReticleDaemon(service=service))
+
+        with boot() as first:
+            cold = post_compile(first.base_url, [{"program": MUL}])[1]
+            assert not cold["results"][0]["cached"]
+        with boot() as second:
+            warm = post_compile(second.base_url, [{"program": MUL}])[1]
+        assert warm["results"][0]["cached"]
+        assert (
+            warm["results"][0]["verilog"] == cold["results"][0]["verilog"]
+        )
+
+    def test_corrupt_shared_entry_served_fresh_and_quarantined(
+        self, tmp_path
+    ):
+        service = CompileService(
+            cache=CompileCache(cache_dir=str(tmp_path))
+        )
+        with DaemonThread(ReticleDaemon(service=service)) as handle:
+            cold = post_compile(handle.base_url, [{"program": ADD}])[1]
+            key = cold["results"][0]["key"]
+            (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+            service.cache.clear()  # drop the memory layer
+            again = post_compile(handle.base_url, [{"program": ADD}])[1]
+            assert again["ok"]
+            assert not again["results"][0]["cached"]
+            assert (
+                again["results"][0]["verilog"]
+                == cold["results"][0]["verilog"]
+            )
+            _, stats = get_json(handle.base_url, "/stats")
+            assert stats["counters"]["cache.corrupt"] == 1
+            assert (tmp_path / f"{key}.pkl.bad").exists()
+
+
+class TestLifecycle:
+    def test_shutdown_endpoint_stops_daemon(self):
+        handle = DaemonThread(workers=1, queue_limit=4).start()
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=30
+        )
+        try:
+            connection.request("POST", "/shutdown", body=b"")
+            response = connection.getresponse()
+            assert response.status == 200
+        finally:
+            connection.close()
+        handle._thread.join(timeout=10)
+        assert not handle._thread.is_alive()
+
+    def test_unix_socket_serving(self, tmp_path):
+        path = str(tmp_path / "reticle.sock")
+        with DaemonThread(
+            ReticleDaemon(unix_path=path, workers=1)
+        ) as handle:
+            assert handle.base_url == f"unix:{path}"
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.settimeout(30)
+            client.connect(path)
+            client.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: local\r\nConnection: close\r\n\r\n"
+            )
+            blob = b""
+            while True:
+                chunk = client.recv(65536)
+                if not chunk:
+                    break
+                blob += chunk
+            client.close()
+            assert b"200 OK" in blob
+            assert b'"status": "ok"' in blob
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReticleError):
+            ReticleDaemon(workers=0)
+        with pytest.raises(ReticleError):
+            ReticleDaemon(queue_limit=0)
