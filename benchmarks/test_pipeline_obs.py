@@ -84,6 +84,39 @@ class TestPipelineTimings:
         for row in rows:
             assert row["warm_seconds"] < row["seconds"], row["bench"]
 
+    def test_xl_rows_cover_device_scale(self, rows):
+        # The tentpole trajectory: device-filling programs (>= 10k
+        # netlist cells) through region-sharded placement and the
+        # streaming emitter.
+        xl = [row for row in rows if row["bench"] == "xl"]
+        assert len(xl) >= 3
+        for row in xl:
+            counters = row["counters"]
+            assert counters["codegen.cells"] >= 10_000
+            assert counters["place.shards"] >= 2
+            assert counters.get("place.shard_failures", 0) == 0
+            assert counters["codegen.chunks"] >= 2
+            assert counters["place.nodes_per_cell_x1000"] > 0
+
+    def test_xl_solver_effort_sublinear(self, rows):
+        # Doubling the program must not grow placement search effort
+        # per cell: sharding keeps each region's search local.
+        xl = sorted(
+            (row for row in rows if row["bench"] == "xl"),
+            key=lambda row: row["counters"]["codegen.cells"],
+        )
+        per_cell = [
+            row["counters"]["place.nodes_per_cell_x1000"] for row in xl
+        ]
+        assert per_cell[-1] <= per_cell[0] * 1.05, per_cell
+
+    def test_xl_reuse_row_replays_placements(self, rows):
+        # One-tree edit of the largest xl program: at least 90% of the
+        # per-tree placements must replay from the reuse bank.
+        row = next(r for r in rows if r["bench"] == "xl+reuse")
+        assert row["gauges"]["place.reuse_pct"] >= 90.0
+        assert row["counters"]["cache.place_hits"] > 0
+
     def test_placement_dominates_fsm_at_scale(self, rows):
         # The paper's compile-time story (Section 7.2): the constraint
         # solving layout stage eats the budget as designs grow.  The

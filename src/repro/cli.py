@@ -158,6 +158,8 @@ def _cmd_place(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        place_shards=args.place_shards,
+        place_reuse=args.place_reuse,
         isel_jobs=args.isel_jobs,
         isel_memo=args.isel_memo == "on",
     )
@@ -181,6 +183,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        place_shards=args.place_shards,
+        place_reuse=args.place_reuse,
         isel_jobs=args.isel_jobs,
         isel_memo=args.isel_memo == "on",
     )
@@ -228,6 +232,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         device=device,
         place_jobs=args.place_jobs,
         place_portfolio=args.place_portfolio,
+        place_shards=args.place_shards,
+        place_reuse=args.place_reuse,
         isel_jobs=args.isel_jobs,
         isel_memo=args.isel_memo == "on",
     )
@@ -281,6 +287,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         seed=args.seed,
         max_instrs=args.max_instrs,
+        cells=args.cells,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -375,6 +382,24 @@ def _add_place_args(command: argparse.ArgumentParser) -> None:
         help="race placement strategies: a preset name or a comma "
         "list of strategy names (see 'reticle passes'); the winner "
         "is priority-ordered, so output is deterministic",
+    )
+    command.add_argument(
+        "--place-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="region-sharded placement: split each resource kind's "
+        "columns into N groups solved independently (in parallel on "
+        "the --place-jobs pool) and stitched with a conflict-repair "
+        "pass; only engages at device scale (>=512 items)",
+    )
+    command.add_argument(
+        "--place-reuse",
+        action="store_true",
+        help="incremental placement: replay cached per-cluster "
+        "placements from the previous compile of the same function, "
+        "re-solving only edited clusters (placement becomes "
+        "history-dependent; keyed into the compile cache)",
     )
 
 
@@ -525,6 +550,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--iterations", type=int, default=25)
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--max-instrs", type=int, default=12)
+    fuzz.add_argument(
+        "--cells",
+        type=int,
+        default=0,
+        metavar="N",
+        help="device-filling mode: fuzz programs targeting ~N netlist "
+        "cells (independent single-node trees mixing LUT, DSP, and "
+        "BRAM ops) instead of small random programs; pair large N "
+        "with --iterations 1",
+    )
 
     serve = add(
         "serve", _cmd_serve, "run the long-lived compile daemon"

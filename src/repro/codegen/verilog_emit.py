@@ -5,14 +5,28 @@ Produces the paper's Figure 2c form: primitive instantiations carrying
 to a routing/bitgen back end.  Each cell output pin becomes a named
 wire; wire-operation aliasing shows up as plain bit selects and
 concatenations, consuming no logic.
+
+Two rendering paths share the same per-cell builders:
+
+* :func:`netlist_to_verilog` materializes the whole :class:`Module`
+  AST (round-trippable, used by tests and tooling);
+* :func:`emit_verilog_chunks` streams the identical source text as an
+  iterator of chunks — O(chunk) resident text instead of one giant
+  string, which is what device-filling programs need.  The two paths
+  are byte-identical by construction: the stream renders the same
+  items through the same printer, line by line.
+
+:func:`generate_verilog` is the streaming path joined, so every caller
+of the classic facade exercises the chunked emitter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import CodegenError
 from repro.netlist.core import Cell, GND, Netlist, VCC
+from repro.obs import NULL_TRACER
 from repro.prims import Prim
 from repro.verilog.ast import (
     Assign,
@@ -28,9 +42,17 @@ from repro.verilog.ast import (
     Ref,
     WireDecl,
 )
-from repro.verilog.printer import print_module
+from repro.verilog.printer import (
+    INDENT,
+    print_item,
+    print_module,
+    print_ports,
+)
 
 CLOCK = "clock"
+
+#: Default streaming granularity: source lines per yielded chunk.
+CHUNK_LINES = 1024
 
 
 def _loc_attr(cell: Cell) -> List[Attribute]:
@@ -53,8 +75,8 @@ def _sanitize(name: str) -> str:
     return name.replace("/", "_").replace(".", "_")
 
 
-def netlist_to_verilog(netlist: Netlist) -> Module:
-    """Convert a netlist into a structural Verilog module."""
+def _input_bit_exprs(netlist: Netlist) -> Dict[int, Expr]:
+    """The initial bit -> expression map: constants and input ports."""
     bit_expr: Dict[int, Expr] = {
         GND: IntLit(0, 1),
         VCC: IntLit(1, 1),
@@ -64,60 +86,79 @@ def netlist_to_verilog(netlist: Netlist) -> Module:
             bit_expr[bit] = (
                 Index(Ref(name), index) if len(bits) > 1 else Ref(name)
             )
+    return bit_expr
 
-    items: List[Item] = []
-    for cell in netlist.cells:
-        for pin, bits in cell.outputs.items():
-            wire_name = _sanitize(f"{cell.name}_{pin}")
-            items.append(WireDecl(wire_name, len(bits)))
-            for index, bit in enumerate(bits):
-                if bit in bit_expr:
-                    raise CodegenError(f"bit {bit} has two drivers")
-                bit_expr[bit] = (
-                    Index(Ref(wire_name), index)
-                    if len(bits) > 1
-                    else Ref(wire_name)
-                )
 
-    def bus_expr(bits: List[int]) -> Expr:
-        exprs = [bit_expr[bit] for bit in bits]
-        if len(exprs) == 1:
-            return exprs[0]
-        return Concat(tuple(reversed(exprs)))  # Verilog is MSB-first
-
-    for cell in netlist.cells:
-        connections: List[Tuple[str, Expr]] = []
-        for pin, bits in cell.inputs.items():
-            connections.append((pin, bus_expr(bits)))
-        for pin, bits in cell.outputs.items():
-            connections.append((pin, Ref(_sanitize(f"{cell.name}_{pin}"))))
-        if cell.kind == "FDRE":
-            connections.append(("C", Ref(CLOCK)))
-        elif cell.kind in ("DSP48E2", "RAMB18E2"):
-            connections.append(("CLK", Ref(CLOCK)))
-        params: List[Tuple[str, object]] = []
-        for name, value in cell.params.items():
-            if name == "INIT" and cell.kind.startswith("LUT"):
-                width = 1 << len(cell.inputs)
-                params.append((name, IntLit(int(value), width)))
-            else:
-                params.append((name, value))
-        items.append(
-            Instance(
-                module=cell.kind,
-                name=_sanitize(cell.name),
-                params=tuple(params),  # type: ignore[arg-type]
-                connections=tuple(connections),
-                attributes=tuple(_loc_attr(cell)),
+def _cell_wires(cell: Cell, bit_expr: Dict[int, Expr]) -> Iterator[WireDecl]:
+    """Declare one cell's output wires, registering their bits."""
+    for pin, bits in cell.outputs.items():
+        wire_name = _sanitize(f"{cell.name}_{pin}")
+        yield WireDecl(wire_name, len(bits))
+        for index, bit in enumerate(bits):
+            if bit in bit_expr:
+                raise CodegenError(f"bit {bit} has two drivers")
+            bit_expr[bit] = (
+                Index(Ref(wire_name), index)
+                if len(bits) > 1
+                else Ref(wire_name)
             )
-        )
 
+
+def _bus_expr(bits: List[int], bit_expr: Dict[int, Expr]) -> Expr:
+    exprs = [bit_expr[bit] for bit in bits]
+    if len(exprs) == 1:
+        return exprs[0]
+    return Concat(tuple(reversed(exprs)))  # Verilog is MSB-first
+
+
+def _cell_instance(cell: Cell, bit_expr: Dict[int, Expr]) -> Instance:
+    """One cell's primitive instantiation."""
+    connections: List[Tuple[str, Expr]] = []
+    for pin, bits in cell.inputs.items():
+        connections.append((pin, _bus_expr(bits, bit_expr)))
+    for pin, bits in cell.outputs.items():
+        connections.append((pin, Ref(_sanitize(f"{cell.name}_{pin}"))))
+    if cell.kind == "FDRE":
+        connections.append(("C", Ref(CLOCK)))
+    elif cell.kind in ("DSP48E2", "RAMB18E2"):
+        connections.append(("CLK", Ref(CLOCK)))
+    params: List[Tuple[str, object]] = []
+    for name, value in cell.params.items():
+        if name == "INIT" and cell.kind.startswith("LUT"):
+            width = 1 << len(cell.inputs)
+            params.append((name, IntLit(int(value), width)))
+        else:
+            params.append((name, value))
+    return Instance(
+        module=cell.kind,
+        name=_sanitize(cell.name),
+        params=tuple(params),  # type: ignore[arg-type]
+        connections=tuple(connections),
+        attributes=tuple(_loc_attr(cell)),
+    )
+
+
+def _module_ports(netlist: Netlist) -> List[Port]:
     ports: List[Port] = [Port("input", CLOCK, 1)]
     for name, bits in netlist.inputs:
         ports.append(Port("input", name, len(bits)))
     for name, bits in netlist.outputs:
         ports.append(Port("output", name, len(bits)))
-        items.append(Assign(Ref(name), bus_expr(bits)))
+    return ports
+
+
+def netlist_to_verilog(netlist: Netlist) -> Module:
+    """Convert a netlist into a structural Verilog module."""
+    bit_expr = _input_bit_exprs(netlist)
+
+    items: List[Item] = []
+    for cell in netlist.cells:
+        items.extend(_cell_wires(cell, bit_expr))
+    for cell in netlist.cells:
+        items.append(_cell_instance(cell, bit_expr))
+    ports = _module_ports(netlist)
+    for name, bits in netlist.outputs:
+        items.append(Assign(Ref(name), _bus_expr(bits, bit_expr)))
 
     return Module(
         name=netlist.name,
@@ -126,6 +167,60 @@ def netlist_to_verilog(netlist: Netlist) -> Module:
     )
 
 
-def generate_verilog(netlist: Netlist) -> str:
+def _module_lines(netlist: Netlist) -> Iterator[str]:
+    """The module's source lines, lazily, in :func:`print_module` order.
+
+    The wire-declaration pass streams too: declaring a cell's wires
+    registers its output bits, and every instance is rendered only
+    after all declarations, so the bit map is complete exactly when
+    the first consumer needs it.
+    """
+    bit_expr = _input_bit_exprs(netlist)
+    yield f"module {netlist.name}(" + print_ports(_module_ports(netlist)) + ");"
+    for cell in netlist.cells:
+        for item in _cell_wires(cell, bit_expr):
+            for text in print_item(item):
+                yield INDENT + text
+    for cell in netlist.cells:
+        for text in print_item(_cell_instance(cell, bit_expr)):
+            yield INDENT + text
+    for name, bits in netlist.outputs:
+        item = Assign(Ref(name), _bus_expr(bits, bit_expr))
+        for text in print_item(item):
+            yield INDENT + text
+    yield "endmodule"
+
+
+def emit_verilog_chunks(
+    netlist: Netlist,
+    chunk_lines: int = CHUNK_LINES,
+    tracer=NULL_TRACER,
+) -> Iterator[str]:
+    """Stream a netlist's Verilog as text chunks.
+
+    Joining the chunks with ``""`` reproduces
+    ``print_module(netlist_to_verilog(netlist))`` byte for byte; only
+    ``chunk_lines`` source lines are resident at a time.  Each yielded
+    chunk bumps the ``codegen.chunks`` counter.
+    """
+    if chunk_lines < 1:
+        raise ValueError(f"chunk_lines must be positive: {chunk_lines}")
+    buffer: List[str] = []
+    first = True
+    for line in _module_lines(netlist):
+        buffer.append(line)
+        if len(buffer) >= chunk_lines:
+            text = "\n".join(buffer)
+            buffer.clear()
+            tracer.count("codegen.chunks")
+            yield text if first else "\n" + text
+            first = False
+    if buffer or first:
+        text = "\n".join(buffer)
+        tracer.count("codegen.chunks")
+        yield text if first else "\n" + text
+
+
+def generate_verilog(netlist: Netlist, tracer=NULL_TRACER) -> str:
     """Render a netlist as structural Verilog text."""
-    return print_module(netlist_to_verilog(netlist))
+    return "".join(emit_verilog_chunks(netlist, tracer=tracer))

@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ir.ast import Prog
 
 from repro.asm.ast import AsmFunc
-from repro.codegen.verilog_emit import generate_verilog
+from repro.codegen.verilog_emit import emit_verilog_chunks
 from repro.errors import ReticleError
 from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
 from repro.ir.ast import Func
@@ -142,7 +142,19 @@ class ReticleResult:
 
     def verilog(self) -> str:
         """The final structural Verilog with layout annotations."""
-        return generate_verilog(self.netlist)
+        return "".join(self.verilog_chunks())
+
+    def verilog_chunks(self, chunk_lines: Optional[int] = None):
+        """Stream the Verilog as text chunks (O(chunk) memory).
+
+        Joining the chunks yields exactly :meth:`verilog`; each chunk
+        bumps ``codegen.chunks`` on the result's tracer, so chunked
+        emission shows up in the compile telemetry.
+        """
+        kwargs = {} if chunk_lines is None else {"chunk_lines": chunk_lines}
+        if self.trace is not None:
+            kwargs["tracer"] = self.trace
+        return emit_verilog_chunks(self.netlist, **kwargs)
 
     def report(self):
         """The :class:`~repro.obs.report.CompileReport` of this compile.
@@ -184,6 +196,8 @@ class ReticleCompiler:
         jobs: int = 1,
         place_jobs: int = 1,
         place_portfolio: Optional[PortfolioSpec] = None,
+        place_shards: int = 0,
+        place_reuse: bool = False,
         isel_jobs: int = 1,
         isel_memo: bool = True,
     ) -> None:
@@ -208,6 +222,8 @@ class ReticleCompiler:
             shrink=shrink,
             jobs=place_jobs,
             portfolio=portfolio_names or None,
+            shards=place_shards,
+            reuse=place_reuse,
         )
         self.cascade = cascade
         self.optimize = optimize
@@ -218,6 +234,11 @@ class ReticleCompiler:
             "cascade": cascade,
             "place_jobs": place_jobs,
             "place_portfolio": portfolio_names,
+            # place_shards changes *which* feasible placement comes
+            # out; place_reuse additionally makes it depend on the
+            # placer's history.  Both are therefore cache-key material.
+            "place_shards": place_shards,
+            "place_reuse": place_reuse,
             "isel_jobs": isel_jobs,
             "isel_memo": isel_memo,
         }

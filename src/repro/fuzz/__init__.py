@@ -13,11 +13,23 @@ Usable as a library or from the CLI::
     python -m repro fuzz --iterations 50 --seed 7
 """
 
-from repro.fuzz.generator import ProgramGenerator, random_func, random_trace
+from repro.fuzz.generator import (
+    ProgramGenerator,
+    device_filling_func,
+    edit_one_tree,
+    format_histogram,
+    program_histogram,
+    random_func,
+    random_trace,
+)
 from repro.fuzz.runner import FuzzOutcome, FuzzReport, run_fuzz
 
 __all__ = [
     "ProgramGenerator",
+    "device_filling_func",
+    "edit_one_tree",
+    "format_histogram",
+    "program_histogram",
     "random_func",
     "random_trace",
     "FuzzOutcome",

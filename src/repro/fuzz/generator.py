@@ -290,6 +290,171 @@ class ProgramGenerator:
         )
 
 
+#: Calibrated netlist-cell costs on the UltraScale target: an i8 add
+#: lowers to eight LUTs plus one CARRY8, a register to eight FDREs,
+#: and a DSP multiply or block-RAM port to one hardened cell each.
+CELLS_PER_ADD = 9
+CELLS_PER_REG = 8
+CELLS_PER_MUL = 1
+CELLS_PER_RAM = 1
+
+#: Hardened-resource caps for device-filling programs, kept below the
+#: xczu3eg's 360 DSP / 216 BRAM slices so the mix always places.
+DEVICE_FILL_DSP_CAP = 300
+DEVICE_FILL_BRAM_CAP = 180
+
+
+def device_filling_func(seed: int, cells: int, name: str = "fill") -> Func:
+    """A device-scale program of roughly ``cells`` netlist cells.
+
+    Unlike :meth:`ProgramGenerator.func`, every instruction reads only
+    function inputs, so the program is thousands of *independent*
+    single-node trees — the shape that stresses placement scale (one
+    placement cluster per instruction, no cover depth).  The mix is
+    mostly LUT-bound i8 adds with registers sprinkled in, plus DSP
+    multiplies and block-RAM ports capped below the hardened-column
+    capacity; instruction order is seed-shuffled so resource kinds
+    interleave the way real programs do.
+    """
+    rng = random.Random(seed)
+    inputs = [
+        Port("en", Bool()),
+        Port("we", Bool()),
+        Port("addr", Int(4)),
+    ] + [Port(f"a{i}", Int(8)) for i in range(4)]
+    scalars = [f"a{i}" for i in range(4)]
+
+    muls = min(DEVICE_FILL_DSP_CAP, cells // 100)
+    rams = min(DEVICE_FILL_BRAM_CAP, cells // 200)
+    ops: List[str] = ["mul"] * muls + ["ram"] * rams
+    remaining = cells - muls * CELLS_PER_MUL - rams * CELLS_PER_RAM
+    while remaining > 0:
+        if len(ops) % 8 == 7:  # one register per eight LUT-bound ops
+            ops.append("reg")
+            remaining -= CELLS_PER_REG
+        else:
+            ops.append("add")
+            remaining -= CELLS_PER_ADD
+    rng.shuffle(ops)
+
+    instrs: List[Instr] = []
+    last_of: Dict[str, str] = {}
+    for index, op in enumerate(ops):
+        dst = f"v{index}"
+        a, b = rng.choice(scalars), rng.choice(scalars)
+        if op == "add":
+            instr = CompInstr(
+                dst=dst, ty=Int(8), attrs=(), args=(a, b),
+                op=CompOp.ADD, res=Res.ANY,
+            )
+        elif op == "reg":
+            instr = CompInstr(
+                dst=dst, ty=Int(8), attrs=(0,), args=(a, "en"),
+                op=CompOp.REG, res=Res.ANY,
+            )
+        elif op == "mul":
+            instr = CompInstr(
+                dst=dst, ty=Int(8), attrs=(), args=(a, b),
+                op=CompOp.MUL, res=Res.ANY,
+            )
+        else:  # ram
+            instr = CompInstr(
+                dst=dst, ty=Int(8), attrs=(4,), args=("addr", a, "we", "en"),
+                op=CompOp.RAM, res=Res.ANY,
+            )
+        instrs.append(instr)
+        last_of[op] = dst
+
+    outputs = tuple(
+        Port(dst, Int(8)) for dst in sorted(last_of.values())
+    )
+    return Func(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=outputs,
+        instrs=tuple(instrs),
+    )
+
+
+def edit_one_tree(func: Func) -> Func:
+    """``func`` with one appended independent i8 add.
+
+    The canonical one-tree edit for incremental-recompilation tests
+    and benchmarks: the new instruction reads only existing i8 inputs,
+    so every other tree — its cover digest and its placement cluster
+    shape — is untouched.  Only the compile-cache key and the one new
+    cluster change.
+    """
+    scalars = [port.name for port in func.inputs if port.ty == Int(8)]
+    if not scalars:
+        raise ValueError(f"{func.name!r} has no i8 inputs to edit with")
+    a = scalars[0]
+    b = scalars[1] if len(scalars) > 1 else scalars[0]
+    extra = CompInstr(
+        dst="edit0", ty=Int(8), attrs=(), args=(a, b),
+        op=CompOp.ADD, res=Res.ANY,
+    )
+    return Func(
+        name=func.name,
+        inputs=func.inputs,
+        outputs=func.outputs,
+        instrs=func.instrs + (extra,),
+    )
+
+
+def program_histogram(func: Func, target=None) -> Dict[str, int]:
+    """The LUT/DSP/BRAM shape of ``func`` after instruction selection.
+
+    Returns per-primitive assembly-instruction counts plus an
+    estimated netlist-cell total (a LUT instruction costs one cell per
+    output bit plus a carry cell for add/sub; each DSP or BRAM
+    instruction is one hardened cell).  The fuzz runner prints this
+    next to a failure's replay line so a failing device-scale program
+    is recognizable without recompiling it.
+    """
+    # Local imports: the generator stays importable without pulling
+    # the whole selection stack until a histogram is actually needed.
+    from repro.asm.ast import AsmInstr
+    from repro.isel.select import select
+    from repro.prims import Prim
+
+    if target is None:
+        from repro.compiler import resolve_target
+
+        target, _ = resolve_target("ultrascale")
+    asm = select(func, target)
+    counts = {"lut": 0, "dsp": 0, "bram": 0, "wire": 0, "est_cells": 0}
+    for instr in asm.instrs:
+        if not isinstance(instr, AsmInstr):
+            counts["wire"] += 1
+            continue
+        asm_def = target.get(instr.op)
+        prim = asm_def.prim if asm_def is not None else Prim.LUT
+        if prim is Prim.DSP:
+            counts["dsp"] += 1
+            counts["est_cells"] += 1
+        elif prim is Prim.BRAM:
+            counts["bram"] += 1
+            counts["est_cells"] += 1
+        else:
+            counts["lut"] += 1
+            carry = asm_def is not None and asm_def.root().op in (
+                CompOp.ADD,
+                CompOp.SUB,
+            )
+            counts["est_cells"] += instr.ty.width + (1 if carry else 0)
+    return counts
+
+
+def format_histogram(hist: Dict[str, int]) -> str:
+    """One replay-annotation line for :func:`program_histogram`."""
+    return (
+        f"~{hist['est_cells']} cells "
+        f"({hist['lut']} LUT / {hist['dsp']} DSP / {hist['bram']} BRAM "
+        f"ops, {hist['wire']} wires)"
+    )
+
+
 def random_func(seed: int, max_instrs: int = 12) -> Func:
     """One-shot random function generation."""
     return ProgramGenerator(seed=seed, max_instrs=max_instrs).func()

@@ -28,7 +28,12 @@ from typing import Callable, Dict, List, Optional
 from repro.codegen.verilog_emit import generate_verilog
 from repro.compiler import ReticleCompiler
 from repro.errors import ReticleError
-from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.generator import (
+    ProgramGenerator,
+    device_filling_func,
+    format_histogram,
+    program_histogram,
+)
 from repro.ir.ast import Func
 from repro.ir.interp import Interpreter
 from repro.ir.trace import Trace
@@ -55,6 +60,9 @@ class FuzzOutcome:
     flow: str
     status: str            # "ok" | "mismatch" | "error"
     detail: str = ""
+    #: The failing program's LUT/DSP/BRAM shape (failures only), so a
+    #: device-scale failure is recognizable without recompiling it.
+    histogram: str = ""
 
 
 @dataclass
@@ -70,6 +78,9 @@ class FuzzReport:
     iterations: int = 0
     seed: int = 0
     max_instrs: int = 12
+    #: Device-filling mode: target netlist cells per program (0 = the
+    #: usual small random programs).
+    cells: int = 0
     outcomes: List[FuzzOutcome] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -83,10 +94,13 @@ class FuzzReport:
 
     def replay_command(self, outcome: FuzzOutcome) -> str:
         """The CLI invocation that replays one failing seed."""
-        return (
+        command = (
             f"reticle fuzz --seed {outcome.seed} --iterations 1 "
             f"--max-instrs {self.max_instrs}"
         )
+        if self.cells:
+            command += f" --cells {self.cells}"
+        return command
 
     def summary(self) -> str:
         checked = len(self.outcomes)
@@ -100,8 +114,10 @@ class FuzzReport:
             text += (
                 f"\n  seed {outcome.seed} [{outcome.flow}] "
                 f"{outcome.status}: {outcome.detail[:120]}"
-                f"\n    replay: {self.replay_command(outcome)}"
             )
+            if outcome.histogram:
+                text += f"\n    shape: {outcome.histogram}"
+            text += f"\n    replay: {self.replay_command(outcome)}"
         return text
 
 
@@ -153,24 +169,49 @@ class _Flows:
         raise ReticleError(f"unknown fuzz flow {flow!r}")
 
 
+def _failure_shape(runner: "_Flows", func: Func) -> str:
+    """The failing program's shape line; never raises (best-effort)."""
+    try:
+        return format_histogram(
+            program_histogram(func, runner.compiler.target)
+        )
+    except Exception:  # noqa: BLE001 - annotation only, never masks
+        return ""
+
+
 def run_fuzz(
     iterations: int = 25,
     seed: int = 0,
     flows: tuple = DEFAULT_FLOWS,
     max_instrs: int = 12,
+    cells: int = 0,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzReport:
-    """Fuzz ``iterations`` programs across ``flows``."""
+    """Fuzz ``iterations`` programs across ``flows``.
+
+    With ``cells > 0`` the programs are device-filling
+    (:func:`device_filling_func` targeting that many netlist cells)
+    instead of small random ones — the differential oracle then
+    exercises placement and codegen at scale, so expect to pair a
+    large ``cells`` with ``iterations=1`` and few flows.
+    """
     report = FuzzReport(
-        iterations=iterations, seed=seed, max_instrs=max_instrs
+        iterations=iterations, seed=seed, max_instrs=max_instrs,
+        cells=cells,
     )
     runner = _Flows()
     start = time.perf_counter()
     for index in range(iterations):
         program_seed = seed + index
         generator = ProgramGenerator(seed=program_seed, max_instrs=max_instrs)
-        func = generator.func(name=f"fuzz{program_seed}")
-        trace = generator.trace(func)
+        if cells > 0:
+            func = device_filling_func(
+                seed=program_seed, cells=cells, name=f"fuzz{program_seed}"
+            )
+            trace = generator.trace(func, steps=2)
+        else:
+            func = generator.func(name=f"fuzz{program_seed}")
+            trace = generator.trace(func)
         expected = Interpreter(func).run(trace)
         for flow in flows:
             try:
@@ -182,6 +223,7 @@ def run_fuzz(
                         flow=flow,
                         status="error",
                         detail=f"{type(error).__name__}: {error}",
+                        histogram=_failure_shape(runner, func),
                     )
                 )
                 continue
@@ -199,6 +241,7 @@ def run_fuzz(
                             f"expected {expected.to_dict()} "
                             f"got {actual.to_dict()}"
                         ),
+                        histogram=_failure_shape(runner, func),
                     )
                 )
         if progress is not None:

@@ -44,6 +44,9 @@ GATED_COUNTERS = (
     "isel.memo_hits",
     "place.solver_nodes",
     "place.backtracks",
+    # Sublinearity gate for the device-scale (``xl``) rows: placement
+    # search effort per emitted netlist cell must not grow.
+    "place.nodes_per_cell_x1000",
     "codegen.cells",
 )
 

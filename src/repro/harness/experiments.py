@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.compiler import ReticleCompiler
 from repro.frontend.fsm import fsm
+from repro.fuzz.generator import device_filling_func, edit_one_tree
 from repro.passes import CompileCache
 from repro.frontend.tensor import tensoradd_scalar, tensoradd_vector, tensordot
 from repro.harness.flows import FlowScore, run_reticle, run_vendor
@@ -51,6 +52,18 @@ BENCH_PORTFOLIO_PRESET = "throughput"
 #: records the naive matcher's (``isel_memo=False``) cold ``select``
 #: time, so ``select_speedup`` pins the memo's win in the trajectory.
 BENCH_ISEL_JOBS = 2
+
+#: The device-scale (``xl``) rows: device-filling programs of these
+#: netlist-cell targets (:func:`repro.fuzz.generator.
+#: device_filling_func`), compiled with region-sharded placement on
+#: the placement pool.  The largest size additionally gets an
+#: ``xl+reuse`` row — a one-tree edit recompiled with incremental
+#: placement reuse, the repo's below-function-granularity
+#: recompilation trajectory.
+XL_SIZES = (10_000, 14_000, 20_000)
+XL_SHARDS = 3
+XL_JOBS = 4
+XL_SEED = 2026
 
 
 def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
@@ -171,6 +184,7 @@ def pipeline_rows(
     cache: Optional[CompileCache] = None,
     portfolio: bool = True,
     iselmemo: bool = True,
+    xl: bool = True,
 ) -> List[dict]:
     """Per-stage compile telemetry for the Figure 13 workloads.
 
@@ -193,6 +207,15 @@ def pipeline_rows(
     fanning distinct tree shapes over :data:`BENCH_ISEL_JOBS` workers,
     reporting ``select_seconds``, the naive matcher's
     ``select_naive_seconds``, and their ratio ``select_speedup``.
+
+    With ``xl`` (default) the device-scale rows run too: one ``xl``
+    row per :data:`XL_SIZES` entry — a device-filling program placed
+    with :data:`XL_SHARDS` region shards on :data:`XL_JOBS` threads —
+    plus one ``xl+reuse`` row, where the largest program is recompiled
+    after a one-tree edit with incremental placement reuse (the
+    ``place.reuse_pct`` gauge records how much replayed).  Every row
+    carries ``place.nodes_per_cell_x1000``, the solver-effort-per-cell
+    counter the bench gate holds flat as programs grow.
     """
     device = device if device is not None else xczu3eg()
     sizes = sizes if sizes is not None else BENCH_PIPELINE_SIZES
@@ -200,15 +223,35 @@ def pipeline_rows(
     compiler = ReticleCompiler(device=device, cache=cache)
     rows: List[dict] = []
 
-    def run_pair(compiler: ReticleCompiler, bench: str, size) -> dict:
-        func = _benchmark_funcs(bench, size)["reticle"]
+    def run_pair(
+        compiler: ReticleCompiler,
+        bench: str,
+        size,
+        func: Optional[Func] = None,
+    ) -> dict:
+        if func is None:
+            func = _benchmark_funcs(bench, size)["reticle"]
         cold = compiler.compile(func)
+        # Drain the streaming emitter through the cold trace before
+        # snapshotting, so ``codegen.chunks`` lands in the row
+        # (``metrics.counters`` is a snapshot taken at compile time).
+        for _ in cold.verilog_chunks():
+            pass
         warm = compiler.compile(func)
         assert cold.metrics is not None and warm.metrics is not None
+        assert cold.trace is not None
         assert warm.cached, "second compile must hit the cache"
-        counters = dict(cold.metrics.counters)
+        counters = dict(cold.trace.counters)
         for name, value in warm.metrics.counters.items():
             counters[name] = counters.get(name, 0) + value
+        cells = counters.get("codegen.cells", 0)
+        if cells:
+            # The sublinearity gate: placement search effort per
+            # emitted netlist cell, in thousandths so the JSON stays
+            # integral.  ``bench diff`` refuses regressions here.
+            counters["place.nodes_per_cell_x1000"] = round(
+                1000 * counters.get("place.solver_nodes", 0) / cells
+            )
         return {
             "bench": bench,
             "size": size,
@@ -291,6 +334,47 @@ def pipeline_rows(
                     naive_select / select_seconds, 2
                 )
             rows.append(row)
+
+    if xl:
+        sharded = ReticleCompiler(
+            device=device,
+            cache=cache,
+            place_jobs=XL_JOBS,
+            place_shards=XL_SHARDS,
+        )
+        # Pool spin-up is session overhead, not placement time.
+        pool = sharded.placer._executor()
+        if pool is not None:
+            for future in [
+                pool.submit(lambda: None) for _ in range(XL_JOBS)
+            ]:
+                future.result()
+        for size in XL_SIZES:
+            func = device_filling_func(
+                seed=XL_SEED, cells=size, name=f"xl{size}"
+            )
+            rows.append(run_pair(sharded, "xl", size, func=func))
+        # The incremental-recompile row: prime the reuse bank with the
+        # unedited program (its compile is deliberately off the row),
+        # then measure a one-tree edit cold — placement replays every
+        # cluster but the new one.
+        largest = max(XL_SIZES)
+        reuser = ReticleCompiler(
+            device=device,
+            cache=cache,
+            place_jobs=XL_JOBS,
+            place_shards=XL_SHARDS,
+            place_reuse=True,
+        )
+        base = device_filling_func(
+            seed=XL_SEED, cells=largest, name=f"xl{largest}"
+        )
+        reuser.compile(base)
+        rows.append(
+            run_pair(
+                reuser, "xl+reuse", largest, func=edit_one_tree(base)
+            )
+        )
     return rows
 
 

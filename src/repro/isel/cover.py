@@ -152,6 +152,15 @@ class CoverResult:
     attempt.  ``replayed`` marks covers produced by
     :func:`replay_cover` from a digest-equal template rather than by
     the DP — they carry zero effort counters.
+
+    ``digest`` is the tree's structural identity
+    (:func:`repro.ir.dfg.tree_digest`), stamped by the memoizing
+    selector on fresh covers and replays alike (``None`` on the
+    non-memo path).  It is the sub-function recompilation unit: the
+    isel memo replays covers per digest, and the placement-reuse tier
+    (:mod:`repro.place.reuse`) extends the same idea below placement
+    with alpha-canonical cluster signatures — edit one tree and every
+    other tree's cover *and* placement replay from cache.
     """
 
     tree: SubjectTree
@@ -162,6 +171,7 @@ class CoverResult:
     match_costs: List[float] = field(default_factory=list)
     index_skips: int = 0
     replayed: bool = False
+    digest: Optional[str] = None
 
 
 def cover_tree(
@@ -321,4 +331,5 @@ def replay_cover(cover: CoverResult, tree: SubjectTree) -> CoverResult:
         cost=cover.cost,
         match_costs=list(cover.match_costs),
         replayed=True,
+        digest=cover.digest,
     )

@@ -137,6 +137,8 @@ class Selector:
         covered = dict(
             zip(representatives, self._cover_batch(unique, weight, types))
         )
+        for digest, template in covered.items():
+            template.digest = digest
         results: List[CoverResult] = []
         for tree, digest in zip(trees, digests):
             template = covered[digest]

@@ -149,6 +149,10 @@ class CachedCompile:
 #: writer mid-``pickle.dump`` is never swept out from under itself.
 STALE_TMP_SECONDS = 15 * 60
 
+#: Hex digits of the key used as the shard subdirectory name (2 chars
+#: = 256 shards, plenty for millions of entries at sane dir sizes).
+SHARD_PREFIX_CHARS = 2
+
 
 class CompileCache:
     """Two-layer (memory + optional disk) store of compile artifacts.
@@ -190,9 +194,43 @@ class CompileCache:
             return len(self._memory)
 
     def _disk_path(self, key: str) -> Optional[str]:
+        """Where ``key``'s entry lives: a 2-hex-char shard subdirectory.
+
+        Device-scale workloads push thousands of entries into one
+        cache; sharding by digest prefix keeps per-directory entry
+        counts (and ``listdir`` costs) bounded.  SHA-256 keys are
+        uniform, so 256 shards split the population evenly.
+        """
+        if self.cache_dir is None:
+            return None
+        return os.path.join(
+            self.cache_dir, key[:SHARD_PREFIX_CHARS], f"{key}.pkl"
+        )
+
+    def _legacy_path(self, key: str) -> Optional[str]:
+        """The pre-sharding flat location of ``key``'s entry."""
         if self.cache_dir is None:
             return None
         return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _scan_dirs(self) -> List[str]:
+        """Cache dir plus its shard subdirectories (legacy entries
+        live at the top level, sharded entries one level down)."""
+        assert self.cache_dir is not None
+        dirs = [self.cache_dir]
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return dirs
+        for name in sorted(names):
+            if len(name) != SHARD_PREFIX_CHARS or any(
+                c not in "0123456789abcdef" for c in name
+            ):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            if os.path.isdir(path):
+                dirs.append(path)
+        return dirs
 
     # -- lookup ------------------------------------------------------
 
@@ -224,8 +262,18 @@ class CompileCache:
         self, key: str, tracer=NULL_TRACER
     ) -> Optional[CachedCompile]:
         path = self._disk_path(key)
-        if path is None or not os.path.exists(path):
+        if path is None:
             return None
+        legacy = False
+        if not os.path.exists(path):
+            # Migration path: entries written before directory
+            # sharding live flat in the cache dir; a hit reads them
+            # in place and moves them into their shard.
+            flat = self._legacy_path(key)
+            assert flat is not None
+            if not os.path.exists(flat):
+                return None
+            path, legacy = flat, True
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
@@ -239,6 +287,8 @@ class CompileCache:
         if not isinstance(entry, CachedCompile):
             self._quarantine(path, tracer=tracer)
             return None
+        if legacy:
+            path = self._migrate(key, path, tracer=tracer)
         # Bump recency for LRU eviction; the entry file itself is the
         # index, so a hit is "used" when its mtime moves forward.
         try:
@@ -246,6 +296,24 @@ class CompileCache:
         except OSError:
             pass
         return entry
+
+    def _migrate(self, key: str, flat: str, tracer=NULL_TRACER) -> str:
+        """Move a legacy flat entry into its shard subdirectory.
+
+        Atomic (``os.replace`` within one filesystem) and best-effort:
+        losing a race with another migrator or an evictor leaves the
+        entry wherever the winner put it, and the already-loaded bytes
+        are served either way.
+        """
+        target = self._disk_path(key)
+        assert target is not None
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(flat, target)
+        except OSError:
+            return flat
+        tracer.count("cache.migrated")
+        return target
 
     def _quarantine(self, path: str, tracer=NULL_TRACER) -> None:
         """Move a corrupt entry aside so later gets miss cheaply.
@@ -285,7 +353,14 @@ class CompileCache:
         path = self._disk_path(key)
         if path is None:
             return
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        shard_dir = os.path.dirname(path)
+        try:
+            os.makedirs(shard_dir, exist_ok=True)
+        except OSError:
+            return
+        # The temp file lives in the shard directory so the final
+        # os.replace stays a same-directory atomic rename.
+        fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -312,22 +387,27 @@ class CompileCache:
     # -- disk-tier maintenance --------------------------------------
 
     def _entry_files(self) -> List[Tuple[str, float, int]]:
-        """(path, mtime, size) of every disk entry, oldest first."""
+        """(path, mtime, size) of every disk entry, oldest first.
+
+        Spans all shard subdirectories plus legacy flat entries, so
+        LRU eviction ranks the whole tier in one recency order.
+        """
         assert self.cache_dir is not None
         files: List[Tuple[str, float, int]] = []
-        try:
-            names = os.listdir(self.cache_dir)
-        except OSError:
-            return files
-        for name in names:
-            if not name.endswith(".pkl"):
-                continue
-            path = os.path.join(self.cache_dir, name)
+        for directory in self._scan_dirs():
             try:
-                stat = os.stat(path)
+                names = os.listdir(directory)
             except OSError:
-                continue  # evicted concurrently
-            files.append((path, stat.st_mtime, stat.st_size))
+                continue
+            for name in names:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # evicted concurrently
+                files.append((path, stat.st_mtime, stat.st_size))
         files.sort(key=lambda item: item[1])
         return files
 
@@ -422,21 +502,22 @@ class CompileCache:
         lock_fd = self._dir_lock()
         swept = 0
         try:
-            try:
-                names = os.listdir(self.cache_dir)
-            except OSError:
-                return 0
-            for name in names:
-                if not name.endswith(".tmp"):
-                    continue
-                path = os.path.join(self.cache_dir, name)
+            for directory in self._scan_dirs():
                 try:
-                    if now - os.stat(path).st_mtime < stale_tmp_seconds:
-                        continue
-                    os.unlink(path)
+                    names = os.listdir(directory)
                 except OSError:
                     continue
-                swept += 1
+                for name in names:
+                    if not name.endswith(".tmp"):
+                        continue
+                    path = os.path.join(directory, name)
+                    try:
+                        if now - os.stat(path).st_mtime < stale_tmp_seconds:
+                            continue
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    swept += 1
         finally:
             self._unlock(lock_fd)
         if swept:

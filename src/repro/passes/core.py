@@ -112,6 +112,8 @@ class CompileContext:
                 shrink=bool(self.options.get("shrink", True)),
                 jobs=int(self.options.get("place_jobs", 1)),
                 portfolio=portfolio,
+                shards=int(self.options.get("place_shards", 0)),
+                reuse=bool(self.options.get("place_reuse", False)),
             )
         return self.placer
 

@@ -65,6 +65,23 @@ class Device:
             x for x, column in enumerate(self.columns) if column.kind is kind
         ]
 
+    def column_groups(self, kind: Prim, groups: int) -> List[List[int]]:
+        """``kind``'s columns split into ``groups`` contiguous runs.
+
+        Balanced by column count, left to right; some runs are empty
+        when ``kind`` has fewer columns than ``groups``.  This is the
+        partition unit of region-sharded placement
+        (:func:`repro.place.shard.plan_shards`).
+        """
+        columns = self.columns_of(kind)
+        return [
+            columns[
+                (index * len(columns)) // groups
+                : ((index + 1) * len(columns)) // groups
+            ]
+            for index in range(groups)
+        ]
+
     def slice_capacity(self, kind: Prim) -> int:
         """Total rows (slices) available for ``kind``."""
         return sum(

@@ -21,8 +21,11 @@ from repro.asm.coords import Coord, CoordLit, Loc
 from repro.errors import PlacementError
 from repro.obs import NULL_TRACER, Severity
 from repro.place.device import Device, LUTS_PER_SLICE
+from repro.place.reuse import PlacementReuse
+from repro.place.shard import solve_sharded
 from repro.place.solver import (
     BASELINE_STRATEGY,
+    STRATEGY_REGISTRY,
     FixedBase,
     PlacementItem,
     PlacementProblem,
@@ -30,6 +33,8 @@ from repro.place.solver import (
     PortfolioSpec,
     SolverStrategy,
     build_clusters,
+    fixed_base_from,
+    pack_hints,
     prepare_fixed,
     resolve_portfolio,
     solve_placement,
@@ -94,6 +99,16 @@ class Placer:
     probe_budget: int = 20_000
     jobs: int = 1
     portfolio: Optional[PortfolioSpec] = None
+    # Region sharding: with ``shards > 1``, programs of at least
+    # ``shard_threshold`` items are split across device column groups
+    # and solved in parallel (repro.place.shard).  Below the threshold
+    # the monolithic solver runs byte-identically to shards == 0.
+    shards: int = 0
+    shard_threshold: int = 512
+    # Incremental placement reuse across edits of one function
+    # (repro.place.reuse).  Opt-in: it makes a placement depend on the
+    # placer's history, so callers must carry it in their cache keys.
+    reuse: bool = False
 
     def _executor(self) -> Optional[ThreadPoolExecutor]:
         """The shared placement thread pool (lazily built, reused).
@@ -115,6 +130,13 @@ class Placer:
             # is dropped and garbage-collected with idle threads.
             pool = self.__dict__.setdefault("_pool", pool)
         return pool
+
+    def _reuse_memo(self) -> PlacementReuse:
+        """The placement-reuse memo (lazily built, placer-lifetime)."""
+        memo = self.__dict__.get("_reuse_bank")
+        if memo is None:
+            memo = self.__dict__.setdefault("_reuse_bank", PlacementReuse())
+        return memo
 
     def _items(self, func: AsmFunc) -> Tuple[List[PlacementItem], List[AsmInstr]]:
         taken = set()
@@ -465,10 +487,89 @@ class Placer:
         scheduled = self.portfolio is not None or self.jobs > 1
         winner_strategy = BASELINE_STRATEGY
         clusters = fixed = None
-        if scheduled:
+        solution: Optional[PlacementSolution] = None
+        skip_shrink = False
+        want_shards = (
+            self.shards > 1 and len(items) >= self.shard_threshold
+        )
+        reuse_clusters = None
+        if self.reuse or want_shards:
             clusters = build_clusters(items)
             fixed = prepare_fixed(items, clusters)
-        if self.portfolio is not None:
+        if self.reuse:
+            assert clusters is not None
+            reuse_clusters = [c for c in clusters if c.x_vars or c.y_vars]
+            outcome = self._reuse_memo().match(
+                func.name, reuse_clusters, self.device, fixed
+            )
+            tracer.count("cache.place_hits", outcome.hits)
+            tracer.gauge("place.reuse_pct", round(outcome.reuse_pct, 1))
+            if outcome.hits:
+                # Matched clusters replay their previous positions as
+                # an immovable base; only the leftovers are searched,
+                # warm-started, on the full device.
+                base_items = (
+                    list(fixed.items) if fixed is not None else []
+                ) + outcome.committed_items
+                base_positions = (
+                    dict(fixed.positions) if fixed is not None else {}
+                )
+                base_positions.update(outcome.positions)
+                base = fixed_base_from(base_items, base_positions)
+                problem = PlacementProblem(device=self.device, items=items)
+                hints = pack_hints(
+                    problem, clusters=outcome.unmatched, fixed=base
+                )
+                solution = solve_placement(
+                    problem,
+                    node_budget=self.node_budget,
+                    strategy=STRATEGY_REGISTRY["greedy"],
+                    clusters=outcome.unmatched,
+                    hints=hints,
+                    fixed=base,
+                )
+                skip_shrink = True
+                tracer.event(
+                    Severity.INFO,
+                    "place",
+                    "placement reuse",
+                    func=func.name,
+                    hits=outcome.hits,
+                    total=outcome.total,
+                )
+        if solution is None and want_shards:
+            result = solve_sharded(
+                self.device,
+                items,
+                self.shards,
+                node_budget=self.node_budget,
+                pool=self._executor(),
+            )
+            if result is not None:
+                solution = result.solution
+                skip_shrink = True
+                tracer.count("place.shards", result.shards_solved)
+                tracer.count(
+                    "place.seam_repairs", result.repaired_clusters
+                )
+                if result.failed_shards:
+                    tracer.count(
+                        "place.shard_failures", result.failed_shards
+                    )
+                tracer.event(
+                    Severity.INFO,
+                    "place",
+                    "sharded placement",
+                    func=func.name,
+                    shards=result.shards_solved,
+                    repaired=result.repaired_clusters,
+                )
+        if solution is None and scheduled and clusters is None:
+            clusters = build_clusters(items)
+            fixed = prepare_fixed(items, clusters)
+        if solution is not None:
+            pass
+        elif self.portfolio is not None:
             problem = PlacementProblem(
                 device=self.device, items=items, max_col={}, max_row={}
             )
@@ -525,13 +626,27 @@ class Placer:
                 backtracks=solution.backtracks,
                 nodes=solution.nodes,
             )
-        if self.shrink:
+        if self.shrink and not skip_shrink:
+            # Sharded and reuse-replayed solutions skip shrink: the
+            # greedy per-region packing already packs toward each
+            # region's origin, and shrink probes would invalidate the
+            # replayed positions the reuse tier just committed.
             if scheduled:
                 solution = self._shrink_scheduled(
                     items, solution, winner_strategy, clusters, fixed, tracer
                 )
             else:
                 solution = self._shrink(items, solution, tracer)
+        if self.reuse:
+            if reuse_clusters is None:
+                reuse_clusters = [
+                    c
+                    for c in (clusters or build_clusters(items))
+                    if c.x_vars or c.y_vars
+                ]
+            self._reuse_memo().store(
+                func.name, reuse_clusters, solution.positions
+            )
 
         bbox_cols = max(
             solution.positions[item.key][0] for item in items

@@ -1,0 +1,179 @@
+"""Incremental placement reuse across edits of one function.
+
+PR 5 memoized instruction selection below function granularity: trees
+are hash-consed, digest-identical trees replay one DP cover.  This
+module extends the same idea to *placements*.  A placement cluster
+(one cascade chain, usually one instruction) is digested by its
+alpha-canonical shape — resource kinds, coordinate offsets, spans, and
+the wiring pattern of its coordinate variables, but *not* the variable
+names or instruction indices, both of which shift when an unrelated
+instruction is inserted.  When the same function is re-placed after an
+edit, every cluster whose shape digest matches a stored one replays
+its previous concrete position (re-validated against device bounds and
+the occupancy of everything committed before it); only genuinely new
+or displaced clusters reach the solver.
+
+The memo is per-:class:`~repro.place.placer.Placer` (one compiler
+instance), keyed by function name, guarded by a lock for
+``compile_prog`` thread fan-out.  Reuse changes placement *history
+sensitivity* — the second compile of an edited function depends on the
+first — so it is an explicit opt-in (``--place-reuse``) and part of
+the compile-cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.place.device import Device
+from repro.place.solver import FixedBase, PlacementItem, _Occupancy
+
+#: One stored cluster placement: positions aligned with the cluster's
+#: items in ascending-key order.
+_Stored = Tuple[Tuple[int, int], ...]
+
+
+def cluster_signature(cluster) -> str:
+    """Digest of a cluster's placement-relevant shape.
+
+    Alpha-canonical: coordinate variables are numbered by first
+    appearance (scanning items in ascending-key order, x before y), so
+    renamed variables and shifted instruction indices — the churn a
+    one-tree edit causes downstream — do not change the digest.
+    """
+    items = sorted(cluster.items, key=lambda item: item.key)
+    var_index: Dict[str, int] = {}
+
+    def canon(var: Optional[str]) -> int:
+        if var is None:
+            return -1
+        if var not in var_index:
+            var_index[var] = len(var_index)
+        return var_index[var]
+
+    payload: List[Tuple[object, ...]] = []
+    for item in items:
+        payload.append(
+            (
+                item.prim.value,
+                canon(item.x_var),
+                item.x_off,
+                canon(item.y_var),
+                item.y_off,
+                item.span,
+            )
+        )
+    digest = hashlib.blake2b(repr(payload).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+@dataclass
+class ReuseOutcome:
+    """What the memo could replay for one placement request."""
+
+    #: Items of matched clusters, with their replayed positions.
+    committed_items: List[PlacementItem] = field(default_factory=list)
+    positions: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Clusters the solver still has to place.
+    unmatched: List = field(default_factory=list)
+    hits: int = 0
+    total: int = 0
+
+    @property
+    def reuse_pct(self) -> float:
+        return 100.0 * self.hits / self.total if self.total else 0.0
+
+
+class PlacementReuse:
+    """Thread-safe per-function memo of cluster placements."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._funcs: Dict[str, Dict[str, List[_Stored]]] = {}
+
+    def match(
+        self,
+        func_name: str,
+        clusters: Sequence,
+        device: Device,
+        fixed: Optional[FixedBase] = None,
+    ) -> ReuseOutcome:
+        """Replay stored positions for shape-matching clusters.
+
+        Every replayed position is re-validated — column kind, device
+        bounds, and occupancy against the fixed base plus previously
+        replayed clusters — so a stale memo entry degrades to a solver
+        miss, never to an invalid placement.
+        """
+        with self._lock:
+            stored = self._funcs.get(func_name, {})
+            bank: Dict[str, Deque[_Stored]] = {
+                sig: deque(entries) for sig, entries in stored.items()
+            }
+        outcome = ReuseOutcome(total=len(clusters))
+        occupancy = (
+            fixed.occupancy.clone() if fixed is not None else _Occupancy()
+        )
+        ordered = sorted(
+            clusters, key=lambda c: min(i.key for i in c.items)
+        )
+        for cluster in ordered:
+            entries = bank.get(cluster_signature(cluster))
+            candidate = entries.popleft() if entries else None
+            placed = (
+                self._validate(cluster, candidate, device, occupancy)
+                if candidate is not None
+                else None
+            )
+            if placed is None:
+                outcome.unmatched.append(cluster)
+                continue
+            outcome.hits += 1
+            for item, (col, row) in placed:
+                occupancy.add(col, row, item.span)
+                outcome.positions[item.key] = (col, row)
+                outcome.committed_items.append(item)
+        return outcome
+
+    @staticmethod
+    def _validate(
+        cluster, candidate: _Stored, device: Device, occupancy: _Occupancy
+    ) -> Optional[List[Tuple[PlacementItem, Tuple[int, int]]]]:
+        items = sorted(cluster.items, key=lambda item: item.key)
+        if len(candidate) != len(items):
+            return None
+        placed: List[Tuple[PlacementItem, Tuple[int, int]]] = []
+        for item, (col, row) in zip(items, candidate):
+            if not 0 <= col < device.num_columns:
+                return None
+            column = device.column(col)
+            if column.kind is not item.prim:
+                return None
+            if row < 0 or row + item.span > column.height:
+                return None
+            if not occupancy.fits(col, row, item.span):
+                return None
+            placed.append((item, (col, row)))
+        return placed
+
+    def store(
+        self,
+        func_name: str,
+        clusters: Sequence,
+        positions: Dict[int, Tuple[int, int]],
+    ) -> None:
+        """Record the final positions of every cluster, replacing the
+        function's previous entry wholesale (no stale accretion)."""
+        bank: Dict[str, List[_Stored]] = {}
+        for cluster in sorted(
+            clusters, key=lambda c: min(i.key for i in c.items)
+        ):
+            items = sorted(cluster.items, key=lambda item: item.key)
+            entry = tuple(positions[item.key] for item in items)
+            bank.setdefault(cluster_signature(cluster), []).append(entry)
+        with self._lock:
+            self._funcs[func_name] = bank

@@ -1,0 +1,373 @@
+"""Region-sharded placement for device-scale programs.
+
+The monolithic CSP solver walks one global search tree; at thousands
+of items even the greedy warm-started search is dominated by the
+single-threaded commit loop.  Device-scale programs, however, are
+mostly *independent* clusters (a cluster is one cascade chain or one
+instruction), and FPGA columns are interchangeable within a resource
+kind — so the device can be split into disjoint column groups
+("shards"), each shard solved independently, and the per-shard
+solutions merged without coordinate translation (every shard solves in
+the global coordinate system, restricted via
+:attr:`~repro.place.solver.PlacementProblem.col_set`).
+
+The flow (:func:`solve_sharded`):
+
+1. **Plan** — partition each demanded resource kind's columns into
+   ``shards`` contiguous groups, balanced by column count
+   (:func:`plan_shards`).
+2. **Assign** — distribute variable clusters across shards with a
+   deterministic greedy balance (largest cluster first, to the
+   eligible shard with the most remaining capacity).  Clusters pinned
+   by literal columns go to the shard owning those columns; clusters
+   no shard can host go straight to the repair list.
+3. **Solve** — each shard runs the warm-started greedy strategy on its
+   own column group, in parallel on the placer's thread pool.  Fixed
+   (fully-literal) items are pre-committed globally, so a shard sees
+   their occupancy even when they sit in another shard's columns.
+4. **Stitch & repair** — merge the per-shard positions (disjoint by
+   construction) and re-solve every leftover cluster — unassignable or
+   from a failed shard — against the *full* device with all committed
+   positions as a fixed base (:func:`~repro.place.solver.fixed_base_from`).
+
+Determinism: the plan, the assignment, every per-shard search, and the
+repair pass are pure functions of (device, items, shard count); thread
+scheduling only affects wall-clock, never the result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.place.device import Device
+from repro.place.solver import (
+    STRATEGY_REGISTRY,
+    FixedBase,
+    PlacementItem,
+    PlacementProblem,
+    PlacementSolution,
+    build_clusters,
+    fixed_base_from,
+    pack_hints,
+    prepare_fixed,
+    recursion_headroom,
+    solve_placement,
+)
+from repro.prims import Prim
+
+#: Per-shard searches fail fast: a shard that cannot commit its greedy
+#: packing within this many nodes per item hands its clusters to the
+#: repair pass instead of burning the global budget.
+SHARD_NODE_FACTOR = 64
+SHARD_NODE_FLOOR = 20_000
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One column group: a disjoint slice of the device, per kind."""
+
+    index: int
+    #: Device column indices this shard may place into (all kinds).
+    columns: FrozenSet[int]
+    #: Row capacity per kind within :attr:`columns`.
+    capacity: Dict[Prim, int]
+
+
+@dataclass
+class ShardedResult:
+    """A merged solution plus how the shards behaved."""
+
+    solution: PlacementSolution
+    #: Shards that were actually solved (had clusters assigned).
+    shards_solved: int
+    #: Variable clusters routed through the conflict-repair pass.
+    repaired_clusters: int
+    #: Shards whose solve failed outright (their clusters repaired).
+    failed_shards: int
+
+
+def plan_shards(
+    device: Device,
+    items: Sequence[PlacementItem],
+    shards: int,
+) -> Optional[List[Shard]]:
+    """Partition the device's columns into ``shards`` groups.
+
+    Returns ``None`` when sharding is not applicable: fewer than two
+    shards requested, or some demanded resource kind has fewer columns
+    than shards (each shard must be able to host every kind the
+    program uses, or assignment would starve).
+    """
+    if shards < 2:
+        return None
+    prims = sorted({item.prim for item in items}, key=lambda p: p.value)
+    if not prims:
+        return None
+    per_prim: Dict[Prim, List[List[int]]] = {}
+    for prim in prims:
+        if len(device.columns_of(prim)) < shards:
+            return None
+        per_prim[prim] = device.column_groups(prim, shards)
+    planned: List[Shard] = []
+    for index in range(shards):
+        members: List[int] = []
+        capacity: Dict[Prim, int] = {}
+        for prim in prims:
+            group = per_prim[prim][index]
+            members.extend(group)
+            capacity[prim] = sum(
+                device.column(col).height for col in group
+            )
+        planned.append(
+            Shard(
+                index=index,
+                columns=frozenset(members),
+                capacity=capacity,
+            )
+        )
+    return planned
+
+
+def _cluster_demand(cluster) -> Dict[Prim, int]:
+    demand: Dict[Prim, int] = {}
+    for item in cluster.items:
+        demand[item.prim] = demand.get(item.prim, 0) + item.span
+    return demand
+
+
+def _literal_columns(cluster) -> FrozenSet[int]:
+    """Columns pinned by items whose x coordinate is literal."""
+    return frozenset(
+        item.x_off for item in cluster.items if item.x_var is None
+    )
+
+
+def assign_clusters(
+    plan: List[Shard],
+    clusters: Sequence,
+) -> Tuple[Dict[int, List], List]:
+    """Deterministic greedy cluster-to-shard assignment.
+
+    Returns ``(per-shard cluster lists, unassignable clusters)``.
+    Largest clusters are assigned first; each goes to the eligible
+    shard (owns columns of every demanded kind, has the capacity) with
+    the most remaining room, ties broken by shard index.
+    """
+    remaining: Dict[int, Dict[Prim, int]] = {
+        shard.index: dict(shard.capacity) for shard in plan
+    }
+    assigned: Dict[int, List] = {shard.index: [] for shard in plan}
+    overflow: List = []
+    order = sorted(
+        clusters,
+        key=lambda c: (-c.total_span, min(i.key for i in c.items)),
+    )
+    for cluster in order:
+        demand = _cluster_demand(cluster)
+        pinned = _literal_columns(cluster)
+        candidates: List[Tuple[int, int]] = []  # (-room, index)
+        for shard in plan:
+            if pinned and not pinned <= shard.columns:
+                continue
+            room = remaining[shard.index]
+            if any(
+                room.get(prim, 0) < needed
+                for prim, needed in demand.items()
+            ):
+                continue
+            candidates.append(
+                (-sum(room.get(prim, 0) for prim in demand), shard.index)
+            )
+        if not candidates:
+            overflow.append(cluster)
+            continue
+        _, chosen = min(candidates)
+        assigned[chosen].append(cluster)
+        room = remaining[chosen]
+        for prim, needed in demand.items():
+            room[prim] -= needed
+    return assigned, overflow
+
+
+def _shard_fixed(
+    shard: Shard, fixed: Optional[FixedBase]
+) -> Optional[FixedBase]:
+    """The shard's view of the global fixed base.
+
+    Every solve starts from the *global* fixed occupancy (so a shard
+    never collides with a literal item parked in its columns by the
+    program), but only in-shard fixed items are carried as ``items`` —
+    the solver re-validates fixed bounds against the shard's column
+    set, and out-of-shard items would fail that check by design.
+    """
+    if fixed is None:
+        return None
+    members = tuple(
+        item
+        for item in fixed.items
+        if fixed.positions[item.key][0] in shard.columns
+    )
+    return FixedBase(
+        occupancy=fixed.occupancy,
+        positions={item.key: fixed.positions[item.key] for item in members},
+        items=members,
+    )
+
+
+def _solve_shard(
+    device: Device,
+    shard: Shard,
+    clusters: List,
+    fixed: Optional[FixedBase],
+    node_budget: int,
+) -> Optional[PlacementSolution]:
+    """Solve one shard; ``None`` hands its clusters to repair."""
+    shard_fixed = _shard_fixed(shard, fixed)
+    items: List[PlacementItem] = [
+        item for cluster in clusters for item in cluster.items
+    ]
+    if shard_fixed is not None:
+        items.extend(shard_fixed.items)
+    problem = PlacementProblem(
+        device=device, items=items, col_set=shard.columns
+    )
+    strategy = STRATEGY_REGISTRY["greedy"]
+    hints = pack_hints(problem, clusters=clusters, fixed=shard_fixed)
+    try:
+        return solve_placement(
+            problem,
+            node_budget=node_budget,
+            strategy=strategy,
+            clusters=clusters,
+            hints=hints,
+            fixed=shard_fixed,
+        )
+    except PlacementError:
+        return None
+
+
+def solve_sharded(
+    device: Device,
+    items: Sequence[PlacementItem],
+    shards: int,
+    node_budget: int = 500_000,
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> Optional[ShardedResult]:
+    """Region-sharded solve of ``items``; ``None`` when not applicable.
+
+    Raises :class:`PlacementError` only when the final repair pass —
+    the full-device, full-budget fallback — cannot place the leftover
+    clusters either.
+    """
+    plan = plan_shards(device, items, shards)
+    if plan is None:
+        return None
+    # Hold recursion headroom sized for the whole item set across the
+    # parallel shard solves and the repair pass (the per-solve guard
+    # only sizes for its own shard's items).
+    with recursion_headroom(3_000 + 12 * len(items)):
+        return _solve_sharded(device, items, node_budget, pool, plan)
+
+
+def _solve_sharded(
+    device: Device,
+    items: Sequence[PlacementItem],
+    node_budget: int,
+    pool: Optional[ThreadPoolExecutor],
+    plan: List[Shard],
+) -> Optional[ShardedResult]:
+    clusters = build_clusters(items)
+    fixed = prepare_fixed(items, clusters)
+    variable = [c for c in clusters if c.x_vars or c.y_vars]
+    assigned, overflow = assign_clusters(plan, variable)
+    populated = [
+        shard for shard in plan if assigned[shard.index]
+    ]
+    budget = max(
+        SHARD_NODE_FLOOR,
+        SHARD_NODE_FACTOR
+        * max(
+            (len(assigned[s.index]) for s in populated), default=0
+        ),
+    )
+
+    def run(shard: Shard) -> Optional[PlacementSolution]:
+        return _solve_shard(
+            device, shard, assigned[shard.index], fixed, budget
+        )
+
+    if pool is not None and len(populated) > 1:
+        solved = list(pool.map(run, populated))
+    else:
+        solved = [run(shard) for shard in populated]
+
+    positions: Dict[int, Tuple[int, int]] = {}
+    var_values: Dict[str, int] = {}
+    nodes = 0
+    backtracks = 0
+    if fixed is not None:
+        positions.update(fixed.positions)
+    repair = list(overflow)
+    failed_shards = 0
+    for shard, outcome in zip(populated, solved):
+        if outcome is None:
+            failed_shards += 1
+            repair.extend(assigned[shard.index])
+            continue
+        nodes += outcome.nodes
+        backtracks += outcome.backtracks
+        var_values.update(outcome.var_values)
+        positions.update(outcome.positions)
+
+    if repair:
+        # Conflict repair: everything committed so far (fixed items
+        # plus every successful shard) becomes an immovable base and
+        # the leftovers get the whole device and the full budget.
+        committed_items = [
+            item for item in items if item.key in positions
+        ]
+        base = fixed_base_from(committed_items, positions)
+        repair_items = [
+            item for cluster in repair for item in cluster.items
+        ]
+        problem = PlacementProblem(
+            device=device,
+            items=list(repair_items) + committed_items,
+        )
+        hints = pack_hints(problem, clusters=repair, fixed=base)
+        outcome = solve_placement(
+            problem,
+            node_budget=node_budget,
+            strategy=STRATEGY_REGISTRY["greedy"],
+            clusters=repair,
+            hints=hints,
+            fixed=base,
+        )
+        nodes += outcome.nodes
+        backtracks += outcome.backtracks
+        var_values.update(outcome.var_values)
+        positions.update(outcome.positions)
+
+    # Deterministic sanity: every item must have a position exactly
+    # once; disjoint shard column sets guarantee no double-booking.
+    missing = [item.key for item in items if item.key not in positions]
+    if missing:
+        raise PlacementError(
+            f"sharded placement left {len(missing)} items unplaced"
+        )
+    solution = PlacementSolution(
+        var_values=var_values,
+        positions=positions,
+        nodes=nodes,
+        backtracks=backtracks,
+        strategy=f"sharded{len(populated)}",
+    )
+    return ShardedResult(
+        solution=solution,
+        shards_solved=len(populated),
+        repaired_clusters=len(repair),
+        failed_shards=failed_shards,
+    )

@@ -40,8 +40,19 @@ import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import PlacementError
 from repro.place.device import Device
@@ -79,19 +90,26 @@ class PlacementProblem:
     """A device plus items plus optional shrink bounds.
 
     ``max_col``/``max_row`` bound the usable area per resource kind
-    (inclusive); ``None`` means the full device.
+    (inclusive); ``None`` means the full device.  ``col_set``, when
+    given, restricts every kind to that set of device columns — the
+    region-sharded placement path solves each shard against the same
+    global coordinate system with a disjoint ``col_set`` per shard, so
+    shard solutions merge without translation.
     """
 
     device: Device
     items: Sequence[PlacementItem]
     max_col: Dict[Prim, int] = field(default_factory=dict)
     max_row: Dict[Prim, int] = field(default_factory=dict)
+    col_set: Optional[FrozenSet[int]] = None
 
     def allowed_columns(self, prim: Prim) -> List[int]:
         columns = self.device.columns_of(prim)
         bound = self.max_col.get(prim)
         if bound is not None:
             columns = [x for x in columns if x <= bound]
+        if self.col_set is not None:
+            columns = [x for x in columns if x in self.col_set]
         return columns
 
     def row_limit(self, prim: Prim, column_height: int) -> int:
@@ -316,6 +334,32 @@ def prepare_fixed(
             fixed_items.append(item)
     return FixedBase(
         occupancy=base, positions=positions, items=tuple(fixed_items)
+    )
+
+
+def fixed_base_from(
+    items: Sequence[PlacementItem],
+    positions: Dict[int, Tuple[int, int]],
+) -> FixedBase:
+    """A :class:`FixedBase` committing ``items`` at ``positions``.
+
+    Unlike :func:`prepare_fixed` the items need not have literal
+    coordinates — the positions come from elsewhere (a solved shard, a
+    reused placement).  Raises :class:`PlacementError` when two
+    committed items overlap.
+    """
+    base = _Occupancy()
+    committed: Dict[int, Tuple[int, int]] = {}
+    for item in items:
+        col, row = positions[item.key]
+        if not base.fits(col, row, item.span):
+            raise PlacementError(
+                f"committed items overlap at column {col}, row {row}"
+            )
+        base.add(col, row, item.span)
+        committed[item.key] = (col, row)
+    return FixedBase(
+        occupancy=base, positions=committed, items=tuple(items)
     )
 
 
@@ -819,6 +863,41 @@ def pack_hints(
     return hints
 
 
+_HEADROOM_LOCK = threading.Lock()
+_HEADROOM_ACTIVE = 0
+_HEADROOM_PREVIOUS = 0
+
+
+@contextmanager
+def recursion_headroom(needed: int):
+    """Raise the recursion limit for the duration of a solve.
+
+    The limit is process-global and solves run concurrently — a
+    portfolio race, a batch of parallel shrink probes, or sharded
+    regions on the placement pool — so a naive raise/restore per solve
+    lets whichever solve finishes first yank the limit out from under
+    a sibling still deep in its search.  A nesting counter keeps the
+    raised limit (the maximum any active solve asked for) until the
+    last active solve exits, then restores the original.
+    """
+    import sys
+
+    global _HEADROOM_ACTIVE, _HEADROOM_PREVIOUS
+    with _HEADROOM_LOCK:
+        if _HEADROOM_ACTIVE == 0:
+            _HEADROOM_PREVIOUS = sys.getrecursionlimit()
+        _HEADROOM_ACTIVE += 1
+        if needed > sys.getrecursionlimit():
+            sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        with _HEADROOM_LOCK:
+            _HEADROOM_ACTIVE -= 1
+            if _HEADROOM_ACTIVE == 0:
+                sys.setrecursionlimit(_HEADROOM_PREVIOUS)
+
+
 def solve_placement(
     problem: PlacementProblem,
     node_budget: int = 500_000,
@@ -838,16 +917,11 @@ def solve_placement(
     values from a previous solution.
 
     The search recurses once per cluster (chronological backtracking),
-    so the recursion limit is raised proportionally; item counts are
-    bounded by device capacity, keeping the depth modest.
+    so the recursion limit is raised proportionally via
+    :func:`recursion_headroom`; item counts are bounded by device
+    capacity, keeping the depth modest.
     """
-    import sys
-
-    needed = 3_000 + 12 * len(problem.items)
-    previous = sys.getrecursionlimit()
-    if needed > previous:
-        sys.setrecursionlimit(needed)
-    try:
+    with recursion_headroom(3_000 + 12 * len(problem.items)):
         return _Solver(
             problem,
             node_budget,
@@ -857,9 +931,6 @@ def solve_placement(
             hints=hints,
             fixed=fixed,
         ).solve()
-    finally:
-        if needed > previous:
-            sys.setrecursionlimit(previous)
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,8 @@ ALLOWED_OPTIONS = frozenset(
         "dsp_weight",
         "place_jobs",
         "place_portfolio",
+        "place_shards",
+        "place_reuse",
         "isel_jobs",
         "isel_memo",
     }

@@ -121,17 +121,32 @@ def _print_item(item: Item) -> List[str]:
     raise TypeError(f"unknown item node: {type(item)}")
 
 
-def print_module(module: Module) -> str:
-    """Render a whole module."""
-    lines = _print_attributes(module.attributes)
+def print_ports(ports) -> str:
+    """Render a module's port list (the text between the parens)."""
     port_texts = []
-    for port in module.ports:
+    for port in ports:
         direction = port.direction + (" reg" if port.reg else "")
         if port.width == 1:
             port_texts.append(f"{direction} {port.name}")
         else:
             port_texts.append(f"{direction} [{port.width - 1}:0] {port.name}")
-    lines.append(f"module {module.name}(" + ", ".join(port_texts) + ");")
+    return ", ".join(port_texts)
+
+
+def print_item(item: Item) -> List[str]:
+    """Render one module item as its source lines (no indent).
+
+    Public alias used by the streaming emitter
+    (:mod:`repro.codegen.verilog_emit`), which renders items one at a
+    time instead of materializing a whole :class:`Module`.
+    """
+    return _print_item(item)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    lines = _print_attributes(module.attributes)
+    lines.append(f"module {module.name}(" + print_ports(module.ports) + ");")
     for item in module.items:
         for text in _print_item(item):
             lines.append(INDENT + text)

@@ -1,0 +1,106 @@
+"""Tests for device-filling program generation and the fuzz cells mode."""
+
+from repro.fuzz.generator import (
+    DEVICE_FILL_BRAM_CAP,
+    DEVICE_FILL_DSP_CAP,
+    device_filling_func,
+    edit_one_tree,
+    format_histogram,
+    program_histogram,
+)
+from repro.fuzz.runner import run_fuzz
+from repro.ir.ops import CompOp
+from repro.ir.typecheck import typecheck_func
+from repro.ir.wellformed import check_well_formed
+
+
+class TestDeviceFillingFunc:
+    def test_deterministic_per_seed(self):
+        assert device_filling_func(seed=4, cells=500) == device_filling_func(
+            seed=4, cells=500
+        )
+        assert device_filling_func(seed=4, cells=500) != device_filling_func(
+            seed=5, cells=500
+        )
+
+    def test_well_typed_and_well_formed(self):
+        func = device_filling_func(seed=1, cells=800)
+        typecheck_func(func)
+        check_well_formed(func)
+
+    def test_histogram_tracks_requested_cells(self):
+        func = device_filling_func(seed=2, cells=1500)
+        hist = program_histogram(func)
+        # Construction can overshoot by at most one add's worth.
+        assert 1500 <= hist["est_cells"] <= 1500 + 9
+        assert hist["dsp"] > 0 and hist["bram"] > 0
+
+    def test_hardened_mix_capped_below_device(self):
+        func = device_filling_func(seed=9, cells=100_000)
+        ops = [instr.op for instr in func.instrs]
+        assert ops.count(CompOp.MUL) <= DEVICE_FILL_DSP_CAP
+        assert ops.count(CompOp.RAM) <= DEVICE_FILL_BRAM_CAP
+
+    def test_every_instruction_is_an_independent_tree(self):
+        func = device_filling_func(seed=6, cells=600)
+        inputs = {port.name for port in func.inputs}
+        for instr in func.instrs:
+            assert set(instr.args) <= inputs
+
+    def test_netlist_cells_match_histogram(self):
+        from repro.compiler import ReticleCompiler
+
+        func = device_filling_func(seed=3, cells=400, name="cal")
+        hist = program_histogram(func)
+        result = ReticleCompiler(shrink=False).compile(func)
+        assert len(result.netlist.cells) == hist["est_cells"]
+
+    def test_format_histogram_line(self):
+        hist = {"est_cells": 42, "lut": 3, "dsp": 2, "bram": 1, "wire": 0}
+        line = format_histogram(hist)
+        assert "~42 cells" in line
+        assert "3 LUT / 2 DSP / 1 BRAM" in line
+
+
+class TestEditOneTree:
+    def test_edit_changes_text_not_shape(self):
+        base = device_filling_func(seed=7, cells=300)
+        edited = edit_one_tree(base)
+        typecheck_func(edited)
+        check_well_formed(edited)
+        assert edited != base
+        assert edited.name == base.name
+        assert edited.instrs[:-1] == base.instrs
+
+
+class TestFuzzCellsMode:
+    def test_cells_mode_differential_ok(self):
+        report = run_fuzz(
+            iterations=1,
+            seed=0,
+            cells=150,
+            flows=("reticle", "reticle-text"),
+        )
+        assert report.ok, report.summary()
+        assert report.cells == 150
+
+    def test_replay_command_carries_cells(self):
+        from repro.fuzz.runner import FuzzOutcome, FuzzReport
+
+        report = FuzzReport(iterations=1, seed=5, cells=2000)
+        outcome = FuzzOutcome(seed=5, flow="reticle", status="error")
+        assert "--cells 2000" in report.replay_command(outcome)
+
+    def test_failure_carries_shape_histogram(self):
+        report = run_fuzz(
+            iterations=1, seed=0, cells=150, flows=("bogus",)
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert "cells" in failure.histogram
+        assert "shape: ~" in report.summary()
+
+    def test_small_program_failures_also_annotated(self):
+        report = run_fuzz(iterations=1, seed=0, flows=("bogus",))
+        assert not report.ok
+        assert "LUT" in report.failures[0].histogram

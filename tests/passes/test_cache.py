@@ -143,7 +143,7 @@ class TestCacheLayers:
         func = parse_func(TWO_STEP)
         compiler = ReticleCompiler(cache_dir=str(tmp_path))
         compiler.compile(func)
-        for entry in tmp_path.iterdir():
+        for entry in tmp_path.rglob("*.pkl"):
             entry.write_bytes(b"not a pickle")
         fresh = ReticleCompiler(cache_dir=str(tmp_path))
         result = fresh.compile(func)
@@ -324,7 +324,7 @@ class TestDiskBudget:
         )
 
     def _age(self, tmp_path, key: str, seconds_ago: float) -> None:
-        path = tmp_path / f"{key}.pkl"
+        path = tmp_path / key[:2] / f"{key}.pkl"
         stamp = time.time() - seconds_ago
         os.utime(path, (stamp, stamp))
 
@@ -341,8 +341,8 @@ class TestDiskBudget:
         cache.put("c" * 64, self._entry(2000), tracer=tracer)
         assert tracer.counters["cache.evictions"] >= 1
         assert cache.evictions >= 1
-        assert not (tmp_path / ("a" * 64 + ".pkl")).exists()
-        assert (tmp_path / ("c" * 64 + ".pkl")).exists()
+        assert not (tmp_path / "aa" / ("a" * 64 + ".pkl")).exists()
+        assert (tmp_path / "cc" / ("c" * 64 + ".pkl")).exists()
         assert cache.disk_bytes() <= 3000
 
     def test_hit_refreshes_recency(self, tmp_path):
@@ -360,8 +360,8 @@ class TestDiskBudget:
         # Touch "a" through the disk layer: it becomes most recent.
         assert cache.get("a" * 64) is not None
         cache.put("c" * 64, self._entry(2000))
-        assert (tmp_path / ("a" * 64 + ".pkl")).exists()
-        assert not (tmp_path / ("b" * 64 + ".pkl")).exists()
+        assert (tmp_path / "aa" / ("a" * 64 + ".pkl")).exists()
+        assert not (tmp_path / "bb" / ("b" * 64 + ".pkl")).exists()
 
     def test_disk_bytes_gauge_reported(self, tmp_path):
         cache = CompileCache(
@@ -376,5 +376,75 @@ class TestDiskBudget:
         cache = CompileCache(cache_dir=str(tmp_path))
         for index in range(5):
             cache.put(f"{index:064x}", self._entry(4000))
-        assert len(list(tmp_path.glob("*.pkl"))) == 5
+        assert len(list(tmp_path.rglob("*.pkl"))) == 5
         assert cache.evictions == 0
+
+
+class TestDirSharding:
+    """The 2-hex-char shard layout and the legacy-flat migration."""
+
+    def _entry(self, payload: bytes = b"x") -> CachedCompile:
+        return CachedCompile(
+            selected=None, cascaded=None, placed=None, netlist=payload
+        )
+
+    def test_entries_land_in_prefix_shards(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        for key in ("ab" + "0" * 62, "cd" + "1" * 62, "ab" + "2" * 62):
+            cache.put(key, self._entry(key.encode()))
+        assert sorted(
+            p.name for p in tmp_path.iterdir() if p.is_dir()
+        ) == ["ab", "cd"]
+        assert len(list((tmp_path / "ab").glob("*.pkl"))) == 2
+        assert len(list((tmp_path / "cd").glob("*.pkl"))) == 1
+
+    def test_legacy_flat_entry_hit_and_migrated(self, tmp_path):
+        import pickle
+
+        key = "ee" + "f" * 62
+        flat = tmp_path / f"{key}.pkl"
+        flat.write_bytes(
+            pickle.dumps(self._entry(b"legacy"), pickle.HIGHEST_PROTOCOL)
+        )
+        cache = CompileCache(cache_dir=str(tmp_path))
+        tracer = Tracer()
+        entry = cache.get(key, tracer=tracer)
+        assert entry is not None and entry.netlist == b"legacy"
+        assert tracer.counters["cache.hits"] == 1
+        assert tracer.counters["cache.migrated"] == 1
+        assert not flat.exists()
+        assert (tmp_path / "ee" / f"{key}.pkl").exists()
+        # Second read (fresh memory layer) comes straight from the
+        # shard; nothing migrates twice.
+        cache.clear()
+        assert cache.get(key, tracer=tracer) is not None
+        assert tracer.counters["cache.migrated"] == 1
+
+    def test_eviction_spans_shards_and_legacy(self, tmp_path):
+        import pickle
+
+        cache = CompileCache(cache_dir=str(tmp_path), max_disk_bytes=2500)
+        legacy_key = "aa" + "0" * 62
+        flat = tmp_path / f"{legacy_key}.pkl"
+        flat.write_bytes(
+            pickle.dumps(self._entry(b"z" * 1000), pickle.HIGHEST_PROTOCOL)
+        )
+        stamp = time.time() - 600
+        os.utime(flat, (stamp, stamp))
+        cache.put("bb" + "1" * 62, self._entry(b"z" * 1000))
+        cache.put("cc" + "2" * 62, self._entry(b"z" * 1000))
+        # The legacy flat entry was the least recently used: eviction
+        # must find and remove it even though it sits outside the
+        # shard subdirectories.
+        assert not flat.exists()
+        assert cache.disk_bytes() <= 2500
+
+    def test_sweep_reaches_shard_subdirectories(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        cache.put("ab" + "3" * 62, self._entry())
+        stale = tmp_path / "ab" / "stale.tmp"
+        stale.write_bytes(b"litter")
+        ancient = time.time() - 3600
+        os.utime(stale, (ancient, ancient))
+        assert cache.sweep(stale_tmp_seconds=600) == 1
+        assert not stale.exists()

@@ -103,40 +103,41 @@ class TestCrossProcessStress:
         assert sum(o["hits"] for o in outcomes) > 0
         assert sum(o["misses"] for o in outcomes) > 0
 
-        # No corruption was ever observed (no quarantined entries) and
-        # no writer leaked its temp file.
-        names = os.listdir(cache_dir)
-        assert not [n for n in names if n.endswith(".bad")], names
-        assert not [n for n in names if n.endswith(".tmp")], names
-        assert set(names) <= (
-            {f"{key_name(i)}.pkl" for i in range(KEYS)} | {".lock"}
-        ), names
+        # No corruption was ever observed (no quarantined entries), no
+        # writer leaked its temp file, and every entry sits in its
+        # 2-hex-char shard subdirectory.
+        entry_paths = []
+        for root, _dirs, files in os.walk(cache_dir):
+            for name in files:
+                assert not name.endswith(".bad"), (root, name)
+                assert not name.endswith(".tmp"), (root, name)
+                if name.endswith(".pkl"):
+                    entry_paths.append(os.path.join(root, name))
+        expected = {f"{key_name(i)}.pkl" for i in range(KEYS)}
+        assert {os.path.basename(p) for p in entry_paths} <= expected
+        for path in entry_paths:
+            key = os.path.basename(path)[: -len(".pkl")]
+            assert os.path.basename(os.path.dirname(path)) == key[:2], path
 
         # Byte-identical artifacts vs serial: every surviving entry
         # unpickles to exactly the payload a one-process run stores.
         survivors = 0
-        for name in names:
-            if not name.endswith(".pkl"):
-                continue
+        for path in entry_paths:
             survivors += 1
-            key = name[: -len(".pkl")]
-            with open(os.path.join(cache_dir, name), "rb") as handle:
+            key = os.path.basename(path)[: -len(".pkl")]
+            with open(path, "rb") as handle:
                 entry = pickle.load(handle)
             assert isinstance(entry, CachedCompile)
             assert entry.netlist == payload_for(key)
             serial = pickle.dumps(
                 entry_for(key), protocol=pickle.HIGHEST_PROTOCOL
             )
-            with open(os.path.join(cache_dir, name), "rb") as handle:
+            with open(path, "rb") as handle:
                 assert handle.read() == serial
         assert survivors > 0
 
         # The budget held: eviction kept the tier bounded.
-        total = sum(
-            os.path.getsize(os.path.join(cache_dir, n))
-            for n in names
-            if n.endswith(".pkl")
-        )
+        total = sum(os.path.getsize(path) for path in entry_paths)
         assert total <= BUDGET
 
     def test_serial_reference_matches_itself(self, tmp_path):

@@ -1,0 +1,215 @@
+"""Tests for incremental placement reuse (repro.place.reuse)."""
+
+from repro.compiler import ReticleCompiler
+from repro.fuzz.generator import device_filling_func, edit_one_tree
+from repro.ir.parser import parse_func
+from repro.isel.select import select
+from repro.obs import Tracer
+from repro.place.device import xczu3eg
+from repro.place.placer import Placer
+from repro.place.reuse import PlacementReuse, cluster_signature
+from repro.place.solver import PlacementItem, build_clusters
+from repro.prims import Prim
+
+
+def item(key, prim, x=None, xo=0, y=None, yo=0, span=1):
+    return PlacementItem(
+        key=key, prim=prim, x_var=x, x_off=xo, y_var=y, y_off=yo, span=span
+    )
+
+
+def one_cluster(*items):
+    clusters = build_clusters(list(items))
+    assert len(clusters) == 1
+    return clusters[0]
+
+
+class TestClusterSignature:
+    def test_alpha_rename_invariant(self):
+        a = one_cluster(
+            item(0, Prim.LUT, x="x0", y="y0", span=2),
+            item(1, Prim.LUT, x="x0", y="y0", yo=2, span=2),
+        )
+        b = one_cluster(
+            item(40, Prim.LUT, x="_p7", y="_p8", span=2),
+            item(41, Prim.LUT, x="_p7", y="_p8", yo=2, span=2),
+        )
+        assert cluster_signature(a) == cluster_signature(b)
+
+    def test_shape_changes_change_signature(self):
+        base = one_cluster(item(0, Prim.LUT, x="x", y="y", span=2))
+        other_span = one_cluster(item(0, Prim.LUT, x="x", y="y", span=3))
+        other_prim = one_cluster(item(0, Prim.DSP, x="x", y="y", span=2))
+        other_off = one_cluster(
+            item(0, Prim.LUT, x="x", y="y", yo=1, span=2)
+        )
+        signatures = {
+            cluster_signature(c)
+            for c in (base, other_span, other_prim, other_off)
+        }
+        assert len(signatures) == 4
+
+    def test_wiring_pattern_matters(self):
+        shared = one_cluster(
+            item(0, Prim.LUT, x="x", y="y"),
+            item(1, Prim.LUT, x="x", y="y", yo=1),
+        )
+        split = one_cluster(
+            item(0, Prim.LUT, x="x", y="y"),
+            item(1, Prim.LUT, x="x", y="z", yo=1),
+        )
+        assert cluster_signature(shared) != cluster_signature(split)
+
+    def test_stable_across_processes(self):
+        # blake2b of the canonical payload, not Python's salted hash:
+        # the digest must be reproducible for on-disk reuse tiers.
+        cluster = one_cluster(item(0, Prim.LUT, x="x", y="y", span=2))
+        assert cluster_signature(cluster) == cluster_signature(cluster)
+        assert len(cluster_signature(cluster)) == 32
+
+
+class TestPlacementReuse:
+    def test_store_match_roundtrip(self):
+        device = xczu3eg()
+        clusters = [
+            one_cluster(item(i, Prim.LUT, x=f"x{i}", y=f"y{i}"))
+            for i in range(4)
+        ]
+        positions = {i: (i, 0) for i in range(4)}
+        memo = PlacementReuse()
+        memo.store("f", clusters, positions)
+        outcome = memo.match("f", clusters, device)
+        assert outcome.hits == 4 and outcome.total == 4
+        assert outcome.positions == positions
+        assert not outcome.unmatched
+        assert outcome.reuse_pct == 100.0
+
+    def test_unknown_function_misses(self):
+        memo = PlacementReuse()
+        cluster = one_cluster(item(0, Prim.LUT, x="x", y="y"))
+        outcome = memo.match("nope", [cluster], xczu3eg())
+        assert outcome.hits == 0
+        assert outcome.unmatched == [cluster]
+
+    def test_stale_entry_degrades_to_miss(self):
+        device = xczu3eg()
+        cluster = one_cluster(item(0, Prim.DSP, x="x", y="y"))
+        memo = PlacementReuse()
+        # Column 0 is a LUT column on xczu3eg: the stored position no
+        # longer fits a DSP item, so match revalidates and misses.
+        memo.store("f", [cluster], {0: (0, 0)})
+        outcome = memo.match("f", [cluster], device)
+        assert outcome.hits == 0
+        assert outcome.unmatched == [cluster]
+
+    def test_conflicting_replays_degrade_not_collide(self):
+        device = xczu3eg()
+        clusters = [
+            one_cluster(item(i, Prim.LUT, x=f"x{i}", y=f"y{i}"))
+            for i in range(2)
+        ]
+        memo = PlacementReuse()
+        memo.store("f", [clusters[0]], {0: (0, 0)})
+        memo.store("g", [clusters[1]], {1: (0, 0)})
+        # Merge both banks under one name by storing the same site for
+        # two shape-identical clusters: only one replay may win.
+        memo.store("f", clusters, {0: (0, 0), 1: (0, 0)})
+        outcome = memo.match("f", clusters, device)
+        assert outcome.hits == 1
+        assert len(outcome.unmatched) == 1
+
+    def test_store_replaces_wholesale(self):
+        device = xczu3eg()
+        cluster = one_cluster(item(0, Prim.LUT, x="x", y="y"))
+        memo = PlacementReuse()
+        memo.store("f", [cluster], {0: (0, 0)})
+        memo.store("f", [cluster], {0: (1, 3)})
+        outcome = memo.match("f", [cluster], device)
+        assert outcome.positions == {0: (1, 3)}
+
+
+SOURCE = """
+def f(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    t1: i8 = add(a, c);
+    t2: i8 = xor(b, c);
+    y: i8 = add(t1, t2);
+}
+"""
+
+
+class TestPlacerReuse:
+    def test_second_place_replays_all_positions(self, target):
+        device = xczu3eg()
+        asm = select(parse_func(SOURCE), target)
+        placer = Placer(target=target, device=device, reuse=True)
+        first = placer.place(asm)
+        tracer = Tracer()
+        second = placer.place(asm, tracer=tracer)
+        assert first == second
+        assert tracer.counters["cache.place_hits"] > 0
+        assert tracer.gauges["place.reuse_pct"] == 100.0
+
+    def test_reuse_off_records_nothing(self, target):
+        device = xczu3eg()
+        asm = select(parse_func(SOURCE), target)
+        placer = Placer(target=target, device=device)
+        tracer = Tracer()
+        placer.place(asm, tracer=tracer)
+        assert "cache.place_hits" not in tracer.counters
+
+
+class TestEditOneTree:
+    def test_edit_appends_one_independent_add(self):
+        base = device_filling_func(seed=1, cells=400, name="edit")
+        edited = edit_one_tree(base)
+        assert edited.name == base.name
+        assert len(edited.instrs) == len(base.instrs) + 1
+        assert edited.instrs[:-1] == base.instrs
+        extra = edited.instrs[-1]
+        inputs = {port.name for port in base.inputs}
+        assert set(extra.args) <= inputs
+
+    def test_one_tree_edit_reuses_most_placements(self):
+        base = device_filling_func(seed=11, cells=2400, name="incr")
+        compiler = ReticleCompiler(place_reuse=True)
+        primed = compiler.compile(base)
+        assert primed.metrics is not None
+        edited = edit_one_tree(base)
+        result = compiler.compile(edited)
+        assert result.metrics is not None
+        counters = result.metrics.counters
+        gauges = result.metrics.gauges
+        total = counters["place.items"]
+        hits = counters["cache.place_hits"]
+        # Every cluster but the brand-new one replays its placement.
+        assert hits == total - 1
+        assert gauges["place.reuse_pct"] >= 90.0
+        # The replayed placement is still legal: unique sites, kinds
+        # matching columns.
+        device = compiler.device
+        occupied = set()
+        from repro.place.placer import instr_span
+
+        for instr in result.placed.asm_instrs():
+            col, row = instr.loc.position()
+            column = device.column(col)
+            assert column.kind is instr.loc.prim
+            span = instr_span(instr, compiler.target)
+            assert row + span <= column.height
+            for offset in range(span):
+                site = (col, row + offset)
+                assert site not in occupied
+                occupied.add(site)
+
+    def test_edited_compile_is_cache_miss_but_reuse_hit(self):
+        from repro.passes import CompileCache
+
+        base = device_filling_func(seed=3, cells=1200, name="keyed")
+        compiler = ReticleCompiler(cache=CompileCache(), place_reuse=True)
+        compiler.compile(base)
+        result = compiler.compile(edit_one_tree(base))
+        assert not result.cached
+        assert result.metrics is not None
+        assert result.metrics.counters["cache.misses"] == 1
+        assert result.metrics.counters["cache.place_hits"] > 0

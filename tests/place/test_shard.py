@@ -1,0 +1,316 @@
+"""Tests for region-sharded placement (repro.place.shard)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.ir.parser import parse_func
+from repro.isel.select import select
+from repro.obs import Tracer
+from repro.place.device import tiny_device, xczu3eg
+from repro.place.placer import Placer
+from repro.place.shard import (
+    assign_clusters,
+    plan_shards,
+    solve_sharded,
+)
+from repro.place.solver import PlacementItem, build_clusters
+from repro.prims import Prim
+
+
+def item(key, prim, x=None, xo=0, y=None, yo=0, span=1):
+    return PlacementItem(
+        key=key, prim=prim, x_var=x, x_off=xo, y_var=y, y_off=yo, span=span
+    )
+
+
+def lut_items(count, start=0):
+    return [
+        item(start + i, Prim.LUT, x=f"x{start + i}", y=f"y{start + i}")
+        for i in range(count)
+    ]
+
+
+def check_positions(device, items, positions):
+    """Every paper constraint holds on the merged positions."""
+    occupied = {}
+    for it in items:
+        col, row = positions[it.key]
+        column = device.column(col)
+        assert column.kind is it.prim
+        assert 0 <= row and row + it.span <= column.height
+        for offset in range(it.span):
+            site = (col, row + offset)
+            assert site not in occupied, "resources must be unique"
+            occupied[site] = it.key
+
+
+class TestColumnGroups:
+    def test_groups_partition_columns(self):
+        device = xczu3eg()
+        groups = device.column_groups(Prim.LUT, 4)
+        assert len(groups) == 4
+        flat = [col for group in groups for col in group]
+        assert flat == device.columns_of(Prim.LUT)
+
+    def test_groups_balanced_by_count(self):
+        device = xczu3eg()
+        groups = device.column_groups(Prim.LUT, 4)
+        sizes = [len(group) for group in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_groups_than_columns_leaves_empties(self):
+        device = xczu3eg()  # three DSP columns
+        groups = device.column_groups(Prim.DSP, 5)
+        assert len(groups) == 5
+        assert sum(len(group) for group in groups) == 3
+        assert any(not group for group in groups)
+
+
+class TestPlanShards:
+    def test_fewer_than_two_shards_not_applicable(self):
+        assert plan_shards(xczu3eg(), lut_items(4), 1) is None
+
+    def test_no_items_not_applicable(self):
+        assert plan_shards(xczu3eg(), [], 2) is None
+
+    def test_starved_kind_not_applicable(self):
+        # xczu3eg has three DSP columns, so four shards would leave a
+        # shard with no DSP column while DSPs are demanded.
+        items = lut_items(2) + [item(9, Prim.DSP, x="dx", y="dy")]
+        assert plan_shards(xczu3eg(), items, 4) is None
+
+    def test_shards_disjoint_and_capacity_accounted(self):
+        device = xczu3eg()
+        items = lut_items(4) + [item(9, Prim.DSP, x="dx", y="dy")]
+        plan = plan_shards(device, items, 3)
+        assert plan is not None and len(plan) == 3
+        seen = set()
+        for shard in plan:
+            assert not (shard.columns & seen)
+            seen |= shard.columns
+        for prim in (Prim.LUT, Prim.DSP):
+            total = sum(shard.capacity[prim] for shard in plan)
+            assert total == device.slice_capacity(prim)
+
+    def test_undemanded_kinds_not_partitioned(self):
+        plan = plan_shards(xczu3eg(), lut_items(4), 2)
+        assert plan is not None
+        for shard in plan:
+            assert Prim.DSP not in shard.capacity
+
+
+class TestAssignClusters:
+    def test_assignment_deterministic(self):
+        plan = plan_shards(xczu3eg(), lut_items(20), 3)
+        clusters = build_clusters(lut_items(20))
+        first = assign_clusters(plan, clusters)
+        second = assign_clusters(plan, clusters)
+        assert {
+            index: [min(i.key for i in c.items) for c in members]
+            for index, members in first[0].items()
+        } == {
+            index: [min(i.key for i in c.items) for c in members]
+            for index, members in second[0].items()
+        }
+        assert not first[1] and not second[1]
+
+    def test_pinned_cluster_goes_to_owning_shard(self):
+        device = xczu3eg()
+        items = lut_items(4) + [item(9, Prim.LUT, xo=0, y="py")]
+        plan = plan_shards(device, items, 2)
+        clusters = [
+            c
+            for c in build_clusters(items)
+            if any(i.key == 9 for i in c.items)
+        ]
+        assigned, overflow = assign_clusters(plan, clusters)
+        assert not overflow
+        owner = next(
+            shard for shard in plan if 0 in shard.columns
+        )
+        assert len(assigned[owner.index]) == 1
+
+    def test_unhostable_cluster_overflows(self):
+        device = xczu3eg()
+        # One cluster pinned to LUT columns 0 and 68: no contiguous
+        # two-way split owns both, so it must overflow to repair.
+        items = [
+            item(0, Prim.LUT, xo=0, y="sy"),
+            item(1, Prim.LUT, xo=68, y="sy", yo=0),
+        ]
+        plan = plan_shards(device, items, 2)
+        clusters = build_clusters(items)
+        assigned, overflow = assign_clusters(plan, clusters)
+        assert len(overflow) == 1
+        assert all(not members for members in assigned.values())
+
+
+class TestSolveSharded:
+    def test_not_applicable_returns_none(self):
+        items = lut_items(2) + [item(9, Prim.DSP, x="dx", y="dy")]
+        assert solve_sharded(xczu3eg(), items, 4) is None
+
+    def test_mixed_kinds_feasible(self):
+        device = xczu3eg()
+        items = lut_items(40)
+        items += [
+            item(100 + i, Prim.DSP, x=f"dx{i}", y=f"dy{i}")
+            for i in range(6)
+        ]
+        items += [
+            item(200 + i, Prim.BRAM, x=f"bx{i}", y=f"by{i}")
+            for i in range(3)
+        ]
+        result = solve_sharded(device, items, 3)
+        assert result is not None
+        assert result.shards_solved >= 2
+        assert result.failed_shards == 0
+        check_positions(device, items, result.solution.positions)
+
+    def test_serial_and_pooled_identical(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        device = xczu3eg()
+        items = lut_items(60)
+        serial = solve_sharded(device, items, 3)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            pooled = solve_sharded(device, items, 3, pool=pool)
+        assert serial is not None and pooled is not None
+        assert serial.solution.positions == pooled.solution.positions
+        assert serial.solution.strategy == pooled.solution.strategy
+
+    def test_spanning_cluster_repaired(self):
+        device = xczu3eg()
+        items = lut_items(10)
+        items += [
+            item(50, Prim.LUT, xo=0, y="sy"),
+            item(51, Prim.LUT, xo=68, y="sy"),
+        ]
+        result = solve_sharded(device, items, 2)
+        assert result is not None
+        assert result.repaired_clusters == 1
+        check_positions(device, items, result.solution.positions)
+        col0, row0 = result.solution.positions[50]
+        col1, row1 = result.solution.positions[51]
+        assert (col0, col1) == (0, 68)
+        assert row0 == row1, "shared y variable must agree across shards"
+
+    def test_infeasible_raises(self):
+        device = tiny_device(lut_columns=2, dsp_columns=2, height=2)
+        items = [
+            item(i, Prim.DSP, x=f"x{i}", y=f"y{i}") for i in range(5)
+        ]
+        with pytest.raises(PlacementError):
+            solve_sharded(device, items, 2)
+
+
+def _select(target, source):
+    return select(parse_func(source), target)
+
+
+MIXED_SOURCE = """
+def f(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    t1: i8 = add(a, c);
+    t2: i8 = xor(b, c);
+    t3: i8 = and(a, b);
+    y: i8 = add(t1, t2);
+}
+"""
+
+
+class TestPlacerSharding:
+    def test_small_program_below_threshold_byte_identical(self, target):
+        device = xczu3eg()
+        asm = _select(target, MIXED_SOURCE)
+        plain = Placer(target=target, device=device).place(asm)
+        sharded = Placer(
+            target=target, device=device, shards=3
+        ).place(asm)
+        assert plain == sharded
+
+    def test_sharded_path_engages_above_threshold(self, target):
+        device = xczu3eg()
+        asm = _select(target, MIXED_SOURCE)
+        tracer = Tracer()
+        placer = Placer(
+            target=target, device=device, shards=3, shard_threshold=1
+        )
+        placed = placer.place(asm, tracer=tracer)
+        assert placed.is_placed
+        assert tracer.counters.get("place.shards", 0) >= 2
+        for instr in placed.asm_instrs():
+            col, _ = instr.loc.position()
+            assert device.column(col).kind is instr.loc.prim
+
+    def test_sharded_placement_deterministic(self, target):
+        device = xczu3eg()
+        asm = _select(target, MIXED_SOURCE)
+
+        def positions(jobs):
+            placer = Placer(
+                target=target,
+                device=device,
+                shards=3,
+                shard_threshold=1,
+                jobs=jobs,
+            )
+            placed = placer.place(asm)
+            return {
+                instr.dst: instr.loc.position()
+                for instr in placed.asm_instrs()
+            }
+
+        assert positions(1) == positions(4)
+
+    def test_inapplicable_shards_fall_back_to_monolith(self, target):
+        device = xczu3eg()
+        asm = _select(target, MIXED_SOURCE)
+        tracer = Tracer()
+        # Eight shards cannot split three DSP columns: the placer must
+        # fall back to the monolithic solver and still place.
+        placer = Placer(
+            target=target, device=device, shards=8, shard_threshold=1
+        )
+        placed = placer.place(asm, tracer=tracer)
+        assert placed.is_placed
+        assert "place.shards" not in tracer.counters
+
+
+class TestCompilerSharding:
+    def test_place_shards_in_cache_key(self):
+        from repro.compiler import ReticleCompiler
+        from repro.passes import CompileCache
+
+        func = parse_func(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        )
+        cache = CompileCache()
+        plain = ReticleCompiler(cache=cache)
+        sharded = ReticleCompiler(cache=cache, place_shards=3)
+        reused = ReticleCompiler(cache=cache, place_reuse=True)
+        keys = {
+            plain.cache_key(func),
+            sharded.cache_key(func),
+            reused.cache_key(func),
+        }
+        assert len(keys) == 3
+
+    def test_device_filling_program_places_sharded(self):
+        from repro.compiler import ReticleCompiler
+        from repro.fuzz.generator import device_filling_func
+
+        func = device_filling_func(seed=5, cells=6000, name="shardfill")
+        compiler = ReticleCompiler(place_shards=3, place_jobs=4)
+        result = compiler.compile(func)
+        assert result.metrics is not None
+        counters = result.metrics.counters
+        assert counters.get("place.shards", 0) >= 2
+        assert counters.get("place.shard_failures", 0) == 0
+        device = compiler.device
+        occupied = set()
+        for instr in result.placed.asm_instrs():
+            col, row = instr.loc.position()
+            assert device.column(col).kind is instr.loc.prim
+            assert (col, row) not in occupied
+            occupied.add((col, row))

@@ -273,7 +273,8 @@ class TestSharedTier:
         with DaemonThread(ReticleDaemon(service=service)) as handle:
             cold = post_compile(handle.base_url, [{"program": ADD}])[1]
             key = cold["results"][0]["key"]
-            (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+            entry_path = tmp_path / key[:2] / f"{key}.pkl"
+            entry_path.write_bytes(b"garbage")
             service.cache.clear()  # drop the memory layer
             again = post_compile(handle.base_url, [{"program": ADD}])[1]
             assert again["ok"]
@@ -284,7 +285,7 @@ class TestSharedTier:
             )
             _, stats = get_json(handle.base_url, "/stats")
             assert stats["counters"]["cache.corrupt"] == 1
-            assert (tmp_path / f"{key}.pkl.bad").exists()
+            assert (tmp_path / key[:2] / f"{key}.pkl.bad").exists()
 
 
 class TestLifecycle:
