@@ -15,6 +15,9 @@ Subcommands mirror the toolchain stages::
     reticle passes                     # list pipeline passes/presets
     reticle report   prog.ret          # compile report with provenance
     reticle serve    --port 8752 --cache-dir .ret-cache --cache-budget 256M
+    reticle serve    --port 8752 --log-json serve.jsonl --window 512
+    reticle top      127.0.0.1:8752    # live daemon dashboard
+    reticle flightrecorder 127.0.0.1:8752 --json > flight.json
     reticle bench fig13 tensoradd      # regenerate a figure's rows
     reticle bench service --json BENCH_service.json
     reticle bench diff OLD.json NEW.json --max-regress 25
@@ -297,6 +300,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import serve_main
 
     return serve_main(args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import top_main
+
+    return top_main(args)
+
+
+def _cmd_flightrecorder(args: argparse.Namespace) -> int:
+    from repro.serve.top import flightrecorder_main
+
+    return flightrecorder_main(args)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -613,6 +628,78 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the bound address here once listening (lets "
         "scripts wait for startup and discover an ephemeral port)",
+    )
+    serve.add_argument(
+        "--log-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="structured request log: one JSON line per request "
+        "(trace id, outcome, cache hit, queue wait, stage timings) "
+        "appended to FILE, or stdout when no FILE is given",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        metavar="N",
+        help="rolling SLO window: error rate and p50/p95 latency "
+        "gauges cover the last N requests (default 256)",
+    )
+    serve.add_argument(
+        "--flight-slowest",
+        type=int,
+        default=16,
+        metavar="K",
+        help="flight recorder: retain full traces of the K slowest "
+        "requests (default 16)",
+    )
+    serve.add_argument(
+        "--flight-failed",
+        type=int,
+        default=32,
+        metavar="K",
+        help="flight recorder: retain full traces of the most recent "
+        "K failed requests (default 32)",
+    )
+
+    top = add(
+        "top", _cmd_top, "live terminal view of a running daemon"
+    )
+    top.add_argument(
+        "addr",
+        help="daemon address: host:port or http://host:port "
+        "(e.g. 127.0.0.1:8752)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between /metrics scrapes (default 2)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N frames (0 = run until interrupted)",
+    )
+
+    flight = add(
+        "flightrecorder",
+        _cmd_flightrecorder,
+        "dump a daemon's flight recorder (slowest + failed requests)",
+    )
+    flight.add_argument(
+        "addr",
+        help="daemon address: host:port or http://host:port",
+    )
+    flight.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full dump (spans, events, counters) as JSON",
     )
 
     bench = add(

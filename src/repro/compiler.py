@@ -396,9 +396,15 @@ class ReticleCompiler:
                 func.name: self.compile(func, tracer=tracer)
                 for func in funcs
             }
+        # Worker tracers inherit the shared tracer's request identity,
+        # so every span of a parallel compile still names its request.
+        worker_trace_id = tracer.trace_id if tracer is not None else None
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(self.compile, func, Tracer()) for func in funcs
+                pool.submit(
+                    self.compile, func, Tracer(trace_id=worker_trace_id)
+                )
+                for func in funcs
             ]
             compiled = [future.result() for future in futures]
         results: Dict[str, ReticleResult] = {}

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ReticleError
 from repro.ir.printer import print_func
 from repro.obs import Tracer, summarize
+from repro.obs.expo import MetricFamily, parse_prometheus
+from repro.serve.daemon import TRACE_HEADER
 
 #: The bench workloads the service trajectory replays: small enough to
 #: keep the bench quick, varied enough to cover DSP (tensoradd) and
@@ -73,21 +75,32 @@ class LoadgenReport:
     verilog: Dict[str, str] = field(default_factory=dict)
     #: latency summary: count/min/max/p50/p95 (seconds)
     latency: Dict[str, float] = field(default_factory=dict)
+    #: every trace ID the daemon echoed back, one per request sent
+    trace_ids: List[str] = field(default_factory=list)
 
     @property
     def throughput_rps(self) -> float:
         done = self.requests - self.rejected - self.errors
         return done / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    @property
+    def error_rate(self) -> float:
+        """Errors over admitted requests (rejections are back-pressure,
+        not failures, so they don't count against the rate)."""
+        admitted = self.requests - self.rejected
+        return self.errors / admitted if admitted > 0 else 0.0
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "requests": self.requests,
             "errors": self.errors,
+            "error_rate": round(self.error_rate, 4),
             "rejected": self.rejected,
             "warm_hits": self.warm_hits,
             "wall_seconds": round(self.wall_seconds, 6),
             "throughput_rps": round(self.throughput_rps, 2),
             "latency": self.latency,
+            "trace_ids": list(self.trace_ids),
         }
 
 
@@ -138,6 +151,36 @@ def get_json(
         connection.close()
 
 
+def scrape_metrics(
+    base_url: str, timeout: float = 30.0
+) -> Dict[str, MetricFamily]:
+    """Fetch and parse a daemon's ``GET /metrics`` exposition."""
+    host, port = _url_host_port(base_url)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        text = response.read().decode("utf-8")
+        if response.status != 200:
+            raise ReticleError(
+                f"GET /metrics answered {response.status}: {text[:200]!r}"
+            )
+        return parse_prometheus(text)
+    finally:
+        connection.close()
+
+
+def metric_value(
+    families: Dict[str, MetricFamily], name: str, default: float = 0.0
+) -> float:
+    """A family's scalar value (counter/gauge), ``default`` if absent."""
+    family = families.get(name)
+    if family is None:
+        return default
+    value = family.value()
+    return value if value is not None else default
+
+
 def run_loadgen(
     base_url: str,
     programs: Sequence[Tuple[str, str]],
@@ -145,6 +188,8 @@ def run_loadgen(
     repeats: int = 1,
     target: str = "ultrascale",
     tracer: Optional[Tracer] = None,
+    trace_prefix: str = "loadgen",
+    verify_metrics: bool = False,
 ) -> LoadgenReport:
     """Replay ``programs`` (name, IR text) against a daemon.
 
@@ -154,6 +199,16 @@ def run_loadgen(
     every repeat — a mismatch (a torn cache entry, a key collision)
     raises, because a load generator that shrugs at wrong answers is
     measuring the wrong thing.
+
+    Every request carries a distinct ``X-Reticle-Trace-Id``
+    (``{trace_prefix}-{job_index}``); the daemon must echo it in both
+    the response header and payload, and the echoes land in
+    ``report.trace_ids`` so a run can be cross-referenced against the
+    daemon's structured log and flight recorder.  With
+    ``verify_metrics`` the daemon's ``/metrics`` endpoint is scraped
+    before and after the run and the ``service_requests`` counter
+    delta must equal the admitted requests — end-to-end proof that the
+    exposition counts what the client actually sent.
     """
     if not programs:
         raise ReticleError("loadgen needs at least one program")
@@ -165,14 +220,23 @@ def run_loadgen(
     ]
     report = LoadgenReport()
     mismatches: List[str] = []
+    bad_echoes: List[str] = []
 
-    def worker(worker_index: int) -> Tuple[int, int, int, int, Dict[str, str]]:
+    def worker(
+        worker_index: int,
+    ) -> Tuple[int, int, int, int, Dict[str, str], List[str]]:
         connection = http.client.HTTPConnection(host, port, timeout=120.0)
         sent = errors = rejected = warm = 0
         seen: Dict[str, str] = {}
+        echoes: List[str] = []
         try:
             for job_index in range(worker_index, len(jobs), concurrency):
                 name, program = jobs[job_index]
+                trace_id = f"{trace_prefix}-{job_index}"
+                headers = {
+                    "Content-Type": "application/json",
+                    TRACE_HEADER: trace_id,
+                }
                 body = json.dumps(
                     {
                         "requests": [
@@ -183,10 +247,7 @@ def run_loadgen(
                 start = time.perf_counter()
                 try:
                     connection.request(
-                        "POST",
-                        "/compile",
-                        body=body,
-                        headers={"Content-Type": "application/json"},
+                        "POST", "/compile", body=body, headers=headers
                     )
                     response = connection.getresponse()
                     payload = json.loads(response.read().decode("utf-8"))
@@ -197,10 +258,7 @@ def run_loadgen(
                         host, port, timeout=120.0
                     )
                     connection.request(
-                        "POST",
-                        "/compile",
-                        body=body,
-                        headers={"Content-Type": "application/json"},
+                        "POST", "/compile", body=body, headers=headers
                     )
                     response = connection.getresponse()
                     payload = json.loads(response.read().decode("utf-8"))
@@ -208,6 +266,12 @@ def run_loadgen(
                     "loadgen.latency_s", time.perf_counter() - start
                 )
                 sent += 1
+                echo = response.getheader(TRACE_HEADER) or payload.get(
+                    "trace_id", ""
+                )
+                echoes.append(echo)
+                if echo != trace_id:
+                    bad_echoes.append(f"{trace_id} -> {echo!r}")
                 if response.status == 503:
                     rejected += 1
                     continue
@@ -225,18 +289,20 @@ def run_loadgen(
                     seen[name] = verilog
         finally:
             connection.close()
-        return sent, errors, rejected, warm, seen
+        return sent, errors, rejected, warm, seen, echoes
 
+    metrics_before = scrape_metrics(base_url) if verify_metrics else None
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
         outcomes = list(pool.map(worker, range(concurrency)))
     report.wall_seconds = time.perf_counter() - start
 
-    for sent, errors, rejected, warm, seen in outcomes:
+    for sent, errors, rejected, warm, seen, echoes in outcomes:
         report.requests += sent
         report.errors += errors
         report.rejected += rejected
         report.warm_hits += warm
+        report.trace_ids.extend(echoes)
         for name, verilog in seen.items():
             if name in report.verilog:
                 if report.verilog[name] != verilog:
@@ -248,9 +314,26 @@ def run_loadgen(
             "loadgen observed non-identical Verilog for: "
             + ", ".join(sorted(set(mismatches)))
         )
+    if bad_echoes:
+        raise ReticleError(
+            "daemon failed to echo trace IDs: "
+            + ", ".join(sorted(bad_echoes)[:5])
+        )
     report.latency = summarize(
         tracer.histograms.get("loadgen.latency_s", [])
     )
+    if metrics_before is not None:
+        metrics_after = scrape_metrics(base_url)
+        delta = metric_value(
+            metrics_after, "service_requests"
+        ) - metric_value(metrics_before, "service_requests")
+        admitted = report.requests - report.rejected
+        if int(delta) != admitted:
+            raise ReticleError(
+                f"daemon counted {int(delta)} requests in /metrics but "
+                f"loadgen had {admitted} admitted "
+                f"({report.requests} sent, {report.rejected} rejected)"
+            )
     return report
 
 

@@ -41,14 +41,34 @@ Repeated updates to one metric can go through the bound handles
 loops should accumulate a local int and record it once per stage.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    new_trace_id,
+    valid_trace_id,
+)
 from repro.obs.events import Event, EventLog, Severity, format_events
+from repro.obs.expo import (
+    MetricFamily,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
     format_profile,
     write_chrome_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, percentile, summarize
+from repro.obs.flight import FlightRecord, FlightRecorder
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Reservoir,
+    RollingWindow,
+    percentile,
+    summarize,
+)
 from repro.obs.provenance import Lineage, LineageRow, MatchRecord
 from repro.obs.report import CompileReport, build_report, format_report
 from repro.obs.tracer import (
@@ -68,8 +88,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Reservoir",
+    "RollingWindow",
     "percentile",
     "summarize",
+    "TraceContext",
+    "new_trace_id",
+    "valid_trace_id",
+    "MetricFamily",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "FlightRecord",
+    "FlightRecorder",
     "Event",
     "EventLog",
     "Severity",

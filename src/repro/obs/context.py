@@ -1,0 +1,67 @@
+"""Request-scoped trace context.
+
+A :class:`TraceContext` ties everything one service request produces —
+spans, events, the flight-recorder entry, the JSON log line, the HTTP
+response — to one **trace ID**.  The daemon mints one per request
+(honoring a client-supplied ``X-Reticle-Trace-Id`` header), threads it
+through :class:`~repro.serve.service.CompileService` into the
+per-request :class:`~repro.obs.tracer.Tracer`, and echoes it back, so
+a slow or failed compile seen by a client is greppable end-to-end in
+the daemon's telemetry.
+
+Trace IDs are opaque strings matched by :data:`TRACE_ID_PATTERN`
+(letters, digits, ``_ . : -``; at most 128 chars) — permissive enough
+to accept W3C-style hex ids and human-chosen names, strict enough to
+be safe in headers, filenames, and log lines.  Batch items derive
+their own IDs from the request's via :meth:`TraceContext.item`, so a
+batch of N compiles stays one greppable family (``id``, ``id.1``,
+``id.2``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: What a trace ID may look like (header-, filename-, and log-safe).
+TRACE_ID_PATTERN = re.compile(r"^[A-Za-z0-9_.:-]{1,128}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(text: object) -> bool:
+    """Whether ``text`` is usable as a trace ID."""
+    return isinstance(text, str) and bool(TRACE_ID_PATTERN.match(text))
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The request-scoped identity carried through one compile.
+
+    ``queue_wait_s`` is how long the item sat between admission and a
+    worker picking it up — the service records it so queue pressure is
+    visible per request, not only as an aggregate.  ``metadata`` is
+    free-form request context (program size, target, peer) that lands
+    in the flight recorder and the JSON request log verbatim.
+    """
+
+    trace_id: str
+    queue_wait_s: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def new(cls, trace_id: Optional[str] = None, **metadata: object) -> "TraceContext":
+        """A context with the given ID, or a freshly minted one."""
+        return cls(
+            trace_id=trace_id if trace_id is not None else new_trace_id(),
+            metadata=metadata,
+        )
+
+    def item(self, index: int) -> str:
+        """The derived trace ID of batch item ``index`` (0 = the base)."""
+        return self.trace_id if index == 0 else f"{self.trace_id}.{index}"

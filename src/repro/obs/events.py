@@ -49,6 +49,9 @@ class Event:
     provenance: Optional[str] = None
     attrs: Dict[str, object] = field(default_factory=dict)
     time: float = 0.0
+    #: Request identity of the tracer that emitted the event (None
+    #: outside a request scope); survives Tracer.merge like span ids.
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -58,6 +61,7 @@ class Event:
             "provenance": self.provenance,
             "attrs": dict(self.attrs),
             "time": self.time,
+            "trace_id": self.trace_id,
         }
 
 

@@ -1,0 +1,236 @@
+"""Prometheus text exposition: rendering and parsing.
+
+:func:`render_prometheus` turns one tracer's counters, gauges, and
+histograms (plus caller-supplied process gauges) into the Prometheus
+text exposition format (version 0.0.4) served by the daemon's
+``GET /metrics``.  Dotted metric names are sanitized to the
+Prometheus charset (``service.latency_s`` → ``service_latency_s``),
+with the original spelling preserved in the ``# HELP`` line.
+Histograms render the standard triple: cumulative fixed-bucket
+``_bucket{le="..."}`` lines (ending at ``le="+Inf"``), an exact
+``_sum``, and an exact ``_count`` — the reservoir keeps those
+aggregates exact even after sampling kicks in.
+
+:func:`parse_prometheus` is the matching reader: it parses an
+exposition back into :class:`MetricFamily` objects.  It exists so the
+repo can *consume* its own metrics — ``reticle top`` polls and parses
+``/metrics``, the loadgen verifies the daemon's request counter
+against ground truth, and the round-trip is pinned in tests — without
+growing a dependency on a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReticleError
+
+#: Prometheus metric-name charset; anything else becomes ``_``.
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name{labels} value`` with optional labels.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A Prometheus-legal metric name for a dotted internal one."""
+    clean = _NAME_OK.sub("_", name)
+    if not clean or not re.match(r"[a-zA-Z_:]", clean[0]):
+        clean = "_" + clean
+    return clean
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass
+class Sample:
+    """One exposition line: a metric name, its labels, its value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` group of an exposition."""
+
+    name: str
+    type: str
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+    def value(self) -> float:
+        """The value of a single-sample (counter/gauge) family."""
+        if not self.samples:
+            return 0.0
+        return self.samples[0].value
+
+    def sample(self, suffix: str = "", **labels: str) -> Optional[Sample]:
+        """The first sample matching ``name+suffix`` and the labels."""
+        wanted = self.name + suffix
+        for sample in self.samples:
+            if sample.name != wanted:
+                continue
+            if all(sample.labels.get(k) == v for k, v in labels.items()):
+                return sample
+        return None
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs of a histogram family."""
+        out: List[Tuple[float, int]] = []
+        for sample in self.samples:
+            if not sample.name.endswith("_bucket"):
+                continue
+            bound_text = sample.labels.get("le", "")
+            bound = math.inf if bound_text == "+Inf" else float(bound_text)
+            out.append((bound, int(sample.value)))
+        return out
+
+
+def render_prometheus(
+    tracer,
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """The tracer's telemetry as Prometheus text exposition.
+
+    ``extra_gauges`` carries point-in-time process state the tracer
+    does not own (uptime, RSS, queue depth, cache disk bytes); they
+    render as gauges alongside the tracer's own.
+    """
+    lines: List[str] = []
+
+    def emit(kind: str, raw_name: str, body: List[str]) -> None:
+        name = sanitize_metric_name(raw_name)
+        lines.append(f"# HELP {name} {raw_name} ({kind})")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(body)
+
+    for raw_name, value in sorted(tracer.counters.items()):
+        name = sanitize_metric_name(raw_name)
+        emit("counter", raw_name, [f"{name} {_format_value(value)}"])
+
+    gauges = dict(tracer.gauges)
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for raw_name, value in sorted(gauges.items()):
+        name = sanitize_metric_name(raw_name)
+        emit("gauge", raw_name, [f"{name} {_format_value(value)}"])
+
+    for raw_name, stats in sorted(tracer.hist_stats().items()):
+        name = sanitize_metric_name(raw_name)
+        body: List[str] = []
+        for bound, cumulative in stats["buckets"]:
+            le = "+Inf" if bound == math.inf else _format_value(bound)
+            body.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+        body.append(f"{name}_sum {_format_value(stats['sum'])}")
+        body.append(f"{name}_count {stats['count']}")
+        emit("histogram", raw_name, body)
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    for name, value in _LABEL.findall(text):
+        labels[name] = value.replace('\\"', '"').replace("\\\\", "\\")
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, MetricFamily]:
+    """Parse a text exposition into families keyed by metric name.
+
+    Accepts what :func:`render_prometheus` emits plus the common
+    Prometheus liberties (untyped samples get an implicit ``untyped``
+    family; HELP/TYPE in either order).  Raises
+    :class:`~repro.errors.ReticleError` on a line that is neither a
+    comment, blank, nor a well-formed sample — a scrape that half
+    parses is worse than one that fails loudly.
+    """
+    families: Dict[str, MetricFamily] = {}
+
+    def family_for(sample_name: str) -> MetricFamily:
+        # _bucket/_sum/_count samples belong to their histogram family.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base].type == "histogram":
+                    return families[base]
+        if sample_name not in families:
+            families[sample_name] = MetricFamily(
+                name=sample_name, type="untyped"
+            )
+        return families[sample_name]
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ReticleError(f"malformed HELP on line {line_no}")
+            name = parts[2]
+            family = families.setdefault(
+                name, MetricFamily(name=name, type="untyped")
+            )
+            family.help = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ReticleError(f"malformed TYPE on line {line_no}")
+            name, kind = parts[2], parts[3]
+            family = families.setdefault(
+                name, MetricFamily(name=name, type=kind)
+            )
+            family.type = kind
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ReticleError(
+                f"unparseable exposition line {line_no}: {raw_line!r}"
+            )
+        value_text = match.group("value")
+        try:
+            value = (
+                math.inf
+                if value_text == "+Inf"
+                else -math.inf
+                if value_text == "-Inf"
+                else float(value_text)
+            )
+        except ValueError as error:
+            raise ReticleError(
+                f"bad sample value on line {line_no}: {value_text!r}"
+            ) from error
+        family = family_for(match.group("name"))
+        family.samples.append(
+            Sample(
+                name=match.group("name"),
+                labels=_parse_labels(match.group("labels")),
+                value=value,
+            )
+        )
+    return families

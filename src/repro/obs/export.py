@@ -32,6 +32,8 @@ def chrome_trace(tracer) -> Dict[str, object]:
             "depth": record.depth,
             "parent": record.parent,
         }
+        if record.trace_id is not None:
+            args["trace_id"] = record.trace_id
         entry: Dict[str, object] = {
             "name": record.name,
             "ph": "X",
@@ -48,6 +50,13 @@ def chrome_trace(tracer) -> Dict[str, object]:
     for diag in tracer.events.events:
         ts_us = diag.time * 1e6
         end_us = max(end_us, ts_us)
+        diag_args: Dict[str, object] = {
+            "severity": str(diag.severity),
+            "provenance": diag.provenance,
+            **diag.attrs,
+        }
+        if diag.trace_id is not None:
+            diag_args["trace_id"] = diag.trace_id
         events.append(
             {
                 "name": f"{diag.stage}: {diag.message}",
@@ -55,11 +64,7 @@ def chrome_trace(tracer) -> Dict[str, object]:
                 "ts": ts_us,
                 "pid": 0,
                 "s": "g",
-                "args": {
-                    "severity": str(diag.severity),
-                    "provenance": diag.provenance,
-                    **diag.attrs,
-                },
+                "args": diag_args,
             }
         )
     for name, value in sorted(tracer.counters.items()):

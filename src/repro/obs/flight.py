@@ -1,0 +1,163 @@
+"""The flight recorder: post-hoc forensics for a long-lived daemon.
+
+Aggregate metrics say *that* something was slow; the flight recorder
+says *why*, after the fact, without keeping every request's full
+telemetry alive.  It is a bounded in-memory store retaining the
+complete per-request record — merged spans, event log, counters,
+gauges, request metadata — for exactly two populations:
+
+* the **K slowest successful** requests (a min-heap on duration: a
+  new record evicts the *fastest* retained one once the buffer is
+  full, so the retained set is always the current top-K), and
+* the **most recent failed** requests (a ring: failures are pinned —
+  they never compete with slow requests for space — and only roll off
+  when more than ``keep_failed`` newer failures arrive).
+
+``GET /debug/flightrecorder`` and ``reticle flightrecorder <addr>``
+dump the whole thing as JSON; a forced-slow or failed compile is
+recoverable in full long after its response was sent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class FlightRecord:
+    """Everything retained about one request.
+
+    ``spans``/``events`` are the JSON-able dumps of the request's
+    private tracer (every entry carries the request's trace ID);
+    ``counters``/``gauges`` are that tracer's final values — the
+    request's own cache hits and solver work, not the service
+    aggregates.  ``wall_time`` is a wall-clock (epoch) timestamp so
+    dumps line up with external logs.
+    """
+
+    trace_id: str
+    ok: bool
+    seconds: float
+    queue_wait_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+    target: str = ""
+    functions: List[str] = field(default_factory=list)
+    stages: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    wall_time: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "ok": self.ok,
+            "seconds": self.seconds,
+            "queue_wait_s": self.queue_wait_s,
+            "cached": self.cached,
+            "error": self.error,
+            "target": self.target,
+            "functions": list(self.functions),
+            "stages": dict(self.stages),
+            "metadata": dict(self.metadata),
+            "spans": list(self.spans),
+            "events": list(self.events),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wall_time": self.wall_time,
+        }
+
+
+class FlightRecorder:
+    """Bounded retention of the K slowest and the recent failed requests.
+
+    Thread-safe; every mutation happens under one lock (records are
+    built outside it).  Memory is bounded by ``keep_slowest +
+    keep_failed`` full records regardless of daemon uptime.
+    """
+
+    def __init__(self, keep_slowest: int = 16, keep_failed: int = 32) -> None:
+        if keep_slowest < 0 or keep_failed < 0:
+            raise ValueError("flight recorder capacities must be >= 0")
+        self.keep_slowest = keep_slowest
+        self.keep_failed = keep_failed
+        self._lock = threading.Lock()
+        #: Min-heap of (seconds, sequence, record): the root is the
+        #: fastest retained record, i.e. the next eviction victim.
+        self._slowest: List[tuple] = []
+        self._failed: List[FlightRecord] = []
+        self._sequence = 0
+        self._recorded = 0
+        self._evicted = 0
+
+    def record(self, record: FlightRecord) -> None:
+        """Retain (or discard) one finished request's record."""
+        with self._lock:
+            self._recorded += 1
+            if not record.ok:
+                self._failed.append(record)
+                if len(self._failed) > self.keep_failed:
+                    self._failed.pop(0)
+                    self._evicted += 1
+                return
+            if self.keep_slowest == 0:
+                self._evicted += 1
+                return
+            self._sequence += 1
+            entry = (record.seconds, self._sequence, record)
+            if len(self._slowest) < self.keep_slowest:
+                heapq.heappush(self._slowest, entry)
+            elif record.seconds > self._slowest[0][0]:
+                heapq.heappushpop(self._slowest, entry)
+                self._evicted += 1
+            else:
+                self._evicted += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slowest) + len(self._failed)
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    def slowest(self) -> List[FlightRecord]:
+        """Retained successful records, slowest first."""
+        with self._lock:
+            entries = sorted(self._slowest, key=lambda e: (-e[0], e[1]))
+        return [record for _, _, record in entries]
+
+    def failed(self) -> List[FlightRecord]:
+        """Retained failed records, oldest first."""
+        with self._lock:
+            return list(self._failed)
+
+    def find(self, trace_id: str) -> Optional[FlightRecord]:
+        """The retained record with this trace ID, if still held."""
+        for record in self.failed() + self.slowest():
+            if record.trace_id == trace_id:
+                return record
+        return None
+
+    def dump(self) -> Dict[str, object]:
+        """The JSON payload of ``GET /debug/flightrecorder``."""
+        with self._lock:
+            recorded, evicted = self._recorded, self._evicted
+        return {
+            "config": {
+                "keep_slowest": self.keep_slowest,
+                "keep_failed": self.keep_failed,
+            },
+            "recorded": recorded,
+            "evicted": evicted,
+            "slowest": [record.to_dict() for record in self.slowest()],
+            "failed": [record.to_dict() for record in self.failed()],
+        }

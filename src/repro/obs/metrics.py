@@ -16,8 +16,15 @@ and the compile report.
 from __future__ import annotations
 
 import math
+import threading
+from collections import deque
 from typing import List, Sequence
 
+from repro.obs.reservoir import (  # noqa: F401 - canonical re-export
+    DEFAULT_BUCKETS,
+    DEFAULT_RESERVOIR_CAPACITY,
+    Reservoir,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 TracerLike = "Tracer | NullTracer"
@@ -51,6 +58,43 @@ def summarize(values: Sequence[float]) -> dict:
         "p50": percentile(values, 50),
         "p95": percentile(values, 95),
     }
+
+
+class RollingWindow:
+    """Outcome/latency memory of the last ``size`` requests.
+
+    Backs the SLO gauges on ``/metrics``: error rate and p50/p95
+    latency over a recent window, which track incidents where the
+    since-boot aggregates of a long-lived daemon barely move.
+    Thread-safe (one lock; the window is tiny).
+    """
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 1:
+            raise ValueError("window size must be at least 1")
+        self.size = size
+        self._lock = threading.Lock()
+        self._outcomes: deque = deque(maxlen=size)
+
+    def record(self, ok: bool, seconds: float) -> None:
+        with self._lock:
+            self._outcomes.append((bool(ok), float(seconds)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._outcomes)
+
+    def error_rate(self) -> float:
+        with self._lock:
+            outcomes = list(self._outcomes)
+        if not outcomes:
+            return 0.0
+        return sum(1 for ok, _ in outcomes if not ok) / len(outcomes)
+
+    def latency_percentile(self, p: float) -> float:
+        with self._lock:
+            latencies = [seconds for _, seconds in self._outcomes]
+        return percentile(latencies, p)
 
 
 class Counter:
@@ -105,7 +149,9 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        """Total observations (exact even after reservoir sampling)."""
+        stats = self._tracer.hist_stats().get(self.name)
+        return int(stats["count"]) if stats else len(self.values)
 
     def percentile(self, p: float) -> float:
         return percentile(self.values, p)

@@ -1,0 +1,155 @@
+"""Bounded histogram storage (the reservoir behind every tracer).
+
+Separated from :mod:`repro.obs.metrics` so :mod:`repro.obs.tracer`
+can use it without an import cycle (metrics imports tracer for the
+bound handles).  See :class:`Reservoir` for the sampling scheme.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Exact-storage threshold for :class:`Reservoir`: below this many
+#: samples every value is kept verbatim (p50/p95 are exact, matching
+#: the pre-reservoir behaviour bit for bit); above it the reservoir
+#: degrades to a deterministic stride sample of bounded size.
+DEFAULT_RESERVOIR_CAPACITY = 4096
+
+#: Fixed histogram bucket upper bounds, shared by every reservoir and
+#: by the Prometheus ``_bucket`` exposition.  The low end covers
+#: request/stage latencies in seconds; the high end covers work-count
+#: histograms (solver backtracks, isel matches per tree).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 100.0, 1000.0, 10000.0,
+)
+
+
+class Reservoir:
+    """Bounded histogram storage with exact aggregates.
+
+    Below ``capacity`` observations, every sample is stored verbatim —
+    percentile queries are exact and existing p50/p95 expectations are
+    untouched.  Beyond that, the sample list is compacted to every
+    other element and the acceptance stride doubles (index-stride
+    sampling: sample ``i`` is kept iff ``i % stride == 0``), so a
+    week-long daemon holds at most ``capacity`` floats per histogram
+    no matter how many requests it serves.  The scheme is
+    deterministic and seedless: the same observation sequence always
+    retains the same samples.
+
+    ``count``/``total``/``minimum``/``maximum`` and the fixed-bucket
+    counts are maintained exactly at observe time regardless of
+    sampling — the Prometheus ``_count``/``_sum``/``_bucket`` lines
+    never lie, only the percentile estimate degrades (to a systematic
+    sample, which for the arrival-order-independent latency streams
+    here is as good as uniform).
+
+    Not thread-safe on its own; the owning tracer serializes access.
+    """
+
+    __slots__ = (
+        "capacity",
+        "buckets",
+        "samples",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "bucket_counts",
+        "_stride",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("reservoir capacity must be at least 2")
+        self.capacity = capacity
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.samples: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        #: Per-bucket (non-cumulative) counts; the overflow bucket is
+        #: implicit (count minus the sum of these).
+        self.bucket_counts: List[int] = [0] * len(self.buckets)
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self.count
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        slot = bisect.bisect_left(self.buckets, value)
+        if slot < len(self.bucket_counts):
+            self.bucket_counts[slot] += 1
+        if index % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > self.capacity:
+                self.samples = self.samples[::2]
+                self._stride *= 2
+
+    def merge(self, other: "Reservoir") -> None:
+        """Fold another reservoir in (aggregates exact, samples pooled)."""
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.minimum, other.maximum):
+            if bound is None:
+                continue
+            if self.minimum is None or bound < self.minimum:
+                self.minimum = bound
+            if self.maximum is None or bound > self.maximum:
+                self.maximum = bound
+        if other.buckets == self.buckets:
+            for i, n in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += n
+        else:  # re-bucket the other side's samples as an approximation
+            for value in other.samples:
+                slot = bisect.bisect_left(self.buckets, value)
+                if slot < len(self.bucket_counts):
+                    self.bucket_counts[slot] += 1
+        self.samples.extend(other.samples)
+        while len(self.samples) > self.capacity:
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    def clone(self) -> "Reservoir":
+        copy = Reservoir(capacity=self.capacity, buckets=self.buckets)
+        copy.samples = list(self.samples)
+        copy.count = self.count
+        copy.total = self.total
+        copy.minimum = self.minimum
+        copy.maximum = self.maximum
+        copy.bucket_counts = list(self.bucket_counts)
+        copy._stride = self._stride
+        return copy
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending at (inf, count)."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """The exact aggregates (used by the exposition renderer)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "buckets": self.cumulative_buckets(),
+        }

@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.events import Event, EventLog, Severity
+from repro.obs.reservoir import Reservoir
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,10 @@ class SpanRecord:
     ``start``/``end`` are seconds since the tracer's epoch (the
     moment the tracer was created), so records from one tracer are
     directly comparable.  ``error`` marks a span whose body unwound
-    with an exception.
+    with an exception.  ``trace_id`` is the request identity of the
+    tracer that recorded the span (None outside a request scope); it
+    survives :meth:`Tracer.merge`, so a span in a long-lived service
+    tracer still names the request that produced it.
     """
 
     name: str
@@ -56,6 +60,21 @@ class SpanRecord:
     parent: Optional[str]
     thread_id: int
     error: bool = False
+    trace_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering (flight recorder, debug dumps)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "seconds": self.seconds,
+            "depth": self.depth,
+            "parent": self.parent,
+            "thread_id": self.thread_id,
+            "error": self.error,
+            "trace_id": self.trace_id,
+        }
 
     @property
     def seconds(self) -> float:
@@ -100,6 +119,7 @@ class Span:
             parent=self._parent,
             thread_id=threading.get_ident(),
             error=exc_type is not None,
+            trace_id=self._tracer.trace_id,
         )
         self._tracer._record(self.record)
 
@@ -107,16 +127,24 @@ class Span:
 class Tracer:
     """Thread-safe, in-memory span/counter/gauge collector."""
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self._clock = clock
         self._epoch = clock()
         self._lock = threading.Lock()
         self._spans: List[SpanRecord] = []
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
-        self._hists: Dict[str, List[float]] = {}
+        self._hists: Dict[str, Reservoir] = {}
         self.events = EventLog()
         self._local = threading.local()
+        #: Request identity stamped onto every span and event this
+        #: tracer records (None outside a request scope).  Set by the
+        #: compile service per request; see repro.obs.context.
+        self.trace_id = trace_id
 
     # -- recording ---------------------------------------------------
 
@@ -135,9 +163,17 @@ class Tracer:
             self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Add one sample to the histogram ``name``."""
+        """Add one sample to the histogram ``name``.
+
+        Storage is a bounded :class:`~repro.obs.reservoir.Reservoir`:
+        exact below its capacity, a deterministic stride sample above
+        it — a week-long daemon does not grow per observation.
+        """
         with self._lock:
-            self._hists.setdefault(name, []).append(float(value))
+            reservoir = self._hists.get(name)
+            if reservoir is None:
+                reservoir = self._hists[name] = Reservoir()
+            reservoir.observe(value)
 
     def event(
         self,
@@ -155,6 +191,7 @@ class Tracer:
             provenance=provenance,
             attrs=attrs,
             time=self._clock() - self._epoch,
+            trace_id=self.trace_id,
         )
         self.events.append(record)
         return record
@@ -187,7 +224,7 @@ class Tracer:
         spans = other.spans
         counters = other.counters
         gauges = other.gauges
-        hists = other.histograms
+        reservoirs = other.reservoirs
         events = other.events.events
         with self._lock:
             for record in spans:
@@ -201,8 +238,12 @@ class Tracer:
             for name, value in counters.items():
                 self._counters[name] = self._counters.get(name, 0) + value
             self._gauges.update(gauges)
-            for name, values in hists.items():
-                self._hists.setdefault(name, []).extend(values)
+            for name, reservoir in reservoirs.items():
+                mine = self._hists.get(name)
+                if mine is None:
+                    self._hists[name] = reservoir
+                else:
+                    mine.merge(reservoir)
         self.events.extend(
             [replace(event, time=event.time + offset) for event in events]
         )
@@ -227,9 +268,33 @@ class Tracer:
 
     @property
     def histograms(self) -> Dict[str, List[float]]:
-        """Raw samples per histogram name."""
+        """Retained samples per histogram name.
+
+        Exact below the reservoir capacity; a deterministic sample
+        above it (see :class:`~repro.obs.reservoir.Reservoir`).
+        """
         with self._lock:
-            return {name: list(values) for name, values in self._hists.items()}
+            return {
+                name: list(reservoir.samples)
+                for name, reservoir in self._hists.items()
+            }
+
+    @property
+    def reservoirs(self) -> Dict[str, Reservoir]:
+        """Deep-copied reservoir per histogram (merge/exposition food)."""
+        with self._lock:
+            return {
+                name: reservoir.clone()
+                for name, reservoir in self._hists.items()
+            }
+
+    def hist_stats(self) -> Dict[str, Dict[str, object]]:
+        """Exact count/sum/min/max/buckets per histogram name."""
+        with self._lock:
+            return {
+                name: reservoir.stats()
+                for name, reservoir in self._hists.items()
+            }
 
     def durations(self, depth: Optional[int] = None) -> Dict[str, float]:
         """Total seconds per span name, in first-start order.
@@ -281,6 +346,8 @@ class NullTracer:
 
     __slots__ = ()
 
+    trace_id: Optional[str] = None
+
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
@@ -320,6 +387,13 @@ class NullTracer:
 
     @property
     def histograms(self) -> Dict[str, List[float]]:
+        return {}
+
+    @property
+    def reservoirs(self) -> Dict[str, Reservoir]:
+        return {}
+
+    def hist_stats(self) -> Dict[str, Dict[str, object]]:
         return {}
 
     @property

@@ -29,10 +29,20 @@ from repro.serve.service import (
     CompileService,
 )
 from repro.serve.daemon import (
+    TRACE_HEADER,
     DaemonThread,
     ReticleDaemon,
     parse_size,
     serve_main,
+)
+from repro.serve.top import (
+    TopSample,
+    TopView,
+    derive_view,
+    flightrecorder_main,
+    normalize_addr,
+    render_top,
+    top_main,
 )
 
 __all__ = [
@@ -41,6 +51,14 @@ __all__ = [
     "CompileService",
     "ReticleDaemon",
     "DaemonThread",
+    "TRACE_HEADER",
     "parse_size",
     "serve_main",
+    "TopSample",
+    "TopView",
+    "derive_view",
+    "normalize_addr",
+    "render_top",
+    "top_main",
+    "flightrecorder_main",
 ]

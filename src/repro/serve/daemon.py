@@ -36,14 +36,19 @@ import asyncio
 import json
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReticleError
+from repro.obs import TraceContext, new_trace_id, valid_trace_id
 from repro.serve.service import (
     CompileRequest,
     CompileService,
 )
+
+#: Request/response header carrying the request's trace identity.
+TRACE_HEADER = "X-Reticle-Trace-Id"
 
 #: Hard ceiling on accepted request bodies (64 MiB of IR text is far
 #: beyond any device-filling program; anything larger is a mistake or
@@ -152,6 +157,22 @@ class ReticleDaemon:
         return head.encode("ascii") + body
 
     @staticmethod
+    def _text_response_bytes(
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> bytes:
+        """A non-JSON response (the Prometheus exposition)."""
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+    @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
     ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
@@ -181,11 +202,37 @@ class ReticleDaemon:
 
     # -- request handling -------------------------------------------
 
-    async def _handle_compile(self, body: bytes) -> Tuple[int, Dict]:
+    async def _handle_compile(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Dict, Optional[str]]:
+        """One compile batch; returns (status, payload, trace id).
+
+        The request's trace ID comes from the ``X-Reticle-Trace-Id``
+        header when the client sent (a valid) one, else is minted
+        here.  Batch item ``i`` compiles under the derived ID
+        ``<base>.<i>`` (item 0 uses the base), so one batch stays one
+        greppable trace family.  The base ID is echoed in the JSON
+        payload and the response header, success or failure.
+        """
+        claimed = headers.get(TRACE_HEADER.lower())
+        if claimed is not None and not valid_trace_id(claimed):
+            self.service.tracer.count("service.bad_requests")
+            return 400, {
+                "ok": False,
+                "error": (
+                    f"invalid {TRACE_HEADER} header (want 1-128 chars "
+                    "of [A-Za-z0-9_.:-])"
+                ),
+            }, None
+        trace = TraceContext.new(claimed)
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (ValueError, UnicodeDecodeError):
-            return 400, {"ok": False, "error": "body is not valid JSON"}
+            return 400, {
+                "ok": False,
+                "error": "body is not valid JSON",
+                "trace_id": trace.trace_id,
+            }, trace.trace_id
         if isinstance(payload, dict) and "requests" in payload:
             raw_items = payload["requests"]
         else:
@@ -194,12 +241,17 @@ class ReticleDaemon:
             return 400, {
                 "ok": False,
                 "error": "'requests' must be a non-empty list",
-            }
+                "trace_id": trace.trace_id,
+            }, trace.trace_id
         try:
             requests = [CompileRequest.from_dict(item) for item in raw_items]
         except ReticleError as error:
             self.service.tracer.count("service.bad_requests")
-            return 400, {"ok": False, "error": str(error)}
+            return 400, {
+                "ok": False,
+                "error": str(error),
+                "trace_id": trace.trace_id,
+            }, trace.trace_id
 
         if not self._admit(len(requests)):
             self.service.tracer.count("service.rejected", len(requests))
@@ -210,27 +262,37 @@ class ReticleDaemon:
                     f"({self.inflight}/{self.queue_limit} in flight); "
                     "retry later"
                 ),
-            }
+                "trace_id": trace.trace_id,
+            }, trace.trace_id
         loop = asyncio.get_running_loop()
+        admitted_at = time.perf_counter()
 
-        def run_one(request: CompileRequest):
+        def run_one(request: CompileRequest, item_trace_id: str):
+            # Queue wait = admission to a worker actually starting.
+            ctx = TraceContext(
+                trace_id=item_trace_id,
+                queue_wait_s=time.perf_counter() - admitted_at,
+            )
             try:
-                return self.service.compile_request(request)
+                return self.service.compile_request(request, ctx=ctx)
             finally:
                 self._release(1)
 
         self.service.tracer.count("service.batches")
         responses = await asyncio.gather(
             *(
-                loop.run_in_executor(self._pool, run_one, request)
-                for request in requests
+                loop.run_in_executor(
+                    self._pool, run_one, request, trace.item(index)
+                )
+                for index, request in enumerate(requests)
             )
         )
         results = [response.to_dict() for response in responses]
         return 200, {
             "ok": all(result["ok"] for result in results),
             "results": results,
-        }
+            "trace_id": trace.trace_id,
+        }, trace.trace_id
 
     def _healthz(self) -> Dict[str, object]:
         return {
@@ -238,6 +300,14 @@ class ReticleDaemon:
             "inflight": self.inflight,
             "queue_limit": self.queue_limit,
             "workers": self.workers,
+        }
+
+    def _daemon_gauges(self) -> Dict[str, float]:
+        """Transport-level gauges joined into the /metrics exposition."""
+        return {
+            "service_queue_depth": float(self.inflight),
+            "service_queue_limit": float(self.queue_limit),
+            "service_workers": float(self.workers),
         }
 
     async def _handle_connection(
@@ -262,22 +332,43 @@ class ReticleDaemon:
                     break
                 method, path, headers, body = request
                 status, payload, extra = 404, {"ok": False, "error": "not found"}, ""
+                raw_response: Optional[bytes] = None
                 if path == "/compile" and method == "POST":
-                    status, payload = await self._handle_compile(body)
+                    status, payload, trace_id = await self._handle_compile(
+                        body, headers
+                    )
+                    if trace_id is not None:
+                        extra += f"{TRACE_HEADER}: {trace_id}\r\n"
                     if status == 503:
-                        extra = "Retry-After: 1\r\n"
+                        extra += "Retry-After: 1\r\n"
                 elif path == "/healthz" and method == "GET":
                     status, payload = 200, self._healthz()
                 elif path == "/stats" and method == "GET":
                     status, payload = 200, self.service.stats()
+                elif path == "/metrics" and method == "GET":
+                    raw_response = self._text_response_bytes(
+                        200, self.service.metrics_text(self._daemon_gauges())
+                    )
+                elif path == "/debug/flightrecorder" and method == "GET":
+                    status, payload = 200, self.service.flight.dump()
                 elif path == "/shutdown" and method == "POST":
                     status, payload = 200, {"ok": True, "stopping": True}
-                elif path in ("/compile", "/shutdown", "/healthz", "/stats"):
+                elif path in (
+                    "/compile",
+                    "/shutdown",
+                    "/healthz",
+                    "/stats",
+                    "/metrics",
+                    "/debug/flightrecorder",
+                ):
                     status, payload = 405, {
                         "ok": False,
                         "error": f"method {method} not allowed on {path}",
                     }
-                writer.write(self._response_bytes(status, payload, extra))
+                if raw_response is not None:
+                    writer.write(raw_response)
+                else:
+                    writer.write(self._response_bytes(status, payload, extra))
                 await writer.drain()
                 if path == "/shutdown" and method == "POST" and status == 200:
                     self.stop()
@@ -420,8 +511,10 @@ class DaemonThread:
 
 def serve_main(args) -> int:
     """The ``reticle serve`` entry point (argparse namespace in)."""
+    import sys
+
     from repro.passes import CompileCache
-    from repro.obs import Tracer
+    from repro.obs import FlightRecorder, Tracer
 
     budget = (
         parse_size(args.cache_budget) if args.cache_budget else None
@@ -430,7 +523,24 @@ def serve_main(args) -> int:
         cache_dir=args.cache_dir,
         max_disk_bytes=budget,
     )
-    service = CompileService(cache=cache, tracer=Tracer())
+    log_stream = None
+    log_handle = None
+    if getattr(args, "log_json", None):
+        if args.log_json == "-":
+            log_stream = sys.stdout
+        else:
+            log_handle = open(args.log_json, "a")
+            log_stream = log_handle
+    service = CompileService(
+        cache=cache,
+        tracer=Tracer(),
+        window=getattr(args, "window", 256),
+        flight=FlightRecorder(
+            keep_slowest=getattr(args, "flight_slowest", 16),
+            keep_failed=getattr(args, "flight_failed", 32),
+        ),
+        log_stream=log_stream,
+    )
     daemon = ReticleDaemon(
         service=service,
         host=args.host,
@@ -452,4 +562,7 @@ def serve_main(args) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    finally:
+        if log_handle is not None:
+            log_handle.close()
     return 0

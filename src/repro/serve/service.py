@@ -32,7 +32,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import ReticleCompiler, resolve_target
 from repro.errors import ReticleError
 from repro.ir.parser import parse_prog
-from repro.obs import Tracer
+from repro.obs import (
+    FlightRecord,
+    FlightRecorder,
+    RollingWindow,
+    TraceContext,
+    Tracer,
+    render_prometheus,
+)
 from repro.passes import CompileCache
 
 #: Request options accepted by the service: exactly the
@@ -102,7 +109,13 @@ class CompileRequest:
 
 @dataclass
 class CompileResponse:
-    """The outcome of one request, ready to serialize."""
+    """The outcome of one request, ready to serialize.
+
+    ``trace_id`` is the request's trace identity (also echoed as the
+    ``X-Reticle-Trace-Id`` response header): quote it to correlate the
+    response with daemon logs, ``/metrics`` families, Chrome traces,
+    and the flight recorder.
+    """
 
     ok: bool
     functions: List[str] = field(default_factory=list)
@@ -111,10 +124,15 @@ class CompileResponse:
     seconds: float = 0.0
     key: Optional[str] = None
     error: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         if not self.ok:
-            return {"ok": False, "error": self.error}
+            return {
+                "ok": False,
+                "error": self.error,
+                "trace_id": self.trace_id,
+            }
         return {
             "ok": True,
             "functions": self.functions,
@@ -122,6 +140,7 @@ class CompileResponse:
             "cached": self.cached,
             "seconds": self.seconds,
             "key": self.key,
+            "trace_id": self.trace_id,
         }
 
 
@@ -142,12 +161,24 @@ class CompileService:
         self,
         cache: Optional[CompileCache] = None,
         tracer: Optional[Tracer] = None,
+        window: int = 256,
+        flight: Optional[FlightRecorder] = None,
+        log_stream=None,
     ) -> None:
         self.cache = cache if cache is not None else CompileCache()
         self.tracer = tracer if tracer is not None else Tracer()
         self._compilers: Dict[Tuple[str, str], ReticleCompiler] = {}
         self._lock = threading.Lock()
         self.started_at = time.time()
+        #: Rolling outcome/latency memory behind the SLO gauges
+        #: (service.window_error_rate, service.window_p50/p95).
+        self.window = RollingWindow(size=window)
+        #: Full-telemetry retention of the K slowest + failed requests.
+        self.flight = flight if flight is not None else FlightRecorder()
+        #: When set (any .write()-able), one JSON line per request:
+        #: trace id, outcome, cache hit, queue wait, stage timings.
+        self.log_stream = log_stream
+        self._log_lock = threading.Lock()
 
     # -- compiler pooling -------------------------------------------
 
@@ -183,10 +214,25 @@ class CompileService:
 
     # -- serving -----------------------------------------------------
 
-    def compile_request(self, request: CompileRequest) -> CompileResponse:
-        """Serve one request; never raises — errors become responses."""
+    def compile_request(
+        self,
+        request: CompileRequest,
+        ctx: Optional[TraceContext] = None,
+    ) -> CompileResponse:
+        """Serve one request; never raises — errors become responses.
+
+        ``ctx`` carries the request's trace identity and queue wait;
+        without one a fresh trace ID is minted, so every compile is
+        attributable even when the transport didn't bother.  The
+        request's private tracer is stamped with the trace ID (every
+        span/event it records carries it, through ``Tracer.merge``
+        into the service tracer and out the Chrome export), its full
+        telemetry is offered to the flight recorder, and one JSON log
+        line is emitted when request logging is on.
+        """
+        ctx = ctx if ctx is not None else TraceContext.new()
         start = time.perf_counter()
-        tracer = Tracer()
+        tracer = Tracer(trace_id=ctx.trace_id)
         try:
             prog = parse_prog(request.program)
             compiler = self.compiler_for(request)
@@ -201,26 +247,145 @@ class CompileService:
                 cached=all(r.cached for r in results.values()),
                 seconds=round(time.perf_counter() - start, 6),
                 key=compiler.cache_key(prog.funcs[0]) if prog.funcs else None,
+                trace_id=ctx.trace_id,
             )
         except ReticleError as error:
             self.tracer.count("service.errors")
-            response = CompileResponse(ok=False, error=str(error))
+            response = CompileResponse(
+                ok=False, error=str(error), trace_id=ctx.trace_id
+            )
         except Exception as error:  # noqa: BLE001 - daemon must not die
             self.tracer.count("service.errors")
             response = CompileResponse(
                 ok=False,
                 error=f"internal error: {type(error).__name__}: {error}",
+                trace_id=ctx.trace_id,
             )
+        latency = time.perf_counter() - start
+        stages = tracer.stage_seconds()
         self.tracer.merge(tracer)
         self.tracer.count("service.requests")
         if response.ok and response.cached:
             self.tracer.count("service.warm_requests")
-        self.tracer.observe(
-            "service.latency_s", time.perf_counter() - start
+        self.tracer.observe("service.latency_s", latency)
+        if ctx.queue_wait_s > 0:
+            self.tracer.observe("service.queue_wait_s", ctx.queue_wait_s)
+        self._record_window(response.ok, latency)
+        self.flight.record(
+            FlightRecord(
+                trace_id=ctx.trace_id,
+                ok=response.ok,
+                seconds=latency,
+                queue_wait_s=ctx.queue_wait_s,
+                cached=response.cached,
+                error=response.error,
+                target=request.target,
+                functions=list(response.functions),
+                stages=stages,
+                metadata={
+                    "program_chars": len(request.program),
+                    "options": dict(request.options),
+                    "key": response.key,
+                    **ctx.metadata,
+                },
+                spans=[record.to_dict() for record in tracer.spans],
+                events=tracer.events.to_dicts(),
+                counters=tracer.counters,
+                gauges=tracer.gauges,
+            )
         )
+        self._log_request(request, response, ctx, latency, stages)
         return response
 
+    def _record_window(self, ok: bool, latency: float) -> None:
+        """Fold one outcome into the rolling SLO gauges."""
+        self.window.record(ok, latency)
+        self.tracer.gauge(
+            "service.window_error_rate", self.window.error_rate()
+        )
+        self.tracer.gauge(
+            "service.window_p50_latency_s",
+            self.window.latency_percentile(50),
+        )
+        self.tracer.gauge(
+            "service.window_p95_latency_s",
+            self.window.latency_percentile(95),
+        )
+
+    def _log_request(
+        self,
+        request: CompileRequest,
+        response: CompileResponse,
+        ctx: TraceContext,
+        latency: float,
+        stages: Dict[str, float],
+    ) -> None:
+        """One structured JSON line per request (when logging is on)."""
+        if self.log_stream is None:
+            return
+        line = json.dumps(
+            {
+                "time": round(time.time(), 3),
+                "trace_id": ctx.trace_id,
+                "outcome": "ok" if response.ok else "error",
+                "target": request.target,
+                "functions": list(response.functions),
+                "cached": response.cached,
+                "seconds": round(latency, 6),
+                "queue_wait_s": round(ctx.queue_wait_s, 6),
+                "stages": {
+                    name: round(seconds, 6)
+                    for name, seconds in stages.items()
+                },
+                "error": response.error,
+            },
+            sort_keys=True,
+        )
+        with self._log_lock:
+            self.log_stream.write(line + "\n")
+            if hasattr(self.log_stream, "flush"):
+                self.log_stream.flush()
+
     # -- introspection ----------------------------------------------
+
+    def process_gauges(self) -> Dict[str, float]:
+        """Point-in-time process state for the ``/metrics`` exposition.
+
+        These are not tracer metrics — they are read fresh at scrape
+        time: daemon uptime, peak RSS (``getrusage``; the kernel
+        reports KiB on Linux, bytes on macOS), cache tier occupancy.
+        """
+        import resource
+        import sys
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        rss_scale = 1 if sys.platform == "darwin" else 1024
+        return {
+            "process_uptime_seconds": round(
+                time.time() - self.started_at, 3
+            ),
+            "process_max_rss_bytes": float(usage.ru_maxrss * rss_scale),
+            "cache_disk_bytes": float(self.cache.disk_bytes()),
+            "cache_memory_entries": float(len(self.cache)),
+            "service_compilers": float(len(self._compilers)),
+        }
+
+    def metrics_text(
+        self, extra_gauges: Optional[Dict[str, float]] = None
+    ) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        Everything the service tracer holds (``service.*``,
+        ``cache.*``, ``stage.*``, ``isel.*``, ``place.*`` counters,
+        SLO gauges, latency histograms with ``_bucket``/``_sum``/
+        ``_count``) plus the process gauges; the daemon contributes
+        transport-level gauges (queue depth, queue limit) through
+        ``extra_gauges``.
+        """
+        gauges = self.process_gauges()
+        if extra_gauges:
+            gauges.update(extra_gauges)
+        return render_prometheus(self.tracer, extra_gauges=gauges)
 
     def stats(self) -> Dict[str, object]:
         """The /stats payload: counters, gauges, latency summaries."""

@@ -1,0 +1,268 @@
+"""``reticle top`` and ``reticle flightrecorder``: operator views.
+
+``reticle top <addr>`` polls a daemon's ``GET /metrics`` exposition
+and renders a live terminal summary — throughput, rolling p50/p95,
+error rate, cache hit ratio, queue depth, and a per-stage time
+breakdown — using the same :func:`~repro.obs.expo.parse_prometheus`
+parser the tests pin, so the view can never drift from what the
+endpoint actually serves.  Rates are computed client-side from the
+delta between two consecutive scrapes; the first frame (no delta yet)
+shows cumulative values.
+
+``reticle flightrecorder <addr>`` fetches ``GET /debug/flightrecorder``
+and prints either a one-line-per-record summary or (``--json``) the
+full dump — every retained span, event, and counter of the slowest
+and failed requests.
+
+Both are pure functions over parsed scrapes plus a thin polling loop,
+so the rendering is unit-testable without a network.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReticleError
+from repro.obs.expo import MetricFamily, parse_prometheus
+
+
+def normalize_addr(addr: str) -> str:
+    """``host:port`` or ``http://host:port`` → a base http URL."""
+    addr = addr.strip().rstrip("/")
+    if not addr:
+        raise ReticleError("empty daemon address")
+    if addr.startswith("http://"):
+        return addr
+    if addr.startswith(("https://", "unix:")):
+        raise ReticleError(
+            f"unsupported address {addr!r} (reticle top/flightrecorder "
+            "speak plain http over TCP)"
+        )
+    return f"http://{addr}"
+
+
+def _get(base_url: str, path: str, timeout: float = 30.0) -> bytes:
+    hostport = base_url[len("http://") :]
+    host, _, port = hostport.partition(":")
+    connection = http.client.HTTPConnection(
+        host, int(port or "80"), timeout=timeout
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise ReticleError(
+                f"GET {path} answered {response.status}: {body[:200]!r}"
+            )
+        return body
+    finally:
+        connection.close()
+
+
+@dataclass
+class TopSample:
+    """One scrape of ``/metrics``, timestamped for rate computation."""
+
+    time: float
+    families: Dict[str, MetricFamily]
+
+    @classmethod
+    def scrape(cls, base_url: str) -> "TopSample":
+        text = _get(base_url, "/metrics").decode("utf-8")
+        return cls(time=time.time(), families=parse_prometheus(text))
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        family = self.families.get(name)
+        return family.value() if family is not None else default
+
+    def hist(self, name: str) -> "tuple[float, float]":
+        """(sum, count) of a histogram family, zeros when absent."""
+        family = self.families.get(name)
+        if family is None:
+            return 0.0, 0.0
+        total = family.sample("_sum")
+        count = family.sample("_count")
+        return (
+            total.value if total is not None else 0.0,
+            count.value if count is not None else 0.0,
+        )
+
+    def stage_names(self) -> List[str]:
+        return sorted(
+            name for name in self.families if name.startswith("stage_")
+        )
+
+
+@dataclass
+class TopView:
+    """The derived numbers one ``top`` frame displays."""
+
+    uptime_s: float = 0.0
+    requests: float = 0.0
+    throughput_rps: float = 0.0
+    window_p50_ms: float = 0.0
+    window_p95_ms: float = 0.0
+    window_error_rate: float = 0.0
+    total_errors: float = 0.0
+    cache_hit_ratio: float = 0.0
+    queue_depth: float = 0.0
+    queue_limit: float = 0.0
+    rss_mb: float = 0.0
+    #: stage name -> (share of stage time, avg ms, runs) over the delta
+    stages: Dict[str, "tuple[float, float, float]"] = field(
+        default_factory=dict
+    )
+
+
+def derive_view(
+    current: TopSample, previous: Optional[TopSample] = None
+) -> TopView:
+    """Compute one frame's numbers from a scrape (+ optional delta)."""
+    view = TopView(
+        uptime_s=current.value("process_uptime_seconds"),
+        requests=current.value("service_requests"),
+        window_p50_ms=current.value("service_window_p50_latency_s") * 1000,
+        window_p95_ms=current.value("service_window_p95_latency_s") * 1000,
+        window_error_rate=current.value("service_window_error_rate"),
+        total_errors=current.value("service_errors"),
+        queue_depth=current.value("service_queue_depth"),
+        queue_limit=current.value("service_queue_limit"),
+        rss_mb=current.value("process_max_rss_bytes") / (1024 * 1024),
+    )
+    hits = current.value("cache_hits")
+    misses = current.value("cache_misses")
+    if hits + misses > 0:
+        view.cache_hit_ratio = hits / (hits + misses)
+    if previous is not None and current.time > previous.time:
+        elapsed = current.time - previous.time
+        view.throughput_rps = max(
+            0.0,
+            (view.requests - previous.value("service_requests")) / elapsed,
+        )
+    elif view.uptime_s > 0:
+        view.throughput_rps = view.requests / view.uptime_s
+
+    sums: Dict[str, "tuple[float, float]"] = {}
+    total_stage_s = 0.0
+    for name in current.stage_names():
+        stage_sum, stage_count = current.hist(name)
+        if previous is not None:
+            prev_sum, prev_count = previous.hist(name)
+            stage_sum -= prev_sum
+            stage_count -= prev_count
+        if stage_count <= 0:
+            continue
+        sums[name] = (stage_sum, stage_count)
+        total_stage_s += stage_sum
+    for name, (stage_sum, stage_count) in sums.items():
+        share = stage_sum / total_stage_s if total_stage_s > 0 else 0.0
+        view.stages[name[len("stage_") :]] = (
+            share,
+            stage_sum * 1000 / stage_count,
+            stage_count,
+        )
+    return view
+
+
+def _bar(share: float, width: int = 20) -> str:
+    filled = int(round(share * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(
+    current: TopSample,
+    previous: Optional[TopSample] = None,
+    address: str = "",
+) -> str:
+    """One ``reticle top`` frame as plain text."""
+    view = derive_view(current, previous)
+    window = "window" if previous is not None else "boot"
+    lines = [
+        f"reticle top — {address or 'daemon'} — "
+        f"up {view.uptime_s:.0f}s — rss {view.rss_mb:.0f}M",
+        "",
+        f"  requests   {view.requests:>10.0f} total   "
+        f"{view.throughput_rps:>8.1f} req/s ({window})",
+        f"  latency    {view.window_p50_ms:>10.2f} ms p50  "
+        f"{view.window_p95_ms:>8.2f} ms p95 (rolling window)",
+        f"  errors     {view.total_errors:>10.0f} total   "
+        f"{view.window_error_rate:>8.1%} windowed rate",
+        f"  cache      {view.cache_hit_ratio:>10.1%} hit ratio",
+        f"  queue      {view.queue_depth:>10.0f} deep    "
+        f"limit {view.queue_limit:.0f}",
+    ]
+    if view.stages:
+        lines.append("")
+        lines.append(
+            f"  {'stage':<12} {'share':>6}  {'avg ms':>9}  {'runs':>7}"
+        )
+        for name, (share, avg_ms, runs) in sorted(
+            view.stages.items(), key=lambda item: -item[1][0]
+        ):
+            lines.append(
+                f"  {name:<12} {share:>6.1%}  {avg_ms:>9.3f}  "
+                f"{runs:>7.0f}  {_bar(share)}"
+            )
+    return "\n".join(lines)
+
+
+def top_main(args) -> int:
+    """The ``reticle top <addr>`` entry point."""
+    base_url = normalize_addr(args.addr)
+    previous: Optional[TopSample] = None
+    frames = 0
+    try:
+        while True:
+            current = TopSample.scrape(base_url)
+            frame = render_top(current, previous, address=base_url)
+            if args.count != 1 and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(frame, flush=True)
+            frames += 1
+            previous = current
+            if args.count and frames >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def flightrecorder_main(args) -> int:
+    """The ``reticle flightrecorder <addr>`` entry point."""
+    base_url = normalize_addr(args.addr)
+    dump = json.loads(_get(base_url, "/debug/flightrecorder"))
+    if args.json:
+        print(json.dumps(dump, indent=2))
+        return 0
+    print(
+        f"flight recorder: {dump['recorded']} recorded, "
+        f"{len(dump['slowest'])} slowest retained, "
+        f"{len(dump['failed'])} failed retained "
+        f"({dump['evicted']} evicted)"
+    )
+    for section, records in (("slowest", dump["slowest"]),
+                             ("failed", dump["failed"])):
+        if not records:
+            continue
+        print(f"\n{section}:")
+        for record in records:
+            stages = " ".join(
+                f"{name}={seconds * 1000:.1f}ms"
+                for name, seconds in record["stages"].items()
+            )
+            outcome = "ok" if record["ok"] else f"ERROR: {record['error']}"
+            cached = " (cached)" if record["cached"] else ""
+            print(
+                f"  {record['trace_id']:<20} {record['seconds'] * 1000:>9.2f}ms"
+                f"  wait {record['queue_wait_s'] * 1000:>7.2f}ms"
+                f"  {outcome}{cached}"
+            )
+            if stages:
+                print(f"  {'':<20} {stages}")
+    return 0

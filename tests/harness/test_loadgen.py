@@ -8,7 +8,9 @@ from repro.errors import ReticleError
 from repro.harness.loadgen import (
     SERVICE_WORKLOADS,
     LoadgenReport,
+    metric_value,
     run_loadgen,
+    scrape_metrics,
     service_table_rows,
     workload_programs,
 )
@@ -67,12 +69,57 @@ class TestRunLoadgen:
         assert set(payload) == {
             "requests",
             "errors",
+            "error_rate",
             "rejected",
             "wall_seconds",
             "throughput_rps",
             "latency",
             "warm_hits",
+            "trace_ids",
         }
+
+    def test_trace_ids_cover_every_request(self, daemon):
+        """Each request carries a distinct ID and the daemon echoes it."""
+        programs = workload_programs((("fsm", 3),))
+        report = run_loadgen(
+            daemon.base_url,
+            programs,
+            concurrency=2,
+            repeats=4,
+            trace_prefix="lgtest",
+        )
+        assert sorted(report.trace_ids) == [
+            f"lgtest-{i}" for i in range(4)
+        ]
+        assert len(set(report.trace_ids)) == report.requests
+
+    def test_verify_metrics_matches_requests_sent(self):
+        """/metrics' request counter agrees with client ground truth.
+
+        Fresh daemon so no other test's requests muddy the counter;
+        run_loadgen itself raises when the before/after delta of
+        ``service_requests`` disagrees with what it sent.
+        """
+        programs = workload_programs((("fsm", 3),))
+        with DaemonThread(workers=2, queue_limit=32) as handle:
+            report = run_loadgen(
+                handle.base_url,
+                programs,
+                concurrency=2,
+                repeats=5,
+                verify_metrics=True,
+            )
+            assert report.requests == 5
+            families = scrape_metrics(handle.base_url)
+            assert metric_value(families, "service_requests") == 5.0
+
+    def test_error_rate_reported(self, daemon):
+        programs = workload_programs((("fsm", 3),))
+        report = run_loadgen(
+            daemon.base_url, programs, concurrency=1, repeats=2
+        )
+        assert report.error_rate == 0.0
+        assert report.to_dict()["error_rate"] == 0.0
 
     def test_empty_workload_rejected(self, daemon):
         with pytest.raises(ReticleError):

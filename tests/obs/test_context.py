@@ -1,0 +1,162 @@
+"""Trace context: ID minting, stamping, merge isolation, export.
+
+The tentpole guarantee: every span and event a request produces
+carries that request's trace ID — through the per-request tracer,
+through ``Tracer.merge`` into a shared service tracer under
+concurrency, and out the Chrome trace export.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import Severity, Tracer, chrome_trace
+from repro.obs.context import TraceContext, new_trace_id, valid_trace_id
+
+
+class TestTraceIds:
+    def test_new_ids_are_valid_and_distinct(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert valid_trace_id(first) and valid_trace_id(second)
+        assert first != second
+
+    def test_validation(self):
+        assert valid_trace_id("abc-123.4:x_Y")
+        assert not valid_trace_id("")
+        assert not valid_trace_id("has space")
+        assert not valid_trace_id("a" * 129)
+        assert not valid_trace_id(None)
+        assert not valid_trace_id(42)
+
+    def test_context_honors_claimed_id(self):
+        ctx = TraceContext.new("client-chosen")
+        assert ctx.trace_id == "client-chosen"
+
+    def test_context_mints_when_absent(self):
+        assert valid_trace_id(TraceContext.new().trace_id)
+
+    def test_batch_item_ids_derive_from_base(self):
+        ctx = TraceContext.new("base")
+        assert ctx.item(0) == "base"
+        assert ctx.item(1) == "base.1"
+        assert ctx.item(7) == "base.7"
+        assert valid_trace_id(ctx.item(3))
+
+    def test_metadata_rides_along(self):
+        ctx = TraceContext.new("t", peer="127.0.0.1")
+        assert ctx.metadata == {"peer": "127.0.0.1"}
+
+
+class TestStamping:
+    def test_spans_carry_the_tracer_trace_id(self):
+        tracer = Tracer(trace_id="req-1")
+        with tracer.span("compile"):
+            with tracer.span("select"):
+                pass
+        assert [s.trace_id for s in tracer.spans] == ["req-1", "req-1"]
+
+    def test_events_carry_the_tracer_trace_id(self):
+        tracer = Tracer(trace_id="req-2")
+        event = tracer.event(Severity.INFO, "select", "hello")
+        assert event.trace_id == "req-2"
+        assert tracer.events.to_dicts()[0]["trace_id"] == "req-2"
+
+    def test_unscoped_tracer_stamps_none(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.spans[0].trace_id is None
+
+    def test_span_to_dict_includes_trace_id(self):
+        tracer = Tracer(trace_id="req-3")
+        with tracer.span("x"):
+            pass
+        assert tracer.spans[0].to_dict()["trace_id"] == "req-3"
+
+
+class TestMergeIsolation:
+    def test_merge_preserves_per_request_ids(self):
+        service = Tracer()
+        for request_id in ("a", "b"):
+            request = Tracer(trace_id=request_id)
+            with request.span("compile"):
+                pass
+            request.event(Severity.INFO, "s", "m")
+            service.merge(request)
+        span_ids = sorted(s.trace_id for s in service.spans)
+        assert span_ids == ["a", "b"]
+        event_ids = sorted(e.trace_id for e in service.events.events)
+        assert event_ids == ["a", "b"]
+
+    def test_concurrent_merges_do_not_cross_contaminate(self):
+        """N threads, each a private tracer with its own ID, merging
+        into one service tracer: every merged span/event still names
+        exactly the request that produced it."""
+        service = Tracer()
+        spans_per_request = 5
+
+        def one_request(index: int) -> str:
+            trace_id = f"req-{index}"
+            tracer = Tracer(trace_id=trace_id)
+            with tracer.span("compile"):
+                for stage in range(spans_per_request - 1):
+                    with tracer.span(f"stage{stage}"):
+                        pass
+            tracer.event(Severity.INFO, "compile", "done", index=index)
+            service.merge(tracer)
+            return trace_id
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            ids = list(pool.map(one_request, range(16)))
+
+        by_id: dict = {}
+        for span in service.spans:
+            by_id.setdefault(span.trace_id, []).append(span)
+        assert sorted(by_id) == sorted(ids)
+        for trace_id, spans in by_id.items():
+            assert len(spans) == spans_per_request
+            # The nested stages' parent is this request's own root.
+            assert all(
+                s.parent == "compile" for s in spans if s.depth == 1
+            )
+        event_ids = [e.trace_id for e in service.events.events]
+        assert sorted(event_ids) == sorted(ids)
+        for event in service.events.events:
+            assert event.trace_id == f"req-{event.attrs['index']}"
+
+
+class TestChromeExport:
+    def test_span_and_event_args_carry_trace_id(self):
+        tracer = Tracer(trace_id="trace-x")
+        with tracer.span("compile"):
+            pass
+        tracer.event(Severity.INFO, "compile", "finished")
+        trace = chrome_trace(tracer)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert spans and instants
+        assert all(e["args"]["trace_id"] == "trace-x" for e in spans)
+        assert all(e["args"]["trace_id"] == "trace-x" for e in instants)
+
+    def test_merged_export_distinguishes_requests(self):
+        service = Tracer()
+        for request_id in ("one", "two"):
+            request = Tracer(trace_id=request_id)
+            with request.span("compile"):
+                pass
+            service.merge(request)
+        trace = chrome_trace(service)
+        ids = {
+            e["args"]["trace_id"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert ids == {"one", "two"}
+
+    def test_unscoped_spans_have_no_trace_id_arg(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        trace = chrome_trace(tracer)
+        span = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert "trace_id" not in span["args"]

@@ -1,0 +1,139 @@
+"""Prometheus text exposition: render/parse round-trip fidelity.
+
+``/metrics`` is only trustworthy if what the renderer writes is what
+a Prometheus scraper reads; the round-trip through our own strict
+parser is the pin.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReticleError
+from repro.obs import Tracer
+from repro.obs.expo import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+def populated_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.count("service.requests", 7)
+    tracer.count("cache.hits", 3)
+    tracer.gauge("service.window_error_rate", 0.25)
+    for value in (0.002, 0.02, 0.2, 2.0):
+        tracer.observe("service.latency_s", value)
+    return tracer
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("service.latency_s") == "service_latency_s"
+        assert sanitize_metric_name("stage.select") == "stage_select"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+    def test_already_clean_untouched(self):
+        assert sanitize_metric_name("process_uptime_seconds") == (
+            "process_uptime_seconds"
+        )
+
+
+class TestRender:
+    def test_families_typed_and_helped(self):
+        text = render_prometheus(populated_tracer())
+        assert "# TYPE service_requests counter" in text
+        assert "# TYPE service_window_error_rate gauge" in text
+        assert "# TYPE service_latency_s histogram" in text
+        # HELP preserves the original dotted spelling.
+        assert "# HELP service_requests service.requests" in text
+
+    def test_histogram_triple(self):
+        text = render_prometheus(populated_tracer())
+        assert 'service_latency_s_bucket{le="+Inf"} 4' in text
+        assert "service_latency_s_count 4" in text
+        assert "service_latency_s_sum" in text
+
+    def test_extra_gauges_rendered(self):
+        text = render_prometheus(
+            Tracer(), extra_gauges={"process_uptime_seconds": 12.5}
+        )
+        assert "process_uptime_seconds 12.5" in text
+
+    def test_empty_tracer_renders_empty(self):
+        assert render_prometheus(Tracer()) == ""
+
+
+class TestRoundTrip:
+    def test_counters_gauges_histograms_survive(self):
+        tracer = populated_tracer()
+        families = parse_prometheus(
+            render_prometheus(
+                tracer, extra_gauges={"service_queue_depth": 2.0}
+            )
+        )
+        assert families["service_requests"].type == "counter"
+        assert families["service_requests"].value() == 7
+        assert families["cache_hits"].value() == 3
+        assert families["service_window_error_rate"].type == "gauge"
+        assert families["service_window_error_rate"].value() == 0.25
+        assert families["service_queue_depth"].value() == 2.0
+
+        latency = families["service_latency_s"]
+        assert latency.type == "histogram"
+        buckets = latency.buckets()
+        assert buckets[-1] == (math.inf, 4)
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert latency.sample("_count").value == 4
+        assert latency.sample("_sum").value == pytest.approx(2.222)
+
+    def test_bucket_boundaries_round_trip_exactly(self):
+        tracer = Tracer()
+        tracer.observe("h", 0.004)  # in the 0.005 bucket
+        families = parse_prometheus(render_prometheus(tracer))
+        by_bound = dict(families["h"].buckets())
+        assert by_bound[0.005] == 1
+        assert by_bound[0.0025] == 0
+
+    def test_bucket_sample_lookup_by_label(self):
+        tracer = Tracer()
+        tracer.observe("h", 0.5)
+        families = parse_prometheus(render_prometheus(tracer))
+        sample = families["h"].sample("_bucket", le="+Inf")
+        assert sample is not None and sample.value == 1
+
+
+class TestParserStrictness:
+    def test_garbage_line_raises(self):
+        with pytest.raises(ReticleError):
+            parse_prometheus("this is not an exposition\n")
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ReticleError):
+            parse_prometheus("metric_a not_a_number\n")
+
+    def test_plain_comments_and_blanks_skipped(self):
+        families = parse_prometheus("# a comment\n\nup 1\n")
+        assert families["up"].value() == 1
+
+    def test_untyped_sample_gets_family(self):
+        families = parse_prometheus("loose_metric 3\n")
+        assert families["loose_metric"].type == "untyped"
+
+    def test_histogram_children_fold_into_family(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 3.5\n"
+            "h_count 2\n"
+        )
+        families = parse_prometheus(text)
+        assert set(families) == {"h"}
+        assert len(families["h"].samples) == 4

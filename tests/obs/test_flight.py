@@ -1,0 +1,112 @@
+"""The flight recorder: top-K retention, failure pinning, dumps."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.flight import FlightRecord, FlightRecorder
+
+
+def record(trace_id: str, seconds: float, ok: bool = True) -> FlightRecord:
+    return FlightRecord(
+        trace_id=trace_id,
+        ok=ok,
+        seconds=seconds,
+        error=None if ok else f"boom in {trace_id}",
+    )
+
+
+class TestSlowestRetention:
+    def test_keeps_the_k_slowest(self):
+        recorder = FlightRecorder(keep_slowest=3, keep_failed=4)
+        for index, seconds in enumerate([0.1, 0.5, 0.2, 0.9, 0.05, 0.6]):
+            recorder.record(record(f"r{index}", seconds))
+        retained = recorder.slowest()
+        assert [r.seconds for r in retained] == [0.9, 0.6, 0.5]
+        assert [r.trace_id for r in retained] == ["r3", "r5", "r1"]
+
+    def test_fast_record_evicted_not_slowest(self):
+        """Eviction removes the *fastest* retained record."""
+        recorder = FlightRecorder(keep_slowest=2, keep_failed=1)
+        recorder.record(record("slow", 1.0))
+        recorder.record(record("mid", 0.5))
+        recorder.record(record("fast", 0.1))  # discarded outright
+        assert {r.trace_id for r in recorder.slowest()} == {"slow", "mid"}
+        recorder.record(record("slower", 2.0))  # evicts "mid"
+        assert {r.trace_id for r in recorder.slowest()} == {
+            "slow",
+            "slower",
+        }
+
+    def test_recorded_and_evicted_counts(self):
+        recorder = FlightRecorder(keep_slowest=2, keep_failed=2)
+        for index in range(5):
+            recorder.record(record(f"r{index}", float(index)))
+        assert recorder.recorded == 5
+        assert recorder.dump()["evicted"] == 3
+        assert len(recorder) == 2
+
+
+class TestFailurePinning:
+    def test_failures_never_compete_with_slow(self):
+        """A failure is retained even when far faster than every
+        retained success."""
+        recorder = FlightRecorder(keep_slowest=2, keep_failed=4)
+        recorder.record(record("slow1", 10.0))
+        recorder.record(record("slow2", 9.0))
+        recorder.record(record("failed", 0.001, ok=False))
+        assert [r.trace_id for r in recorder.failed()] == ["failed"]
+        assert len(recorder.slowest()) == 2
+
+    def test_failed_ring_rolls_oldest_off(self):
+        recorder = FlightRecorder(keep_slowest=1, keep_failed=2)
+        for index in range(3):
+            recorder.record(record(f"f{index}", 0.1, ok=False))
+        assert [r.trace_id for r in recorder.failed()] == ["f1", "f2"]
+
+    def test_find_prefers_any_retained_population(self):
+        recorder = FlightRecorder(keep_slowest=2, keep_failed=2)
+        recorder.record(record("ok-1", 1.0))
+        recorder.record(record("bad-1", 0.1, ok=False))
+        assert recorder.find("ok-1").seconds == 1.0
+        assert recorder.find("bad-1").error == "boom in bad-1"
+        assert recorder.find("missing") is None
+
+
+class TestDump:
+    def test_dump_is_json_serializable_and_complete(self):
+        recorder = FlightRecorder(keep_slowest=2, keep_failed=2)
+        full = FlightRecord(
+            trace_id="full",
+            ok=True,
+            seconds=0.5,
+            queue_wait_s=0.01,
+            cached=False,
+            target="ultrascale",
+            functions=["main"],
+            stages={"select": 0.1, "place": 0.3},
+            metadata={"program_chars": 64},
+            spans=[{"name": "compile", "trace_id": "full"}],
+            events=[{"message": "hi", "trace_id": "full"}],
+            counters={"isel.trees": 1},
+            gauges={"place.bbox_rows": 2.0},
+        )
+        recorder.record(full)
+        recorder.record(record("failed", 0.2, ok=False))
+        dump = json.loads(json.dumps(recorder.dump()))
+        assert dump["config"] == {"keep_slowest": 2, "keep_failed": 2}
+        assert dump["recorded"] == 2
+        entry = dump["slowest"][0]
+        assert entry["trace_id"] == "full"
+        assert entry["stages"] == {"select": 0.1, "place": 0.3}
+        assert entry["spans"][0]["trace_id"] == "full"
+        assert entry["events"][0]["trace_id"] == "full"
+        assert entry["counters"] == {"isel.trees": 1}
+        assert dump["failed"][0]["error"] == "boom in failed"
+
+    def test_zero_capacity_slowest_discards_successes(self):
+        recorder = FlightRecorder(keep_slowest=0, keep_failed=1)
+        recorder.record(record("ok", 1.0))
+        recorder.record(record("bad", 1.0, ok=False))
+        assert recorder.slowest() == []
+        assert len(recorder.failed()) == 1

@@ -1,0 +1,174 @@
+"""The bounded histogram reservoir: exactness, sampling, merging.
+
+The contract the rest of the repo leans on: aggregates (count, sum,
+min, max, bucket counts) are *always* exact; the sample list is exact
+below capacity — so every pre-existing p50/p95 test and bench row is
+untouched — and a deterministic, seedless stride sample above it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.metrics import Histogram, summarize
+from repro.obs.reservoir import (
+    DEFAULT_BUCKETS,
+    DEFAULT_RESERVOIR_CAPACITY,
+    Reservoir,
+)
+
+
+class TestExactBelowCapacity:
+    def test_samples_are_the_values(self):
+        reservoir = Reservoir(capacity=8)
+        for value in [0.3, 0.1, 0.2]:
+            reservoir.observe(value)
+        assert reservoir.samples == [0.3, 0.1, 0.2]
+        assert reservoir.count == 3
+        assert reservoir.total == pytest.approx(0.6)
+        assert reservoir.minimum == 0.1 and reservoir.maximum == 0.3
+
+    def test_summarize_unchanged_below_capacity(self):
+        """Percentiles over the samples match raw-list percentiles."""
+        values = [float(i) / 100 for i in range(100)]
+        reservoir = Reservoir(capacity=DEFAULT_RESERVOIR_CAPACITY)
+        for value in values:
+            reservoir.observe(value)
+        assert summarize(reservoir.samples) == summarize(values)
+
+
+class TestSamplingAboveCapacity:
+    def test_aggregates_stay_exact(self):
+        reservoir = Reservoir(capacity=16)
+        n = 1000
+        for i in range(n):
+            reservoir.observe(float(i))
+        assert reservoir.count == n
+        assert reservoir.total == pytest.approx(sum(range(n)))
+        assert reservoir.minimum == 0.0
+        assert reservoir.maximum == float(n - 1)
+
+    def test_sample_list_is_bounded(self):
+        reservoir = Reservoir(capacity=16)
+        for i in range(10_000):
+            reservoir.observe(float(i))
+        assert len(reservoir.samples) <= 16
+
+    def test_sampling_is_deterministic(self):
+        """Same observation stream, same retained samples: no RNG."""
+        def fill():
+            reservoir = Reservoir(capacity=32)
+            for i in range(5000):
+                reservoir.observe(float(i % 97))
+            return reservoir.samples
+
+        assert fill() == fill()
+
+    def test_samples_span_the_stream(self):
+        """Stride sampling keeps early *and* late observations."""
+        reservoir = Reservoir(capacity=16)
+        n = 2000
+        for i in range(n):
+            reservoir.observe(float(i))
+        assert min(reservoir.samples) < n / 4
+        assert max(reservoir.samples) > 3 * n / 4
+
+
+class TestBuckets:
+    def test_cumulative_monotone_and_total(self):
+        reservoir = Reservoir()
+        for value in [0.0005, 0.003, 0.03, 0.3, 3.0, 30.0, 5000.0]:
+            reservoir.observe(value)
+        pairs = reservoir.cumulative_buckets()
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == reservoir.count
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+
+    def test_bucket_counts_exact_beyond_capacity(self):
+        reservoir = Reservoir(capacity=8)
+        for _ in range(100):
+            reservoir.observe(0.004)  # lands in the 0.005 bucket
+        by_bound = dict(reservoir.cumulative_buckets())
+        assert by_bound[0.005] == 100
+        assert by_bound[0.0025] == 0
+
+    def test_stats_shape(self):
+        reservoir = Reservoir()
+        reservoir.observe(0.02)
+        stats = reservoir.stats()
+        assert stats["count"] == 1
+        assert stats["sum"] == pytest.approx(0.02)
+        assert stats["buckets"][-1] == (math.inf, 1)
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        left, right = Reservoir(), Reservoir()
+        for i in range(10):
+            left.observe(float(i))
+        for i in range(10, 30):
+            right.observe(float(i))
+        left.merge(right)
+        assert left.count == 30
+        assert left.total == pytest.approx(sum(range(30)))
+        assert left.minimum == 0.0 and left.maximum == 29.0
+        assert left.cumulative_buckets()[-1][1] == 30
+
+    def test_merge_bounds_samples(self):
+        left = Reservoir(capacity=16)
+        right = Reservoir(capacity=16)
+        for i in range(100):
+            left.observe(float(i))
+            right.observe(float(i) + 0.5)
+        left.merge(right)
+        assert left.count == 200
+        assert len(left.samples) <= 16
+
+    def test_clone_is_independent(self):
+        reservoir = Reservoir()
+        reservoir.observe(1.0)
+        copy = reservoir.clone()
+        copy.observe(2.0)
+        assert reservoir.count == 1 and copy.count == 2
+
+
+class TestTracerIntegration:
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 10_000.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_histograms_property_still_lists(self):
+        tracer = Tracer()
+        tracer.observe("x.latency_s", 0.5)
+        tracer.observe("x.latency_s", 1.5)
+        assert tracer.histograms == {"x.latency_s": [0.5, 1.5]}
+
+    def test_hist_stats_exact_count(self):
+        tracer = Tracer()
+        for _ in range(5):
+            tracer.observe("y", 0.1)
+        stats = tracer.hist_stats()["y"]
+        assert stats["count"] == 5
+        assert stats["sum"] == pytest.approx(0.5)
+
+    def test_histogram_count_beyond_capacity(self):
+        """Histogram.count reports observations, not retained samples."""
+        tracer = Tracer()
+        hist = Histogram(tracer, "z")
+        n = DEFAULT_RESERVOIR_CAPACITY + 100
+        for _ in range(n):
+            hist.observe(0.001)
+        assert hist.count == n
+
+    def test_merge_through_tracers(self):
+        service, request = Tracer(), Tracer()
+        service.observe("lat", 1.0)
+        request.observe("lat", 3.0)
+        service.merge(request)
+        assert service.hist_stats()["lat"]["count"] == 2
+        assert sorted(service.histograms["lat"]) == [1.0, 3.0]

@@ -1,0 +1,341 @@
+"""Service-grade telemetry, end to end through the daemon.
+
+The acceptance bar for the observability layer:
+
+* every span/event of a daemon compile carries the request's trace ID,
+  proven under concurrent requests (no cross-contamination through the
+  shared service tracer);
+* ``GET /metrics`` round-trips through the repo's own Prometheus
+  text-format parser;
+* a forced-slow and a forced-failing request are both recoverable in
+  full from ``GET /debug/flightrecorder``;
+* ``--log-json`` yields one parseable JSON line per request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness.loadgen import get_json, post_compile, scrape_metrics
+from repro.obs import FlightRecorder, Tracer, chrome_trace, valid_trace_id
+from repro.serve import (
+    TRACE_HEADER,
+    CompileService,
+    DaemonThread,
+    ReticleDaemon,
+)
+
+ADD8 = "def f8(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+ADD16 = "def f16(a: i16, b: i16) -> (y: i16) { y: i16 = add(a, b); }"
+MUL = """
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c) @dsp;
+}
+"""
+
+
+def fresh_daemon(**service_kwargs):
+    """A daemon over a fresh service (private cache and tracer)."""
+    service = CompileService(**service_kwargs)
+    return service, DaemonThread(ReticleDaemon(service=service, workers=4))
+
+
+def post(base_url: str, body: dict, headers: dict):
+    """POST /compile keeping the raw response headers visible."""
+    host, _, port = base_url[len("http://"):].partition(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=60)
+    try:
+        connection.request(
+            "POST",
+            "/compile",
+            body=json.dumps(body),
+            headers={"Content-Type": "application/json", **headers},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        connection.close()
+
+
+class TestTracePropagation:
+    def test_client_id_honored_and_echoed(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, headers, payload = post(
+                handle.base_url,
+                {"requests": [{"program": ADD8}]},
+                {TRACE_HEADER: "my-trace-1"},
+            )
+        assert status == 200
+        assert headers.get(TRACE_HEADER) == "my-trace-1"
+        assert payload["trace_id"] == "my-trace-1"
+        assert payload["results"][0]["trace_id"] == "my-trace-1"
+
+    def test_id_minted_when_client_sends_none(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, headers, payload = post(
+                handle.base_url, {"requests": [{"program": ADD8}]}, {}
+            )
+        assert status == 200
+        assert valid_trace_id(payload["trace_id"])
+        assert headers.get(TRACE_HEADER) == payload["trace_id"]
+
+    def test_invalid_header_rejected_400(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, _, payload = post(
+                handle.base_url,
+                {"requests": [{"program": ADD8}]},
+                {TRACE_HEADER: "has spaces!"},
+            )
+            assert status == 400
+            assert TRACE_HEADER in payload["error"]
+            _, stats = get_json(handle.base_url, "/stats")
+        assert stats["counters"]["service.bad_requests"] == 1
+
+    def test_batch_items_get_derived_ids(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, headers, payload = post(
+                handle.base_url,
+                {"requests": [{"program": ADD8}, {"program": ADD16}]},
+                {TRACE_HEADER: "batch-7"},
+            )
+        assert status == 200
+        assert headers.get(TRACE_HEADER) == "batch-7"
+        ids = [result["trace_id"] for result in payload["results"]]
+        assert ids == ["batch-7", "batch-7.1"]
+
+    def test_error_response_still_carries_id(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, headers, payload = post(
+                handle.base_url,
+                {"requests": [{"program": "garbage"}]},
+                {TRACE_HEADER: "failing-1"},
+            )
+        assert status == 200 and not payload["ok"]
+        assert headers.get(TRACE_HEADER) == "failing-1"
+        assert payload["results"][0]["trace_id"] == "failing-1"
+
+
+class TestConcurrentTraceIsolation:
+    def test_concurrent_requests_do_not_cross_contaminate(self):
+        """Two simultaneous compiles with distinct trace IDs: every
+        span each produced — merged into the one shared service
+        tracer — still names its own request, end to end."""
+        service, handle = fresh_daemon()
+        programs = {"ct-a": ADD8, "ct-b": ADD16}
+        with handle:
+            def one(item):
+                trace_id, program = item
+                return post(
+                    handle.base_url,
+                    {"requests": [{"program": program}]},
+                    {TRACE_HEADER: trace_id},
+                )
+
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                outcomes = list(pool.map(one, programs.items()))
+        for status, _, payload in outcomes:
+            assert status == 200 and payload["ok"]
+
+        by_id: dict = {}
+        for span in service.tracer.spans:
+            by_id.setdefault(span.trace_id, []).append(span)
+        assert set(by_id) == set(programs)
+        for trace_id, spans in by_id.items():
+            names = {span.name for span in spans}
+            assert "compile" in names and "select" in names
+            assert all(span.trace_id == trace_id for span in spans)
+        # The Chrome export of the merged tracer keeps them apart too.
+        exported_ids = {
+            event["args"]["trace_id"]
+            for event in chrome_trace(service.tracer)["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert exported_ids == set(programs)
+
+
+class TestMetricsEndpoint:
+    def test_exposition_round_trips_through_parser(self):
+        _, handle = fresh_daemon()
+        with handle:
+            post_compile(handle.base_url, [{"program": ADD8}])
+            post_compile(handle.base_url, [{"program": ADD8}])  # warm
+            families = scrape_metrics(handle.base_url)
+
+        assert families["service_requests"].type == "counter"
+        assert families["service_requests"].value() == 2
+        assert families["service_warm_requests"].value() == 1
+        assert families["cache_hits"].value() == 1
+        assert families["cache_misses"].value() == 1
+
+        latency = families["service_latency_s"]
+        assert latency.type == "histogram"
+        assert latency.sample("_count").value == 2
+        assert latency.buckets()[-1][1] == 2
+
+        # stage.* histograms from the pass manager made it through.
+        stage_families = [n for n in families if n.startswith("stage_")]
+        assert "stage_select" in stage_families
+
+        # Process + daemon gauges are present.
+        assert families["process_uptime_seconds"].value() >= 0
+        assert families["process_max_rss_bytes"].value() > 0
+        assert families["service_queue_depth"].type == "gauge"
+        assert families["service_queue_limit"].value() == 64
+        assert families["service_workers"].value() == 4
+
+    def test_window_gauges_track_failures(self):
+        _, handle = fresh_daemon(window=8)
+        with handle:
+            post_compile(handle.base_url, [{"program": ADD8}])
+            post_compile(handle.base_url, [{"program": "garbage"}])
+            families = scrape_metrics(handle.base_url)
+        assert families["service_window_error_rate"].value() == 0.5
+        assert families["service_window_p95_latency_s"].value() > 0
+
+    def test_content_type_is_prometheus_text(self):
+        _, handle = fresh_daemon()
+        with handle:
+            host, _, port = handle.base_url[7:].partition(":")
+            connection = http.client.HTTPConnection(
+                host, int(port), timeout=30
+            )
+            try:
+                connection.request("GET", "/metrics")
+                response = connection.getresponse()
+                response.read()
+                content_type = response.getheader("Content-Type")
+            finally:
+                connection.close()
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+
+    def test_metrics_wrong_method_405(self):
+        _, handle = fresh_daemon()
+        with handle:
+            status, _, payload = post(handle.base_url, {}, {})
+            assert status in (200, 400)  # sanity: daemon is answering
+            host, _, port = handle.base_url[7:].partition(":")
+            connection = http.client.HTTPConnection(
+                host, int(port), timeout=30
+            )
+            try:
+                connection.request("POST", "/metrics", body=b"")
+                response = connection.getresponse()
+                body = response.read()
+            finally:
+                connection.close()
+        assert response.status == 405
+        assert b"not allowed" in body
+
+
+class TestFlightRecorderEndpoint:
+    def test_slow_and_failed_requests_recoverable_in_full(self):
+        """A (forced-)slow compile and a failing one are both fully
+        reconstructable from the dump after their responses are gone."""
+        _, handle = fresh_daemon(flight=FlightRecorder(keep_slowest=4))
+        with handle:
+            post(
+                handle.base_url,
+                {"requests": [{"program": MUL}]},  # cold = the slow one
+                {TRACE_HEADER: "slowpoke"},
+            )
+            post(
+                handle.base_url,
+                {"requests": [{"program": "garbage"}]},
+                {TRACE_HEADER: "deadbeef"},
+            )
+            status, dump = get_json(
+                handle.base_url, "/debug/flightrecorder"
+            )
+        assert status == 200
+        assert dump["recorded"] == 2
+
+        slow = next(
+            r for r in dump["slowest"] if r["trace_id"] == "slowpoke"
+        )
+        assert slow["ok"] and slow["seconds"] > 0
+        assert slow["functions"] == ["muladd"]
+        assert set(slow["stages"]) >= {"select", "place", "codegen"}
+        assert slow["spans"], "full span dump must be retained"
+        assert all(s["trace_id"] == "slowpoke" for s in slow["spans"])
+        assert slow["metadata"]["program_chars"] == len(MUL)
+        assert slow["counters"]["cache.misses"] == 1
+
+        failed = next(
+            r for r in dump["failed"] if r["trace_id"] == "deadbeef"
+        )
+        assert not failed["ok"]
+        assert "garbage" in failed["error"]
+        assert failed["queue_wait_s"] >= 0
+
+    def test_eviction_respects_capacity_over_http(self):
+        _, handle = fresh_daemon(flight=FlightRecorder(keep_slowest=1))
+        with handle:
+            post_compile(handle.base_url, [{"program": ADD8}])
+            post_compile(handle.base_url, [{"program": ADD16}])
+            post_compile(handle.base_url, [{"program": MUL}])
+            _, dump = get_json(handle.base_url, "/debug/flightrecorder")
+        assert dump["recorded"] == 3
+        assert len(dump["slowest"]) == 1
+        assert dump["evicted"] == 2
+
+
+class TestJsonRequestLog:
+    def test_one_line_per_request(self):
+        stream = io.StringIO()
+        _, handle = fresh_daemon(log_stream=stream)
+        with handle:
+            post(
+                handle.base_url,
+                {"requests": [{"program": ADD8}]},
+                {TRACE_HEADER: "logged-ok"},
+            )
+            post(
+                handle.base_url,
+                {"requests": [{"program": "garbage"}]},
+                {TRACE_HEADER: "logged-bad"},
+            )
+        lines = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if line
+        ]
+        assert len(lines) == 2
+        ok_line = next(l for l in lines if l["trace_id"] == "logged-ok")
+        assert ok_line["outcome"] == "ok"
+        assert ok_line["functions"] == ["f8"]
+        assert ok_line["seconds"] > 0
+        assert ok_line["queue_wait_s"] >= 0
+        assert "select" in ok_line["stages"]
+        assert ok_line["error"] is None
+        bad_line = next(l for l in lines if l["trace_id"] == "logged-bad")
+        assert bad_line["outcome"] == "error"
+        assert "garbage" in bad_line["error"]
+
+    def test_no_stream_no_logging(self):
+        service, handle = fresh_daemon()
+        with handle:
+            post_compile(handle.base_url, [{"program": ADD8}])
+        assert service.log_stream is None  # and nothing blew up
+
+
+class TestQueueWait:
+    def test_queue_wait_observed_per_request(self):
+        service, handle = fresh_daemon()
+        with handle:
+            post_compile(handle.base_url, [{"program": ADD8}])
+        stats = service.tracer.hist_stats()
+        assert stats["service.queue_wait_s"]["count"] == 1
+        assert stats["service.queue_wait_s"]["sum"] >= 0

@@ -1,0 +1,154 @@
+"""``reticle top`` / ``reticle flightrecorder``: the operator views.
+
+The rendering pipeline is pure (scrape → parse → derive → text), so
+most coverage is network-free over synthetic expositions; one live
+test drives both subcommands through the real CLI against a daemon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReticleError
+from repro.harness.loadgen import post_compile
+from repro.obs.expo import parse_prometheus
+from repro.serve import DaemonThread
+from repro.serve.top import (
+    TopSample,
+    derive_view,
+    normalize_addr,
+    render_top,
+)
+
+ADD = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+
+EXPO = """\
+# TYPE service_requests counter
+service_requests 40
+# TYPE service_errors counter
+service_errors 2
+# TYPE cache_hits counter
+cache_hits 30
+# TYPE cache_misses counter
+cache_misses 10
+# TYPE service_window_error_rate gauge
+service_window_error_rate 0.05
+# TYPE service_window_p50_latency_s gauge
+service_window_p50_latency_s 0.002
+# TYPE service_window_p95_latency_s gauge
+service_window_p95_latency_s 0.030
+# TYPE service_queue_depth gauge
+service_queue_depth 3
+# TYPE service_queue_limit gauge
+service_queue_limit 64
+# TYPE process_uptime_seconds gauge
+process_uptime_seconds 100
+# TYPE process_max_rss_bytes gauge
+process_max_rss_bytes 52428800
+# TYPE stage_select histogram
+stage_select_bucket{le="+Inf"} 10
+stage_select_sum 0.3
+stage_select_count 10
+# TYPE stage_place histogram
+stage_place_bucket{le="+Inf"} 10
+stage_place_sum 0.1
+stage_place_count 10
+"""
+
+
+def sample(at: float, text: str = EXPO) -> TopSample:
+    return TopSample(time=at, families=parse_prometheus(text))
+
+
+class TestNormalizeAddr:
+    def test_host_port(self):
+        assert normalize_addr("127.0.0.1:8752") == "http://127.0.0.1:8752"
+
+    def test_url_passthrough_and_trailing_slash(self):
+        assert normalize_addr("http://h:1/") == "http://h:1"
+
+    def test_rejects_empty_and_https(self):
+        with pytest.raises(ReticleError):
+            normalize_addr("  ")
+        with pytest.raises(ReticleError):
+            normalize_addr("https://h:1")
+
+
+class TestDeriveView:
+    def test_first_frame_uses_boot_rates(self):
+        view = derive_view(sample(at=100.0))
+        assert view.requests == 40
+        assert view.throughput_rps == pytest.approx(0.4)  # 40 / 100s up
+        assert view.window_p50_ms == pytest.approx(2.0)
+        assert view.window_p95_ms == pytest.approx(30.0)
+        assert view.window_error_rate == pytest.approx(0.05)
+        assert view.cache_hit_ratio == pytest.approx(0.75)
+        assert view.queue_depth == 3 and view.queue_limit == 64
+        assert view.rss_mb == pytest.approx(50.0)
+
+    def test_delta_frame_computes_interval_rate(self):
+        previous = sample(at=100.0)
+        bumped = EXPO.replace(
+            "service_requests 40", "service_requests 60"
+        )
+        current = sample(at=110.0, text=bumped)
+        view = derive_view(current, previous)
+        assert view.throughput_rps == pytest.approx(2.0)  # 20 in 10s
+
+    def test_stage_breakdown_shares(self):
+        view = derive_view(sample(at=100.0))
+        assert set(view.stages) == {"select", "place"}
+        share, avg_ms, runs = view.stages["select"]
+        assert share == pytest.approx(0.75)  # 0.3 of 0.4 total
+        assert avg_ms == pytest.approx(30.0)
+        assert runs == 10
+
+    def test_stage_delta_skips_idle_stages(self):
+        previous = sample(at=100.0)
+        current = sample(at=110.0)  # identical: no stage ran
+        view = derive_view(current, previous)
+        assert view.stages == {}
+
+    def test_missing_families_default_to_zero(self):
+        view = derive_view(sample(at=1.0, text="up 1\n"))
+        assert view.requests == 0
+        assert view.cache_hit_ratio == 0.0
+        assert view.stages == {}
+
+
+class TestRenderTop:
+    def test_frame_carries_headline_numbers(self):
+        frame = render_top(sample(at=100.0), address="http://h:1")
+        assert "http://h:1" in frame
+        assert "40 total" in frame
+        assert "2.00 ms p50" in frame
+        assert "30.00 ms p95" in frame
+        assert "75.0% hit ratio" in frame
+        assert "limit 64" in frame
+        assert "select" in frame and "place" in frame
+        assert "#" in frame  # the share bars
+
+    def test_frame_without_stages_still_renders(self):
+        frame = render_top(sample(at=1.0, text="up 1\n"))
+        assert "requests" in frame
+        assert "stage" not in frame
+
+
+class TestLiveCli:
+    def test_top_and_flightrecorder_subcommands(self, capsys):
+        with DaemonThread(workers=2, queue_limit=8) as handle:
+            post_compile(handle.base_url, [{"program": ADD}])
+            addr = f"127.0.0.1:{handle.port}"
+            assert main(["top", addr, "--count", "1"]) == 0
+            top_out = capsys.readouterr().out
+            assert "reticle top" in top_out
+            assert "1 total" in top_out
+
+            assert main(["flightrecorder", addr]) == 0
+            flight_out = capsys.readouterr().out
+            assert "1 recorded" in flight_out
+
+            assert main(["flightrecorder", addr, "--json"]) == 0
+            json_out = capsys.readouterr().out
+            assert '"slowest"' in json_out
