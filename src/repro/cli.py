@@ -84,6 +84,23 @@ def _resolve_target(name: str):
     return resolve_target(name)
 
 
+def _target_choices(allow_all: bool = False) -> List[str]:
+    from repro.compiler import registered_targets
+
+    choices = list(registered_targets())
+    if allow_all:
+        choices.append("all")
+    return choices
+
+
+def _multi_output_path(path: str, target: str) -> str:
+    """Per-target output file of a fan-out: out.v -> out.ice40.v."""
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{target}"
+    return f"{stem}.{target}.{ext}"
+
+
 def _write_output(text: str, path: Optional[str]) -> None:
     if path is None:
         print(text)
@@ -175,10 +192,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     prog = _read_prog(args.program)
-    target, device = _resolve_target(args.target)
-    compiler = ReticleCompiler(
-        target=target,
-        device=device,
+    options = dict(
         shrink=not args.no_shrink,
         optimize=args.opt,
         auto_vectorize=args.vectorize,
@@ -204,6 +218,42 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     # One tracer across every function, so --profile aggregates the
     # whole program and --trace-out gets a single coherent timeline.
     tracer = Tracer()
+    if args.target == "all":
+        from repro.compiler import compile_prog_multi
+
+        multi = compile_prog_multi(
+            prog, ["all"], tracer=tracer, jobs=args.jobs, **options
+        )
+        for target_name, results in multi.items():
+            verilog = "\n\n".join(
+                result.verilog() for result in results.values()
+            )
+            if args.output is None:
+                print(f"// ---- target: {target_name} ----")
+                print(verilog)
+            else:
+                _write_output(
+                    verilog, _multi_output_path(args.output, target_name)
+                )
+            if args.xdc:
+                from repro.codegen.xdc import generate_xdc
+
+                with open(
+                    _multi_output_path(args.xdc, target_name), "w"
+                ) as handle:
+                    for result in results.values():
+                        handle.write(generate_xdc(result.netlist))
+            for name, result in results.items():
+                cached = " (cached)" if result.cached else ""
+                print(
+                    f"// compiled {name} for {target_name} in "
+                    f"{result.seconds:.3f}s{cached}",
+                    file=sys.stderr,
+                )
+        _emit_telemetry(tracer, args)
+        return 0
+    target, device = _resolve_target(args.target)
+    compiler = ReticleCompiler(target=target, device=device, **options)
     results = compiler.compile_prog(prog, tracer=tracer, jobs=args.jobs)
     _write_output(
         "\n\n".join(result.verilog() for result in results.values()),
@@ -225,9 +275,46 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_cross(args: argparse.Namespace) -> int:
+    from repro.compiler import compile_prog_multi
+    from repro.obs.report import (
+        build_cross_target_report,
+        format_cross_target_report,
+    )
+
+    prog = _read_prog(args.program)
+    tracer = Tracer()
+    # --cross-target means the full comparison: every registered
+    # target unless the user narrowed the fan-out with --target all
+    # being the other way into this path.
+    names = ["all"] if args.cross_target else [args.target]
+    results = compile_prog_multi(
+        prog,
+        names,
+        tracer=tracer,
+        jobs=args.place_jobs,
+        place_portfolio=args.place_portfolio,
+        place_shards=args.place_shards,
+        place_reuse=args.place_reuse,
+        isel_jobs=args.isel_jobs,
+        isel_memo=args.isel_memo == "on",
+    )
+    report = build_cross_target_report(results)
+    if args.json:
+        _write_output(report.to_json(), args.output)
+    else:
+        _write_output(format_cross_target_report(report), args.output)
+    _emit_telemetry(tracer, args)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import Severity
 
+    # --cross-target (or --target all) compares the whole program
+    # across fabrics instead of explaining one compile in depth.
+    if args.cross_target or args.target == "all":
+        return _cmd_report_cross(args)
     func = _read_func(args.program, getattr(args, 'func', None))
     target, device = _resolve_target(args.target)
     compiler = ReticleCompiler(
@@ -279,8 +366,47 @@ def _cmd_behav(args: argparse.Namespace) -> int:
 
 
 def _cmd_tdl(args: argparse.Namespace) -> int:
-    _write_output(ultrascale_tdl_text().rstrip(), args.output)
+    if args.target == "ultrascale":
+        text = ultrascale_tdl_text()
+    elif args.target == "ecp5":
+        from repro.tdl.ecp5 import ecp5_tdl_text
+
+        text = ecp5_tdl_text()
+    else:
+        from repro.tdl.ice40 import ice40_tdl_text
+
+        text = ice40_tdl_text()
+    _write_output(text.rstrip(), args.output)
     return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import run_conformance
+
+    targets = None if args.target == "all" else [args.target]
+    report = run_conformance(targets=targets, jobs=args.jobs)
+    if args.json:
+        cells = [
+            {
+                "target": cell.target,
+                "idiom": cell.idiom,
+                "outcome": cell.outcome,
+                "detail": cell.detail,
+            }
+            for cell in report.cells
+        ]
+        print(json.dumps({"cells": cells, "passed": report.passed}, indent=2))
+    else:
+        if args.matrix:
+            print(report.format_matrix())
+            print()
+        print(report.summary())
+        for cell in report.failing:
+            print(
+                f"FAIL {cell.target} {cell.idiom}: "
+                f"{cell.outcome} ({cell.detail})"
+            )
+    return 0 if report.passed else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -291,6 +417,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_instrs=args.max_instrs,
         cells=args.cells,
+        target=args.target,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -457,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     selectc.add_argument("program")
     selectc.add_argument("-o", "--output")
     selectc.add_argument(
-        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+        "--target", choices=_target_choices(), default="ultrascale"
     )
     selectc.add_argument(
         "--cascade", action="store_true", help="apply cascade optimization"
@@ -471,7 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     placec.add_argument("-o", "--output")
     placec.add_argument("--no-shrink", action="store_true")
     placec.add_argument(
-        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+        "--target", choices=_target_choices(), default="ultrascale"
     )
     placec.add_argument("--func", help="function name in multi-def files")
     _add_isel_args(placec)
@@ -483,7 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
     compilec.add_argument("-o", "--output")
     compilec.add_argument("--no-shrink", action="store_true")
     compilec.add_argument(
-        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+        "--target",
+        choices=_target_choices(allow_all=True),
+        default="ultrascale",
+        help="target family, or 'all' to fan the program out to every "
+        "registered target in parallel on the --jobs pool (per-target "
+        "output files get a .TARGET suffix)",
     )
     compilec.add_argument("--xdc", help="also write XDC constraints here")
     compilec.add_argument(
@@ -532,13 +664,22 @@ def build_parser() -> argparse.ArgumentParser:
     reportc.add_argument("program")
     reportc.add_argument("-o", "--output")
     reportc.add_argument(
-        "--target", choices=["ultrascale", "ecp5"], default="ultrascale"
+        "--target",
+        choices=_target_choices(allow_all=True),
+        default="ultrascale",
     )
     reportc.add_argument("--func", help="function name in multi-def files")
     reportc.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable JSON report instead of text",
+    )
+    reportc.add_argument(
+        "--cross-target",
+        action="store_true",
+        help="compile the program to every registered target and "
+        "render one table comparing area, critical path, and compile "
+        "time across fabrics",
     )
     _add_isel_args(reportc)
     _add_place_args(reportc)
@@ -556,15 +697,55 @@ def build_parser() -> argparse.ArgumentParser:
     behav.add_argument("--use-dsp", action="store_true")
     behav.add_argument("--func", help="function name in multi-def files")
 
-    tdl = add("tdl", _cmd_tdl, "dump the UltraScale target description")
+    tdl = add("tdl", _cmd_tdl, "dump a target description")
     tdl.add_argument("-o", "--output")
+    tdl.add_argument(
+        "--target", choices=_target_choices(), default="ultrascale"
+    )
 
     add("passes", _cmd_passes, "list pipeline passes and presets")
+
+    conformance = add(
+        "conformance",
+        _cmd_conformance,
+        "run the idiom x target conformance matrix",
+    )
+    conformance.add_argument(
+        "--target",
+        choices=_target_choices(allow_all=True),
+        default="all",
+        help="one target, or 'all' (default) for the full matrix",
+    )
+    conformance.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run matrix cells on N worker threads",
+    )
+    conformance.add_argument(
+        "--matrix",
+        action="store_true",
+        help="print the full idiom x target grid, not only the summary",
+    )
+    conformance.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable cells instead of text",
+    )
 
     fuzz = add("fuzz", _cmd_fuzz, "differentially fuzz every flow")
     fuzz.add_argument("--iterations", type=int, default=25)
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--max-instrs", type=int, default=12)
+    fuzz.add_argument(
+        "--target",
+        choices=_target_choices(allow_all=True),
+        default="ultrascale",
+        help="target family to fuzz; 'all' compiles each random "
+        "program to every registered target and differentially checks "
+        "them against the IR interpreter and each other",
+    )
     fuzz.add_argument(
         "--cells",
         type=int,

@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from repro.asm.ast import AsmFunc
 from repro.codegen.verilog_emit import emit_verilog_chunks
-from repro.errors import ReticleError
+from repro.errors import ReticleError, TargetError
 from repro.isel.select import DEFAULT_DSP_WEIGHT, Selector
 from repro.ir.ast import Func
 from repro.netlist.core import Netlist
@@ -61,6 +61,40 @@ from repro.place.solver import PortfolioSpec, resolve_portfolio
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import ultrascale_target
 
+def _load_ultrascale() -> "tuple[Target, Device]":
+    return ultrascale_target(), xczu3eg()
+
+
+def _load_ecp5() -> "tuple[Target, Device]":
+    from repro.place.device import lfe5u85
+    from repro.tdl.ecp5 import ecp5_target
+
+    return ecp5_target(), lfe5u85()
+
+
+def _load_ice40() -> "tuple[Target, Device]":
+    from repro.place.device import ice40up5k
+    from repro.tdl.ice40 import ice40_target
+
+    return ice40_target(), ice40up5k()
+
+
+#: Registered target families, name -> loader of (target, device).
+#: Insertion order is the canonical fan-out order everywhere a
+#: multi-target compile iterates "all targets", so reports, traces,
+#: and conformance matrices list targets identically.
+_TARGET_REGISTRY = {
+    "ultrascale": _load_ultrascale,
+    "ecp5": _load_ecp5,
+    "ice40": _load_ice40,
+}
+
+
+def registered_targets() -> "tuple[str, ...]":
+    """Every registered target name, in canonical (registry) order."""
+    return tuple(_TARGET_REGISTRY)
+
+
 def resolve_target(name: str) -> "tuple[Target, Device]":
     """The (target, device) pair for a registered target name.
 
@@ -68,18 +102,36 @@ def resolve_target(name: str) -> "tuple[Target, Device]":
     request served by ``reticle serve`` builds exactly the compiler
     ``reticle compile --target NAME`` would — a prerequisite for the
     shared cache tier (same key recipe) and for byte-identical output
-    across the two front ends.
+    across the two front ends.  Unknown names raise a typed
+    :class:`~repro.errors.TargetError` naming every registered target,
+    so both the CLI and the daemon's request-validation (400) path
+    report the same actionable message.
     """
-    from repro.place.device import lfe5u85
+    loader = _TARGET_REGISTRY.get(name)
+    if loader is None:
+        registered = ", ".join(repr(known) for known in _TARGET_REGISTRY)
+        raise TargetError(
+            f"unknown target {name!r} (registered targets: {registered})"
+        )
+    return loader()
 
-    if name == "ecp5":
-        from repro.tdl.ecp5 import ecp5_target
 
-        return ecp5_target(), lfe5u85()
-    if name == "ultrascale":
-        return ultrascale_target(), xczu3eg()
-    raise ReticleError(
-        f"unknown target {name!r} (expected 'ultrascale' or 'ecp5')"
+def resolve_target_names(names: Sequence[str]) -> "tuple[str, ...]":
+    """Expand/validate a target-name list for a multi-target compile.
+
+    ``"all"`` (alone or among names) expands to every registered
+    target; explicit names are validated eagerly via
+    :func:`resolve_target` and deduplicated into canonical registry
+    order, so a fan-out never starts compiling before a typo in the
+    *last* target name is diagnosed.
+    """
+    if any(name == "all" for name in names):
+        return registered_targets()
+    for name in names:
+        resolve_target(name)
+    seen = {name: None for name in names}
+    return tuple(
+        name for name in registered_targets() if name in seen
     )
 
 
@@ -426,9 +478,77 @@ def compile_prog(
     prog: "Prog",
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
+    targets: Optional[Sequence[str]] = None,
     **kwargs,
-) -> Dict[str, ReticleResult]:
-    """One-shot compilation of a whole program."""
+) -> Dict[str, object]:
+    """One-shot compilation of a whole program.
+
+    With ``targets`` (a list of registered target names, or ``"all"``)
+    the program fans out to every named target — see
+    :func:`compile_prog_multi` — and the result is nested per target.
+    """
+    if targets is not None:
+        return compile_prog_multi(
+            prog, targets, tracer=tracer, jobs=jobs, **kwargs
+        )
     return ReticleCompiler(**kwargs).compile_prog(
         prog, tracer=tracer, jobs=jobs
     )
+
+
+def compile_prog_multi(
+    prog: "Prog",
+    targets: Sequence[str],
+    tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> "Dict[str, Dict[str, ReticleResult]]":
+    """Compile one program to several targets; nested by target name.
+
+    One compiler is built per target (so each fan-out leg has its own
+    pattern index, placer, compile-cache keys, and provenance) and
+    every ``(target, function)`` pair is an independent unit of work on
+    a single shared thread pool of ``jobs`` workers — a three-target
+    compile of a two-function program saturates six workers, not
+    three.  Each unit compiles under a private tracer; with an
+    explicit ``tracer`` the private traces are merged back in
+    canonical (registry, then program) order, so aggregated telemetry
+    is deterministic regardless of completion order.  Per-target
+    output is byte-identical to a serial single-target compile of the
+    same program: compilers share nothing but the (read-only) IR.
+    """
+    names = resolve_target_names(tuple(targets))
+    if not names:
+        raise TargetError("multi-target compile requires at least one target")
+    compilers: Dict[str, ReticleCompiler] = {}
+    for name in names:
+        target, device = resolve_target(name)
+        compilers[name] = ReticleCompiler(
+            target=target, device=device, **kwargs
+        )
+    funcs = list(prog)
+    pairs = [(name, func) for name in names for func in funcs]
+    worker_trace_id = tracer.trace_id if tracer is not None else None
+
+    def compile_one(name: str, func: Func) -> ReticleResult:
+        return compilers[name].compile(
+            func, tracer=Tracer(trace_id=worker_trace_id)
+        )
+
+    jobs = 1 if jobs is None else jobs
+    if jobs <= 1 or len(pairs) <= 1:
+        compiled = [compile_one(name, func) for name, func in pairs]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(compile_one, name, func) for name, func in pairs
+            ]
+            compiled = [future.result() for future in futures]
+    results: Dict[str, Dict[str, ReticleResult]] = {
+        name: {} for name in names
+    }
+    for (name, func), result in zip(pairs, compiled):
+        if tracer is not None and result.trace is not None:
+            tracer.merge(result.trace)
+        results[name][func.name] = result
+    return results

@@ -1,0 +1,510 @@
+"""The idiom x target conformance matrix (paper Table 1, as a gate).
+
+The paper's portability claim is that one intermediate instruction set
+programs every target family; the conformance matrix turns that claim
+into a checked contract.  Every *frontend idiom* — each operation of
+the intermediate instruction set instantiated at each representative
+type shape — is compiled to every registered target and co-simulated
+cycle for cycle against the reference IR interpreter.  A cell may
+legitimately be *unsupported* (a fabric with no 32-bit datapath, a
+library with no block RAM), but then it must say so with a typed
+:class:`~repro.errors.ReticleError`, and the expectation is recorded
+here, in :func:`expected_unsupported` — silent feature loss and
+untyped crashes both fail the matrix.
+
+The idiom registry doubles as a **coverage ratchet**: it is checked
+against the :class:`~repro.ir.ops.CompOp` and
+:class:`~repro.ir.ops.WireOp` enums, so adding a frontend operation
+without adding matrix rows for it fails the build
+(:func:`uncovered_ops`).
+
+Representative shapes are chosen to straddle every support boundary in
+the registered libraries: ``i8`` (everywhere), ``i16`` (the iCE40 EBR
+data-width boundary), ``i32`` (the iCE40 scalar-width ceiling),
+``i8<4>`` (the common SIMD shape), and ``i24<2>`` (the vector shape
+the big fabrics have and the small one does not).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asm.interp import AsmInterpreter
+from repro.compiler import ReticleCompiler, registered_targets, resolve_target
+from repro.errors import ReticleError
+from repro.ir.ast import Func
+from repro.ir.interp import Interpreter, Trace
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.parser import parse_func
+from repro.ir.types import Bool, Int, Vec
+
+#: Cycles of stimulus each cell is co-simulated for.
+TRACE_STEPS = 6
+
+
+@dataclass(frozen=True)
+class Idiom:
+    """One frontend idiom: an operation at a representative type shape.
+
+    ``source`` is a complete one-idiom IR function (named ``cell``)
+    whose output depends on the idiom under test; ``lane_width`` and
+    ``is_vector`` describe the shape for the expectation rules, and
+    ``addr_bits`` is the RAM address width (0 otherwise).
+    """
+
+    name: str
+    op: str
+    shape: str
+    source: str
+    lane_width: int
+    is_vector: bool
+    addr_bits: int = 0
+
+    def func(self) -> Func:
+        return parse_func(self.source)
+
+
+_SHAPES: Dict[str, Tuple[int, bool]] = {
+    "bool": (1, False),
+    "i4": (4, False),
+    "i8": (8, False),
+    "i16": (16, False),
+    "i32": (32, False),
+    "i8<4>": (8, True),
+    "i24<2>": (24, True),
+}
+
+
+def _idiom(op: str, shape: str, body: str, inputs: str, **kw) -> Idiom:
+    lane_width, is_vector = _SHAPES[shape]
+    slug = shape.replace("<", "x").replace(">", "")
+    return Idiom(
+        name=f"{op}_{slug}",
+        op=op,
+        shape=shape,
+        source=f"def cell({inputs}) -> (y: {shape}) {{\n{body}\n}}",
+        lane_width=lane_width,
+        is_vector=is_vector,
+        **kw,
+    )
+
+
+def _binary(op: str, shape: str) -> Idiom:
+    return _idiom(
+        op, shape,
+        f"    y: {shape} = {op}(a, b);",
+        f"a: {shape}, b: {shape}",
+    )
+
+
+def _compare(op: str, shape: str) -> Idiom:
+    lane_width, is_vector = _SHAPES[shape]
+    slug = shape.replace("<", "x").replace(">", "")
+    return Idiom(
+        name=f"{op}_{slug}",
+        op=op,
+        shape=shape,
+        source=(
+            f"def cell(a: {shape}, b: {shape}) -> (y: bool) {{\n"
+            f"    y: bool = {op}(a, b);\n}}"
+        ),
+        lane_width=lane_width,
+        is_vector=is_vector,
+    )
+
+
+def _build_idioms() -> Tuple[Idiom, ...]:
+    idioms: List[Idiom] = []
+    for op in ("add", "sub"):
+        for shape in ("i8", "i16", "i32", "i8<4>", "i24<2>"):
+            idioms.append(_binary(op, shape))
+    for shape in ("i8", "i16", "i32", "i8<4>"):
+        idioms.append(_binary("mul", shape))
+    for op in ("and", "or", "xor"):
+        for shape in ("bool", "i8", "i32", "i8<4>"):
+            idioms.append(_binary(op, shape))
+    for shape in ("bool", "i8", "i32", "i8<4>"):
+        idioms.append(
+            _idiom("not", shape, f"    y: {shape} = not(a);", f"a: {shape}")
+        )
+    for op in ("eq", "neq"):
+        for shape in ("bool", "i8", "i32"):
+            idioms.append(_compare(op, shape))
+    for op in ("lt", "gt", "le", "ge"):
+        for shape in ("i8", "i32"):
+            idioms.append(_compare(op, shape))
+    for shape in ("bool", "i8", "i32", "i8<4>"):
+        idioms.append(
+            _idiom(
+                "mux", shape,
+                f"    y: {shape} = mux(cond, a, b);",
+                f"cond: bool, a: {shape}, b: {shape}",
+            )
+        )
+        idioms.append(
+            _idiom(
+                "reg", shape,
+                f"    y: {shape} = reg[0](a, en);",
+                f"a: {shape}, en: bool",
+            )
+        )
+    for shape, addr_bits in (("i8", 4), ("i8", 8), ("i16", 10)):
+        lane_width, _ = _SHAPES[shape]
+        idioms.append(
+            Idiom(
+                name=f"ram_{shape}_a{addr_bits}",
+                op="ram",
+                shape=shape,
+                source=(
+                    f"def cell(addr: i{addr_bits}, wdata: {shape}, "
+                    f"wen: bool, en: bool) -> (y: {shape}) {{\n"
+                    f"    y: {shape} = ram[{addr_bits}]"
+                    f"(addr, wdata, wen, en);\n}}"
+                ),
+                lane_width=lane_width,
+                is_vector=False,
+                addr_bits=addr_bits,
+            )
+        )
+    # Wire idioms route through one compute op so the cell still
+    # exercises selection; the wire op itself is area-free on every
+    # fabric and must survive to the assembly unchanged.
+    for op in ("sll", "srl", "sra"):
+        for shape in ("i8", "i16"):
+            idioms.append(
+                _idiom(
+                    op, shape,
+                    f"    t: {shape} = {op}[3](a);\n"
+                    f"    y: {shape} = add(t, b);",
+                    f"a: {shape}, b: {shape}",
+                )
+            )
+    idioms.append(
+        Idiom(
+            name="slice_i8",
+            op="slice",
+            shape="i4",
+            source=(
+                "def cell(a: i8, b: i4) -> (y: i4) {\n"
+                "    t: i4 = slice[7, 4](a);\n"
+                "    y: i4 = add(t, b);\n}"
+            ),
+            lane_width=4,
+            is_vector=False,
+        )
+    )
+    idioms.append(
+        Idiom(
+            name="cat_i4_i4",
+            op="cat",
+            shape="i8",
+            source=(
+                "def cell(a: i4, b: i4, c: i8) -> (y: i8) {\n"
+                "    t: i8 = cat(a, b);\n"
+                "    y: i8 = add(t, c);\n}"
+            ),
+            lane_width=8,
+            is_vector=False,
+        )
+    )
+    idioms.append(
+        _idiom(
+            "id", "i8",
+            "    t: i8 = id(a);\n    y: i8 = add(t, b);",
+            "a: i8, b: i8",
+        )
+    )
+    idioms.append(
+        _idiom(
+            "const", "i8",
+            "    t: i8 = const[42];\n    y: i8 = add(t, a);",
+            "a: i8",
+        )
+    )
+    return tuple(idioms)
+
+
+_IDIOMS: Optional[Tuple[Idiom, ...]] = None
+
+
+def frontend_idioms() -> Tuple[Idiom, ...]:
+    """Every registered frontend idiom, in registry order."""
+    global _IDIOMS
+    if _IDIOMS is None:
+        _IDIOMS = _build_idioms()
+    return _IDIOMS
+
+
+def covered_ops() -> "set[str]":
+    """The operation names with at least one matrix row."""
+    return {idiom.op for idiom in frontend_idioms()}
+
+
+def uncovered_ops() -> List[str]:
+    """Frontend operations with *no* matrix row — the ratchet.
+
+    Derived from the op enums themselves, so a newly added
+    :class:`~repro.ir.ops.CompOp` or :class:`~repro.ir.ops.WireOp`
+    member without conformance rows shows up here (and fails the CI
+    conformance step) the moment it lands.
+    """
+    every = {op.value for op in CompOp} | {op.value for op in WireOp}
+    return sorted(every - covered_ops())
+
+
+# -- expectations ----------------------------------------------------
+
+#: The iCE40-class fabric has no datapaths above this lane width.
+ICE40_MAX_WIDTH = 16
+
+
+def expected_unsupported(target_name: str, idiom: Idiom) -> Optional[str]:
+    """The documented reason ``idiom`` must *fail typed* on a target.
+
+    Returns ``None`` when the cell is expected to compile and cosim.
+    These rules are the machine-checked copy of each library's
+    documented feature boundaries; a library change that widens or
+    narrows support must update this table in the same commit, or the
+    matrix fails with unexpected-ok / unexpected-unsupported cells.
+    """
+    if idiom.op == "mul" and idiom.is_vector:
+        return "no registered target maps vector multiply"
+    if target_name == "ice40":
+        if idiom.lane_width > ICE40_MAX_WIDTH:
+            return "no datapaths beyond i16 on the LUT4 fabric"
+        if idiom.op == "ram" and (
+            idiom.lane_width > 8 or idiom.addr_bits > 8
+        ):
+            return "EBR is byte-wide and at most 256 entries deep"
+    if target_name == "ecp5" and idiom.op == "ram":
+        return "no block RAM in the ECP5 library"
+    return None
+
+
+# -- running the matrix ----------------------------------------------
+
+
+def _value(seed: int, width: int, is_bool: bool) -> int:
+    """A deterministic, full-range stimulus value (no RNG, no hash)."""
+    if is_bool:
+        return (seed * 7 + 3) % 2
+    span = 1 << width
+    return ((seed * 2654435761 + 12345) % span) - (span >> 1)
+
+
+def stimulus(func: Func, steps: int = TRACE_STEPS) -> Trace:
+    """A deterministic input trace for ``func``.
+
+    Enable-like boolean ports alternate (so stateful idioms both hold
+    and update); integer ports sweep a multiplicative sequence that
+    exercises sign boundaries at every width.
+    """
+    trace: Dict[str, List[object]] = {}
+    for index, port in enumerate(func.inputs):
+        values: List[object] = []
+        for step in range(steps):
+            seed = index * 97 + step * 31 + 1
+            ty = port.ty
+            if isinstance(ty, Bool):
+                values.append(_value(seed, 1, True))
+            elif isinstance(ty, Vec):
+                values.append(
+                    tuple(
+                        _value(seed + lane * 13, ty.elem.width, False)
+                        for lane in range(ty.length)
+                    )
+                )
+            else:
+                assert isinstance(ty, Int)
+                values.append(_value(seed, ty.width, False))
+        trace[port.name] = values
+    return Trace(trace)
+
+
+#: Cell outcomes.  The matrix passes iff every cell is OK or
+#: UNSUPPORTED (typed failure that the expectation table predicts).
+OK = "ok"
+UNSUPPORTED = "unsupported"
+MISMATCH = "mismatch"
+UNEXPECTED_ERROR = "unexpected-error"
+UNEXPECTED_OK = "unexpected-ok"
+CRASH = "crash"
+
+PASSING_OUTCOMES = (OK, UNSUPPORTED)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One matrix cell: an idiom compiled+cosimed on one target."""
+
+    target: str
+    idiom: str
+    outcome: str
+    detail: str = ""
+
+    @property
+    def passing(self) -> bool:
+        return self.outcome in PASSING_OUTCOMES
+
+
+@dataclass
+class ConformanceReport:
+    """The full matrix plus the ratchet state."""
+
+    targets: Tuple[str, ...]
+    cells: List[Cell] = field(default_factory=list)
+
+    def cell(self, target: str, idiom: str) -> Cell:
+        for cell in self.cells:
+            if cell.target == target and cell.idiom == idiom:
+                return cell
+        raise KeyError((target, idiom))
+
+    @property
+    def failing(self) -> List[Cell]:
+        return [cell for cell in self.cells if not cell.passing]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failing and not uncovered_ops()
+
+    def counts(self, target: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            if cell.target == target:
+                counts[cell.outcome] = counts.get(cell.outcome, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Per-target pass counts, one line per target (for CI logs)."""
+        lines = []
+        for target in self.targets:
+            counts = self.counts(target)
+            ok = counts.get(OK, 0)
+            unsupported = counts.get(UNSUPPORTED, 0)
+            failing = sum(
+                count
+                for outcome, count in counts.items()
+                if outcome not in PASSING_OUTCOMES
+            )
+            lines.append(
+                f"{target}: {ok} ok, {unsupported} expected-unsupported, "
+                f"{failing} failing"
+            )
+        missing = uncovered_ops()
+        if missing:
+            lines.append(
+                "ratchet: UNCOVERED frontend ops: " + ", ".join(missing)
+            )
+        else:
+            lines.append(
+                f"ratchet: all {len(covered_ops())} frontend ops covered"
+            )
+        return "\n".join(lines)
+
+    def format_matrix(self) -> str:
+        """The Table-1-style grid: idioms down, targets across."""
+        symbols = {
+            OK: "ok",
+            UNSUPPORTED: "--",
+            MISMATCH: "MISMATCH",
+            UNEXPECTED_ERROR: "ERROR",
+            UNEXPECTED_OK: "UNEXPECTED-OK",
+            CRASH: "CRASH",
+        }
+        by_key = {(c.target, c.idiom): c for c in self.cells}
+        idioms = [i.name for i in frontend_idioms()]
+        width = max(len(name) for name in idioms) + 2
+        columns = [max(len(t), 13) + 2 for t in self.targets]
+        header = "idiom".ljust(width) + "".join(
+            t.ljust(col) for t, col in zip(self.targets, columns)
+        )
+        lines = [header, "-" * len(header)]
+        for idiom in idioms:
+            row = idiom.ljust(width)
+            for target, col in zip(self.targets, columns):
+                cell = by_key.get((target, idiom))
+                row += symbols.get(
+                    cell.outcome if cell else "?", "?"
+                ).ljust(col)
+            lines.append(row.rstrip())
+        return "\n".join(lines)
+
+
+def _run_cell(
+    compiler: ReticleCompiler, target_name: str, idiom: Idiom
+) -> Cell:
+    expect = expected_unsupported(target_name, idiom)
+    func = idiom.func()
+    try:
+        result = compiler.compile(func)
+    except ReticleError as err:
+        if expect is not None:
+            return Cell(target_name, idiom.name, UNSUPPORTED, expect)
+        return Cell(
+            target_name, idiom.name, UNEXPECTED_ERROR,
+            f"{type(err).__name__}: {err}",
+        )
+    except Exception as err:  # noqa: BLE001 - untyped failures are cells
+        return Cell(
+            target_name, idiom.name, CRASH,
+            f"{type(err).__name__}: {err}",
+        )
+    if expect is not None:
+        return Cell(
+            target_name, idiom.name, UNEXPECTED_OK,
+            f"expected unsupported ({expect}) but compiled",
+        )
+    trace = stimulus(func)
+    try:
+        reference = Interpreter(func).run(trace)
+        actual = AsmInterpreter(result.placed, compiler.target).run(trace)
+    except Exception as err:  # noqa: BLE001
+        return Cell(
+            target_name, idiom.name, CRASH,
+            f"cosim {type(err).__name__}: {err}",
+        )
+    if reference != actual:
+        return Cell(
+            target_name, idiom.name, MISMATCH,
+            f"reference {reference.to_dict()} != "
+            f"placed-asm {actual.to_dict()}",
+        )
+    return Cell(target_name, idiom.name, OK)
+
+
+def run_conformance(
+    targets: Optional[Sequence[str]] = None, jobs: int = 1
+) -> ConformanceReport:
+    """Compile and cosim every idiom on every target.
+
+    Cells are independent, so with ``jobs > 1`` they fan out over a
+    thread pool; the report's cell list is always in (target, idiom)
+    registry order regardless of completion order.
+    """
+    names = (
+        registered_targets()
+        if targets is None
+        else tuple(targets)
+    )
+    compilers = {}
+    for name in names:
+        target, device = resolve_target(name)
+        compilers[name] = ReticleCompiler(target=target, device=device)
+    work = [
+        (name, idiom) for name in names for idiom in frontend_idioms()
+    ]
+    if jobs <= 1:
+        cells = [
+            _run_cell(compilers[name], name, idiom) for name, idiom in work
+        ]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_run_cell, compilers[name], name, idiom)
+                for name, idiom in work
+            ]
+            cells = [future.result() for future in futures]
+    return ConformanceReport(targets=tuple(names), cells=cells)

@@ -41,16 +41,59 @@ _CHOICES = (
 )
 
 
+def _target_ram_types(target_name: str) -> Tuple[Ty, ...]:
+    """The RAM data types every named target can map (addr width 4).
+
+    ``"all"`` intersects over the whole registry, so a program meant
+    for multi-target differential fuzzing only contains memories each
+    target describes (ECP5 has none, iCE40's EBR is byte-wide).  For
+    the default UltraScale target this is exactly the historical
+    ``(i8, i16)`` pair, so default-target generation is byte-identical
+    to what it was before targets were a parameter.
+    """
+    # Local import: the generator stays importable without the
+    # compiler stack until a target actually needs resolving.
+    from repro.compiler import registered_targets, resolve_target
+
+    names = (
+        registered_targets() if target_name == "all" else (target_name,)
+    )
+    ram_types: List[Ty] = [Int(8), Int(16)]
+    for name in names:
+        target, _ = resolve_target(name)
+        ram_types = [
+            ty for ty in ram_types if target.defs_rooted_at(CompOp.RAM, ty)
+        ]
+    return tuple(ram_types)
+
+
 @dataclass
 class ProgramGenerator:
-    """Reproducible random program/trace factory."""
+    """Reproducible random program/trace factory.
+
+    ``target_name`` caps the generated op mix to what that target (or,
+    for ``"all"``, every registered target) can map: the ``ram``
+    choice disappears when the target describes no block RAM, and RAM
+    data widths shrink to the supported ones.  Everything else in the
+    frontend op mix is target-independent — unmappable multiplies are
+    the *lowering's* job, not the generator's.
+    """
 
     seed: int = 0
     max_instrs: int = 12
+    target_name: str = "ultrascale"
     _rng: random.Random = field(init=False, repr=False)
+    _choices: Tuple[str, ...] = field(init=False, repr=False)
+    _ram_types: Tuple[Ty, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._ram_types = _target_ram_types(self.target_name)
+        self._choices = (
+            _CHOICES
+            if self._ram_types
+            else tuple(c for c in _CHOICES if c != "ram")
+        )
 
     # -- helpers ---------------------------------------------------------
 
@@ -127,7 +170,7 @@ class ProgramGenerator:
         )
 
     def _make_instr(self, rng, fresh, pool, vars_of, pick_type):
-        choice = rng.choice(_CHOICES)
+        choice = rng.choice(self._choices)
         dst = fresh()
         if choice == "const":
             ty = rng.choice(ALL_TYPES)
@@ -242,9 +285,9 @@ class ProgramGenerator:
                 op=WireOp.SLICE,
             )
         if choice == "ram":
-            # Needs an i4 address and a scalar i8/i16 data value.
+            # Needs an i4 address and a target-supported data value.
             addr_candidates = vars_of(Int(4))
-            data_ty = rng.choice([Int(8), Int(16)])
+            data_ty = rng.choice(list(self._ram_types))
             data_candidates = vars_of(data_ty)
             bools = vars_of(Bool())
             if not (addr_candidates and data_candidates and bools):
@@ -304,7 +347,44 @@ DEVICE_FILL_DSP_CAP = 300
 DEVICE_FILL_BRAM_CAP = 180
 
 
-def device_filling_func(seed: int, cells: int, name: str = "fill") -> Func:
+def _device_fill_caps(target_name: str, cells: int) -> Tuple[int, int]:
+    """(muls, rams) for a device-filling mix on the named target(s).
+
+    Gated twice: by the *library* (a target with no ``mul`` or ``ram``
+    pattern at i8 contributes none of that kind — an unmappable op
+    would make the whole fill program fail selection) and by the
+    *device* (hardened-column capacity, with the same 5/6 headroom the
+    historical UltraScale caps encoded, so the mix always places).
+    ``"all"`` intersects the registry, as the same program must fit
+    every fabric.
+    """
+    from repro.compiler import registered_targets, resolve_target
+    from repro.prims import Prim
+
+    names = (
+        registered_targets() if target_name == "all" else (target_name,)
+    )
+    muls = min(DEVICE_FILL_DSP_CAP, cells // 100)
+    rams = min(DEVICE_FILL_BRAM_CAP, cells // 200)
+    for name in names:
+        target, device = resolve_target(name)
+        if not target.defs_rooted_at(CompOp.MUL, Int(8)):
+            muls = 0
+        elif device.dsp_capacity():
+            muls = min(muls, (device.dsp_capacity() * 5) // 6)
+        if not target.defs_rooted_at(CompOp.RAM, Int(8)):
+            rams = 0
+        else:
+            rams = min(rams, (device.slice_capacity(Prim.BRAM) * 5) // 6)
+    return muls, rams
+
+
+def device_filling_func(
+    seed: int,
+    cells: int,
+    name: str = "fill",
+    target_name: str = "ultrascale",
+) -> Func:
     """A device-scale program of roughly ``cells`` netlist cells.
 
     Unlike :meth:`ProgramGenerator.func`, every instruction reads only
@@ -313,8 +393,9 @@ def device_filling_func(seed: int, cells: int, name: str = "fill") -> Func:
     placement cluster per instruction, no cover depth).  The mix is
     mostly LUT-bound i8 adds with registers sprinkled in, plus DSP
     multiplies and block-RAM ports capped below the hardened-column
-    capacity; instruction order is seed-shuffled so resource kinds
-    interleave the way real programs do.
+    capacity of ``target_name``'s device (:func:`_device_fill_caps`);
+    instruction order is seed-shuffled so resource kinds interleave
+    the way real programs do.
     """
     rng = random.Random(seed)
     inputs = [
@@ -324,8 +405,7 @@ def device_filling_func(seed: int, cells: int, name: str = "fill") -> Func:
     ] + [Port(f"a{i}", Int(8)) for i in range(4)]
     scalars = [f"a{i}" for i in range(4)]
 
-    muls = min(DEVICE_FILL_DSP_CAP, cells // 100)
-    rams = min(DEVICE_FILL_BRAM_CAP, cells // 200)
+    muls, rams = _device_fill_caps(target_name, cells)
     ops: List[str] = ["mul"] * muls + ["ram"] * rams
     remaining = cells - muls * CELLS_PER_MUL - rams * CELLS_PER_RAM
     while remaining > 0:

@@ -51,6 +51,17 @@ DEFAULT_FLOWS = (
     "vendor-hint",
 )
 
+#: The vendor synthesizer and packer model Xilinx primitives, so the
+#: vendor flows only run against the UltraScale target.
+VENDOR_FLOWS = ("vendor-base", "vendor-hint")
+
+
+def default_flows(target_name: str) -> tuple:
+    """The flows a fuzz session runs against one named target."""
+    if target_name == "ultrascale":
+        return DEFAULT_FLOWS
+    return tuple(f for f in DEFAULT_FLOWS if f not in VENDOR_FLOWS)
+
 
 @dataclass(frozen=True)
 class FuzzOutcome:
@@ -81,6 +92,8 @@ class FuzzReport:
     #: Device-filling mode: target netlist cells per program (0 = the
     #: usual small random programs).
     cells: int = 0
+    #: Target family fuzzed; "all" = multi-target differential mode.
+    target: str = "ultrascale"
     outcomes: List[FuzzOutcome] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -100,6 +113,8 @@ class FuzzReport:
         )
         if self.cells:
             command += f" --cells {self.cells}"
+        if self.target != "ultrascale":
+            command += f" --target {self.target}"
         return command
 
     def summary(self) -> str:
@@ -122,10 +137,16 @@ class FuzzReport:
 
 
 class _Flows:
-    def __init__(self) -> None:
-        self.compiler = ReticleCompiler()
+    def __init__(self, target_name: str = "ultrascale") -> None:
+        from repro.compiler import resolve_target
+
+        target, device = resolve_target(target_name)
+        self.target_name = target_name
+        self.compiler = ReticleCompiler(target=target, device=device)
         self.device = self.compiler.device
-        self.cached_compiler = ReticleCompiler(cache=CompileCache())
+        self.cached_compiler = ReticleCompiler(
+            target=target, device=device, cache=CompileCache()
+        )
 
     def _types(self, func: Func) -> Dict[str, object]:
         return {p.name: p.ty for p in func.inputs + func.outputs}
@@ -179,13 +200,28 @@ def _failure_shape(runner: "_Flows", func: Func) -> str:
         return ""
 
 
+def _diverging_outputs(expected: Trace, actual: Trace) -> str:
+    """The output names whose value streams differ, for mismatches."""
+    names = sorted(
+        name
+        for name in set(expected.names()) | set(actual.names())
+        if (
+            name not in expected
+            or name not in actual
+            or expected[name] != actual[name]
+        )
+    )
+    return ", ".join(names) if names else "(trace shape)"
+
+
 def run_fuzz(
     iterations: int = 25,
     seed: int = 0,
-    flows: tuple = DEFAULT_FLOWS,
+    flows: Optional[tuple] = None,
     max_instrs: int = 12,
     cells: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    target: str = "ultrascale",
 ) -> FuzzReport:
     """Fuzz ``iterations`` programs across ``flows``.
 
@@ -194,19 +230,43 @@ def run_fuzz(
     instead of small random ones — the differential oracle then
     exercises placement and codegen at scale, so expect to pair a
     large ``cells`` with ``iterations=1`` and few flows.
+
+    ``target`` picks the fabric; ``flows`` defaults to every flow that
+    applies to it (the vendor flows model Xilinx primitives, so they
+    only run on UltraScale).  With ``target="all"`` each random
+    program — generated over the op mix every registered target can
+    map — compiles to *every* target, and each target's netlist
+    simulation is differentially checked against the one IR
+    interpreter run: a divergence is reported per target (flow
+    ``reticle@NAME``) naming the diverging outputs and the program's
+    tree shape.
     """
+    multi = target == "all"
+    if multi:
+        from repro.compiler import registered_targets
+
+        names = registered_targets()
+        runners = {name: _Flows(name) for name in names}
+        runner = None
+        flows = tuple(f"reticle@{name}" for name in names)
+    else:
+        runner = _Flows(target)
+        if flows is None:
+            flows = default_flows(target)
     report = FuzzReport(
         iterations=iterations, seed=seed, max_instrs=max_instrs,
-        cells=cells,
+        cells=cells, target=target,
     )
-    runner = _Flows()
     start = time.perf_counter()
     for index in range(iterations):
         program_seed = seed + index
-        generator = ProgramGenerator(seed=program_seed, max_instrs=max_instrs)
+        generator = ProgramGenerator(
+            seed=program_seed, max_instrs=max_instrs, target_name=target
+        )
         if cells > 0:
             func = device_filling_func(
-                seed=program_seed, cells=cells, name=f"fuzz{program_seed}"
+                seed=program_seed, cells=cells, name=f"fuzz{program_seed}",
+                target_name=target,
             )
             trace = generator.trace(func, steps=2)
         else:
@@ -214,8 +274,13 @@ def run_fuzz(
             trace = generator.trace(func)
         expected = Interpreter(func).run(trace)
         for flow in flows:
+            if multi:
+                flow_runner = runners[flow.partition("@")[2]]
+                flow_name = "reticle"
+            else:
+                flow_runner, flow_name = runner, flow
             try:
-                actual = runner.run(flow, func, trace)
+                actual = flow_runner.run(flow_name, func, trace)
             except Exception as error:  # noqa: BLE001 - reported, not hidden
                 report.outcomes.append(
                     FuzzOutcome(
@@ -223,7 +288,7 @@ def run_fuzz(
                         flow=flow,
                         status="error",
                         detail=f"{type(error).__name__}: {error}",
-                        histogram=_failure_shape(runner, func),
+                        histogram=_failure_shape(flow_runner, func),
                     )
                 )
                 continue
@@ -238,10 +303,12 @@ def run_fuzz(
                         flow=flow,
                         status="mismatch",
                         detail=(
+                            f"diverging outputs: "
+                            f"{_diverging_outputs(expected, actual)}; "
                             f"expected {expected.to_dict()} "
                             f"got {actual.to_dict()}"
                         ),
-                        histogram=_failure_shape(runner, func),
+                        histogram=_failure_shape(flow_runner, func),
                     )
                 )
         if progress is not None:

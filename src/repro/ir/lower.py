@@ -1,0 +1,172 @@
+"""Target-aware IR lowering: rewrite operations a target cannot map.
+
+The paper's retargeting story (Section 4.2) assumes every target
+library covers the intermediate instruction set, but real small
+fabrics do not: the iCE40-class target has no multiplier block *and*
+no LUT multiply patterns, so a ``mul`` instruction reaching selection
+would fail with a :class:`~repro.errors.SelectionError`.  This module
+closes the gap the way soft-logic synthesizers do — with a shift-add
+expansion of scalar multiplication built from operations the target
+*does* describe.
+
+For ``y: iW = mul(a, b)`` the rewrite emits, per bit ``i`` of ``b``::
+
+    x_i: iW = sll(b)[W-1-i]   # bit i moved to the sign position
+    m_i: iW = sra(x_i)[W-1]   # replicated: all-ones iff bit i set
+    s_i: iW = sll(a)[i]       # partial product a << i
+    t_i: iW = and(s_i, m_i)   # masked partial product
+
+and sums the ``t_i`` with a chain of ``add``s whose final instruction
+writes the original destination.  The shifts and the bit-splat are
+*wire* operations (area-free rewiring, Section 4.1), so the lowered
+program costs ``W`` ands and ``W-1`` adds on the LUT fabric — the
+classic shift-add multiplier.  Because IR multiplication wraps at the
+lane width (two's complement), summing the low ``W`` bits of the
+partial products is exact; signedness never enters.
+
+The rewrite is *conditional on the target*: a multiply is expanded
+only when the target has no ``mul`` pattern at that exact type but
+does pattern both ``and`` and ``add`` there.  Targets with hardened
+multipliers (ultrascale, ecp5) are left untouched byte for byte, and
+shapes nobody can map (vector multiply anywhere) still reach the
+selector and fail with its typed diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.ast import CompInstr, Func, Instr, WireInstr
+from repro.ir.ops import CompOp, WireOp
+from repro.ir.types import Int, Ty
+from repro.obs import NULL_TRACER
+from repro.tdl.ast import Target
+
+
+def _lowerable_mul_types(target: Target, func: Func) -> Set[Ty]:
+    """The scalar integer types whose ``mul`` this target needs (and
+    can have) expanded: no ``mul`` pattern rooted there, but ``and``
+    and ``add`` patterns available to build the expansion from."""
+    candidates: Set[Ty] = {
+        instr.ty
+        for instr in func.instrs
+        if isinstance(instr, CompInstr)
+        and instr.op is CompOp.MUL
+        and isinstance(instr.ty, Int)
+    }
+    lowerable: Set[Ty] = set()
+    for ty in candidates:
+        if target.defs_rooted_at(CompOp.MUL, ty):
+            continue  # the target maps it directly (DSP or LUT mul)
+        if not target.defs_rooted_at(CompOp.ADD, ty):
+            continue  # nothing to sum with: let selection diagnose
+        if not target.defs_rooted_at(CompOp.AND, ty):
+            continue  # nothing to mask with: let selection diagnose
+        lowerable.add(ty)
+    return lowerable
+
+
+def _fresh_namer(func: Func):
+    """A collision-free name factory over ``func``'s namespace."""
+    taken = {port.name for port in func.inputs}
+    taken.update(instr.dst for instr in func.instrs)
+    counter = [0]
+
+    def fresh(stem: str) -> str:
+        while True:
+            name = f"{stem}_sa{counter[0]}"
+            counter[0] += 1
+            if name not in taken:
+                taken.add(name)
+                return name
+
+    return fresh
+
+
+def _expand_mul(instr: CompInstr, fresh) -> List[Instr]:
+    """The shift-add expansion of one scalar multiply (see module doc)."""
+    assert isinstance(instr.ty, Int)
+    ty = instr.ty
+    width = ty.width
+    a, b = instr.args
+    terms: List[str] = []
+    out: List[Instr] = []
+    for bit in range(width):
+        moved = fresh(instr.dst)
+        out.append(
+            WireInstr(
+                dst=moved, ty=ty, attrs=(width - 1 - bit,), args=(b,),
+                op=WireOp.SLL,
+            )
+        )
+        mask = fresh(instr.dst)
+        out.append(
+            WireInstr(
+                dst=mask, ty=ty, attrs=(width - 1,), args=(moved,),
+                op=WireOp.SRA,
+            )
+        )
+        shifted = fresh(instr.dst)
+        out.append(
+            WireInstr(
+                dst=shifted, ty=ty, attrs=(bit,), args=(a,), op=WireOp.SLL
+            )
+        )
+        # The last masked partial product takes the original name when
+        # the sum degenerates (W == 1): mul mod 2 is just AND.
+        term = instr.dst if width == 1 else fresh(instr.dst)
+        out.append(
+            CompInstr(
+                dst=term, ty=ty, attrs=(), args=(shifted, mask),
+                op=CompOp.AND, res=instr.res,
+            )
+        )
+        terms.append(term)
+    acc = terms[0]
+    for index, term in enumerate(terms[1:], start=2):
+        dst = instr.dst if index == len(terms) else fresh(instr.dst)
+        out.append(
+            CompInstr(
+                dst=dst, ty=ty, attrs=(), args=(acc, term),
+                op=CompOp.ADD, res=instr.res,
+            )
+        )
+        acc = dst
+    return out
+
+
+def lower_unsupported_muls(
+    func: Func, target: Target, tracer=NULL_TRACER
+) -> Func:
+    """``func`` with target-unmappable scalar multiplies expanded.
+
+    Returns ``func`` itself (same object) when the target maps every
+    multiply directly, so callers can detect — and skip re-validating
+    — the common no-op case.  Each expansion is counted as
+    ``isel.mul_lowered`` on ``tracer``.  Destinations, ports, and all
+    other instructions are preserved, so downstream uses, outputs, and
+    traces are unchanged.
+    """
+    lowerable = _lowerable_mul_types(target, func)
+    if not lowerable:
+        return func
+    fresh = _fresh_namer(func)
+    instrs: List[Instr] = []
+    lowered = 0
+    for instr in func.instrs:
+        if (
+            isinstance(instr, CompInstr)
+            and instr.op is CompOp.MUL
+            and instr.ty in lowerable
+        ):
+            instrs.extend(_expand_mul(instr, fresh))
+            lowered += 1
+        else:
+            instrs.append(instr)
+    tracer.count("isel.mul_lowered", lowered)
+    return Func(
+        name=func.name,
+        inputs=func.inputs,
+        outputs=func.outputs,
+        instrs=tuple(instrs),
+    )

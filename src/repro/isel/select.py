@@ -27,6 +27,7 @@ from repro.asm.ast import AsmFunc, AsmInstr, AsmOrWire
 from repro.asm.coords import Loc, WILDCARD
 from repro.ir.ast import Func, WireInstr
 from repro.ir.dfg import HashConser, tree_digest
+from repro.ir.lower import lower_unsupported_muls
 from repro.ir.typecheck import typecheck_func
 from repro.ir.wellformed import check_well_formed
 from repro.isel.cover import CoverResult, cover_tree, replay_cover
@@ -114,14 +115,31 @@ class Selector:
         ]
         return [future.result() for future in futures]
 
+    def lower(self, func: Func, tracer=NULL_TRACER) -> Func:
+        """Target-aware pre-selection lowering (shift-add multiply).
+
+        Returns ``func`` unchanged (same object) when the target maps
+        every operation directly; the rewritten function is
+        re-validated before covering, so a lowering bug surfaces as a
+        typed diagnostic, not a malformed cover.
+        """
+        lowered = lower_unsupported_muls(func, self.target, tracer=tracer)
+        if lowered is not func:
+            typecheck_func(lowered)
+            check_well_formed(lowered)
+        return lowered
+
     def cover(self, func: Func) -> List[CoverResult]:
         """Partition and cover ``func``; exposed for tests/diagnostics.
 
         With the memo enabled, trees are grouped by structural digest,
         one representative per group runs the DP, and the remaining
         instances are replayed covers (``CoverResult.replayed``); the
-        returned list is always in partition order.
+        returned list is always in partition order.  The function is
+        lowered first (:meth:`lower`), so costs reported here match
+        what :meth:`select` emits.
         """
+        func = self.lower(func)
         trees = partition(func)
         weight = self.prim_weight
         types = func.defs()
@@ -164,6 +182,10 @@ class Selector:
         """
         typecheck_func(func)
         check_well_formed(func)
+        # Lower first so the wire instructions the expansion introduces
+        # (shifts, bit splats) are carried into the assembly; cover()'s
+        # own lowering call is then a no-op on the same object.
+        func = self.lower(func, tracer=tracer)
 
         covers = self.cover(func)
         tracer.count("isel.trees", len(covers))

@@ -289,3 +289,127 @@ def format_report(
         lines.append("-- events --")
         lines.append("(no events)")
     return "\n".join(lines)
+
+
+# -- cross-target comparison ------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrossTargetRow:
+    """One (target, function) leg of a multi-target compile."""
+
+    target: str
+    func: str
+    seconds: float
+    cached: bool
+    asm_instrs: int
+    resources: Dict[str, int]
+    critical_ps: int
+    fmax_mhz: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "func": self.func,
+            "seconds": self.seconds,
+            "cached": self.cached,
+            "asm_instrs": self.asm_instrs,
+            "resources": dict(self.resources),
+            "critical_ps": self.critical_ps,
+            "fmax_mhz": self.fmax_mhz,
+        }
+
+
+@dataclass
+class CrossTargetReport:
+    """Area/latency/utilization of one program across targets.
+
+    Built from the nested result of
+    :func:`repro.compiler.compile_prog_multi`; rows come in (target,
+    function) registry order, so two runs of the same fan-out render
+    identically.  The same program costs very different resources per
+    fabric — a multiply is one DSP slice on UltraScale, a LUT multiply
+    on ECP5's fabric tier, and a shift-add adder chain on iCE40 — and
+    this table is where that portability tradeoff (paper Figure 10)
+    becomes visible in one artifact.
+    """
+
+    rows: List[CrossTargetRow] = field(default_factory=list)
+
+    @property
+    def targets(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.target, None)
+        return list(seen)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rows": [row.to_dict() for row in self.rows]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def build_cross_target_report(results) -> CrossTargetReport:
+    """Summarize ``{target: {func: ReticleResult}}`` into one table."""
+    from repro.compiler import resolve_target
+    from repro.netlist.stats import resource_counts
+    from repro.timing.asm_estimate import estimate_asm_timing
+
+    rows: List[CrossTargetRow] = []
+    for target_name, per_func in results.items():
+        target, _device = resolve_target(target_name)
+        for func_name, result in per_func.items():
+            timing = estimate_asm_timing(result.placed, target)
+            rows.append(
+                CrossTargetRow(
+                    target=target_name,
+                    func=func_name,
+                    seconds=result.seconds,
+                    cached=result.cached,
+                    asm_instrs=sum(1 for _ in result.placed.asm_instrs()),
+                    resources=resource_counts(result.netlist).as_dict(),
+                    critical_ps=timing.critical_ps,
+                    fmax_mhz=timing.fmax_mhz,
+                )
+            )
+    return CrossTargetReport(rows=rows)
+
+
+def format_cross_target_report(report: CrossTargetReport) -> str:
+    """Human rendering: one row per (function, target) pair."""
+    if not report.rows:
+        return "(no compiles to compare)"
+    header = (
+        "func", "target", "luts", "ffs", "carries", "dsps", "brams",
+        "asm", "crit ps", "fmax MHz", "ms",
+    )
+    table: List[Tuple[str, ...]] = [header]
+    for row in report.rows:
+        res = row.resources
+        table.append(
+            (
+                row.func,
+                row.target + (" (cached)" if row.cached else ""),
+                str(res.get("luts", 0)),
+                str(res.get("ffs", 0)),
+                str(res.get("carries", 0)),
+                str(res.get("dsps", 0)),
+                str(res.get("brams", 0)),
+                str(row.asm_instrs),
+                str(row.critical_ps),
+                f"{row.fmax_mhz:.1f}",
+                f"{row.seconds * 1000:.2f}",
+            )
+        )
+    widths = [
+        max(len(entry[i]) for entry in table) for i in range(len(header))
+    ]
+    lines = ["== cross-target report =="]
+    for index, entry in enumerate(table):
+        lines.append(
+            "  ".join(part.ljust(widths[i]) for i, part in enumerate(entry))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

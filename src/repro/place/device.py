@@ -180,6 +180,28 @@ def lfe5u85() -> Device:
     return Device(name="lfe5u85", columns=tuple(columns))
 
 
+@lru_cache(maxsize=None)
+def ice40up5k() -> Device:
+    """A device modeled on the Lattice iCE40 UP5K (the Fomu part).
+
+    The smallest fabric in the registry and the only one with *no DSP
+    columns at all*: 5,280 LUT4s (660 slices in our 8-LUT slice
+    model) as 10 columns of 66 slices, and 30 EBR block RAMs as 2
+    columns of 15, interspersed the way the real part places its EBR
+    spines.  Multiplies have nowhere hardened to land, which is the
+    point — this device forces the LUT-only covering and the
+    shift-add multiply lowering.
+    """
+    columns: List[Column] = []
+    bram_positions = {3, 8}
+    for x in range(12):
+        if x in bram_positions:
+            columns.append(Column(Prim.BRAM, 15))
+        else:
+            columns.append(Column(Prim.LUT, 66))
+    return Device(name="ice40up5k", columns=tuple(columns))
+
+
 def tiny_device(
     lut_columns: int = 2,
     dsp_columns: int = 1,

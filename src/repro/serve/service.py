@@ -91,6 +91,12 @@ class CompileRequest:
         target = payload.get("target", "ultrascale")
         if not isinstance(target, str):
             raise ReticleError("'target' must be a string")
+        # Validate the name eagerly (raising the registry's TargetError
+        # listing every registered target), so an unknown target is a
+        # request error (400) rather than a compile failure: nothing
+        # about the *program* is wrong, the client addressed a fabric
+        # that does not exist.
+        resolve_target(target)
         options = payload.get("options", {}) or {}
         if not isinstance(options, dict):
             raise ReticleError("'options' must be an object")

@@ -1,0 +1,128 @@
+"""An iCE40-like tiny LUT4 target family (the Fomu-class fabric).
+
+The third point on the paper's portability axis, far below the other
+two: a Lattice iCE40-style part has *no multiplier block of any
+kind* — no DSP slices, no hardened MACs in the fabric we model — and
+only small embedded block RAMs (EBR).  Every compute operation in
+this library therefore lands on the LUT fabric, which exercises two
+paths the big-FPGA libraries never reach:
+
+* **LUT-only covering** — the selector's DP runs with a pattern set
+  whose every definition is a ``lut`` primitive; the DSP-vs-LUT cost
+  tradeoff degenerates and the cover must still be optimal;
+* **shift-add multiply lowering** — the library deliberately has *no*
+  ``mul`` definition at any type, so ``mul`` instructions are
+  expanded before selection into wire shifts, bit splats, masks, and
+  an adder chain (:mod:`repro.ir.lower`), exactly how soft-logic
+  synthesis maps multiplication onto multiplierless fabrics.
+
+Modeling notes (documented approximations, see DESIGN.md §16): slices
+reuse the family-wide 8-LUT geometry even though iCE40 PLBs are
+8 four-input cells — the placer only needs consistent slice units;
+LUT areas and latencies reuse the shared family helpers; the EBR is
+the generic synchronous RAM primitive restricted to byte-wide data
+and at most 256 entries.  Scalar widths stop at 16 bits (the fabric
+is tiny), so 24/32-bit operations are *expected-unsupported* on this
+target and must fail with a typed selection diagnostic — the
+conformance matrix (:mod:`repro.conformance`) pins that contract.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.types import Bool, Int, Vec
+from repro.tdl.ast import Target
+from repro.tdl.parser import parse_target
+from repro.tdl.ultrascale import (
+    _CMP_OPS,
+    _LOGIC_OPS,
+    _TdlWriter,
+    _emit_binary,
+    _emit_binary_reg,
+    _emit_mux,
+    _emit_reg,
+    _emit_unary,
+    ty_code,
+)
+from repro.timing.constants import DEFAULT_DELAYS as D
+
+#: Scalar widths on the LUT4 fabric — no 24/32-bit datapaths.
+LUT_WIDTHS = (4, 8, 12, 16)
+#: Lane-wise vector shapes kept within the 16-bit element ceiling.
+VEC_SHAPES = ((8, 4), (12, 4), (8, 2), (12, 2), (16, 2))
+#: EBR shapes: byte-wide data, up to 256 entries.
+BRAM_DATA_WIDTHS = (8,)
+BRAM_ADDR_WIDTHS = (4, 8)
+
+
+@lru_cache(maxsize=None)
+def ice40_tdl_text() -> str:
+    """The iCE40-like target description, as TDL text."""
+    w = _TdlWriter()
+    bool_ty = Bool()
+
+    for op in _LOGIC_OPS:
+        _emit_binary(w, op, bool_ty, "lut")
+    _emit_unary(w, "not", bool_ty, "lut")
+    for op in ("eq", "neq"):
+        _emit_binary(w, op, bool_ty, "lut", result=bool_ty)
+    _emit_mux(w, bool_ty, registered=False)
+    _emit_mux(w, bool_ty, registered=True)
+    _emit_reg(w, bool_ty)
+
+    # Scalar integers: everything except multiply — there is nothing
+    # on this fabric to multiply with, by design.
+    for width in LUT_WIDTHS:
+        ty = Int(width)
+        for op in ("add", "sub"):
+            _emit_binary(w, op, ty, "lut")
+        for op in _LOGIC_OPS:
+            _emit_binary(w, op, ty, "lut")
+        _emit_unary(w, "not", ty, "lut")
+        for op in _CMP_OPS:
+            _emit_binary(w, op, ty, "lut", result=bool_ty)
+        _emit_mux(w, ty, registered=False)
+        _emit_mux(w, ty, registered=True)
+        _emit_reg(w, ty)
+        for op in ("add", "sub"):
+            _emit_binary_reg(w, op, ty, "lut")
+
+    for elem, lanes in VEC_SHAPES:
+        ty = Vec(Int(elem), lanes)
+        for op in ("add", "sub"):
+            _emit_binary(w, op, ty, "lut")
+            _emit_binary_reg(w, op, ty, "lut")
+        for op in _LOGIC_OPS:
+            _emit_binary(w, op, ty, "lut")
+        _emit_unary(w, "not", ty, "lut")
+        _emit_mux(w, ty, registered=False)
+        _emit_mux(w, ty, registered=True)
+        _emit_reg(w, ty)
+
+    # The EBR: small synchronous RAM, byte-wide, <= 256 deep.
+    for width in BRAM_DATA_WIDTHS:
+        for addr_bits in BRAM_ADDR_WIDTHS:
+            ty = Int(width)
+            w.emit(
+                f"ram_{ty_code(ty)}_bram_a{addr_bits}",
+                "bram",
+                1,
+                D.bram_clk_to_q,
+                [
+                    f"addr: i{addr_bits}",
+                    f"wdata: {ty}",
+                    "wen: bool",
+                    "en: bool",
+                ],
+                f"q: {ty}",
+                [f"q: {ty} = ram[{addr_bits}](addr, wdata, wen, en);"],
+            )
+
+    return w.text()
+
+
+@lru_cache(maxsize=None)
+def ice40_target() -> Target:
+    """The parsed and validated iCE40-like target."""
+    return parse_target(ice40_tdl_text(), name="ice40")

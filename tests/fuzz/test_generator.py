@@ -45,3 +45,48 @@ class TestValidity:
             defined = {instr.dst for instr in func.instrs}
             for port in func.outputs:
                 assert port.name in defined
+
+
+class TestTargetParameter:
+    def test_default_target_is_byte_compatible(self):
+        # target_name="ultrascale" must not perturb the RNG call
+        # sequence: historical seeds regenerate identical programs.
+        for seed in range(20):
+            assert (
+                ProgramGenerator(seed=seed, target_name="ultrascale").func()
+                == random_func(seed)
+            )
+
+    def test_ecp5_mix_has_no_ram(self):
+        # The ECP5 library defines no block RAM: the op mix is capped
+        # to what the target can actually map.
+        for seed in range(40):
+            generator = ProgramGenerator(seed=seed, target_name="ecp5")
+            assert "ram" not in generator._choices
+            func = generator.func()
+            assert not any("ram" in str(i.op) for i in func.instrs)
+
+    def test_ice40_ram_capped_to_byte_wide(self):
+        from repro.ir.types import Int
+
+        generator = ProgramGenerator(seed=0, target_name="ice40")
+        assert "ram" in generator._choices
+        assert generator._ram_types == (Int(8),)
+
+    def test_all_targets_intersect_ram_types(self):
+        from repro.ir.types import Int
+
+        generator = ProgramGenerator(seed=0, target_name="all")
+        # ecp5 has no RAM at all, so the intersection is empty and
+        # the multi-target mix generates no ram instructions.
+        assert generator._ram_types == ()
+        assert "ram" not in generator._choices
+
+    def test_targeted_programs_stay_well_typed(self):
+        for target in ("ecp5", "ice40", "all"):
+            for seed in range(25):
+                func = ProgramGenerator(
+                    seed=seed, target_name=target
+                ).func()
+                typecheck_func(func)
+                check_well_formed(func)

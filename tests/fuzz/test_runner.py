@@ -66,3 +66,69 @@ class TestLongSession:
     def test_fifty_seeds_differential(self):
         report = run_fuzz(iterations=50, seed=1000)
         assert report.ok, report.summary()
+
+
+class TestTargetedFuzz:
+    def test_ice40_session_all_ok(self):
+        # The op mix is capped to the fabric's resource kinds, so a
+        # DSP-less target still fuzzes clean (multiplies lower).
+        report = run_fuzz(iterations=6, seed=11, target="ice40")
+        assert report.ok, report.summary()
+        assert report.target == "ice40"
+
+    def test_vendor_flows_only_run_on_ultrascale(self):
+        from repro.fuzz.runner import VENDOR_FLOWS, default_flows
+
+        assert default_flows("ultrascale") == DEFAULT_FLOWS
+        for name in ("ecp5", "ice40"):
+            flows = default_flows(name)
+            assert not set(flows) & set(VENDOR_FLOWS)
+            assert "reticle" in flows
+
+    def test_replay_command_names_non_default_target(self):
+        report = FuzzReport(iterations=1, seed=5, target="ice40")
+        outcome = FuzzOutcome(
+            seed=5, flow="reticle", status="mismatch", detail="x"
+        )
+        assert "--target ice40" in report.replay_command(outcome)
+        assert "--target" not in FuzzReport(
+            iterations=1, seed=5
+        ).replay_command(outcome)
+
+    def test_unknown_target_raises_typed(self):
+        from repro.errors import TargetError
+
+        with pytest.raises(TargetError):
+            run_fuzz(iterations=1, seed=1, target="spartan6")
+
+
+class TestMultiTargetFuzz:
+    def test_all_targets_differential(self):
+        """target="all": one program, one reference run, a check per
+        registered target — the cross-fabric differential oracle."""
+        from repro.compiler import registered_targets
+
+        report = run_fuzz(iterations=5, seed=21, target="all")
+        assert report.ok, report.summary()
+        names = registered_targets()
+        assert len(report.outcomes) == 5 * len(names)
+        flows = {o.flow for o in report.outcomes}
+        assert flows == {f"reticle@{name}" for name in names}
+
+    def test_divergence_names_target_and_shape(self):
+        # A fabricated mismatch: the per-target flow label and the
+        # program's tree shape ride along in the report.
+        report = FuzzReport(iterations=1, seed=9, target="all")
+        report.outcomes.append(
+            FuzzOutcome(
+                seed=9,
+                flow="reticle@ice40",
+                status="mismatch",
+                detail="diverging outputs: y; expected ... got ...",
+                histogram="lut:12",
+            )
+        )
+        summary = report.summary()
+        assert "[reticle@ice40]" in summary
+        assert "diverging outputs: y" in summary
+        assert "shape: lut:12" in summary

@@ -195,3 +195,58 @@ class TestCompileReport:
         assert report.lineage == []
         assert report.events == []
         assert "(no lineage recorded)" in report.format_text()
+
+
+class TestCrossTargetReport:
+    MUL = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.compiler import compile_prog_multi
+        from repro.ir.parser import parse_prog
+        from repro.obs.report import build_cross_target_report
+
+        results = compile_prog_multi(parse_prog(self.MUL), ["all"])
+        return build_cross_target_report(results)
+
+    def test_one_row_per_target(self, report):
+        assert report.targets == ["ultrascale", "ecp5", "ice40"]
+        assert [row.func for row in report.rows] == ["f"] * 3
+
+    def test_rows_expose_the_portability_tradeoff(self, report):
+        by_target = {row.target: row for row in report.rows}
+        # One multiply: a DSP slice on the big fabrics, a shift-add
+        # adder network (LUTs + carries) on the multiplierless one.
+        assert by_target["ultrascale"].resources["dsps"] == 1
+        assert by_target["ice40"].resources["dsps"] == 0
+        assert by_target["ice40"].resources["luts"] > 0
+        assert by_target["ice40"].asm_instrs > by_target[
+            "ultrascale"
+        ].asm_instrs
+
+    def test_json_roundtrip(self, report):
+        payload = json.loads(report.to_json())
+        assert {row["target"] for row in payload["rows"]} == {
+            "ultrascale", "ecp5", "ice40",
+        }
+        for row in payload["rows"]:
+            assert row["fmax_mhz"] > 0
+            assert row["critical_ps"] > 0
+
+    def test_text_rendering(self, report):
+        from repro.obs.report import format_cross_target_report
+
+        text = format_cross_target_report(report)
+        for name in ("ultrascale", "ecp5", "ice40"):
+            assert name in text
+        assert "fmax" in text
+
+    def test_empty_report_renders(self):
+        from repro.obs.report import (
+            CrossTargetReport,
+            format_cross_target_report,
+        )
+
+        assert "no compiles" in format_cross_target_report(
+            CrossTargetReport()
+        )

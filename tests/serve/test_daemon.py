@@ -199,13 +199,27 @@ class TestCompileSemantics:
         )
         assert status == 200 and payload["ok"]
 
+    def test_ice40_target_served(self, daemon):
+        # A plain multiply (no @dsp pin) lowers to shift-add on the
+        # DSP-less fabric and still serves fine.
+        soft_mul = (
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        status, payload = post_compile(
+            daemon.base_url, [{"program": soft_mul, "target": "ice40"}]
+        )
+        assert status == 200 and payload["ok"]
+
     def test_unknown_target_is_request_error(self, daemon):
+        # An unknown target is a malformed *request* (400), not a
+        # failed compile, and the error names the registered targets.
         status, payload = post_compile(
             daemon.base_url, [{"program": ADD, "target": "virtex2"}]
         )
-        assert status == 200
-        assert not payload["results"][0]["ok"]
-        assert "virtex2" in payload["results"][0]["error"]
+        assert status == 400
+        assert "virtex2" in payload["error"]
+        for registered in ("ultrascale", "ecp5", "ice40"):
+            assert registered in payload["error"]
 
 
 class TestAdmissionControl:

@@ -1,0 +1,152 @@
+"""The iCE40-class target: LUT4-only covering, no hard multiplier.
+
+The family's defining absence is the multiplier: there is no ``mul``
+pattern at any type, so every multiply the frontend writes must be
+lowered to a shift-add network before covering.  These tests pin the
+library's contents (what is and is not defined), the device model,
+and the retargeting behaviour of the selector on this fabric.
+"""
+
+import pytest
+
+from repro.compiler import ReticleCompiler
+from repro.errors import SelectionError
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_func
+from repro.ir.trace import Trace
+from repro.isel.select import select
+from repro.netlist.sim import NetlistSimulator
+from repro.netlist.stats import resource_counts
+from repro.place.device import ice40up5k
+from repro.prims import Prim
+from repro.tdl.ice40 import (
+    BRAM_ADDR_WIDTHS,
+    BRAM_DATA_WIDTHS,
+    LUT_WIDTHS,
+    ice40_target,
+    ice40_tdl_text,
+)
+from repro.tdl.parser import parse_target
+from repro.tdl.printer import print_target
+
+
+@pytest.fixture(scope="module")
+def ice40():
+    return ice40_target()
+
+
+@pytest.fixture(scope="module")
+def ice40_compiler(ice40):
+    return ReticleCompiler(target=ice40, device=ice40up5k())
+
+
+class TestFamilyContents:
+    def test_parses_and_roundtrips(self, ice40):
+        assert parse_target(print_target(ice40), name="ice40") == ice40
+
+    def test_text_is_cached_and_stable(self):
+        assert ice40_tdl_text() is ice40_tdl_text()
+
+    def test_no_multiplier_at_any_type(self, ice40):
+        # The family's defining absence: nothing multiplies.
+        for asm_def in ice40:
+            assert "mul" not in asm_def.name
+
+    def test_no_dsp_primitives(self, ice40):
+        for asm_def in ice40:
+            assert asm_def.prim is not Prim.DSP
+
+    def test_no_datapaths_beyond_i16(self, ice40):
+        assert max(LUT_WIDTHS) == 16
+        for asm_def in ice40:
+            assert asm_def.output.ty.lane_type().width <= 16
+
+    def test_ebr_is_byte_wide_and_shallow(self, ice40):
+        assert BRAM_DATA_WIDTHS == (8,)
+        assert BRAM_ADDR_WIDTHS == (4, 8)
+        rams = [d for d in ice40 if d.prim is Prim.BRAM]
+        assert len(rams) == len(BRAM_ADDR_WIDTHS)
+
+    def test_no_cascade_variants(self, ice40):
+        for asm_def in ice40:
+            assert not asm_def.name.endswith(("_co", "_ci", "_cico"))
+
+    def test_device_capacities(self):
+        device = ice40up5k()
+        assert device.dsp_capacity() == 0
+        assert device.lut_capacity() == 5280
+        assert device.slice_capacity(Prim.BRAM) == 30
+
+
+class TestRetargeting:
+    def test_mul_lowers_to_shift_add(self, ice40):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+            ),
+            ice40,
+        )
+        ops = [i.op for i in asm.asm_instrs()]
+        assert ops and not any("mul" in op for op in ops)
+        # The expansion is adds and masking ands on the LUT fabric.
+        assert any(op.startswith("add_") for op in ops)
+        assert any(op.startswith(("and_", "logic_")) for op in ops)
+
+    def test_add_lands_on_lut(self, ice40):
+        asm = select(
+            parse_func(
+                "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+            ),
+            ice40,
+        )
+        assert [i.op for i in asm.asm_instrs()] == ["add_i8_lut"]
+
+    def test_dsp_annotation_unsatisfiable(self, ice40):
+        # There is no DSP column on this fabric: a @dsp pin is a
+        # typed selection failure, never a silent downgrade.
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(a: i8, b: i8) -> (y: i8) "
+                    "{ y: i8 = add(a, b) @dsp; }"
+                ),
+                ice40,
+            )
+
+    def test_wide_scalar_rejected_typed(self, ice40):
+        with pytest.raises(SelectionError):
+            select(
+                parse_func(
+                    "def f(a: i32, b: i32) -> (y: i32) "
+                    "{ y: i32 = add(a, b); }"
+                ),
+                ice40,
+            )
+
+
+class TestEndToEnd:
+    def test_soft_mul_netlist_uses_no_dsps(self, ice40_compiler):
+        func = parse_func(
+            "def f(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b); }"
+        )
+        result = ice40_compiler.compile(func)
+        counts = resource_counts(result.netlist)
+        assert counts.dsps == 0
+        assert counts.luts > 0
+        trace = Trace({"a": [3, -7, 11], "b": [5, 9, -4]})
+        types = {p.name: p.ty for p in func.inputs + func.outputs}
+        expected = Interpreter(func).run(trace)
+        actual = NetlistSimulator(result.netlist, types).run(trace)
+        assert actual == expected
+
+    def test_ram_program_places_on_ebr(self, ice40_compiler):
+        func = parse_func(
+            """
+            def f(addr: i4, w: i8, wen: bool, en: bool) -> (y: i8) {
+                y: i8 = ram[4](addr, w, wen, en);
+            }
+            """
+        )
+        result = ice40_compiler.compile(func)
+        counts = resource_counts(result.netlist)
+        assert counts.brams == 1

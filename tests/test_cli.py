@@ -311,3 +311,137 @@ class TestTdl:
         assert main(["tdl"]) == 0
         out = capsys.readouterr().out
         assert "muladd_i8_dsp[dsp, 1," in out
+
+
+SOFT_PROGRAM = """
+def f(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c);
+}
+"""
+
+
+@pytest.fixture()
+def soft_program_file(tmp_path):
+    # No @dsp pin: compiles on every registered target (the multiply
+    # lowers to shift-add where no multiplier exists).
+    path = tmp_path / "soft.ret"
+    path.write_text(SOFT_PROGRAM)
+    return str(path)
+
+
+class TestMultiTargetCli:
+    def test_compile_all_targets_to_stdout(self, soft_program_file, capsys):
+        assert main(
+            ["compile", soft_program_file, "--target", "all", "--jobs", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("ultrascale", "ecp5", "ice40"):
+            assert f"// ---- target: {name} ----" in out
+        assert out.count("module f(") == 3
+
+    def test_compile_all_targets_to_suffixed_files(
+        self, soft_program_file, tmp_path
+    ):
+        output = tmp_path / "out.v"
+        assert main(
+            [
+                "compile", soft_program_file,
+                "--target", "all", "-o", str(output),
+            ]
+        ) == 0
+        for name in ("ultrascale", "ecp5", "ice40"):
+            per_target = tmp_path / f"out.{name}.v"
+            assert per_target.exists()
+            assert "module f(" in per_target.read_text()
+
+    def test_compile_single_target_ice40(self, soft_program_file, tmp_path):
+        output = tmp_path / "ice.v"
+        assert main(
+            [
+                "compile", soft_program_file,
+                "--target", "ice40", "-o", str(output),
+            ]
+        ) == 0
+        text = output.read_text()
+        assert "module f(" in text
+        assert "DSP48E2" not in text
+
+    def test_unknown_target_rejected_by_parser(self, soft_program_file):
+        with pytest.raises(SystemExit):
+            main(["compile", soft_program_file, "--target", "virtex2"])
+
+    def test_cross_target_report(self, soft_program_file, capsys):
+        assert main(
+            ["report", soft_program_file, "--cross-target"]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("ultrascale", "ecp5", "ice40"):
+            assert name in out
+        assert "fmax" in out
+
+    def test_cross_target_report_json(self, soft_program_file, capsys):
+        assert main(
+            [
+                "report", soft_program_file,
+                "--cross-target", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        targets = {row["target"] for row in payload["rows"]}
+        assert targets == {"ultrascale", "ecp5", "ice40"}
+        dsps = {
+            row["target"]: row["resources"]["dsps"]
+            for row in payload["rows"]
+            if row["func"] == "f"
+        }
+        assert dsps["ultrascale"] == 1 and dsps["ice40"] == 0
+
+
+class TestConformanceCli:
+    def test_full_matrix_passes(self, capsys):
+        assert main(["conformance", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ultrascale:", "ecp5:", "ice40:"):
+            assert name in out
+        assert "ratchet: all" in out
+
+    def test_matrix_grid(self, capsys):
+        assert main(
+            ["conformance", "--target", "ice40", "--matrix"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "idiom" in out
+        assert "mul_i8" in out
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["conformance", "--target", "ice40", "--json", "--jobs", "4"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        outcomes = {c["idiom"]: c["outcome"] for c in payload["cells"]}
+        assert outcomes["mul_i8"] == "ok"
+        assert outcomes["add_i32"] == "unsupported"
+
+
+class TestFuzzTargetCli:
+    def test_fuzz_ice40(self, capsys):
+        assert main(
+            ["fuzz", "--iterations", "2", "--seed", "3",
+             "--target", "ice40"]
+        ) == 0
+        assert "0 failures" in capsys.readouterr().out
+
+    def test_fuzz_all_targets(self, capsys):
+        assert main(
+            ["fuzz", "--iterations", "2", "--seed", "5",
+             "--target", "all"]
+        ) == 0
+        assert "0 failures" in capsys.readouterr().out
+
+    def test_tdl_dumps_ice40(self, capsys):
+        assert main(["tdl", "--target", "ice40"]) == 0
+        out = capsys.readouterr().out
+        assert "add_i8_lut[lut," in out
+        assert "mul" not in out

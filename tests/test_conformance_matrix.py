@@ -1,0 +1,184 @@
+"""The idiom × target conformance matrix — the cross-target contract.
+
+This is the Table-1-style gate: every frontend idiom (each operation
+at its representative type shapes) against every registered target.
+Each cell must either compile and co-simulate cycle-accurately
+against the IR interpreter, or fail with a *typed* diagnostic that
+the expectation table predicts.  The ratchet makes the matrix
+self-extending: a new frontend op with no matrix rows fails here
+before it can ship uncovered.
+"""
+
+import pytest
+
+from repro.compiler import registered_targets
+from repro.conformance import (
+    CRASH,
+    MISMATCH,
+    OK,
+    UNEXPECTED_ERROR,
+    UNEXPECTED_OK,
+    UNSUPPORTED,
+    ConformanceReport,
+    expected_unsupported,
+    frontend_idioms,
+    run_conformance,
+    stimulus,
+    uncovered_ops,
+)
+from repro.ir.interp import Interpreter
+from repro.ir.ops import CompOp, WireOp
+
+
+@pytest.fixture(scope="module")
+def report() -> ConformanceReport:
+    """One full matrix run shared by every assertion below."""
+    return run_conformance(jobs=4)
+
+
+class TestMatrixPasses:
+    def test_every_cell_passes(self, report):
+        failing = report.failing
+        assert not failing, "failing cells:\n" + "\n".join(
+            f"  {c.target} × {c.idiom}: {c.outcome} ({c.detail})"
+            for c in failing
+        )
+
+    def test_matrix_is_complete(self, report):
+        """Every (target, idiom) pair produced exactly one cell."""
+        targets = registered_targets()
+        idioms = frontend_idioms()
+        assert report.targets == targets
+        assert len(report.cells) == len(targets) * len(idioms)
+        keys = {(c.target, c.idiom) for c in report.cells}
+        assert len(keys) == len(report.cells)
+
+    def test_report_passed_flag(self, report):
+        assert report.passed
+
+    def test_expected_unsupported_cells_fail_typed(self, report):
+        """Cells the expectation table predicts are UNSUPPORTED —
+        they raised a typed ReticleError, not OK and not a crash."""
+        checked = 0
+        for target in report.targets:
+            for idiom in frontend_idioms():
+                if expected_unsupported(target, idiom) is None:
+                    continue
+                cell = report.cell(target, idiom.name)
+                assert cell.outcome == UNSUPPORTED, (
+                    f"{target} × {idiom.name}: expected a typed "
+                    f"unsupported failure, got {cell.outcome}"
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_supported_cells_are_ok(self, report):
+        for target in report.targets:
+            for idiom in frontend_idioms():
+                if expected_unsupported(target, idiom) is not None:
+                    continue
+                cell = report.cell(target, idiom.name)
+                assert cell.outcome == OK, (
+                    f"{target} × {idiom.name}: {cell.outcome} "
+                    f"({cell.detail})"
+                )
+
+
+class TestTargetBoundaries:
+    """The documented per-family feature boundaries, cell by cell."""
+
+    def test_ice40_mul_cells_pass_via_lowering(self, report):
+        # No multiplier anywhere in the iCE40 library: these cells
+        # only pass because selection lowers mul to shift-add.
+        for shape in ("i8", "i16"):
+            assert report.cell("ice40", f"mul_{shape}").outcome == OK
+        # Beyond the fabric's datapath ceiling even lowering can't
+        # help: there are no i32 adders to build the shift-add from.
+        assert (
+            report.cell("ice40", "mul_i32").outcome == UNSUPPORTED
+        )
+
+    def test_ice40_wide_scalars_unsupported(self, report):
+        cell = report.cell("ice40", "add_i32")
+        assert cell.outcome == UNSUPPORTED
+        assert "i16" in cell.detail
+
+    def test_ecp5_ram_unsupported(self, report):
+        for idiom in frontend_idioms():
+            if idiom.op != "ram":
+                continue
+            assert report.cell("ecp5", idiom.name).outcome == UNSUPPORTED
+
+    def test_vector_mul_unsupported_everywhere(self, report):
+        for target in report.targets:
+            for idiom in frontend_idioms():
+                if idiom.op == "mul" and idiom.is_vector:
+                    cell = report.cell(target, idiom.name)
+                    assert cell.outcome == UNSUPPORTED
+
+    def test_ultrascale_supports_everything_but_vector_mul(self, report):
+        for idiom in frontend_idioms():
+            cell = report.cell("ultrascale", idiom.name)
+            if idiom.op == "mul" and idiom.is_vector:
+                assert cell.outcome == UNSUPPORTED
+            else:
+                assert cell.outcome == OK
+
+
+class TestRatchet:
+    def test_all_frontend_ops_covered(self):
+        assert uncovered_ops() == []
+
+    def test_ratchet_tracks_the_op_enums(self):
+        """The ratchet is derived from CompOp/WireOp, so a new op
+        enum member without matrix rows is caught by construction."""
+        every = {op.value for op in CompOp} | {op.value for op in WireOp}
+        covered = {idiom.op for idiom in frontend_idioms()}
+        assert covered <= every
+        assert every - covered == set(uncovered_ops())
+
+    def test_summary_reports_ratchet_state(self, report):
+        summary = report.summary()
+        assert "ratchet: all" in summary
+        for target in registered_targets():
+            assert f"{target}: " in summary
+
+
+class TestDeterminism:
+    def test_stimulus_is_deterministic(self):
+        idiom = frontend_idioms()[0]
+        func = idiom.func()
+        assert stimulus(func).to_dict() == stimulus(func).to_dict()
+
+    def test_parallel_run_matches_serial(self):
+        """jobs>1 fans cells over threads; the report is identical."""
+        serial = run_conformance(targets=("ice40",), jobs=1)
+        threaded = run_conformance(targets=("ice40",), jobs=4)
+        assert serial.cells == threaded.cells
+
+    def test_idioms_interpret_cleanly(self):
+        """Every idiom's reference semantics are well-defined: the
+        interpreter runs the stimulus without error on every idiom,
+        independent of any backend."""
+        for idiom in frontend_idioms():
+            func = idiom.func()
+            Interpreter(func).run(stimulus(func))
+
+
+class TestRendering:
+    def test_matrix_grid_has_a_row_per_idiom(self, report):
+        grid = report.format_matrix()
+        lines = grid.splitlines()
+        assert len(lines) == 2 + len(frontend_idioms())
+        for target in report.targets:
+            assert target in lines[0]
+
+    def test_outcome_symbols_cover_all_outcomes(self, report):
+        # Passing matrix renders only "ok" and "--".
+        grid = report.format_matrix()
+        for bad in (MISMATCH, CRASH, UNEXPECTED_ERROR, UNEXPECTED_OK):
+            assert bad.upper() not in grid
+
+    def test_cell_lookup_raises_on_unknown(self, report):
+        with pytest.raises(KeyError):
+            report.cell("ultrascale", "no_such_idiom")
