@@ -204,6 +204,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         place_reuse=args.place_reuse,
         isel_jobs=args.isel_jobs,
         isel_memo=args.isel_memo == "on",
+        executor=getattr(args, "executor", "thread"),
     )
     if args.pipeline:
         from repro.ir.ast import Prog
@@ -466,6 +467,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     if args.figure == "service":
         from repro.harness.loadgen import (
+            scaling_rows,
+            scaling_table_rows,
             service_rows,
             service_table_rows,
             write_bench_service,
@@ -474,9 +477,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = service_rows(
             concurrency=args.concurrency, repeats=args.repeats
         )
+        if not getattr(args, "no_scaling", False):
+            rows = rows + scaling_rows()
         if args.json:
             write_bench_service(args.json, rows)
         print(format_table(service_table_rows(rows)))
+        scaling = scaling_table_rows(rows)
+        if scaling:
+            print()
+            print(format_table(scaling))
         return 0
     if args.figure == "fig4":
         rows = fig4_rows()
@@ -652,7 +661,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="compile a multi-function program on N worker threads",
+        help="compile a multi-function program on N workers (0 = auto: "
+        "RETICLE_JOBS env override, else the CPU count)",
+    )
+    compilec.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution tier for the --jobs fan-out: 'thread' (default, "
+        "shares one compiler in-process) or 'process' (persistent "
+        "worker processes that sidestep the GIL for CPU-bound "
+        "multi-function compiles)",
     )
     _add_isel_args(compilec)
     _add_place_args(compilec)
@@ -782,7 +801,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         metavar="N",
-        help="compile worker threads (default 4)",
+        help="compile workers (default 4)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution tier for the workers: 'thread' (default) or "
+        "'process' (persistent worker processes — true multi-core "
+        "compile throughput; see DESIGN.md §17)",
+    )
+    serve.add_argument(
+        "--max-tasks-per-worker",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --executor process: recycle each worker process "
+        "after N tasks (0 = never; bounds slow per-process growth)",
     )
     serve.add_argument(
         "--queue-limit",
@@ -918,6 +953,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         metavar="N",
         help="(service) warm-pass replays of each workload (default 8)",
+    )
+    bench.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="(service) skip the thread-vs-process executor scaling "
+        "sweep (it boots six daemons, so quick local runs may want "
+        "just the workload rows)",
     )
     bench.add_argument(
         "--max-regress",

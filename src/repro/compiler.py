@@ -30,6 +30,7 @@ table via :func:`repro.obs.format_profile`).
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -60,6 +61,7 @@ from repro.place.placer import Placer
 from repro.place.solver import PortfolioSpec, resolve_portfolio
 from repro.tdl.ast import Target
 from repro.tdl.ultrascale import ultrascale_target
+from repro.utils.pool import resolve_executor, resolve_jobs
 
 def _load_ultrascale() -> "tuple[Target, Device]":
     return ultrascale_target(), xczu3eg()
@@ -252,6 +254,7 @@ class ReticleCompiler:
         place_reuse: bool = False,
         isel_jobs: int = 1,
         isel_memo: bool = True,
+        executor: str = "thread",
     ) -> None:
         self.target = target if target is not None else ultrascale_target()
         self.device = device if device is not None else xczu3eg()
@@ -306,7 +309,18 @@ class ReticleCompiler:
         if cache is None and cache_dir is not None:
             cache = CompileCache(cache_dir=cache_dir)
         self.cache = cache
+        if place_reuse and cache is not None and cache.cache_dir:
+            # Persist reuse banks next to the compile cache so daemon
+            # worker processes (and later CLI runs) share them.  Set
+            # before the first place(): the memo is built lazily.
+            self.placer.reuse_dir = os.path.join(
+                cache.cache_dir, "place-reuse"
+            )
         self.jobs = jobs
+        # The execution tier for multi-function fan-out.  Not part of
+        # ``options``: the executor changes where functions compile,
+        # never what they compile to, so it must not shift cache keys.
+        self.executor = resolve_executor(executor)
 
     # -- caching -----------------------------------------------------
 
@@ -424,25 +438,164 @@ class ReticleCompiler:
             lineage=lineage,
         )
 
+    # -- process-executor wire format -------------------------------
+
+    def _ensure_wire_config(self) -> None:
+        """Check this configuration can ship to a worker by name.
+
+        Workers rebuild the compiler from the wire task, resolving the
+        target *name* through the registry; a custom target or a
+        non-registry device would silently compile for a different
+        fabric, so both are rejected up front.  Checked once per
+        compiler (the registry loaders re-parse TDL on every call).
+        """
+        if self.__dict__.get("_wire_checked"):
+            return
+        target, device = resolve_target(self.target.name)
+        if device.name != self.device.name:
+            raise TargetError(
+                "process executor requires the registered device for "
+                f"target {self.target.name!r} ({device.name!r}), got "
+                f"{self.device.name!r}"
+            )
+        self.__dict__["_wire_checked"] = True
+
+    def _wire_options(self) -> "tuple":
+        """The compiler options as a hashable, picklable tuple."""
+        return tuple(
+            sorted(
+                (
+                    name,
+                    tuple(value) if isinstance(value, list) else value,
+                )
+                for name, value in self.options.items()
+            )
+        )
+
+    def wire_task(
+        self,
+        func: Func,
+        trace_id: Optional[str] = None,
+        poison: bool = False,
+    ):
+        """One function compile as a :class:`~repro.serve.procpool.FuncTask`.
+
+        The function travels as its canonical printing (explicit
+        result types), which round-trips through the parser to
+        byte-identical Verilog; the digest lets a warm worker skip the
+        parse entirely.
+        """
+        from repro.ir.printer import print_func
+        from repro.serve.procpool import FuncTask, ir_digest
+
+        self._ensure_wire_config()
+        ir = print_func(func, explicit_res=True)
+        return FuncTask(
+            digest=ir_digest(ir),
+            ir=ir,
+            target=self.target.name,
+            pipeline=tuple(self.pass_manager.names),
+            options=self._wire_options(),
+            cache_dir=self.cache.cache_dir if self.cache else None,
+            use_cache=self.cache is not None,
+            trace_id=trace_id,
+            poison=poison,
+        )
+
+    def _result_from_wire(self, func: Func, wire) -> ReticleResult:
+        """A :class:`ReticleResult` from a worker's shipped artifacts."""
+        trace = wire.tracer
+        payload = wire.payload
+        metrics = CompileMetrics(
+            stages=dict(payload.stages),
+            counters=trace.counters,
+            gauges=trace.gauges,
+        )
+        return ReticleResult(
+            source=func,
+            selected=payload.selected,
+            cascaded=payload.cascaded,
+            placed=payload.placed,
+            netlist=payload.netlist,
+            seconds=metrics.total_seconds,
+            metrics=metrics,
+            trace=trace,
+            cached=payload.cached,
+            lineage=payload.lineage,
+        )
+
+    def _compile_prog_process(
+        self,
+        funcs: "list[Func]",
+        tracer: Optional[Tracer],
+        jobs: Optional[int],
+        pool,
+    ) -> Dict[str, ReticleResult]:
+        """Fan the functions out over worker processes."""
+        from repro.serve.procpool import ProcessCompilePool
+
+        worker_trace_id = tracer.trace_id if tracer is not None else None
+        owned = pool is None
+        if owned:
+            pool = ProcessCompilePool(
+                workers=resolve_jobs(jobs, items=len(funcs)),
+                tracer=tracer,
+            )
+        try:
+            futures = [
+                pool.submit(self.wire_task(func, trace_id=worker_trace_id))
+                for func in funcs
+            ]
+            wires = [future.result() for future in futures]
+        finally:
+            if owned:
+                pool.shutdown(wait=True)
+        results: Dict[str, ReticleResult] = {}
+        for func, wire in zip(funcs, wires):
+            result = self._result_from_wire(func, wire)
+            if tracer is not None and result.trace is not None:
+                tracer.merge(result.trace)
+            results[func.name] = result
+        return results
+
     def compile_prog(
         self,
         prog: "Prog",
         tracer: Optional[Tracer] = None,
         jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        pool=None,
     ) -> Dict[str, ReticleResult]:
         """Compile every function of a program; keyed by name.
 
         With an explicit ``tracer`` all functions share one trace
         (counters accumulate); otherwise each gets its own.  With
-        ``jobs > 1`` functions compile concurrently on a thread pool —
-        they are independent — and each worker's private tracer is
-        merged into the shared one (definition order, so merged
-        telemetry is deterministic).  Results are identical to a
-        serial compile: the selector's pattern index is read-only and
-        the placer keeps no per-compile state.
+        ``jobs > 1`` functions compile concurrently — they are
+        independent — and each worker's private tracer is merged into
+        the shared one (definition order, so merged telemetry is
+        deterministic).  ``jobs=0`` means auto
+        (:func:`repro.utils.pool.resolve_jobs`).
+
+        ``executor`` picks the tier (default: the compiler's own,
+        normally ``thread``): threads share this compiler in-process;
+        ``"process"`` ships each function to the persistent worker
+        processes of :mod:`repro.serve.procpool` — an existing
+        :class:`~repro.serve.procpool.ProcessCompilePool` can be
+        passed as ``pool``, otherwise one is booted and drained per
+        call.  Results are identical to a serial compile under either
+        tier: the selector's pattern index is read-only, the placer
+        keeps no per-compile state, and the wire format round-trips
+        the IR canonically (pinned by tests).
         """
         jobs = self.jobs if jobs is None else jobs
         funcs = list(prog)
+        executor = resolve_executor(
+            self.executor if executor is None else executor
+        )
+        if executor == "process" and funcs and (pool is not None or jobs != 1):
+            return self._compile_prog_process(funcs, tracer, jobs, pool)
+        if jobs == 0:
+            jobs = resolve_jobs(0, items=len(funcs))
         if jobs <= 1 or len(funcs) <= 1:
             return {
                 func.name: self.compile(func, tracer=tracer)
@@ -451,9 +604,9 @@ class ReticleCompiler:
         # Worker tracers inherit the shared tracer's request identity,
         # so every span of a parallel compile still names its request.
         worker_trace_id = tracer.trace_id if tracer is not None else None
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
+        with ThreadPoolExecutor(max_workers=jobs) as threads:
             futures = [
-                pool.submit(
+                threads.submit(
                     self.compile, func, Tracer(trace_id=worker_trace_id)
                 )
                 for func in funcs
@@ -479,6 +632,7 @@ def compile_prog(
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
     targets: Optional[Sequence[str]] = None,
+    pool=None,
     **kwargs,
 ) -> Dict[str, object]:
     """One-shot compilation of a whole program.
@@ -486,13 +640,16 @@ def compile_prog(
     With ``targets`` (a list of registered target names, or ``"all"``)
     the program fans out to every named target — see
     :func:`compile_prog_multi` — and the result is nested per target.
+    ``executor="process"`` (a compiler kwarg) ships the functions to
+    worker processes; ``pool`` reuses an existing
+    :class:`~repro.serve.procpool.ProcessCompilePool`.
     """
     if targets is not None:
         return compile_prog_multi(
-            prog, targets, tracer=tracer, jobs=jobs, **kwargs
+            prog, targets, tracer=tracer, jobs=jobs, pool=pool, **kwargs
         )
     return ReticleCompiler(**kwargs).compile_prog(
-        prog, tracer=tracer, jobs=jobs
+        prog, tracer=tracer, jobs=jobs, pool=pool
     )
 
 
@@ -501,6 +658,7 @@ def compile_prog_multi(
     targets: Sequence[str],
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
+    pool=None,
     **kwargs,
 ) -> "Dict[str, Dict[str, ReticleResult]]":
     """Compile one program to several targets; nested by target name.
@@ -508,7 +666,7 @@ def compile_prog_multi(
     One compiler is built per target (so each fan-out leg has its own
     pattern index, placer, compile-cache keys, and provenance) and
     every ``(target, function)`` pair is an independent unit of work on
-    a single shared thread pool of ``jobs`` workers — a three-target
+    a single shared pool of ``jobs`` workers — a three-target
     compile of a two-function program saturates six workers, not
     three.  Each unit compiles under a private tracer; with an
     explicit ``tracer`` the private traces are merged back in
@@ -516,6 +674,10 @@ def compile_prog_multi(
     is deterministic regardless of completion order.  Per-target
     output is byte-identical to a serial single-target compile of the
     same program: compilers share nothing but the (read-only) IR.
+
+    ``executor="process"`` (a compiler kwarg) runs every pair on the
+    persistent worker processes instead of threads, with identical
+    per-target output and the same canonical merge order.
     """
     names = resolve_target_names(tuple(targets))
     if not names:
@@ -535,13 +697,45 @@ def compile_prog_multi(
             func, tracer=Tracer(trace_id=worker_trace_id)
         )
 
+    executor = resolve_executor(kwargs.get("executor"))
     jobs = 1 if jobs is None else jobs
-    if jobs <= 1 or len(pairs) <= 1:
+    use_process = executor == "process" and bool(pairs) and (
+        pool is not None or jobs != 1
+    )
+    if jobs == 0:
+        jobs = resolve_jobs(0, items=len(pairs))
+    if use_process:
+        from repro.serve.procpool import ProcessCompilePool
+
+        owned = pool is None
+        if owned:
+            pool = ProcessCompilePool(
+                workers=resolve_jobs(jobs, items=len(pairs)),
+                tracer=tracer,
+            )
+        try:
+            futures = [
+                pool.submit(
+                    compilers[name].wire_task(
+                        func, trace_id=worker_trace_id
+                    )
+                )
+                for name, func in pairs
+            ]
+            compiled = [
+                compilers[name]._result_from_wire(func, future.result())
+                for (name, func), future in zip(pairs, futures)
+            ]
+        finally:
+            if owned:
+                pool.shutdown(wait=True)
+    elif jobs <= 1 or len(pairs) <= 1:
         compiled = [compile_one(name, func) for name, func in pairs]
     else:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
+        with ThreadPoolExecutor(max_workers=jobs) as threads:
             futures = [
-                pool.submit(compile_one, name, func) for name, func in pairs
+                threads.submit(compile_one, name, func)
+                for name, func in pairs
             ]
             compiled = [future.result() for future in futures]
     results: Dict[str, Dict[str, ReticleResult]] = {

@@ -37,6 +37,7 @@ from repro.errors import ReticleError
 from repro.ir.ast import Func
 from repro.ir.interp import Interpreter, Trace
 from repro.ir.ops import CompOp, WireOp
+from repro.utils.pool import resolve_jobs
 from repro.ir.parser import parse_func
 from repro.ir.types import Bool, Int, Vec
 
@@ -482,7 +483,9 @@ def run_conformance(
 
     Cells are independent, so with ``jobs > 1`` they fan out over a
     thread pool; the report's cell list is always in (target, idiom)
-    registry order regardless of completion order.
+    registry order regardless of completion order.  ``jobs == 0``
+    auto-sizes the pool (``RETICLE_JOBS`` env, else the CPU count) via
+    :func:`repro.utils.pool.resolve_jobs`.
     """
     names = (
         registered_targets()
@@ -496,6 +499,8 @@ def run_conformance(
     work = [
         (name, idiom) for name in names for idiom in frontend_idioms()
     ]
+    if jobs == 0 or jobs is None:
+        jobs = resolve_jobs(jobs, items=len(work))
     if jobs <= 1:
         cells = [
             _run_cell(compilers[name], name, idiom) for name, idiom in work

@@ -81,5 +81,15 @@ class SimulationError(ReticleError):
     """Raised by the structural netlist simulator."""
 
 
+class WorkerCrashError(ReticleError):
+    """Raised when a compile worker process dies running one task.
+
+    The process pool retries a task once on another worker before
+    raising this; two crashes on one task mean the task itself kills
+    workers (pathological allocation, native-code fault), and the
+    caller — not the pool — must decide what to do with it.
+    """
+
+
 class VendorError(ReticleError):
     """Raised by the vendor-toolchain simulator."""

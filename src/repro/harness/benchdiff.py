@@ -12,8 +12,9 @@ What is gated, per row:
 
 * ``seconds`` (cold end-to-end time) — regression when the new value
   exceeds the old by more than ``max_regress`` percent;
-* ``cache_speedup`` — regression when it *drops* by more than
-  ``max_regress`` percent (a cache that stops paying off is a bug);
+* ``cache_speedup``, ``scaling_efficiency``, ``speedup_vs_thread`` —
+  regression when one *drops* by more than ``max_regress`` percent (a
+  cache or an executor that stops paying off is a bug);
 * growth counters (solver nodes, backtracks, matches tried, emitted
   cells) — same percentage tolerance, because they are the
   machine-independent proxy for algorithmic regressions.  Counter
@@ -48,6 +49,19 @@ GATED_COUNTERS = (
     # search effort per emitted netlist cell must not grow.
     "place.nodes_per_cell_x1000",
     "codegen.cells",
+    # Any worker-process crash during a bench run is a regression:
+    # baseline rows carry the key at 0, so the first crash trips the
+    # infinite-percent-growth gate.
+    "service.worker_crashes",
+)
+
+#: Headline ratio metrics gated on *drops*: a speedup or a scaling
+#: efficiency that stops paying off is a bug, so falling beyond
+#: tolerance regresses while growth never does.
+GATED_DROP_METRICS = (
+    "cache_speedup",
+    "scaling_efficiency",
+    "speedup_vs_thread",
 )
 
 
@@ -176,22 +190,23 @@ def diff_payloads(
             )
         )
 
-        old_sp = float(old_row.get("cache_speedup", 0.0))
-        new_sp = float(new_row.get("cache_speedup", 0.0))
-        if old_sp > 0:
-            drop = _pct_change(old_sp, new_sp)
-            diff.deltas.append(
-                MetricDelta(
-                    bench=bench,
-                    size=size,
-                    metric="cache_speedup",
-                    old=old_sp,
-                    new=new_sp,
-                    change_pct=drop,
-                    # A speedup *drop* beyond tolerance regresses.
-                    regressed=drop < -max_regress,
+        for metric in GATED_DROP_METRICS:
+            old_sp = float(old_row.get(metric, 0.0))
+            new_sp = float(new_row.get(metric, 0.0))
+            if old_sp > 0:
+                drop = _pct_change(old_sp, new_sp)
+                diff.deltas.append(
+                    MetricDelta(
+                        bench=bench,
+                        size=size,
+                        metric=metric,
+                        old=old_sp,
+                        new=new_sp,
+                        change_pct=drop,
+                        # A ratio *drop* beyond tolerance regresses.
+                        regressed=drop < -max_regress,
+                    )
                 )
-            )
 
         old_counters = old_row.get("counters", {}) or {}
         new_counters = new_row.get("counters", {}) or {}

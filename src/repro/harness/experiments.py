@@ -65,6 +65,14 @@ XL_SHARDS = 3
 XL_JOBS = 4
 XL_SEED = 2026
 
+#: The multi-function executor rows (``xlmulti`` / ``xlmulti+procexec``):
+#: the same device-filling functions through ``compile_prog`` on the
+#: thread tier and on the persistent process pool, timed end to end
+#: (process-pool boot included — that is what a cold ``reticle compile
+#: --executor process`` pays).
+XLMULTI_FUNCS = 4
+XLMULTI_CELLS = 2_500
+
 
 def _benchmark_funcs(bench: str, size) -> Dict[str, Func]:
     """The per-language programs for one benchmark instance.
@@ -215,7 +223,11 @@ def pipeline_rows(
     after a one-tree edit with incremental placement reuse (the
     ``place.reuse_pct`` gauge records how much replayed).  Every row
     carries ``place.nodes_per_cell_x1000``, the solver-effort-per-cell
-    counter the bench gate holds flat as programs grow.
+    counter the bench gate holds flat as programs grow.  The ``xl``
+    block also emits the executor pair — ``xlmulti`` (thread tier) and
+    ``xlmulti+procexec`` (persistent process pool) — timing
+    ``compile_prog`` over :data:`XLMULTI_FUNCS` cold device-filling
+    functions, with ``exec_speedup`` on the process row.
     """
     device = device if device is not None else xczu3eg()
     sizes = sizes if sizes is not None else BENCH_PIPELINE_SIZES
@@ -375,6 +387,66 @@ def pipeline_rows(
                 reuser, "xl+reuse", largest, func=edit_one_tree(base)
             )
         )
+        # Multi-function executor rows: the same program through
+        # ``compile_prog`` on each execution tier.  No cache — both
+        # rows measure genuinely cold compiles of identical functions.
+        import time as _time
+
+        from repro.obs import Tracer
+        from repro.utils.pool import usable_cpus
+
+        multi_funcs = [
+            device_filling_func(
+                seed=XL_SEED + index,
+                cells=XLMULTI_CELLS,
+                name=f"xlm{index}",
+            )
+            for index in range(XLMULTI_FUNCS)
+        ]
+        thread_seconds: Optional[float] = None
+        for executor in ("thread", "process"):
+            multi_compiler = ReticleCompiler(device=device)
+            tracer = Tracer()
+            start = _time.perf_counter()
+            multi_compiler.compile_prog(
+                multi_funcs,
+                tracer=tracer,
+                jobs=XLMULTI_FUNCS,
+                executor=executor,
+            )
+            seconds = _time.perf_counter() - start
+            counters = dict(tracer.counters)
+            cells = counters.get("codegen.cells", 0)
+            if cells:
+                counters["place.nodes_per_cell_x1000"] = round(
+                    1000 * counters.get("place.solver_nodes", 0) / cells
+                )
+            row = {
+                "bench": (
+                    "xlmulti+procexec"
+                    if executor == "process"
+                    else "xlmulti"
+                ),
+                "size": XLMULTI_FUNCS * XLMULTI_CELLS,
+                "seconds": round(seconds, 6),
+                "functions": XLMULTI_FUNCS,
+                "jobs": XLMULTI_FUNCS,
+                "cpus": usable_cpus(),
+                "stages": {
+                    name[len("stage.") :]: round(sum(values), 6)
+                    for name, values in tracer.histograms.items()
+                    if name.startswith("stage.")
+                },
+                "counters": counters,
+                "gauges": dict(tracer.gauges),
+            }
+            if executor == "thread":
+                thread_seconds = seconds
+            elif thread_seconds:
+                row["exec_speedup"] = round(
+                    thread_seconds / max(seconds, 1e-9), 2
+                )
+            rows.append(row)
     return rows
 
 
@@ -389,9 +461,16 @@ def pipeline_table_rows(rows: Sequence[dict]) -> List[dict]:
         }
         for stage, seconds in row["stages"].items():
             entry[f"{stage}_ms"] = round(seconds * 1000, 3)
-        if "warm_seconds" in row:
-            entry["warm_us"] = round(row["warm_seconds"] * 1e6, 1)
-            entry["cache_speedup"] = row["cache_speedup"]
+        # Rows without a warm recompile (the xlmulti executor rows
+        # run uncached) still need the columns: format_table sizes
+        # every row by the first row's keys.
+        entry["warm_us"] = (
+            round(row["warm_seconds"] * 1e6, 1)
+            if "warm_seconds" in row
+            else ""
+        )
+        entry["cache_speedup"] = row.get("cache_speedup", "")
+        entry["exec_speedup"] = row.get("exec_speedup", "")
         entry["place_speedup"] = row.get("place_speedup", "")
         entry["select_speedup"] = row.get("select_speedup", "")
         entry["solver_nodes"] = row["counters"].get("place.solver_nodes", 0)

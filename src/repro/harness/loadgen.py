@@ -16,6 +16,11 @@ compile`` subprocess per program — what every compile cost before the
 daemon existed), and emits one row per workload in the same shape
 ``reticle bench diff`` already gates: ``seconds`` (cold wall),
 ``cache_speedup`` (cold vs warm per-request), and counters.
+
+:func:`scaling_rows` is the executor evidence: thread vs process
+daemons at 1/2/4 workers replaying all-cold workloads (distinct
+function names defeat the cache), each row carrying a gated
+``scaling_efficiency`` and — for process rows — ``speedup_vs_thread``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.ir.printer import print_func
 from repro.obs import Tracer, summarize
 from repro.obs.expo import MetricFamily, parse_prometheus
 from repro.serve.daemon import TRACE_HEADER
+from repro.utils.pool import resolve_jobs, usable_cpus
 
 #: The bench workloads the service trajectory replays: small enough to
 #: keep the bench quick, varied enough to cover DSP (tensoradd) and
@@ -212,6 +218,12 @@ def run_loadgen(
     """
     if not programs:
         raise ReticleError("loadgen needs at least one program")
+    # ``concurrency == 0`` auto-sizes (RETICLE_JOBS env, else CPU
+    # count); explicit values are clamped to the request count — more
+    # client threads than requests would only idle.
+    concurrency = resolve_jobs(
+        concurrency, items=len(programs) * repeats
+    )
     tracer = tracer if tracer is not None else Tracer()
     host, port = _url_host_port(base_url)
     jobs: List[Tuple[str, str]] = [
@@ -468,10 +480,163 @@ def service_rows(
     return rows
 
 
+#: Worker counts the executor-scaling bench sweeps.
+SCALING_WORKER_COUNTS = (1, 2, 4)
+
+
+def scaling_programs(
+    count: int, size: int = 64, tag: str = ""
+) -> List[Tuple[str, str]]:
+    """``count`` cold programs: one bench function, ``count`` names.
+
+    Renaming the function changes the canonical IR text and therefore
+    the content-addressed cache key, so every request is a genuine
+    cold compile — the scaling bench measures compile throughput, not
+    cache hit latency, without needing a way to disable the cache.
+    """
+    from repro.harness.experiments import _benchmark_funcs
+
+    base = _benchmark_funcs("tensoradd", size)["reticle"]
+    text = print_func(base)
+    head = f"def {base.name}("
+    programs: List[Tuple[str, str]] = []
+    for index in range(count):
+        name = f"{base.name}_{tag}{index}"
+        programs.append((name, text.replace(head, f"def {name}(", 1)))
+    return programs
+
+
+def scaling_rows(
+    worker_counts: Sequence[int] = SCALING_WORKER_COUNTS,
+    requests_per_worker: int = 3,
+    size: int = 64,
+) -> List[dict]:
+    """Thread-vs-process throughput scaling rows (the GIL evidence).
+
+    For each executor and worker count, boots a fresh daemon on a
+    fresh cache directory and replays ``workers * requests_per_worker``
+    *distinct* programs (every request a cold compile, see
+    :func:`scaling_programs`).  Each row records:
+
+    * ``scaling_efficiency`` — throughput at N workers over N times
+      the same executor's 1-worker throughput (1.0 = perfect linear
+      scaling; the thread executor pins near 1/N on CPU-bound
+      compiles because of the GIL) — gated by ``bench diff``;
+    * ``speedup_vs_thread`` (process rows) — process throughput over
+      thread throughput at the same worker count;
+    * ``cpus`` — the machine's usable CPU count, so a 1-CPU runner's
+      flat scaling reads as the hardware limit it is, not a bug.
+
+    Counters always carry ``service.worker_crashes`` (0 when clean) so
+    the bench-diff counter gate arms against any future crash.
+    """
+    from repro.passes import CompileCache
+    from repro.serve import CompileService, DaemonThread, ReticleDaemon
+
+    rows: List[dict] = []
+    base_rps: Dict[str, float] = {}
+    thread_rps: Dict[int, float] = {}
+    # Thread executor first so process rows can cite it.
+    for executor in ("thread", "process"):
+        for workers in worker_counts:
+            programs = scaling_programs(
+                workers * requests_per_worker,
+                size=size,
+                tag=f"{executor}{workers}w",
+            )
+            with tempfile.TemporaryDirectory() as cache_dir:
+                service = CompileService(
+                    cache=CompileCache(cache_dir=cache_dir)
+                )
+                daemon = ReticleDaemon(
+                    service=service,
+                    workers=workers,
+                    executor=executor,
+                    queue_limit=max(64, len(programs) * 2),
+                )
+                with DaemonThread(daemon) as handle:
+                    report = run_loadgen(
+                        handle.base_url,
+                        programs,
+                        concurrency=workers * 2,
+                        repeats=1,
+                        trace_prefix=f"scaling-{executor}-{workers}",
+                    )
+                    stats = service.stats()
+            if report.errors:
+                raise ReticleError(
+                    f"scaling bench ({executor}, {workers} workers) "
+                    f"had {report.errors} errors"
+                )
+            if report.warm_hits:
+                raise ReticleError(
+                    f"scaling bench ({executor}, {workers} workers) "
+                    f"saw {report.warm_hits} warm hits; programs were "
+                    "meant to be distinct cold compiles"
+                )
+            rps = report.throughput_rps
+            if workers == min(worker_counts):
+                base_rps[executor] = rps
+            if executor == "thread":
+                thread_rps[workers] = rps
+            counters = dict(stats["counters"])
+            counters.setdefault("service.worker_crashes", 0)
+            row = {
+                "bench": f"service-scaling-{executor}",
+                "size": workers,
+                "seconds": round(report.wall_seconds, 6),
+                "requests": report.requests,
+                "throughput_rps": round(rps, 2),
+                "scaling_efficiency": round(
+                    rps
+                    / max(
+                        base_rps[executor]
+                        * (workers / min(worker_counts)),
+                        1e-9,
+                    ),
+                    3,
+                ),
+                "p50_ms": round(report.latency["p50"] * 1000, 3),
+                "p95_ms": round(report.latency["p95"] * 1000, 3),
+                "cpus": usable_cpus(),
+                "counters": counters,
+                "gauges": stats["gauges"],
+            }
+            if executor == "process" and workers in thread_rps:
+                row["speedup_vs_thread"] = round(
+                    rps / max(thread_rps[workers], 1e-9), 2
+                )
+            rows.append(row)
+    return rows
+
+
+def scaling_table_rows(rows: Sequence[dict]) -> List[dict]:
+    """Flatten executor-scaling rows for ``format_table``."""
+    flat: List[dict] = []
+    for row in rows:
+        if "scaling_efficiency" not in row:
+            continue
+        flat.append(
+            {
+                "bench": row["bench"],
+                "workers": row["size"],
+                "requests": row["requests"],
+                "seconds": row["seconds"],
+                "rps": row["throughput_rps"],
+                "efficiency": row["scaling_efficiency"],
+                "vs_thread": row.get("speedup_vs_thread", "-"),
+                "cpus": row["cpus"],
+            }
+        )
+    return flat
+
+
 def service_table_rows(rows: Sequence[dict]) -> List[dict]:
     """Flatten service rows for :func:`~.experiments.format_table`."""
     flat: List[dict] = []
     for row in rows:
+        if "warm_seconds" not in row:
+            continue  # executor-scaling rows have their own table
         flat.append(
             {
                 "bench": row["bench"],
@@ -495,7 +660,11 @@ def write_bench_service(
     payload = {
         "figure": "service",
         "device": "xczu3eg",
-        "rows": list(rows) if rows is not None else service_rows(),
+        "rows": (
+            list(rows)
+            if rows is not None
+            else service_rows() + scaling_rows()
+        ),
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

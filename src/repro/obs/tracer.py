@@ -207,6 +207,28 @@ class Tracer:
         with self._lock:
             self._spans.append(record)
 
+    # -- pickling ----------------------------------------------------
+    #
+    # A tracer crosses the process boundary when a compile worker
+    # ships its telemetry back to the parent (repro.serve.procpool).
+    # The lock and the per-thread span stack are process-local and
+    # must not travel; everything else — spans, counters, gauges,
+    # reservoirs, events, epoch — is plain data.  Epochs come from
+    # CLOCK_MONOTONIC, which is system-wide on Linux, so the parent's
+    # ``merge`` rebases a worker tracer exactly as it does a thread's.
+
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
     def merge(self, other: "Tracer") -> None:
         """Fold another tracer's telemetry into this one.
 

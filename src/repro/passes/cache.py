@@ -149,6 +149,84 @@ class CachedCompile:
 #: writer mid-``pickle.dump`` is never swept out from under itself.
 STALE_TMP_SECONDS = 15 * 60
 
+
+def atomic_pickle_write(path: str, obj: object) -> bool:
+    """Atomically publish ``obj`` as a pickle at ``path``.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` stays a same-directory atomic rename, and the data
+    is fsynced before the rename so a crash can never publish a file
+    whose bytes did not reach the disk (a torn entry with a valid
+    name).  Best-effort: every failure — including a missing parent
+    directory — returns False instead of raising, and the temp file
+    never outlives the call.  Shared by the compile cache's disk tier
+    and the placement-reuse bank (:mod:`repro.place.reuse`).
+    """
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return True
+    except Exception:  # noqa: BLE001 - disk layers are best-effort
+        return False
+    finally:
+        # Gone on the success path (renamed); on *any* failure path it
+        # must be unlinked here or it leaks until a sweep.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def quarantined_pickle_read(
+    path: str, expect_type: type, tracer=NULL_TRACER
+) -> Optional[object]:
+    """Load a pickle, quarantining it on corruption.
+
+    Returns the object when it loads and is an ``expect_type``
+    instance.  A missing file is an ordinary None (lost a race with a
+    concurrent evictor — nothing to quarantine).  Corrupt bytes or a
+    wrong type rename the file to ``<path>.bad`` (counted as
+    ``cache.corrupt``) so later reads of the same path miss cheaply
+    instead of re-unpickling garbage.
+    """
+    try:
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:  # noqa: BLE001 - corrupt entry degrades to miss
+        _quarantine_path(path, tracer=tracer)
+        return None
+    if not isinstance(entry, expect_type):
+        _quarantine_path(path, tracer=tracer)
+        return None
+    return entry
+
+
+def _quarantine_path(path: str, tracer=NULL_TRACER) -> None:
+    """Move a corrupt entry aside so later reads miss cheaply.
+
+    The rename is atomic, keeps the bytes around for post-mortems,
+    and stops every subsequent read of the same path from re-opening
+    and re-unpickling the same garbage.
+    """
+    try:
+        os.replace(path, path + ".bad")
+    except OSError:
+        # Lost a race with another quarantiner/evictor, or the
+        # filesystem is read-only; either way the miss stands.
+        return
+    tracer.count("cache.corrupt")
+
 #: Hex digits of the key used as the shard subdirectory name (2 chars
 #: = 256 shards, plenty for millions of entries at sane dir sizes).
 SHARD_PREFIX_CHARS = 2
@@ -274,18 +352,8 @@ class CompileCache:
             if not os.path.exists(flat):
                 return None
             path, legacy = flat, True
-        try:
-            with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except FileNotFoundError:
-            # Evicted by a concurrent process between exists() and
-            # open(): an ordinary miss, nothing to quarantine.
-            return None
-        except Exception:  # noqa: BLE001 - corrupt entry degrades to miss
-            self._quarantine(path, tracer=tracer)
-            return None
-        if not isinstance(entry, CachedCompile):
-            self._quarantine(path, tracer=tracer)
+        entry = quarantined_pickle_read(path, CachedCompile, tracer=tracer)
+        if entry is None:
             return None
         if legacy:
             path = self._migrate(key, path, tracer=tracer)
@@ -315,21 +383,6 @@ class CompileCache:
         tracer.count("cache.migrated")
         return target
 
-    def _quarantine(self, path: str, tracer=NULL_TRACER) -> None:
-        """Move a corrupt entry aside so later gets miss cheaply.
-
-        The rename is atomic, keeps the bytes around for post-mortems,
-        and — crucially — stops every subsequent ``get`` of the same
-        key from re-opening and re-unpickling the same garbage.
-        """
-        try:
-            os.replace(path, path + ".bad")
-        except OSError:
-            # Lost a race with another quarantiner/evictor, or the
-            # filesystem is read-only; either way the miss stands.
-            return
-        tracer.count("cache.corrupt")
-
     # -- store -------------------------------------------------------
 
     def put(
@@ -353,35 +406,7 @@ class CompileCache:
         path = self._disk_path(key)
         if path is None:
             return
-        shard_dir = os.path.dirname(path)
-        try:
-            os.makedirs(shard_dir, exist_ok=True)
-        except OSError:
-            return
-        # The temp file lives in the shard directory so the final
-        # os.replace stays a same-directory atomic rename.
-        fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                handle.flush()
-                # Without the fsync, a crash after os.replace can
-                # publish a file whose *data* never reached the disk —
-                # a torn entry with a valid name, which every sharing
-                # process would then read, quarantine, and miss.
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        except Exception:  # noqa: BLE001 - disk layer is best-effort
-            pass
-        finally:
-            # The tmp file is gone on the success path (renamed); on
-            # *any* failure path — including one inside the except
-            # handler of a previous version of this code — it must be
-            # unlinked here or it leaks until a sweep.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        atomic_pickle_write(path, entry)
         self._evict_disk(tracer=tracer)
 
     # -- disk-tier maintenance --------------------------------------

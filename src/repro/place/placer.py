@@ -109,6 +109,11 @@ class Placer:
     # (repro.place.reuse).  Opt-in: it makes a placement depend on the
     # placer's history, so callers must carry it in their cache keys.
     reuse: bool = False
+    # Directory for the cross-process placement-reuse tier; the
+    # compiler wires in a subdirectory of its compile-cache dir so
+    # daemon worker processes share banks.  None keeps reuse
+    # process-local (the pre-disk behaviour).
+    reuse_dir: Optional[str] = None
 
     def _executor(self) -> Optional[ThreadPoolExecutor]:
         """The shared placement thread pool (lazily built, reused).
@@ -132,10 +137,21 @@ class Placer:
         return pool
 
     def _reuse_memo(self) -> PlacementReuse:
-        """The placement-reuse memo (lazily built, placer-lifetime)."""
+        """The placement-reuse memo (lazily built, placer-lifetime).
+
+        Bank files are scoped by target and device name so compilers
+        for different targets sharing one ``reuse_dir`` never replay
+        each other's coordinates.
+        """
         memo = self.__dict__.get("_reuse_bank")
         if memo is None:
-            memo = self.__dict__.setdefault("_reuse_bank", PlacementReuse())
+            memo = self.__dict__.setdefault(
+                "_reuse_bank",
+                PlacementReuse(
+                    disk_dir=self.reuse_dir,
+                    scope=f"{self.target.name}:{self.device.name}",
+                ),
+            )
         return memo
 
     def _items(self, func: AsmFunc) -> Tuple[List[PlacementItem], List[AsmInstr]]:
@@ -500,7 +516,7 @@ class Placer:
             assert clusters is not None
             reuse_clusters = [c for c in clusters if c.x_vars or c.y_vars]
             outcome = self._reuse_memo().match(
-                func.name, reuse_clusters, self.device, fixed
+                func.name, reuse_clusters, self.device, fixed, tracer=tracer
             )
             tracer.count("cache.place_hits", outcome.hits)
             tracer.gauge("place.reuse_pct", round(outcome.reuse_pct, 1))

@@ -19,16 +19,32 @@ instance), keyed by function name, guarded by a lock for
 sensitivity* — the second compile of an edited function depends on the
 first — so it is an explicit opt-in (``--place-reuse``) and part of
 the compile-cache key.
+
+With a ``disk_dir`` (the compiler wires in its compile-cache
+directory), banks also persist across processes: each function's bank
+is one pickle named by a digest of ``(scope, func_name)`` where
+``scope`` is the target/device pair, written through the same
+fsync+rename atomic publish and corrupt-entry quarantine machinery as
+the compile cache (:mod:`repro.passes.cache`).  A daemon worker
+process — or a fresh CLI run — that re-places an edited function its
+sibling placed earlier loads the bank from disk (counted as
+``cache.place_disk_hits``) instead of starting cold.  Every replayed
+position is still re-validated against device bounds and occupancy,
+so a stale or foreign bank degrades to a solver miss, never to an
+invalid placement.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import NULL_TRACER
+from repro.passes.cache import atomic_pickle_write, quarantined_pickle_read
 from repro.place.device import Device
 from repro.place.solver import FixedBase, PlacementItem, _Occupancy
 
@@ -89,11 +105,49 @@ class ReuseOutcome:
 
 
 class PlacementReuse:
-    """Thread-safe per-function memo of cluster placements."""
+    """Thread-safe per-function memo of cluster placements.
 
-    def __init__(self) -> None:
+    ``disk_dir`` adds a cross-process tier: each function's bank is
+    one atomically-written pickle under it, loaded on an in-memory
+    miss (``cache.place_disk_hits``) and written through on every
+    store.  ``scope`` namespaces the bank files by target/device so
+    compilers sharing one cache directory across targets never replay
+    each other's coordinates.
+    """
+
+    def __init__(
+        self, disk_dir: Optional[str] = None, scope: str = ""
+    ) -> None:
         self._lock = threading.Lock()
         self._funcs: Dict[str, Dict[str, List[_Stored]]] = {}
+        self.disk_dir = disk_dir
+        self.scope = scope
+
+    def _bank_path(self, func_name: str) -> Optional[str]:
+        if self.disk_dir is None:
+            return None
+        digest = hashlib.blake2b(
+            f"{self.scope}\n{func_name}".encode(), digest_size=16
+        ).hexdigest()
+        return os.path.join(self.disk_dir, f"{digest}.pkl")
+
+    def _load_disk(
+        self, func_name: str, tracer=NULL_TRACER
+    ) -> Optional[Dict[str, List[_Stored]]]:
+        """Pull a function's bank from the disk tier, if it has one.
+
+        A corrupt bank file is quarantined to ``*.bad`` (one-time
+        cost), and a structurally foreign pickle is simply ignored —
+        position validity is enforced downstream by :meth:`_validate`.
+        """
+        path = self._bank_path(func_name)
+        if path is None:
+            return None
+        bank = quarantined_pickle_read(path, dict, tracer=tracer)
+        if bank is None:
+            return None
+        tracer.count("cache.place_disk_hits")
+        return bank
 
     def match(
         self,
@@ -101,6 +155,7 @@ class PlacementReuse:
         clusters: Sequence,
         device: Device,
         fixed: Optional[FixedBase] = None,
+        tracer=NULL_TRACER,
     ) -> ReuseOutcome:
         """Replay stored positions for shape-matching clusters.
 
@@ -110,7 +165,15 @@ class PlacementReuse:
         miss, never to an invalid placement.
         """
         with self._lock:
-            stored = self._funcs.get(func_name, {})
+            stored = self._funcs.get(func_name)
+        if stored is None:
+            stored = self._load_disk(func_name, tracer=tracer) or {}
+            if stored:
+                with self._lock:
+                    # First-writer-wins keeps concurrent loaders from
+                    # clobbering a store that landed in between.
+                    stored = self._funcs.setdefault(func_name, stored)
+        with self._lock:
             bank: Dict[str, Deque[_Stored]] = {
                 sig: deque(entries) for sig, entries in stored.items()
             }
@@ -144,10 +207,16 @@ class PlacementReuse:
         cluster, candidate: _Stored, device: Device, occupancy: _Occupancy
     ) -> Optional[List[Tuple[PlacementItem, Tuple[int, int]]]]:
         items = sorted(cluster.items, key=lambda item: item.key)
-        if len(candidate) != len(items):
+        try:
+            pairs = [(int(col), int(row)) for col, row in candidate]
+        except (TypeError, ValueError):
+            # A structurally foreign disk bank (hand-edited, ancient
+            # format) degrades to a solver miss, never a crash.
+            return None
+        if len(pairs) != len(items):
             return None
         placed: List[Tuple[PlacementItem, Tuple[int, int]]] = []
-        for item, (col, row) in zip(items, candidate):
+        for item, (col, row) in zip(items, pairs):
             if not 0 <= col < device.num_columns:
                 return None
             column = device.column(col)
@@ -167,7 +236,12 @@ class PlacementReuse:
         positions: Dict[int, Tuple[int, int]],
     ) -> None:
         """Record the final positions of every cluster, replacing the
-        function's previous entry wholesale (no stale accretion)."""
+        function's previous entry wholesale (no stale accretion).
+
+        With a disk tier configured, the fresh bank is also published
+        there (atomic write-through), so sibling processes — daemon
+        workers, later CLI runs — see it on their next miss.
+        """
         bank: Dict[str, List[_Stored]] = {}
         for cluster in sorted(
             clusters, key=lambda c: min(i.key for i in c.items)
@@ -177,3 +251,6 @@ class PlacementReuse:
             bank.setdefault(cluster_signature(cluster), []).append(entry)
         with self._lock:
             self._funcs[func_name] = bank
+        path = self._bank_path(func_name)
+        if path is not None:
+            atomic_pickle_write(path, bank)

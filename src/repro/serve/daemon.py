@@ -41,11 +41,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReticleError
-from repro.obs import TraceContext, new_trace_id, valid_trace_id
+from repro.obs import TraceContext, Tracer, new_trace_id, valid_trace_id
 from repro.serve.service import (
     CompileRequest,
+    CompileResponse,
     CompileService,
 )
+from repro.utils.pool import resolve_executor
 
 #: Request/response header carrying the request's trace identity.
 TRACE_HEADER = "X-Reticle-Trace-Id"
@@ -101,6 +103,8 @@ class ReticleDaemon:
         unix_path: Optional[str] = None,
         workers: int = 4,
         queue_limit: int = 64,
+        executor: str = "thread",
+        max_tasks_per_worker: int = 0,
     ) -> None:
         if workers < 1:
             raise ReticleError("serve needs at least one worker")
@@ -112,9 +116,25 @@ class ReticleDaemon:
         self.unix_path = unix_path
         self.workers = workers
         self.queue_limit = queue_limit
+        self.executor = resolve_executor(executor)
+        # The thread pool stays under both executors: with
+        # ``--executor process`` it only bridges the event loop to the
+        # blocking pipe round-trip, the CPU work happens in the worker
+        # processes of the ProcessCompilePool.
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="reticle-compile"
         )
+        self._procpool = None
+        if self.executor == "process":
+            from repro.serve.procpool import ProcessCompilePool
+
+            self._procpool = ProcessCompilePool(
+                workers=workers,
+                warm=(("request", "ultrascale", ()),),
+                cache_dir=self.service.cache.cache_dir,
+                tracer=self.service.tracer,
+                max_tasks_per_worker=max_tasks_per_worker,
+            )
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -274,6 +294,8 @@ class ReticleDaemon:
                 queue_wait_s=time.perf_counter() - admitted_at,
             )
             try:
+                if self._procpool is not None:
+                    return self._compile_via_pool(request, ctx)
                 return self.service.compile_request(request, ctx=ctx)
             finally:
                 self._release(1)
@@ -294,21 +316,82 @@ class ReticleDaemon:
             "trace_id": trace.trace_id,
         }, trace.trace_id
 
+    def _compile_via_pool(
+        self, request: CompileRequest, ctx: TraceContext
+    ) -> CompileResponse:
+        """One request through the process executor.
+
+        The compile half runs in a worker process; the worker's wire
+        result carries the response plus its private tracer, which the
+        parent-side :meth:`CompileService.finish_request` merges so
+        the request is accounted exactly as under the thread executor.
+        A worker that crashes twice on the task (retried once by the
+        pool) becomes a typed error *response* — the daemon answers,
+        it does not die.
+        """
+        from repro.serve.procpool import RequestTask
+
+        start = time.perf_counter()
+        try:
+            wire = self._procpool.submit(
+                RequestTask(
+                    program=request.program,
+                    target=request.target,
+                    options=request.options,
+                    cache_dir=self.service.cache.cache_dir,
+                    trace_id=ctx.trace_id,
+                    queue_wait_s=ctx.queue_wait_s,
+                )
+            ).result()
+            response, tracer = wire.payload, wire.tracer
+        except ReticleError as error:  # worker crashed, retry exhausted
+            tracer = Tracer(trace_id=ctx.trace_id)
+            response = CompileResponse(
+                ok=False, error=str(error), trace_id=ctx.trace_id
+            )
+        # Parent-observed latency: includes the pipe round-trip, so
+        # service.latency_s reflects what the client actually waited.
+        latency = time.perf_counter() - start
+        return self.service.finish_request(
+            request, response, ctx, tracer, latency
+        )
+
     def _healthz(self) -> Dict[str, object]:
-        return {
+        payload = {
             "status": "ok",
             "inflight": self.inflight,
             "queue_limit": self.queue_limit,
             "workers": self.workers,
+            "executor": self.executor,
         }
+        if self._procpool is not None:
+            payload["busy_workers"] = self._procpool.busy_workers
+            payload["worker_crashes"] = self._procpool.crashes
+        return payload
 
     def _daemon_gauges(self) -> Dict[str, float]:
         """Transport-level gauges joined into the /metrics exposition."""
-        return {
+        gauges = {
             "service_queue_depth": float(self.inflight),
             "service_queue_limit": float(self.queue_limit),
             "service_workers": float(self.workers),
         }
+        if self._procpool is not None:
+            gauges.update(self._procpool.saturation_gauges())
+        else:
+            # The thread executor reports the same saturation family:
+            # busy == inflight clamped to the pool, crashes impossible.
+            gauges.update(
+                {
+                    "service_busy_workers": float(
+                        min(self.inflight, self.workers)
+                    ),
+                    "service_inflight": float(self.inflight),
+                    "service_worker_crashes": 0.0,
+                    "service_worker_recycled": 0.0,
+                }
+            )
+        return gauges
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -436,6 +519,11 @@ class ReticleDaemon:
                     *self._connections, return_exceptions=True
                 )
             self._pool.shutdown(wait=True)
+            if self._procpool is not None:
+                # Graceful drain: every admitted task has finished by
+                # now (the thread pool drained), so the workers exit
+                # cleanly instead of being killed mid-compile.
+                self._procpool.shutdown(wait=True)
 
     @property
     def address(self) -> str:
@@ -548,6 +636,8 @@ def serve_main(args) -> int:
         unix_path=args.unix,
         workers=args.workers,
         queue_limit=args.queue_limit,
+        executor=getattr(args, "executor", "thread"),
+        max_tasks_per_worker=getattr(args, "max_tasks_per_worker", 0),
     )
 
     async def main() -> None:

@@ -1,0 +1,588 @@
+"""A persistent multiprocess compile executor: break the GIL.
+
+Every other parallel surface in the repo rides a
+``ThreadPoolExecutor``; Python compiles are CPU-bound, so those
+threads serialize on the GIL and daemon throughput stops scaling past
+roughly one worker of useful CPU.  :class:`ProcessCompilePool` is the
+process-based tier behind ``--executor process``: a fixed set of
+worker *processes* that boot once (spawn start method, pre-importing
+the compiler), pre-warm per-``(target, options)`` compilers, and keep
+a per-worker in-memory compile cache on top of the existing
+cross-process shared disk tier.
+
+Wire format: tasks ship as compact canonical-IR text plus an options
+key, digest-first — each worker keeps a digest-addressed memo of
+parsed functions, so a worker that already holds the digest warm
+skips deserialization entirely (counter ``service.ir_memo_hits``).
+Results come back as pickled artifacts with the worker's private
+:class:`~repro.obs.Tracer`; the parent merges it canonically, so
+spans, counters, and trace IDs survive the process boundary exactly
+as ``Tracer.merge`` does for threads.
+
+Service-grade edges, all pinned by tests:
+
+* worker crash — the task is retried once on another worker, then
+  fails typed (:class:`~repro.errors.WorkerCrashError`, counter
+  ``service.worker_crashes``); the pool survives, the crashed worker
+  is respawned;
+* graceful drain — :meth:`shutdown` finishes queued work, then asks
+  every worker to exit cleanly (the daemon calls it on ``/shutdown``);
+* recycling — after ``max_tasks_per_worker`` tasks a worker is
+  retired and a fresh one spawned (counter ``service.worker_recycled``),
+  bounding any slow per-process state growth;
+* saturation — ``service_busy_workers``/``service_inflight`` gauges
+  for ``/metrics`` and ``reticle top``.
+
+Threads still win for tiny programs and warm-cache hits: a process
+task pays pickling plus a pipe round-trip (~1 ms), which dwarfs a
+50 µs cache hit.  The default everywhere therefore stays ``thread``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReticleError, WorkerCrashError
+from repro.obs import Tracer
+
+#: Environment override for the multiprocessing start method.  The
+#: default is ``spawn``: fork is unsafe under the daemon's asyncio
+#: loop and worker threads, and spawn gives every worker a pristine
+#: interpreter whose import cost is paid once per pool, not per task.
+START_METHOD_ENV = "RETICLE_MP_START"
+
+#: Parsed functions memoized per worker, keyed by IR digest.
+IR_MEMO_LIMIT = 1024
+
+
+# -- wire format -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuncTask:
+    """One function compile shipped to a worker (``compile_prog``).
+
+    ``digest`` addresses the worker's parsed-function memo; ``ir`` is
+    the canonical printing of the function (explicit result types),
+    which round-trips through the parser byte-identically.  The
+    remaining fields reconstruct the parent's compiler configuration:
+    ``target`` a registered target name, ``pipeline`` the pass names,
+    ``options`` the compiler's cache-key options (sorted items, lists
+    canonicalized to tuples), ``cache_dir`` the shared disk tier.
+    """
+
+    digest: str
+    ir: str
+    target: str
+    pipeline: Tuple[str, ...]
+    options: Tuple[Tuple[str, object], ...]
+    cache_dir: Optional[str] = None
+    use_cache: bool = False
+    trace_id: Optional[str] = None
+    #: Test hook: the worker exits hard before compiling, simulating
+    #: a crash (OOM kill, segfaulting native code).  Unreachable from
+    #: any public API — only crash-injection tests construct it.
+    poison: bool = False
+
+
+@dataclass(frozen=True)
+class RequestTask:
+    """One service request shipped to a worker (the daemon path)."""
+
+    program: str
+    target: str
+    options: Tuple[Tuple[str, object], ...]
+    cache_dir: Optional[str] = None
+    trace_id: Optional[str] = None
+    queue_wait_s: float = 0.0
+    poison: bool = False
+
+
+@dataclass
+class FuncArtifacts:
+    """A compiled function's artifacts, as pickled back by a worker."""
+
+    selected: object
+    cascaded: object
+    placed: object
+    netlist: object
+    stages: Dict[str, float]
+    cached: bool
+    lineage: object = None
+
+
+@dataclass
+class WireResult:
+    """One task's outcome crossing back over the pipe."""
+
+    ok: bool
+    payload: object = None  # FuncArtifacts | CompileResponse
+    tracer: Optional[Tracer] = None
+    latency: float = 0.0
+    error_type: str = ""
+    error: str = ""
+
+
+def rebuild_error(error_type: str, message: str) -> ReticleError:
+    """The parent-side exception for a worker-reported failure.
+
+    Worker exceptions cross the pipe as ``(type name, message)``; the
+    parent re-raises the same typed error when the name resolves to a
+    :class:`ReticleError` subclass, so ``except SelectionError:``
+    works identically under both executors.
+    """
+    import repro.errors as errors_module
+
+    cls = getattr(errors_module, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReticleError):
+        try:
+            return cls(message)
+        except TypeError:  # exotic constructor signature
+            pass
+    return ReticleError(f"{error_type}: {message}")
+
+
+# -- worker side -----------------------------------------------------
+
+
+class _WorkerState:
+    """Everything a worker keeps warm across tasks."""
+
+    def __init__(self) -> None:
+        self.ir_memo: "OrderedDict[str, object]" = OrderedDict()
+        self.compilers: Dict[Tuple, object] = {}
+        self.caches: Dict[Tuple, object] = {}
+        self.services: Dict[Optional[str], object] = {}
+
+    def cache_for(self, cache_dir: Optional[str], use_cache: bool):
+        """The worker-local compile cache over the shared disk tier."""
+        if not use_cache:
+            return None
+        from repro.passes import CompileCache
+
+        key = (cache_dir,)
+        cache = self.caches.get(key)
+        if cache is None:
+            cache = self.caches[key] = CompileCache(cache_dir=cache_dir)
+        return cache
+
+    def service_for(self, cache_dir: Optional[str]):
+        """The worker-local compile service (daemon request path)."""
+        service = self.services.get(cache_dir)
+        if service is None:
+            from repro.passes import CompileCache
+            from repro.serve.service import CompileService
+
+            service = CompileService(
+                cache=CompileCache(cache_dir=cache_dir)
+            )
+            self.services[cache_dir] = service
+        return service
+
+    def parse_ir(self, task: FuncTask, tracer: Tracer):
+        """The task's function, from the memo or a fresh parse."""
+        func = self.ir_memo.get(task.digest)
+        if func is not None:
+            self.ir_memo.move_to_end(task.digest)
+            tracer.count("service.ir_memo_hits")
+            return func
+        from repro.ir.parser import parse_func
+
+        func = parse_func(task.ir)
+        self.ir_memo[task.digest] = func
+        while len(self.ir_memo) > IR_MEMO_LIMIT:
+            self.ir_memo.popitem(last=False)
+        return func
+
+    def compiler_for(self, task: FuncTask):
+        """The pooled compiler matching the parent's configuration."""
+        key = (task.target, task.pipeline, task.options, task.cache_dir)
+        compiler = self.compilers.get(key)
+        if compiler is not None:
+            return compiler
+        from repro.compiler import ReticleCompiler, resolve_target
+
+        target, device = resolve_target(task.target)
+        options = {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in task.options
+        }
+        compiler = ReticleCompiler(
+            target=target,
+            device=device,
+            passes=list(task.pipeline),
+            cache=self.cache_for(task.cache_dir, task.use_cache),
+            **options,
+        )
+        self.compilers[key] = compiler
+        return compiler
+
+
+def _execute_func(state: _WorkerState, task: FuncTask) -> WireResult:
+    tracer = Tracer(trace_id=task.trace_id)
+    try:
+        func = state.parse_ir(task, tracer)
+        compiler = state.compiler_for(task)
+        result = compiler.compile(func, tracer=tracer)
+        payload = FuncArtifacts(
+            selected=result.selected,
+            cascaded=result.cascaded,
+            placed=result.placed,
+            netlist=result.netlist,
+            stages=dict(result.metrics.stages),
+            cached=result.cached,
+            lineage=result.lineage,
+        )
+        return WireResult(ok=True, payload=payload, tracer=tracer)
+    except Exception as error:  # noqa: BLE001 - crossed back typed
+        return WireResult(
+            ok=False,
+            tracer=tracer,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
+
+
+def _execute_request(state: _WorkerState, task: RequestTask) -> WireResult:
+    from repro.obs import TraceContext
+    from repro.serve.service import CompileRequest
+
+    service = state.service_for(task.cache_dir)
+    request = CompileRequest(
+        program=task.program, target=task.target, options=task.options
+    )
+    ctx = TraceContext(
+        trace_id=task.trace_id, queue_wait_s=task.queue_wait_s
+    )
+    # execute_request never raises: compile errors are responses.
+    response, tracer, latency = service.execute_request(request, ctx=ctx)
+    return WireResult(
+        ok=True, payload=response, tracer=tracer, latency=latency
+    )
+
+
+def _worker_main(conn, boot: Dict[str, object]) -> None:
+    """A worker process's life: boot, prewarm, serve tasks, exit.
+
+    Lives at module level so the spawn start method can re-import it;
+    runs until an ``exit`` message or EOF (parent died).
+    """
+    import signal
+
+    # The parent handles interrupts and drains us explicitly; a ^C
+    # broadcast to the process group must not kill workers mid-task.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    state = _WorkerState()
+    for spec in boot.get("warm", ()):
+        try:
+            if spec[0] == "request":
+                _, target, options = spec
+                from repro.serve.service import CompileRequest
+
+                state.service_for(boot.get("cache_dir")).compiler_for(
+                    CompileRequest(
+                        program="-", target=target, options=tuple(options)
+                    )
+                )
+            elif spec[0] == "func":
+                _, target, pipeline, options, cache_dir, use_cache = spec
+                state.compiler_for(
+                    FuncTask(
+                        digest="",
+                        ir="",
+                        target=target,
+                        pipeline=tuple(pipeline),
+                        options=tuple(options),
+                        cache_dir=cache_dir,
+                        use_cache=use_cache,
+                    )
+                )
+        except Exception:  # noqa: BLE001 - prewarm is best-effort
+            pass
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind, payload = message
+        if kind == "exit":
+            break
+        task = payload
+        if getattr(task, "poison", False):
+            os._exit(23)
+        if isinstance(task, FuncTask):
+            result = _execute_func(state, task)
+        else:
+            result = _execute_request(state, task)
+        try:
+            conn.send(("result", result))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# -- parent side -----------------------------------------------------
+
+
+@dataclass
+class _Job:
+    task: object
+    future: Future
+    attempts: int = 0
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.tasks_done = 0
+        self.ready = False
+
+
+class ProcessCompilePool:
+    """A fixed pool of persistent compile worker processes.
+
+    ``submit`` returns a :class:`concurrent.futures.Future`; the pool
+    owns one dispatcher thread per worker, so a crashed worker stalls
+    only its own lane while the others keep draining the shared queue.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        warm: Sequence[Tuple] = (),
+        cache_dir: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        max_tasks_per_worker: int = 0,
+        start_method: Optional[str] = None,
+        boot_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ReticleError("process pool needs at least one worker")
+        method = (
+            start_method
+            or os.environ.get(START_METHOD_ENV, "").strip()
+            or "spawn"
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self._boot = {"warm": tuple(warm), "cache_dir": cache_dir}
+        self._boot_timeout = boot_timeout
+        self.workers = workers
+        self.max_tasks_per_worker = max_tasks_per_worker
+        self.tracer = tracer
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._inflight = 0
+        self._crashes = 0
+        self._recycled = 0
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"reticle-procpool-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    # -- bookkeeping -------------------------------------------------
+
+    @property
+    def busy_workers(self) -> int:
+        with self._lock:
+            return self._busy
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def crashes(self) -> int:
+        with self._lock:
+            return self._crashes
+
+    @property
+    def recycled(self) -> int:
+        with self._lock:
+            return self._recycled
+
+    def saturation_gauges(self) -> Dict[str, float]:
+        """Executor saturation for ``/metrics`` and ``reticle top``."""
+        with self._lock:
+            return {
+                "service_busy_workers": float(self._busy),
+                "service_inflight": float(self._inflight),
+                "service_worker_crashes": float(self._crashes),
+                "service_worker_recycled": float(self._recycled),
+            }
+
+    def _count(self, name: str) -> None:
+        if self.tracer is not None:
+            self.tracer.count(name)
+
+    # -- submission --------------------------------------------------
+
+    def submit(self, task) -> Future:
+        """Enqueue one task; the future resolves to its WireResult."""
+        with self._lock:
+            if self._closed:
+                raise ReticleError("process pool is shut down")
+            self._inflight += 1
+        future: Future = Future()
+        self._queue.put(_Job(task=task, future=future))
+        return future
+
+    def run(self, task) -> WireResult:
+        """Submit and wait (convenience for serial callers)."""
+        return self.submit(task).result()
+
+    # -- worker lifecycle --------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._boot),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _await_ready(self, worker: _Worker) -> None:
+        if worker.ready:
+            return
+        if not worker.conn.poll(self._boot_timeout):
+            raise ReticleError(
+                f"compile worker pid={worker.process.pid} did not boot "
+                f"within {self._boot_timeout}s"
+            )
+        kind, _ = worker.conn.recv()
+        if kind != "ready":
+            raise ReticleError(f"unexpected worker boot message: {kind}")
+        worker.ready = True
+
+    def _retire_worker(self, worker: _Worker, graceful: bool) -> None:
+        try:
+            if graceful and worker.process.is_alive():
+                worker.conn.send(("exit", None))
+        except (BrokenPipeError, OSError):
+            pass
+        worker.process.join(timeout=10)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(timeout=10)
+        worker.conn.close()
+
+    # -- dispatch ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        worker = self._spawn_worker()
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    break
+                # _run_job hands back the lane's worker — a fresh one
+                # after a crash or a recycle, the same one otherwise.
+                worker = self._run_job(worker, job)
+        finally:
+            self._retire_worker(worker, graceful=True)
+
+    def _run_job(self, worker: _Worker, job: _Job) -> _Worker:
+        with self._lock:
+            self._busy += 1
+        try:
+            self._await_ready(worker)
+            worker.conn.send(("task", job.task))
+            kind, result = worker.conn.recv()
+        except (EOFError, BrokenPipeError, OSError, ReticleError) as error:
+            return self._handle_crash(worker, job, error)
+        finally:
+            with self._lock:
+                self._busy -= 1
+        worker.tasks_done += 1
+        with self._lock:
+            self._inflight -= 1
+        if result.ok:
+            job.future.set_result(result)
+        else:
+            job.future.set_exception(
+                rebuild_error(result.error_type, result.error)
+            )
+        if (
+            self.max_tasks_per_worker
+            and worker.tasks_done >= self.max_tasks_per_worker
+        ):
+            self._retire_worker(worker, graceful=True)
+            with self._lock:
+                self._recycled += 1
+            self._count("service.worker_recycled")
+            worker = self._spawn_worker()
+        return worker
+
+    def _handle_crash(self, worker: _Worker, job: _Job, error) -> _Worker:
+        """A worker died mid-task: respawn, retry once, then fail typed."""
+        self._retire_worker(worker, graceful=False)
+        exitcode = worker.process.exitcode
+        with self._lock:
+            self._crashes += 1
+        self._count("service.worker_crashes")
+        if job.attempts < 1:
+            job.attempts += 1
+            # Back on the shared queue: whichever dispatcher lane is
+            # free next (usually another worker) picks the retry up.
+            self._queue.put(job)
+        else:
+            with self._lock:
+                self._inflight -= 1
+            job.future.set_exception(
+                WorkerCrashError(
+                    "compile worker crashed twice running one task "
+                    f"(last pid={worker.process.pid}, exit={exitcode}): "
+                    f"{error}"
+                )
+            )
+        return self._spawn_worker()
+
+    # -- shutdown ----------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Graceful drain: finish queued work, retire every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "ProcessCompilePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+
+def ir_digest(ir: str) -> str:
+    """The digest addressing a worker's parsed-function memo."""
+    import hashlib
+
+    return hashlib.blake2b(ir.encode("utf-8"), digest_size=16).hexdigest()

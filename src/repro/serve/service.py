@@ -235,6 +235,28 @@ class CompileService:
         into the service tracer and out the Chrome export), its full
         telemetry is offered to the flight recorder, and one JSON log
         line is emitted when request logging is on.
+
+        This is :meth:`execute_request` (the pure compile) followed by
+        :meth:`finish_request` (the service accounting) — the process
+        executor runs the two halves in different processes.
+        """
+        ctx = ctx if ctx is not None else TraceContext.new()
+        response, tracer, latency = self.execute_request(request, ctx=ctx)
+        return self.finish_request(request, response, ctx, tracer, latency)
+
+    def execute_request(
+        self,
+        request: CompileRequest,
+        ctx: Optional[TraceContext] = None,
+    ) -> Tuple[CompileResponse, Tracer, float]:
+        """The compile half of one request: parse, compile, Verilog.
+
+        Touches no service-lifetime state except the compiler/cache
+        pools, so a worker *process* can run it and ship the response
+        plus the request's private tracer back over a pipe; the parent
+        then accounts for the request with :meth:`finish_request`.
+        Never raises — compile errors become error responses.  Returns
+        ``(response, request tracer, latency seconds)``.
         """
         ctx = ctx if ctx is not None else TraceContext.new()
         start = time.perf_counter()
@@ -256,21 +278,40 @@ class CompileService:
                 trace_id=ctx.trace_id,
             )
         except ReticleError as error:
-            self.tracer.count("service.errors")
             response = CompileResponse(
                 ok=False, error=str(error), trace_id=ctx.trace_id
             )
         except Exception as error:  # noqa: BLE001 - daemon must not die
-            self.tracer.count("service.errors")
             response = CompileResponse(
                 ok=False,
                 error=f"internal error: {type(error).__name__}: {error}",
                 trace_id=ctx.trace_id,
             )
-        latency = time.perf_counter() - start
+        return response, tracer, time.perf_counter() - start
+
+    def finish_request(
+        self,
+        request: CompileRequest,
+        response: CompileResponse,
+        ctx: TraceContext,
+        tracer: Tracer,
+        latency: float,
+    ) -> CompileResponse:
+        """The accounting half: merge telemetry, SLO window, flight, log.
+
+        ``tracer`` is the request's private tracer — recorded in this
+        process (thread executor) or unpickled off a worker's wire
+        result (process executor); either way its spans, counters,
+        and trace ID merge into the service tracer identically.
+        ``latency`` is the request's wall time as observed by the
+        caller, so under the process executor it includes the IPC
+        round-trip, not just the worker-side compile.
+        """
         stages = tracer.stage_seconds()
         self.tracer.merge(tracer)
         self.tracer.count("service.requests")
+        if not response.ok:
+            self.tracer.count("service.errors")
         if response.ok and response.cached:
             self.tracer.count("service.warm_requests")
         self.tracer.observe("service.latency_s", latency)

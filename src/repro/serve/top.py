@@ -2,7 +2,8 @@
 
 ``reticle top <addr>`` polls a daemon's ``GET /metrics`` exposition
 and renders a live terminal summary — throughput, rolling p50/p95,
-error rate, cache hit ratio, queue depth, and a per-stage time
+error rate, cache hit ratio, queue depth, executor saturation
+(busy/total workers, inflight, crash count), and a per-stage time
 breakdown — using the same :func:`~repro.obs.expo.parse_prometheus`
 parser the tests pin, so the view can never drift from what the
 endpoint actually serves.  Rates are computed client-side from the
@@ -114,6 +115,11 @@ class TopView:
     queue_depth: float = 0.0
     queue_limit: float = 0.0
     rss_mb: float = 0.0
+    #: executor saturation (zeros when the daemon predates the gauges)
+    workers: float = 0.0
+    busy_workers: float = 0.0
+    inflight: float = 0.0
+    worker_crashes: float = 0.0
     #: stage name -> (share of stage time, avg ms, runs) over the delta
     stages: Dict[str, "tuple[float, float, float]"] = field(
         default_factory=dict
@@ -134,6 +140,10 @@ def derive_view(
         queue_depth=current.value("service_queue_depth"),
         queue_limit=current.value("service_queue_limit"),
         rss_mb=current.value("process_max_rss_bytes") / (1024 * 1024),
+        workers=current.value("service_workers"),
+        busy_workers=current.value("service_busy_workers"),
+        inflight=current.value("service_inflight"),
+        worker_crashes=current.value("service_worker_crashes"),
     )
     hits = current.value("cache_hits")
     misses = current.value("cache_misses")
@@ -197,6 +207,17 @@ def render_top(
         f"  queue      {view.queue_depth:>10.0f} deep    "
         f"limit {view.queue_limit:.0f}",
     ]
+    if view.workers > 0:
+        # Executor saturation: busy/total workers as a bar, plus the
+        # inflight and crash counts (crashes only ever nonzero on the
+        # process executor).  Daemons predating these gauges simply
+        # skip the line.
+        share = min(1.0, view.busy_workers / view.workers)
+        lines.append(
+            f"  workers    {view.busy_workers:>6.0f}/{view.workers:<3.0f} "
+            f"busy  {_bar(share)}  inflight {view.inflight:.0f}  "
+            f"crashes {view.worker_crashes:.0f}"
+        )
     if view.stages:
         lines.append("")
         lines.append(

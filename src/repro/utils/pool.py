@@ -1,0 +1,82 @@
+"""One authority for sizing worker pools.
+
+Every parallel surface in the repo — ``compile_prog --jobs``, the
+conformance matrix, the loadgen, the daemon's executor — needs the
+same decision: how many workers should ``jobs`` really mean?  Before
+this module each call site clamped and defaulted on its own; now the
+policy lives in one place so the ``--executor`` flag has a single
+plumbing point.
+
+Resolution order for :func:`resolve_jobs`:
+
+1. an explicit positive ``jobs`` wins verbatim;
+2. ``jobs`` of ``0``/``None`` means *auto*: the ``RETICLE_JOBS``
+   environment override if set, else the usable CPU count;
+3. the result is clamped to ``items`` when the caller knows how much
+   independent work exists (a 2-function program never needs 8
+   workers).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ReticleError
+
+# Environment override for auto-sized pools.  Operators use this to
+# pin daemon and batch parallelism fleet-wide without touching every
+# invocation.
+JOBS_ENV = "RETICLE_JOBS"
+
+# The two execution tiers compile fan-out can run on.  ``thread`` is
+# the default everywhere and preserves historical behavior
+# byte-for-byte; ``process`` ships work to the persistent worker
+# processes in :mod:`repro.serve.procpool`.
+EXECUTOR_CHOICES = ("thread", "process")
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(
+    jobs: Optional[int] = None,
+    items: Optional[int] = None,
+    env: Optional[str] = JOBS_ENV,
+) -> int:
+    """Turn a ``--jobs`` value into a concrete worker count (>= 1)."""
+    count: Optional[int] = jobs
+    if count is None or count == 0:
+        raw = os.environ.get(env, "") if env else ""
+        if raw.strip():
+            try:
+                count = int(raw)
+            except ValueError:
+                raise ReticleError(
+                    f"{env} must be an integer, got {raw!r}"
+                ) from None
+            if count < 1:
+                raise ReticleError(f"{env} must be >= 1, got {count}")
+        else:
+            count = usable_cpus()
+    if count < 1:
+        raise ReticleError(f"jobs must be >= 1, got {count}")
+    if items is not None:
+        count = min(count, max(1, items))
+    return count
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Validate an ``--executor`` choice, defaulting to ``thread``."""
+    name = (executor or "thread").strip().lower()
+    if name not in EXECUTOR_CHOICES:
+        choices = ", ".join(EXECUTOR_CHOICES)
+        raise ReticleError(
+            f"unknown executor {executor!r} (choose from: {choices})"
+        )
+    return name

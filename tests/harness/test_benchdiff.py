@@ -186,3 +186,62 @@ class TestDiffFiles:
         diff = diff_files(str(old), str(new))
         assert not diff.ok
         assert diff_files(str(old), str(old)).ok
+
+
+SCALING_BASE = {
+    "figure": "service",
+    "rows": [
+        {
+            "bench": "service-scaling-process",
+            "size": 4,
+            "seconds": 1.0,
+            "throughput_rps": 40.0,
+            "scaling_efficiency": 0.9,
+            "speedup_vs_thread": 2.5,
+            "counters": {"service.worker_crashes": 0},
+        }
+    ],
+}
+
+
+def scaling_variant(**mutate):
+    payload = copy.deepcopy(SCALING_BASE)
+    payload["rows"][0].update(mutate)
+    return payload
+
+
+class TestScalingGates:
+    """The executor-scaling rows are gated like cache_speedup."""
+
+    def test_identical_scaling_rows_pass(self):
+        assert diff_payloads(SCALING_BASE, copy.deepcopy(SCALING_BASE)).ok
+
+    def test_scaling_efficiency_drop_fails(self):
+        diff = diff_payloads(
+            SCALING_BASE, scaling_variant(scaling_efficiency=0.4)
+        )
+        assert not diff.ok
+        assert "scaling_efficiency" in [d.metric for d in diff.regressions]
+        # Scaling better than the baseline is never a regression.
+        assert diff_payloads(
+            SCALING_BASE, scaling_variant(scaling_efficiency=1.0)
+        ).ok
+
+    def test_speedup_vs_thread_drop_fails(self):
+        diff = diff_payloads(
+            SCALING_BASE, scaling_variant(speedup_vs_thread=1.0)
+        )
+        assert not diff.ok
+        assert "speedup_vs_thread" in [d.metric for d in diff.regressions]
+
+    def test_first_worker_crash_trips_the_gate(self):
+        # The baseline row carries the counter at zero exactly so any
+        # growth is infinite-percent and fails regardless of tolerance.
+        diff = diff_payloads(
+            SCALING_BASE,
+            scaling_variant(counters={"service.worker_crashes": 1}),
+            counter_regress=1000,
+        )
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "service.worker_crashes"

@@ -160,3 +160,54 @@ class TestThroughputProperty:
 
     def test_zero_wall_is_zero_rps(self):
         assert LoadgenReport().throughput_rps == 0.0
+
+
+class TestScalingRows:
+    def test_scaling_programs_are_unique_cold_keys(self):
+        from repro.harness.loadgen import scaling_programs
+
+        programs = scaling_programs(4, size=16, tag="t")
+        names = [name for name, _ in programs]
+        assert len(set(names)) == 4
+        for name, text in programs:
+            (func,) = parse_prog(text)
+            assert func.name == name
+
+    def test_scaling_rows_small_run(self):
+        from repro.harness.loadgen import (
+            scaling_rows,
+            scaling_table_rows,
+        )
+
+        rows = scaling_rows(
+            worker_counts=(1,), requests_per_worker=1, size=16
+        )
+        assert [row["bench"] for row in rows] == [
+            "service-scaling-thread",
+            "service-scaling-process",
+        ]
+        for row in rows:
+            assert row["size"] == 1
+            assert row["requests"] == 1
+            # The single-worker row anchors efficiency at exactly 1.
+            assert row["scaling_efficiency"] == 1.0
+            assert row["counters"]["service.worker_crashes"] == 0
+            assert row["cpus"] >= 1
+        assert "speedup_vs_thread" in rows[1]
+        flat = scaling_table_rows(rows)
+        assert len(flat) == 2
+
+    def test_process_scales_past_thread_on_real_cores(self):
+        from repro.harness.loadgen import scaling_rows
+        from repro.utils.pool import usable_cpus
+
+        if usable_cpus() < 4:
+            pytest.skip("needs >= 4 usable CPUs to observe scaling")
+        rows = scaling_rows(worker_counts=(1, 4), requests_per_worker=3)
+        by_bench = {}
+        for row in rows:
+            by_bench.setdefault(row["bench"], {})[row["size"]] = row
+        process4 = by_bench["service-scaling-process"][4]
+        # The GIL caps thread scaling; four worker processes on four
+        # cores must clear 2x the thread executor's throughput.
+        assert process4["speedup_vs_thread"] >= 2.0

@@ -1,0 +1,136 @@
+"""The daemon on the process executor, end to end.
+
+One daemon per test (the pool spawns real worker processes, so they
+stay small: two workers).  What matters here is that the service
+behaves exactly like the thread tier from the outside — identical
+Verilog, clean trace-ID echo under concurrency, the shared disk tier
+warm across executors — while the new saturation gauges actually show
+up on the wire.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ReticleCompiler
+from repro.harness.loadgen import (
+    get_json,
+    post_compile,
+    run_loadgen,
+    scrape_metrics,
+)
+from repro.ir.parser import parse_prog
+from repro.passes import CompileCache
+from repro.serve import CompileService, DaemonThread, ReticleDaemon
+
+ADD = "def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }"
+SUB = "def g(a: i8, b: i8) -> (y: i8) { y: i8 = sub(a, b); }"
+
+
+def process_daemon(tmp_path, **kwargs) -> DaemonThread:
+    service = CompileService(
+        cache=CompileCache(cache_dir=str(tmp_path / "cache"))
+    )
+    daemon = ReticleDaemon(
+        service=service, workers=2, executor="process", **kwargs
+    )
+    return DaemonThread(daemon)
+
+
+class TestProcessDaemon:
+    def test_concurrent_requests_no_trace_crosstalk(self, tmp_path):
+        # run_loadgen itself raises on the two failure modes this test
+        # exists for: Verilog that differs between repeats of the same
+        # program (a result delivered to the wrong waiter) and a
+        # trace-ID echo that doesn't match what the client sent.
+        with process_daemon(tmp_path) as handle:
+            report = run_loadgen(
+                handle.base_url,
+                [("f", ADD), ("g", SUB)],
+                concurrency=2,
+                repeats=2,
+                trace_prefix="procd",
+                verify_metrics=True,
+            )
+            assert report.errors == 0
+            assert report.requests == 4
+            # The second repeat of each program hits the shared tier.
+            assert report.warm_hits >= 2
+            assert set(report.trace_ids) == {
+                f"procd-{i}" for i in range(4)
+            }
+
+    def test_healthz_and_metrics_expose_saturation(self, tmp_path):
+        with process_daemon(tmp_path) as handle:
+            post_compile(handle.base_url, [{"program": ADD}])
+            _, health = get_json(handle.base_url, "/healthz")
+            assert health["executor"] == "process"
+            assert health["workers"] == 2
+            assert health["busy_workers"] == 0
+            assert health["worker_crashes"] == 0
+            families = scrape_metrics(handle.base_url)
+            for name in (
+                "service_workers",
+                "service_busy_workers",
+                "service_inflight",
+                "service_worker_crashes",
+                "service_worker_recycled",
+            ):
+                assert name in families, name
+            assert families["service_workers"].value() == 2.0
+            assert families["service_worker_crashes"].value() == 0.0
+
+    def test_verilog_matches_local_compiler(self, tmp_path):
+        (func,) = parse_prog(ADD)
+        expected = ReticleCompiler().compile(func).verilog()
+        with process_daemon(tmp_path) as handle:
+            body = post_compile(handle.base_url, [{"program": ADD}])[1]
+        result = body["results"][0]
+        assert result["ok"]
+        assert result["verilog"] == expected
+
+    def test_batch_trace_ids_fan_out_from_base(self, tmp_path):
+        with process_daemon(tmp_path) as handle:
+            body = post_compile(
+                handle.base_url,
+                [{"program": ADD}, {"program": SUB}],
+            )[1]
+        results = body["results"]
+        assert all(item["ok"] for item in results)
+        base = results[0]["trace_id"]
+        assert results[1]["trace_id"] == f"{base}.1"
+
+    def test_disk_tier_is_warm_across_executors(self, tmp_path):
+        cache_dir = str(tmp_path / "shared")
+
+        def boot(executor: str) -> DaemonThread:
+            service = CompileService(
+                cache=CompileCache(cache_dir=cache_dir)
+            )
+            return DaemonThread(
+                ReticleDaemon(
+                    service=service, workers=2, executor=executor
+                )
+            )
+
+        with boot("thread") as threaded:
+            cold = post_compile(threaded.base_url, [{"program": ADD}])[1]
+            assert not cold["results"][0]["cached"]
+        with boot("process") as processed:
+            warm = post_compile(processed.base_url, [{"program": ADD}])[1]
+        assert warm["results"][0]["cached"]
+        assert (
+            warm["results"][0]["verilog"]
+            == cold["results"][0]["verilog"]
+        )
+
+    def test_compile_error_is_typed_not_a_crash(self, tmp_path):
+        bad = "def broken(a: i8) -> (y: i8) { y: i8 = add(a, b); }"
+        with process_daemon(tmp_path) as handle:
+            body = post_compile(handle.base_url, [{"program": bad}])[1]
+            result = body["results"][0]
+            assert not result["ok"]
+            assert result["error"]
+            _, health = get_json(handle.base_url, "/healthz")
+            assert health["worker_crashes"] == 0
+            # The pool survived the compile error and still serves.
+            again = post_compile(handle.base_url, [{"program": ADD}])[1]
+            assert again["results"][0]["ok"]

@@ -1,0 +1,200 @@
+"""The persistent multiprocess compile executor (repro.serve.procpool).
+
+Byte-identity is the contract: ``--executor process`` must produce
+exactly the Verilog that serial and thread compiles produce, with the
+worker's tracer merged back as if the work had happened on a thread.
+The service edges — crash retry, typed double-crash failure, worker
+recycling, graceful drain — are pinned here with real spawned worker
+processes (small pools, so the suite stays quick).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.compiler import (
+    ReticleCompiler,
+    compile_prog,
+    compile_prog_multi,
+    resolve_target,
+)
+from repro.errors import (
+    ReticleError,
+    SelectionError,
+    WorkerCrashError,
+)
+from repro.ir.parser import parse_prog
+from repro.obs import Tracer
+from repro.serve.procpool import (
+    FuncTask,
+    ProcessCompilePool,
+    ir_digest,
+    rebuild_error,
+)
+
+TWO_FUNCS = """
+def f(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }
+def muladd(a: i8, b: i8, c: i8) -> (y: i8) {
+    t0: i8 = mul(a, b);
+    y: i8 = add(t0, c) @dsp;
+}
+"""
+
+SOFT_FUNCS = """
+def g(a: i8, b: i8) -> (y: i8) { y: i8 = add(a, b); }
+def h(a: i8) -> (y: i8) { y: i8 = sub(a, a); }
+"""
+
+DSP_PINNED = "def bad(a: i8, b: i8) -> (y: i8) { y: i8 = mul(a, b) @dsp; }"
+
+
+def no_litter(root: str) -> bool:
+    """True when no ``*.tmp``/``*.bad`` files exist under ``root``."""
+    for _, _, names in os.walk(root):
+        for name in names:
+            if name.endswith((".tmp", ".bad")):
+                return False
+    return True
+
+
+class TestWireFormat:
+    def test_ir_digest_is_stable_and_content_addressed(self):
+        assert ir_digest("abc") == ir_digest("abc")
+        assert ir_digest("abc") != ir_digest("abd")
+
+    def test_wire_task_round_trips_compiler_config(self):
+        compiler = ReticleCompiler()
+        func = list(parse_prog(TWO_FUNCS))[0]
+        task = compiler.wire_task(func, trace_id="t-1")
+        assert isinstance(task, FuncTask)
+        assert task.target == "ultrascale"
+        assert task.trace_id == "t-1"
+        assert task.digest == ir_digest(task.ir)
+        assert "def f" in task.ir
+        # options are hashable (tuples all the way down)
+        hash(task.options)
+
+    def test_rebuild_error_restores_typed_errors(self):
+        error = rebuild_error("SelectionError", "no rule")
+        assert isinstance(error, SelectionError)
+        unknown = rebuild_error("NoSuchError", "boom")
+        assert isinstance(unknown, ReticleError)
+        assert "NoSuchError" in str(unknown)
+
+
+class TestPoolLifecycle:
+    def test_submit_and_result(self, tmp_path):
+        compiler = ReticleCompiler(cache_dir=str(tmp_path))
+        func = list(parse_prog(TWO_FUNCS))[0]
+        tracer = Tracer()
+        with ProcessCompilePool(workers=1, tracer=tracer) as pool:
+            wire = pool.run(compiler.wire_task(func))
+            assert wire.ok
+            assert wire.payload.netlist is not None
+            assert wire.tracer is not None
+            # Same digest again: the worker's parsed-IR memo hits.
+            warm = pool.run(compiler.wire_task(func))
+            assert warm.tracer.counters.get("service.ir_memo_hits") == 1
+        assert pool.crashes == 0
+
+    def test_typed_error_crosses_the_pipe(self):
+        target, device = resolve_target("ice40")
+        compiler = ReticleCompiler(target=target, device=device)
+        func = list(parse_prog(DSP_PINNED))[0]
+        with ProcessCompilePool(workers=1) as pool:
+            with pytest.raises(SelectionError):
+                pool.run(compiler.wire_task(func))
+        # A compile error is not a crash: the worker survived it.
+        assert pool.crashes == 0
+
+    def test_crash_retries_once_then_fails_typed(self, tmp_path):
+        compiler = ReticleCompiler(cache_dir=str(tmp_path))
+        func = list(parse_prog(TWO_FUNCS))[0]
+        tracer = Tracer()
+        with ProcessCompilePool(workers=1, tracer=tracer) as pool:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.run(compiler.wire_task(func, poison=True))
+            assert "crashed twice" in str(excinfo.value)
+            # Both attempts crashed a worker; both were counted.
+            assert pool.crashes == 2
+            assert tracer.counters.get("service.worker_crashes") == 2
+            # The pool respawned and still serves.
+            wire = pool.run(compiler.wire_task(func))
+            assert wire.ok
+            assert pool.inflight == 0
+        # Crashing workers left no torn or quarantined cache entries.
+        assert no_litter(str(tmp_path))
+
+    def test_recycling_after_max_tasks(self):
+        compiler = ReticleCompiler()
+        func = list(parse_prog(TWO_FUNCS))[0]
+        tracer = Tracer()
+        with ProcessCompilePool(
+            workers=1, tracer=tracer, max_tasks_per_worker=1
+        ) as pool:
+            assert pool.run(compiler.wire_task(func)).ok
+            assert pool.run(compiler.wire_task(func)).ok
+            assert pool.recycled >= 1
+            assert tracer.counters.get("service.worker_recycled") >= 1
+
+    def test_closed_pool_rejects_submissions(self):
+        pool = ProcessCompilePool(workers=1)
+        pool.shutdown(wait=True)
+        compiler = ReticleCompiler()
+        func = list(parse_prog(TWO_FUNCS))[0]
+        with pytest.raises(ReticleError):
+            pool.submit(compiler.wire_task(func))
+
+    def test_saturation_gauges_shape(self):
+        with ProcessCompilePool(workers=1) as pool:
+            gauges = pool.saturation_gauges()
+        assert set(gauges) == {
+            "service_busy_workers",
+            "service_inflight",
+            "service_worker_crashes",
+            "service_worker_recycled",
+        }
+
+
+class TestByteIdentity:
+    def test_compile_prog_process_equals_serial_and_thread(self):
+        prog = parse_prog(TWO_FUNCS)
+        serial = ReticleCompiler().compile_prog(prog)
+        threaded = ReticleCompiler().compile_prog(prog, jobs=2)
+        tracer = Tracer(trace_id="pp-1")
+        process = ReticleCompiler(executor="process").compile_prog(
+            prog, tracer=tracer, jobs=2
+        )
+        assert set(serial) == set(threaded) == set(process)
+        for name in serial:
+            assert serial[name].verilog() == process[name].verilog()
+            assert threaded[name].verilog() == process[name].verilog()
+        # The merged tracer carries the workers' spans and counters
+        # under the parent's trace ID, exactly like the thread tier.
+        assert tracer.counters.get("isel.trees", 0) > 0
+        assert tracer.spans
+        assert all(s.trace_id == "pp-1" for s in tracer.spans)
+
+    def test_compile_prog_multi_process_identity(self):
+        prog = parse_prog(SOFT_FUNCS)
+        serial = compile_prog_multi(prog, ["all"])
+        process = compile_prog_multi(
+            prog, ["all"], jobs=2, executor="process"
+        )
+        assert set(serial) == set(process)
+        for target_name in serial:
+            for func_name in serial[target_name]:
+                assert (
+                    serial[target_name][func_name].verilog()
+                    == process[target_name][func_name].verilog()
+                )
+
+    def test_module_compile_prog_accepts_external_pool(self):
+        prog = parse_prog(TWO_FUNCS)
+        serial = ReticleCompiler().compile_prog(prog)
+        with ProcessCompilePool(workers=2) as pool:
+            process = compile_prog(prog, executor="process", pool=pool)
+        for name in serial:
+            assert serial[name].verilog() == process[name].verilog()

@@ -42,6 +42,14 @@ service_window_p95_latency_s 0.030
 service_queue_depth 3
 # TYPE service_queue_limit gauge
 service_queue_limit 64
+# TYPE service_workers gauge
+service_workers 4
+# TYPE service_busy_workers gauge
+service_busy_workers 3
+# TYPE service_inflight gauge
+service_inflight 5
+# TYPE service_worker_crashes gauge
+service_worker_crashes 1
 # TYPE process_uptime_seconds gauge
 process_uptime_seconds 100
 # TYPE process_max_rss_bytes gauge
@@ -115,6 +123,14 @@ class TestDeriveView:
         assert view.requests == 0
         assert view.cache_hit_ratio == 0.0
         assert view.stages == {}
+        assert view.workers == 0.0
+
+    def test_executor_saturation_fields(self):
+        view = derive_view(sample(at=100.0))
+        assert view.workers == 4
+        assert view.busy_workers == 3
+        assert view.inflight == 5
+        assert view.worker_crashes == 1
 
 
 class TestRenderTop:
@@ -129,10 +145,18 @@ class TestRenderTop:
         assert "select" in frame and "place" in frame
         assert "#" in frame  # the share bars
 
+    def test_frame_renders_worker_saturation(self):
+        frame = render_top(sample(at=100.0))
+        assert "3/4" in frame and "busy" in frame
+        assert "inflight 5" in frame
+        assert "crashes 1" in frame
+
     def test_frame_without_stages_still_renders(self):
         frame = render_top(sample(at=1.0, text="up 1\n"))
         assert "requests" in frame
         assert "stage" not in frame
+        # No saturation gauges (a pre-executor daemon): no busy line.
+        assert "busy" not in frame
 
 
 class TestLiveCli:

@@ -1,0 +1,73 @@
+"""The pool-sizing authority (repro.utils.pool).
+
+One policy for every ``--jobs`` flag in the repo: explicit wins, zero
+means auto (env override, else CPU count), and the result is clamped
+to the amount of independent work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReticleError
+from repro.utils.pool import (
+    EXECUTOR_CHOICES,
+    JOBS_ENV,
+    resolve_executor,
+    resolve_jobs,
+    usable_cpus,
+)
+
+
+class TestResolveJobs:
+    def test_explicit_positive_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "99")
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_auto_from_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(0) == 7
+        assert resolve_jobs(None) == 7
+
+    def test_auto_without_env_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(0) == usable_cpus()
+
+    def test_clamped_to_items(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "16")
+        assert resolve_jobs(0, items=2) == 2
+        assert resolve_jobs(8, items=3) == 3
+        # Zero items still yields a 1-worker pool, never zero.
+        assert resolve_jobs(4, items=0) == 1
+
+    def test_bad_env_values_raise(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "banana")
+        with pytest.raises(ReticleError):
+            resolve_jobs(0)
+        monkeypatch.setenv(JOBS_ENV, "0")
+        with pytest.raises(ReticleError):
+            resolve_jobs(0)
+
+    def test_negative_jobs_raise(self):
+        with pytest.raises(ReticleError):
+            resolve_jobs(-2)
+
+    def test_at_least_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(0, items=1) == 1
+        assert usable_cpus() >= 1
+
+
+class TestResolveExecutor:
+    def test_default_is_thread(self):
+        assert resolve_executor(None) == "thread"
+        assert resolve_executor("") == "thread"
+
+    def test_choices_round_trip(self):
+        for name in EXECUTOR_CHOICES:
+            assert resolve_executor(name) == name
+        assert resolve_executor("  Process ") == "process"
+
+    def test_unknown_executor_raises(self):
+        with pytest.raises(ReticleError):
+            resolve_executor("fork-bomb")
